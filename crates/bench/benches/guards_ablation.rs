@@ -1,0 +1,51 @@
+//! Overflow-guard cost ablation: the transformed constraint with its
+//! `bvsmulo`/`bvsaddo` guards versus the same constraint with guards
+//! stripped. Guards are what make the translation an *underapproximation*
+//! rather than a wraparound reinterpretation; this measures what that
+//! soundness costs the solver.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staub_benchgen::sum_of_cubes;
+use staub_core::{Staub, StaubConfig, WidthChoice};
+use staub_smtlib::Script;
+use staub_solver::{Solver, SolverProfile};
+use std::time::Duration;
+
+fn transformed(target: i64) -> (Script, usize) {
+    let staub = Staub::new(StaubConfig {
+        width_choice: WidthChoice::Inferred,
+        ..Default::default()
+    });
+    let t = staub.transform(&sum_of_cubes(target)).expect("transformable");
+    (t.script, t.guard_count)
+}
+
+fn strip_guards(script: &Script, guard_count: usize) -> Script {
+    // The transformation asserts guards first, then the translated body.
+    let mut stripped = script.clone();
+    let body: Vec<_> = script.assertions()[guard_count..].to_vec();
+    stripped.set_assertions(body);
+    stripped
+}
+
+fn bench_guards(c: &mut Criterion) {
+    let solver = Solver::new(SolverProfile::Zed)
+        .with_timeout(Duration::from_millis(2500))
+        .with_steps(4_000_000);
+    let mut group = c.benchmark_group("guards_ablation");
+    group.sample_size(10);
+    for target in [35i64, 855] {
+        let (guarded, guard_count) = transformed(target);
+        let unguarded = strip_guards(&guarded, guard_count);
+        group.bench_with_input(BenchmarkId::new("guarded", target), &guarded, |b, s| {
+            b.iter(|| solver.solve(s))
+        });
+        group.bench_with_input(BenchmarkId::new("unguarded", target), &unguarded, |b, s| {
+            b.iter(|| solver.solve(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_guards);
+criterion_main!(benches);

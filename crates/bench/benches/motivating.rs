@@ -1,0 +1,77 @@
+//! The paper's §2 motivating comparison on `x³ + y³ + z³ = target`:
+//!
+//! * the unbounded original (baseline ICP engine),
+//! * the bounded translation (bit-blast + CDCL — the arbitrage win),
+//! * the original with bounds merely *imposed* as integer constraints
+//!   (Fig. 1c — the paper's point that bounds alone do not help).
+//!
+//! Smaller targets than 855 keep iteration times bench-friendly; the shape
+//! (bounded ≪ unbounded ≈ bounds-imposed) is what the figure claims.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staub_benchgen::sum_of_cubes;
+use staub_core::{Staub, StaubConfig, WidthChoice};
+use staub_numeric::BigInt;
+use staub_solver::{Solver, SolverProfile};
+use std::time::Duration;
+
+fn solver() -> Solver {
+    // Generous budget: the point is the *relative* cost of the three
+    // encodings, so none of them should be clipped by the timeout except
+    // the genuinely stuck bounds-imposed search.
+    Solver::new(SolverProfile::Zed)
+        .with_timeout(Duration::from_millis(2500))
+        .with_steps(4_000_000)
+}
+
+fn staub() -> Staub {
+    Staub::new(StaubConfig {
+        width_choice: WidthChoice::Inferred,
+        timeout: Duration::from_millis(2500),
+        steps: 4_000_000,
+        ..Default::default()
+    })
+}
+
+/// Adds Fig. 1c-style bound assertions to the unbounded constraint.
+fn with_imposed_bounds(target: i64) -> staub_smtlib::Script {
+    let mut script = sum_of_cubes(target);
+    let bounds: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| script.store().symbol(n).expect("declared"))
+        .collect();
+    for sym in bounds {
+        let s = script.store_mut();
+        let v = s.var(sym);
+        let lo = s.int(BigInt::from(-2048));
+        let hi = s.int(BigInt::from(2047));
+        let ge = s.ge(v, lo).expect("ge");
+        let le = s.le(v, hi).expect("le");
+        script.assert(ge);
+        script.assert(le);
+    }
+    script
+}
+
+fn bench_motivating(c: &mut Criterion) {
+    let mut group = c.benchmark_group("motivating");
+    group.sample_size(10);
+    for target in [35i64, 92, 855] {
+        let original = sum_of_cubes(target);
+        let bounded = staub().transform(&original).expect("transformable").script;
+        let imposed = with_imposed_bounds(target);
+        group.bench_with_input(BenchmarkId::new("unbounded", target), &original, |b, s| {
+            b.iter(|| solver().solve(s))
+        });
+        group.bench_with_input(BenchmarkId::new("arbitraged", target), &bounded, |b, s| {
+            b.iter(|| solver().solve(s))
+        });
+        group.bench_with_input(BenchmarkId::new("bounds-imposed", target), &imposed, |b, s| {
+            b.iter(|| solver().solve(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_motivating);
+criterion_main!(benches);

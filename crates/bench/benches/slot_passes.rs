@@ -1,0 +1,67 @@
+//! SLOT pipeline ablation: optimization cost and post-optimization solving
+//! time for the standard pipeline versus individual passes (the RQ2
+//! mechanism, decomposed).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staub_benchgen::{generate, SuiteKind};
+use staub_core::{Staub, StaubConfig, WidthChoice};
+use staub_slot::{passes, Slot};
+use staub_smtlib::Script;
+use staub_solver::{Solver, SolverProfile};
+use std::time::Duration;
+
+fn bounded_samples() -> Vec<Script> {
+    let staub = Staub::new(StaubConfig {
+        width_choice: WidthChoice::Inferred,
+        ..Default::default()
+    });
+    generate(SuiteKind::QfNia, 10, 3)
+        .iter()
+        .filter_map(|b| staub.transform(&b.script).ok())
+        .map(|t| t.script)
+        .take(4)
+        .collect()
+}
+
+fn bench_slot(c: &mut Criterion) {
+    let samples = bounded_samples();
+    let solver = Solver::new(SolverProfile::Zed)
+        .with_timeout(Duration::from_millis(300))
+        .with_steps(300_000);
+    let mut group = c.benchmark_group("slot_passes");
+    group.sample_size(10);
+
+    // Cost of running the optimizer itself.
+    group.bench_function("optimize/standard", |b| {
+        b.iter(|| {
+            for s in &samples {
+                let mut script = s.clone();
+                Slot::standard().optimize(&mut script);
+            }
+        })
+    });
+    group.bench_function("optimize/const-fold-only", |b| {
+        b.iter(|| {
+            for s in &samples {
+                let mut script = s.clone();
+                Slot::new().with_pass(passes::ConstFold).optimize(&mut script);
+            }
+        })
+    });
+
+    // Solve time before vs after optimization.
+    for (i, s) in samples.iter().enumerate() {
+        let mut optimized = s.clone();
+        Slot::standard().optimize(&mut optimized);
+        group.bench_with_input(BenchmarkId::new("solve/raw", i), s, |b, s| {
+            b.iter(|| solver.solve(s))
+        });
+        group.bench_with_input(BenchmarkId::new("solve/slotted", i), &optimized, |b, s| {
+            b.iter(|| solver.solve(s))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_slot);
+criterion_main!(benches);

@@ -1,0 +1,39 @@
+//! Solver-profile comparison: the `Zed` and `Cove` heuristic profiles on
+//! the same constraints (the reproduction's analog of the Z3-vs-CVC5
+//! columns — distinct heuristics, overlapping but different easy sets).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staub_benchgen::{generate, SuiteKind};
+use staub_solver::{Solver, SolverProfile};
+use std::time::Duration;
+
+fn bench_profiles(c: &mut Criterion) {
+    let nia: Vec<_> = generate(SuiteKind::QfNia, 6, 5)
+        .into_iter()
+        .filter(|b| b.expected == Some(true))
+        .take(2)
+        .collect();
+    let lia: Vec<_> = generate(SuiteKind::QfLia, 6, 5)
+        .into_iter()
+        .filter(|b| b.expected == Some(true))
+        .take(2)
+        .collect();
+    let mut group = c.benchmark_group("solver_profiles");
+    group.sample_size(10);
+    for profile in [SolverProfile::Zed, SolverProfile::Cove] {
+        let solver = Solver::new(profile)
+            .with_timeout(Duration::from_millis(300))
+            .with_steps(300_000);
+        for b in nia.iter().chain(&lia) {
+            group.bench_with_input(
+                BenchmarkId::new(profile.name(), &b.name),
+                &b.script,
+                |bench, s| bench.iter(|| solver.solve(s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_profiles);
+criterion_main!(benches);

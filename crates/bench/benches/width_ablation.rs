@@ -1,0 +1,52 @@
+//! Width-inference ablation (the paper's "Effectiveness of Width
+//! Inference"): solving time of the bounded constraint at fixed widths
+//! versus the abstract-interpretation choice, over a small NIA sample.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use staub_benchgen::{generate, SuiteKind};
+use staub_core::{Staub, StaubConfig, WidthChoice};
+use staub_solver::{Solver, SolverProfile};
+use std::time::Duration;
+
+fn staub(choice: WidthChoice) -> Staub {
+    Staub::new(StaubConfig {
+        width_choice: choice,
+        timeout: Duration::from_millis(300),
+        steps: 300_000,
+        ..Default::default()
+    })
+}
+
+fn bench_widths(c: &mut Criterion) {
+    let suite: Vec<_> = generate(SuiteKind::QfNia, 8, 7)
+        .into_iter()
+        .filter(|b| b.expected == Some(true))
+        .take(3)
+        .collect();
+    let solver = Solver::new(SolverProfile::Zed)
+        .with_timeout(Duration::from_millis(300))
+        .with_steps(300_000);
+    let mut group = c.benchmark_group("width_ablation");
+    group.sample_size(10);
+    let choices = [
+        ("fixed-8", WidthChoice::Fixed(8)),
+        ("fixed-16", WidthChoice::Fixed(16)),
+        ("inferred", WidthChoice::Inferred),
+    ];
+    for benchmark in &suite {
+        for (label, choice) in choices {
+            let Ok(transformed) = staub(choice).transform(&benchmark.script) else {
+                continue; // constants too wide for this fixed width
+            };
+            group.bench_with_input(
+                BenchmarkId::new(label, &benchmark.name),
+                &transformed.script,
+                |b, s| b.iter(|| solver.solve(s)),
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_widths);
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Exports the generated benchmark suites as `.smt2` files, so they can be
+//! run against any SMT-LIB-compliant solver (usage mirroring how the paper
+//! distributes its benchmark archive).
+//!
+//! ```text
+//! cargo run --release -p staub-bench --bin export_suites -- [out-dir]
+//! ```
+
+use std::fs;
+use std::path::PathBuf;
+
+use staub_bench::EvalConfig;
+use staub_benchgen::SuiteKind;
+use staub_core::{Staub, StaubConfig, WidthChoice};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let out_dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "suites".to_string()).into();
+    let config = EvalConfig::from_env();
+    let staub = Staub::new(StaubConfig {
+        width_choice: WidthChoice::Inferred,
+        ..Default::default()
+    });
+    let mut total = 0usize;
+    for kind in SuiteKind::all() {
+        let originals = out_dir.join(kind.logic_name());
+        let bounded = out_dir.join(format!("{}-bounded", kind.logic_name()));
+        fs::create_dir_all(&originals)?;
+        fs::create_dir_all(&bounded)?;
+        for b in staub_bench::suite(kind, &config) {
+            let file_stem = b.name.replace('/', "-");
+            let mut source = String::new();
+            if let Some(expected) = b.expected {
+                source.push_str(&format!(
+                    "(set-info :status {})\n",
+                    if expected { "sat" } else { "unsat" }
+                ));
+            }
+            source.push_str(&b.script.to_string());
+            fs::write(originals.join(format!("{file_stem}.smt2")), &source)?;
+            // The paper's `--emit` output: the bounded translation.
+            if let Ok(transformed) = staub.transform(&b.script) {
+                fs::write(
+                    bounded.join(format!("{file_stem}.smt2")),
+                    transformed.script.to_string(),
+                )?;
+            }
+            total += 1;
+        }
+    }
+    println!("exported {total} constraints (+ bounded translations) to {}", out_dir.display());
+    Ok(())
+}

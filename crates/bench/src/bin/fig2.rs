@@ -1,0 +1,102 @@
+//! Fig. 2 reproduction: naive fixed-width transformation.
+//!
+//! * Fig. 2a — geometric-mean solving time of the *transformed* constraint
+//!   at each fixed width, relative to 16 bits, per logic.
+//! * Fig. 2b — percentage of constraints whose satisfiability verdict
+//!   differs from the unbounded original at each width (semantic loss).
+//!
+//! Matches the paper's setup (§3.2): bounds are imposed naively — the
+//! transformed result is *not* verified — exactly the tradeoff Fig. 2
+//! quantifies: larger widths are slower but more often semantics-preserving.
+
+use staub_bench::{geometric_mean, render_table, EvalConfig};
+use staub_benchgen::SuiteKind;
+use staub_core::WidthChoice;
+use staub_solver::SolverProfile;
+
+fn main() {
+    let config = EvalConfig::from_env();
+    let widths: [u32; 6] = [4, 8, 12, 16, 24, 32];
+    let kinds = SuiteKind::all();
+
+    // rel_time[kind][width], mismatch[kind][width]
+    let mut time_rows = Vec::new();
+    let mut mismatch_rows = Vec::new();
+    for kind in kinds {
+        let suite = staub_bench::suite(kind, &config);
+        let solver = config.solver(SolverProfile::Zed);
+        // Baseline verdicts on the originals.
+        let baseline: Vec<_> = suite.iter().map(|b| solver.solve(&b.script).result).collect();
+        let mut mean_times = Vec::new();
+        let mut mismatch_pct = Vec::new();
+        for &w in &widths {
+            let staub = config.staub(SolverProfile::Zed, WidthChoice::Fixed(w));
+            let mut times = Vec::new();
+            let mut comparable = 0usize;
+            let mut mismatches = 0usize;
+            for (b, base) in suite.iter().zip(&baseline) {
+                let Ok(transformed) = staub.transform(&b.script) else {
+                    // Constants don't fit this width: maximal semantic loss.
+                    if !base.is_unknown() {
+                        comparable += 1;
+                        mismatches += 1;
+                    }
+                    continue;
+                };
+                let outcome = solver.solve(&transformed.script);
+                times.push(outcome.elapsed.as_secs_f64().max(1e-6));
+                let bounded_sat = outcome.result.is_sat();
+                let bounded_unsat = outcome.result.is_unsat();
+                match (base.is_sat(), base.is_unsat()) {
+                    (true, _) if bounded_unsat => {
+                        comparable += 1;
+                        mismatches += 1;
+                    }
+                    (_, true) if bounded_sat => {
+                        comparable += 1;
+                        mismatches += 1;
+                    }
+                    (false, false) => {} // baseline unknown: not comparable
+                    _ => comparable += 1,
+                }
+            }
+            mean_times.push(if times.is_empty() {
+                None // nothing transformable at this width
+            } else {
+                Some(geometric_mean(&times))
+            });
+            mismatch_pct.push(if comparable == 0 {
+                None
+            } else {
+                Some(100.0 * mismatches as f64 / comparable as f64)
+            });
+        }
+        // Normalize times to the 16-bit column (paper Fig. 2a).
+        let base_idx = widths.iter().position(|&w| w == 16).expect("16 in sweep");
+        let norm = mean_times[base_idx].unwrap_or(1.0).max(1e-9);
+        let mut time_row = vec![kind.logic_name().to_string()];
+        time_row.extend(mean_times.iter().map(|t| match t {
+            Some(t) => format!("{:.2}", t / norm),
+            None => "-".to_string(),
+        }));
+        time_rows.push(time_row);
+        let mut mm_row = vec![kind.logic_name().to_string()];
+        mm_row.extend(mismatch_pct.iter().map(|p| match p {
+            Some(p) => format!("{p:.0}%"),
+            None => "-".to_string(),
+        }));
+        mismatch_rows.push(mm_row);
+    }
+
+    let mut header: Vec<String> = vec!["Logic".to_string()];
+    header.extend(widths.iter().map(|w| format!("{w}-bit")));
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    println!("Fig. 2a: geometric-mean solving time of the transformed constraint,");
+    println!("relative to 16 bits (naive fixed-width transformation, profile Zed)\n");
+    print!("{}", render_table(&header_refs, &time_rows));
+    println!();
+    println!("Fig. 2b: % of constraints whose satisfiability differs from the");
+    println!("unbounded original (semantic loss of naive bounding)\n");
+    print!("{}", render_table(&header_refs, &mismatch_rows));
+}

@@ -1,0 +1,31 @@
+//! Fig. 7 reproduction: per-constraint scatter data — initial (`T_pre`)
+//! versus final (portfolio-effective) solving time, one CSV series per
+//! logic × solver panel. Points below the diagonal are speedups; points at
+//! `t_pre == timeout` with small `t_final` are tractability improvements.
+
+use staub_bench::{profiles, run_suite, EvalConfig};
+use staub_benchgen::SuiteKind;
+use staub_core::WidthChoice;
+
+fn main() {
+    let config = EvalConfig::from_env();
+    println!("panel,constraint,family,t_pre_ms,t_final_ms,verified,baseline_result");
+    for kind in SuiteKind::all() {
+        for profile in profiles() {
+            let measurements = run_suite(kind, profile, WidthChoice::Inferred, &config);
+            for m in measurements {
+                println!(
+                    "{}-{},{},{},{:.3},{:.3},{},{}",
+                    kind.logic_name(),
+                    profile,
+                    m.name,
+                    m.family,
+                    m.report.t_pre.as_secs_f64() * 1e3,
+                    m.report.t_final().as_secs_f64() * 1e3,
+                    m.report.verified,
+                    m.report.baseline_result,
+                );
+            }
+        }
+    }
+}

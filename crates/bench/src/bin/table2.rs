@@ -1,0 +1,80 @@
+//! Table 2 reproduction: tractability improvements per logic and solver —
+//! constraints where the baseline times out but theory arbitrage produces a
+//! verified answer — for fixed 8-bit, fixed 16-bit, and inferred (STAUB)
+//! widths, plus the `Zed ∩ Cove` column (unsolvable by *both* baselines,
+//! solved by at least one after arbitrage).
+
+use std::collections::HashSet;
+
+use staub_bench::{profiles, render_table, run_suite, EvalConfig};
+use staub_benchgen::SuiteKind;
+use staub_core::WidthChoice;
+
+fn main() {
+    let config = EvalConfig::from_env();
+    let choices = [
+        ("8-bit", WidthChoice::Fixed(8)),
+        ("16-bit", WidthChoice::Fixed(16)),
+        ("STAUB", WidthChoice::Inferred),
+    ];
+    let mut header: Vec<String> = vec!["Logic".into()];
+    for p in profiles() {
+        for (label, _) in &choices {
+            header.push(format!("{p}/{label}"));
+        }
+    }
+    for (label, _) in &choices {
+        header.push(format!("Zed∩Cove/{label}"));
+    }
+    let header_refs: Vec<&str> = header.iter().map(String::as_str).collect();
+
+    let mut rows = Vec::new();
+    for kind in SuiteKind::all() {
+        let mut row = vec![kind.logic_name().to_string()];
+        // measurements[profile][choice] : Vec<Measurement>
+        let mut per = Vec::new();
+        for profile in profiles() {
+            let mut by_choice = Vec::new();
+            for (_, choice) in &choices {
+                by_choice.push(run_suite(kind, profile, *choice, &config));
+            }
+            per.push(by_choice);
+        }
+        for by_choice in &per {
+            for ms in by_choice {
+                let n = ms.iter().filter(|m| m.report.tractability_improvement()).count();
+                row.push(n.to_string());
+            }
+        }
+        // Intersection: unknown under both baselines, improved by either.
+        for ci in 0..choices.len() {
+            let zed = &per[0][ci];
+            let cove = &per[1][ci];
+            let zed_unknown: HashSet<&str> = zed
+                .iter()
+                .filter(|m| m.report.baseline_result.is_unknown())
+                .map(|m| m.name.as_str())
+                .collect();
+            let improved_any: HashSet<&str> = zed
+                .iter()
+                .chain(cove)
+                .filter(|m| m.report.tractability_improvement())
+                .map(|m| m.name.as_str())
+                .collect();
+            let n = cove
+                .iter()
+                .filter(|m| {
+                    m.report.baseline_result.is_unknown()
+                        && zed_unknown.contains(m.name.as_str())
+                        && improved_any.contains(m.name.as_str())
+                })
+                .count();
+            row.push(n.to_string());
+        }
+        rows.push(row);
+    }
+
+    println!("Table 2: tractability improvements (baseline unknown, arbitrage");
+    println!("produced a verified answer) at timeout {:?}\n", config.timeout);
+    print!("{}", render_table(&header_refs, &rows));
+}

@@ -1,0 +1,98 @@
+//! Table 3 reproduction: geometric-mean speedups per logic × solver ×
+//! `T_pre` interval, for fixed 8-bit / fixed 16-bit / STAUB width choices,
+//! plus the STAUB→SLOT chained column (the paper's RQ2).
+
+use staub_bench::{
+    aggregate, measure_with_slot, profiles, render_table, run_suite, EvalConfig, SpeedupRow,
+    TPRE_BUCKETS,
+};
+use staub_benchgen::SuiteKind;
+use staub_core::portfolio::PortfolioReport;
+use staub_core::WidthChoice;
+
+fn main() {
+    let config = EvalConfig::from_env();
+    let header = [
+        "Logic", "Solver", "T_pre", "Count", "8b Ver", "8b VSpd", "8b Ovr", "16b Ver",
+        "16b VSpd", "16b Ovr", "ST Ver", "ST VSpd", "ST Ovr", "SLOT Ovr",
+    ];
+    let mut rows: Vec<Vec<String>> = Vec::new();
+
+    for kind in SuiteKind::all() {
+        for profile in profiles() {
+            // Collect reports once per width choice.
+            let fixed8: Vec<PortfolioReport> =
+                run_suite(kind, profile, WidthChoice::Fixed(8), &config)
+                    .into_iter()
+                    .map(|m| m.report)
+                    .collect();
+            let fixed16: Vec<PortfolioReport> =
+                run_suite(kind, profile, WidthChoice::Fixed(16), &config)
+                    .into_iter()
+                    .map(|m| m.report)
+                    .collect();
+            let inferred: Vec<PortfolioReport> =
+                run_suite(kind, profile, WidthChoice::Inferred, &config)
+                    .into_iter()
+                    .map(|m| m.report)
+                    .collect();
+            // STAUB→SLOT chain.
+            let staub = config.staub(profile, WidthChoice::Inferred);
+            let slotted: Vec<PortfolioReport> = staub_bench::suite(kind, &config)
+                .iter()
+                .map(|b| measure_with_slot(&staub, &b.script))
+                .collect();
+
+            for (bucket_name, fraction) in TPRE_BUCKETS {
+                let rows8 = aggregate(&fixed8, config.timeout, fraction);
+                let rows16 = aggregate(&fixed16, config.timeout, fraction);
+                let rows_staub = aggregate(&inferred, config.timeout, fraction);
+                let rows_slot = aggregate(&slotted, config.timeout, fraction);
+                rows.push(render_row(
+                    kind,
+                    profile,
+                    bucket_name,
+                    &rows8,
+                    &rows16,
+                    &rows_staub,
+                    rows_slot.overall_speedup,
+                ));
+            }
+        }
+    }
+
+    println!("Table 3: geometric-mean speedups (Ver = verified cases,");
+    println!("VSpd = verified-case speedup, Ovr = overall speedup) at timeout {:?}\n", config.timeout);
+    print!("{}", render_table(&header, &rows));
+    println!();
+    println!("Column groups: fixed 8-bit | fixed 16-bit | STAUB inferred widths |");
+    println!("STAUB+SLOT chained overall speedup (paper's RQ2 column).");
+}
+
+#[allow(clippy::too_many_arguments)]
+fn render_row(
+    kind: SuiteKind,
+    profile: staub_solver::SolverProfile,
+    bucket: &str,
+    r8: &SpeedupRow,
+    r16: &SpeedupRow,
+    rs: &SpeedupRow,
+    slot_overall: f64,
+) -> Vec<String> {
+    vec![
+        kind.logic_name().to_string(),
+        profile.to_string(),
+        bucket.to_string(),
+        rs.count.to_string(),
+        r8.verified.to_string(),
+        format!("{:.3}", r8.verified_speedup),
+        format!("{:.3}", r8.overall_speedup),
+        r16.verified.to_string(),
+        format!("{:.3}", r16.verified_speedup),
+        format!("{:.3}", r16.overall_speedup),
+        rs.verified.to_string(),
+        format!("{:.3}", rs.verified_speedup),
+        format!("{:.3}", rs.overall_speedup),
+        format!("{slot_overall:.3}"),
+    ]
+}

@@ -1,0 +1,25 @@
+//! Prints Table 1 (theoretical boundedness summary — static) and an index
+//! of the other reproduction binaries.
+
+fn main() {
+    println!("Table 1: Summary of theoretical results for unbounded SMT theories\n");
+    let header = ["Logic", "Decidable?", "Theoretically Bounded?", "Practically Bounded?"];
+    let rows = vec![
+        vec!["Linear Integer Arithmetic".to_string(), "Yes".into(), "Yes".into(), "No".into()],
+        vec!["Nonlinear Integer Arithmetic".to_string(), "No".into(), "No".into(), "No".into()],
+        vec!["Linear Real Arithmetic".to_string(), "Yes".into(), "No".into(), "No".into()],
+        vec!["Nonlinear Real Arithmetic".to_string(), "Yes".into(), "No".into(), "No".into()],
+    ];
+    print!("{}", staub_bench::render_table(&header, &rows));
+    println!();
+    println!("The linear-integer bound 2n(ma)^(2m+1) (Papadimitriou 1981) grows");
+    println!("exponentially in the number of inequalities, hence 'practically");
+    println!("bounded: no' even for the one theoretically bounded logic.");
+    println!();
+    println!("Other artifacts:");
+    println!("  cargo run --release -p staub-bench --bin fig2    # Fig. 2a/2b");
+    println!("  cargo run --release -p staub-bench --bin table2  # Table 2");
+    println!("  cargo run --release -p staub-bench --bin table3  # Table 3");
+    println!("  cargo run --release -p staub-bench --bin fig7    # Fig. 7 (CSV)");
+    println!("  cargo run --release -p staub-bench --bin fig8    # Fig. 8");
+}

@@ -1,0 +1,341 @@
+//! QF_NIA generators: sum-of-cubes (the paper's motivating family),
+//! planted polynomial roots, Pythagorean triples, and two-squares
+//! impossibilities.
+
+use rand::Rng;
+use staub_numeric::BigInt;
+use staub_smtlib::{Logic, Script, Sort, TermId};
+
+use crate::Benchmark;
+
+/// Builds the paper's Fig. 1a constraint for an arbitrary target:
+/// `x³ + y³ + z³ = target`.
+pub fn sum_of_cubes(target: i64) -> Script {
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let mut cube_terms = Vec::new();
+    for name in ["x", "y", "z"] {
+        let sym = script.declare(name, Sort::Int).expect("fresh symbol");
+        let s = script.store_mut();
+        let v = s.var(sym);
+        let sq = s.mul(&[v, v]).expect("int mul");
+        cube_terms.push(s.mul(&[sq, v]).expect("int mul"));
+    }
+    let s = script.store_mut();
+    let sum = s.add(&cube_terms).expect("int add");
+    let t = s.int(BigInt::from(target));
+    let eq = s.eq(sum, t).expect("int eq");
+    script.assert(eq);
+    script.check_sat();
+    script
+}
+
+pub(crate) fn generate_one(rng: &mut impl Rng, index: usize) -> Benchmark {
+    match index % 6 {
+        0 => cubes(rng, index),
+        1 => planted_quadratic(rng, index),
+        2 => quad_system(rng, index),
+        3 => pythagorean(rng, index),
+        4 => quad_system(rng, index),
+        _ => two_squares_unsat(rng, index),
+    }
+}
+
+/// Systems of quadratic *inequalities* over 4–6 variables with a planted
+/// solution of moderate magnitude and small constants. Interval-based
+/// search flounders here: inequality hulls barely prune in high dimension,
+/// and the planted components routinely sit outside the engine's initial
+/// box. The bounded translation, by contrast, is a shallow circuit that
+/// CDCL search satisfies quickly — the population behind the paper's
+/// QF_NIA tractability improvements.
+fn quad_system(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let n_vars = rng.gen_range(4usize..=6);
+    let planted: Vec<i64> = (0..n_vars).map(|_| rng.gen_range(-120i64..=120)).collect();
+    let n_rows = rng.gen_range(3usize..=5);
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let syms: Vec<_> = (0..n_vars)
+        .map(|i| script.declare(&format!("q{i}"), Sort::Int).expect("fresh symbol"))
+        .collect();
+    for _ in 0..n_rows {
+        // row: x_i * x_j - x_k * x_l + x_m, compared against its planted
+        // value with nonnegative slack on the correct side.
+        let pick = |rng: &mut dyn rand::RngCore| rng.gen_range(0..n_vars as i64) as usize;
+        let (i, j, k, l, m) = (pick(rng), pick(rng), pick(rng), pick(rng), pick(rng));
+        let value = planted[i] * planted[j] - planted[k] * planted[l] + planted[m];
+        let slack = rng.gen_range(0i64..=60);
+        let upper = rng.gen_bool(0.5);
+        let s = script.store_mut();
+        let vi = s.var(syms[i]);
+        let vj = s.var(syms[j]);
+        let vk = s.var(syms[k]);
+        let vl = s.var(syms[l]);
+        let vm = s.var(syms[m]);
+        let p1 = s.mul(&[vi, vj]).expect("mul");
+        let p2 = s.mul(&[vk, vl]).expect("mul");
+        let diff = s.sub(p1, p2).expect("sub");
+        let lhs = s.add(&[diff, vm]).expect("add");
+        let constraint = if upper {
+            let bound = s.int(BigInt::from(value + slack));
+            s.le(lhs, bound).expect("le")
+        } else {
+            let bound = s.int(BigInt::from(value - slack));
+            s.ge(lhs, bound).expect("ge")
+        };
+        script.assert(constraint);
+    }
+    // One anchoring inequality keeps the instance from being trivially
+    // satisfied at the origin: require a coordinate to be far from zero.
+    let anchor = rng.gen_range(0..n_vars);
+    let s = script.store_mut();
+    let v = s.var(syms[anchor]);
+    let sq = s.mul(&[v, v]).expect("mul");
+    let lo = s.int(BigInt::from(planted[anchor] * planted[anchor]));
+    let c = s.ge(sq, lo).expect("ge");
+    script.assert(c);
+    script.check_sat();
+    Benchmark {
+        name: format!("nia/quadsys/{index:04}"),
+        script,
+        family: "quadsys",
+        expected: Some(true),
+    }
+}
+
+/// Sum-of-cubes with a mix of planted-sat targets, number-theoretically
+/// impossible targets (n ≡ ±4 mod 9 has no solution), and unknown-hard
+/// targets.
+fn cubes(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let (target, expected): (i64, Option<bool>) = match rng.gen_range(0..3u8) {
+        0 => {
+            // Plant a solution from small components.
+            let a = rng.gen_range(-9i64..=9);
+            let b = rng.gen_range(-9i64..=9);
+            let c = rng.gen_range(0i64..=9);
+            (a.pow(3) + b.pow(3) + c.pow(3), Some(true))
+        }
+        1 => {
+            // n ≡ 4 or 5 (mod 9) is impossible for sums of three cubes —
+            // but only a search over all of ℤ³ could *prove* it, so the
+            // ground truth is recorded while solvers will answer unknown.
+            let base = rng.gen_range(1i64..60) * 9;
+            (base + if rng.gen_bool(0.5) { 4 } else { 5 }, Some(false))
+        }
+        _ => {
+            // Hard tail: larger targets with no planted structure.
+            (rng.gen_range(100i64..2000), None)
+        }
+    };
+    Benchmark {
+        name: format!("nia/cubes/{index:04}"),
+        script: sum_of_cubes(target),
+        family: "cubes",
+        expected,
+    }
+}
+
+/// `(x − a)(x − b) = 0` expanded, i.e. `x² − (a+b)x + ab = 0`: sat with the
+/// planted roots; or shifted by a nonzero constant to make it unsat within
+/// the stated bounds.
+fn planted_quadratic(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let a = rng.gen_range(-30i64..=30);
+    let b = rng.gen_range(-30i64..=30);
+    let make_unsat = rng.gen_bool(0.35);
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let x = script.declare("x", Sort::Int).expect("fresh symbol");
+    let s = script.store_mut();
+    let xv = s.var(x);
+    let sq = s.mul(&[xv, xv]).expect("mul");
+    let lin_coeff = s.int(BigInt::from(a + b));
+    let lin = s.mul(&[lin_coeff, xv]).expect("mul");
+    let prod = s.int(BigInt::from(a * b));
+    let lhs_partial = s.sub(sq, lin).expect("sub");
+    let lhs = s.add(&[lhs_partial, prod]).expect("add");
+    // x² - (a+b)x + ab = offset; the quadratic is a product of two factors
+    // differing by (a - b), so any representable value of the polynomial is
+    // of the form k(k + b - a). offset = 1 with both roots even spacing is
+    // not always unsat, so instead bound x strictly between the roots where
+    // the polynomial is negative (for distinct roots), making = 1 unsat.
+    let (rhs_value, expected, bounded) = if make_unsat && a != b {
+        (1i64, Some(false), true)
+    } else {
+        (0i64, Some(true), false)
+    };
+    let rhs = s.int(BigInt::from(rhs_value));
+    let eq = s.eq(lhs, rhs).expect("eq");
+    script.assert(eq);
+    if bounded {
+        let (lo, hi) = (a.min(b), a.max(b));
+        let s = script.store_mut();
+        let lo_t = s.int(BigInt::from(lo));
+        let hi_t = s.int(BigInt::from(hi));
+        let ge = s.gt(xv, lo_t).expect("gt");
+        let le = s.lt(xv, hi_t).expect("lt");
+        script.assert(ge);
+        script.assert(le);
+    }
+    script.check_sat();
+    Benchmark {
+        name: format!("nia/quadratic/{index:04}"),
+        script,
+        family: "quadratic",
+        expected,
+    }
+}
+
+/// Pythagorean triples `x² + y² = z²` with positivity and a size bound:
+/// satisfiable (witness scaled from (3,4,5) or (5,12,13)).
+fn pythagorean(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let scale = rng.gen_range(1i64..=12);
+    let bound = 13 * scale + rng.gen_range(0i64..40);
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let syms: Vec<_> = ["x", "y", "z"]
+        .iter()
+        .map(|n| script.declare(n, Sort::Int).expect("fresh symbol"))
+        .collect();
+    let s = script.store_mut();
+    let vars: Vec<TermId> = syms.iter().map(|&sym| s.var(sym)).collect();
+    let squares: Vec<TermId> = vars
+        .iter()
+        .map(|&v| s.mul(&[v, v]).expect("mul"))
+        .collect();
+    let lhs = s.add(&[squares[0], squares[1]]).expect("add");
+    let eq = s.eq(lhs, squares[2]).expect("eq");
+    let one = s.int(BigInt::one());
+    let bound_t = s.int(BigInt::from(bound));
+    let positivity: Vec<TermId> = vars
+        .iter()
+        .map(|&v| s.ge(v, one).expect("ge"))
+        .collect();
+    let bounded: Vec<TermId> = vars
+        .iter()
+        .map(|&v| s.le(v, bound_t).expect("le"))
+        .collect();
+    script.assert(eq);
+    for p in positivity.into_iter().chain(bounded) {
+        script.assert(p);
+    }
+    script.check_sat();
+    Benchmark {
+        name: format!("nia/pythagorean/{index:04}"),
+        script,
+        family: "pythagorean",
+        expected: Some(true),
+    }
+}
+
+/// `x² + y² = n` with `n ≡ 3 (mod 4)` and tight bounds: unsatisfiable
+/// (squares are 0 or 1 mod 4), and *provably* so because the bounds make
+/// the search space finite.
+fn two_squares_unsat(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let n = rng.gen_range(1i64..50) * 4 + 3;
+    let bound = (1..).find(|b| b * b >= n).expect("square root bound");
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let xs = script.declare("x", Sort::Int).expect("fresh symbol");
+    let ys = script.declare("y", Sort::Int).expect("fresh symbol");
+    let s = script.store_mut();
+    let x = s.var(xs);
+    let y = s.var(ys);
+    let x2 = s.mul(&[x, x]).expect("mul");
+    let y2 = s.mul(&[y, y]).expect("mul");
+    let sum = s.add(&[x2, y2]).expect("add");
+    let n_t = s.int(BigInt::from(n));
+    let eq = s.eq(sum, n_t).expect("eq");
+    let zero = s.int(BigInt::zero());
+    let b_t = s.int(BigInt::from(bound));
+    let cx0 = s.ge(x, zero).expect("ge");
+    let cx1 = s.le(x, b_t).expect("le");
+    let cy0 = s.ge(y, zero).expect("ge");
+    let cy1 = s.le(y, b_t).expect("le");
+    script.assert(eq);
+    for c in [cx0, cx1, cy0, cy1] {
+        script.assert(c);
+    }
+    script.check_sat();
+    Benchmark {
+        name: format!("nia/two-squares/{index:04}"),
+        script,
+        family: "two-squares",
+        expected: Some(false),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use staub_smtlib::{evaluate, Model, Value};
+
+    #[test]
+    fn sum_of_cubes_matches_figure_1a() {
+        let script = sum_of_cubes(855);
+        let printed = script.to_string();
+        assert!(printed.contains("(set-logic QF_NIA)"));
+        assert!(printed.contains("855"));
+        // Known satisfying assignment from the paper: (7, 8, 0).
+        let mut model = Model::new();
+        for (n, v) in [("x", 7i64), ("y", 8), ("z", 0)] {
+            let sym = script.store().symbol(n).unwrap();
+            model.insert(sym, Value::Int(BigInt::from(v)));
+        }
+        assert_eq!(
+            evaluate(script.store(), script.assertions()[0], &model).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn families_rotate() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let fams: Vec<&str> = (0..12).map(|i| generate_one(&mut rng, i).family).collect();
+        assert_eq!(fams[0], fams[6]);
+        assert_eq!(fams[1], fams[7]);
+        assert_eq!(
+            fams[..6].iter().collect::<std::collections::HashSet<_>>().len(),
+            5,
+            "five distinct families (quadsys appears twice per cycle)"
+        );
+    }
+
+    #[test]
+    fn two_squares_mod4_truth() {
+        // Brute-force confirm a couple of generated instances.
+        let mut rng = StdRng::seed_from_u64(5);
+        for i in 0..4 {
+            let b = two_squares_unsat(&mut rng, i);
+            // Extract n from the printed form is brittle; instead check by
+            // brute force over the bounded box using the evaluator.
+            let script = &b.script;
+            let x = script.store().symbol("x").unwrap();
+            let y = script.store().symbol("y").unwrap();
+            let mut found = false;
+            for xv in 0..=40i64 {
+                for yv in 0..=40i64 {
+                    let mut m = Model::new();
+                    m.insert(x, Value::Int(BigInt::from(xv)));
+                    m.insert(y, Value::Int(BigInt::from(yv)));
+                    if script.assertions().iter().all(|&a| {
+                        evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
+                    }) {
+                        found = true;
+                    }
+                }
+            }
+            assert!(!found, "{} has no solution in the box", b.name);
+        }
+    }
+
+    #[test]
+    fn pythagorean_always_sat() {
+        let mut rng = StdRng::seed_from_u64(9);
+        for i in 0..4 {
+            let b = pythagorean(&mut rng, i);
+            // (3k, 4k, 5k) must fit the bound by construction.
+            assert_eq!(b.expected, Some(true));
+        }
+    }
+}

@@ -1,0 +1,403 @@
+//! Bound inference via abstract interpretation (paper §4.2).
+//!
+//! Two abstract domains:
+//!
+//! * **Integers** — ℤ⁺ ordered by `≤`, where `w` abstracts the set of
+//!   integers representable in `w` two's-complement bits. The abstraction
+//!   of a constant `c` is `bit_len(|c|) + 1` (one sign bit); the paper's
+//!   Eq. (1) phrases the same quantity through decimal digits
+//!   (`⌈log₂10 · digits⌉ + 1` overapproximates the binary length).
+//! * **Reals** — pairs `(m, p)` of magnitude width and binary precision,
+//!   ordered pointwise (Eq. 3), with `p = ∞` for values that are not dyadic
+//!   rationals. Division uses the modified semantics of §4.2
+//!   (`p₁ + p₂` instead of `∞`) to keep precision finite.
+//!
+//! The analysis makes two passes over the assertion DAG:
+//!
+//! 1. Scan constants to fix the *variable assumption* `x` — the width of
+//!    the largest constant plus one bit (§4.2).
+//! 2. Evaluate the Fig. 5 abstract semantics bottom-up (memoized per
+//!    `TermId`, so shared subterms are visited once — linear time, §6.1).
+//!
+//! The result reports both `x` and the propagated root width `[S]`. The two
+//! play different roles in translation (see [`crate::transform`]): when
+//! `[S]` is small (typical for linear constraints, cf. the paper's Fig. 4
+//! where `[S] = 5`), using it guarantees intermediates cannot overflow; when
+//! products blow `[S]` up (Fig. 1's sum of cubes), translation falls back to
+//! the assumption width `x` (Fig. 1b's 12 = width(855) + 1) and relies on
+//! the overflow guards plus verification.
+
+use staub_numeric::{BigInt, BigRational};
+use staub_smtlib::{Op, Script, Sort, TermId, TermStore};
+
+/// A width in the integer abstract domain (two's-complement bits).
+pub type Width = u32;
+
+/// A (magnitude, precision) element of the real abstract domain.
+/// `precision == None` encodes ∞.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MagPrec {
+    /// Bits needed for the integer part (incl. sign).
+    pub magnitude: Width,
+    /// Binary fraction digits needed for exactness; `None` is ∞.
+    pub precision: Option<Width>,
+}
+
+impl MagPrec {
+    fn join(self, other: MagPrec) -> MagPrec {
+        MagPrec {
+            magnitude: self.magnitude.max(other.magnitude),
+            precision: match (self.precision, other.precision) {
+                (Some(a), Some(b)) => Some(a.max(b)),
+                _ => None,
+            },
+        }
+    }
+}
+
+/// Result of bound inference on a script.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InferredBounds {
+    /// The variable assumption `x`: width of the largest constant plus one
+    /// bit (integers), used as the abstract value of every variable.
+    pub assumption_width: Width,
+    /// The propagated root width `[S]` — an upper bound on every
+    /// intermediate value of any satisfying assignment whose variables fit
+    /// in `assumption_width` bits (Theorem 4.5 instantiated at `x`).
+    pub root_width: Width,
+    /// Real-domain analogue of the assumption (from constants).
+    pub assumption_real: MagPrec,
+    /// Real-domain analogue of the root value.
+    pub root_real: MagPrec,
+    /// Number of DAG nodes visited (equals distinct subterms).
+    pub nodes_visited: usize,
+}
+
+/// Default assumption width when a constraint has no constants at all.
+const DEFAULT_ASSUMPTION: Width = 8;
+
+/// Width of a constant: `bit_len(|c|) + 1` (sign bit), minimum 2.
+fn const_width(c: &BigInt) -> Width {
+    (c.abs().bit_len() as Width + 1).max(2)
+}
+
+/// Runs bound inference over all assertions of a script.
+pub fn infer(script: &Script) -> InferredBounds {
+    infer_terms(script.store(), script.assertions())
+}
+
+/// Runs bound inference over an explicit set of terms.
+pub fn infer_terms(store: &TermStore, roots: &[TermId]) -> InferredBounds {
+    // Pass 1: the variable assumption from the largest constant.
+    let mut max_const: Width = 0;
+    let mut max_real = MagPrec { magnitude: 0, precision: Some(0) };
+    let mut seen = vec![false; store.len()];
+    let mut stack: Vec<TermId> = roots.to_vec();
+    let mut visited = 0usize;
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        visited += 1;
+        let term = store.term(id);
+        match term.op() {
+            Op::IntConst(c) => max_const = max_const.max(const_width(c)),
+            Op::RealConst(c) => {
+                max_real = max_real.join(real_const_abs(c));
+                // Real constants also inform the integer assumption when
+                // both sorts appear (they do not in SMT-LIB QF logics).
+            }
+            _ => {}
+        }
+        stack.extend(term.args().iter().copied());
+    }
+    let assumption_width = if max_const == 0 {
+        DEFAULT_ASSUMPTION
+    } else {
+        max_const + 1
+    };
+    let assumption_real = MagPrec {
+        magnitude: if max_real.magnitude == 0 {
+            DEFAULT_ASSUMPTION
+        } else {
+            max_real.magnitude + 1
+        },
+        // One extra guard digit over the most precise constant.
+        precision: Some(max_real.precision.unwrap_or(0) + 1),
+    };
+
+    // Pass 2: Fig. 5 abstract semantics, memoized over the DAG.
+    let mut int_memo: Vec<Option<Width>> = vec![None; store.len()];
+    let mut real_memo: Vec<Option<MagPrec>> = vec![None; store.len()];
+    let mut root_width: Width = assumption_width;
+    let mut root_real = assumption_real;
+    for &root in roots {
+        root_width = root_width.max(eval_int(
+            store,
+            root,
+            assumption_width,
+            &mut int_memo,
+        ));
+        root_real = root_real.join(eval_real(store, root, assumption_real, &mut real_memo));
+    }
+    InferredBounds {
+        assumption_width,
+        root_width,
+        assumption_real,
+        root_real,
+        nodes_visited: visited,
+    }
+}
+
+fn real_const_abs(c: &BigRational) -> MagPrec {
+    let magnitude = (c.abs().ceil().bit_len() as Width + 1).max(2);
+    let precision = c.dig().map(|d| d as Width);
+    MagPrec { magnitude, precision }
+}
+
+/// Abstract semantics for the integer domain (Fig. 5a). Boolean-sorted
+/// subterms propagate the max of their children so that the root value
+/// dominates every intermediate width. Saturating arithmetic keeps
+/// pathological deep terms from overflowing the `u32` width itself.
+fn eval_int(store: &TermStore, id: TermId, x: Width, memo: &mut Vec<Option<Width>>) -> Width {
+    if let Some(w) = memo[id.index()] {
+        return w;
+    }
+    let term = store.term(id);
+    let args = term.args();
+    let mut arg_widths = Vec::with_capacity(args.len());
+    for &a in args {
+        arg_widths.push(eval_int(store, a, x, memo));
+    }
+    let max_arg = arg_widths.iter().copied().max().unwrap_or(1);
+    let w = match term.op() {
+        Op::IntConst(c) => const_width(c),
+        Op::RealConst(_) => 1, // handled by the real domain
+        Op::Var(sym) => match store.symbol_sort(*sym) {
+            Sort::Int => x,
+            _ => 1,
+        },
+        Op::True | Op::False | Op::BvConst(_) | Op::FpConst(_) | Op::RmConst(_) => 1,
+        // Boolean structure and comparisons: propagate the max (Fig. 5a).
+        Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Eq | Op::Distinct
+        | Op::Le | Op::Lt | Op::Ge | Op::Gt => max_arg,
+        Op::Ite => arg_widths.iter().copied().max().unwrap_or(1),
+        // A fold of n-1 binary additions can add ⌈log₂ n⌉ bits.
+        Op::Add | Op::Sub => {
+            let extra = (usize::BITS - (args.len().max(2) - 1).leading_zeros()) as Width;
+            max_arg.saturating_add(extra)
+        }
+        Op::Neg | Op::Abs => max_arg.saturating_add(1),
+        Op::Mul => arg_widths.iter().copied().fold(0, Width::saturating_add),
+        Op::IntDiv => arg_widths[0],
+        Op::Mod => arg_widths[1],
+        // Bounded-theory leaves cannot appear inside unbounded constraints,
+        // but keep inference total.
+        _ => max_arg,
+    };
+    memo[id.index()] = Some(w);
+    w
+}
+
+/// Abstract semantics for the real domain (Fig. 5b), with the §4.2 division
+/// modification `(m₁+m₂, p₁+p₂)`.
+fn eval_real(
+    store: &TermStore,
+    id: TermId,
+    x: MagPrec,
+    memo: &mut Vec<Option<MagPrec>>,
+) -> MagPrec {
+    if let Some(v) = memo[id.index()] {
+        return v;
+    }
+    let term = store.term(id);
+    let args = term.args();
+    let mut arg_vals = Vec::with_capacity(args.len());
+    for &a in args {
+        arg_vals.push(eval_real(store, a, x, memo));
+    }
+    let join_all = |vals: &[MagPrec]| {
+        vals.iter()
+            .copied()
+            .fold(MagPrec { magnitude: 1, precision: Some(0) }, MagPrec::join)
+    };
+    let v = match term.op() {
+        Op::RealConst(c) => real_const_abs(c),
+        Op::IntConst(c) => MagPrec { magnitude: const_width(c), precision: Some(0) },
+        Op::Var(sym) => match store.symbol_sort(*sym) {
+            Sort::Real => x,
+            _ => MagPrec { magnitude: 1, precision: Some(0) },
+        },
+        Op::True | Op::False | Op::BvConst(_) | Op::FpConst(_) | Op::RmConst(_) => {
+            MagPrec { magnitude: 1, precision: Some(0) }
+        }
+        Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Eq | Op::Distinct
+        | Op::Le | Op::Lt | Op::Ge | Op::Gt | Op::Ite => join_all(&arg_vals),
+        Op::Add | Op::Sub => {
+            let joined = join_all(&arg_vals);
+            let extra = (usize::BITS - (args.len().max(2) - 1).leading_zeros()) as Width;
+            MagPrec {
+                magnitude: joined.magnitude.saturating_add(extra),
+                precision: joined.precision,
+            }
+        }
+        Op::Neg | Op::Abs => {
+            let joined = join_all(&arg_vals);
+            MagPrec { magnitude: joined.magnitude.saturating_add(1), precision: joined.precision }
+        }
+        Op::Mul | Op::RealDiv => {
+            // Multiplication: (m₁+m₂, p₁+p₂); division uses the modified
+            // finite-precision semantics of §4.2 — identical shape.
+            arg_vals.iter().copied().fold(
+                MagPrec { magnitude: 0, precision: Some(0) },
+                |acc, v| MagPrec {
+                    magnitude: acc.magnitude.saturating_add(v.magnitude),
+                    precision: match (acc.precision, v.precision) {
+                        (Some(a), Some(b)) => Some(a.saturating_add(b)),
+                        _ => None,
+                    },
+                },
+            )
+        }
+        Op::IntDiv | Op::Mod => join_all(&arg_vals),
+        _ => join_all(&arg_vals),
+    };
+    memo[id.index()] = Some(v);
+    v
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn infer_src(src: &str) -> InferredBounds {
+        infer(&Script::parse(src).unwrap())
+    }
+
+    #[test]
+    fn figure4_example() {
+        // Paper Fig. 4: a >= 15 ∧ a - b < 0. Largest constant 15 (4 bits of
+        // magnitude + sign = 5), so the assumption x = 6 and the subtraction
+        // bumps the root to 7 — enough to represent the satisfying
+        // assignment a = 15, b = 16 (which needs 6 signed bits).
+        let b = infer_src(
+            "(declare-fun a () Int)(declare-fun b () Int)
+             (assert (>= a 15))
+             (assert (< (- a b) 0))",
+        );
+        assert_eq!(b.assumption_width, 6);
+        assert_eq!(b.root_width, 7);
+        assert!(b.root_width >= 6, "covers b = 16");
+    }
+
+    #[test]
+    fn motivating_example_widths() {
+        // Fig. 1: x³+y³+z³ = 855. Constant 855 needs 10+1 bits, so x = 12
+        // (the width used in the paper's Fig. 1b). The cube blows the root
+        // width up to ~3x, which is why translation falls back to x.
+        let b = infer_src(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= (+ (* x x x) (* y y y) (* z z z)) 855))",
+        );
+        assert_eq!(b.assumption_width, 12);
+        assert!(b.root_width >= 36, "three multiplied variable widths");
+    }
+
+    #[test]
+    fn constants_drive_assumption() {
+        assert_eq!(infer_src("(declare-fun v () Int)(assert (> v 0))").assumption_width, 3);
+        assert_eq!(
+            infer_src("(declare-fun v () Int)(assert (> v 1000000))").assumption_width,
+            22 // bit_len(1_000_000)=20, +1 sign, +1 assumption
+        );
+    }
+
+    #[test]
+    fn no_constants_uses_default() {
+        let b = infer_src("(declare-fun v () Int)(declare-fun w () Int)(assert (< v w))");
+        assert_eq!(b.assumption_width, DEFAULT_ASSUMPTION);
+    }
+
+    #[test]
+    fn linear_roots_stay_small() {
+        let b = infer_src(
+            "(declare-fun a () Int)(declare-fun b () Int)(declare-fun c () Int)
+             (assert (<= (+ a b c) 100))
+             (assert (>= (- a b) 10))",
+        );
+        // x = bit_len(100)+1+1 = 9; root = x + ⌈log₂ 3⌉.
+        assert_eq!(b.assumption_width, 9);
+        assert!(b.root_width <= b.assumption_width + 2);
+    }
+
+    #[test]
+    fn multiplication_adds_widths() {
+        let b = infer_src(
+            "(declare-fun a () Int)(assert (= (* a a) 49))",
+        );
+        // x = bit_len(49)+2 = 8; a*a → 16.
+        assert_eq!(b.assumption_width, 8);
+        assert_eq!(b.root_width, 16);
+    }
+
+    #[test]
+    fn shared_subterms_counted_once() {
+        let b = infer_src(
+            "(declare-fun a () Int)
+             (assert (= (+ (* a a) (* a a)) 18))",
+        );
+        // DAG: the two (* a a) occurrences intern to one node.
+        assert!(b.nodes_visited <= 7, "visited {}", b.nodes_visited);
+    }
+
+    #[test]
+    fn real_constants_magnitude_and_precision() {
+        let b = infer_src("(declare-fun r () Real)(assert (> r 3.25))");
+        // 3.25: magnitude ⌈3.25⌉ = 4 → 3+1 bits? bit_len(4)=3, +1 → 4;
+        // precision dig(13/4) = 2.
+        assert_eq!(b.assumption_real.magnitude, 5);
+        assert_eq!(b.assumption_real.precision, Some(3));
+    }
+
+    #[test]
+    fn non_dyadic_constant_infinite_precision_handled() {
+        // 1/3 as a term is (/ 1.0 3.0): division semantics keep precision
+        // finite per the §4.2 modification.
+        let b = infer_src("(declare-fun r () Real)(assert (= r (/ 1.0 3.0)))");
+        assert!(b.root_real.precision.is_some(), "modified division stays finite");
+    }
+
+    #[test]
+    fn real_multiplication_adds_both() {
+        let b = infer_src("(declare-fun r () Real)(assert (= (* r r) 2.25))");
+        let a = b.assumption_real;
+        assert_eq!(b.root_real.magnitude, a.magnitude * 2);
+        assert_eq!(
+            b.root_real.precision,
+            a.precision.map(|p| p * 2)
+        );
+    }
+
+    #[test]
+    fn width_monotone_in_constants() {
+        // Growing the constant grows the assumption (order preservation).
+        let w1 = infer_src("(declare-fun v () Int)(assert (= v 7))").assumption_width;
+        let w2 = infer_src("(declare-fun v () Int)(assert (= v 700))").assumption_width;
+        let w3 = infer_src("(declare-fun v () Int)(assert (= v 70000))").assumption_width;
+        assert!(w1 < w2 && w2 < w3);
+    }
+
+    #[test]
+    fn negative_constants_count_magnitude() {
+        let b = infer_src("(declare-fun v () Int)(assert (= v (- 855)))");
+        assert_eq!(b.assumption_width, 12);
+    }
+
+    #[test]
+    fn boolean_only_constraints() {
+        let b = infer_src("(declare-fun p () Bool)(assert (or p (not p)))");
+        assert_eq!(b.assumption_width, DEFAULT_ASSUMPTION);
+        assert_eq!(b.root_width, DEFAULT_ASSUMPTION);
+    }
+}

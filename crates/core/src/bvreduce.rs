@@ -1,0 +1,399 @@
+//! Width reduction for already-bounded constraints (paper §6.4).
+//!
+//! The paper suggests applying the bound-inference strategy to constraints
+//! that are *already* bounded — shrinking wide bitvector sorts the way
+//! Jonáš & Strejček's reduction does — and leaves it to future work. This
+//! module implements it with the same underapproximate-then-verify scheme
+//! as the main pipeline: rebuild the constraint at a narrower width,
+//! sign-extend any model back, and check it exactly against the original.
+//!
+//! Reduction is *not* semantics-preserving (wraparound differs across
+//! widths), which is exactly why it fits STAUB's architecture: a `sat`
+//! answer is verified before being trusted, and anything else reverts.
+
+use std::collections::HashMap;
+
+use staub_numeric::{BigInt, BitVecValue};
+use staub_smtlib::{evaluate, Logic, Model, Op, Script, Sort, SymbolId, TermId, Value};
+
+use crate::absint::Width;
+
+/// A width-reduced constraint plus what is needed to lift models back.
+#[derive(Debug, Clone)]
+pub struct Reduced {
+    /// The narrowed script.
+    pub script: Script,
+    /// Original symbol → narrowed symbol.
+    pub var_map: Vec<(SymbolId, SymbolId)>,
+    /// The width every bitvector sort was narrowed to.
+    pub width: Width,
+    /// The widest bitvector sort in the original.
+    pub original_width: Width,
+}
+
+/// Infers a reduction target for a QF_BV script: one more bit than the
+/// widest constant actually needs (the same largest-constant heuristic the
+/// unbounded pipeline uses for its variable assumption, §4.2).
+///
+/// Returns `None` when the script is not a uniform-width bitvector script
+/// or is already at (or below) the inferred width.
+pub fn infer_reduction(script: &Script) -> Option<Width> {
+    let store = script.store();
+    let mut declared: Option<Width> = None;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::BitVec(w) => match declared {
+                None => declared = Some(w),
+                Some(d) if d == w => {}
+                Some(_) => return None, // mixed widths: out of scope
+            },
+            Sort::Bool => {}
+            _ => return None,
+        }
+    }
+    let declared = declared?;
+    // Largest signed magnitude over all bitvector constants.
+    let mut max_const_width: Width = 2;
+    let mut stack: Vec<TermId> = script.assertions().to_vec();
+    let mut seen = vec![false; store.len()];
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        let term = store.term(id);
+        if let Op::BvConst(v) = term.op() {
+            if v.width() != declared {
+                return None;
+            }
+            let needed = (v.to_signed().abs().bit_len() as Width + 1).max(2);
+            max_const_width = max_const_width.max(needed);
+        }
+        // Width-changing operators make uniform narrowing unsound to build.
+        if matches!(
+            term.op(),
+            Op::BvSignExtend(_) | Op::BvZeroExtend(_) | Op::BvExtract(..)
+        ) {
+            return None;
+        }
+        stack.extend(term.args().iter().copied());
+    }
+    let target = max_const_width + 1;
+    (target < declared).then_some(target)
+}
+
+/// Rebuilds the script with every bitvector sort narrowed to `width`,
+/// inserting guards so narrow models do not exploit semantics the original
+/// width would not exhibit: no-overflow guards on signed arithmetic,
+/// nonnegativity guards on the unsigned-semantics operators (`bvudiv`,
+/// `bvurem`, `bvlshr` — sign extension changes their unsigned reading), and
+/// a reversibility guard on `bvshl` (shifted-out bits or a sign-flipped
+/// result would differ across widths). As in the main pipeline, guards only
+/// *underapproximate* further — verification remains the firewall.
+///
+/// Returns `None` when a constant does not fit the target width or the
+/// script mixes widths (see [`infer_reduction`]).
+pub fn reduce(script: &Script, width: Width) -> Option<Reduced> {
+    let store = script.store();
+    let mut rx = Reducer {
+        out: Script::new(),
+        width,
+        var_map: HashMap::new(),
+        memo: HashMap::new(),
+        guards: Vec::new(),
+        original_width: 0,
+    };
+    rx.out.set_logic(Logic::QfBv);
+    let assertions: Vec<TermId> = script.assertions().to_vec();
+    let mut translated = Vec::with_capacity(assertions.len());
+    for a in assertions {
+        translated.push(rx.term(store, a)?);
+    }
+    let guards = std::mem::take(&mut rx.guards);
+    for g in guards {
+        rx.out.assert(g);
+    }
+    for t in translated {
+        rx.out.assert(t);
+    }
+    rx.out.check_sat();
+    Some(Reduced {
+        script: rx.out,
+        var_map: rx.var_map.into_iter().collect(),
+        width,
+        original_width: rx.original_width,
+    })
+}
+
+struct Reducer {
+    out: Script,
+    width: Width,
+    var_map: HashMap<SymbolId, SymbolId>,
+    memo: HashMap<TermId, TermId>,
+    guards: Vec<TermId>,
+    original_width: Width,
+}
+
+impl Reducer {
+    fn guard_not(&mut self, pred: Op, args: &[TermId]) {
+        let p = self.out.store_mut().app(pred, args).expect("guard is well-sorted");
+        let not_p = self.out.store_mut().not(p).expect("guard negation");
+        if !self.guards.contains(&not_p) {
+            self.guards.push(not_p);
+        }
+    }
+
+    /// Guards `t >= 0` (signed) at the narrow width.
+    fn guard_nonneg(&mut self, t: TermId) {
+        let zero = self.out.store_mut().bv(BitVecValue::zero(self.width));
+        let ge = self
+            .out
+            .store_mut()
+            .app(Op::BvSge, &[t, zero])
+            .expect("guard is well-sorted");
+        if !self.guards.contains(&ge) {
+            self.guards.push(ge);
+        }
+    }
+
+    fn term(&mut self, store: &staub_smtlib::TermStore, id: TermId) -> Option<TermId> {
+        if let Some(&t) = self.memo.get(&id) {
+            return Some(t);
+        }
+        let term = store.term(id).clone();
+        let mut args = Vec::with_capacity(term.args().len());
+        for &a in term.args() {
+            args.push(self.term(store, a)?);
+        }
+        let result = match term.op() {
+            Op::BvConst(v) => {
+                self.original_width = self.original_width.max(v.width());
+                let signed = v.to_signed();
+                if !BitVecValue::fits_signed(&signed, self.width) {
+                    return None;
+                }
+                self.out.store_mut().bv(BitVecValue::new(signed, self.width))
+            }
+            Op::Var(sym) => {
+                let new_sym = match self.var_map.get(sym) {
+                    Some(&s) => s,
+                    None => {
+                        let name = store.symbol_name(*sym).to_string();
+                        let sort = match store.symbol_sort(*sym) {
+                            Sort::BitVec(w) => {
+                                self.original_width = self.original_width.max(w);
+                                Sort::BitVec(self.width)
+                            }
+                            Sort::Bool => Sort::Bool,
+                            _ => return None,
+                        };
+                        let s = self.out.declare(&name, sort).expect("fresh symbol");
+                        self.var_map.insert(*sym, s);
+                        s
+                    }
+                };
+                self.out.store_mut().var(new_sym)
+            }
+            Op::BvSignExtend(_) | Op::BvZeroExtend(_) | Op::BvExtract(..) => return None,
+            Op::BvShl => {
+                // Reversible, nonnegative-result shifts agree across widths.
+                let result = self.out.store_mut().app(Op::BvShl, &args).ok()?;
+                self.guard_nonneg(result);
+                let back = self
+                    .out
+                    .store_mut()
+                    .app(Op::BvLshr, &[result, args[1]])
+                    .ok()?;
+                let eq = self.out.store_mut().eq(back, args[0]).ok()?;
+                if !self.guards.contains(&eq) {
+                    self.guards.push(eq);
+                }
+                result
+            }
+            op => {
+                match op {
+                    Op::BvAdd => self.guard_not(Op::BvSaddo, &args),
+                    Op::BvSub => self.guard_not(Op::BvSsubo, &args),
+                    Op::BvMul => self.guard_not(Op::BvSmulo, &args),
+                    Op::BvNeg => self.guard_not(Op::BvNego, &args),
+                    Op::BvSdiv => self.guard_not(Op::BvSdivo, &args),
+                    // Unsigned-semantics operators: sign extension changes
+                    // their reading, so restrict to nonnegative operands.
+                    Op::BvUdiv | Op::BvUrem => {
+                        self.guard_nonneg(args[0]);
+                        self.guard_nonneg(args[1]);
+                    }
+                    Op::BvLshr => self.guard_nonneg(args[0]),
+                    _ => {}
+                }
+                self.out.store_mut().app(op.clone(), &args).ok()?
+            }
+        };
+        self.memo.insert(id, result);
+        Some(result)
+    }
+}
+
+/// Lifts a model of the reduced script back by sign extension and verifies
+/// it exactly against the original. Returns the verified wide model.
+pub fn lift_and_verify(original: &Script, reduced: &Reduced, narrow_model: &Model) -> Option<Model> {
+    let mut wide = Model::new();
+    for &(orig, new) in &reduced.var_map {
+        match narrow_model.get(new)? {
+            Value::BitVec(v) => {
+                let Sort::BitVec(w) = original.store().symbol_sort(orig) else {
+                    return None;
+                };
+                wide.insert(orig, Value::BitVec(BitVecValue::new(v.to_signed(), w)));
+            }
+            other => {
+                wide.insert(orig, other.clone());
+            }
+        }
+    }
+    // Unmapped symbols (unused in assertions) default to zero/false.
+    for sym in original.store().symbols() {
+        if wide.get(sym).is_none() {
+            let v = match original.store().symbol_sort(sym) {
+                Sort::BitVec(w) => Value::BitVec(BitVecValue::new(BigInt::zero(), w)),
+                Sort::Bool => Value::Bool(false),
+                _ => continue,
+            };
+            wide.insert(sym, v);
+        }
+    }
+    original
+        .assertions()
+        .iter()
+        .all(|&a| evaluate(original.store(), a, &wide) == Ok(Value::Bool(true)))
+        .then_some(wide)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_solver::{SatResult, Solver, SolverProfile};
+    use std::time::Duration;
+
+    fn solver() -> Solver {
+        Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(5))
+            .with_steps(4_000_000)
+    }
+
+    #[test]
+    fn infers_reduction_from_constants() {
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 64))(assert (= (bvmul x x) (_ bv49 64)))",
+        )
+        .unwrap();
+        // 49 needs 7 signed bits; target 8.
+        assert_eq!(infer_reduction(&script), Some(8));
+    }
+
+    #[test]
+    fn already_narrow_is_none() {
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))(assert (= x (_ bv49 8)))",
+        )
+        .unwrap();
+        assert_eq!(infer_reduction(&script), None);
+    }
+
+    #[test]
+    fn mixed_widths_are_skipped() {
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))(declare-fun y () (_ BitVec 16))
+             (assert (= x (_ bv1 8)))(assert (= y (_ bv1 16)))",
+        )
+        .unwrap();
+        assert_eq!(infer_reduction(&script), None);
+    }
+
+    #[test]
+    fn reduce_solve_lift_verify() {
+        // A 64-bit square equation that reduces to 8 bits.
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 64))(assert (= (bvmul x x) (_ bv49 64)))
+             (assert (bvsgt x (_ bv0 64)))",
+        )
+        .unwrap();
+        let width = infer_reduction(&script).unwrap();
+        let reduced = reduce(&script, width).unwrap();
+        assert_eq!(reduced.original_width, 64);
+        let SatResult::Sat(narrow) = solver().solve(&reduced.script).result else {
+            panic!("narrow constraint should be sat");
+        };
+        let wide = lift_and_verify(&script, &reduced, &narrow).expect("x = 7 lifts");
+        let x = script.store().symbol("x").unwrap();
+        assert_eq!(
+            wide.get(x).unwrap().as_bitvec().unwrap().to_signed(),
+            BigInt::from(7)
+        );
+    }
+
+    #[test]
+    fn wraparound_models_fail_verification() {
+        // At width 6, x+x wraps for x = 32 (not representable) — but more
+        // subtly, a narrow model relying on wraparound must not verify.
+        // 8-bit original: x + x = -128 has solutions x = 64 (wraps) and
+        // x = -64 (exact). Reduce to 7 bits: x + x = ... -128 does not fit
+        // signed 7 bits, so reduction refuses — correct behaviour.
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (= (bvadd x x) (bvneg (_ bv128 8))))",
+        )
+        .unwrap();
+        assert!(reduce(&script, 7).is_none(), "constant -128 needs 8 bits");
+    }
+
+    #[test]
+    fn unsat_narrow_never_trusted() {
+        // Narrow unsat says nothing about the original: x = 100 at width 8
+        // is sat, but at width 6 the constant does not even fit.
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))(assert (= x (_ bv100 8)))",
+        )
+        .unwrap();
+        assert!(reduce(&script, 6).is_none());
+        // And where constants fit but solutions do not, verification is the
+        // firewall: x*x = 36 with x > 4 forces x = 6 or x = -6... both fit
+        // width 5, so this verifies — demonstrating the happy path.
+        let script2 = Script::parse(
+            "(declare-fun x () (_ BitVec 16))(assert (= (bvmul x x) (_ bv36 16)))",
+        )
+        .unwrap();
+        let r = reduce(&script2, infer_reduction(&script2).unwrap()).unwrap();
+        if let SatResult::Sat(m) = solver().solve(&r.script).result {
+            assert!(lift_and_verify(&script2, &r, &m).is_some());
+        }
+    }
+
+    #[test]
+    fn reduction_speeds_up_wide_constraints() {
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 48))(declare-fun y () (_ BitVec 48))
+             (assert (= (bvmul x y) (_ bv391 48)))
+             (assert (bvsgt x (_ bv1 48)))(assert (bvsgt y x))",
+        )
+        .unwrap();
+        let width = infer_reduction(&script).unwrap();
+        let reduced = reduce(&script, width).unwrap();
+        let narrow_outcome = solver().solve(&reduced.script);
+        // 391 = 17 * 23 factors within 11 bits.
+        assert!(narrow_outcome.result.is_sat());
+        if let SatResult::Sat(m) = narrow_outcome.result {
+            assert!(lift_and_verify(&script, &reduced, &m).is_some());
+        }
+    }
+
+    #[test]
+    fn extension_ops_refuse_reduction() {
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (= ((_ zero_extend 0) x) (_ bv3 8)))",
+        )
+        .unwrap();
+        assert!(reduce(&script, 4).is_none());
+    }
+}

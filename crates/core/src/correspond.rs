@@ -1,0 +1,235 @@
+//! Sort correspondences (paper §4.1, Definition 4.1).
+//!
+//! A correspondence `(S, K, φ, ℳ)` pairs an unbounded sort with a bounded
+//! kind: integers ↦ bitvectors, reals ↦ floating point. This module selects
+//! the concrete target sort from inferred bounds and implements φ (constant
+//! translation) and φ⁻¹ (model back-translation); ℳ, the function mapping,
+//! lives in [`crate::transform`].
+
+use staub_numeric::{BigInt, BigRational, BitVecValue, SoftFloat};
+
+use crate::absint::{InferredBounds, MagPrec};
+use crate::pipeline::WidthChoice;
+
+/// Limits on the bounded sorts a transformation may select.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SortLimits {
+    /// Largest acceptable bitvector width.
+    pub max_bv_width: u32,
+    /// Use the propagated root width `[S]` when it is at most this; larger
+    /// roots fall back to the assumption width `x` plus overflow guards
+    /// (see [`crate::absint`] for the two-regime rationale).
+    pub root_width_cap: u32,
+    /// Largest acceptable floating-point exponent width.
+    pub max_fp_eb: u32,
+    /// Largest acceptable floating-point significand width.
+    pub max_fp_sb: u32,
+}
+
+impl Default for SortLimits {
+    fn default() -> SortLimits {
+        SortLimits {
+            max_bv_width: 64,
+            root_width_cap: 24,
+            max_fp_eb: 15,
+            max_fp_sb: 64,
+        }
+    }
+}
+
+/// Selects the bitvector width for an integer constraint.
+///
+/// Returns `None` when no width within the limits can represent the
+/// constraint's constants (translation then reverts to the original).
+pub fn select_bv_width(
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+) -> Option<u32> {
+    let width = match choice {
+        WidthChoice::Fixed(w) => w,
+        WidthChoice::Inferred => {
+            if bounds.root_width <= limits.root_width_cap {
+                bounds.root_width
+            } else {
+                bounds.assumption_width
+            }
+        }
+    };
+    let width = width.max(2);
+    (width <= limits.max_bv_width).then_some(width)
+}
+
+/// Selects the floating-point format `(eb, sb)` for a real constraint.
+///
+/// The significand must hold `magnitude + precision` bits for the inferred
+/// `(m, p)` to be exactly representable; the exponent must reach both
+/// `2^m` and `2^-p`.
+pub fn select_fp_format(
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+) -> Option<(u32, u32)> {
+    let mp: MagPrec = match choice {
+        WidthChoice::Fixed(w) => {
+            // A fixed "width" for reals is read as a significand budget
+            // split evenly between magnitude and precision.
+            MagPrec { magnitude: (w / 2).max(1), precision: Some((w - w / 2).max(1)) }
+        }
+        WidthChoice::Inferred => {
+            let root_ok = bounds.root_real.precision.is_some()
+                && bounds.root_real.magnitude + bounds.root_real.precision.unwrap_or(u32::MAX)
+                    <= limits.max_fp_sb;
+            if root_ok {
+                bounds.root_real
+            } else {
+                bounds.assumption_real
+            }
+        }
+    };
+    let precision = mp.precision?;
+    let sb = (mp.magnitude + precision).max(3);
+    if sb > limits.max_fp_sb {
+        return None;
+    }
+    // Exponent range must cover leading exponents in [-(p+1), m+1].
+    let reach = mp.magnitude.max(precision) + 2;
+    let mut eb = 3u32;
+    while (1u32 << (eb - 1)) - 1 < reach {
+        eb += 1;
+        if eb > limits.max_fp_eb {
+            return None;
+        }
+    }
+    Some((eb, sb))
+}
+
+/// φ for integers: the two's-complement image of `v`, or `None` when `v`
+/// does not fit in `width` signed bits.
+pub fn phi_int(v: &BigInt, width: u32) -> Option<BitVecValue> {
+    BitVecValue::fits_signed(v, width).then(|| BitVecValue::new(v.clone(), width))
+}
+
+/// φ⁻¹ for bitvectors: the signed reading.
+pub fn phi_inv_bv(v: &BitVecValue) -> BigInt {
+    v.to_signed()
+}
+
+/// φ for reals: round-to-nearest-even into the format; `None` when the
+/// value overflows to infinity (no finite image exists).
+pub fn phi_real(v: &BigRational, eb: u32, sb: u32) -> Option<SoftFloat> {
+    let f = SoftFloat::from_rational(eb, sb, v);
+    f.is_finite().then_some(f)
+}
+
+/// φ⁻¹ for floating point: the exact rational value of a finite float;
+/// `None` for NaN and infinities (the paper's pathological values, treated
+/// as semantic differences).
+pub fn phi_inv_fp(v: &SoftFloat) -> Option<BigRational> {
+    v.to_rational()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bounds(assumption: u32, root: u32) -> InferredBounds {
+        InferredBounds {
+            assumption_width: assumption,
+            root_width: root,
+            assumption_real: MagPrec { magnitude: 8, precision: Some(4) },
+            root_real: MagPrec { magnitude: 12, precision: Some(6) },
+            nodes_visited: 0,
+        }
+    }
+
+    #[test]
+    fn small_roots_win() {
+        let limits = SortLimits::default();
+        assert_eq!(
+            select_bv_width(&bounds(6, 7), WidthChoice::Inferred, &limits),
+            Some(7)
+        );
+    }
+
+    #[test]
+    fn large_roots_fall_back_to_assumption() {
+        let limits = SortLimits::default();
+        assert_eq!(
+            select_bv_width(&bounds(12, 38), WidthChoice::Inferred, &limits),
+            Some(12),
+            "the paper's Fig. 1 case: assumption 12, root 38"
+        );
+    }
+
+    #[test]
+    fn fixed_width_passes_through() {
+        let limits = SortLimits::default();
+        assert_eq!(
+            select_bv_width(&bounds(12, 38), WidthChoice::Fixed(8), &limits),
+            Some(8)
+        );
+        assert_eq!(
+            select_bv_width(&bounds(12, 38), WidthChoice::Fixed(100), &limits),
+            None
+        );
+    }
+
+    #[test]
+    fn width_over_limit_rejected() {
+        let limits = SortLimits { max_bv_width: 10, ..Default::default() };
+        assert_eq!(select_bv_width(&bounds(12, 38), WidthChoice::Inferred, &limits), None);
+    }
+
+    #[test]
+    fn fp_format_covers_inferred_bounds() {
+        let b = bounds(0, 0);
+        let (eb, sb) =
+            select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        // root_real = (12, 6): sb >= 18, exponent reach >= 14.
+        assert!(sb >= 18);
+        assert!((1u32 << (eb - 1)) - 1 >= 14);
+    }
+
+    #[test]
+    fn fp_falls_back_when_root_too_precise() {
+        let b = InferredBounds {
+            root_real: MagPrec { magnitude: 100, precision: Some(100) },
+            ..bounds(0, 0)
+        };
+        let (_, sb) = select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        assert_eq!(sb, 12, "assumption (8, 4) selected instead");
+    }
+
+    #[test]
+    fn fp_infinite_precision_falls_back() {
+        let b = InferredBounds {
+            root_real: MagPrec { magnitude: 4, precision: None },
+            ..bounds(0, 0)
+        };
+        assert!(select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).is_some());
+    }
+
+    #[test]
+    fn phi_int_round_trips() {
+        let v = BigInt::from(-100);
+        let bv = phi_int(&v, 8).unwrap();
+        assert_eq!(phi_inv_bv(&bv), v);
+        assert!(phi_int(&BigInt::from(128), 8).is_none());
+        assert!(phi_int(&BigInt::from(-128), 8).is_some());
+    }
+
+    #[test]
+    fn phi_real_round_trips_dyadic() {
+        let v: BigRational = "3.25".parse().unwrap();
+        let f = phi_real(&v, 8, 24).unwrap();
+        assert_eq!(phi_inv_fp(&f), Some(v));
+        // Non-dyadic values round (inexact φ — a semantic difference).
+        let third: BigRational = "1/3".parse().unwrap();
+        let g = phi_real(&third, 8, 24).unwrap();
+        assert_ne!(phi_inv_fp(&g), Some(third));
+        // Overflow has no image.
+        let huge: BigRational = "1000000".parse().unwrap();
+        assert!(phi_real(&huge, 3, 3).is_none());
+    }
+}

@@ -1,0 +1,53 @@
+//! STAUB — SMT Theory Arbitrage from Unbounded to Bounded constraints.
+//!
+//! This crate is the paper's primary contribution: it converts constraints
+//! over the *unbounded* theories of integers and reals into constraints over
+//! the *bounded* theories of bitvectors and floating point, solves the cheap
+//! bounded constraint, and verifies the model against the original. The
+//! pipeline (paper Fig. 3):
+//!
+//! 1. **Sort selection** ([`correspond`]) — Int ↦ bitvector kind,
+//!    Real ↦ floating-point kind, with the function mapping ℳ.
+//! 2. **Bound inference** ([`absint`]) — abstract interpretation whose
+//!    abstract domain is bit widths (integers) or (magnitude, precision)
+//!    pairs (reals); the Fig. 5 abstract semantics, evaluated as a single
+//!    memoized DAG traversal (linear in constraint size, §6.1).
+//! 3. **Translation** ([`transform`]) — syntax-directed rewrite inserting
+//!    overflow guards (`bvsmulo` and friends, §4.3).
+//! 4. **Verification** ([`verify`]) — a `sat` model of the bounded
+//!    constraint is mapped back through φ⁻¹ and the original constraint is
+//!    evaluated exactly; failures (overflow/rounding semantic differences)
+//!    revert to the original constraint (§4.4).
+//!
+//! [`portfolio`] runs the baseline solver and the STAUB pipeline in a race,
+//! so no constraint is ever slowed down (§5.1). [`bvreduce`] implements the
+//! paper's §6.4 suggestion of applying the same scheme to *already-bounded*
+//! constraints (bitvector width reduction).
+//!
+//! # Quickstart
+//!
+//! ```
+//! use staub_core::{Staub, StaubOutcome};
+//! use staub_smtlib::Script;
+//!
+//! let script = Script::parse("\
+//! (declare-fun x () Int)
+//! (assert (= (* x x) 49))
+//! (check-sat)")?;
+//! let outcome = Staub::default().run(&script)?;
+//! assert!(matches!(outcome, StaubOutcome::Sat { .. }));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod absint;
+pub mod bvreduce;
+pub mod correspond;
+pub mod portfolio;
+pub mod transform;
+pub mod verify;
+
+mod pipeline;
+
+pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
+pub use portfolio::{PortfolioReport, Winner};
+pub use transform::{TransformError, Transformed};

@@ -1,0 +1,654 @@
+//! Constraint transformation (paper §4.3): the function mapping ℳ plus
+//! overflow guards.
+//!
+//! Integer constraints are rewritten into bitvector constraints of the
+//! selected width; every arithmetic step is guarded with the SMT-LIB
+//! overflow predicates (`bvsaddo`, `bvsmulo`, ...) so the bounded constraint
+//! underapproximates the unbounded one instead of wrapping around. Real
+//! constraints are rewritten into floating point; rounding cannot be
+//! guarded against (§4.3), so those semantic differences are left to the
+//! verification step.
+//!
+//! `div`/`mod` are translated *euclideanly* (SMT-LIB integer division is
+//! euclidean while `bvsdiv` truncates): the quotient/remainder are adjusted
+//! with an `ite` on the remainder sign, which removes an entire class of
+//! semantic differences the paper's simpler `div ↦ bvsdiv` mapping accepts.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use staub_numeric::{BigInt, RoundingMode};
+use staub_smtlib::{Logic, Op, Script, Sort, SymbolId, TermId, TermStore};
+
+use crate::absint::InferredBounds;
+use crate::correspond::{phi_int, phi_real, select_bv_width, select_fp_format, SortLimits};
+use crate::pipeline::WidthChoice;
+
+/// Why a constraint could not be transformed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TransformError {
+    /// A constant does not fit the selected width (only possible with
+    /// fixed-width choices or pathological inputs).
+    ConstantTooWide(String),
+    /// No target sort within the configured limits exists.
+    NoTargetSort,
+    /// The constraint mixes integer and real sorts, or uses a theory with
+    /// no bounded counterpart.
+    UnsupportedSorts,
+    /// The constraint is already bounded — nothing to arbitrage.
+    AlreadyBounded,
+}
+
+impl fmt::Display for TransformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TransformError::ConstantTooWide(c) => {
+                write!(f, "constant {c} does not fit the selected width")
+            }
+            TransformError::NoTargetSort => f.write_str("no bounded sort within limits"),
+            TransformError::UnsupportedSorts => {
+                f.write_str("constraint mixes sorts with no single bounded counterpart")
+            }
+            TransformError::AlreadyBounded => f.write_str("constraint is already bounded"),
+        }
+    }
+}
+
+impl Error for TransformError {}
+
+/// A successfully transformed constraint.
+#[derive(Debug, Clone)]
+pub struct Transformed {
+    /// The bounded script (its own term store).
+    pub script: Script,
+    /// Original symbol → bounded symbol, for model back-translation.
+    pub var_map: Vec<(SymbolId, SymbolId)>,
+    /// The inference that drove sort selection.
+    pub bounds: InferredBounds,
+    /// Selected bitvector width (integer constraints).
+    pub bv_width: Option<u32>,
+    /// Selected floating-point format (real constraints).
+    pub fp_format: Option<(u32, u32)>,
+    /// Number of overflow/definedness guards inserted.
+    pub guard_count: usize,
+}
+
+/// Transforms an unbounded script into a bounded one.
+///
+/// # Errors
+///
+/// See [`TransformError`]; on error STAUB reverts to the original
+/// constraint (no speedup, no unsoundness).
+pub fn transform(
+    script: &Script,
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+) -> Result<Transformed, TransformError> {
+    let store = script.store();
+    let mut has_int = false;
+    let mut has_real = false;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::Int => has_int = true,
+            Sort::Real => has_real = true,
+            Sort::Bool => {}
+            Sort::BitVec(_) | Sort::Float(..) | Sort::RoundingMode => {
+                return Err(TransformError::AlreadyBounded)
+            }
+        }
+    }
+    // Constants can introduce a sort that has no declared variable.
+    for &a in script.assertions() {
+        scan_const_sorts(store, a, &mut has_int, &mut has_real);
+    }
+    match (has_int, has_real) {
+        (true, false) => transform_int(script, bounds, choice, limits),
+        (false, true) => transform_real(script, bounds, choice, limits),
+        (true, true) => Err(TransformError::UnsupportedSorts),
+        (false, false) => Err(TransformError::AlreadyBounded),
+    }
+}
+
+fn scan_const_sorts(store: &TermStore, id: TermId, has_int: &mut bool, has_real: &mut bool) {
+    let mut stack = vec![id];
+    let mut seen = vec![false; store.len()];
+    while let Some(t) = stack.pop() {
+        if seen[t.index()] {
+            continue;
+        }
+        seen[t.index()] = true;
+        match store.sort(t) {
+            Sort::Int => *has_int = true,
+            Sort::Real => *has_real = true,
+            _ => {}
+        }
+        stack.extend(store.term(t).args().iter().copied());
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Integer → bitvector
+// ---------------------------------------------------------------------------
+
+struct IntTx<'a> {
+    src: &'a TermStore,
+    out: Script,
+    width: u32,
+    var_map: HashMap<SymbolId, SymbolId>,
+    memo: HashMap<TermId, TermId>,
+    guards: Vec<TermId>,
+}
+
+fn transform_int(
+    script: &Script,
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+) -> Result<Transformed, TransformError> {
+    let width =
+        select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    let mut tx = IntTx {
+        src: script.store(),
+        out: Script::new(),
+        width,
+        var_map: HashMap::new(),
+        memo: HashMap::new(),
+        guards: Vec::new(),
+    };
+    tx.out.set_logic(Logic::QfBv);
+    let mut translated = Vec::with_capacity(script.assertions().len());
+    for &a in script.assertions() {
+        translated.push(tx.tx(a)?);
+    }
+    let guard_count = tx.guards.len();
+    // Assert guards first (the paper's Fig. 1b layout), then the body.
+    let guards = std::mem::take(&mut tx.guards);
+    for g in guards {
+        tx.out.assert(g);
+    }
+    for t in translated {
+        tx.out.assert(t);
+    }
+    tx.out.check_sat();
+    let var_map = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    Ok(Transformed {
+        script: tx.out,
+        var_map,
+        bounds: bounds.clone(),
+        bv_width: Some(width),
+        fp_format: None,
+        guard_count,
+    })
+}
+
+impl<'a> IntTx<'a> {
+    fn guard_not(&mut self, pred: Op, args: &[TermId]) {
+        let p = self.out.store_mut().app(pred, args).expect("guard is well-sorted");
+        let not_p = self.out.store_mut().not(p).expect("guard negation");
+        self.guards.push(not_p);
+    }
+
+    fn tx(&mut self, id: TermId) -> Result<TermId, TransformError> {
+        if let Some(&t) = self.memo.get(&id) {
+            return Ok(t);
+        }
+        let term = self.src.term(id).clone();
+        let mut args = Vec::with_capacity(term.args().len());
+        for &a in term.args() {
+            args.push(self.tx(a)?);
+        }
+        let out = match term.op() {
+            Op::IntConst(c) => {
+                let v = phi_int(c, self.width)
+                    .ok_or_else(|| TransformError::ConstantTooWide(c.to_string()))?;
+                self.out.store_mut().bv(v)
+            }
+            Op::Var(sym) => {
+                let new_sym = self.map_var(*sym)?;
+                self.out.store_mut().var(new_sym)
+            }
+            Op::True => self.out.store_mut().bool(true),
+            Op::False => self.out.store_mut().bool(false),
+            // Core structure passes through.
+            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite | Op::Eq
+            | Op::Distinct => self.app(term.op().clone(), &args)?,
+            Op::Neg => {
+                self.guard_not(Op::BvNego, &args);
+                self.app(Op::BvNeg, &args)?
+            }
+            Op::Abs => {
+                self.guard_not(Op::BvNego, &args);
+                let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+                let is_neg = self.app(Op::BvSlt, &[args[0], zero])?;
+                let negated = self.app(Op::BvNeg, &[args[0]])?;
+                self.app(Op::Ite, &[is_neg, negated, args[0]])?
+            }
+            Op::Add => self.fold_guarded(Op::BvAdd, Op::BvSaddo, &args)?,
+            Op::Sub => self.fold_guarded(Op::BvSub, Op::BvSsubo, &args)?,
+            Op::Mul => self.fold_guarded(Op::BvMul, Op::BvSmulo, &args)?,
+            Op::IntDiv => self.euclidean_div(&args)?,
+            Op::Mod => self.euclidean_mod(&args)?,
+            Op::Le => self.chain(Op::BvSle, &args)?,
+            Op::Lt => self.chain(Op::BvSlt, &args)?,
+            Op::Ge => self.chain(Op::BvSge, &args)?,
+            Op::Gt => self.chain(Op::BvSgt, &args)?,
+            other => unreachable!("unexpected op {other:?} in integer constraint"),
+        };
+        self.memo.insert(id, out);
+        Ok(out)
+    }
+
+    fn map_var(&mut self, sym: SymbolId) -> Result<SymbolId, TransformError> {
+        if let Some(&s) = self.var_map.get(&sym) {
+            return Ok(s);
+        }
+        let name = self.src.symbol_name(sym).to_string();
+        let sort = match self.src.symbol_sort(sym) {
+            Sort::Int => Sort::BitVec(self.width),
+            Sort::Bool => Sort::Bool,
+            other => unreachable!("unexpected variable sort {other} in integer constraint"),
+        };
+        let new_sym = self.out.declare(&name, sort).expect("fresh symbol in output script");
+        self.var_map.insert(sym, new_sym);
+        Ok(new_sym)
+    }
+
+    fn app(&mut self, op: Op, args: &[TermId]) -> Result<TermId, TransformError> {
+        Ok(self
+            .out
+            .store_mut()
+            .app(op, args)
+            .expect("translated application is well-sorted"))
+    }
+
+    /// Left fold of a binary bitvector op with a per-step overflow guard.
+    fn fold_guarded(
+        &mut self,
+        op: Op,
+        overflow: Op,
+        args: &[TermId],
+    ) -> Result<TermId, TransformError> {
+        let mut acc = args[0];
+        for &next in &args[1..] {
+            self.guard_not(overflow.clone(), &[acc, next]);
+            acc = self.app(op.clone(), &[acc, next])?;
+        }
+        Ok(acc)
+    }
+
+    fn chain(&mut self, op: Op, args: &[TermId]) -> Result<TermId, TransformError> {
+        if args.len() == 2 {
+            return self.app(op, args);
+        }
+        let mut conj = Vec::with_capacity(args.len() - 1);
+        for w in args.windows(2) {
+            conj.push(self.app(op.clone(), &[w[0], w[1]])?);
+        }
+        self.app(Op::And, &conj)
+    }
+
+    /// SMT-LIB `div` is euclidean; `bvsdiv` truncates toward zero. Emit
+    ///   q0 = bvsdiv a b, r0 = bvsrem a b,
+    ///   q  = ite(r0 < 0, ite(b > 0, q0 - 1, q0 + 1), q0).
+    fn euclidean_div(&mut self, args: &[TermId]) -> Result<TermId, TransformError> {
+        let (a, b) = (args[0], args[1]);
+        self.div_guards(a, b);
+        let q0 = self.app(Op::BvSdiv, &[a, b])?;
+        let r0 = self.app(Op::BvSrem, &[a, b])?;
+        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let one = self
+            .out
+            .store_mut()
+            .bv(staub_numeric::BitVecValue::new(BigInt::one(), self.width));
+        let r_neg = self.app(Op::BvSlt, &[r0, zero])?;
+        let b_pos = self.app(Op::BvSgt, &[b, zero])?;
+        let q_minus = self.app(Op::BvSub, &[q0, one])?;
+        let q_plus = self.app(Op::BvAdd, &[q0, one])?;
+        let adjusted = self.app(Op::Ite, &[b_pos, q_minus, q_plus])?;
+        self.app(Op::Ite, &[r_neg, adjusted, q0])
+    }
+
+    /// Euclidean `mod`: r0 = bvsrem a b; r = ite(r0 < 0, r0 + |b|, r0).
+    fn euclidean_mod(&mut self, args: &[TermId]) -> Result<TermId, TransformError> {
+        let (a, b) = (args[0], args[1]);
+        self.div_guards(a, b);
+        let r0 = self.app(Op::BvSrem, &[a, b])?;
+        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let r_neg = self.app(Op::BvSlt, &[r0, zero])?;
+        let b_neg = self.app(Op::BvSlt, &[b, zero])?;
+        let negb = self.app(Op::BvNeg, &[b])?;
+        let abs_b = self.app(Op::Ite, &[b_neg, negb, b])?;
+        let r_plus = self.app(Op::BvAdd, &[r0, abs_b])?;
+        self.app(Op::Ite, &[r_neg, r_plus, r0])
+    }
+
+    /// Guards shared by div and mod: the divisor is nonzero (SMT-LIB
+    /// division by zero is uninterpreted, so excluding it is a further
+    /// underapproximation) and the division does not overflow.
+    fn div_guards(&mut self, a: TermId, b: TermId) {
+        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let b_is_zero = self
+            .out
+            .store_mut()
+            .eq(b, zero)
+            .expect("divisor comparison is well-sorted");
+        let not_zero = self.out.store_mut().not(b_is_zero).expect("guard negation");
+        self.guards.push(not_zero);
+        self.guard_not(Op::BvSdivo, &[a, b]);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Real → floating point
+// ---------------------------------------------------------------------------
+
+struct RealTx<'a> {
+    src: &'a TermStore,
+    out: Script,
+    eb: u32,
+    sb: u32,
+    var_map: HashMap<SymbolId, SymbolId>,
+    memo: HashMap<TermId, TermId>,
+    guards: Vec<TermId>,
+}
+
+fn transform_real(
+    script: &Script,
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+) -> Result<Transformed, TransformError> {
+    let (eb, sb) =
+        select_fp_format(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    let mut tx = RealTx {
+        src: script.store(),
+        out: Script::new(),
+        eb,
+        sb,
+        var_map: HashMap::new(),
+        memo: HashMap::new(),
+        guards: Vec::new(),
+    };
+    tx.out.set_logic(Logic::QfFp);
+    let mut translated = Vec::with_capacity(script.assertions().len());
+    for &a in script.assertions() {
+        translated.push(tx.tx(a)?);
+    }
+    let guard_count = tx.guards.len();
+    let guards = std::mem::take(&mut tx.guards);
+    for g in guards {
+        tx.out.assert(g);
+    }
+    for t in translated {
+        tx.out.assert(t);
+    }
+    tx.out.check_sat();
+    let var_map = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    Ok(Transformed {
+        script: tx.out,
+        var_map,
+        bounds: bounds.clone(),
+        bv_width: None,
+        fp_format: Some((eb, sb)),
+        guard_count,
+    })
+}
+
+impl<'a> RealTx<'a> {
+    fn tx(&mut self, id: TermId) -> Result<TermId, TransformError> {
+        if let Some(&t) = self.memo.get(&id) {
+            return Ok(t);
+        }
+        let term = self.src.term(id).clone();
+        let mut args = Vec::with_capacity(term.args().len());
+        for &a in term.args() {
+            args.push(self.tx(a)?);
+        }
+        let out = match term.op() {
+            Op::RealConst(c) => {
+                let v = phi_real(c, self.eb, self.sb)
+                    .ok_or_else(|| TransformError::ConstantTooWide(c.to_string()))?;
+                self.out.store_mut().fp(v)
+            }
+            Op::Var(sym) => {
+                let new_sym = self.map_var(*sym)?;
+                self.out.store_mut().var(new_sym)
+            }
+            Op::True => self.out.store_mut().bool(true),
+            Op::False => self.out.store_mut().bool(false),
+            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite => {
+                self.app(term.op().clone(), &args)?
+            }
+            // Value equality over reals is IEEE equality over floats
+            // (structural `=` would distinguish -0/+0 and unify NaNs).
+            Op::Eq => self.chain_fp(Op::FpEq, &args)?,
+            Op::Distinct => {
+                let mut conj = Vec::new();
+                for i in 0..args.len() {
+                    for j in i + 1..args.len() {
+                        let eq = self.app(Op::FpEq, &[args[i], args[j]])?;
+                        conj.push(self.out.store_mut().not(eq).expect("negation"));
+                    }
+                }
+                if conj.len() == 1 {
+                    conj[0]
+                } else {
+                    self.app(Op::And, &conj)?
+                }
+            }
+            Op::Neg => self.app(Op::FpNeg, &args)?,
+            Op::Add => self.fold_rm(Op::FpAdd, &args)?,
+            Op::Sub => self.fold_rm(Op::FpSub, &args)?,
+            Op::Mul => self.fold_rm(Op::FpMul, &args)?,
+            Op::RealDiv => {
+                // Guard each divisor against (IEEE) zero: real division by
+                // zero is uninterpreted, fp.div by zero is ±∞.
+                for &d in &args[1..] {
+                    let zero = self.out.store_mut().fp(staub_numeric::SoftFloat::zero(
+                        self.eb, self.sb,
+                    ));
+                    let is_zero = self.app(Op::FpEq, &[d, zero])?;
+                    let not_zero = self.out.store_mut().not(is_zero).expect("negation");
+                    self.guards.push(not_zero);
+                }
+                self.fold_rm(Op::FpDiv, &args)?
+            }
+            Op::Le => self.chain_fp(Op::FpLeq, &args)?,
+            Op::Lt => self.chain_fp(Op::FpLt, &args)?,
+            Op::Ge => self.chain_fp(Op::FpGeq, &args)?,
+            Op::Gt => self.chain_fp(Op::FpGt, &args)?,
+            other => unreachable!("unexpected op {other:?} in real constraint"),
+        };
+        self.memo.insert(id, out);
+        Ok(out)
+    }
+
+    fn map_var(&mut self, sym: SymbolId) -> Result<SymbolId, TransformError> {
+        if let Some(&s) = self.var_map.get(&sym) {
+            return Ok(s);
+        }
+        let name = self.src.symbol_name(sym).to_string();
+        let sort = match self.src.symbol_sort(sym) {
+            Sort::Real => Sort::Float(self.eb, self.sb),
+            Sort::Bool => Sort::Bool,
+            other => unreachable!("unexpected variable sort {other} in real constraint"),
+        };
+        let new_sym = self.out.declare(&name, sort).expect("fresh symbol in output script");
+        self.var_map.insert(sym, new_sym);
+        Ok(new_sym)
+    }
+
+    fn app(&mut self, op: Op, args: &[TermId]) -> Result<TermId, TransformError> {
+        Ok(self
+            .out
+            .store_mut()
+            .app(op, args)
+            .expect("translated application is well-sorted"))
+    }
+
+    fn fold_rm(&mut self, op: Op, args: &[TermId]) -> Result<TermId, TransformError> {
+        let rm = self.out.store_mut().rm(RoundingMode::NearestEven);
+        let mut acc = args[0];
+        for &next in &args[1..] {
+            acc = self.app(op.clone(), &[rm, acc, next])?;
+        }
+        Ok(acc)
+    }
+
+    fn chain_fp(&mut self, op: Op, args: &[TermId]) -> Result<TermId, TransformError> {
+        if args.len() == 2 {
+            return self.app(op, args);
+        }
+        let mut conj = Vec::with_capacity(args.len() - 1);
+        for w in args.windows(2) {
+            conj.push(self.app(op.clone(), &[w[0], w[1]])?);
+        }
+        self.app(Op::And, &conj)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint;
+
+    fn tx(src: &str) -> Result<Transformed, TransformError> {
+        let script = Script::parse(src).unwrap();
+        let bounds = absint::infer(&script);
+        transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default())
+    }
+
+    #[test]
+    fn motivating_example_translates_to_width_12() {
+        let t = tx(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= (+ (* x x x) (* y y y) (* z z z)) 855))",
+        )
+        .unwrap();
+        assert_eq!(t.bv_width, Some(12), "the paper's Fig. 1b width");
+        // Guards: two per cube (x*x, then *x) across 3 cubes, plus two adds.
+        assert_eq!(t.guard_count, 8);
+        let printed = t.script.to_string();
+        assert!(printed.contains("(_ BitVec 12)"), "{printed}");
+        assert!(printed.contains("bvsmulo"), "{printed}");
+        assert!(printed.contains("(_ bv855 12)"), "{printed}");
+    }
+
+    #[test]
+    fn figure4_uses_root_width() {
+        let t = tx(
+            "(declare-fun a () Int)(declare-fun b () Int)
+             (assert (>= a 15))(assert (< (- a b) 0))",
+        )
+        .unwrap();
+        assert_eq!(t.bv_width, Some(7), "small root widths are used directly");
+    }
+
+    #[test]
+    fn translated_script_reparses() {
+        let t = tx(
+            "(declare-fun x () Int)(assert (= (* x x) 49))",
+        )
+        .unwrap();
+        let printed = t.script.to_string();
+        let reparsed = Script::parse(&printed).unwrap();
+        assert_eq!(reparsed.assertions().len(), t.script.assertions().len());
+    }
+
+    #[test]
+    fn fixed_width_rejects_oversized_constants() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= x 855))").unwrap();
+        let bounds = absint::infer(&script);
+        let r = transform(&script, &bounds, WidthChoice::Fixed(8), &SortLimits::default());
+        assert!(matches!(r, Err(TransformError::ConstantTooWide(_))));
+    }
+
+    #[test]
+    fn real_constraint_gets_fp_sort() {
+        let t = tx("(declare-fun r () Real)(assert (> (* r r) 6.25))").unwrap();
+        let (eb, sb) = t.fp_format.unwrap();
+        assert!(sb >= 8, "covers (m+p) of the squared assumption");
+        assert!(eb >= 3);
+        let printed = t.script.to_string();
+        assert!(printed.contains("FloatingPoint"), "{printed}");
+        assert!(printed.contains("fp.mul"), "{printed}");
+    }
+
+    #[test]
+    fn real_division_guarded() {
+        let t = tx("(declare-fun r () Real)(declare-fun s () Real)(assert (= (/ r s) 2.0))")
+            .unwrap();
+        assert_eq!(t.guard_count, 1);
+        let printed = t.script.to_string();
+        assert!(printed.contains("(not (fp.eq"), "{printed}");
+    }
+
+    #[test]
+    fn integer_div_mod_translate_euclideanly() {
+        let t = tx(
+            "(declare-fun a () Int)(assert (= (+ (* 2 (div a 2)) (mod a 2)) a))",
+        )
+        .unwrap();
+        let printed = t.script.to_string();
+        assert!(printed.contains("bvsdiv"), "{printed}");
+        assert!(printed.contains("bvsrem"), "{printed}");
+        assert!(printed.contains("ite"), "euclidean adjustment present: {printed}");
+        assert!(t.guard_count >= 2, "nonzero-divisor and overflow guards");
+    }
+
+    #[test]
+    fn mixed_sorts_rejected() {
+        let r = tx(
+            "(declare-fun x () Int)(declare-fun r () Real)
+             (assert (> x 0))(assert (> r 0.0))",
+        );
+        assert_eq!(r.unwrap_err(), TransformError::UnsupportedSorts);
+    }
+
+    #[test]
+    fn bounded_input_rejected() {
+        let r = tx("(declare-fun b () (_ BitVec 4))(assert (= b (_ bv1 4)))");
+        assert_eq!(r.unwrap_err(), TransformError::AlreadyBounded);
+        let r2 = tx("(declare-fun p () Bool)(assert p)");
+        assert_eq!(r2.unwrap_err(), TransformError::AlreadyBounded);
+    }
+
+    #[test]
+    fn bool_variables_pass_through() {
+        let t = tx(
+            "(declare-fun x () Int)(declare-fun p () Bool)
+             (assert (or p (= x 3)))",
+        )
+        .unwrap();
+        let new_store = t.script.store();
+        let p = new_store.symbol("p").unwrap();
+        assert_eq!(new_store.symbol_sort(p), Sort::Bool);
+    }
+
+    #[test]
+    fn var_map_covers_all_numeric_vars() {
+        let t = tx(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ x y) 10))",
+        )
+        .unwrap();
+        assert_eq!(t.var_map.len(), 2);
+    }
+
+    #[test]
+    fn abs_translates_with_guard() {
+        let t = tx("(declare-fun x () Int)(assert (= (abs x) 5))").unwrap();
+        let printed = t.script.to_string();
+        assert!(printed.contains("bvnego"), "{printed}");
+        assert!(printed.contains("ite"), "{printed}");
+    }
+
+    #[test]
+    fn chained_comparisons_expand() {
+        let t = tx("(declare-fun x () Int)(assert (< 0 x 10))").unwrap();
+        let printed = t.script.to_string();
+        assert!(printed.contains("(and (bvslt"), "{printed}");
+    }
+}

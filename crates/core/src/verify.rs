@@ -1,0 +1,198 @@
+//! Verification of bounded models against the original constraint
+//! (paper §4.4).
+//!
+//! A `sat` answer for the transformed constraint comes with a bounded model.
+//! Back-translating it through φ⁻¹ and *exactly* evaluating the original
+//! constraint decides, in linear time, whether the bounded answer transfers:
+//! if it does, STAUB returns `sat` with the lifted model; if it does not
+//! (integer overflow or floating-point rounding produced a spurious model —
+//! the paper's *semantic differences*), STAUB reverts to the original
+//! constraint. No solver call is needed, which keeps `T_check` de minimis
+//! (§6.1).
+
+use staub_smtlib::{evaluate, Model, Script, Value};
+
+use crate::correspond::{phi_inv_bv, phi_inv_fp};
+use crate::transform::Transformed;
+
+/// Lifts a model of the bounded constraint back to the unbounded sorts.
+///
+/// Returns `None` when a value has no unbounded image (NaN / ±∞ floats) —
+/// such models can never verify.
+pub fn lift_model(transformed: &Transformed, bounded_model: &Model) -> Option<Model> {
+    let mut lifted = Model::new();
+    for &(orig, new) in &transformed.var_map {
+        let value = bounded_model.get(new)?;
+        let unbounded = match value {
+            Value::BitVec(v) => Value::Int(phi_inv_bv(v)),
+            Value::Float(v) => Value::Real(phi_inv_fp(v)?),
+            Value::Bool(b) => Value::Bool(*b),
+            other => other.clone(),
+        };
+        lifted.insert(orig, unbounded);
+    }
+    // Boolean variables are copied by name in `lift_and_verify`, which has
+    // access to the original script's symbol table.
+    Some(lifted)
+}
+
+/// Checks whether a lifted model satisfies every assertion of the original
+/// script. Evaluation errors (e.g. division by zero reached under this
+/// model) count as failure — the model does not verifiably satisfy the
+/// constraint.
+pub fn verify_model(original: &Script, model: &Model) -> bool {
+    original.assertions().iter().all(|&a| {
+        matches!(
+            evaluate(original.store(), a, model),
+            Ok(Value::Bool(true))
+        )
+    })
+}
+
+/// Convenience: lift and verify in one step, returning the verified model.
+pub fn lift_and_verify(
+    original: &Script,
+    transformed: &Transformed,
+    bounded_model: &Model,
+) -> Option<Model> {
+    let mut lifted = lift_model(transformed, bounded_model)?;
+    // Copy boolean variables by name from the bounded model: both scripts
+    // declare them with identical names.
+    let bounded_store = transformed.script.store();
+    for (sym, value) in bounded_model.iter() {
+        if matches!(value, Value::Bool(_)) {
+            let name = bounded_store.symbol_name(sym);
+            if let Some(orig_sym) = original.store().symbol(name) {
+                if lifted.get(orig_sym).is_none() {
+                    lifted.insert(orig_sym, value.clone());
+                }
+            }
+        }
+    }
+    verify_model(original, &lifted).then_some(lifted)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::absint;
+    use crate::correspond::SortLimits;
+    use crate::pipeline::WidthChoice;
+    use crate::transform::transform;
+    use staub_solver::{SatResult, Solver, SolverProfile};
+
+    fn pipeline(src: &str) -> (Script, Transformed, SatResult) {
+        let script = Script::parse(src).unwrap();
+        let bounds = absint::infer(&script);
+        let transformed =
+            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let solver = Solver::new(SolverProfile::Zed)
+            .with_timeout(std::time::Duration::from_secs(10))
+            .with_steps(4_000_000);
+        let outcome = solver.solve(&transformed.script);
+        (script, transformed, outcome.result)
+    }
+
+    #[test]
+    fn motivating_example_end_to_end() {
+        let (script, transformed, result) = pipeline(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= (+ (* x x x) (* y y y) (* z z z)) 855))",
+        );
+        let SatResult::Sat(bounded_model) = result else {
+            panic!("bounded constraint should be sat, got {result}");
+        };
+        let lifted = lift_and_verify(&script, &transformed, &bounded_model)
+            .expect("guards force a genuine solution");
+        // The lifted model is an exact integer solution of the cubes.
+        let vals: Vec<i64> = ["x", "y", "z"]
+            .iter()
+            .map(|n| {
+                let sym = script.store().symbol(n).unwrap();
+                lifted.get(sym).unwrap().as_int().unwrap().to_i64().unwrap()
+            })
+            .collect();
+        assert_eq!(vals.iter().map(|v| v.pow(3)).sum::<i64>(), 855, "{vals:?}");
+    }
+
+    #[test]
+    fn overflowing_model_rejected() {
+        // Without guards a 4-bit model of x*x = 0 could be x = 4 (wraps).
+        // Build a fake wrap-around model and check verification rejects it.
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 0))").unwrap();
+        let x = script.store().symbol("x").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Int(staub_numeric::BigInt::from(4)));
+        assert!(!verify_model(&script, &model));
+        model.insert(x, Value::Int(staub_numeric::BigInt::zero()));
+        assert!(verify_model(&script, &model));
+    }
+
+    #[test]
+    fn linear_integer_end_to_end() {
+        let (script, transformed, result) = pipeline(
+            "(declare-fun a () Int)(declare-fun b () Int)
+             (assert (>= a 15))(assert (< (- a b) 0))",
+        );
+        let SatResult::Sat(m) = result else { panic!("sat expected") };
+        assert!(lift_and_verify(&script, &transformed, &m).is_some());
+    }
+
+    #[test]
+    fn real_end_to_end_exact_case() {
+        let (script, transformed, result) = pipeline(
+            "(declare-fun r () Real)(assert (= (* r r) 2.25))",
+        );
+        if let SatResult::Sat(m) = result {
+            // ±1.5 is dyadic: the lifted model verifies exactly.
+            let lifted = lift_and_verify(&script, &transformed, &m);
+            assert!(lifted.is_some(), "1.5 round-trips through floating point");
+        }
+        // An Unknown from the FP engine is also acceptable behaviour.
+    }
+
+    #[test]
+    fn division_by_zero_models_fail_verification() {
+        let script = Script::parse(
+            "(declare-fun a () Int)(declare-fun b () Int)(assert (= (div a b) a))",
+        )
+        .unwrap();
+        let a = script.store().symbol("a").unwrap();
+        let b = script.store().symbol("b").unwrap();
+        let mut model = Model::new();
+        model.insert(a, Value::Int(staub_numeric::BigInt::zero()));
+        model.insert(b, Value::Int(staub_numeric::BigInt::zero()));
+        assert!(!verify_model(&script, &model), "div-by-zero evaluates to error");
+    }
+
+    #[test]
+    fn lift_model_maps_values() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= x 5))").unwrap();
+        let bounds = absint::infer(&script);
+        let transformed =
+            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let new_x = transformed.script.store().symbol("x").unwrap();
+        let mut bounded = Model::new();
+        let w = transformed.bv_width.unwrap();
+        bounded.insert(new_x, Value::BitVec(staub_numeric::BitVecValue::from_i64(-3, w)));
+        let lifted = lift_model(&transformed, &bounded).unwrap();
+        let orig_x = script.store().symbol("x").unwrap();
+        assert_eq!(
+            lifted.get(orig_x).unwrap().as_int().unwrap(),
+            &staub_numeric::BigInt::from(-3)
+        );
+    }
+
+    #[test]
+    fn nan_model_cannot_lift() {
+        let script = Script::parse("(declare-fun r () Real)(assert (= r r))").unwrap();
+        let bounds = absint::infer(&script);
+        let transformed =
+            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let new_r = transformed.script.store().symbol("r").unwrap();
+        let (eb, sb) = transformed.fp_format.unwrap();
+        let mut bounded = Model::new();
+        bounded.insert(new_r, Value::Float(staub_numeric::SoftFloat::nan(eb, sb)));
+        assert!(lift_model(&transformed, &bounded).is_none());
+    }
+}

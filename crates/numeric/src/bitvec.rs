@@ -1,0 +1,451 @@
+//! Fixed-width two's-complement bitvector values.
+//!
+//! [`BitVecValue`] implements the value-level semantics of SMT-LIB's
+//! `FixedSizeBitVectors` theory, including the overflow-detection predicates
+//! (`bvsaddo`, `bvsmulo`, ...) that STAUB inserts as translation guards.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::bigint::BigInt;
+
+/// A bitvector value: an unsigned residue modulo `2^width`.
+///
+/// All operations follow SMT-LIB semantics. The signed interpretation is
+/// two's complement.
+///
+/// # Examples
+///
+/// ```
+/// use staub_numeric::{BigInt, BitVecValue};
+///
+/// let a = BitVecValue::from_i64(-1, 8);
+/// assert_eq!(a.to_unsigned(), BigInt::from(255));
+/// let b = BitVecValue::from_i64(1, 8);
+/// assert_eq!(a.bvadd(&b).to_signed(), BigInt::zero());
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitVecValue {
+    width: u32,
+    /// Invariant: `0 <= value < 2^width`.
+    value: BigInt,
+}
+
+impl BitVecValue {
+    /// Creates a bitvector of the given width from any integer, reducing
+    /// modulo `2^width`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `width` is zero (SMT-LIB bitvector widths are positive).
+    pub fn new(value: BigInt, width: u32) -> BitVecValue {
+        assert!(width > 0, "bitvector width must be positive");
+        let modulus = BigInt::one().shl_bits(width as usize);
+        let (_, r) = value.div_rem_euclid(&modulus);
+        BitVecValue { width, value: r }
+    }
+
+    /// Creates a bitvector from an `i64` (two's-complement reduction).
+    pub fn from_i64(value: i64, width: u32) -> BitVecValue {
+        BitVecValue::new(BigInt::from(value), width)
+    }
+
+    /// The all-zero bitvector of the given width.
+    pub fn zero(width: u32) -> BitVecValue {
+        BitVecValue::new(BigInt::zero(), width)
+    }
+
+    /// Width in bits.
+    pub fn width(&self) -> u32 {
+        self.width
+    }
+
+    /// Unsigned interpretation, in `[0, 2^width)`.
+    pub fn to_unsigned(&self) -> BigInt {
+        self.value.clone()
+    }
+
+    /// Signed (two's-complement) interpretation, in `[-2^(w-1), 2^(w-1))`.
+    pub fn to_signed(&self) -> BigInt {
+        if self.msb() {
+            &self.value - &BigInt::one().shl_bits(self.width as usize)
+        } else {
+            self.value.clone()
+        }
+    }
+
+    /// The most significant (sign) bit.
+    pub fn msb(&self) -> bool {
+        self.value.bit(self.width as usize - 1)
+    }
+
+    /// Bit `i` (little-endian).
+    pub fn bit(&self, i: u32) -> bool {
+        i < self.width && self.value.bit(i as usize)
+    }
+
+    /// Returns `true` if `value` is representable as a signed `width`-bit
+    /// two's-complement integer.
+    pub fn fits_signed(value: &BigInt, width: u32) -> bool {
+        let half = BigInt::one().shl_bits(width as usize - 1);
+        value >= &(-&half) && value < &half
+    }
+
+    fn check_width(&self, other: &BitVecValue, op: &str) {
+        assert_eq!(
+            self.width, other.width,
+            "width mismatch in {op}: {} vs {}",
+            self.width, other.width
+        );
+    }
+
+    /// `bvadd`: addition modulo `2^width`.
+    pub fn bvadd(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvadd");
+        BitVecValue::new(&self.value + &other.value, self.width)
+    }
+
+    /// `bvsub`: subtraction modulo `2^width`.
+    pub fn bvsub(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvsub");
+        BitVecValue::new(&self.value - &other.value, self.width)
+    }
+
+    /// `bvmul`: multiplication modulo `2^width`.
+    pub fn bvmul(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvmul");
+        BitVecValue::new(&self.value * &other.value, self.width)
+    }
+
+    /// `bvneg`: two's-complement negation.
+    pub fn bvneg(&self) -> BitVecValue {
+        BitVecValue::new(-self.value.clone(), self.width)
+    }
+
+    /// Absolute value with wraparound (`abs(INT_MIN) = INT_MIN`), matching
+    /// the translation of SMT-LIB integer `abs` into bitvectors.
+    pub fn bvabs(&self) -> BitVecValue {
+        if self.msb() {
+            self.bvneg()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// `bvsdiv`: signed division, truncating toward zero. Division by zero
+    /// follows SMT-LIB: returns all-ones if the dividend is non-negative,
+    /// one otherwise.
+    pub fn bvsdiv(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvsdiv");
+        if other.value.is_zero() {
+            return if self.msb() {
+                BitVecValue::new(BigInt::one(), self.width)
+            } else {
+                BitVecValue::new(BigInt::from(-1), self.width)
+            };
+        }
+        let (q, _) = self.to_signed().div_rem_trunc(&other.to_signed());
+        BitVecValue::new(q, self.width)
+    }
+
+    /// `bvsrem`: signed remainder (sign follows dividend). Remainder by zero
+    /// returns the dividend, per SMT-LIB.
+    pub fn bvsrem(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvsrem");
+        if other.value.is_zero() {
+            return self.clone();
+        }
+        let (_, r) = self.to_signed().div_rem_trunc(&other.to_signed());
+        BitVecValue::new(r, self.width)
+    }
+
+    /// `bvudiv`: unsigned division; division by zero yields all ones.
+    pub fn bvudiv(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvudiv");
+        if other.value.is_zero() {
+            return BitVecValue::new(BigInt::from(-1), self.width);
+        }
+        BitVecValue::new(&self.value / &other.value, self.width)
+    }
+
+    /// `bvurem`: unsigned remainder; remainder by zero yields the dividend.
+    pub fn bvurem(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvurem");
+        if other.value.is_zero() {
+            return self.clone();
+        }
+        BitVecValue::new(&self.value % &other.value, self.width)
+    }
+
+    /// `bvshl`: logical shift left (shift amount is the unsigned value of
+    /// `other`, saturating past the width).
+    pub fn bvshl(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvshl");
+        match other.value.to_u64() {
+            Some(sh) if sh < u64::from(self.width) => {
+                BitVecValue::new(self.value.shl_bits(sh as usize), self.width)
+            }
+            _ => BitVecValue::zero(self.width),
+        }
+    }
+
+    /// `bvlshr`: logical shift right.
+    pub fn bvlshr(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvlshr");
+        match other.value.to_u64() {
+            Some(sh) if sh < u64::from(self.width) => {
+                BitVecValue::new(self.value.shr_bits(sh as usize), self.width)
+            }
+            _ => BitVecValue::zero(self.width),
+        }
+    }
+
+    /// `bvashr`: arithmetic shift right.
+    pub fn bvashr(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvashr");
+        let sh = other.value.to_u64().unwrap_or(u64::from(self.width));
+        let sh = sh.min(u64::from(self.width)) as usize;
+        let mut shifted = self.value.shr_bits(sh);
+        if self.msb() {
+            // Fill the vacated high bits with ones.
+            let ones = BigInt::one().shl_bits(sh) - BigInt::one();
+            let fill = ones.shl_bits(self.width as usize - sh);
+            shifted = &shifted + &fill;
+        }
+        BitVecValue::new(shifted, self.width)
+    }
+
+    /// Bitwise and.
+    pub fn bvand(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvand");
+        self.bitwise(other, |a, b| a & b)
+    }
+
+    /// Bitwise or.
+    pub fn bvor(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvor");
+        self.bitwise(other, |a, b| a | b)
+    }
+
+    /// Bitwise xor.
+    pub fn bvxor(&self, other: &BitVecValue) -> BitVecValue {
+        self.check_width(other, "bvxor");
+        self.bitwise(other, |a, b| a ^ b)
+    }
+
+    /// Bitwise not.
+    pub fn bvnot(&self) -> BitVecValue {
+        let ones = BigInt::one().shl_bits(self.width as usize) - BigInt::one();
+        BitVecValue::new(&ones - &self.value, self.width)
+    }
+
+    fn bitwise(&self, other: &BitVecValue, f: impl Fn(bool, bool) -> bool) -> BitVecValue {
+        let mut acc = BigInt::zero();
+        for i in (0..self.width as usize).rev() {
+            acc = acc.shl_bits(1);
+            if f(self.value.bit(i), other.value.bit(i)) {
+                acc = &acc + &BigInt::one();
+            }
+        }
+        BitVecValue::new(acc, self.width)
+    }
+
+    /// Signed comparison, e.g. for `bvslt`/`bvsle`/`bvsgt`/`bvsge`.
+    pub fn scmp(&self, other: &BitVecValue) -> Ordering {
+        self.check_width(other, "signed comparison");
+        self.to_signed().cmp(&other.to_signed())
+    }
+
+    /// Unsigned comparison, e.g. for `bvult`/`bvule`.
+    pub fn ucmp(&self, other: &BitVecValue) -> Ordering {
+        self.check_width(other, "unsigned comparison");
+        self.value.cmp(&other.value)
+    }
+
+    /// `bvsaddo`: does signed addition overflow?
+    pub fn bvsaddo(&self, other: &BitVecValue) -> bool {
+        self.check_width(other, "bvsaddo");
+        !Self::fits_signed(&(&self.to_signed() + &other.to_signed()), self.width)
+    }
+
+    /// `bvssubo`: does signed subtraction overflow?
+    pub fn bvssubo(&self, other: &BitVecValue) -> bool {
+        self.check_width(other, "bvssubo");
+        !Self::fits_signed(&(&self.to_signed() - &other.to_signed()), self.width)
+    }
+
+    /// `bvsmulo`: does signed multiplication overflow?
+    pub fn bvsmulo(&self, other: &BitVecValue) -> bool {
+        self.check_width(other, "bvsmulo");
+        !Self::fits_signed(&(&self.to_signed() * &other.to_signed()), self.width)
+    }
+
+    /// `bvsdivo`: does signed division overflow (only `INT_MIN / -1`)?
+    pub fn bvsdivo(&self, other: &BitVecValue) -> bool {
+        self.check_width(other, "bvsdivo");
+        let min = -BigInt::one().shl_bits(self.width as usize - 1);
+        self.to_signed() == min && other.to_signed() == BigInt::from(-1)
+    }
+
+    /// `bvnego`: does negation overflow (only `-INT_MIN`)?
+    pub fn bvnego(&self) -> bool {
+        let min = -BigInt::one().shl_bits(self.width as usize - 1);
+        self.to_signed() == min
+    }
+
+    /// Sign-extends to a wider bitvector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn sign_extend(&self, new_width: u32) -> BitVecValue {
+        assert!(new_width >= self.width, "sign_extend must not truncate");
+        BitVecValue::new(self.to_signed(), new_width)
+    }
+
+    /// Zero-extends to a wider bitvector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `new_width < self.width()`.
+    pub fn zero_extend(&self, new_width: u32) -> BitVecValue {
+        assert!(new_width >= self.width, "zero_extend must not truncate");
+        BitVecValue::new(self.value.clone(), new_width)
+    }
+}
+
+impl fmt::Display for BitVecValue {
+    /// Prints SMT-LIB syntax: `(_ bvN W)`.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(_ bv{} {})", self.value, self.width)
+    }
+}
+
+impl fmt::Debug for BitVecValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BitVecValue({}#{})", self.value, self.width)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bv(v: i64, w: u32) -> BitVecValue {
+        BitVecValue::from_i64(v, w)
+    }
+
+    #[test]
+    fn construction_reduces_mod_2w() {
+        assert_eq!(bv(256, 8).to_unsigned(), BigInt::zero());
+        assert_eq!(bv(-1, 8).to_unsigned(), BigInt::from(255));
+        assert_eq!(bv(-1, 8).to_signed(), BigInt::from(-1));
+        assert_eq!(bv(-128, 8).to_signed(), BigInt::from(-128));
+        assert_eq!(bv(128, 8).to_signed(), BigInt::from(-128));
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn zero_width_panics() {
+        let _ = BitVecValue::zero(0);
+    }
+
+    #[test]
+    fn add_wraps() {
+        assert_eq!(bv(200, 8).bvadd(&bv(100, 8)), bv(44, 8));
+        assert_eq!(bv(127, 8).bvadd(&bv(1, 8)).to_signed(), BigInt::from(-128));
+    }
+
+    #[test]
+    fn sub_mul_neg() {
+        assert_eq!(bv(5, 8).bvsub(&bv(7, 8)).to_signed(), BigInt::from(-2));
+        assert_eq!(bv(16, 8).bvmul(&bv(16, 8)), bv(0, 8));
+        assert_eq!(bv(7, 12).bvmul(&bv(7, 12)), bv(49, 12));
+        assert_eq!(bv(5, 8).bvneg().to_signed(), BigInt::from(-5));
+        assert_eq!(bv(-128, 8).bvneg().to_signed(), BigInt::from(-128));
+    }
+
+    #[test]
+    fn abs_wraps_at_min() {
+        assert_eq!(bv(-5, 8).bvabs(), bv(5, 8));
+        assert_eq!(bv(5, 8).bvabs(), bv(5, 8));
+        assert_eq!(bv(-128, 8).bvabs(), bv(-128, 8));
+    }
+
+    #[test]
+    fn signed_division() {
+        assert_eq!(bv(7, 8).bvsdiv(&bv(2, 8)), bv(3, 8));
+        assert_eq!(bv(-7, 8).bvsdiv(&bv(2, 8)), bv(-3, 8));
+        assert_eq!(bv(7, 8).bvsdiv(&bv(-2, 8)), bv(-3, 8));
+        assert_eq!(bv(-7, 8).bvsrem(&bv(2, 8)), bv(-1, 8));
+        // SMT-LIB division-by-zero semantics.
+        assert_eq!(bv(5, 8).bvsdiv(&bv(0, 8)), bv(-1, 8));
+        assert_eq!(bv(-5, 8).bvsdiv(&bv(0, 8)), bv(1, 8));
+        assert_eq!(bv(5, 8).bvsrem(&bv(0, 8)), bv(5, 8));
+    }
+
+    #[test]
+    fn unsigned_division() {
+        assert_eq!(bv(200, 8).bvudiv(&bv(3, 8)), bv(66, 8));
+        assert_eq!(bv(200, 8).bvurem(&bv(3, 8)), bv(2, 8));
+        assert_eq!(bv(5, 8).bvudiv(&bv(0, 8)), bv(255, 8));
+        assert_eq!(bv(5, 8).bvurem(&bv(0, 8)), bv(5, 8));
+    }
+
+    #[test]
+    fn shifts() {
+        assert_eq!(bv(1, 8).bvshl(&bv(3, 8)), bv(8, 8));
+        assert_eq!(bv(1, 8).bvshl(&bv(8, 8)), bv(0, 8));
+        assert_eq!(bv(-1, 8).bvlshr(&bv(4, 8)), bv(15, 8));
+        assert_eq!(bv(-16, 8).bvashr(&bv(2, 8)).to_signed(), BigInt::from(-4));
+        assert_eq!(bv(-1, 8).bvashr(&bv(20, 8)).to_signed(), BigInt::from(-1));
+        assert_eq!(bv(64, 8).bvashr(&bv(2, 8)), bv(16, 8));
+    }
+
+    #[test]
+    fn bitwise_ops() {
+        assert_eq!(bv(0b1100, 4).bvand(&bv(0b1010, 4)), bv(0b1000, 4));
+        assert_eq!(bv(0b1100, 4).bvor(&bv(0b1010, 4)), bv(0b1110, 4));
+        assert_eq!(bv(0b1100, 4).bvxor(&bv(0b1010, 4)), bv(0b0110, 4));
+        assert_eq!(bv(0b1100, 4).bvnot(), bv(0b0011, 4));
+    }
+
+    #[test]
+    fn comparisons() {
+        assert_eq!(bv(-1, 8).scmp(&bv(1, 8)), Ordering::Less);
+        assert_eq!(bv(-1, 8).ucmp(&bv(1, 8)), Ordering::Greater);
+        assert_eq!(bv(5, 8).scmp(&bv(5, 8)), Ordering::Equal);
+    }
+
+    #[test]
+    fn overflow_predicates() {
+        assert!(bv(127, 8).bvsaddo(&bv(1, 8)));
+        assert!(!bv(126, 8).bvsaddo(&bv(1, 8)));
+        assert!(bv(-128, 8).bvssubo(&bv(1, 8)));
+        assert!(!bv(-127, 8).bvssubo(&bv(1, 8)));
+        assert!(bv(16, 8).bvsmulo(&bv(8, 8)));
+        assert!(!bv(16, 8).bvsmulo(&bv(7, 8)));
+        assert!(bv(-128, 8).bvsdivo(&bv(-1, 8)));
+        assert!(!bv(-128, 8).bvsdivo(&bv(1, 8)));
+        assert!(bv(-128, 8).bvnego());
+        assert!(!bv(-127, 8).bvnego());
+    }
+
+    #[test]
+    fn extensions() {
+        assert_eq!(bv(-3, 4).sign_extend(8).to_signed(), BigInt::from(-3));
+        assert_eq!(bv(-3, 4).zero_extend(8).to_unsigned(), BigInt::from(13));
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn width_mismatch_panics() {
+        let _ = bv(1, 4).bvadd(&bv(1, 8));
+    }
+
+    #[test]
+    fn display_smtlib_syntax() {
+        assert_eq!(bv(12, 8).to_string(), "(_ bv12 8)");
+        assert_eq!(bv(-1, 4).to_string(), "(_ bv15 4)");
+    }
+}

@@ -1,0 +1,44 @@
+//! Exact arithmetic substrate for STAUB.
+//!
+//! SMT solving over unbounded theories requires arithmetic that is unbounded
+//! in both magnitude and precision; solving over bounded theories requires
+//! faithful two's-complement and IEEE-754 semantics. This crate provides all
+//! four value domains used throughout the workspace:
+//!
+//! * [`BigInt`] — arbitrary-precision signed integers (sign + magnitude).
+//! * [`BigRational`] — arbitrary-precision rationals, always normalized.
+//! * [`BitVecValue`] — fixed-width two's-complement bitvector values with the
+//!   full SMT-LIB operation set, including the overflow predicates
+//!   (`bvsmulo` and friends) used by STAUB's translation guards.
+//! * [`SoftFloat`] — software IEEE-754 binary floating point with *arbitrary*
+//!   exponent/significand widths, as required by SMT-LIB's `FloatingPoint`
+//!   theory. Rounding is round-to-nearest-even, implemented by exact rational
+//!   arithmetic followed by a single correct rounding step.
+//!
+//! # Examples
+//!
+//! ```
+//! use staub_numeric::{BigInt, BigRational, BitVecValue, SoftFloat};
+//!
+//! let a = BigInt::from(7);
+//! assert_eq!(&a * &a * &a, BigInt::from(343));
+//!
+//! let half = BigRational::new(BigInt::from(1), BigInt::from(2));
+//! assert_eq!(half.dig(), Some(1)); // one binary digit after the point
+//!
+//! let x = BitVecValue::from_i64(-3, 12);
+//! assert_eq!(x.to_signed(), BigInt::from(-3));
+//!
+//! let f = SoftFloat::from_rational(8, 24, &half);
+//! assert_eq!(f.to_rational(), Some(half));
+//! ```
+
+mod bigint;
+mod bitvec;
+mod rational;
+mod softfloat;
+
+pub use bigint::{BigInt, ParseBigIntError, Sign};
+pub use bitvec::BitVecValue;
+pub use rational::{BigRational, ParseRationalError};
+pub use softfloat::{FloatClass, RoundingMode, SoftFloat};

@@ -1,0 +1,469 @@
+//! Arbitrary-precision rational numbers.
+//!
+//! Always held in canonical form: `gcd(num, den) = 1` and `den > 0`, so
+//! structural equality coincides with numeric equality.
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+use std::ops::{Add, Div, Mul, Neg, Sub};
+use std::str::FromStr;
+
+use crate::bigint::{BigInt, Sign};
+
+/// An arbitrary-precision rational number.
+///
+/// # Examples
+///
+/// ```
+/// use staub_numeric::{BigInt, BigRational};
+///
+/// let third = BigRational::new(BigInt::from(1), BigInt::from(3));
+/// let sum = &third + &third + &third;
+/// assert_eq!(sum, BigRational::from_int(BigInt::from(1)));
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BigRational {
+    num: BigInt,
+    /// Invariant: strictly positive and coprime with `num`.
+    den: BigInt,
+}
+
+/// Error returned when parsing a [`BigRational`] from a malformed string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseRationalError {
+    offending: String,
+}
+
+impl fmt::Display for ParseRationalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid rational literal `{}`", self.offending)
+    }
+}
+
+impl Error for ParseRationalError {}
+
+impl BigRational {
+    /// Creates the rational `num / den`, reducing to canonical form.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `den` is zero.
+    pub fn new(num: BigInt, den: BigInt) -> BigRational {
+        assert!(!den.is_zero(), "rational with zero denominator");
+        let g = num.gcd(&den);
+        let (mut num, mut den) = if g == BigInt::one() {
+            (num, den)
+        } else {
+            (&num / &g, &den / &g)
+        };
+        if den.is_negative() {
+            num = -num;
+            den = -den;
+        }
+        BigRational { num, den }
+    }
+
+    /// The rational zero.
+    pub fn zero() -> BigRational {
+        BigRational::from_int(BigInt::zero())
+    }
+
+    /// The rational one.
+    pub fn one() -> BigRational {
+        BigRational::from_int(BigInt::one())
+    }
+
+    /// Creates a rational from an integer.
+    pub fn from_int(v: BigInt) -> BigRational {
+        BigRational {
+            num: v,
+            den: BigInt::one(),
+        }
+    }
+
+    /// Creates the dyadic rational `mantissa * 2^exp`.
+    ///
+    /// ```
+    /// use staub_numeric::{BigInt, BigRational};
+    /// let v = BigRational::dyadic(BigInt::from(3), -2); // 3/4
+    /// assert_eq!(v, BigRational::new(BigInt::from(3), BigInt::from(4)));
+    /// ```
+    pub fn dyadic(mantissa: BigInt, exp: i64) -> BigRational {
+        if exp >= 0 {
+            BigRational::from_int(mantissa.shl_bits(exp as usize))
+        } else {
+            BigRational::new(mantissa, BigInt::one().shl_bits((-exp) as usize))
+        }
+    }
+
+    /// The numerator (canonical form).
+    pub fn numer(&self) -> &BigInt {
+        &self.num
+    }
+
+    /// The denominator (canonical form; always positive).
+    pub fn denom(&self) -> &BigInt {
+        &self.den
+    }
+
+    /// Returns `true` if the value is zero.
+    pub fn is_zero(&self) -> bool {
+        self.num.is_zero()
+    }
+
+    /// Returns `true` if the value is strictly negative.
+    pub fn is_negative(&self) -> bool {
+        self.num.is_negative()
+    }
+
+    /// Returns `true` if the value is strictly positive.
+    pub fn is_positive(&self) -> bool {
+        self.num.is_positive()
+    }
+
+    /// Returns `true` if the value is an integer.
+    pub fn is_integer(&self) -> bool {
+        self.den == BigInt::one()
+    }
+
+    /// Sign of the value.
+    pub fn sign(&self) -> Sign {
+        self.num.sign()
+    }
+
+    /// Absolute value.
+    pub fn abs(&self) -> BigRational {
+        BigRational {
+            num: self.num.abs(),
+            den: self.den.clone(),
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value is zero.
+    pub fn recip(&self) -> BigRational {
+        BigRational::new(self.den.clone(), self.num.clone())
+    }
+
+    /// Largest integer `<= self`.
+    ///
+    /// ```
+    /// use staub_numeric::{BigInt, BigRational};
+    /// let v = BigRational::new(BigInt::from(-7), BigInt::from(2));
+    /// assert_eq!(v.floor(), BigInt::from(-4));
+    /// ```
+    pub fn floor(&self) -> BigInt {
+        self.num.div_rem_euclid(&self.den).0
+    }
+
+    /// Smallest integer `>= self`.
+    pub fn ceil(&self) -> BigInt {
+        -((-self.clone()).floor())
+    }
+
+    /// The minimum number `d` of binary fraction digits such that
+    /// `2^d * self` is an integer, or `None` if no such `d` exists (the
+    /// denominator has an odd factor). This is the paper's `dig(c)` function
+    /// (Section 4.2), with `None` standing for the infinite-precision case.
+    ///
+    /// ```
+    /// use staub_numeric::{BigInt, BigRational};
+    /// let three_eighths = BigRational::new(BigInt::from(3), BigInt::from(8));
+    /// assert_eq!(three_eighths.dig(), Some(3));
+    /// let third = BigRational::new(BigInt::from(1), BigInt::from(3));
+    /// assert_eq!(third.dig(), None);
+    /// ```
+    pub fn dig(&self) -> Option<usize> {
+        if self.is_zero() || self.is_integer() {
+            return Some(0);
+        }
+        let tz = self
+            .den
+            .trailing_zeros()
+            .expect("nonzero denominator has defined trailing zeros");
+        // After shifting out all factors of two, the denominator must be 1.
+        if self.den.shr_bits(tz) == BigInt::one() {
+            Some(tz)
+        } else {
+            None
+        }
+    }
+
+    /// Approximates the value as an `f64`.
+    pub fn to_f64(&self) -> f64 {
+        // Scale so the integer division retains ~60 bits of precision.
+        let nbits = self.num.bit_len() as i64;
+        let dbits = self.den.bit_len() as i64;
+        let shift = (dbits - nbits + 64).max(0) as usize;
+        let scaled = (&self.num.shl_bits(shift) / &self.den).to_f64();
+        scaled * 2f64.powi(-(shift as i32))
+    }
+
+    /// Parses an SMT-LIB style decimal literal such as `3.25` or `-0.5`,
+    /// in addition to plain integers and `p/q` fraction syntax.
+    fn parse_impl(s: &str) -> Option<BigRational> {
+        if let Some((p, q)) = s.split_once('/') {
+            let num: BigInt = p.trim().parse().ok()?;
+            let den: BigInt = q.trim().parse().ok()?;
+            if den.is_zero() {
+                return None;
+            }
+            return Some(BigRational::new(num, den));
+        }
+        if let Some((int_part, frac_part)) = s.split_once('.') {
+            if frac_part.is_empty() || !frac_part.chars().all(|c| c.is_ascii_digit()) {
+                return None;
+            }
+            let negative = int_part.starts_with('-');
+            let int_val: BigInt = if int_part == "-" { BigInt::zero() } else { int_part.parse().ok()? };
+            let frac_val: BigInt = frac_part.parse().ok()?;
+            let scale = BigInt::from(10).pow(frac_part.len() as u32);
+            let mag = &(&int_val.abs() * &scale) + &frac_val;
+            let num = if negative || int_val.is_negative() { -mag } else { mag };
+            return Some(BigRational::new(num, scale));
+        }
+        s.parse::<BigInt>().ok().map(BigRational::from_int)
+    }
+}
+
+impl Default for BigRational {
+    fn default() -> BigRational {
+        BigRational::zero()
+    }
+}
+
+impl From<BigInt> for BigRational {
+    fn from(v: BigInt) -> BigRational {
+        BigRational::from_int(v)
+    }
+}
+
+impl From<i64> for BigRational {
+    fn from(v: i64) -> BigRational {
+        BigRational::from_int(BigInt::from(v))
+    }
+}
+
+impl FromStr for BigRational {
+    type Err = ParseRationalError;
+    fn from_str(s: &str) -> Result<BigRational, ParseRationalError> {
+        BigRational::parse_impl(s).ok_or_else(|| ParseRationalError {
+            offending: s.to_string(),
+        })
+    }
+}
+
+impl fmt::Display for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_integer() {
+            write!(f, "{}", self.num)
+        } else {
+            write!(f, "{}/{}", self.num, self.den)
+        }
+    }
+}
+
+impl fmt::Debug for BigRational {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "BigRational({self})")
+    }
+}
+
+impl PartialOrd for BigRational {
+    fn partial_cmp(&self, other: &BigRational) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for BigRational {
+    fn cmp(&self, other: &BigRational) -> Ordering {
+        (&self.num * &other.den).cmp(&(&other.num * &self.den))
+    }
+}
+
+impl Neg for BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        BigRational {
+            num: -self.num,
+            den: self.den,
+        }
+    }
+}
+
+impl Neg for &BigRational {
+    type Output = BigRational;
+    fn neg(self) -> BigRational {
+        -self.clone()
+    }
+}
+
+impl Add for &BigRational {
+    type Output = BigRational;
+    fn add(self, rhs: &BigRational) -> BigRational {
+        BigRational::new(
+            &(&self.num * &rhs.den) + &(&rhs.num * &self.den),
+            &self.den * &rhs.den,
+        )
+    }
+}
+
+impl Sub for &BigRational {
+    type Output = BigRational;
+    fn sub(self, rhs: &BigRational) -> BigRational {
+        self + &(-rhs)
+    }
+}
+
+impl Mul for &BigRational {
+    type Output = BigRational;
+    fn mul(self, rhs: &BigRational) -> BigRational {
+        if self.is_zero() || rhs.is_zero() {
+            return BigRational::zero();
+        }
+        BigRational::new(&self.num * &rhs.num, &self.den * &rhs.den)
+    }
+}
+
+impl Div for &BigRational {
+    type Output = BigRational;
+    /// # Panics
+    ///
+    /// Panics if `rhs` is zero.
+    fn div(self, rhs: &BigRational) -> BigRational {
+        assert!(!rhs.is_zero(), "rational division by zero");
+        BigRational::new(&self.num * &rhs.den, &self.den * &rhs.num)
+    }
+}
+
+macro_rules! impl_owned_binops {
+    ($($trait:ident, $method:ident);*) => {$(
+        impl $trait for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                (&self).$method(&rhs)
+            }
+        }
+        impl $trait<&BigRational> for BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: &BigRational) -> BigRational {
+                (&self).$method(rhs)
+            }
+        }
+        impl $trait<BigRational> for &BigRational {
+            type Output = BigRational;
+            fn $method(self, rhs: BigRational) -> BigRational {
+                self.$method(&rhs)
+            }
+        }
+    )*};
+}
+
+impl_owned_binops!(Add, add; Sub, sub; Mul, mul; Div, div);
+
+impl std::iter::Sum for BigRational {
+    fn sum<I: Iterator<Item = BigRational>>(iter: I) -> BigRational {
+        iter.fold(BigRational::zero(), |acc, x| &acc + &x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(n: i64, d: i64) -> BigRational {
+        BigRational::new(BigInt::from(n), BigInt::from(d))
+    }
+
+    #[test]
+    fn canonical_form() {
+        assert_eq!(r(2, 4), r(1, 2));
+        assert_eq!(r(1, -2), r(-1, 2));
+        assert_eq!(r(-2, -4), r(1, 2));
+        assert_eq!(r(0, 7), BigRational::zero());
+    }
+
+    #[test]
+    #[should_panic(expected = "zero denominator")]
+    fn zero_denominator_panics() {
+        let _ = BigRational::new(BigInt::one(), BigInt::zero());
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(&r(1, 2) + &r(1, 3), r(5, 6));
+        assert_eq!(&r(1, 2) - &r(1, 3), r(1, 6));
+        assert_eq!(&r(2, 3) * &r(3, 4), r(1, 2));
+        assert_eq!(&r(2, 3) / &r(4, 3), r(1, 2));
+    }
+
+    #[test]
+    fn ordering() {
+        assert!(r(1, 3) < r(1, 2));
+        assert!(r(-1, 2) < r(-1, 3));
+        assert!(r(7, 1) > r(13, 2));
+    }
+
+    #[test]
+    fn floor_ceil() {
+        assert_eq!(r(7, 2).floor(), BigInt::from(3));
+        assert_eq!(r(7, 2).ceil(), BigInt::from(4));
+        assert_eq!(r(-7, 2).floor(), BigInt::from(-4));
+        assert_eq!(r(-7, 2).ceil(), BigInt::from(-3));
+        assert_eq!(r(6, 2).floor(), BigInt::from(3));
+        assert_eq!(r(6, 2).ceil(), BigInt::from(3));
+    }
+
+    #[test]
+    fn dig_of_dyadic_and_non_dyadic() {
+        assert_eq!(BigRational::zero().dig(), Some(0));
+        assert_eq!(r(5, 1).dig(), Some(0));
+        assert_eq!(r(1, 2).dig(), Some(1));
+        assert_eq!(r(3, 8).dig(), Some(3));
+        assert_eq!(r(1, 3).dig(), None);
+        assert_eq!(r(5, 6).dig(), None);
+        assert_eq!(r(7, 64).dig(), Some(6));
+    }
+
+    #[test]
+    fn dyadic_constructor() {
+        assert_eq!(BigRational::dyadic(BigInt::from(3), 2), r(12, 1));
+        assert_eq!(BigRational::dyadic(BigInt::from(3), -2), r(3, 4));
+        assert_eq!(BigRational::dyadic(BigInt::from(-1), -3), r(-1, 8));
+    }
+
+    #[test]
+    fn parse_decimal() {
+        assert_eq!("3.25".parse::<BigRational>().unwrap(), r(13, 4));
+        assert_eq!("-0.5".parse::<BigRational>().unwrap(), r(-1, 2));
+        assert_eq!("42".parse::<BigRational>().unwrap(), r(42, 1));
+        assert_eq!("7/3".parse::<BigRational>().unwrap(), r(7, 3));
+        assert!("1.".parse::<BigRational>().is_err());
+        assert!("x".parse::<BigRational>().is_err());
+        assert!("1/0".parse::<BigRational>().is_err());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(r(1, 2).to_string(), "1/2");
+        assert_eq!(r(4, 2).to_string(), "2");
+        assert_eq!(r(-3, 9).to_string(), "-1/3");
+    }
+
+    #[test]
+    fn to_f64() {
+        assert!((r(1, 2).to_f64() - 0.5).abs() < 1e-15);
+        assert!((r(1, 3).to_f64() - 1.0 / 3.0).abs() < 1e-15);
+        assert!((r(-22, 7).to_f64() + 22.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recip_and_abs() {
+        assert_eq!(r(-2, 3).recip(), r(-3, 2));
+        assert_eq!(r(-2, 3).abs(), r(2, 3));
+    }
+}

@@ -1,0 +1,804 @@
+//! Software IEEE-754 binary floating point with arbitrary widths.
+//!
+//! SMT-LIB's `FloatingPoint` theory permits any exponent width `eb >= 2` and
+//! significand width `sb >= 2` (the significand width counts the hidden bit).
+//! STAUB's real-to-float translation picks widths from abstract
+//! interpretation, so standard `f32`/`f64` are not enough.
+//!
+//! Every arithmetic operation is computed exactly in rational arithmetic and
+//! then rounded once, which is precisely the IEEE-754 definition of correctly
+//! rounded arithmetic.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use crate::bigint::BigInt;
+use crate::rational::BigRational;
+
+/// IEEE-754 / SMT-LIB rounding modes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum RoundingMode {
+    /// Round to nearest, ties to even (`RNE`) — the SMT-LIB default.
+    #[default]
+    NearestEven,
+    /// Round to nearest, ties away from zero (`RNA`).
+    NearestAway,
+    /// Round toward positive infinity (`RTP`).
+    TowardPositive,
+    /// Round toward negative infinity (`RTN`).
+    TowardNegative,
+    /// Round toward zero (`RTZ`).
+    TowardZero,
+}
+
+/// Classification of a [`SoftFloat`] value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FloatClass {
+    /// Not a number.
+    Nan,
+    /// Positive or negative infinity.
+    Infinite,
+    /// Positive or negative zero.
+    Zero,
+    /// A subnormal (denormalized) value.
+    Subnormal,
+    /// A normal value.
+    Normal,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+enum Repr {
+    Nan,
+    /// `true` means negative.
+    Inf(bool),
+    /// `true` means negative.
+    Zero(bool),
+    /// Value is `(-1)^sign * sig * 2^exp` where `sig` is an integer with
+    /// `2^(sb-1) <= sig < 2^sb` for normals, or `0 < sig < 2^(sb-1)` with
+    /// `exp == min_exp(eb, sb)` for subnormals.
+    Finite {
+        sign: bool,
+        exp: i64,
+        sig: BigInt,
+    },
+}
+
+/// An IEEE-754 binary floating-point value with `eb` exponent bits and `sb`
+/// significand bits (including the hidden bit).
+///
+/// Equality and hashing are *structural*: two NaNs of the same format are
+/// equal, and `+0 != -0`. Use [`SoftFloat::ieee_eq`] and
+/// [`SoftFloat::ieee_cmp`] for IEEE semantics (used by `fp.eq`, `fp.lt`, ...).
+///
+/// # Examples
+///
+/// ```
+/// use staub_numeric::{BigInt, BigRational, SoftFloat};
+///
+/// let a = SoftFloat::from_rational(8, 24, &"0.1".parse().unwrap());
+/// // 0.1 is not a dyadic rational, so rounding was inexact:
+/// assert_ne!(a.to_rational().unwrap(), "0.1".parse().unwrap());
+///
+/// let b = SoftFloat::from_rational(8, 24, &"0.25".parse().unwrap());
+/// assert_eq!(b.to_rational().unwrap(), "0.25".parse().unwrap());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct SoftFloat {
+    eb: u32,
+    sb: u32,
+    repr: Repr,
+}
+
+impl SoftFloat {
+    /// Exponent bias: `2^(eb-1) - 1`.
+    fn bias(eb: u32) -> i64 {
+        (1i64 << (eb - 1)) - 1
+    }
+
+    /// Smallest exponent of the integer significand (subnormal scale).
+    fn min_exp(eb: u32, sb: u32) -> i64 {
+        1 - Self::bias(eb) - (i64::from(sb) - 1)
+    }
+
+    /// Largest unbiased exponent of the leading bit of a normal value.
+    fn max_unbiased(eb: u32) -> i64 {
+        Self::bias(eb)
+    }
+
+    fn check_format(eb: u32, sb: u32) {
+        assert!(eb >= 2, "exponent width must be at least 2, got {eb}");
+        assert!(sb >= 2, "significand width must be at least 2, got {sb}");
+        assert!(eb <= 60, "exponent width {eb} unreasonably large");
+    }
+
+    /// Positive zero in the given format.
+    pub fn zero(eb: u32, sb: u32) -> SoftFloat {
+        Self::check_format(eb, sb);
+        SoftFloat { eb, sb, repr: Repr::Zero(false) }
+    }
+
+    /// Negative zero.
+    pub fn neg_zero(eb: u32, sb: u32) -> SoftFloat {
+        Self::check_format(eb, sb);
+        SoftFloat { eb, sb, repr: Repr::Zero(true) }
+    }
+
+    /// NaN (a single canonical quiet NaN per format).
+    pub fn nan(eb: u32, sb: u32) -> SoftFloat {
+        Self::check_format(eb, sb);
+        SoftFloat { eb, sb, repr: Repr::Nan }
+    }
+
+    /// Positive or negative infinity.
+    pub fn infinity(eb: u32, sb: u32, negative: bool) -> SoftFloat {
+        Self::check_format(eb, sb);
+        SoftFloat { eb, sb, repr: Repr::Inf(negative) }
+    }
+
+    /// Rounds a rational to the nearest representable value (ties to even).
+    ///
+    /// This is STAUB's constant-translation function φ for reals; see
+    /// [`SoftFloat::round_from_rational`] to choose a different mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `eb < 2`, `sb < 2`, or `eb > 60`.
+    pub fn from_rational(eb: u32, sb: u32, value: &BigRational) -> SoftFloat {
+        Self::round_from_rational(eb, sb, value, RoundingMode::NearestEven)
+    }
+
+    /// Rounds a rational to the given format with an explicit rounding mode.
+    pub fn round_from_rational(
+        eb: u32,
+        sb: u32,
+        value: &BigRational,
+        mode: RoundingMode,
+    ) -> SoftFloat {
+        Self::check_format(eb, sb);
+        if value.is_zero() {
+            return SoftFloat::zero(eb, sb);
+        }
+        let sign = value.is_negative();
+        let mag = value.abs();
+        // E = floor(log2 mag), found by bit-length estimate and correction.
+        let mut e_lead = mag.numer().bit_len() as i64 - mag.denom().bit_len() as i64;
+        while Self::cmp_pow2(&mag, e_lead) == Ordering::Less {
+            e_lead -= 1;
+        }
+        while Self::cmp_pow2(&mag, e_lead + 1) != Ordering::Less {
+            e_lead += 1;
+        }
+        debug_assert!(Self::cmp_pow2(&mag, e_lead) != Ordering::Less);
+        let min_e = Self::min_exp(eb, sb);
+        // Exponent of the integer significand; clamped for subnormals.
+        let mut e = (e_lead - (i64::from(sb) - 1)).max(min_e);
+        let mut sig = Self::round_scaled(&mag, e, sign, mode);
+        if sig.is_zero() {
+            return SoftFloat { eb, sb, repr: Repr::Zero(sign) };
+        }
+        // Rounding may have carried to sb+1 bits: renormalize.
+        if sig.bit_len() as i64 > i64::from(sb) {
+            sig = sig.shr_bits(1);
+            e += 1;
+        }
+        // Overflow to infinity if the leading bit exceeds the max exponent.
+        let lead = e + sig.bit_len() as i64 - 1;
+        if lead > Self::max_unbiased(eb) {
+            // IEEE: directed rounding toward zero saturates at max finite.
+            let saturate = match mode {
+                RoundingMode::TowardZero => true,
+                RoundingMode::TowardPositive => sign,
+                RoundingMode::TowardNegative => !sign,
+                _ => false,
+            };
+            if saturate {
+                return SoftFloat::max_finite(eb, sb, sign);
+            }
+            return SoftFloat::infinity(eb, sb, sign);
+        }
+        SoftFloat { eb, sb, repr: Repr::Finite { sign, exp: e, sig } }
+    }
+
+    /// The largest finite value of the format, with the given sign.
+    pub fn max_finite(eb: u32, sb: u32, negative: bool) -> SoftFloat {
+        Self::check_format(eb, sb);
+        let sig = BigInt::one().shl_bits(sb as usize) - BigInt::one();
+        let exp = Self::max_unbiased(eb) - (i64::from(sb) - 1);
+        SoftFloat { eb, sb, repr: Repr::Finite { sign: negative, exp, sig } }
+    }
+
+    /// Compares `mag` (positive) against `2^e`.
+    fn cmp_pow2(mag: &BigRational, e: i64) -> Ordering {
+        // mag ? 2^e  <=>  num ? den * 2^e
+        if e >= 0 {
+            mag.numer().cmp(&mag.denom().shl_bits(e as usize))
+        } else {
+            mag.numer().shl_bits((-e) as usize).cmp(mag.denom())
+        }
+    }
+
+    /// Rounds `mag / 2^e` to an integer under `mode` (`sign` is the sign of
+    /// the original value, needed for directed modes).
+    fn round_scaled(mag: &BigRational, e: i64, sign: bool, mode: RoundingMode) -> BigInt {
+        let (num, den) = if e >= 0 {
+            (mag.numer().clone(), mag.denom().shl_bits(e as usize))
+        } else {
+            (mag.numer().shl_bits((-e) as usize), mag.denom().clone())
+        };
+        let (q, r) = num.div_rem_trunc(&den);
+        if r.is_zero() {
+            return q;
+        }
+        let twice_r = r.shl_bits(1);
+        let round_up = match mode {
+            RoundingMode::NearestEven => match twice_r.cmp(&den) {
+                Ordering::Greater => true,
+                Ordering::Less => false,
+                Ordering::Equal => q.is_odd(),
+            },
+            RoundingMode::NearestAway => twice_r.cmp(&den) != Ordering::Less,
+            RoundingMode::TowardZero => false,
+            RoundingMode::TowardPositive => !sign,
+            RoundingMode::TowardNegative => sign,
+        };
+        if round_up {
+            &q + &BigInt::one()
+        } else {
+            q
+        }
+    }
+
+    /// Exponent width.
+    pub fn eb(&self) -> u32 {
+        self.eb
+    }
+
+    /// Significand width (including the hidden bit).
+    pub fn sb(&self) -> u32 {
+        self.sb
+    }
+
+    /// Classifies the value.
+    pub fn classify(&self) -> FloatClass {
+        match &self.repr {
+            Repr::Nan => FloatClass::Nan,
+            Repr::Inf(_) => FloatClass::Infinite,
+            Repr::Zero(_) => FloatClass::Zero,
+            Repr::Finite { sig, .. } => {
+                if sig.bit_len() as u32 == self.sb {
+                    FloatClass::Normal
+                } else {
+                    FloatClass::Subnormal
+                }
+            }
+        }
+    }
+
+    /// Returns `true` for NaN.
+    pub fn is_nan(&self) -> bool {
+        matches!(self.repr, Repr::Nan)
+    }
+
+    /// Returns `true` for ±∞.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self.repr, Repr::Inf(_))
+    }
+
+    /// Returns `true` for ±0.
+    pub fn is_zero(&self) -> bool {
+        matches!(self.repr, Repr::Zero(_))
+    }
+
+    /// Returns `true` for finite values, including zeros.
+    pub fn is_finite(&self) -> bool {
+        matches!(self.repr, Repr::Zero(_) | Repr::Finite { .. })
+    }
+
+    /// The sign bit (`true` means negative). NaN reports `false`.
+    pub fn sign(&self) -> bool {
+        match &self.repr {
+            Repr::Nan => false,
+            Repr::Inf(s) | Repr::Zero(s) => *s,
+            Repr::Finite { sign, .. } => *sign,
+        }
+    }
+
+    /// Converts a finite value to an exact rational. Returns `None` for NaN
+    /// and infinities. Both zeros map to rational zero (STAUB's φ⁻¹, which
+    /// treats the three pathological values as semantic differences).
+    pub fn to_rational(&self) -> Option<BigRational> {
+        match &self.repr {
+            Repr::Nan | Repr::Inf(_) => None,
+            Repr::Zero(_) => Some(BigRational::zero()),
+            Repr::Finite { sign, exp, sig } => {
+                let v = BigRational::dyadic(sig.clone(), *exp);
+                Some(if *sign { -v } else { v })
+            }
+        }
+    }
+
+    /// IEEE equality (`fp.eq`): NaN is not equal to anything, `-0 == +0`.
+    pub fn ieee_eq(&self, other: &SoftFloat) -> bool {
+        self.ieee_cmp(other) == Some(Ordering::Equal)
+    }
+
+    /// IEEE ordered comparison: `None` if either operand is NaN.
+    pub fn ieee_cmp(&self, other: &SoftFloat) -> Option<Ordering> {
+        match (&self.repr, &other.repr) {
+            (Repr::Nan, _) | (_, Repr::Nan) => None,
+            (Repr::Inf(a), Repr::Inf(b)) => Some(if a == b {
+                Ordering::Equal
+            } else if *a {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }),
+            (Repr::Inf(a), _) => Some(if *a { Ordering::Less } else { Ordering::Greater }),
+            (_, Repr::Inf(b)) => Some(if *b { Ordering::Greater } else { Ordering::Less }),
+            _ => {
+                let a = self.to_rational().expect("finite");
+                let b = other.to_rational().expect("finite");
+                Some(a.cmp(&b))
+            }
+        }
+    }
+
+    /// `fp.neg`: flips the sign (exact; NaN stays NaN).
+    pub fn neg(&self) -> SoftFloat {
+        let repr = match &self.repr {
+            Repr::Nan => Repr::Nan,
+            Repr::Inf(s) => Repr::Inf(!s),
+            Repr::Zero(s) => Repr::Zero(!s),
+            Repr::Finite { sign, exp, sig } => Repr::Finite {
+                sign: !sign,
+                exp: *exp,
+                sig: sig.clone(),
+            },
+        };
+        SoftFloat { eb: self.eb, sb: self.sb, repr }
+    }
+
+    /// `fp.abs`: clears the sign.
+    pub fn abs(&self) -> SoftFloat {
+        if self.sign() {
+            self.neg()
+        } else {
+            self.clone()
+        }
+    }
+
+    fn check_format_match(&self, other: &SoftFloat, op: &str) {
+        assert!(
+            self.eb == other.eb && self.sb == other.sb,
+            "format mismatch in {op}: ({}, {}) vs ({}, {})",
+            self.eb,
+            self.sb,
+            other.eb,
+            other.sb
+        );
+    }
+
+    /// `fp.add` with the given rounding mode.
+    pub fn add(&self, other: &SoftFloat, mode: RoundingMode) -> SoftFloat {
+        self.check_format_match(other, "fp.add");
+        match (&self.repr, &other.repr) {
+            (Repr::Nan, _) | (_, Repr::Nan) => SoftFloat::nan(self.eb, self.sb),
+            (Repr::Inf(a), Repr::Inf(b)) => {
+                if a == b {
+                    self.clone()
+                } else {
+                    SoftFloat::nan(self.eb, self.sb)
+                }
+            }
+            (Repr::Inf(_), _) => self.clone(),
+            (_, Repr::Inf(_)) => other.clone(),
+            (Repr::Zero(a), Repr::Zero(b)) => {
+                // IEEE: (+0) + (-0) = +0 under RNE/RNA/RTZ/RTP, -0 under RTN.
+                let sign = if a == b {
+                    *a
+                } else {
+                    mode == RoundingMode::TowardNegative
+                };
+                SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) }
+            }
+            _ => {
+                let a = self.to_rational().expect("finite");
+                let b = other.to_rational().expect("finite");
+                let sum = &a + &b;
+                if sum.is_zero() {
+                    // Exact cancellation of nonzero operands: sign per mode.
+                    if a.is_zero() {
+                        return other.clone();
+                    }
+                    if b.is_zero() {
+                        return self.clone();
+                    }
+                    let sign = mode == RoundingMode::TowardNegative;
+                    return SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) };
+                }
+                SoftFloat::round_from_rational(self.eb, self.sb, &sum, mode)
+            }
+        }
+    }
+
+    /// `fp.sub` with the given rounding mode.
+    pub fn sub(&self, other: &SoftFloat, mode: RoundingMode) -> SoftFloat {
+        self.add(&other.neg(), mode)
+    }
+
+    /// `fp.mul` with the given rounding mode.
+    pub fn mul(&self, other: &SoftFloat, mode: RoundingMode) -> SoftFloat {
+        self.check_format_match(other, "fp.mul");
+        let sign = self.sign() ^ other.sign();
+        match (&self.repr, &other.repr) {
+            (Repr::Nan, _) | (_, Repr::Nan) => SoftFloat::nan(self.eb, self.sb),
+            (Repr::Inf(_), Repr::Zero(_)) | (Repr::Zero(_), Repr::Inf(_)) => {
+                SoftFloat::nan(self.eb, self.sb)
+            }
+            (Repr::Inf(_), _) | (_, Repr::Inf(_)) => SoftFloat::infinity(self.eb, self.sb, sign),
+            (Repr::Zero(_), _) | (_, Repr::Zero(_)) => {
+                SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) }
+            }
+            _ => {
+                let p = self.to_rational().expect("finite") * other.to_rational().expect("finite");
+                SoftFloat::round_from_rational(self.eb, self.sb, &p, mode)
+            }
+        }
+    }
+
+    /// `fp.div` with the given rounding mode.
+    pub fn div(&self, other: &SoftFloat, mode: RoundingMode) -> SoftFloat {
+        self.check_format_match(other, "fp.div");
+        let sign = self.sign() ^ other.sign();
+        match (&self.repr, &other.repr) {
+            (Repr::Nan, _) | (_, Repr::Nan) => SoftFloat::nan(self.eb, self.sb),
+            (Repr::Inf(_), Repr::Inf(_)) | (Repr::Zero(_), Repr::Zero(_)) => {
+                SoftFloat::nan(self.eb, self.sb)
+            }
+            (Repr::Inf(_), _) => SoftFloat::infinity(self.eb, self.sb, sign),
+            (_, Repr::Inf(_)) => SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) },
+            (Repr::Zero(_), _) => SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) },
+            (_, Repr::Zero(_)) => SoftFloat::infinity(self.eb, self.sb, sign),
+            _ => {
+                let q = self.to_rational().expect("finite") / other.to_rational().expect("finite");
+                SoftFloat::round_from_rational(self.eb, self.sb, &q, mode)
+            }
+        }
+    }
+
+    /// Decomposes into SMT-LIB `(fp s e m)` literal fields:
+    /// `(sign_bit, biased_exponent_field, trailing_significand)`.
+    pub fn to_fields(&self) -> (bool, BigInt, BigInt) {
+        let all_ones_exp = BigInt::from((1i64 << self.eb) - 1);
+        match &self.repr {
+            Repr::Nan => (false, all_ones_exp, BigInt::one()),
+            Repr::Inf(s) => (*s, all_ones_exp, BigInt::zero()),
+            Repr::Zero(s) => (*s, BigInt::zero(), BigInt::zero()),
+            Repr::Finite { sign, exp, sig } => {
+                let hidden = BigInt::one().shl_bits(self.sb as usize - 1);
+                if sig.bit_len() as u32 == self.sb {
+                    // Normal: field = unbiased-lead-exponent + bias.
+                    let lead = exp + i64::from(self.sb) - 1;
+                    let field = BigInt::from(lead + Self::bias(self.eb));
+                    (*sign, field, sig - &hidden)
+                } else {
+                    (*sign, BigInt::zero(), sig.clone())
+                }
+            }
+        }
+    }
+
+    /// Reconstructs a value from SMT-LIB `(fp s e m)` literal fields.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the fields are out of range for the format.
+    pub fn from_fields(eb: u32, sb: u32, sign: bool, exp_field: &BigInt, sig_field: &BigInt) -> SoftFloat {
+        Self::check_format(eb, sb);
+        let max_exp = BigInt::from((1i64 << eb) - 1);
+        assert!(
+            !exp_field.is_negative() && exp_field <= &max_exp,
+            "exponent field out of range"
+        );
+        let max_sig = BigInt::one().shl_bits(sb as usize - 1);
+        assert!(
+            !sig_field.is_negative() && sig_field < &max_sig,
+            "significand field out of range"
+        );
+        if *exp_field == max_exp {
+            return if sig_field.is_zero() {
+                SoftFloat::infinity(eb, sb, sign)
+            } else {
+                SoftFloat::nan(eb, sb)
+            };
+        }
+        if exp_field.is_zero() {
+            if sig_field.is_zero() {
+                return SoftFloat { eb, sb, repr: Repr::Zero(sign) };
+            }
+            return SoftFloat {
+                eb,
+                sb,
+                repr: Repr::Finite { sign, exp: Self::min_exp(eb, sb), sig: sig_field.clone() },
+            };
+        }
+        let hidden = BigInt::one().shl_bits(sb as usize - 1);
+        let sig = sig_field + &hidden;
+        let lead = exp_field.to_i64().expect("eb <= 60") - Self::bias(eb);
+        SoftFloat { eb, sb, repr: Repr::Finite { sign, exp: lead - (i64::from(sb) - 1), sig } }
+    }
+}
+
+impl fmt::Display for SoftFloat {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.repr {
+            Repr::Nan => write!(f, "NaN[{},{}]", self.eb, self.sb),
+            Repr::Inf(s) => write!(f, "{}oo[{},{}]", if *s { "-" } else { "+" }, self.eb, self.sb),
+            Repr::Zero(s) => write!(f, "{}0[{},{}]", if *s { "-" } else { "+" }, self.eb, self.sb),
+            Repr::Finite { .. } => {
+                let r = self.to_rational().expect("finite");
+                write!(f, "{}[{},{}]", r, self.eb, self.sb)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rat(s: &str) -> BigRational {
+        s.parse().unwrap()
+    }
+
+    fn f32sf(s: &str) -> SoftFloat {
+        SoftFloat::from_rational(8, 24, &rat(s))
+    }
+
+    #[test]
+    fn exact_small_values() {
+        for s in ["1", "-1", "0.5", "0.25", "1.5", "-3.75", "1024"] {
+            let f = f32sf(s);
+            assert_eq!(f.to_rational().unwrap(), rat(s), "value {s}");
+        }
+    }
+
+    #[test]
+    fn rounding_matches_hardware_f32() {
+        // Cross-check against the platform's IEEE-754 binary32 arithmetic.
+        let cases = [0.1f64, 0.2, 0.3, 1.0 / 3.0, 1e10, -7.3, 123456.789];
+        for &c in &cases {
+            let hw = c as f32;
+            let r = BigRational::new(
+                BigInt::from((c * 1e9).round() as i64),
+                BigInt::from(1_000_000_000i64),
+            );
+            let sf = SoftFloat::from_rational(8, 24, &r);
+            let sf_back = sf.to_rational().unwrap().to_f64() as f32;
+            let hw_from_r = (r.to_f64()) as f32;
+            assert_eq!(sf_back.to_bits(), hw_from_r.to_bits(), "case {c} (hw {hw})");
+        }
+    }
+
+    #[test]
+    fn addition_rounds_like_f32() {
+        let cases: [(f32, f32); 5] = [
+            (0.1, 0.2),
+            (1.0e20, 1.0),
+            (1.5, -1.5),
+            (3.0e38, 3.0e38),
+            (-1.0e-40, 1.0e-42),
+        ];
+        for &(a, b) in &cases {
+            let ra = BigRational::dyadic(BigInt::from((a as f64 * 2f64.powi(60)) as i128), -60);
+            let rb = BigRational::dyadic(BigInt::from((b as f64 * 2f64.powi(60)) as i128), -60);
+            // Reconstruct exactly-representable f32 inputs.
+            let fa = SoftFloat::from_rational(8, 24, &ra);
+            let fb = SoftFloat::from_rational(8, 24, &rb);
+            let sum = fa.add(&fb, RoundingMode::NearestEven);
+            let hw = (fa.to_rational().unwrap().to_f64() as f32)
+                + (fb.to_rational().unwrap().to_f64() as f32);
+            if hw.is_infinite() {
+                assert!(sum.is_infinite(), "case {a} + {b}");
+            } else {
+                let got = sum.to_rational().unwrap().to_f64() as f32;
+                assert_eq!(got.to_bits(), hw.to_bits(), "case {a} + {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn multiplication_rounds_like_f32() {
+        let pairs: [(f32, f32); 4] = [(3.0, 7.0), (0.1, 0.1), (1.0e30, 1.0e30), (1.0e-30, 1.0e-30)];
+        for &(a, b) in &pairs {
+            let fa = f32_to_sf(a);
+            let fb = f32_to_sf(b);
+            let prod = fa.mul(&fb, RoundingMode::NearestEven);
+            let hw = a * b;
+            assert_sf_eq_f32(&prod, hw, &format!("{a} * {b}"));
+        }
+    }
+
+    #[test]
+    fn division_rounds_like_f32() {
+        let pairs: [(f32, f32); 4] = [(1.0, 3.0), (-22.0, 7.0), (1.0, 1.0e38), (5.0, 0.5)];
+        for &(a, b) in &pairs {
+            let q = f32_to_sf(a).div(&f32_to_sf(b), RoundingMode::NearestEven);
+            assert_sf_eq_f32(&q, a / b, &format!("{a} / {b}"));
+        }
+    }
+
+    fn f32_to_sf(v: f32) -> SoftFloat {
+        let bits = v.to_bits();
+        let sign = bits >> 31 == 1;
+        let exp = BigInt::from((bits >> 23) & 0xff);
+        let sig = BigInt::from(bits & 0x7f_ffff);
+        SoftFloat::from_fields(8, 24, sign, &exp, &sig)
+    }
+
+    fn assert_sf_eq_f32(sf: &SoftFloat, hw: f32, ctx: &str) {
+        if hw.is_nan() {
+            assert!(sf.is_nan(), "{ctx}: expected NaN, got {sf}");
+        } else if hw.is_infinite() {
+            assert!(sf.is_infinite() && sf.sign() == (hw < 0.0), "{ctx}: expected {hw}, got {sf}");
+        } else {
+            let got = sf.to_rational().unwrap().to_f64() as f32;
+            assert_eq!(got.to_bits(), hw.to_bits(), "{ctx}: expected {hw}, got {sf}");
+        }
+    }
+
+    #[test]
+    fn specials_arithmetic() {
+        let inf = SoftFloat::infinity(8, 24, false);
+        let ninf = SoftFloat::infinity(8, 24, true);
+        let nan = SoftFloat::nan(8, 24);
+        let one = f32sf("1");
+        let zero = SoftFloat::zero(8, 24);
+        let m = RoundingMode::NearestEven;
+
+        assert!(inf.add(&ninf, m).is_nan());
+        assert!(inf.add(&one, m).is_infinite());
+        assert!(nan.add(&one, m).is_nan());
+        assert!(inf.mul(&zero, m).is_nan());
+        assert!(zero.div(&zero, m).is_nan());
+        assert!(inf.div(&inf, m).is_nan());
+        assert!(one.div(&zero, m).is_infinite());
+        let q = one.div(&inf, m);
+        assert!(q.is_zero() && !q.sign());
+        let qn = one.neg().div(&inf, m);
+        assert!(qn.is_zero() && qn.sign());
+    }
+
+    #[test]
+    fn zero_sign_rules() {
+        let pz = SoftFloat::zero(8, 24);
+        let nz = SoftFloat::neg_zero(8, 24);
+        let rne = RoundingMode::NearestEven;
+        let rtn = RoundingMode::TowardNegative;
+        assert!(!pz.add(&nz, rne).sign());
+        assert!(pz.add(&nz, rtn).sign());
+        assert!(nz.add(&nz, rne).sign());
+        // Exact cancellation: 1 + (-1) = +0 under RNE, -0 under RTN.
+        let one = f32sf("1");
+        assert!(!one.add(&one.neg(), rne).sign());
+        assert!(one.add(&one.neg(), rtn).sign());
+    }
+
+    #[test]
+    fn overflow_to_infinity() {
+        let max = SoftFloat::max_finite(8, 24, false);
+        let sum = max.add(&max, RoundingMode::NearestEven);
+        assert!(sum.is_infinite());
+        // Toward-zero saturates instead.
+        let sat = max.add(&max, RoundingMode::TowardZero);
+        assert_eq!(sat, max);
+    }
+
+    #[test]
+    fn subnormals() {
+        // Smallest positive subnormal of binary32 is 2^-149.
+        let tiny = BigRational::dyadic(BigInt::one(), -149);
+        let f = SoftFloat::from_rational(8, 24, &tiny);
+        assert_eq!(f.classify(), FloatClass::Subnormal);
+        assert_eq!(f.to_rational().unwrap(), tiny);
+        // Half of it rounds to zero under RNE (ties to even).
+        let half_tiny = BigRational::dyadic(BigInt::one(), -150);
+        let g = SoftFloat::from_rational(8, 24, &half_tiny);
+        assert!(g.is_zero());
+        // But three-quarters of the smallest subnormal rounds up.
+        let three_q = BigRational::dyadic(BigInt::from(3), -151);
+        let h = SoftFloat::from_rational(8, 24, &three_q);
+        assert_eq!(h, f);
+    }
+
+    #[test]
+    fn ieee_comparison() {
+        let one = f32sf("1");
+        let two = f32sf("2");
+        let nan = SoftFloat::nan(8, 24);
+        let pz = SoftFloat::zero(8, 24);
+        let nz = SoftFloat::neg_zero(8, 24);
+        assert_eq!(one.ieee_cmp(&two), Some(Ordering::Less));
+        assert_eq!(nan.ieee_cmp(&one), None);
+        assert!(pz.ieee_eq(&nz));
+        assert_ne!(pz, nz, "structural equality distinguishes zero signs");
+        assert!(!nan.ieee_eq(&nan));
+        assert_eq!(nan, nan.clone(), "structural equality unifies NaNs");
+    }
+
+    #[test]
+    fn fields_round_trip() {
+        for s in ["1", "-0.5", "3.25", "1000000"] {
+            let f = f32sf(s);
+            let (sign, e, m) = f.to_fields();
+            let g = SoftFloat::from_fields(8, 24, sign, &e, &m);
+            assert_eq!(f, g, "round trip {s}");
+        }
+        let nan = SoftFloat::nan(8, 24);
+        let (_, e, m) = nan.to_fields();
+        assert!(SoftFloat::from_fields(8, 24, false, &e, &m).is_nan());
+    }
+
+    #[test]
+    fn tiny_formats() {
+        // A (3,3) float: values like ±{0, 0.25 .. 3.5, inf}.
+        let v = SoftFloat::from_rational(3, 3, &rat("1.25"));
+        // 1.25 with 3 significand bits: representable exactly (1.01b).
+        assert_eq!(v.to_rational().unwrap(), rat("1.25"));
+        let big = SoftFloat::from_rational(3, 3, &rat("100"));
+        assert!(big.is_infinite());
+    }
+
+    #[test]
+    fn neg_abs() {
+        let v = f32sf("-2.5");
+        assert_eq!(v.abs(), f32sf("2.5"));
+        assert_eq!(v.neg(), f32sf("2.5"));
+        assert!(SoftFloat::nan(8, 24).neg().is_nan());
+    }
+
+    #[test]
+    fn subnormal_arithmetic() {
+        // Subnormal + subnormal stays exact (no hidden-bit normalization).
+        let tiny = BigRational::dyadic(BigInt::one(), -149);
+        let a = SoftFloat::from_rational(8, 24, &tiny);
+        let sum = a.add(&a, RoundingMode::NearestEven);
+        assert_eq!(sum.to_rational().unwrap(), BigRational::dyadic(BigInt::one(), -148));
+        // Dividing the smallest subnormal by 2 underflows to zero (RNE).
+        let two = SoftFloat::from_rational(8, 24, &"2".parse().unwrap());
+        let q = a.div(&two, RoundingMode::NearestEven);
+        assert!(q.is_zero());
+    }
+
+    #[test]
+    fn max_finite_boundary() {
+        let max = SoftFloat::max_finite(8, 24, false);
+        let one = SoftFloat::from_rational(8, 24, &"1".parse().unwrap());
+        // Adding 1 to the max finite value rounds back to it (ulp >> 1).
+        assert_eq!(max.add(&one, RoundingMode::NearestEven), max);
+        assert!(max.neg().sign());
+        assert_eq!(max.classify(), FloatClass::Normal);
+    }
+
+    #[test]
+    fn format_mismatch_panics() {
+        let a = SoftFloat::zero(8, 24);
+        let b = SoftFloat::zero(5, 11);
+        let r = std::panic::catch_unwind(|| a.add(&b, RoundingMode::NearestEven));
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn directed_rounding_modes() {
+        let third = rat("1/3");
+        let up = SoftFloat::round_from_rational(8, 24, &third, RoundingMode::TowardPositive);
+        let down = SoftFloat::round_from_rational(8, 24, &third, RoundingMode::TowardNegative);
+        assert!(up.to_rational().unwrap() > third);
+        assert!(down.to_rational().unwrap() < third);
+        let nthird = rat("-1/3");
+        let nup = SoftFloat::round_from_rational(8, 24, &nthird, RoundingMode::TowardPositive);
+        let ndown = SoftFloat::round_from_rational(8, 24, &nthird, RoundingMode::TowardNegative);
+        assert!(nup.to_rational().unwrap() > nthird);
+        assert!(ndown.to_rational().unwrap() < nthird);
+    }
+}

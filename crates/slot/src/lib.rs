@@ -1,0 +1,371 @@
+//! SLOT-style simplification of bounded SMT constraints.
+//!
+//! The paper's RQ2 chains STAUB with SLOT (Mikek & Zhang, ESEC/FSE 2023),
+//! which lowers bitvector/floating-point constraints into LLVM IR, runs
+//! compiler optimizations, and lifts the result back. This crate applies the
+//! same *families* of rewrites directly on the term graph:
+//!
+//! * [`passes::ConstFold`] — constant folding (LLVM's constant folder),
+//! * [`passes::Algebraic`] — algebraic identities (instcombine),
+//! * [`passes::StrengthReduction`] — multiplication by powers of two into
+//!   shifts (instcombine strength reduction),
+//! * [`passes::BoolSimplify`] — boolean simplification (simplifycfg's CFG
+//!   cleanups, expressed over formulas),
+//!
+//! plus assertion-level cleanup (deduplication, `true` removal, `false`
+//! collapse — dead code elimination at the constraint level). Hash-consing
+//! in [`staub_smtlib::TermStore`] provides global value numbering (CSE) for
+//! free.
+//!
+//! All rewrites are *equivalences* over the bounded theories — including
+//! IEEE edge cases (NaN, signed zeros) — so SLOT preserves satisfiability
+//! exactly, unlike STAUB's deliberate underapproximation.
+//!
+//! # Examples
+//!
+//! ```
+//! use staub_slot::Slot;
+//! use staub_smtlib::Script;
+//!
+//! let mut script = Script::parse("\
+//! (declare-fun x () (_ BitVec 8))
+//! (assert (= (bvadd x (_ bv0 8)) (bvmul (_ bv2 8) (_ bv3 8))))")?;
+//! let report = Slot::standard().optimize(&mut script);
+//! assert!(report.rewrites > 0);
+//! assert_eq!(script.to_string().matches("bvadd").count(), 0);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod passes;
+
+use std::collections::HashMap;
+use std::fmt;
+
+use staub_smtlib::{Op, Script, TermId, TermStore};
+
+use passes::Pass;
+
+/// Statistics from one optimization run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SlotReport {
+    /// Total node rewrites applied.
+    pub rewrites: usize,
+    /// Rewrites per pass, in pass order.
+    pub per_pass: Vec<(String, usize)>,
+    /// Fixpoint iterations executed.
+    pub iterations: usize,
+    /// Assertions removed by assertion-level cleanup.
+    pub assertions_removed: usize,
+}
+
+impl fmt::Display for SlotReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rewrites in {} iterations ({} assertions removed)",
+            self.rewrites, self.iterations, self.assertions_removed
+        )
+    }
+}
+
+/// The SLOT pass pipeline.
+pub struct Slot {
+    passes: Vec<Box<dyn Pass>>,
+    max_iterations: usize,
+}
+
+impl fmt::Debug for Slot {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let names: Vec<&str> = self.passes.iter().map(|p| p.name()).collect();
+        f.debug_struct("Slot").field("passes", &names).finish()
+    }
+}
+
+impl Default for Slot {
+    fn default() -> Slot {
+        Slot::standard()
+    }
+}
+
+impl Slot {
+    /// An empty pipeline (add passes with [`Slot::with_pass`]).
+    pub fn new() -> Slot {
+        Slot { passes: Vec::new(), max_iterations: 8 }
+    }
+
+    /// The standard pipeline: constant folding, boolean simplification,
+    /// algebraic identities, strength reduction — iterated to fixpoint.
+    pub fn standard() -> Slot {
+        Slot::new()
+            .with_pass(passes::ConstFold)
+            .with_pass(passes::BoolSimplify)
+            .with_pass(passes::Algebraic)
+            .with_pass(passes::StrengthReduction)
+    }
+
+    /// Appends a pass to the pipeline.
+    #[must_use]
+    pub fn with_pass(mut self, pass: impl Pass + 'static) -> Slot {
+        self.passes.push(Box::new(pass));
+        self
+    }
+
+    /// Caps the number of fixpoint iterations.
+    #[must_use]
+    pub fn with_max_iterations(mut self, n: usize) -> Slot {
+        self.max_iterations = n.max(1);
+        self
+    }
+
+    /// Names of the configured passes.
+    pub fn pass_names(&self) -> Vec<&str> {
+        self.passes.iter().map(|p| p.name()).collect()
+    }
+
+    /// Optimizes a script in place.
+    pub fn optimize(&self, script: &mut Script) -> SlotReport {
+        let mut report = SlotReport {
+            per_pass: self.passes.iter().map(|p| (p.name().to_string(), 0)).collect(),
+            ..Default::default()
+        };
+        let mut assertions: Vec<TermId> = script.assertions().to_vec();
+        for _ in 0..self.max_iterations {
+            report.iterations += 1;
+            let mut changed = false;
+            for (pi, pass) in self.passes.iter().enumerate() {
+                let mut memo: HashMap<TermId, TermId> = HashMap::new();
+                let mut count = 0usize;
+                for a in &mut assertions {
+                    let next =
+                        rewrite_bottom_up(script.store_mut(), *a, pass.as_ref(), &mut memo, &mut count);
+                    if next != *a {
+                        changed = true;
+                        *a = next;
+                    }
+                }
+                report.per_pass[pi].1 += count;
+                report.rewrites += count;
+            }
+            if !changed {
+                break;
+            }
+        }
+        // Assertion-level cleanup: flatten ands, drop trues, dedupe, and
+        // collapse everything when some assertion is literally false.
+        let before = assertions.len();
+        let cleaned = cleanup_assertions(script.store_mut(), &assertions);
+        report.assertions_removed = before.saturating_sub(cleaned.len());
+        script.set_assertions(cleaned);
+        report
+    }
+}
+
+/// Bottom-up memoized rewriting: children first, then the pass's local rule
+/// repeatedly until it no longer applies.
+fn rewrite_bottom_up(
+    store: &mut TermStore,
+    id: TermId,
+    pass: &dyn Pass,
+    memo: &mut HashMap<TermId, TermId>,
+    count: &mut usize,
+) -> TermId {
+    if let Some(&t) = memo.get(&id) {
+        return t;
+    }
+    let term = store.term(id).clone();
+    let mut new_args = Vec::with_capacity(term.args().len());
+    let mut args_changed = false;
+    for &a in term.args() {
+        let na = rewrite_bottom_up(store, a, pass, memo, count);
+        args_changed |= na != a;
+        new_args.push(na);
+    }
+    let mut current = if args_changed {
+        store
+            .app(term.op().clone(), &new_args)
+            .expect("rewritten children preserve sorts")
+    } else {
+        id
+    };
+    // Apply the local rule to fixpoint at this node.
+    loop {
+        let t = store.term(current).clone();
+        match pass.simplify(store, t.op(), t.args()) {
+            Some(next) if next != current => {
+                *count += 1;
+                current = next;
+            }
+            _ => break,
+        }
+    }
+    memo.insert(id, current);
+    current
+}
+
+fn cleanup_assertions(store: &mut TermStore, assertions: &[TermId]) -> Vec<TermId> {
+    let mut out: Vec<TermId> = Vec::new();
+    let mut queue: Vec<TermId> = assertions.to_vec();
+    queue.reverse();
+    let mut any_false = false;
+    while let Some(a) = queue.pop() {
+        let term = store.term(a).clone();
+        match term.op() {
+            Op::True => continue,
+            Op::False => {
+                any_false = true;
+                break;
+            }
+            Op::And => {
+                // Flatten: assert each conjunct separately (helps solvers
+                // and later passes).
+                for &c in term.args().iter().rev() {
+                    queue.push(c);
+                }
+            }
+            _ => {
+                if !out.contains(&a) {
+                    out.push(a);
+                }
+            }
+        }
+    }
+    if any_false {
+        return vec![store.bool(false)];
+    }
+    if out.is_empty() {
+        // Preserve at least one assertion so satisfiability is explicit.
+        return vec![store.bool(true)];
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn optimize(src: &str) -> (Script, SlotReport) {
+        let mut script = Script::parse(src).unwrap();
+        let report = Slot::standard().optimize(&mut script);
+        (script, report)
+    }
+
+    #[test]
+    fn folds_ground_arithmetic() {
+        let (script, report) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (= x (bvadd (_ bv3 8) (_ bv4 8))))",
+        );
+        assert!(report.rewrites > 0);
+        assert!(script.to_string().contains("(_ bv7 8)"));
+        assert!(!script.to_string().contains("bvadd"));
+    }
+
+    #[test]
+    fn removes_true_assertions() {
+        let (script, report) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (bvsle x x))
+             (assert (bvult x (_ bv200 8)))",
+        );
+        assert_eq!(script.assertions().len(), 1);
+        assert!(report.assertions_removed >= 1);
+    }
+
+    #[test]
+    fn collapses_on_false() {
+        let (script, _) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (bvslt x x))
+             (assert (bvult x (_ bv200 8)))",
+        );
+        assert_eq!(script.assertions().len(), 1);
+        let t = script.store().term(script.assertions()[0]);
+        assert_eq!(*t.op(), Op::False);
+    }
+
+    #[test]
+    fn flattens_conjunctions() {
+        let (script, _) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (and (bvult x (_ bv10 8)) (bvult (_ bv1 8) x)))",
+        );
+        assert_eq!(script.assertions().len(), 2);
+    }
+
+    #[test]
+    fn deduplicates_assertions() {
+        let (script, _) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (bvult x (_ bv10 8)))
+             (assert (bvult x (_ bv10 8)))",
+        );
+        assert_eq!(script.assertions().len(), 1);
+    }
+
+    #[test]
+    fn pipeline_reaches_fixpoint() {
+        let (_, report) = optimize(
+            "(declare-fun x () (_ BitVec 8))
+             (assert (= (bvmul (bvadd x (_ bv0 8)) (_ bv1 8)) x))",
+        );
+        assert!(report.iterations < 8, "terminates before the cap");
+        // bvadd x 0 → x; bvmul x 1 → x; = x x → true; assertion dropped.
+        assert!(report.rewrites >= 3);
+    }
+
+    #[test]
+    fn preserves_satisfiability() {
+        use staub_solver::{Solver, SolverProfile};
+        let sources = [
+            "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x (_ bv1 8)) (_ bv7 8)))",
+            "(declare-fun x () (_ BitVec 8))(assert (bvult (bvadd x (_ bv0 8)) x))",
+            "(declare-fun p () Bool)(assert (and p (not p)))",
+            "(declare-fun x () (_ BitVec 4))(assert (= (bvmul x (_ bv2 4)) (_ bv6 4)))",
+        ];
+        for src in sources {
+            let script = Script::parse(src).unwrap();
+            let mut optimized = script.clone();
+            let _ = Slot::standard().optimize(&mut optimized);
+            let solver = Solver::new(SolverProfile::Zed);
+            let before = solver.solve(&script).result;
+            let after = solver.solve(&optimized).result;
+            assert_eq!(
+                before.is_sat(),
+                after.is_sat(),
+                "sat status changed for {src}"
+            );
+            assert_eq!(before.is_unsat(), after.is_unsat(), "unsat status changed for {src}");
+        }
+    }
+
+    #[test]
+    fn custom_pipeline() {
+        let slot = Slot::new().with_pass(passes::ConstFold);
+        assert_eq!(slot.pass_names(), vec!["const-fold"]);
+        let mut script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))(assert (= x (bvadd (_ bv1 8) (_ bv1 8))))",
+        )
+        .unwrap();
+        let report = slot.optimize(&mut script);
+        assert_eq!(report.per_pass.len(), 1);
+        assert!(report.rewrites > 0);
+    }
+
+    #[test]
+    fn shrinks_staub_output() {
+        // The composition the paper's RQ2 measures: STAUB then SLOT.
+        use staub_core::Staub;
+        let script = Script::parse(
+            "(declare-fun x () Int)
+             (assert (= (* x 1 x) (+ 49 0)))",
+        )
+        .unwrap();
+        let transformed = Staub::default().transform(&script).unwrap();
+        let mut bounded = transformed.script.clone();
+        let before = bounded.store().dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
+        let report = Slot::standard().optimize(&mut bounded);
+        let after = bounded.store().dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
+        assert!(report.rewrites > 0);
+        assert!(after <= before);
+    }
+}

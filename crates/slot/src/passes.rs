@@ -1,0 +1,535 @@
+//! The individual rewrite passes.
+
+use staub_numeric::{BigInt, BitVecValue};
+use staub_smtlib::{evaluate, Model, Op, Sort, TermId, TermStore, Value};
+
+/// A local rewrite rule applied bottom-up to fixpoint by the driver.
+///
+/// `simplify` inspects one node (already-rewritten children) and returns a
+/// replacement term, or `None` when no rule applies. Every rule must be an
+/// *equivalence* over the bounded semantics, including IEEE specials.
+pub trait Pass {
+    /// Short kebab-case name (for reports).
+    fn name(&self) -> &'static str;
+
+    /// Attempts one local rewrite.
+    fn simplify(&self, store: &mut TermStore, op: &Op, args: &[TermId]) -> Option<TermId>;
+}
+
+// ---------------------------------------------------------------------------
+// Constant folding
+// ---------------------------------------------------------------------------
+
+/// Folds ground subterms by exact evaluation.
+#[derive(Debug, Clone, Copy)]
+pub struct ConstFold;
+
+impl Pass for ConstFold {
+    fn name(&self) -> &'static str {
+        "const-fold"
+    }
+
+    fn simplify(&self, store: &mut TermStore, op: &Op, args: &[TermId]) -> Option<TermId> {
+        if op.is_leaf() || args.is_empty() {
+            return None;
+        }
+        // All children must be literal constants.
+        if !args.iter().all(|&a| store.term(a).op().is_leaf() && !matches!(store.term(a).op(), Op::Var(_))) {
+            return None;
+        }
+        let root = store.app(op.clone(), args).ok()?;
+        let empty = Model::new();
+        let value = evaluate(store, root, &empty).ok()?;
+        Some(match value {
+            Value::Bool(b) => store.bool(b),
+            Value::Int(v) => store.int(v),
+            Value::Real(v) => store.real(v),
+            Value::BitVec(v) => store.bv(v),
+            Value::Float(v) => store.fp(v),
+            Value::Rm(v) => store.rm(v),
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Boolean simplification
+// ---------------------------------------------------------------------------
+
+/// Boolean-structure cleanups: unit/zero elements, double negation,
+/// degenerate `ite`, reflexive comparisons.
+#[derive(Debug, Clone, Copy)]
+pub struct BoolSimplify;
+
+impl Pass for BoolSimplify {
+    fn name(&self) -> &'static str {
+        "bool-simplify"
+    }
+
+    fn simplify(&self, store: &mut TermStore, op: &Op, args: &[TermId]) -> Option<TermId> {
+        let is_true = |s: &TermStore, t: TermId| *s.term(t).op() == Op::True;
+        let is_false = |s: &TermStore, t: TermId| *s.term(t).op() == Op::False;
+        match op {
+            Op::Not => {
+                let inner = store.term(args[0]).clone();
+                match inner.op() {
+                    Op::Not => Some(inner.args()[0]),
+                    Op::True => Some(store.bool(false)),
+                    Op::False => Some(store.bool(true)),
+                    _ => None,
+                }
+            }
+            Op::And => {
+                if args.iter().any(|&a| is_false(store, a)) {
+                    return Some(store.bool(false));
+                }
+                // Complementary literals: x ∧ ¬x.
+                for &a in args {
+                    let t = store.term(a).clone();
+                    if *t.op() == Op::Not && args.contains(&t.args()[0]) {
+                        return Some(store.bool(false));
+                    }
+                }
+                let mut kept: Vec<TermId> = Vec::with_capacity(args.len());
+                for &a in args {
+                    if !is_true(store, a) && !kept.contains(&a) {
+                        kept.push(a);
+                    }
+                }
+                match kept.len() {
+                    0 => Some(store.bool(true)),
+                    1 => Some(kept[0]),
+                    n if n < args.len() => Some(store.and(&kept).expect("bool args")),
+                    _ => None,
+                }
+            }
+            Op::Or => {
+                if args.iter().any(|&a| is_true(store, a)) {
+                    return Some(store.bool(true));
+                }
+                for &a in args {
+                    let t = store.term(a).clone();
+                    if *t.op() == Op::Not && args.contains(&t.args()[0]) {
+                        return Some(store.bool(true));
+                    }
+                }
+                let mut kept: Vec<TermId> = Vec::with_capacity(args.len());
+                for &a in args {
+                    if !is_false(store, a) && !kept.contains(&a) {
+                        kept.push(a);
+                    }
+                }
+                match kept.len() {
+                    0 => Some(store.bool(false)),
+                    1 => Some(kept[0]),
+                    n if n < args.len() => Some(store.or(&kept).expect("bool args")),
+                    _ => None,
+                }
+            }
+            Op::Implies => {
+                if args.len() == 2 {
+                    if is_true(store, args[0]) {
+                        return Some(args[1]);
+                    }
+                    if is_false(store, args[0]) || is_true(store, args[1]) {
+                        return Some(store.bool(true));
+                    }
+                    if is_false(store, args[1]) {
+                        return store.not(args[0]).ok();
+                    }
+                }
+                None
+            }
+            Op::Ite => {
+                if is_true(store, args[0]) {
+                    return Some(args[1]);
+                }
+                if is_false(store, args[0]) {
+                    return Some(args[2]);
+                }
+                if args[1] == args[2] {
+                    return Some(args[1]);
+                }
+                None
+            }
+            Op::Eq => {
+                // Reflexive equality is true for every sort except floats
+                // (structurally identical floats ARE equal under `=`; only
+                // fp.eq differs on NaN — `=` is object identity, so x = x
+                // holds even for NaN).
+                if args.len() == 2 && args[0] == args[1] {
+                    return Some(store.bool(true));
+                }
+                None
+            }
+            Op::Xor => {
+                if args.len() == 2 {
+                    if args[0] == args[1] {
+                        return Some(store.bool(false));
+                    }
+                    if is_false(store, args[0]) {
+                        return Some(args[1]);
+                    }
+                    if is_false(store, args[1]) {
+                        return Some(args[0]);
+                    }
+                }
+                None
+            }
+            // Reflexive comparisons.
+            Op::BvSle | Op::BvSge | Op::BvUle if args[0] == args[1] => Some(store.bool(true)),
+            Op::BvSlt | Op::BvSgt | Op::BvUlt if args[0] == args[1] => Some(store.bool(false)),
+            Op::FpLt | Op::FpGt if args.len() == 2 && args[0] == args[1] => {
+                // x < x is false even for NaN (unordered).
+                Some(store.bool(false))
+            }
+            _ => None,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Algebraic identities
+// ---------------------------------------------------------------------------
+
+/// Word-level algebraic identities over bitvectors and (NaN-safe) floats.
+#[derive(Debug, Clone, Copy)]
+pub struct Algebraic;
+
+fn bv_const_of(store: &TermStore, t: TermId) -> Option<BitVecValue> {
+    match store.term(t).op() {
+        Op::BvConst(v) => Some(v.clone()),
+        _ => None,
+    }
+}
+
+impl Pass for Algebraic {
+    fn name(&self) -> &'static str {
+        "algebraic"
+    }
+
+    fn simplify(&self, store: &mut TermStore, op: &Op, args: &[TermId]) -> Option<TermId> {
+        let zero_of = |s: &TermStore, t: TermId| -> Option<bool> {
+            bv_const_of(s, t).map(|v| v.to_unsigned().is_zero())
+        };
+        let one_of = |s: &TermStore, t: TermId| -> Option<bool> {
+            bv_const_of(s, t).map(|v| v.to_unsigned() == BigInt::one())
+        };
+        match op {
+            Op::BvAdd => {
+                if zero_of(store, args[1]) == Some(true) {
+                    return Some(args[0]);
+                }
+                if zero_of(store, args[0]) == Some(true) {
+                    return Some(args[1]);
+                }
+                None
+            }
+            Op::BvSub => {
+                if zero_of(store, args[1]) == Some(true) {
+                    return Some(args[0]);
+                }
+                if args[0] == args[1] {
+                    let w = bv_width(store, args[0]);
+                    return Some(store.bv(BitVecValue::zero(w)));
+                }
+                None
+            }
+            Op::BvMul => {
+                for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                    if zero_of(store, c) == Some(true) {
+                        let w = bv_width(store, c);
+                        return Some(store.bv(BitVecValue::zero(w)));
+                    }
+                    if one_of(store, c) == Some(true) {
+                        return Some(other);
+                    }
+                }
+                None
+            }
+            Op::BvNeg => {
+                let inner = store.term(args[0]).clone();
+                if *inner.op() == Op::BvNeg {
+                    return Some(inner.args()[0]);
+                }
+                None
+            }
+            Op::BvNot => {
+                let inner = store.term(args[0]).clone();
+                if *inner.op() == Op::BvNot {
+                    return Some(inner.args()[0]);
+                }
+                None
+            }
+            Op::BvXor => {
+                if args[0] == args[1] {
+                    let w = bv_width(store, args[0]);
+                    return Some(store.bv(BitVecValue::zero(w)));
+                }
+                if zero_of(store, args[1]) == Some(true) {
+                    return Some(args[0]);
+                }
+                if zero_of(store, args[0]) == Some(true) {
+                    return Some(args[1]);
+                }
+                None
+            }
+            Op::BvAnd | Op::BvOr => {
+                if args[0] == args[1] {
+                    return Some(args[0]);
+                }
+                let annihilates = *op == Op::BvAnd; // x & 0 = 0; x | 0 = x
+                for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                    if zero_of(store, c) == Some(true) {
+                        return Some(if annihilates { c } else { other });
+                    }
+                }
+                None
+            }
+            Op::BvShl | Op::BvLshr | Op::BvAshr => {
+                if zero_of(store, args[1]) == Some(true) {
+                    return Some(args[0]);
+                }
+                None
+            }
+            Op::FpNeg => {
+                let inner = store.term(args[0]).clone();
+                if *inner.op() == Op::FpNeg {
+                    return Some(inner.args()[0]);
+                }
+                None
+            }
+            Op::FpAbs => {
+                let inner = store.term(args[0]).clone();
+                match inner.op() {
+                    // |−x| = |x| and ||x|| = |x| hold for all floats.
+                    Op::FpNeg => store.app(Op::FpAbs, &[inner.args()[0]]).ok(),
+                    Op::FpAbs => Some(args[0]),
+                    _ => None,
+                }
+            }
+            Op::FpMul | Op::FpDiv => {
+                // x * 1.0 and x / 1.0 are exact for every input (including
+                // NaN, infinities, and signed zeros).
+                let one = fp_is_one(store, args[2]);
+                if one && *op == Op::FpMul {
+                    return Some(args[1]);
+                }
+                if one && *op == Op::FpDiv {
+                    return Some(args[1]);
+                }
+                if *op == Op::FpMul && fp_is_one(store, args[1]) {
+                    return Some(args[2]);
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+fn bv_width(store: &TermStore, t: TermId) -> u32 {
+    match store.sort(t) {
+        Sort::BitVec(w) => w,
+        s => unreachable!("expected bitvector, got {s}"),
+    }
+}
+
+fn fp_is_one(store: &TermStore, t: TermId) -> bool {
+    match store.term(t).op() {
+        Op::FpConst(v) => v.to_rational().is_some_and(|r| r == staub_numeric::BigRational::one()),
+        _ => false,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strength reduction
+// ---------------------------------------------------------------------------
+
+/// Multiplication/division by powers of two becomes shifting.
+#[derive(Debug, Clone, Copy)]
+pub struct StrengthReduction;
+
+impl Pass for StrengthReduction {
+    fn name(&self) -> &'static str {
+        "strength-reduction"
+    }
+
+    fn simplify(&self, store: &mut TermStore, op: &Op, args: &[TermId]) -> Option<TermId> {
+        match op {
+            Op::BvMul => {
+                for (c, other) in [(args[0], args[1]), (args[1], args[0])] {
+                    if let Some(v) = bv_const_of(store, c) {
+                        let u = v.to_unsigned();
+                        if let Some(k) = exact_log2(&u) {
+                            if k > 0 {
+                                let w = v.width();
+                                let amount =
+                                    store.bv(BitVecValue::new(BigInt::from(k), w));
+                                return store.app(Op::BvShl, &[other, amount]).ok();
+                            }
+                        }
+                    }
+                }
+                None
+            }
+            Op::BvUdiv => {
+                if let Some(v) = bv_const_of(store, args[1]) {
+                    let u = v.to_unsigned();
+                    if let Some(k) = exact_log2(&u) {
+                        if k > 0 {
+                            let w = v.width();
+                            let amount = store.bv(BitVecValue::new(BigInt::from(k), w));
+                            return store.app(Op::BvLshr, &[args[0], amount]).ok();
+                        }
+                    }
+                }
+                None
+            }
+            _ => None,
+        }
+    }
+}
+
+/// `Some(k)` iff `v == 2^k` with `v > 0`.
+fn exact_log2(v: &BigInt) -> Option<i64> {
+    if v.is_zero() || v.is_negative() {
+        return None;
+    }
+    let tz = v.trailing_zeros()?;
+    (v.bit_len() == tz + 1).then_some(tz as i64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_smtlib::Script;
+
+    fn simplify_with(pass: &dyn Pass, src: &str) -> String {
+        let mut script = Script::parse(src).unwrap();
+        let assertions: Vec<TermId> = script.assertions().to_vec();
+        let mut rewritten = Vec::new();
+        for a in assertions {
+            let term = script.store().term(a).clone();
+            let next = pass
+                .simplify(script.store_mut(), term.op(), term.args())
+                .unwrap_or(a);
+            rewritten.push(next);
+        }
+        script.set_assertions(rewritten);
+        script.to_string()
+    }
+
+    #[test]
+    fn const_fold_bv() {
+        let out = simplify_with(
+            &ConstFold,
+            "(assert (bvult (_ bv3 8) (_ bv5 8)))",
+        );
+        assert!(out.contains("(assert true)"), "{out}");
+    }
+
+    #[test]
+    fn const_fold_skips_div_by_zero_int() {
+        // Integer division by zero must not fold (uninterpreted).
+        let mut script =
+            Script::parse("(declare-fun x () Int)(assert (= x (div 4 0)))").unwrap();
+        let a = script.assertions()[0];
+        let eq = script.store().term(a).clone();
+        let div = eq.args()[1];
+        let div_term = script.store().term(div).clone();
+        assert_eq!(
+            ConstFold.simplify(script.store_mut(), div_term.op(), div_term.args()),
+            None
+        );
+    }
+
+    #[test]
+    fn bool_rules() {
+        let out = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (and p true p))");
+        assert!(out.contains("(assert p)"), "{out}");
+        let out2 = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (or p (not p)))");
+        assert!(out2.contains("(assert true)"), "{out2}");
+        let out3 = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (not (not p)))");
+        assert!(out3.contains("(assert p)"), "{out3}");
+        let out4 =
+            simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (=> false p))");
+        assert!(out4.contains("(assert true)"), "{out4}");
+    }
+
+    #[test]
+    fn algebraic_bv_rules() {
+        let cases = [
+            ("(assert (= x (bvadd x (_ bv0 8))))", "(= x x)"),
+            ("(assert (= (bvsub x x) (_ bv0 8)))", "(= (_ bv0 8) (_ bv0 8))"),
+            ("(assert (= x (bvmul (_ bv1 8) x)))", "(= x x)"),
+            ("(assert (= x (bvneg (bvneg x))))", "(= x x)"),
+            ("(assert (= x (bvxor x (_ bv0 8))))", "(= x x)"),
+        ];
+        for (src, _expect) in cases {
+            let full = format!("(declare-fun x () (_ BitVec 8)){src}");
+            let mut script = Script::parse(&full).unwrap();
+            let a = script.assertions()[0];
+            let eq = script.store().term(a).clone();
+            // Simplify the inner application (args of =).
+            let inner_changed = eq.args().iter().any(|&arg| {
+                let t = script.store().term(arg).clone();
+                Algebraic.simplify(script.store_mut(), t.op(), t.args()).is_some()
+            });
+            assert!(inner_changed, "no rule fired for {src}");
+        }
+    }
+
+    #[test]
+    fn fp_identities_are_nan_safe() {
+        // fp.mul RNE x 1.0 → x must hold for NaN: verified by construction
+        // (multiplication by one is exact); here we just check the rule
+        // fires.
+        let src = "(declare-fun f () (_ FloatingPoint 8 24))
+                   (assert (fp.eq (fp.mul RNE f (fp #b0 #b01111111 #b00000000000000000000000)) f))";
+        let mut script = Script::parse(src).unwrap();
+        let a = script.assertions()[0];
+        let eq = script.store().term(a).clone();
+        let mul = eq.args()[0];
+        let mul_term = script.store().term(mul).clone();
+        let out = Algebraic.simplify(script.store_mut(), mul_term.op(), mul_term.args());
+        assert!(out.is_some(), "x * 1.0 rule fired");
+    }
+
+    #[test]
+    fn strength_reduction_mul_to_shift() {
+        let src = "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x (_ bv8 8)) (_ bv0 8)))";
+        let mut script = Script::parse(src).unwrap();
+        let a = script.assertions()[0];
+        let eq = script.store().term(a).clone();
+        let mul = eq.args()[0];
+        let mul_term = script.store().term(mul).clone();
+        let out = StrengthReduction
+            .simplify(script.store_mut(), mul_term.op(), mul_term.args())
+            .expect("rule fires");
+        let new_term = script.store().term(out);
+        assert_eq!(*new_term.op(), Op::BvShl);
+    }
+
+    #[test]
+    fn strength_reduction_skips_non_powers() {
+        let src = "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x (_ bv6 8)) (_ bv0 8)))";
+        let mut script = Script::parse(src).unwrap();
+        let a = script.assertions()[0];
+        let eq = script.store().term(a).clone();
+        let mul = eq.args()[0];
+        let mul_term = script.store().term(mul).clone();
+        assert!(StrengthReduction
+            .simplify(script.store_mut(), mul_term.op(), mul_term.args())
+            .is_none());
+    }
+
+    #[test]
+    fn exact_log2_cases() {
+        assert_eq!(exact_log2(&BigInt::from(1)), Some(0));
+        assert_eq!(exact_log2(&BigInt::from(2)), Some(1));
+        assert_eq!(exact_log2(&BigInt::from(64)), Some(6));
+        assert_eq!(exact_log2(&BigInt::from(6)), None);
+        assert_eq!(exact_log2(&BigInt::from(0)), None);
+        assert_eq!(exact_log2(&BigInt::from(-4)), None);
+    }
+}

@@ -1,0 +1,504 @@
+//! Exact evaluation of terms under a model.
+//!
+//! This is the workhorse behind STAUB's verification step (paper §4.4): a
+//! candidate model of the *bounded* constraint is mapped back to unbounded
+//! values and the original constraint is evaluated exactly — far cheaper
+//! than a second solver call, which keeps `T_check` de minimis (§6.1).
+
+use std::cmp::Ordering;
+use std::error::Error;
+use std::fmt;
+
+use staub_numeric::{BigInt, BigRational, RoundingMode};
+
+use crate::op::Op;
+use crate::term::{TermId, TermStore};
+use crate::value::{Model, Value};
+
+/// Error produced during evaluation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// A variable had no binding in the model.
+    UnboundVariable(String),
+    /// Integer `div`/`mod` or real `/` with a zero divisor — these are
+    /// uninterpreted in SMT-LIB, so evaluation cannot produce a value.
+    DivisionByZero,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
+            EvalError::DivisionByZero => f.write_str("division by zero is uninterpreted"),
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// Evaluates `root` under `model`, memoizing shared subterms.
+///
+/// # Errors
+///
+/// Returns [`EvalError`] if a variable is unbound or an uninterpreted
+/// partial operation (division by zero) is reached.
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::{evaluate, Model, Script, Value};
+/// use staub_numeric::BigInt;
+///
+/// let s = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))")?;
+/// let x = s.store().symbol("x").unwrap();
+/// let mut m = Model::new();
+/// m.insert(x, Value::Int(BigInt::from(-7)));
+/// assert_eq!(evaluate(s.store(), s.assertions()[0], &m)?, Value::Bool(true));
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn evaluate(store: &TermStore, root: TermId, model: &Model) -> Result<Value, EvalError> {
+    let mut memo: Vec<Option<Value>> = vec![None; store.len()];
+    eval_rec(store, root, model, &mut memo)
+}
+
+fn eval_rec(
+    store: &TermStore,
+    id: TermId,
+    model: &Model,
+    memo: &mut Vec<Option<Value>>,
+) -> Result<Value, EvalError> {
+    if let Some(v) = &memo[id.index()] {
+        return Ok(v.clone());
+    }
+    let term = store.term(id);
+    let mut args = Vec::with_capacity(term.args().len());
+    for &arg in term.args() {
+        args.push(eval_rec(store, arg, model, memo)?);
+    }
+    let value = apply(store, term.op(), &args, model)?;
+    memo[id.index()] = Some(value.clone());
+    Ok(value)
+}
+
+fn apply(store: &TermStore, op: &Op, args: &[Value], model: &Model) -> Result<Value, EvalError> {
+    use Op::*;
+    let bool_at = |i: usize| args[i].as_bool().expect("sort-checked Bool");
+    let bools = || args.iter().map(|v| v.as_bool().expect("sort-checked Bool"));
+    Ok(match op {
+        Var(sym) => model
+            .get(*sym)
+            .cloned()
+            .ok_or_else(|| EvalError::UnboundVariable(store.symbol_name(*sym).to_string()))?,
+        True => Value::Bool(true),
+        False => Value::Bool(false),
+        IntConst(v) => Value::Int(v.clone()),
+        RealConst(v) => Value::Real(v.clone()),
+        BvConst(v) => Value::BitVec(v.clone()),
+        FpConst(v) => Value::Float(v.clone()),
+        RmConst(m) => Value::Rm(*m),
+
+        Not => Value::Bool(!bool_at(0)),
+        And => Value::Bool(bools().all(|b| b)),
+        Or => Value::Bool(bools().any(|b| b)),
+        Xor => Value::Bool(bools().fold(false, |acc, b| acc ^ b)),
+        Implies => {
+            // Right-associative: a => b => c  is  a => (b => c).
+            let mut acc = *args.last().and_then(Value::as_bool).as_ref().expect("sort-checked");
+            for v in args[..args.len() - 1].iter().rev() {
+                acc = !v.as_bool().expect("sort-checked") || acc;
+            }
+            Value::Bool(acc)
+        }
+        Ite => {
+            if bool_at(0) {
+                args[1].clone()
+            } else {
+                args[2].clone()
+            }
+        }
+        Eq => Value::Bool(args.windows(2).all(|w| w[0] == w[1])),
+        Distinct => {
+            let mut all_distinct = true;
+            for i in 0..args.len() {
+                for j in i + 1..args.len() {
+                    if args[i] == args[j] {
+                        all_distinct = false;
+                    }
+                }
+            }
+            Value::Bool(all_distinct)
+        }
+
+        Neg => match &args[0] {
+            Value::Int(v) => Value::Int(-v.clone()),
+            Value::Real(v) => Value::Real(-v.clone()),
+            _ => unreachable!("sort-checked Neg"),
+        },
+        Abs => Value::Int(args[0].as_int().expect("sort-checked abs").abs()),
+        Add => fold_arith(args, |a, b| a + b, |a, b| a + b),
+        Sub => fold_arith(args, |a, b| a - b, |a, b| a - b),
+        Mul => fold_arith(args, |a, b| a * b, |a, b| a * b),
+        IntDiv => {
+            let a = args[0].as_int().expect("sort-checked div");
+            let b = args[1].as_int().expect("sort-checked div");
+            if b.is_zero() {
+                return Err(EvalError::DivisionByZero);
+            }
+            Value::Int(a.div_rem_euclid(b).0)
+        }
+        Mod => {
+            let a = args[0].as_int().expect("sort-checked mod");
+            let b = args[1].as_int().expect("sort-checked mod");
+            if b.is_zero() {
+                return Err(EvalError::DivisionByZero);
+            }
+            Value::Int(a.div_rem_euclid(b).1)
+        }
+        RealDiv => {
+            let mut acc = args[0].as_real().expect("sort-checked /").clone();
+            for v in &args[1..] {
+                let d = v.as_real().expect("sort-checked /");
+                if d.is_zero() {
+                    return Err(EvalError::DivisionByZero);
+                }
+                acc = &acc / d;
+            }
+            Value::Real(acc)
+        }
+        Le => chain_cmp(args, |o| o != Ordering::Greater),
+        Lt => chain_cmp(args, |o| o == Ordering::Less),
+        Ge => chain_cmp(args, |o| o != Ordering::Less),
+        Gt => chain_cmp(args, |o| o == Ordering::Greater),
+
+        BvAdd => bv2(args, |a, b| a.bvadd(b)),
+        BvSub => bv2(args, |a, b| a.bvsub(b)),
+        BvMul => bv2(args, |a, b| a.bvmul(b)),
+        BvSdiv => bv2(args, |a, b| a.bvsdiv(b)),
+        BvSrem => bv2(args, |a, b| a.bvsrem(b)),
+        BvUdiv => bv2(args, |a, b| a.bvudiv(b)),
+        BvUrem => bv2(args, |a, b| a.bvurem(b)),
+        BvShl => bv2(args, |a, b| a.bvshl(b)),
+        BvLshr => bv2(args, |a, b| a.bvlshr(b)),
+        BvAshr => bv2(args, |a, b| a.bvashr(b)),
+        BvAnd => bv2(args, |a, b| a.bvand(b)),
+        BvOr => bv2(args, |a, b| a.bvor(b)),
+        BvXor => bv2(args, |a, b| a.bvxor(b)),
+        BvNeg => Value::BitVec(args[0].as_bitvec().expect("sort-checked").bvneg()),
+        BvNot => Value::BitVec(args[0].as_bitvec().expect("sort-checked").bvnot()),
+        BvSlt => bvcmp_s(args, Ordering::is_lt),
+        BvSle => bvcmp_s(args, Ordering::is_le),
+        BvSgt => bvcmp_s(args, Ordering::is_gt),
+        BvSge => bvcmp_s(args, Ordering::is_ge),
+        BvUlt => bvcmp_u(args, Ordering::is_lt),
+        BvUle => bvcmp_u(args, Ordering::is_le),
+        BvSaddo => bvpred(args, |a, b| a.bvsaddo(b)),
+        BvSsubo => bvpred(args, |a, b| a.bvssubo(b)),
+        BvSmulo => bvpred(args, |a, b| a.bvsmulo(b)),
+        BvSdivo => bvpred(args, |a, b| a.bvsdivo(b)),
+        BvNego => Value::Bool(args[0].as_bitvec().expect("sort-checked").bvnego()),
+        BvSignExtend(n) => {
+            let v = args[0].as_bitvec().expect("sort-checked");
+            Value::BitVec(v.sign_extend(v.width() + n))
+        }
+        BvZeroExtend(n) => {
+            let v = args[0].as_bitvec().expect("sort-checked");
+            Value::BitVec(v.zero_extend(v.width() + n))
+        }
+        BvExtract(hi, lo) => {
+            let v = args[0].as_bitvec().expect("sort-checked");
+            let width = hi - lo + 1;
+            let shifted = v.to_unsigned().shr_bits(*lo as usize);
+            Value::BitVec(staub_numeric::BitVecValue::new(shifted, width))
+        }
+
+        FpAdd => fp_arith(args, |a, b, m| a.add(b, m)),
+        FpSub => fp_arith(args, |a, b, m| a.sub(b, m)),
+        FpMul => fp_arith(args, |a, b, m| a.mul(b, m)),
+        FpDiv => fp_arith(args, |a, b, m| a.div(b, m)),
+        FpNeg => Value::Float(args[0].as_float().expect("sort-checked").neg()),
+        FpAbs => Value::Float(args[0].as_float().expect("sort-checked").abs()),
+        FpEq => fp_chain(args, |a, b| a.ieee_eq(b)),
+        FpLt => fp_chain(args, |a, b| a.ieee_cmp(b) == Some(Ordering::Less)),
+        FpLeq => fp_chain(args, |a, b| {
+            matches!(a.ieee_cmp(b), Some(Ordering::Less | Ordering::Equal))
+        }),
+        FpGt => fp_chain(args, |a, b| a.ieee_cmp(b) == Some(Ordering::Greater)),
+        FpGeq => fp_chain(args, |a, b| {
+            matches!(a.ieee_cmp(b), Some(Ordering::Greater | Ordering::Equal))
+        }),
+        FpIsNan => Value::Bool(args[0].as_float().expect("sort-checked").is_nan()),
+        FpIsInf => Value::Bool(args[0].as_float().expect("sort-checked").is_infinite()),
+    })
+}
+
+fn fold_arith(
+    args: &[Value],
+    int_op: fn(&BigInt, &BigInt) -> BigInt,
+    real_op: fn(&BigRational, &BigRational) -> BigRational,
+) -> Value {
+    match &args[0] {
+        Value::Int(first) => {
+            let mut acc = first.clone();
+            for v in &args[1..] {
+                acc = int_op(&acc, v.as_int().expect("sort-checked arith"));
+            }
+            Value::Int(acc)
+        }
+        Value::Real(first) => {
+            let mut acc = first.clone();
+            for v in &args[1..] {
+                acc = real_op(&acc, v.as_real().expect("sort-checked arith"));
+            }
+            Value::Real(acc)
+        }
+        _ => unreachable!("sort-checked arithmetic"),
+    }
+}
+
+fn chain_cmp(args: &[Value], accept: fn(Ordering) -> bool) -> Value {
+    let ok = args.windows(2).all(|w| {
+        let ord = match (&w[0], &w[1]) {
+            (Value::Int(a), Value::Int(b)) => a.cmp(b),
+            (Value::Real(a), Value::Real(b)) => a.cmp(b),
+            _ => unreachable!("sort-checked comparison"),
+        };
+        accept(ord)
+    });
+    Value::Bool(ok)
+}
+
+fn bv2(
+    args: &[Value],
+    f: impl Fn(&staub_numeric::BitVecValue, &staub_numeric::BitVecValue) -> staub_numeric::BitVecValue,
+) -> Value {
+    Value::BitVec(f(
+        args[0].as_bitvec().expect("sort-checked bv"),
+        args[1].as_bitvec().expect("sort-checked bv"),
+    ))
+}
+
+fn bvpred(
+    args: &[Value],
+    f: impl Fn(&staub_numeric::BitVecValue, &staub_numeric::BitVecValue) -> bool,
+) -> Value {
+    Value::Bool(f(
+        args[0].as_bitvec().expect("sort-checked bv"),
+        args[1].as_bitvec().expect("sort-checked bv"),
+    ))
+}
+
+fn bvcmp_s(args: &[Value], accept: fn(Ordering) -> bool) -> Value {
+    Value::Bool(accept(
+        args[0]
+            .as_bitvec()
+            .expect("sort-checked bv")
+            .scmp(args[1].as_bitvec().expect("sort-checked bv")),
+    ))
+}
+
+fn bvcmp_u(args: &[Value], accept: fn(Ordering) -> bool) -> Value {
+    Value::Bool(accept(
+        args[0]
+            .as_bitvec()
+            .expect("sort-checked bv")
+            .ucmp(args[1].as_bitvec().expect("sort-checked bv")),
+    ))
+}
+
+fn fp_arith(
+    args: &[Value],
+    f: impl Fn(&staub_numeric::SoftFloat, &staub_numeric::SoftFloat, RoundingMode) -> staub_numeric::SoftFloat,
+) -> Value {
+    let Value::Rm(mode) = &args[0] else {
+        unreachable!("sort-checked fp rounding mode")
+    };
+    Value::Float(f(
+        args[1].as_float().expect("sort-checked fp"),
+        args[2].as_float().expect("sort-checked fp"),
+        *mode,
+    ))
+}
+
+fn fp_chain(
+    args: &[Value],
+    f: impl Fn(&staub_numeric::SoftFloat, &staub_numeric::SoftFloat) -> bool,
+) -> Value {
+    Value::Bool(args.windows(2).all(|w| {
+        f(
+            w[0].as_float().expect("sort-checked fp"),
+            w[1].as_float().expect("sort-checked fp"),
+        )
+    }))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Script;
+    use staub_numeric::BitVecValue;
+
+    fn eval_src(src: &str, bind: &[(&str, Value)]) -> Result<Value, EvalError> {
+        let script = Script::parse(src).unwrap();
+        let mut model = Model::new();
+        for (name, value) in bind {
+            let sym = script.store().symbol(name).unwrap();
+            model.insert(sym, value.clone());
+        }
+        evaluate(script.store(), script.assertions()[0], &model)
+    }
+
+    fn int(v: i64) -> Value {
+        Value::Int(BigInt::from(v))
+    }
+
+    fn real(s: &str) -> Value {
+        Value::Real(s.parse().unwrap())
+    }
+
+    #[test]
+    fn motivating_example_assignment() {
+        let src = "\
+(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))";
+        let v = eval_src(src, &[("x", int(7)), ("y", int(8)), ("z", int(0))]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        let v = eval_src(src, &[("x", int(7)), ("y", int(8)), ("z", int(1))]).unwrap();
+        assert_eq!(v, Value::Bool(false));
+    }
+
+    #[test]
+    fn boolean_connectives() {
+        let src = "(declare-fun a () Bool)(declare-fun b () Bool)(assert (=> a b a))";
+        // Right-assoc: a => (b => a); with a=true, b=false: true => (false => true) = true.
+        let v = eval_src(src, &[("a", Value::Bool(true)), ("b", Value::Bool(false))]).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        let src2 = "(declare-fun a () Bool)(assert (xor a true a))";
+        assert_eq!(
+            eval_src(src2, &[("a", Value::Bool(true))]).unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn chained_comparison() {
+        let src = "(declare-fun x () Int)(assert (< 0 x 10))";
+        assert_eq!(eval_src(src, &[("x", int(5))]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_src(src, &[("x", int(10))]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn distinct_all_pairs() {
+        let src = "(declare-fun x () Int)(assert (distinct x 1 2))";
+        assert_eq!(eval_src(src, &[("x", int(3))]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_src(src, &[("x", int(2))]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn euclidean_div_mod() {
+        let src = "(declare-fun x () Int)(assert (= (+ (* 2 (div x 2)) (mod x 2)) x))";
+        for v in [-7i64, -2, 0, 3, 8] {
+            assert_eq!(eval_src(src, &[("x", int(v))]).unwrap(), Value::Bool(true), "x={v}");
+        }
+        let src2 = "(declare-fun x () Int)(assert (= (mod x 2) 1))";
+        assert_eq!(eval_src(src2, &[("x", int(-7))]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let src = "(declare-fun x () Int)(assert (= (div x 0) 1))";
+        assert_eq!(eval_src(src, &[("x", int(1))]), Err(EvalError::DivisionByZero));
+        let src2 = "(declare-fun r () Real)(assert (= (/ r 0.0) 1.0))";
+        assert_eq!(eval_src(src2, &[("r", real("1"))]), Err(EvalError::DivisionByZero));
+    }
+
+    #[test]
+    fn unbound_variable_is_error() {
+        let src = "(declare-fun x () Int)(assert (= x 1))";
+        assert!(matches!(
+            eval_src(src, &[]),
+            Err(EvalError::UnboundVariable(name)) if name == "x"
+        ));
+    }
+
+    #[test]
+    fn real_arithmetic() {
+        let src = "(declare-fun r () Real)(assert (= (* r r) 2.25))";
+        assert_eq!(eval_src(src, &[("r", real("1.5"))]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_src(src, &[("r", real("-1.5"))]).unwrap(), Value::Bool(true));
+        assert_eq!(eval_src(src, &[("r", real("1"))]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn bitvector_semantics() {
+        let src = "(declare-fun b () (_ BitVec 8))(assert (= (bvmul b b) (_ bv49 8)))";
+        let v = Value::BitVec(BitVecValue::from_i64(-7, 8));
+        assert_eq!(eval_src(src, &[("b", v)]).unwrap(), Value::Bool(true));
+        // Overflow wraps: 16*16 = 0 in 8 bits.
+        let src2 = "(declare-fun b () (_ BitVec 8))(assert (= (bvmul b b) (_ bv0 8)))";
+        let v2 = Value::BitVec(BitVecValue::from_i64(16, 8));
+        assert_eq!(eval_src(src2, &[("b", v2)]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn overflow_predicate_semantics() {
+        let src = "(declare-fun b () (_ BitVec 8))(assert (bvsmulo b b))";
+        assert_eq!(
+            eval_src(src, &[("b", Value::BitVec(BitVecValue::from_i64(16, 8)))]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_src(src, &[("b", Value::BitVec(BitVecValue::from_i64(7, 8)))]).unwrap(),
+            Value::Bool(false)
+        );
+    }
+
+    #[test]
+    fn fp_rounding_observable() {
+        // In binary64, round(0.1) + round(0.2) != round(0.3).
+        let src = "\
+(declare-fun a () (_ FloatingPoint 11 53))
+(declare-fun b () (_ FloatingPoint 11 53))
+(declare-fun c () (_ FloatingPoint 11 53))
+(assert (fp.eq (fp.add RNE a b) c))";
+        let mk = |s: &str| {
+            Value::Float(staub_numeric::SoftFloat::from_rational(11, 53, &s.parse().unwrap()))
+        };
+        assert_eq!(
+            eval_src(src, &[("a", mk("0.1")), ("b", mk("0.2")), ("c", mk("0.3"))]).unwrap(),
+            Value::Bool(false),
+            "binary64 0.1+0.2 != 0.3"
+        );
+        assert_eq!(
+            eval_src(src, &[("a", mk("0.5")), ("b", mk("0.25")), ("c", mk("0.75"))]).unwrap(),
+            Value::Bool(true)
+        );
+        // And in binary32, 0.1f + 0.2f happens to equal 0.3f.
+        let src32 = src.replace("11 53", "8 24");
+        let mk32 = |s: &str| {
+            Value::Float(staub_numeric::SoftFloat::from_rational(8, 24, &s.parse().unwrap()))
+        };
+        assert_eq!(
+            eval_src(&src32, &[("a", mk32("0.1")), ("b", mk32("0.2")), ("c", mk32("0.3"))])
+                .unwrap(),
+            Value::Bool(true)
+        );
+    }
+
+    #[test]
+    fn fp_nan_comparisons() {
+        let src = "(declare-fun f () (_ FloatingPoint 8 24))(assert (fp.eq f f))";
+        let nan = Value::Float(staub_numeric::SoftFloat::nan(8, 24));
+        assert_eq!(eval_src(src, &[("f", nan.clone())]).unwrap(), Value::Bool(false));
+        // But structural = is true for NaN.
+        let src2 = "(declare-fun f () (_ FloatingPoint 8 24))(assert (= f (_ NaN 8 24)))";
+        assert_eq!(eval_src(src2, &[("f", nan)]).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn ite_and_abs() {
+        let src = "(declare-fun x () Int)(assert (= (ite (< x 0) (- x) x) (abs x)))";
+        for v in [-5i64, 0, 5] {
+            assert_eq!(eval_src(src, &[("x", int(v))]).unwrap(), Value::Bool(true));
+        }
+    }
+}

@@ -1,0 +1,313 @@
+//! S-expression lexer for the SMT-LIB concrete syntax.
+
+use std::fmt;
+
+/// A lexical token with its source position (1-based line and column).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Token {
+    pub kind: TokenKind,
+    pub line: u32,
+    pub col: u32,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) enum TokenKind {
+    LParen,
+    RParen,
+    /// Simple or quoted symbol, keywords like `:status`, reserved words.
+    Symbol(String),
+    /// Decimal numeral, e.g. `855`.
+    Numeral(String),
+    /// Decimal fraction, e.g. `3.25`.
+    Decimal(String),
+    /// Binary literal without the `#b` prefix.
+    Binary(String),
+    /// Hex literal without the `#x` prefix.
+    Hex(String),
+    /// String literal without quotes.
+    StringLit(String),
+}
+
+/// A lexical error with position information.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct LexError {
+    pub message: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl fmt::Display for LexError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+fn is_symbol_char(c: char) -> bool {
+    c.is_ascii_alphanumeric()
+        || matches!(
+            c,
+            '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '=' | '<' | '>'
+                | '.' | '?' | '/' | ':'
+        )
+}
+
+/// Tokenizes an SMT-LIB source string.
+pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
+    let mut tokens = Vec::new();
+    let mut chars = src.chars().peekable();
+    let mut line = 1u32;
+    let mut col = 1u32;
+
+    macro_rules! bump {
+        () => {{
+            let c = chars.next();
+            if c == Some('\n') {
+                line += 1;
+                col = 1;
+            } else if c.is_some() {
+                col += 1;
+            }
+            c
+        }};
+    }
+
+    while let Some(&c) = chars.peek() {
+        let (tline, tcol) = (line, col);
+        match c {
+            ' ' | '\t' | '\r' | '\n' => {
+                bump!();
+            }
+            ';' => {
+                while let Some(&c) = chars.peek() {
+                    if c == '\n' {
+                        break;
+                    }
+                    bump!();
+                }
+            }
+            '(' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::LParen, line: tline, col: tcol });
+            }
+            ')' => {
+                bump!();
+                tokens.push(Token { kind: TokenKind::RParen, line: tline, col: tcol });
+            }
+            '#' => {
+                bump!();
+                match chars.peek() {
+                    Some('b') => {
+                        bump!();
+                        let mut s = String::new();
+                        while let Some(&c) = chars.peek() {
+                            if c == '0' || c == '1' {
+                                s.push(c);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        if s.is_empty() {
+                            return Err(LexError {
+                                message: "empty binary literal".into(),
+                                line: tline,
+                                col: tcol,
+                            });
+                        }
+                        tokens.push(Token { kind: TokenKind::Binary(s), line: tline, col: tcol });
+                    }
+                    Some('x') => {
+                        bump!();
+                        let mut s = String::new();
+                        while let Some(&c) = chars.peek() {
+                            if c.is_ascii_hexdigit() {
+                                s.push(c);
+                                bump!();
+                            } else {
+                                break;
+                            }
+                        }
+                        if s.is_empty() {
+                            return Err(LexError {
+                                message: "empty hex literal".into(),
+                                line: tline,
+                                col: tcol,
+                            });
+                        }
+                        tokens.push(Token { kind: TokenKind::Hex(s), line: tline, col: tcol });
+                    }
+                    other => {
+                        return Err(LexError {
+                            message: format!("unexpected character after `#`: {other:?}"),
+                            line: tline,
+                            col: tcol,
+                        })
+                    }
+                }
+            }
+            '"' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('"') => {
+                            // SMT-LIB escapes a quote by doubling it.
+                            if chars.peek() == Some(&'"') {
+                                bump!();
+                                s.push('"');
+                            } else {
+                                break;
+                            }
+                        }
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated string literal".into(),
+                                line: tline,
+                                col: tcol,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::StringLit(s), line: tline, col: tcol });
+            }
+            '|' => {
+                bump!();
+                let mut s = String::new();
+                loop {
+                    match bump!() {
+                        Some('|') => break,
+                        Some(c) => s.push(c),
+                        None => {
+                            return Err(LexError {
+                                message: "unterminated quoted symbol".into(),
+                                line: tline,
+                                col: tcol,
+                            })
+                        }
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Symbol(s), line: tline, col: tcol });
+            }
+            c if c.is_ascii_digit() => {
+                let mut s = String::new();
+                let mut is_decimal = false;
+                while let Some(&c) = chars.peek() {
+                    if c.is_ascii_digit() {
+                        s.push(c);
+                        bump!();
+                    } else if c == '.' && !is_decimal {
+                        is_decimal = true;
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                let kind = if is_decimal {
+                    if s.ends_with('.') {
+                        return Err(LexError {
+                            message: format!("malformed decimal `{s}`"),
+                            line: tline,
+                            col: tcol,
+                        });
+                    }
+                    TokenKind::Decimal(s)
+                } else {
+                    TokenKind::Numeral(s)
+                };
+                tokens.push(Token { kind, line: tline, col: tcol });
+            }
+            c if is_symbol_char(c) => {
+                let mut s = String::new();
+                while let Some(&c) = chars.peek() {
+                    if is_symbol_char(c) {
+                        s.push(c);
+                        bump!();
+                    } else {
+                        break;
+                    }
+                }
+                tokens.push(Token { kind: TokenKind::Symbol(s), line: tline, col: tcol });
+            }
+            other => {
+                return Err(LexError {
+                    message: format!("unexpected character `{other}`"),
+                    line: tline,
+                    col: tcol,
+                })
+            }
+        }
+    }
+    Ok(tokens)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        tokenize(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn basic_tokens() {
+        assert_eq!(
+            kinds("(assert (= x 855))"),
+            vec![
+                TokenKind::LParen,
+                TokenKind::Symbol("assert".into()),
+                TokenKind::LParen,
+                TokenKind::Symbol("=".into()),
+                TokenKind::Symbol("x".into()),
+                TokenKind::Numeral("855".into()),
+                TokenKind::RParen,
+                TokenKind::RParen,
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_skipped() {
+        assert_eq!(kinds("; a comment\nx ; trailing\ny"), vec![
+            TokenKind::Symbol("x".into()),
+            TokenKind::Symbol("y".into()),
+        ]);
+    }
+
+    #[test]
+    fn literals() {
+        assert_eq!(kinds("3.25"), vec![TokenKind::Decimal("3.25".into())]);
+        assert_eq!(kinds("#b1010"), vec![TokenKind::Binary("1010".into())]);
+        assert_eq!(kinds("#xAf0"), vec![TokenKind::Hex("Af0".into())]);
+        assert_eq!(kinds("\"hi\""), vec![TokenKind::StringLit("hi".into())]);
+        assert_eq!(kinds("|odd name|"), vec![TokenKind::Symbol("odd name".into())]);
+    }
+
+    #[test]
+    fn operators_are_symbols() {
+        assert_eq!(kinds("<= >= => bvadd :status"), vec![
+            TokenKind::Symbol("<=".into()),
+            TokenKind::Symbol(">=".into()),
+            TokenKind::Symbol("=>".into()),
+            TokenKind::Symbol("bvadd".into()),
+            TokenKind::Symbol(":status".into()),
+        ]);
+    }
+
+    #[test]
+    fn positions_tracked() {
+        let toks = tokenize("(a\n  b)").unwrap();
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (1, 2));
+        assert_eq!((toks[2].line, toks[2].col), (2, 3));
+    }
+
+    #[test]
+    fn errors() {
+        assert!(tokenize("#q").is_err());
+        assert!(tokenize("\"unterminated").is_err());
+        assert!(tokenize("1.").is_err());
+        assert!(tokenize("[").is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! SMT-LIB v2 front end for STAUB.
+//!
+//! This crate provides everything needed to read, build, inspect, evaluate,
+//! and print SMT-LIB constraints over the theories STAUB manipulates: Core,
+//! Ints, Reals, FixedSizeBitVectors, and FloatingPoint.
+//!
+//! # Architecture
+//!
+//! * [`Sort`] — the sorts of the supported theories.
+//! * [`TermStore`] — a hash-consing arena; terms are referenced by [`TermId`]
+//!   so structural equality and memoized traversals are O(1) per node. This
+//!   is what keeps STAUB's abstract interpretation linear in the constraint
+//!   size (paper §6.1).
+//! * [`Op`] — every function symbol, with sort-checking in
+//!   [`TermStore::app`].
+//! * [`Script`] — a parsed SMT-LIB script (declarations, assertions,
+//!   `check-sat`), with [`Script::parse`] and [`std::fmt::Display`] printing.
+//! * [`Value`] / [`Model`] / [`evaluate`] — exact evaluation of terms under
+//!   an assignment, used by solvers and by STAUB's verification step.
+//!
+//! # Examples
+//!
+//! Parsing the paper's motivating constraint (Fig. 1a) and evaluating it
+//! under the published satisfying assignment:
+//!
+//! ```
+//! use staub_smtlib::{evaluate, Model, Script, Value};
+//! use staub_numeric::BigInt;
+//!
+//! let src = "\
+//! (declare-fun x () Int)
+//! (declare-fun y () Int)
+//! (declare-fun z () Int)
+//! (assert (= (+ (* x x x) (* y y y) (* z z z)) 855))
+//! (check-sat)";
+//! let script = Script::parse(src)?;
+//!
+//! let mut model = Model::new();
+//! for (name, v) in [("x", 7), ("y", 8), ("z", 0)] {
+//!     let sym = script.store().symbol(name).unwrap();
+//!     model.insert(sym, Value::Int(BigInt::from(v)));
+//! }
+//! let assertion = script.assertions()[0];
+//! assert_eq!(evaluate(script.store(), assertion, &model)?, Value::Bool(true));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod eval;
+mod lexer;
+mod op;
+mod parser;
+mod printer;
+mod script;
+mod sort;
+mod term;
+mod value;
+
+pub use eval::{evaluate, EvalError};
+pub use op::{Op, SortError};
+pub use parser::ParseError;
+pub use printer::print_term;
+pub use script::{Command, Logic, Script};
+pub use sort::Sort;
+pub use term::{SymbolId, Term, TermId, TermStore};
+pub use value::{Model, Value};

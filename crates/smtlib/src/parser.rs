@@ -1,0 +1,764 @@
+//! Recursive-descent parser from token streams to [`Script`]s.
+
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+use staub_numeric::{BigInt, BigRational, BitVecValue, RoundingMode, SoftFloat};
+
+use crate::lexer::{tokenize, Token, TokenKind};
+use crate::op::Op;
+use crate::script::{Command, Logic, Script};
+use crate::sort::Sort;
+use crate::term::{TermId, TermStore};
+
+/// Error produced while parsing SMT-LIB input.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    message: String,
+    line: u32,
+    col: u32,
+}
+
+impl ParseError {
+    fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
+        ParseError { message: message.into(), line, col }
+    }
+
+    /// 1-based source line of the error.
+    pub fn line(&self) -> u32 {
+        self.line
+    }
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+/// Intermediate s-expression tree.
+#[derive(Debug, Clone)]
+enum SExpr {
+    Atom(Token),
+    List(Vec<SExpr>, u32, u32),
+}
+
+impl SExpr {
+    fn pos(&self) -> (u32, u32) {
+        match self {
+            SExpr::Atom(t) => (t.line, t.col),
+            SExpr::List(_, l, c) => (*l, *c),
+        }
+    }
+
+    fn as_symbol(&self) -> Option<&str> {
+        match self {
+            SExpr::Atom(Token { kind: TokenKind::Symbol(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+
+    fn as_numeral(&self) -> Option<&str> {
+        match self {
+            SExpr::Atom(Token { kind: TokenKind::Numeral(s), .. }) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+fn parse_sexprs(tokens: &[Token]) -> Result<Vec<SExpr>, ParseError> {
+    let mut stack: Vec<(Vec<SExpr>, u32, u32)> = Vec::new();
+    let mut top: Vec<SExpr> = Vec::new();
+    for tok in tokens {
+        match &tok.kind {
+            TokenKind::LParen => stack.push((std::mem::take(&mut top), tok.line, tok.col)),
+            TokenKind::RParen => match stack.pop() {
+                Some((mut outer, l, c)) => {
+                    let list = SExpr::List(std::mem::take(&mut top), l, c);
+                    outer.push(list);
+                    top = outer;
+                }
+                None => return Err(ParseError::new("unbalanced `)`", tok.line, tok.col)),
+            },
+            _ => top.push(SExpr::Atom(tok.clone())),
+        }
+    }
+    if let Some((_, l, c)) = stack.pop() {
+        return Err(ParseError::new("unclosed `(`", l, c));
+    }
+    Ok(top)
+}
+
+struct Parser {
+    store: TermStore,
+    commands: Vec<Command>,
+    assertions: Vec<TermId>,
+    logic: Option<Logic>,
+    /// 0-ary `define-fun` macros, inlined at use sites.
+    defs: HashMap<String, TermId>,
+}
+
+/// Parses a full SMT-LIB script.
+pub(crate) fn parse_script(src: &str) -> Result<Script, ParseError> {
+    let tokens = tokenize(src)
+        .map_err(|e| ParseError::new(e.message.clone(), e.line, e.col))?;
+    let sexprs = parse_sexprs(&tokens)?;
+    let mut p = Parser {
+        store: TermStore::new(),
+        commands: Vec::new(),
+        assertions: Vec::new(),
+        logic: None,
+        defs: HashMap::new(),
+    };
+    for sexpr in &sexprs {
+        p.command(sexpr)?;
+    }
+    Ok(Script::from_parts(p.store, p.commands, p.assertions, p.logic))
+}
+
+impl Parser {
+    fn err<T>(&self, msg: impl Into<String>, at: &SExpr) -> Result<T, ParseError> {
+        let (l, c) = at.pos();
+        Err(ParseError::new(msg, l, c))
+    }
+
+    fn command(&mut self, sexpr: &SExpr) -> Result<(), ParseError> {
+        let SExpr::List(items, ..) = sexpr else {
+            return self.err("expected a command list", sexpr);
+        };
+        let Some(head) = items.first().and_then(SExpr::as_symbol) else {
+            return self.err("expected a command name", sexpr);
+        };
+        match head {
+            "set-logic" => {
+                let name = items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("set-logic expects a name", sexpr).unwrap_err())?;
+                let logic = Logic::from_name(name);
+                self.logic = Some(logic.clone());
+                self.commands.push(Command::SetLogic(logic));
+            }
+            "set-info" => {
+                let key = items.get(1).and_then(SExpr::as_symbol).unwrap_or("").to_string();
+                let val = match items.get(2) {
+                    Some(SExpr::Atom(t)) => match &t.kind {
+                        TokenKind::Symbol(s)
+                        | TokenKind::Numeral(s)
+                        | TokenKind::Decimal(s)
+                        | TokenKind::StringLit(s) => s.clone(),
+                        _ => String::new(),
+                    },
+                    _ => String::new(),
+                };
+                self.commands.push(Command::SetInfo(key, val));
+            }
+            "set-option" => {} // ignored
+            "declare-fun" => {
+                let name = items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("declare-fun expects a name", sexpr).unwrap_err())?
+                    .to_string();
+                match items.get(2) {
+                    Some(SExpr::List(args, ..)) if args.is_empty() => {}
+                    _ => return self.err("only 0-ary declare-fun is supported", sexpr),
+                }
+                let sort_sexpr = items
+                    .get(3)
+                    .ok_or_else(|| self.err::<()>("declare-fun expects a sort", sexpr).unwrap_err())?;
+                let sort = self.sort(sort_sexpr)?;
+                let id = self
+                    .store
+                    .declare(&name, sort)
+                    .map_err(|e| self.err::<()>(e.to_string(), sexpr).unwrap_err())?;
+                self.commands.push(Command::Declare(id));
+            }
+            "declare-const" => {
+                let name = items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("declare-const expects a name", sexpr).unwrap_err())?
+                    .to_string();
+                let sort_sexpr = items
+                    .get(2)
+                    .ok_or_else(|| self.err::<()>("declare-const expects a sort", sexpr).unwrap_err())?;
+                let sort = self.sort(sort_sexpr)?;
+                let id = self
+                    .store
+                    .declare(&name, sort)
+                    .map_err(|e| self.err::<()>(e.to_string(), sexpr).unwrap_err())?;
+                self.commands.push(Command::Declare(id));
+            }
+            "define-fun" => {
+                // Only 0-ary macros: (define-fun f () S body).
+                let name = items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("define-fun expects a name", sexpr).unwrap_err())?
+                    .to_string();
+                match items.get(2) {
+                    Some(SExpr::List(args, ..)) if args.is_empty() => {}
+                    _ => return self.err("only 0-ary define-fun is supported", sexpr),
+                }
+                let declared = items
+                    .get(3)
+                    .ok_or_else(|| self.err::<()>("define-fun expects a sort", sexpr).unwrap_err())?;
+                let declared_sort = self.sort(declared)?;
+                let body = items
+                    .get(4)
+                    .ok_or_else(|| self.err::<()>("define-fun expects a body", sexpr).unwrap_err())?;
+                let body_term = self.term(body, &HashMap::new())?;
+                if self.store.sort(body_term) != declared_sort {
+                    return self.err(
+                        format!(
+                            "define-fun body sort {} does not match declared {declared_sort}",
+                            self.store.sort(body_term)
+                        ),
+                        sexpr,
+                    );
+                }
+                self.defs.insert(name, body_term);
+            }
+            "assert" => {
+                let body = items
+                    .get(1)
+                    .ok_or_else(|| self.err::<()>("assert expects a term", sexpr).unwrap_err())?;
+                let term = self.term(body, &HashMap::new())?;
+                if self.store.sort(term) != Sort::Bool {
+                    return self.err("asserted term must be Bool", sexpr);
+                }
+                self.assertions.push(term);
+                self.commands.push(Command::Assert(term));
+            }
+            "check-sat" => self.commands.push(Command::CheckSat),
+            "get-model" => self.commands.push(Command::GetModel),
+            "exit" => self.commands.push(Command::Exit),
+            other => return self.err(format!("unsupported command `{other}`"), sexpr),
+        }
+        Ok(())
+    }
+
+    fn sort(&self, sexpr: &SExpr) -> Result<Sort, ParseError> {
+        if let Some(name) = sexpr.as_symbol() {
+            return match name {
+                "Bool" => Ok(Sort::Bool),
+                "Int" => Ok(Sort::Int),
+                "Real" => Ok(Sort::Real),
+                "RoundingMode" => Ok(Sort::RoundingMode),
+                "Float16" => Ok(Sort::Float(5, 11)),
+                "Float32" => Ok(Sort::Float(8, 24)),
+                "Float64" => Ok(Sort::Float(11, 53)),
+                "Float128" => Ok(Sort::Float(15, 113)),
+                other => self.err(format!("unknown sort `{other}`"), sexpr),
+            };
+        }
+        if let SExpr::List(items, ..) = sexpr {
+            if items.first().and_then(SExpr::as_symbol) == Some("_") {
+                match items.get(1).and_then(SExpr::as_symbol) {
+                    Some("BitVec") => {
+                        let w = self.index_u32(items.get(2), sexpr)?;
+                        if w == 0 {
+                            return self.err("bitvector width must be positive", sexpr);
+                        }
+                        return Ok(Sort::BitVec(w));
+                    }
+                    Some("FloatingPoint") => {
+                        let eb = self.index_u32(items.get(2), sexpr)?;
+                        let sb = self.index_u32(items.get(3), sexpr)?;
+                        if eb < 2 || sb < 2 {
+                            return self.err("floating-point widths must be at least 2", sexpr);
+                        }
+                        // Resource guard: the widest formats any consumer
+                        // here manipulates (binary128 is eb=15, sb=113).
+                        if eb > 60 || sb > 4096 {
+                            return self.err("floating-point widths too large", sexpr);
+                        }
+                        return Ok(Sort::Float(eb, sb));
+                    }
+                    _ => {}
+                }
+            }
+        }
+        self.err("malformed sort", sexpr)
+    }
+
+    fn index_u32(&self, item: Option<&SExpr>, ctx: &SExpr) -> Result<u32, ParseError> {
+        item.and_then(SExpr::as_numeral)
+            .and_then(|s| s.parse::<u32>().ok())
+            .ok_or_else(|| self.err::<()>("expected a numeral index", ctx).unwrap_err())
+    }
+
+    fn term(&mut self, sexpr: &SExpr, env: &HashMap<String, TermId>) -> Result<TermId, ParseError> {
+        match sexpr {
+            SExpr::Atom(tok) => self.atom_term(tok, sexpr, env),
+            SExpr::List(items, ..) => self.list_term(items, sexpr, env),
+        }
+    }
+
+    fn atom_term(
+        &mut self,
+        tok: &Token,
+        at: &SExpr,
+        env: &HashMap<String, TermId>,
+    ) -> Result<TermId, ParseError> {
+        match &tok.kind {
+            TokenKind::Numeral(s) => {
+                let v: BigInt = s.parse().expect("lexer produced a valid numeral");
+                Ok(self.store.int(v))
+            }
+            TokenKind::Decimal(s) => {
+                let v: BigRational = s.parse().expect("lexer produced a valid decimal");
+                Ok(self.store.real(v))
+            }
+            TokenKind::Binary(s) => {
+                let mut v = BigInt::zero();
+                for c in s.chars() {
+                    v = v.shl_bits(1);
+                    if c == '1' {
+                        v = &v + &BigInt::one();
+                    }
+                }
+                Ok(self.store.bv(BitVecValue::new(v, s.len() as u32)))
+            }
+            TokenKind::Hex(s) => {
+                let mut v = BigInt::zero();
+                for c in s.chars() {
+                    v = v.shl_bits(4);
+                    let d = c.to_digit(16).expect("lexer produced valid hex");
+                    v = &v + &BigInt::from(d);
+                }
+                Ok(self.store.bv(BitVecValue::new(v, 4 * s.len() as u32)))
+            }
+            TokenKind::Symbol(name) => {
+                if let Some(&bound) = env.get(name) {
+                    return Ok(bound);
+                }
+                if let Some(&def) = self.defs.get(name) {
+                    return Ok(def);
+                }
+                match name.as_str() {
+                    "true" => return Ok(self.store.bool(true)),
+                    "false" => return Ok(self.store.bool(false)),
+                    "RNE" | "roundNearestTiesToEven" => {
+                        return Ok(self.store.rm(RoundingMode::NearestEven))
+                    }
+                    "RNA" | "roundNearestTiesToAway" => {
+                        return Ok(self.store.rm(RoundingMode::NearestAway))
+                    }
+                    "RTP" | "roundTowardPositive" => {
+                        return Ok(self.store.rm(RoundingMode::TowardPositive))
+                    }
+                    "RTN" | "roundTowardNegative" => {
+                        return Ok(self.store.rm(RoundingMode::TowardNegative))
+                    }
+                    "RTZ" | "roundTowardZero" => {
+                        return Ok(self.store.rm(RoundingMode::TowardZero))
+                    }
+                    _ => {}
+                }
+                match self.store.symbol(name) {
+                    Some(sym) => Ok(self.store.var(sym)),
+                    None => self.err(format!("undeclared symbol `{name}`"), at),
+                }
+            }
+            TokenKind::StringLit(_) => self.err("string literals are not terms here", at),
+            TokenKind::LParen | TokenKind::RParen => unreachable!("parens handled by sexpr parser"),
+        }
+    }
+
+    fn list_term(
+        &mut self,
+        items: &[SExpr],
+        at: &SExpr,
+        env: &HashMap<String, TermId>,
+    ) -> Result<TermId, ParseError> {
+        if items.is_empty() {
+            return self.err("empty application", at);
+        }
+        // Indexed identifiers and special fp constants: (_ ...).
+        if items[0].as_symbol() == Some("_") {
+            return self.indexed_term(items, at);
+        }
+        // FP literal: (fp #b<sign> #b<exp> #b<sig>).
+        if items[0].as_symbol() == Some("fp") {
+            return self.fp_literal(items, at);
+        }
+        // let binding.
+        if items[0].as_symbol() == Some("let") {
+            let SExpr::List(bindings, ..) = &items[1] else {
+                return self.err("let expects a binding list", at);
+            };
+            let mut inner = env.clone();
+            for b in bindings {
+                let SExpr::List(pair, ..) = b else {
+                    return self.err("malformed let binding", at);
+                };
+                let name = pair
+                    .first()
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("let binding needs a name", at).unwrap_err())?
+                    .to_string();
+                let value = self.term(&pair[1], env)?;
+                inner.insert(name, value);
+            }
+            let body = items
+                .get(2)
+                .ok_or_else(|| self.err::<()>("let expects a body", at).unwrap_err())?;
+            return self.term(body, &inner);
+        }
+        // Indexed operator application: ((_ extract 7 4) x) etc.
+        if let SExpr::List(head_items, ..) = &items[0] {
+            if head_items.first().and_then(SExpr::as_symbol) == Some("_") {
+                let kind = head_items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .ok_or_else(|| self.err::<()>("malformed indexed operator", at).unwrap_err())?;
+                let op = match kind {
+                    "extract" => {
+                        let hi = self.index_u32(head_items.get(2), at)?;
+                        let lo = self.index_u32(head_items.get(3), at)?;
+                        Op::BvExtract(hi, lo)
+                    }
+                    "sign_extend" => Op::BvSignExtend(self.index_u32(head_items.get(2), at)?),
+                    "zero_extend" => Op::BvZeroExtend(self.index_u32(head_items.get(2), at)?),
+                    other => {
+                        return self.err(format!("unsupported indexed operator `{other}`"), at)
+                    }
+                };
+                let mut args = Vec::with_capacity(items.len() - 1);
+                for item in &items[1..] {
+                    args.push(self.term(item, env)?);
+                }
+                return self
+                    .store
+                    .app(op, &args)
+                    .map_err(|e| self.err::<()>(e.to_string(), at).unwrap_err());
+            }
+        }
+        let Some(head) = items[0].as_symbol() else {
+            return self.err("application head must be a symbol", at);
+        };
+        let mut args = Vec::with_capacity(items.len() - 1);
+        for item in &items[1..] {
+            args.push(self.term(item, env)?);
+        }
+        let op = match head {
+            "not" => Op::Not,
+            "and" => Op::And,
+            "or" => Op::Or,
+            "xor" => Op::Xor,
+            "=>" => Op::Implies,
+            "ite" => Op::Ite,
+            "=" => Op::Eq,
+            "distinct" => Op::Distinct,
+            "-" => {
+                if args.len() == 1 {
+                    Op::Neg
+                } else {
+                    Op::Sub
+                }
+            }
+            "+" => Op::Add,
+            "*" => Op::Mul,
+            "div" => Op::IntDiv,
+            "mod" => Op::Mod,
+            "abs" => Op::Abs,
+            "/" => Op::RealDiv,
+            "<=" => Op::Le,
+            "<" => Op::Lt,
+            ">=" => Op::Ge,
+            ">" => Op::Gt,
+            "bvadd" => Op::BvAdd,
+            "bvsub" => Op::BvSub,
+            "bvmul" => Op::BvMul,
+            "bvneg" => Op::BvNeg,
+            "bvsdiv" => Op::BvSdiv,
+            "bvsrem" => Op::BvSrem,
+            "bvudiv" => Op::BvUdiv,
+            "bvurem" => Op::BvUrem,
+            "bvshl" => Op::BvShl,
+            "bvlshr" => Op::BvLshr,
+            "bvashr" => Op::BvAshr,
+            "bvand" => Op::BvAnd,
+            "bvor" => Op::BvOr,
+            "bvxor" => Op::BvXor,
+            "bvnot" => Op::BvNot,
+            "bvslt" => Op::BvSlt,
+            "bvsle" => Op::BvSle,
+            "bvsgt" => Op::BvSgt,
+            "bvsge" => Op::BvSge,
+            "bvult" => Op::BvUlt,
+            "bvule" => Op::BvUle,
+            "bvsaddo" => Op::BvSaddo,
+            "bvssubo" => Op::BvSsubo,
+            "bvsmulo" => Op::BvSmulo,
+            "bvsdivo" => Op::BvSdivo,
+            "bvnego" => Op::BvNego,
+            "fp.add" => Op::FpAdd,
+            "fp.sub" => Op::FpSub,
+            "fp.mul" => Op::FpMul,
+            "fp.div" => Op::FpDiv,
+            "fp.neg" => Op::FpNeg,
+            "fp.abs" => Op::FpAbs,
+            "fp.eq" => Op::FpEq,
+            "fp.lt" => Op::FpLt,
+            "fp.leq" => Op::FpLeq,
+            "fp.gt" => Op::FpGt,
+            "fp.geq" => Op::FpGeq,
+            "fp.isNaN" => Op::FpIsNan,
+            "fp.isInfinite" => Op::FpIsInf,
+            other => return self.err(format!("unsupported operator `{other}`"), at),
+        };
+        self.store
+            .app(op, &args)
+            .map_err(|e| self.err::<()>(e.to_string(), at).unwrap_err())
+    }
+
+    fn indexed_term(&mut self, items: &[SExpr], at: &SExpr) -> Result<TermId, ParseError> {
+        let Some(kind) = items.get(1).and_then(SExpr::as_symbol) else {
+            return self.err("malformed indexed identifier", at);
+        };
+        // (_ bvN width)
+        if let Some(num) = kind.strip_prefix("bv") {
+            if let Ok(value) = num.parse::<BigInt>() {
+                let width = self.index_u32(items.get(2), at)?;
+                if width == 0 {
+                    return self.err("bitvector width must be positive", at);
+                }
+                return Ok(self.store.bv(BitVecValue::new(value, width)));
+            }
+        }
+        match kind {
+            "+oo" | "-oo" | "NaN" | "+zero" | "-zero" => {
+                let eb = self.index_u32(items.get(2), at)?;
+                let sb = self.index_u32(items.get(3), at)?;
+                if eb < 2 || sb < 2 {
+                    return self.err("floating-point widths must be at least 2", at);
+                }
+                if eb > 60 || sb > 4096 {
+                    return self.err("floating-point widths too large", at);
+                }
+                let v = match kind {
+                    "+oo" => SoftFloat::infinity(eb, sb, false),
+                    "-oo" => SoftFloat::infinity(eb, sb, true),
+                    "NaN" => SoftFloat::nan(eb, sb),
+                    "+zero" => SoftFloat::zero(eb, sb),
+                    _ => SoftFloat::neg_zero(eb, sb),
+                };
+                Ok(self.store.fp(v))
+            }
+            other => self.err(format!("unsupported indexed identifier `{other}`"), at),
+        }
+    }
+
+    fn fp_literal(&mut self, items: &[SExpr], at: &SExpr) -> Result<TermId, ParseError> {
+        let bits = |i: usize| -> Option<&str> {
+            match items.get(i) {
+                Some(SExpr::Atom(Token { kind: TokenKind::Binary(s), .. })) => Some(s),
+                _ => None,
+            }
+        };
+        let (Some(sign), Some(exp), Some(sig)) = (bits(1), bits(2), bits(3)) else {
+            return self.err("fp literal expects three binary fields", at);
+        };
+        if sign.len() != 1 {
+            return self.err("fp literal sign must be one bit", at);
+        }
+        let to_big = |s: &str| {
+            let mut v = BigInt::zero();
+            for c in s.chars() {
+                v = v.shl_bits(1);
+                if c == '1' {
+                    v = &v + &BigInt::one();
+                }
+            }
+            v
+        };
+        let eb = exp.len() as u32;
+        let sb = sig.len() as u32 + 1;
+        if eb < 2 || sb < 2 {
+            return self.err("fp literal widths must be at least 2", at);
+        }
+        if eb > 60 || sb > 4096 {
+            return self.err("fp literal widths too large", at);
+        }
+        let value = SoftFloat::from_fields(eb, sb, sign == "1", &to_big(exp), &to_big(sig));
+        Ok(self.store.fp(value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Script;
+
+    #[test]
+    fn parses_motivating_example() {
+        let src = "\
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(declare-fun z () Int)
+(assert (= (+ (* x x x) (* y y y) (* z z z)) 855))
+(check-sat)";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 1);
+        assert_eq!(script.store().symbol_count(), 3);
+        assert_eq!(script.logic(), Some(&Logic::QfNia));
+    }
+
+    #[test]
+    fn parses_bitvector_constraint() {
+        let src = "\
+(declare-fun x () (_ BitVec 12))
+(assert (not (bvsmulo x x)))
+(assert (= (bvmul x x) (_ bv49 12)))
+(check-sat)";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 2);
+        assert_eq!(
+            script.store().symbol_sort(script.store().symbol("x").unwrap()),
+            Sort::BitVec(12)
+        );
+    }
+
+    #[test]
+    fn parses_real_and_fp() {
+        let src = "\
+(declare-fun r () Real)
+(declare-fun f () (_ FloatingPoint 8 24))
+(assert (> r 3.5))
+(assert (fp.lt f (fp #b0 #b10000000 #b10000000000000000000000)))
+(assert (not (fp.isNaN f)))
+(check-sat)";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 3);
+    }
+
+    #[test]
+    fn fp_literal_value() {
+        // (fp #b0 #b10000000 #b10000000000000000000000) = 1.5 * 2^1 = 3.0
+        let src = "\
+(declare-fun f () (_ FloatingPoint 8 24))
+(assert (fp.eq f (fp #b0 #b10000000 #b10000000000000000000000)))";
+        let script = Script::parse(src).unwrap();
+        let assertion = script.store().term(script.assertions()[0]);
+        let rhs = script.store().term(assertion.args()[1]);
+        match rhs.op() {
+            Op::FpConst(v) => {
+                assert_eq!(v.to_rational().unwrap(), "3".parse().unwrap());
+            }
+            other => panic!("expected fp literal, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn let_bindings() {
+        let src = "\
+(declare-fun x () Int)
+(assert (let ((y (* x x))) (= (+ y y) 8)))";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 1);
+        // y is inlined: term is (= (+ (* x x) (* x x)) 8)
+        let t = script.store().term(script.assertions()[0]);
+        assert_eq!(*t.op(), Op::Eq);
+    }
+
+    #[test]
+    fn parallel_let_semantics() {
+        // Inner let bindings see the *outer* scope, not each other.
+        let src = "\
+(declare-fun x () Int)
+(assert (let ((x 1) (y x)) (= y x)))";
+        let script = Script::parse(src).unwrap();
+        // y binds to outer x (the variable), second x to 1.
+        let t = script.store().term(script.assertions()[0]);
+        let lhs = script.store().term(t.args()[0]);
+        assert!(matches!(lhs.op(), Op::Var(_)));
+    }
+
+    #[test]
+    fn define_fun_inlines() {
+        let src = "\
+(declare-fun x () Int)
+(define-fun two () Int 2)
+(assert (= x two))";
+        let script = Script::parse(src).unwrap();
+        let t = script.store().term(script.assertions()[0]);
+        let rhs = script.store().term(t.args()[1]);
+        assert!(matches!(rhs.op(), Op::IntConst(_)));
+    }
+
+    #[test]
+    fn special_fp_constants() {
+        let src = "\
+(declare-fun f () (_ FloatingPoint 8 24))
+(assert (= f (_ +oo 8 24)))
+(assert (distinct f (_ NaN 8 24)))";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 2);
+    }
+
+    #[test]
+    fn hex_and_binary_literals() {
+        let src = "\
+(declare-fun b () (_ BitVec 8))
+(assert (= b #xff))
+(assert (= b #b11111111))";
+        let script = Script::parse(src).unwrap();
+        let t0 = script.store().term(script.assertions()[0]);
+        let t1 = script.store().term(script.assertions()[1]);
+        assert_eq!(t0.args()[1], t1.args()[1], "same literal interns identically");
+    }
+
+    #[test]
+    fn errors_have_positions() {
+        let err = Script::parse("(assert\n  (= x 1))").unwrap_err();
+        assert_eq!(err.line(), 2, "undeclared symbol reported on its line");
+        assert!(err.to_string().contains("undeclared symbol"));
+    }
+
+    #[test]
+    fn rejects_unbalanced() {
+        assert!(Script::parse("(assert (= 1 1)").is_err());
+        assert!(Script::parse(")").is_err());
+    }
+
+    #[test]
+    fn rejects_ill_sorted() {
+        let err = Script::parse("(declare-fun x () Int)(assert (and x true))").unwrap_err();
+        assert!(err.to_string().contains("Bool"), "got: {err}");
+    }
+
+    #[test]
+    fn rejects_unsupported_command() {
+        assert!(Script::parse("(push 1)").is_err());
+    }
+
+    #[test]
+    fn rejects_nonzero_arity_declare() {
+        assert!(Script::parse("(declare-fun f (Int) Int)").is_err());
+    }
+
+    #[test]
+    fn chainable_comparison() {
+        let src = "(declare-fun x () Int)(assert (< 0 x 10))";
+        let script = Script::parse(src).unwrap();
+        assert_eq!(script.assertions().len(), 1);
+    }
+
+    #[test]
+    fn unary_minus_vs_subtraction() {
+        let src = "(declare-fun x () Int)(assert (= (- x) (- 0 x)))";
+        let script = Script::parse(src).unwrap();
+        let t = script.store().term(script.assertions()[0]);
+        let lhs = script.store().term(t.args()[0]);
+        let rhs = script.store().term(t.args()[1]);
+        assert_eq!(*lhs.op(), Op::Neg);
+        assert_eq!(*rhs.op(), Op::Sub);
+    }
+}

@@ -1,0 +1,169 @@
+//! Printing terms and scripts back to SMT-LIB concrete syntax.
+
+use std::fmt::{self, Write as _};
+
+use crate::op::Op;
+use crate::script::{Command, Script};
+use crate::term::{TermId, TermStore};
+
+/// Renders one term to SMT-LIB concrete syntax.
+///
+/// Shared subterms are printed in full at each occurrence; constraints in
+/// this workspace are small enough that `let`-reintroduction is unnecessary.
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::{print_term, Script};
+///
+/// let s = Script::parse("(declare-fun x () Int)(assert (<= (* x x) 9))")?;
+/// assert_eq!(print_term(s.store(), s.assertions()[0]), "(<= (* x x) 9)");
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn print_term(store: &TermStore, id: TermId) -> String {
+    let mut out = String::new();
+    write_term(store, id, &mut out).expect("writing to String cannot fail");
+    out
+}
+
+fn write_term(store: &TermStore, id: TermId, out: &mut String) -> fmt::Result {
+    let term = store.term(id);
+    match term.op() {
+        Op::Var(sym) => out.write_str(store.symbol_name(*sym)),
+        Op::True => out.write_str("true"),
+        Op::False => out.write_str("false"),
+        Op::IntConst(v) => {
+            if v.is_negative() {
+                write!(out, "(- {})", v.abs())
+            } else {
+                write!(out, "{v}")
+            }
+        }
+        Op::RealConst(v) => {
+            let mag = v.abs();
+            let body = if mag.is_integer() {
+                format!("{}.0", mag.numer())
+            } else {
+                format!("(/ {}.0 {}.0)", mag.numer(), mag.denom())
+            };
+            if v.is_negative() {
+                write!(out, "(- {body})")
+            } else {
+                out.write_str(&body)
+            }
+        }
+        Op::BvConst(v) => write!(out, "{v}"),
+        Op::FpConst(v) => {
+            let (sign, exp, sig) = v.to_fields();
+            let exp_bits = to_bin(&exp, v.eb());
+            let sig_bits = to_bin(&sig, v.sb() - 1);
+            write!(out, "(fp #b{} #b{exp_bits} #b{sig_bits})", u8::from(sign))
+        }
+        Op::RmConst(_) => out.write_str(&term.op().smtlib_name()),
+        op => {
+            write!(out, "({}", op.smtlib_name())?;
+            for &arg in term.args() {
+                out.write_str(" ")?;
+                write_term(store, arg, out)?;
+            }
+            out.write_str(")")
+        }
+    }
+}
+
+fn to_bin(v: &staub_numeric::BigInt, width: u32) -> String {
+    (0..width)
+        .rev()
+        .map(|i| if v.bit(i as usize) { '1' } else { '0' })
+        .collect()
+}
+
+/// Prints a whole script in SMT-LIB concrete syntax, one command per line.
+pub(crate) fn print_script(script: &Script, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+    let store = script.store();
+    for command in script.commands() {
+        match command {
+            Command::SetLogic(logic) => writeln!(f, "(set-logic {})", logic.name())?,
+            Command::SetInfo(key, value) => {
+                if value.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+                    && !value.is_empty()
+                {
+                    writeln!(f, "(set-info {key} {value})")?
+                } else {
+                    writeln!(f, "(set-info {key} \"{value}\")")?
+                }
+            }
+            Command::Declare(sym) => writeln!(
+                f,
+                "(declare-fun {} () {})",
+                store.symbol_name(*sym),
+                store.symbol_sort(*sym)
+            )?,
+            Command::Assert(term) => writeln!(f, "(assert {})", print_term(store, *term))?,
+            Command::CheckSat => writeln!(f, "(check-sat)")?,
+            Command::GetModel => writeln!(f, "(get-model)")?,
+            Command::Exit => writeln!(f, "(exit)")?,
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn round_trip(src: &str) {
+        let script = Script::parse(src).unwrap();
+        let printed = script.to_string();
+        let reparsed = Script::parse(&printed)
+            .unwrap_or_else(|e| panic!("reprinting `{src}` gave unparsable `{printed}`: {e}"));
+        assert_eq!(
+            reparsed.to_string(),
+            printed,
+            "printing is a fixed point for `{src}`"
+        );
+        assert_eq!(reparsed.assertions().len(), script.assertions().len());
+    }
+
+    #[test]
+    fn round_trips() {
+        round_trip("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)");
+        round_trip("(declare-fun r () Real)(assert (< r 3.25))(assert (> r (- 1.5)))");
+        round_trip("(declare-fun b () (_ BitVec 12))(assert (bvslt b (_ bv855 12)))");
+        round_trip(
+            "(declare-fun f () (_ FloatingPoint 8 24))\
+             (assert (fp.lt f (fp #b0 #b10000000 #b10000000000000000000000)))",
+        );
+        round_trip("(declare-fun x () Int)(assert (distinct (- x) (abs x) (div x 2) (mod x 2)))");
+        round_trip("(set-info :status sat)(declare-fun x () Int)(assert (> x 0))");
+    }
+
+    #[test]
+    fn negative_literals_print_as_applications() {
+        let script =
+            Script::parse("(declare-fun x () Int)(assert (= x (- 5)))").unwrap();
+        let printed = script.to_string();
+        assert!(printed.contains("(- 5)"), "got: {printed}");
+    }
+
+    #[test]
+    fn rational_prints_as_division() {
+        let script = Script::parse("(declare-fun r () Real)(assert (= r (/ 1.0 3.0)))").unwrap();
+        // 1/3 is a RealDiv application of literals, not a constant — but a
+        // parsed decimal like 0.125 is one constant.
+        let script2 = Script::parse("(declare-fun r () Real)(assert (= r 0.125))").unwrap();
+        assert!(script2.to_string().contains("(/ 1.0 8.0)"));
+        assert!(script.to_string().contains("(/ 1.0 3.0)"));
+    }
+
+    #[test]
+    fn fp_special_values_print_as_literals() {
+        let script = Script::parse(
+            "(declare-fun f () (_ FloatingPoint 8 24))(assert (= f (_ NaN 8 24)))",
+        )
+        .unwrap();
+        let printed = script.to_string();
+        let reparsed = Script::parse(&printed).unwrap();
+        assert_eq!(reparsed.assertions().len(), 1);
+    }
+}

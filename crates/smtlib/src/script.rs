@@ -1,0 +1,292 @@
+//! Parsed SMT-LIB scripts.
+
+use std::fmt;
+
+use crate::parser::{self, ParseError};
+use crate::printer;
+use crate::sort::Sort;
+use crate::term::{SymbolId, TermId, TermStore};
+
+/// The SMT-LIB logics relevant to STAUB.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum Logic {
+    /// Quantifier-free linear integer arithmetic.
+    QfLia,
+    /// Quantifier-free nonlinear integer arithmetic.
+    QfNia,
+    /// Quantifier-free linear real arithmetic.
+    QfLra,
+    /// Quantifier-free nonlinear real arithmetic.
+    QfNra,
+    /// Quantifier-free bitvectors.
+    QfBv,
+    /// Quantifier-free floating point.
+    QfFp,
+    /// Any other logic string, passed through verbatim.
+    Other(String),
+}
+
+impl Logic {
+    /// Parses an SMT-LIB logic name.
+    pub fn from_name(name: &str) -> Logic {
+        match name {
+            "QF_LIA" => Logic::QfLia,
+            "QF_NIA" => Logic::QfNia,
+            "QF_LRA" => Logic::QfLra,
+            "QF_NRA" => Logic::QfNra,
+            "QF_BV" => Logic::QfBv,
+            "QF_FP" => Logic::QfFp,
+            other => Logic::Other(other.to_string()),
+        }
+    }
+
+    /// The SMT-LIB name of the logic.
+    pub fn name(&self) -> &str {
+        match self {
+            Logic::QfLia => "QF_LIA",
+            Logic::QfNia => "QF_NIA",
+            Logic::QfLra => "QF_LRA",
+            Logic::QfNra => "QF_NRA",
+            Logic::QfBv => "QF_BV",
+            Logic::QfFp => "QF_FP",
+            Logic::Other(s) => s,
+        }
+    }
+
+    /// Returns `true` for the unbounded arithmetic logics STAUB transforms.
+    pub fn is_unbounded(&self) -> bool {
+        matches!(self, Logic::QfLia | Logic::QfNia | Logic::QfLra | Logic::QfNra)
+    }
+}
+
+impl fmt::Display for Logic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// One SMT-LIB command, in script order.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `(set-logic L)`.
+    SetLogic(Logic),
+    /// `(set-info :key value)` — preserved for round-tripping.
+    SetInfo(String, String),
+    /// `(declare-fun name () sort)` or `(declare-const name sort)`.
+    Declare(SymbolId),
+    /// `(assert t)`.
+    Assert(TermId),
+    /// `(check-sat)`.
+    CheckSat,
+    /// `(get-model)`.
+    GetModel,
+    /// `(exit)`.
+    Exit,
+}
+
+/// A parsed SMT-LIB script: a term store plus a command sequence.
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::{Logic, Script};
+///
+/// let script = Script::parse("\
+/// (set-logic QF_LIA)
+/// (declare-fun a () Int)
+/// (assert (>= a 15))
+/// (check-sat)")?;
+/// assert_eq!(script.logic(), Some(&Logic::QfLia));
+/// assert_eq!(script.assertions().len(), 1);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Script {
+    store: TermStore,
+    commands: Vec<Command>,
+    assertions: Vec<TermId>,
+    logic: Option<Logic>,
+}
+
+impl Script {
+    /// Creates an empty script with a fresh store.
+    pub fn new() -> Script {
+        Script::default()
+    }
+
+    /// Parses SMT-LIB source text.
+    ///
+    /// Supports the command subset used by the QF arithmetic, bitvector, and
+    /// floating-point benchmark suites: `set-logic`, `set-info`,
+    /// `set-option` (ignored), `declare-fun`/`declare-const` (0-ary),
+    /// `define-fun` (0-ary, inlined), `assert`, `check-sat`, `get-model`,
+    /// and `exit`. Terms may use `let` bindings.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseError`] with line/column information on malformed
+    /// input, unsupported commands, or ill-sorted terms.
+    pub fn parse(src: &str) -> Result<Script, ParseError> {
+        parser::parse_script(src)
+    }
+
+    /// The term store backing this script.
+    pub fn store(&self) -> &TermStore {
+        &self.store
+    }
+
+    /// Mutable access to the term store (for building derived constraints).
+    pub fn store_mut(&mut self) -> &mut TermStore {
+        &mut self.store
+    }
+
+    /// All asserted terms, in order.
+    pub fn assertions(&self) -> &[TermId] {
+        &self.assertions
+    }
+
+    /// The full command list.
+    pub fn commands(&self) -> &[Command] {
+        &self.commands
+    }
+
+    /// The declared logic, if a `set-logic` command was present.
+    pub fn logic(&self) -> Option<&Logic> {
+        self.logic.as_ref()
+    }
+
+    /// Sets the logic and records the command.
+    pub fn set_logic(&mut self, logic: Logic) {
+        self.logic = Some(logic.clone());
+        self.commands.push(Command::SetLogic(logic));
+    }
+
+    /// Declares a symbol and records the command.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the store's redeclaration error.
+    pub fn declare(&mut self, name: &str, sort: Sort) -> Result<SymbolId, crate::op::SortError> {
+        let id = self.store.declare(name, sort)?;
+        self.commands.push(Command::Declare(id));
+        Ok(id)
+    }
+
+    /// Asserts a boolean term and records the command.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the term is not boolean.
+    pub fn assert(&mut self, term: TermId) {
+        assert_eq!(
+            self.store.sort(term),
+            Sort::Bool,
+            "asserted term must be Bool"
+        );
+        self.assertions.push(term);
+        self.commands.push(Command::Assert(term));
+    }
+
+    /// Appends a `(check-sat)` command.
+    pub fn check_sat(&mut self) {
+        self.commands.push(Command::CheckSat);
+    }
+
+    /// Assembles a script from parts (used by the parser and generators).
+    pub(crate) fn from_parts(
+        store: TermStore,
+        commands: Vec<Command>,
+        assertions: Vec<TermId>,
+        logic: Option<Logic>,
+    ) -> Script {
+        Script { store, commands, assertions, logic }
+    }
+
+    /// Replaces this script's assertions (keeping declarations and logic).
+    /// Used by SLOT's pass pipeline to swap in simplified assertions.
+    pub fn set_assertions(&mut self, assertions: Vec<TermId>) {
+        self.commands.retain(|c| !matches!(c, Command::Assert(_)));
+        // Keep check-sat last: insert asserts before trailing commands.
+        let insert_at = self
+            .commands
+            .iter()
+            .position(|c| matches!(c, Command::CheckSat | Command::GetModel | Command::Exit))
+            .unwrap_or(self.commands.len());
+        for (i, &a) in assertions.iter().enumerate() {
+            self.commands.insert(insert_at + i, Command::Assert(a));
+        }
+        self.assertions = assertions;
+    }
+}
+
+impl fmt::Display for Script {
+    /// Prints the script in SMT-LIB concrete syntax.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        printer::print_script(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn logic_names_round_trip() {
+        for name in ["QF_LIA", "QF_NIA", "QF_LRA", "QF_NRA", "QF_BV", "QF_FP", "QF_UFNIA"] {
+            assert_eq!(Logic::from_name(name).name(), name);
+        }
+    }
+
+    #[test]
+    fn unbounded_logics() {
+        assert!(Logic::QfNia.is_unbounded());
+        assert!(Logic::QfLra.is_unbounded());
+        assert!(!Logic::QfBv.is_unbounded());
+        assert!(!Logic::Other("QF_S".into()).is_unbounded());
+    }
+
+    #[test]
+    fn programmatic_construction() {
+        let mut script = Script::new();
+        script.set_logic(Logic::QfLia);
+        let x = script.declare("x", Sort::Int).unwrap();
+        let (xv, five) = {
+            let s = script.store_mut();
+            let xv = s.var(x);
+            let five = s.int_i64(5);
+            (xv, five)
+        };
+        let c = script.store_mut().lt(xv, five).unwrap();
+        script.assert(c);
+        script.check_sat();
+        assert_eq!(script.assertions().len(), 1);
+        assert_eq!(script.commands().len(), 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be Bool")]
+    fn assert_non_bool_panics() {
+        let mut script = Script::new();
+        let x = script.declare("x", Sort::Int).unwrap();
+        let xv = script.store_mut().var(x);
+        script.assert(xv);
+    }
+
+    #[test]
+    fn set_assertions_replaces_and_keeps_position() {
+        let mut script = Script::new();
+        let x = script.declare("x", Sort::Int).unwrap();
+        let xv = script.store_mut().var(x);
+        let zero = script.store_mut().int_i64(0);
+        let a1 = script.store_mut().lt(xv, zero).unwrap();
+        let a2 = script.store_mut().gt(xv, zero).unwrap();
+        script.assert(a1);
+        script.check_sat();
+        script.set_assertions(vec![a2]);
+        assert_eq!(script.assertions(), &[a2]);
+        // assert must still precede check-sat
+        let pos_assert = script.commands().iter().position(|c| matches!(c, Command::Assert(_))).unwrap();
+        let pos_check = script.commands().iter().position(|c| matches!(c, Command::CheckSat)).unwrap();
+        assert!(pos_assert < pos_check);
+    }
+}

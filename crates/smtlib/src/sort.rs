@@ -1,0 +1,103 @@
+//! Sorts of the supported SMT-LIB theories.
+
+use std::fmt;
+
+/// A sort (type) from the SMT-LIB theories STAUB supports.
+///
+/// The paper's notion of a *kind* (a family of related sorts, §3.1) maps to
+/// the parameterized variants: every `BitVec(w)` is of the bitvector kind and
+/// every `Float(eb, sb)` is of the floating-point kind.
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::Sort;
+/// assert!(Sort::Int.is_unbounded());
+/// assert!(!Sort::BitVec(12).is_unbounded());
+/// assert_eq!(Sort::BitVec(12).to_string(), "(_ BitVec 12)");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Sort {
+    /// The core theory's boolean sort.
+    Bool,
+    /// Unbounded mathematical integers.
+    Int,
+    /// Unbounded mathematical reals.
+    Real,
+    /// Fixed-width bitvectors; the width is positive.
+    BitVec(u32),
+    /// IEEE-754 floating point with the given exponent and significand
+    /// widths (significand includes the hidden bit).
+    Float(u32, u32),
+    /// The five IEEE-754 rounding modes.
+    RoundingMode,
+}
+
+impl Sort {
+    /// Returns `true` if the sort has infinitely many values
+    /// (paper Definition 3.4 applied sort-wise).
+    pub fn is_unbounded(self) -> bool {
+        matches!(self, Sort::Int | Sort::Real)
+    }
+
+    /// Returns `true` if this is a numeric sort on which arithmetic
+    /// operations are defined.
+    pub fn is_numeric(self) -> bool {
+        !matches!(self, Sort::Bool | Sort::RoundingMode)
+    }
+
+    /// Returns `true` if the sort belongs to the bitvector kind.
+    pub fn is_bitvec(self) -> bool {
+        matches!(self, Sort::BitVec(_))
+    }
+
+    /// Returns `true` if the sort belongs to the floating-point kind.
+    pub fn is_float(self) -> bool {
+        matches!(self, Sort::Float(..))
+    }
+}
+
+impl fmt::Display for Sort {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Sort::Bool => f.write_str("Bool"),
+            Sort::Int => f.write_str("Int"),
+            Sort::Real => f.write_str("Real"),
+            Sort::BitVec(w) => write!(f, "(_ BitVec {w})"),
+            Sort::Float(eb, sb) => write!(f, "(_ FloatingPoint {eb} {sb})"),
+            Sort::RoundingMode => f.write_str("RoundingMode"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn boundedness() {
+        assert!(Sort::Int.is_unbounded());
+        assert!(Sort::Real.is_unbounded());
+        assert!(!Sort::Bool.is_unbounded());
+        assert!(!Sort::BitVec(64).is_unbounded());
+        assert!(!Sort::Float(8, 24).is_unbounded());
+        assert!(!Sort::RoundingMode.is_unbounded());
+    }
+
+    #[test]
+    fn display() {
+        assert_eq!(Sort::Bool.to_string(), "Bool");
+        assert_eq!(Sort::Int.to_string(), "Int");
+        assert_eq!(Sort::Real.to_string(), "Real");
+        assert_eq!(Sort::Float(8, 24).to_string(), "(_ FloatingPoint 8 24)");
+        assert_eq!(Sort::RoundingMode.to_string(), "RoundingMode");
+    }
+
+    #[test]
+    fn kinds() {
+        assert!(Sort::BitVec(1).is_bitvec());
+        assert!(!Sort::Int.is_bitvec());
+        assert!(Sort::Float(5, 11).is_float());
+        assert!(!Sort::BitVec(16).is_float());
+    }
+}

@@ -1,0 +1,436 @@
+//! Hash-consed term storage.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use staub_numeric::{BigInt, BigRational, BitVecValue, RoundingMode, SoftFloat};
+
+use crate::op::{Op, SortError};
+use crate::sort::Sort;
+
+/// Identifier of an interned term inside a [`TermStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TermId(u32);
+
+impl TermId {
+    /// The index into the store's arena.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Identifier of an interned symbol (declared constant) in a [`TermStore`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SymbolId(u32);
+
+impl SymbolId {
+    /// The index into the store's symbol table.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// An interned term: an operator applied to already-interned arguments,
+/// together with its computed sort.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Term {
+    op: Op,
+    args: Vec<TermId>,
+    sort: Sort,
+}
+
+impl Term {
+    /// The head operator.
+    pub fn op(&self) -> &Op {
+        &self.op
+    }
+
+    /// The argument terms.
+    pub fn args(&self) -> &[TermId] {
+        &self.args
+    }
+
+    /// The term's sort.
+    pub fn sort(&self) -> Sort {
+        self.sort
+    }
+}
+
+/// A hash-consing arena for terms and symbols.
+///
+/// Identical terms are interned once, so `TermId` equality is structural
+/// equality, and analyses can memoize by `TermId` (giving linear-time
+/// traversals of DAG-shaped constraints).
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::{Sort, TermStore};
+/// use staub_numeric::BigInt;
+///
+/// let mut store = TermStore::new();
+/// let x = store.declare("x", Sort::Int)?;
+/// let xv = store.var(x);
+/// let two = store.int(BigInt::from(2));
+/// let a = store.add(&[xv, two])?;
+/// let b = store.add(&[xv, two])?;
+/// assert_eq!(a, b); // hash-consed
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct TermStore {
+    terms: Vec<Term>,
+    intern: HashMap<Term, TermId>,
+    symbols: Vec<(String, Sort)>,
+    symbol_names: HashMap<String, SymbolId>,
+}
+
+impl TermStore {
+    /// Creates an empty store.
+    pub fn new() -> TermStore {
+        TermStore::default()
+    }
+
+    /// Number of distinct terms interned.
+    pub fn len(&self) -> usize {
+        self.terms.len()
+    }
+
+    /// Returns `true` if no terms have been interned.
+    pub fn is_empty(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// Declares a fresh 0-ary symbol of the given sort.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError`] if the name is already declared with a
+    /// different sort. Re-declaring with the same sort is idempotent.
+    pub fn declare(&mut self, name: &str, sort: Sort) -> Result<SymbolId, SortError> {
+        if let Some(&id) = self.symbol_names.get(name) {
+            let (_, existing) = &self.symbols[id.index()];
+            if *existing == sort {
+                return Ok(id);
+            }
+            return Err(SortError::new(format!(
+                "symbol `{name}` already declared with sort {existing}, redeclared as {sort}"
+            )));
+        }
+        let id = SymbolId(u32::try_from(self.symbols.len()).expect("symbol count fits u32"));
+        self.symbols.push((name.to_string(), sort));
+        self.symbol_names.insert(name.to_string(), id);
+        Ok(id)
+    }
+
+    /// Looks up a declared symbol by name.
+    pub fn symbol(&self, name: &str) -> Option<SymbolId> {
+        self.symbol_names.get(name).copied()
+    }
+
+    /// The name of a symbol.
+    pub fn symbol_name(&self, id: SymbolId) -> &str {
+        &self.symbols[id.index()].0
+    }
+
+    /// The declared sort of a symbol.
+    pub fn symbol_sort(&self, id: SymbolId) -> Sort {
+        self.symbols[id.index()].1
+    }
+
+    /// All declared symbols, in declaration order.
+    pub fn symbols(&self) -> impl Iterator<Item = SymbolId> + '_ {
+        (0..self.symbols.len()).map(|i| SymbolId(i as u32))
+    }
+
+    /// Number of declared symbols.
+    pub fn symbol_count(&self) -> usize {
+        self.symbols.len()
+    }
+
+    /// Fetches an interned term.
+    pub fn term(&self, id: TermId) -> &Term {
+        &self.terms[id.index()]
+    }
+
+    /// The sort of an interned term.
+    pub fn sort(&self, id: TermId) -> Sort {
+        self.terms[id.index()].sort
+    }
+
+    /// Interns an application after sort-checking it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SortError`] when the operator's arity or argument sorts are
+    /// invalid (see [`Op::result_sort`]).
+    pub fn app(&mut self, op: Op, args: &[TermId]) -> Result<TermId, SortError> {
+        let arg_sorts: Vec<Sort> = args.iter().map(|&a| self.sort(a)).collect();
+        let var_sort = match &op {
+            Op::Var(sym) => Some(self.symbol_sort(*sym)),
+            _ => None,
+        };
+        let sort = op.result_sort(&arg_sorts, var_sort)?;
+        let term = Term { op, args: args.to_vec(), sort };
+        if let Some(&id) = self.intern.get(&term) {
+            return Ok(id);
+        }
+        let id = TermId(u32::try_from(self.terms.len()).expect("term count fits u32"));
+        self.terms.push(term.clone());
+        self.intern.insert(term, id);
+        Ok(id)
+    }
+
+    // --- leaf builders (infallible) ----------------------------------------
+
+    /// A variable reference term.
+    pub fn var(&mut self, sym: SymbolId) -> TermId {
+        self.app(Op::Var(sym), &[]).expect("variables are well-sorted")
+    }
+
+    /// The boolean constant.
+    pub fn bool(&mut self, v: bool) -> TermId {
+        self.app(if v { Op::True } else { Op::False }, &[]).expect("booleans are well-sorted")
+    }
+
+    /// An integer literal.
+    pub fn int(&mut self, v: BigInt) -> TermId {
+        self.app(Op::IntConst(v), &[]).expect("integer literals are well-sorted")
+    }
+
+    /// An integer literal from `i64`.
+    pub fn int_i64(&mut self, v: i64) -> TermId {
+        self.int(BigInt::from(v))
+    }
+
+    /// A real literal.
+    pub fn real(&mut self, v: BigRational) -> TermId {
+        self.app(Op::RealConst(v), &[]).expect("real literals are well-sorted")
+    }
+
+    /// A bitvector literal.
+    pub fn bv(&mut self, v: BitVecValue) -> TermId {
+        self.app(Op::BvConst(v), &[]).expect("bitvector literals are well-sorted")
+    }
+
+    /// A floating-point literal.
+    pub fn fp(&mut self, v: SoftFloat) -> TermId {
+        self.app(Op::FpConst(v), &[]).expect("fp literals are well-sorted")
+    }
+
+    /// A rounding-mode literal.
+    pub fn rm(&mut self, v: RoundingMode) -> TermId {
+        self.app(Op::RmConst(v), &[]).expect("rounding modes are well-sorted")
+    }
+
+    // --- checked application helpers ---------------------------------------
+    // Each forwards to `app`; see `Op` for the sorting rules.
+
+    /// Boolean negation. See [`TermStore::app`] for errors.
+    pub fn not(&mut self, a: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Not, &[a])
+    }
+
+    /// N-ary conjunction. See [`TermStore::app`] for errors.
+    pub fn and(&mut self, args: &[TermId]) -> Result<TermId, SortError> {
+        self.app(Op::And, args)
+    }
+
+    /// N-ary disjunction. See [`TermStore::app`] for errors.
+    pub fn or(&mut self, args: &[TermId]) -> Result<TermId, SortError> {
+        self.app(Op::Or, args)
+    }
+
+    /// Equality. See [`TermStore::app`] for errors.
+    pub fn eq(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Eq, &[a, b])
+    }
+
+    /// N-ary addition. See [`TermStore::app`] for errors.
+    pub fn add(&mut self, args: &[TermId]) -> Result<TermId, SortError> {
+        self.app(Op::Add, args)
+    }
+
+    /// Subtraction. See [`TermStore::app`] for errors.
+    pub fn sub(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Sub, &[a, b])
+    }
+
+    /// N-ary multiplication. See [`TermStore::app`] for errors.
+    pub fn mul(&mut self, args: &[TermId]) -> Result<TermId, SortError> {
+        self.app(Op::Mul, args)
+    }
+
+    /// `<=`. See [`TermStore::app`] for errors.
+    pub fn le(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Le, &[a, b])
+    }
+
+    /// `<`. See [`TermStore::app`] for errors.
+    pub fn lt(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Lt, &[a, b])
+    }
+
+    /// `>=`. See [`TermStore::app`] for errors.
+    pub fn ge(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Ge, &[a, b])
+    }
+
+    /// `>`. See [`TermStore::app`] for errors.
+    pub fn gt(&mut self, a: TermId, b: TermId) -> Result<TermId, SortError> {
+        self.app(Op::Gt, &[a, b])
+    }
+
+    /// Computes the set of variables occurring in a term (deduplicated, in
+    /// first-occurrence order).
+    pub fn vars_of(&self, root: TermId) -> Vec<SymbolId> {
+        let mut seen_terms = vec![false; self.terms.len()];
+        let mut seen_vars: Vec<SymbolId> = Vec::new();
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if seen_terms[id.index()] {
+                continue;
+            }
+            seen_terms[id.index()] = true;
+            let t = &self.terms[id.index()];
+            if let Op::Var(sym) = t.op() {
+                if !seen_vars.contains(sym) {
+                    seen_vars.push(*sym);
+                }
+            }
+            stack.extend(t.args().iter().copied());
+        }
+        seen_vars
+    }
+
+    /// Number of distinct DAG nodes reachable from `root`.
+    pub fn dag_size(&self, root: TermId) -> usize {
+        let mut seen = vec![false; self.terms.len()];
+        let mut stack = vec![root];
+        let mut count = 0usize;
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            count += 1;
+            stack.extend(self.terms[id.index()].args().iter().copied());
+        }
+        count
+    }
+}
+
+impl fmt::Display for TermStore {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "TermStore({} terms, {} symbols)",
+            self.terms.len(),
+            self.symbols.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hash_consing_dedups() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let one = s.int_i64(1);
+        let a = s.add(&[xv, one]).unwrap();
+        let b = s.add(&[xv, one]).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn declare_idempotent_same_sort() {
+        let mut s = TermStore::new();
+        let a = s.declare("x", Sort::Int).unwrap();
+        let b = s.declare("x", Sort::Int).unwrap();
+        assert_eq!(a, b);
+        assert!(s.declare("x", Sort::Real).is_err());
+    }
+
+    #[test]
+    fn sorts_computed() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Real).unwrap();
+        let xv = s.var(x);
+        assert_eq!(s.sort(xv), Sort::Real);
+        let lt = s.lt(xv, xv).unwrap();
+        assert_eq!(s.sort(lt), Sort::Bool);
+    }
+
+    #[test]
+    fn ill_sorted_rejected() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let t = s.bool(true);
+        assert!(s.add(&[xv, t]).is_err());
+        assert!(s.not(xv).is_err());
+    }
+
+    #[test]
+    fn vars_of_collects_in_order() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let y = s.declare("y", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let yv = s.var(y);
+        let sum = s.add(&[yv, xv, yv]).unwrap();
+        let vars = s.vars_of(sum);
+        assert_eq!(vars.len(), 2);
+        assert!(vars.contains(&x) && vars.contains(&y));
+    }
+
+    #[test]
+    fn interning_scales_linearly() {
+        // Build a deep chain x + 1 + 1 + ... and a wide balanced tree; the
+        // store should hold exactly one node per distinct term.
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let one = s.int_i64(1);
+        let mut acc = xv;
+        for _ in 0..1000 {
+            acc = s.add(&[acc, one]).unwrap();
+        }
+        let after_chain = s.len();
+        assert_eq!(after_chain, 1002, "x, 1, and 1000 distinct sums");
+        // Rebuilding the same chain adds nothing.
+        let mut acc2 = xv;
+        for _ in 0..1000 {
+            acc2 = s.add(&[acc2, one]).unwrap();
+        }
+        assert_eq!(acc, acc2);
+        assert_eq!(s.len(), after_chain);
+    }
+
+    #[test]
+    fn symbols_iterate_in_declaration_order() {
+        let mut s = TermStore::new();
+        let names = ["c", "a", "b"];
+        for n in names {
+            s.declare(n, Sort::Int).unwrap();
+        }
+        let got: Vec<&str> = s.symbols().map(|sym| s.symbol_name(sym)).collect();
+        assert_eq!(got, names);
+    }
+
+    #[test]
+    fn dag_size_counts_shared_nodes_once() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let sq = s.mul(&[xv, xv]).unwrap();
+        let quad = s.mul(&[sq, sq]).unwrap();
+        // Nodes: xv, sq, quad.
+        assert_eq!(s.dag_size(quad), 3);
+    }
+}

@@ -1,0 +1,214 @@
+//! Runtime values and models (variable assignments).
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+use staub_numeric::{BigInt, BigRational, BitVecValue, RoundingMode, SoftFloat};
+
+use crate::sort::Sort;
+use crate::term::{SymbolId, TermStore};
+
+/// A value of one of the supported sorts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Value {
+    /// A boolean.
+    Bool(bool),
+    /// An unbounded integer.
+    Int(BigInt),
+    /// An unbounded rational (the reals restricted to rationals — SMT-LIB
+    /// models of linear/nonlinear real arithmetic over our solver are always
+    /// rational).
+    Real(BigRational),
+    /// A bitvector value.
+    BitVec(BitVecValue),
+    /// A floating-point value.
+    Float(SoftFloat),
+    /// A rounding mode.
+    Rm(RoundingMode),
+}
+
+impl Value {
+    /// The sort this value belongs to.
+    pub fn sort(&self) -> Sort {
+        match self {
+            Value::Bool(_) => Sort::Bool,
+            Value::Int(_) => Sort::Int,
+            Value::Real(_) => Sort::Real,
+            Value::BitVec(v) => Sort::BitVec(v.width()),
+            Value::Float(v) => Sort::Float(v.eb(), v.sb()),
+            Value::Rm(_) => Sort::RoundingMode,
+        }
+    }
+
+    /// Extracts a boolean, if this is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Extracts an integer, if this is one.
+    pub fn as_int(&self) -> Option<&BigInt> {
+        match self {
+            Value::Int(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a rational, if this is one.
+    pub fn as_real(&self) -> Option<&BigRational> {
+        match self {
+            Value::Real(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a bitvector, if this is one.
+    pub fn as_bitvec(&self) -> Option<&BitVecValue> {
+        match self {
+            Value::BitVec(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Extracts a float, if this is one.
+    pub fn as_float(&self) -> Option<&SoftFloat> {
+        match self {
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(v) => write!(f, "{v}"),
+            Value::Real(v) => write!(f, "{v}"),
+            Value::BitVec(v) => write!(f, "{v}"),
+            Value::Float(v) => write!(f, "{v}"),
+            Value::Rm(m) => write!(f, "{m:?}"),
+        }
+    }
+}
+
+/// A variable assignment: symbol → value.
+///
+/// # Examples
+///
+/// ```
+/// use staub_smtlib::{Model, Script, Value};
+/// use staub_numeric::BigInt;
+///
+/// let script = Script::parse("(declare-fun x () Int)(assert (> x 2))")?;
+/// let x = script.store().symbol("x").unwrap();
+/// let mut model = Model::new();
+/// model.insert(x, Value::Int(BigInt::from(3)));
+/// assert_eq!(model.get(x).and_then(Value::as_bool), None);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Model {
+    values: BTreeMap<SymbolId, Value>,
+}
+
+impl Model {
+    /// Creates an empty model.
+    pub fn new() -> Model {
+        Model::default()
+    }
+
+    /// Binds a symbol to a value, returning any previous binding.
+    pub fn insert(&mut self, sym: SymbolId, value: Value) -> Option<Value> {
+        self.values.insert(sym, value)
+    }
+
+    /// Looks up a symbol's value.
+    pub fn get(&self, sym: SymbolId) -> Option<&Value> {
+        self.values.get(&sym)
+    }
+
+    /// Iterates over the bindings in symbol order.
+    pub fn iter(&self) -> impl Iterator<Item = (SymbolId, &Value)> {
+        self.values.iter().map(|(&k, v)| (k, v))
+    }
+
+    /// Number of bound symbols.
+    pub fn len(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Returns `true` if no symbols are bound.
+    pub fn is_empty(&self) -> bool {
+        self.values.is_empty()
+    }
+
+    /// Renders the model as an SMT-LIB `get-model` response.
+    pub fn to_smtlib(&self, store: &TermStore) -> String {
+        let mut out = String::from("(\n");
+        for (sym, value) in self.iter() {
+            out.push_str(&format!(
+                "  (define-fun {} () {} {})\n",
+                store.symbol_name(sym),
+                store.symbol_sort(sym),
+                value
+            ));
+        }
+        out.push(')');
+        out
+    }
+}
+
+impl FromIterator<(SymbolId, Value)> for Model {
+    fn from_iter<I: IntoIterator<Item = (SymbolId, Value)>>(iter: I) -> Model {
+        Model { values: iter.into_iter().collect() }
+    }
+}
+
+impl Extend<(SymbolId, Value)> for Model {
+    fn extend<I: IntoIterator<Item = (SymbolId, Value)>>(&mut self, iter: I) {
+        self.values.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::script::Script;
+
+    #[test]
+    fn value_sorts() {
+        assert_eq!(Value::Bool(true).sort(), Sort::Bool);
+        assert_eq!(Value::Int(BigInt::from(3)).sort(), Sort::Int);
+        assert_eq!(Value::Real(BigRational::one()).sort(), Sort::Real);
+        assert_eq!(Value::BitVec(BitVecValue::from_i64(1, 9)).sort(), Sort::BitVec(9));
+        assert_eq!(Value::Float(SoftFloat::zero(8, 24)).sort(), Sort::Float(8, 24));
+        assert_eq!(Value::Rm(RoundingMode::NearestEven).sort(), Sort::RoundingMode);
+    }
+
+    #[test]
+    fn accessors() {
+        assert_eq!(Value::Bool(true).as_bool(), Some(true));
+        assert_eq!(Value::Int(BigInt::one()).as_bool(), None);
+        assert!(Value::Int(BigInt::one()).as_int().is_some());
+        assert!(Value::Real(BigRational::one()).as_real().is_some());
+    }
+
+    #[test]
+    fn model_smtlib_rendering() {
+        let script = Script::parse("(declare-fun x () Int)(declare-fun b () Bool)").unwrap();
+        let x = script.store().symbol("x").unwrap();
+        let b = script.store().symbol("b").unwrap();
+        let model: Model = [
+            (x, Value::Int(BigInt::from(-3))),
+            (b, Value::Bool(true)),
+        ]
+        .into_iter()
+        .collect();
+        let rendered = model.to_smtlib(script.store());
+        assert!(rendered.contains("(define-fun x () Int -3)"));
+        assert!(rendered.contains("(define-fun b () Bool true)"));
+    }
+}

@@ -1,0 +1,1003 @@
+//! Interval constraint propagation with branch-and-prune search — the
+//! nonlinear arithmetic engine (QF_NIA / QF_NRA).
+//!
+//! The algorithm maintains a work list of *boxes* (one interval per
+//! variable). For each box, every assertion is evaluated in three-valued
+//! interval semantics: a definitely-false assertion prunes the box; if all
+//! assertions are definitely or plausibly true, candidate points are sampled
+//! and checked *exactly* with [`staub_smtlib::evaluate`]. Otherwise the box
+//! is split and both halves enqueued.
+//!
+//! Nonlinear integer arithmetic is undecidable, and this engine is honest
+//! about it: search over unbounded boxes proceeds by exponential enlargement
+//! and returns [`SatResult::Unknown`] when the budget runs out. `Unsat` is
+//! only reported when every box was pruned by a *sound* interval refutation
+//! and no box was abandoned for depth reasons.
+
+use std::collections::{HashMap, VecDeque};
+
+use staub_numeric::{BigInt, BigRational};
+use staub_smtlib::{evaluate, Model, Op, Sort, SymbolId, TermId, TermStore, Value};
+
+use crate::arith::interval::{cmp_intervals, Ext, Interval, TriBool};
+use crate::budget::Budget;
+use crate::result::{SatResult, SolverStats, UnknownReason};
+
+/// Box-splitting strategy; the solver profiles pick different ones.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SplitStrategy {
+    /// Split the variable with the widest interval (unbounded counts as
+    /// infinitely wide).
+    Widest,
+    /// Rotate through the variables in declaration order.
+    RoundRobin,
+}
+
+/// Search order for the box work list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SearchOrder {
+    /// Depth-first (stack) — dives toward small boxes quickly.
+    DepthFirst,
+    /// Breadth-first (queue) — fair across the space.
+    BreadthFirst,
+}
+
+/// Configuration of the ICP engine.
+#[derive(Debug, Clone)]
+pub struct IcpConfig {
+    /// How to choose the split variable.
+    pub split: SplitStrategy,
+    /// Work-list discipline.
+    pub order: SearchOrder,
+    /// Boxes whose integer point count is at most this are enumerated
+    /// exhaustively instead of split.
+    pub enumerate_cap: u64,
+    /// Real boxes narrower than `2^-min_width_log2` in every dimension are
+    /// sampled and abandoned (precision floor).
+    pub min_width_log2: u32,
+    /// Initial half-width of the bounding box substituted for `(-inf, inf)`
+    /// dimensions; doubled on each enlargement round.
+    pub initial_bound_log2: u32,
+    /// Number of enlargement rounds before giving up on unbounded problems.
+    pub enlargement_rounds: u32,
+}
+
+impl Default for IcpConfig {
+    fn default() -> IcpConfig {
+        IcpConfig {
+            split: SplitStrategy::Widest,
+            order: SearchOrder::DepthFirst,
+            enumerate_cap: 32,
+            min_width_log2: 16,
+            initial_bound_log2: 4,
+            enlargement_rounds: 10,
+        }
+    }
+}
+
+/// A box: one interval per variable, indexed in `vars` order.
+type IcpBox = Vec<Interval>;
+
+/// Solves a conjunction of (possibly nonlinear, boolean-structured)
+/// assertions over a single numeric sort (`Int` or `Real`).
+pub fn solve_nonlinear(
+    store: &TermStore,
+    assertions: &[TermId],
+    is_int: bool,
+    config: &IcpConfig,
+    budget: &Budget,
+    stats: &mut SolverStats,
+) -> SatResult {
+    let mut engine = Icp {
+        store,
+        assertions,
+        is_int,
+        config: config.clone(),
+        vars: collect_vars(store, assertions),
+        bool_vars: collect_bool_vars(store, assertions),
+        rr_counter: 0,
+    };
+    if engine.vars.is_empty() && engine.bool_vars.is_empty() {
+        // Ground formula: evaluate directly.
+        let model = Model::new();
+        return match engine.check_exact_with(&model) {
+            Some(m) => SatResult::Sat(m),
+            None => SatResult::Unsat,
+        };
+    }
+    engine.run(budget, stats)
+}
+
+fn collect_vars(store: &TermStore, assertions: &[TermId]) -> Vec<SymbolId> {
+    let mut vars = Vec::new();
+    for &a in assertions {
+        for v in store.vars_of(a) {
+            if store.symbol_sort(v).is_numeric() && !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars
+}
+
+fn collect_bool_vars(store: &TermStore, assertions: &[TermId]) -> Vec<SymbolId> {
+    let mut vars = Vec::new();
+    for &a in assertions {
+        for v in store.vars_of(a) {
+            if store.symbol_sort(v) == Sort::Bool && !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    vars
+}
+
+struct Icp<'a> {
+    store: &'a TermStore,
+    assertions: &'a [TermId],
+    is_int: bool,
+    config: IcpConfig,
+    vars: Vec<SymbolId>,
+    bool_vars: Vec<SymbolId>,
+    rr_counter: usize,
+}
+
+impl<'a> Icp<'a> {
+    fn run(&mut self, budget: &Budget, stats: &mut SolverStats) -> SatResult {
+        // Contract the initial box with unit constraints, then search with
+        // exponentially enlarging substitutes for unbounded dimensions.
+        let initial = match self.initial_box() {
+            Some(b) => b,
+            None => return SatResult::Unsat, // unit constraints contradict
+        };
+        let fully_bounded = initial.iter().all(Interval::is_bounded);
+        let mut any_abandoned = false;
+        let mut bound_log2 = self.config.initial_bound_log2;
+        let rounds = if fully_bounded { 1 } else { self.config.enlargement_rounds };
+        for round in 0..rounds {
+            let boxed = self.clamp_box(&initial, bound_log2);
+            match self.search(boxed, budget, stats) {
+                SearchOutcome::Sat(model) => return SatResult::Sat(model),
+                SearchOutcome::Exhausted { abandoned } => {
+                    any_abandoned |= abandoned;
+                    // A clamped search refutes only the clamped region; only
+                    // a fully-bounded problem can conclude unsat.
+                    if fully_bounded && !abandoned {
+                        return SatResult::Unsat;
+                    }
+                }
+                SearchOutcome::OutOfBudget => {
+                    return SatResult::Unknown(UnknownReason::BudgetExhausted)
+                }
+            }
+            if round + 1 < rounds {
+                bound_log2 = bound_log2.saturating_mul(2);
+            }
+        }
+        if fully_bounded && !any_abandoned {
+            SatResult::Unsat
+        } else if budget.exhausted() {
+            SatResult::Unknown(UnknownReason::BudgetExhausted)
+        } else {
+            SatResult::Unknown(UnknownReason::Incomplete)
+        }
+    }
+
+    /// Builds the initial box from syntactic unit bounds (`x <= c` etc. at
+    /// the top level); returns `None` if they are already contradictory.
+    fn initial_box(&self) -> Option<IcpBox> {
+        let mut boxed: IcpBox = vec![Interval::top(); self.vars.len()];
+        for &a in self.assertions {
+            self.apply_unit_bound(a, &mut boxed);
+        }
+        if self.is_int {
+            for iv in &mut boxed {
+                *iv = iv.snap_to_integers();
+            }
+        }
+        if boxed.iter().any(Interval::is_empty) {
+            None
+        } else {
+            Some(boxed)
+        }
+    }
+
+    fn apply_unit_bound(&self, atom: TermId, boxed: &mut IcpBox) {
+        let term = self.store.term(atom);
+        let (op, args) = (term.op().clone(), term.args().to_vec());
+        // (and a b ...) distributes.
+        if op == Op::And {
+            for &c in &args {
+                self.apply_unit_bound(c, boxed);
+            }
+            return;
+        }
+        if args.len() != 2 {
+            return;
+        }
+        let var_const = |l: TermId, r: TermId| -> Option<(usize, BigRational)> {
+            let lt = self.store.term(l);
+            let rt = self.store.term(r);
+            let Op::Var(sym) = lt.op() else { return None };
+            let idx = self.vars.iter().position(|v| v == sym)?;
+            match rt.op() {
+                Op::IntConst(c) => Some((idx, BigRational::from_int(c.clone()))),
+                Op::RealConst(c) => Some((idx, c.clone())),
+                _ => None,
+            }
+        };
+        let apply = |boxed: &mut IcpBox, idx: usize, constraint: Interval| {
+            boxed[idx] = boxed[idx].intersect(&constraint);
+        };
+        match op {
+            Op::Le | Op::Lt => {
+                if let Some((idx, c)) = var_const(args[0], args[1]) {
+                    apply(boxed, idx, Interval { lo: Ext::MinusInf, hi: Ext::Finite(c) });
+                } else if let Some((idx, c)) = var_const(args[1], args[0]) {
+                    apply(boxed, idx, Interval { lo: Ext::Finite(c), hi: Ext::PlusInf });
+                }
+            }
+            Op::Ge | Op::Gt => {
+                if let Some((idx, c)) = var_const(args[0], args[1]) {
+                    apply(boxed, idx, Interval { lo: Ext::Finite(c), hi: Ext::PlusInf });
+                } else if let Some((idx, c)) = var_const(args[1], args[0]) {
+                    apply(boxed, idx, Interval { lo: Ext::MinusInf, hi: Ext::Finite(c) });
+                }
+            }
+            Op::Eq => {
+                if let Some((idx, c)) = var_const(args[0], args[1]) {
+                    apply(boxed, idx, Interval::point(c));
+                } else if let Some((idx, c)) = var_const(args[1], args[0]) {
+                    apply(boxed, idx, Interval::point(c));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Replaces unbounded interval ends with `±2^bound_log2`.
+    fn clamp_box(&self, initial: &IcpBox, bound_log2: u32) -> IcpBox {
+        let bound = BigRational::from_int(BigInt::one().shl_bits(bound_log2 as usize));
+        initial
+            .iter()
+            .map(|iv| {
+                let lo = match &iv.lo {
+                    Ext::MinusInf => Ext::Finite(-bound.clone()),
+                    other => other.clone(),
+                };
+                let hi = match &iv.hi {
+                    Ext::PlusInf => Ext::Finite(bound.clone()),
+                    other => other.clone(),
+                };
+                Interval { lo, hi }
+            })
+            .collect()
+    }
+
+    fn search(
+        &mut self,
+        root: IcpBox,
+        budget: &Budget,
+        stats: &mut SolverStats,
+    ) -> SearchOutcome {
+        let mut queue: VecDeque<IcpBox> = VecDeque::new();
+        queue.push_back(root);
+        let mut abandoned = false;
+        while let Some(boxed) = match self.config.order {
+            SearchOrder::DepthFirst => queue.pop_back(),
+            SearchOrder::BreadthFirst => queue.pop_front(),
+        } {
+            stats.boxes_explored += 1;
+            if budget.consume(8) {
+                return SearchOutcome::OutOfBudget;
+            }
+            if boxed.iter().any(Interval::is_empty) {
+                continue;
+            }
+            // Three-valued evaluation of every assertion over this box.
+            let mut memo: HashMap<TermId, Interval> = HashMap::new();
+            let mut all_true = true;
+            let mut pruned = false;
+            for &a in self.assertions {
+                match self.eval_bool(a, &boxed, &mut memo) {
+                    TriBool::False => {
+                        pruned = true;
+                        break;
+                    }
+                    TriBool::Maybe => all_true = false,
+                    TriBool::True => {}
+                }
+            }
+            if pruned {
+                continue;
+            }
+            // Exhaustive enumeration of small integer boxes.
+            if self.is_int {
+                if let Some(points) = self.enumerate_integer_points(&boxed) {
+                    stats.model_checks += points.len() as u64;
+                    for model in points {
+                        if let Some(m) = self.check_exact_with(&model) {
+                            return SearchOutcome::Sat(m);
+                        }
+                    }
+                    continue; // fully enumerated: box exhausted
+                }
+            }
+            // Sample candidate points.
+            stats.model_checks += 1;
+            if let Some(m) = self.check_exact(&boxed) {
+                return SearchOutcome::Sat(m);
+            }
+            // Precision floor for real boxes.
+            if !self.is_int && self.below_precision_floor(&boxed) {
+                abandoned = true;
+                continue;
+            }
+            // If every assertion was definitely true but exact sampling
+            // failed (boolean vars unresolved, say), keep splitting anyway.
+            let _ = all_true;
+            match self.split(&boxed) {
+                Some((left, right)) => {
+                    // Push the "smaller / more promising" half last under
+                    // DFS so it is explored first.
+                    queue.push_back(right);
+                    queue.push_back(left);
+                }
+                None => {
+                    abandoned = true;
+                }
+            }
+        }
+        SearchOutcome::Exhausted { abandoned }
+    }
+
+    fn below_precision_floor(&self, boxed: &IcpBox) -> bool {
+        let floor = BigRational::dyadic(BigInt::one(), -(self.config.min_width_log2 as i64));
+        boxed.iter().all(|iv| match iv.width() {
+            Some(w) => w <= floor,
+            None => false,
+        })
+    }
+
+    fn split(&mut self, boxed: &IcpBox) -> Option<(IcpBox, IcpBox)> {
+        let idx = match self.config.split {
+            SplitStrategy::Widest => {
+                let mut best: Option<(usize, Option<BigRational>)> = None;
+                for (i, iv) in boxed.iter().enumerate() {
+                    let w = iv.width();
+                    let better = match (&best, &w) {
+                        (None, _) => true,
+                        (Some((_, None)), _) => false, // existing unbounded wins
+                        (Some(_), None) => true,       // unbounded beats bounded
+                        (Some((_, Some(bw))), Some(nw)) => nw > bw,
+                    };
+                    if better && self.splittable(iv) {
+                        best = Some((i, w));
+                    }
+                }
+                best?.0
+            }
+            SplitStrategy::RoundRobin => {
+                let n = boxed.len();
+                let mut found = None;
+                for k in 0..n {
+                    let i = (self.rr_counter + k) % n;
+                    if self.splittable(&boxed[i]) {
+                        found = Some(i);
+                        break;
+                    }
+                }
+                let i = found?;
+                self.rr_counter = (i + 1) % n;
+                i
+            }
+        };
+        let iv = &boxed[idx];
+        let mid = iv.sample();
+        let mid = if self.is_int {
+            BigRational::from_int(mid.floor())
+        } else {
+            mid
+        };
+        let mut left = boxed.clone();
+        let mut right = boxed.clone();
+        left[idx] = iv.intersect(&Interval { lo: Ext::MinusInf, hi: Ext::Finite(mid.clone()) });
+        let right_lo = if self.is_int {
+            &mid + &BigRational::one()
+        } else {
+            mid
+        };
+        right[idx] = iv.intersect(&Interval { lo: Ext::Finite(right_lo), hi: Ext::PlusInf });
+        if self.is_int {
+            left[idx] = left[idx].snap_to_integers();
+            right[idx] = right[idx].snap_to_integers();
+        }
+        if left[idx].is_empty() && right[idx].is_empty() {
+            return None;
+        }
+        Some((left, right))
+    }
+
+    fn splittable(&self, iv: &Interval) -> bool {
+        if iv.is_point() || iv.is_empty() {
+            return false;
+        }
+        if self.is_int {
+            iv.integer_count(1).is_none() // more than one integer
+        } else {
+            true
+        }
+    }
+
+    /// Enumerates all integer points of a small box as models.
+    fn enumerate_integer_points(&self, boxed: &IcpBox) -> Option<Vec<Model>> {
+        let mut total: u64 = 1;
+        let mut ranges = Vec::with_capacity(boxed.len());
+        for iv in boxed {
+            let count = iv.integer_count(self.config.enumerate_cap)?;
+            total = total.checked_mul(count)?;
+            if total > self.config.enumerate_cap {
+                return None;
+            }
+            let lo = iv.lo.as_finite()?.ceil();
+            ranges.push((lo, count));
+        }
+        if !self.bool_vars.is_empty() {
+            // Boolean structure: enumerate bool assignments too (small).
+            let bool_count = 1u64.checked_shl(self.bool_vars.len() as u32)?;
+            total = total.checked_mul(bool_count)?;
+            if total > self.config.enumerate_cap * 4 {
+                return None;
+            }
+        }
+        let mut models = Vec::new();
+        let mut counters = vec![0u64; ranges.len()];
+        loop {
+            let bool_assignments = 1u64 << self.bool_vars.len();
+            for bits in 0..bool_assignments {
+                let mut model = Model::new();
+                for (i, (lo, _)) in ranges.iter().enumerate() {
+                    let v = lo + &BigInt::from(counters[i]);
+                    model.insert(self.vars[i], Value::Int(v));
+                }
+                for (j, &bv) in self.bool_vars.iter().enumerate() {
+                    model.insert(bv, Value::Bool((bits >> j) & 1 == 1));
+                }
+                models.push(model);
+            }
+            // Odometer increment.
+            let mut i = 0;
+            loop {
+                if i == ranges.len() {
+                    return Some(models);
+                }
+                counters[i] += 1;
+                if counters[i] < ranges[i].1 {
+                    break;
+                }
+                counters[i] = 0;
+                i += 1;
+            }
+        }
+    }
+
+    /// Samples the box midpoint and checks it exactly. Deliberately modest:
+    /// production nonlinear engines do not guess solutions, they subdivide —
+    /// richer sampling here would make the unbounded baseline unrealistically
+    /// strong on planted instances and erase the asymmetry the paper
+    /// measures.
+    fn check_exact(&self, boxed: &IcpBox) -> Option<Model> {
+        let candidates: Vec<Vec<BigRational>> =
+            vec![boxed.iter().map(Interval::sample).collect()];
+        for point in candidates {
+            let mut model = Model::new();
+            for (i, v) in point.iter().enumerate() {
+                let value = if self.is_int {
+                    Value::Int(v.floor())
+                } else {
+                    Value::Real(v.clone())
+                };
+                model.insert(self.vars[i], value);
+            }
+            // Boolean variables: try all-false, then all-true.
+            for bools in [false, true] {
+                let mut m = model.clone();
+                for &bv in &self.bool_vars {
+                    m.insert(bv, Value::Bool(bools));
+                }
+                if let Some(found) = self.check_exact_with(&m) {
+                    return Some(found);
+                }
+                if self.bool_vars.is_empty() {
+                    break;
+                }
+            }
+        }
+        None
+    }
+
+    fn check_exact_with(&self, model: &Model) -> Option<Model> {
+        for &a in self.assertions {
+            match evaluate(self.store, a, model) {
+                Ok(Value::Bool(true)) => {}
+                _ => return None,
+            }
+        }
+        Some(model.clone())
+    }
+
+    // --- three-valued interval evaluation ------------------------------------
+
+    fn eval_bool(
+        &self,
+        id: TermId,
+        boxed: &IcpBox,
+        memo: &mut HashMap<TermId, Interval>,
+    ) -> TriBool {
+        let term = self.store.term(id);
+        let args = term.args();
+        match term.op() {
+            Op::True => TriBool::True,
+            Op::False => TriBool::False,
+            Op::Var(_) => TriBool::Maybe, // free boolean variable
+            Op::Not => self.eval_bool(args[0], boxed, memo).not(),
+            Op::And => args
+                .iter()
+                .map(|&a| self.eval_bool(a, boxed, memo))
+                .fold(TriBool::True, TriBool::and),
+            Op::Or => args
+                .iter()
+                .map(|&a| self.eval_bool(a, boxed, memo))
+                .fold(TriBool::False, TriBool::or),
+            Op::Xor => {
+                let vals: Vec<TriBool> = args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                if vals.contains(&TriBool::Maybe) {
+                    TriBool::Maybe
+                } else {
+                    TriBool::from_bool(
+                        vals.iter().filter(|v| **v == TriBool::True).count() % 2 == 1,
+                    )
+                }
+            }
+            Op::Implies => {
+                let vals: Vec<TriBool> = args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                let mut acc = *vals.last().expect("implies nonempty");
+                for v in vals[..vals.len() - 1].iter().rev() {
+                    acc = v.not().or(acc);
+                }
+                acc
+            }
+            Op::Ite => {
+                let c = self.eval_bool(args[0], boxed, memo);
+                let t = self.eval_bool(args[1], boxed, memo);
+                let e = self.eval_bool(args[2], boxed, memo);
+                match c {
+                    TriBool::True => t,
+                    TriBool::False => e,
+                    TriBool::Maybe => {
+                        if t == e {
+                            t
+                        } else {
+                            TriBool::Maybe
+                        }
+                    }
+                }
+            }
+            Op::Eq => {
+                if self.store.sort(args[0]) == Sort::Bool {
+                    let vals: Vec<TriBool> =
+                        args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                    return vals
+                        .windows(2)
+                        .map(|w| match (w[0], w[1]) {
+                            (TriBool::Maybe, _) | (_, TriBool::Maybe) => TriBool::Maybe,
+                            (a, b) => TriBool::from_bool(a == b),
+                        })
+                        .fold(TriBool::True, TriBool::and);
+                }
+                let ivs: Vec<Interval> =
+                    args.iter().map(|&a| self.eval_num(a, boxed, memo)).collect();
+                ivs.windows(2)
+                    .map(|w| self.tri_eq(&w[0], &w[1]))
+                    .fold(TriBool::True, TriBool::and)
+            }
+            Op::Distinct => {
+                let ivs: Vec<Interval> =
+                    args.iter().map(|&a| self.eval_num(a, boxed, memo)).collect();
+                let mut acc = TriBool::True;
+                for i in 0..ivs.len() {
+                    for j in i + 1..ivs.len() {
+                        acc = acc.and(self.tri_eq(&ivs[i], &ivs[j]).not());
+                    }
+                }
+                acc
+            }
+            Op::Le => self.tri_cmp(args, boxed, memo, |o| o.le()),
+            Op::Lt => self.tri_cmp(args, boxed, memo, |o| o.lt()),
+            Op::Ge => self.tri_cmp_rev(args, boxed, memo, |o| o.le()),
+            Op::Gt => self.tri_cmp_rev(args, boxed, memo, |o| o.lt()),
+            other => unreachable!("non-arithmetic boolean op {other:?} in ICP"),
+        }
+    }
+
+    fn tri_eq(&self, a: &Interval, b: &Interval) -> TriBool {
+        if a.intersect(b).is_empty() {
+            TriBool::False
+        } else if a.is_point() && b.is_point() && a == b {
+            TriBool::True
+        } else {
+            TriBool::Maybe
+        }
+    }
+
+    fn tri_cmp(
+        &self,
+        args: &[TermId],
+        boxed: &IcpBox,
+        memo: &mut HashMap<TermId, Interval>,
+        extract: fn(&crate::arith::interval::IntervalOrder) -> TriBool,
+    ) -> TriBool {
+        let mut acc = TriBool::True;
+        for w in args.windows(2) {
+            let a = self.eval_num(w[0], boxed, memo);
+            let b = self.eval_num(w[1], boxed, memo);
+            acc = acc.and(extract(&cmp_intervals(&a, &b)));
+        }
+        acc
+    }
+
+    fn tri_cmp_rev(
+        &self,
+        args: &[TermId],
+        boxed: &IcpBox,
+        memo: &mut HashMap<TermId, Interval>,
+        extract: fn(&crate::arith::interval::IntervalOrder) -> TriBool,
+    ) -> TriBool {
+        // a >= b is b <= a, pairwise along the chain.
+        let mut acc = TriBool::True;
+        for w in args.windows(2) {
+            let a = self.eval_num(w[0], boxed, memo);
+            let b = self.eval_num(w[1], boxed, memo);
+            acc = acc.and(extract(&cmp_intervals(&b, &a)));
+        }
+        acc
+    }
+
+    fn eval_num(
+        &self,
+        id: TermId,
+        boxed: &IcpBox,
+        memo: &mut HashMap<TermId, Interval>,
+    ) -> Interval {
+        if let Some(iv) = memo.get(&id) {
+            return iv.clone();
+        }
+        let term = self.store.term(id);
+        let args = term.args();
+        let result = match term.op() {
+            Op::IntConst(c) => Interval::point(BigRational::from_int(c.clone())),
+            Op::RealConst(c) => Interval::point(c.clone()),
+            Op::Var(sym) => {
+                let idx = self
+                    .vars
+                    .iter()
+                    .position(|v| v == sym)
+                    .expect("numeric variable is in the box");
+                boxed[idx].clone()
+            }
+            Op::Neg => self.eval_num(args[0], boxed, memo).neg(),
+            Op::Abs => self.eval_num(args[0], boxed, memo).abs(),
+            Op::Add => {
+                let mut acc = self.eval_num(args[0], boxed, memo);
+                for &a in &args[1..] {
+                    acc = acc.add(&self.eval_num(a, boxed, memo));
+                }
+                acc
+            }
+            Op::Sub => {
+                let mut acc = self.eval_num(args[0], boxed, memo);
+                for &a in &args[1..] {
+                    acc = acc.sub(&self.eval_num(a, boxed, memo));
+                }
+                acc
+            }
+            Op::Mul => {
+                let mut acc = self.eval_num(args[0], boxed, memo);
+                for &a in &args[1..] {
+                    acc = acc.mul(&self.eval_num(a, boxed, memo));
+                }
+                acc
+            }
+            Op::RealDiv => {
+                let mut acc = self.eval_num(args[0], boxed, memo);
+                for &a in &args[1..] {
+                    acc = acc.div(&self.eval_num(a, boxed, memo));
+                }
+                acc
+            }
+            Op::IntDiv => {
+                let a = self.eval_num(args[0], boxed, memo);
+                let b = self.eval_num(args[1], boxed, memo);
+                a.int_div(&b)
+            }
+            Op::Mod => {
+                let a = self.eval_num(args[0], boxed, memo);
+                let b = self.eval_num(args[1], boxed, memo);
+                a.int_mod(&b)
+            }
+            Op::Ite => {
+                let c = self.eval_bool(args[0], boxed, memo);
+                let t = self.eval_num(args[1], boxed, memo);
+                let e = self.eval_num(args[2], boxed, memo);
+                match c {
+                    TriBool::True => t,
+                    TriBool::False => e,
+                    TriBool::Maybe => {
+                        // Hull of both branches.
+                        Interval {
+                            lo: if t.lo.cmp_ext(&e.lo) == std::cmp::Ordering::Less {
+                                t.lo.clone()
+                            } else {
+                                e.lo.clone()
+                            },
+                            hi: if t.hi.cmp_ext(&e.hi) == std::cmp::Ordering::Greater {
+                                t.hi.clone()
+                            } else {
+                                e.hi.clone()
+                            },
+                        }
+                    }
+                }
+            }
+            other => unreachable!("non-arithmetic numeric op {other:?} in ICP"),
+        };
+        let result = if self.is_int && self.store.sort(id) == Sort::Int {
+            result.snap_to_integers()
+        } else {
+            result
+        };
+        memo.insert(id, result.clone());
+        result
+    }
+}
+
+enum SearchOutcome {
+    Sat(Model),
+    Exhausted { abandoned: bool },
+    OutOfBudget,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_smtlib::Script;
+
+    fn solve(src: &str, is_int: bool) -> SatResult {
+        let script = Script::parse(src).unwrap();
+        let mut stats = SolverStats::default();
+        let result = solve_nonlinear(
+            script.store(),
+            script.assertions(),
+            is_int,
+            &IcpConfig::default(),
+            &Budget::new(std::time::Duration::from_secs(10), 2_000_000),
+            &mut stats,
+        );
+        if let SatResult::Sat(m) = &result {
+            for &a in script.assertions() {
+                assert_eq!(
+                    evaluate(script.store(), a, m).unwrap(),
+                    Value::Bool(true),
+                    "model must satisfy {src}"
+                );
+            }
+        }
+        result
+    }
+
+    #[test]
+    fn simple_square() {
+        let r = solve("(declare-fun x () Int)(assert (= (* x x) 49))", true);
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn sum_of_cubes_small() {
+        // x^3 + y^3 = 35 has solution (2, 3).
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (>= x 0)) (assert (>= y 0))
+             (assert (= (+ (* x x x) (* y y y)) 35))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn bounded_unsat_proven() {
+        // x in [0, 10], x^2 = 7: no integer solution, box fully bounded.
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (>= x 0)) (assert (<= x 10))
+             (assert (= (* x x) 7))",
+            true,
+        );
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn interval_refutation_unbounded() {
+        // x^2 >= 0 always; x^2 < 0 refuted by intervals even on (-inf, inf)?
+        // Squares are not recognized as such; the engine proves it on the
+        // clamped boxes but cannot generalize, so it must answer unknown.
+        let r = solve("(declare-fun x () Int)(assert (< (* x x) 0))", true);
+        assert!(!r.is_sat(), "no model may be produced");
+    }
+
+    #[test]
+    fn negative_solution_found() {
+        let r = solve("(declare-fun x () Int)(assert (= (* x x x) (- 27)))", true);
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn real_nonlinear_sat() {
+        // x^2 = 2.25 has rational solution 1.5.
+        let r = solve("(declare-fun x () Real)(assert (= (* x x) 2.25))", false);
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn real_irrational_solution_is_unknown() {
+        // x^2 = 2 has no rational solution; the engine must not claim sat,
+        // and (soundly) cannot claim unsat at finite precision.
+        let r = solve("(declare-fun x () Real)(assert (= (* x x) 2.0))", false);
+        assert!(r.is_unknown());
+    }
+
+    #[test]
+    fn real_inequality_sat() {
+        let r = solve(
+            "(declare-fun x () Real)(declare-fun y () Real)
+             (assert (> (* x y) 6.0)) (assert (< x 2.0)) (assert (> x 1.0))",
+            false,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (or (= (* x x) 16) (= (* x x) 17)))
+             (assert (> x 0))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn free_boolean_variables() {
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun p () Bool)
+             (assert (or p (= (* x x) 9)))
+             (assert (not p))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn ground_formulas() {
+        assert!(solve("(assert (= (* 3 3) 9))", true).is_sat());
+        assert!(solve("(assert (= (* 3 3) 10))", true).is_unsat());
+    }
+
+    #[test]
+    fn budget_exhaustion_is_unknown() {
+        let script = Script::parse(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= (+ (* x x x) (+ (* y y y) (* z z z))) 114))",
+        )
+        .unwrap();
+        let mut stats = SolverStats::default();
+        let tiny = Budget::new(std::time::Duration::from_secs(10), 50);
+        let r = solve_nonlinear(
+            script.store(),
+            script.assertions(),
+            true,
+            &IcpConfig::default(),
+            &tiny,
+            &mut stats,
+        );
+        assert!(r.is_unknown(), "114 is a famously hard sum-of-cubes");
+    }
+
+    #[test]
+    fn motivating_example_eventually_solves() {
+        // x^3+y^3+z^3 = 855 (sat: 7,8,0) — the unbounded baseline can find
+        // this with enough budget.
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= (+ (* x x x) (+ (* y y y) (* z z z))) 855))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn disequality() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (= (* x x) 49)) (assert (not (= x 7)))",
+            true,
+        );
+        assert!(r.is_sat()); // x = -7
+    }
+
+    #[test]
+    fn numeric_ite_in_constraints() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (= (ite (< x 0) (- x) x) 5))
+             (assert (< x 0))",
+            true,
+        );
+        assert!(r.is_sat(), "x = -5 via the ite(abs) pattern");
+    }
+
+    #[test]
+    fn abs_and_div_hulls() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (= (abs x) 7))
+             (assert (= (div x 2) (- 4)))",
+            true,
+        );
+        // x = -7: abs = 7, euclidean div(-7, 2) = -4.
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn mod_in_nonlinear_context() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (= (mod (* x x) 10) 6))
+             (assert (> x 0)) (assert (< x 10))",
+            true,
+        );
+        // 4*4 = 16 ≡ 6 (mod 10) or 6*6 = 36 ≡ 6.
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn real_division_in_formulas() {
+        let r = solve(
+            "(declare-fun x () Real)
+             (assert (= (/ x 4.0) 0.625))",
+            false,
+        );
+        assert!(r.is_sat(), "x = 2.5");
+    }
+
+    #[test]
+    fn strategies_agree() {
+        for split in [SplitStrategy::Widest, SplitStrategy::RoundRobin] {
+            for order in [SearchOrder::DepthFirst, SearchOrder::BreadthFirst] {
+                let script =
+                    Script::parse("(declare-fun x () Int)(assert (= (* x x) 144))").unwrap();
+                let config = IcpConfig { split, order, ..Default::default() };
+                let mut stats = SolverStats::default();
+                let r = solve_nonlinear(
+                    script.store(),
+                    script.assertions(),
+                    true,
+                    &config,
+                    &Budget::unlimited(),
+                    &mut stats,
+                );
+                assert!(r.is_sat(), "{split:?}/{order:?}");
+            }
+        }
+    }
+}

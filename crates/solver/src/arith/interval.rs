@@ -1,0 +1,585 @@
+//! Extended-rational interval arithmetic.
+//!
+//! Intervals over ℚ ∪ {±∞} with closed finite endpoints. All operations are
+//! *overapproximating*: the true image of the operation over the input boxes
+//! is contained in the result. That is the only property the ICP engine
+//! needs — candidate models are always re-checked exactly.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use staub_numeric::{BigInt, BigRational};
+
+/// An extended rational: `-∞`, a finite rational, or `+∞`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Ext {
+    /// Negative infinity.
+    MinusInf,
+    /// A finite rational.
+    Finite(BigRational),
+    /// Positive infinity.
+    PlusInf,
+}
+
+impl Ext {
+    /// Total order on extended rationals.
+    pub fn cmp_ext(&self, other: &Ext) -> Ordering {
+        use Ext::*;
+        match (self, other) {
+            (MinusInf, MinusInf) | (PlusInf, PlusInf) => Ordering::Equal,
+            (MinusInf, _) | (_, PlusInf) => Ordering::Less,
+            (_, MinusInf) | (PlusInf, _) => Ordering::Greater,
+            (Finite(a), Finite(b)) => a.cmp(b),
+        }
+    }
+
+    fn neg(&self) -> Ext {
+        match self {
+            Ext::MinusInf => Ext::PlusInf,
+            Ext::PlusInf => Ext::MinusInf,
+            Ext::Finite(r) => Ext::Finite(-r.clone()),
+        }
+    }
+
+    fn add(&self, other: &Ext) -> Ext {
+        use Ext::*;
+        match (self, other) {
+            (MinusInf, PlusInf) | (PlusInf, MinusInf) => {
+                unreachable!("indeterminate sum of opposite infinities")
+            }
+            (MinusInf, _) | (_, MinusInf) => MinusInf,
+            (PlusInf, _) | (_, PlusInf) => PlusInf,
+            (Finite(a), Finite(b)) => Finite(a + b),
+        }
+    }
+
+    /// Interval-arithmetic product: `0 * ±∞ = 0` (the limit convention).
+    fn mul(&self, other: &Ext) -> Ext {
+        use Ext::*;
+        let sign = |e: &Ext| match e {
+            MinusInf => -1,
+            PlusInf => 1,
+            Finite(r) => {
+                if r.is_positive() {
+                    1
+                } else if r.is_negative() {
+                    -1
+                } else {
+                    0
+                }
+            }
+        };
+        match (self, other) {
+            (Finite(a), Finite(b)) => Finite(a * b),
+            _ => {
+                let s = sign(self) * sign(other);
+                match s.cmp(&0) {
+                    Ordering::Equal => Finite(BigRational::zero()),
+                    Ordering::Greater => PlusInf,
+                    Ordering::Less => MinusInf,
+                }
+            }
+        }
+    }
+
+    /// The finite value, if any.
+    pub fn as_finite(&self) -> Option<&BigRational> {
+        match self {
+            Ext::Finite(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Ext {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Ext::MinusInf => f.write_str("-inf"),
+            Ext::PlusInf => f.write_str("+inf"),
+            Ext::Finite(r) => write!(f, "{r}"),
+        }
+    }
+}
+
+/// A (possibly unbounded) closed interval `[lo, hi]`; empty iff `lo > hi`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Interval {
+    /// Lower endpoint (`MinusInf` or finite).
+    pub lo: Ext,
+    /// Upper endpoint (finite or `PlusInf`).
+    pub hi: Ext,
+}
+
+impl Interval {
+    /// The whole extended real line.
+    pub fn top() -> Interval {
+        Interval { lo: Ext::MinusInf, hi: Ext::PlusInf }
+    }
+
+    /// A singleton interval.
+    pub fn point(v: BigRational) -> Interval {
+        Interval { lo: Ext::Finite(v.clone()), hi: Ext::Finite(v) }
+    }
+
+    /// A finite interval `[lo, hi]`.
+    pub fn closed(lo: BigRational, hi: BigRational) -> Interval {
+        Interval { lo: Ext::Finite(lo), hi: Ext::Finite(hi) }
+    }
+
+    /// An explicitly empty interval.
+    pub fn empty() -> Interval {
+        Interval {
+            lo: Ext::Finite(BigRational::one()),
+            hi: Ext::Finite(BigRational::zero()),
+        }
+    }
+
+    /// Returns `true` if no value lies in the interval.
+    pub fn is_empty(&self) -> bool {
+        self.lo.cmp_ext(&self.hi) == Ordering::Greater
+    }
+
+    /// Returns `true` if the interval is a single point.
+    pub fn is_point(&self) -> bool {
+        matches!((&self.lo, &self.hi), (Ext::Finite(a), Ext::Finite(b)) if a == b)
+    }
+
+    /// Returns `true` if both endpoints are finite.
+    pub fn is_bounded(&self) -> bool {
+        matches!((&self.lo, &self.hi), (Ext::Finite(_), Ext::Finite(_)))
+    }
+
+    /// Membership test.
+    pub fn contains(&self, v: &BigRational) -> bool {
+        let ge_lo = match &self.lo {
+            Ext::MinusInf => true,
+            Ext::Finite(l) => v >= l,
+            Ext::PlusInf => false,
+        };
+        let le_hi = match &self.hi {
+            Ext::PlusInf => true,
+            Ext::Finite(h) => v <= h,
+            Ext::MinusInf => false,
+        };
+        ge_lo && le_hi
+    }
+
+    /// Returns `true` if the interval contains zero.
+    pub fn contains_zero(&self) -> bool {
+        self.contains(&BigRational::zero())
+    }
+
+    /// Intersection of two intervals.
+    pub fn intersect(&self, other: &Interval) -> Interval {
+        let lo = if self.lo.cmp_ext(&other.lo) == Ordering::Greater {
+            self.lo.clone()
+        } else {
+            other.lo.clone()
+        };
+        let hi = if self.hi.cmp_ext(&other.hi) == Ordering::Less {
+            self.hi.clone()
+        } else {
+            other.hi.clone()
+        };
+        Interval { lo, hi }
+    }
+
+    /// Pointwise negation.
+    pub fn neg(&self) -> Interval {
+        Interval { lo: self.hi.neg(), hi: self.lo.neg() }
+    }
+
+    /// Interval sum.
+    pub fn add(&self, other: &Interval) -> Interval {
+        Interval {
+            lo: self.lo.add(&other.lo),
+            hi: self.hi.add(&other.hi),
+        }
+    }
+
+    /// Interval difference.
+    pub fn sub(&self, other: &Interval) -> Interval {
+        self.add(&other.neg())
+    }
+
+    /// Interval product (min/max over the four endpoint products).
+    pub fn mul(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        let products = [
+            self.lo.mul(&other.lo),
+            self.lo.mul(&other.hi),
+            self.hi.mul(&other.lo),
+            self.hi.mul(&other.hi),
+        ];
+        let mut lo = products[0].clone();
+        let mut hi = products[0].clone();
+        for p in &products[1..] {
+            if p.cmp_ext(&lo) == Ordering::Less {
+                lo = p.clone();
+            }
+            if p.cmp_ext(&hi) == Ordering::Greater {
+                hi = p.clone();
+            }
+        }
+        Interval { lo, hi }
+    }
+
+    /// Interval quotient (exact real division). When the divisor straddles
+    /// zero the result is the whole line (a sound overapproximation).
+    pub fn div(&self, other: &Interval) -> Interval {
+        if self.is_empty() || other.is_empty() {
+            return Interval::empty();
+        }
+        if other.contains_zero() {
+            return Interval::top();
+        }
+        // Divisor is sign-definite; invert endpoints.
+        let inv = |e: &Ext| match e {
+            Ext::MinusInf | Ext::PlusInf => Ext::Finite(BigRational::zero()),
+            Ext::Finite(r) => Ext::Finite(r.recip()),
+        };
+        let recip = Interval { lo: inv(&other.hi), hi: inv(&other.lo) };
+        self.mul(&recip)
+    }
+
+    /// Interval absolute value.
+    pub fn abs(&self) -> Interval {
+        if self.is_empty() {
+            return Interval::empty();
+        }
+        if self.contains_zero() {
+            let hi_mag = {
+                let a = self.lo.neg();
+                let b = self.hi.clone();
+                if a.cmp_ext(&b) == Ordering::Greater {
+                    a
+                } else {
+                    b
+                }
+            };
+            Interval { lo: Ext::Finite(BigRational::zero()), hi: hi_mag }
+        } else if matches!(self.hi.cmp_ext(&Ext::Finite(BigRational::zero())), Ordering::Less) {
+            self.neg()
+        } else {
+            self.clone()
+        }
+    }
+
+    /// Hull of SMT-LIB euclidean integer division (conservative: the real
+    /// quotient hull widened by one in both directions, then intersected
+    /// with integrality).
+    pub fn int_div(&self, other: &Interval) -> Interval {
+        let real = self.div(other);
+        let widen = Interval::closed(
+            BigRational::from(-1i64),
+            BigRational::from(1i64),
+        );
+        real.add(&widen).snap_to_integers()
+    }
+
+    /// Hull of SMT-LIB euclidean `mod`: `[0, max|divisor| - 1]` when the
+    /// divisor cannot be zero, otherwise unconstrained-nonnegative.
+    pub fn int_mod(&self, other: &Interval) -> Interval {
+        let mag = other.abs();
+        match &mag.hi {
+            Ext::Finite(h) => Interval::closed(
+                BigRational::zero(),
+                h - &BigRational::one(),
+            ),
+            _ => Interval { lo: Ext::Finite(BigRational::zero()), hi: Ext::PlusInf },
+        }
+    }
+
+    /// Shrinks endpoints to the integer lattice: `[⌈lo⌉, ⌊hi⌋]`.
+    pub fn snap_to_integers(&self) -> Interval {
+        let lo = match &self.lo {
+            Ext::Finite(r) => Ext::Finite(BigRational::from_int(r.ceil())),
+            other => other.clone(),
+        };
+        let hi = match &self.hi {
+            Ext::Finite(r) => Ext::Finite(BigRational::from_int(r.floor())),
+            other => other.clone(),
+        };
+        Interval { lo, hi }
+    }
+
+    /// Number of integers in the interval, if finite and small enough to
+    /// count (else `None`).
+    pub fn integer_count(&self, cap: u64) -> Option<u64> {
+        match (&self.lo, &self.hi) {
+            (Ext::Finite(l), Ext::Finite(h)) => {
+                let lo_i = l.ceil();
+                let hi_i = h.floor();
+                if lo_i > hi_i {
+                    return Some(0);
+                }
+                let count = &hi_i - &lo_i + BigInt::one();
+                count.to_u64().filter(|&c| c <= cap)
+            }
+            _ => None,
+        }
+    }
+
+    /// A representative interior point: the midpoint of a bounded interval,
+    /// the finite endpoint (±1) of a half-line, or zero for the whole line.
+    pub fn sample(&self) -> BigRational {
+        match (&self.lo, &self.hi) {
+            (Ext::Finite(l), Ext::Finite(h)) => {
+                &(l + h) / &BigRational::from(2i64)
+            }
+            (Ext::Finite(l), Ext::PlusInf) => l + &BigRational::one(),
+            (Ext::MinusInf, Ext::Finite(h)) => h - &BigRational::one(),
+            _ => BigRational::zero(),
+        }
+    }
+
+    /// Width of the interval, `None` if unbounded.
+    pub fn width(&self) -> Option<BigRational> {
+        match (&self.lo, &self.hi) {
+            (Ext::Finite(l), Ext::Finite(h)) => Some(h - l),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Interval {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}, {}]", self.lo, self.hi)
+    }
+}
+
+/// Three-valued truth for interval evaluation of boolean terms.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TriBool {
+    /// Definitely true over the whole box.
+    True,
+    /// Definitely false over the whole box.
+    False,
+    /// Undetermined.
+    Maybe,
+}
+
+impl TriBool {
+    /// Three-valued negation.
+    #[must_use]
+    pub fn not(self) -> TriBool {
+        match self {
+            TriBool::True => TriBool::False,
+            TriBool::False => TriBool::True,
+            TriBool::Maybe => TriBool::Maybe,
+        }
+    }
+
+    /// Three-valued conjunction.
+    #[must_use]
+    pub fn and(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::False, _) | (_, TriBool::False) => TriBool::False,
+            (TriBool::True, TriBool::True) => TriBool::True,
+            _ => TriBool::Maybe,
+        }
+    }
+
+    /// Three-valued disjunction.
+    #[must_use]
+    pub fn or(self, other: TriBool) -> TriBool {
+        match (self, other) {
+            (TriBool::True, _) | (_, TriBool::True) => TriBool::True,
+            (TriBool::False, TriBool::False) => TriBool::False,
+            _ => TriBool::Maybe,
+        }
+    }
+
+    /// Lifts a definite boolean.
+    pub fn from_bool(b: bool) -> TriBool {
+        if b {
+            TriBool::True
+        } else {
+            TriBool::False
+        }
+    }
+}
+
+/// Three-valued comparison of two intervals: is `a rel b` definitely
+/// true/false over all pairs of values?
+pub fn cmp_intervals(a: &Interval, b: &Interval) -> IntervalOrder {
+    // a.hi < b.lo  => definitely less.
+    let strictly_less = a.hi.cmp_ext(&b.lo) == Ordering::Less;
+    let strictly_greater = a.lo.cmp_ext(&b.hi) == Ordering::Greater;
+    let le = a.hi.cmp_ext(&b.lo) != Ordering::Greater; // a.hi <= b.lo
+    let ge = a.lo.cmp_ext(&b.hi) != Ordering::Less;
+    IntervalOrder { strictly_less, strictly_greater, le_definite: le, ge_definite: ge }
+}
+
+/// Result of an interval comparison (see [`cmp_intervals`]).
+#[derive(Debug, Clone, Copy)]
+pub struct IntervalOrder {
+    /// Every value of `a` is `<` every value of `b`.
+    pub strictly_less: bool,
+    /// Every value of `a` is `>` every value of `b`.
+    pub strictly_greater: bool,
+    /// Every value of `a` is `<=` every value of `b`.
+    pub le_definite: bool,
+    /// Every value of `a` is `>=` every value of `b`.
+    pub ge_definite: bool,
+}
+
+impl IntervalOrder {
+    /// Three-valued `a < b`.
+    pub fn lt(&self) -> TriBool {
+        if self.strictly_less {
+            TriBool::True
+        } else if self.ge_definite {
+            TriBool::False
+        } else {
+            TriBool::Maybe
+        }
+    }
+
+    /// Three-valued `a <= b`.
+    pub fn le(&self) -> TriBool {
+        if self.le_definite {
+            TriBool::True
+        } else if self.strictly_greater {
+            TriBool::False
+        } else {
+            TriBool::Maybe
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn r(v: i64) -> BigRational {
+        BigRational::from(v)
+    }
+
+    fn iv(lo: i64, hi: i64) -> Interval {
+        Interval::closed(r(lo), r(hi))
+    }
+
+    #[test]
+    fn emptiness_and_membership() {
+        assert!(Interval::empty().is_empty());
+        assert!(!iv(1, 3).is_empty());
+        assert!(iv(1, 3).contains(&r(2)));
+        assert!(iv(1, 3).contains(&r(1)));
+        assert!(!iv(1, 3).contains(&r(4)));
+        assert!(Interval::top().contains(&r(-1000)));
+    }
+
+    #[test]
+    fn arithmetic() {
+        assert_eq!(iv(1, 2).add(&iv(10, 20)), iv(11, 22));
+        assert_eq!(iv(1, 2).sub(&iv(10, 20)), iv(-19, -8));
+        assert_eq!(iv(2, 3).mul(&iv(-4, 5)), iv(-12, 15));
+        assert_eq!(iv(-2, 3).mul(&iv(-4, 5)), iv(-12, 15));
+        assert_eq!(iv(-3, -2).mul(&iv(-5, -4)), iv(8, 15));
+        assert_eq!(iv(1, 2).neg(), iv(-2, -1));
+    }
+
+    #[test]
+    fn multiplication_with_infinities() {
+        let half_line = Interval { lo: Ext::Finite(r(1)), hi: Ext::PlusInf };
+        let product = half_line.mul(&iv(2, 3));
+        assert_eq!(product.lo, Ext::Finite(r(2)));
+        assert_eq!(product.hi, Ext::PlusInf);
+        // Zero times the whole line is zero-containing but finite at 0 corner.
+        let z = Interval::point(BigRational::zero());
+        let t = Interval::top();
+        let p = z.mul(&t);
+        assert!(p.contains(&BigRational::zero()));
+    }
+
+    #[test]
+    fn division() {
+        assert_eq!(iv(6, 12).div(&iv(2, 3)), iv(2, 6));
+        assert_eq!(iv(-6, 12).div(&iv(2, 3)), iv(-3, 6));
+        // Divisor straddles zero: whole line.
+        assert_eq!(iv(1, 2).div(&iv(-1, 1)), Interval::top());
+    }
+
+    #[test]
+    fn abs_cases() {
+        assert_eq!(iv(2, 5).abs(), iv(2, 5));
+        assert_eq!(iv(-5, -2).abs(), iv(2, 5));
+        assert_eq!(iv(-3, 5).abs(), iv(0, 5));
+        assert_eq!(iv(-5, 3).abs(), iv(0, 5));
+    }
+
+    #[test]
+    fn integer_snapping() {
+        let i = Interval::closed("1/2".parse().unwrap(), "7/2".parse().unwrap());
+        assert_eq!(i.snap_to_integers(), iv(1, 3));
+        let empty = Interval::closed("1/3".parse().unwrap(), "2/3".parse().unwrap());
+        assert!(empty.snap_to_integers().is_empty());
+    }
+
+    #[test]
+    fn integer_count() {
+        assert_eq!(iv(1, 3).integer_count(100), Some(3));
+        assert_eq!(iv(3, 1).integer_count(100), Some(0));
+        assert_eq!(iv(0, 1000).integer_count(100), None, "over cap");
+        assert_eq!(Interval::top().integer_count(100), None);
+    }
+
+    #[test]
+    fn intersection() {
+        assert_eq!(iv(1, 5).intersect(&iv(3, 8)), iv(3, 5));
+        assert!(iv(1, 2).intersect(&iv(3, 4)).is_empty());
+        assert_eq!(Interval::top().intersect(&iv(1, 2)), iv(1, 2));
+    }
+
+    #[test]
+    fn comparison_tri_values() {
+        assert_eq!(cmp_intervals(&iv(1, 2), &iv(3, 4)).lt(), TriBool::True);
+        assert_eq!(cmp_intervals(&iv(3, 4), &iv(1, 2)).lt(), TriBool::False);
+        assert_eq!(cmp_intervals(&iv(1, 3), &iv(2, 4)).lt(), TriBool::Maybe);
+        assert_eq!(cmp_intervals(&iv(1, 2), &iv(2, 4)).le(), TriBool::True);
+        assert_eq!(cmp_intervals(&iv(1, 2), &iv(2, 4)).lt(), TriBool::Maybe);
+    }
+
+    #[test]
+    fn samples_lie_inside() {
+        for i in [iv(1, 5), iv(-10, -2), Interval::top()] {
+            assert!(i.contains(&i.sample()), "sample of {i}");
+        }
+        let half = Interval { lo: Ext::Finite(r(3)), hi: Ext::PlusInf };
+        assert!(half.contains(&half.sample()));
+        let lower = Interval { lo: Ext::MinusInf, hi: Ext::Finite(r(-3)) };
+        assert!(lower.contains(&lower.sample()));
+    }
+
+    #[test]
+    fn tribool_algebra() {
+        use TriBool::*;
+        assert_eq!(True.and(Maybe), Maybe);
+        assert_eq!(False.and(Maybe), False);
+        assert_eq!(True.or(Maybe), True);
+        assert_eq!(False.or(Maybe), Maybe);
+        assert_eq!(Maybe.not(), Maybe);
+        assert_eq!(True.not(), False);
+    }
+
+    #[test]
+    fn int_div_hull_is_sound() {
+        // 7 div 2 = 3 (euclidean); hull must contain it.
+        let hull = iv(7, 7).int_div(&iv(2, 2));
+        assert!(hull.contains(&r(3)));
+        // -7 div 2 = -4 euclidean.
+        let hull2 = iv(-7, -7).int_div(&iv(2, 2));
+        assert!(hull2.contains(&r(-4)));
+    }
+
+    #[test]
+    fn int_mod_hull() {
+        let hull = iv(-100, 100).int_mod(&iv(3, 5));
+        assert!(hull.contains(&r(0)));
+        assert!(hull.contains(&r(4)));
+        assert!(!hull.contains(&r(5)));
+    }
+}

@@ -1,0 +1,806 @@
+//! Linear-arithmetic atoms: extraction from terms and conjunction solving
+//! (simplex for reals, branch-and-bound on top for integers).
+
+use std::collections::BTreeMap;
+
+use staub_numeric::{BigInt, BigRational};
+use staub_smtlib::{Model, Op, Sort, SymbolId, TermId, TermStore, Value};
+
+use crate::arith::simplex::{DeltaRat, Feasibility, Simplex};
+use crate::budget::Budget;
+use crate::result::{SatResult, SolverStats, UnknownReason};
+
+/// A linear expression `Σ cᵢ·xᵢ + k`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct LinExpr {
+    /// Coefficients per variable (no zero entries).
+    pub coeffs: BTreeMap<SymbolId, BigRational>,
+    /// Constant term.
+    pub constant: BigRational,
+}
+
+impl LinExpr {
+    fn constant_of(k: BigRational) -> LinExpr {
+        LinExpr { coeffs: BTreeMap::new(), constant: k }
+    }
+
+    fn var(v: SymbolId) -> LinExpr {
+        let mut coeffs = BTreeMap::new();
+        coeffs.insert(v, BigRational::one());
+        LinExpr { coeffs, constant: BigRational::zero() }
+    }
+
+    fn add(&self, other: &LinExpr) -> LinExpr {
+        let mut out = self.clone();
+        out.constant = &out.constant + &other.constant;
+        for (v, c) in &other.coeffs {
+            let entry = out.coeffs.entry(*v).or_insert_with(BigRational::zero);
+            *entry = &*entry + c;
+        }
+        out.coeffs.retain(|_, c| !c.is_zero());
+        out
+    }
+
+    fn scale(&self, k: &BigRational) -> LinExpr {
+        if k.is_zero() {
+            return LinExpr::default();
+        }
+        LinExpr {
+            coeffs: self.coeffs.iter().map(|(v, c)| (*v, c * k)).collect(),
+            constant: &self.constant * k,
+        }
+    }
+
+    fn neg(&self) -> LinExpr {
+        self.scale(&-BigRational::one())
+    }
+
+    /// The constant value, if the expression has no variables.
+    pub fn as_constant(&self) -> Option<&BigRational> {
+        if self.coeffs.is_empty() {
+            Some(&self.constant)
+        } else {
+            None
+        }
+    }
+}
+
+/// Relation of a linear atom `expr ⋈ 0`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Rel {
+    /// `expr <= 0`.
+    Le,
+    /// `expr < 0`.
+    Lt,
+    /// `expr = 0`.
+    Eq,
+    /// `expr != 0`.
+    Ne,
+}
+
+/// A linear atom: `expr ⋈ 0`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LinAtom {
+    /// The linear form.
+    pub expr: LinExpr,
+    /// The relation against zero.
+    pub rel: Rel,
+}
+
+impl LinAtom {
+    /// The atom's negation (`<=` ↔ `>` i.e. negated-and-flipped, `=` ↔ `≠`).
+    #[must_use]
+    pub fn negated(&self) -> LinAtom {
+        match self.rel {
+            // ¬(e <= 0) is e > 0 is -e < 0.
+            Rel::Le => LinAtom { expr: self.expr.neg(), rel: Rel::Lt },
+            // ¬(e < 0) is e >= 0 is -e <= 0.
+            Rel::Lt => LinAtom { expr: self.expr.neg(), rel: Rel::Le },
+            Rel::Eq => LinAtom { expr: self.expr.clone(), rel: Rel::Ne },
+            Rel::Ne => LinAtom { expr: self.expr.clone(), rel: Rel::Eq },
+        }
+    }
+}
+
+/// Linearizes a numeric term; `None` if it is nonlinear (variable products,
+/// division, `ite`, `abs`, ...).
+pub fn linearize(store: &TermStore, id: TermId) -> Option<LinExpr> {
+    let term = store.term(id);
+    let args = term.args();
+    match term.op() {
+        Op::IntConst(c) => Some(LinExpr::constant_of(BigRational::from_int(c.clone()))),
+        Op::RealConst(c) => Some(LinExpr::constant_of(c.clone())),
+        Op::Var(v) => Some(LinExpr::var(*v)),
+        Op::Neg => Some(linearize(store, args[0])?.neg()),
+        Op::Add => {
+            let mut acc = linearize(store, args[0])?;
+            for &a in &args[1..] {
+                acc = acc.add(&linearize(store, a)?);
+            }
+            Some(acc)
+        }
+        Op::Sub => {
+            let mut acc = linearize(store, args[0])?;
+            for &a in &args[1..] {
+                acc = acc.add(&linearize(store, a)?.neg());
+            }
+            Some(acc)
+        }
+        Op::Mul => {
+            // Linear only if at most one factor has variables.
+            let parts: Option<Vec<LinExpr>> =
+                args.iter().map(|&a| linearize(store, a)).collect();
+            let parts = parts?;
+            let mut scalar = BigRational::one();
+            let mut var_part: Option<LinExpr> = None;
+            for p in parts {
+                match p.as_constant() {
+                    Some(k) => scalar = &scalar * k,
+                    None => {
+                        if var_part.is_some() {
+                            return None; // product of two variable parts
+                        }
+                        var_part = Some(p);
+                    }
+                }
+            }
+            Some(match var_part {
+                Some(p) => p.scale(&scalar),
+                None => LinExpr::constant_of(scalar),
+            })
+        }
+        Op::RealDiv => {
+            // Linear only when dividing by a nonzero constant.
+            let mut acc = linearize(store, args[0])?;
+            for &a in &args[1..] {
+                let d = linearize(store, a)?;
+                let k = d.as_constant()?;
+                if k.is_zero() {
+                    return None;
+                }
+                acc = acc.scale(&k.recip());
+            }
+            Some(acc)
+        }
+        _ => None,
+    }
+}
+
+/// Extracts the linear atoms of a boolean term (a comparison chain yields
+/// one atom per adjacent pair). `None` if any operand is nonlinear.
+pub fn extract_atoms(store: &TermStore, id: TermId) -> Option<Vec<LinAtom>> {
+    let term = store.term(id);
+    let args = term.args();
+    let pairwise = |rel_fn: &dyn Fn(LinExpr) -> LinAtom| -> Option<Vec<LinAtom>> {
+        let exprs: Option<Vec<LinExpr>> =
+            args.iter().map(|&a| linearize(store, a)).collect();
+        let exprs = exprs?;
+        Some(
+            exprs
+                .windows(2)
+                .map(|w| rel_fn(w[0].add(&w[1].neg())))
+                .collect(),
+        )
+    };
+    match term.op() {
+        // a <= b  ==>  a - b <= 0
+        Op::Le => pairwise(&|e| LinAtom { expr: e, rel: Rel::Le }),
+        Op::Lt => pairwise(&|e| LinAtom { expr: e, rel: Rel::Lt }),
+        // a >= b  ==>  b - a <= 0
+        Op::Ge => pairwise(&|e| LinAtom { expr: e.neg(), rel: Rel::Le }),
+        Op::Gt => pairwise(&|e| LinAtom { expr: e.neg(), rel: Rel::Lt }),
+        Op::Eq if store.sort(args[0]).is_numeric() => {
+            pairwise(&|e| LinAtom { expr: e, rel: Rel::Eq })
+        }
+        Op::Distinct if store.sort(args[0]).is_numeric() => {
+            // All-pairs disequalities (n-ary distinct).
+            let exprs: Option<Vec<LinExpr>> =
+                args.iter().map(|&a| linearize(store, a)).collect();
+            let exprs = exprs?;
+            let mut atoms = Vec::new();
+            for i in 0..exprs.len() {
+                for j in i + 1..exprs.len() {
+                    atoms.push(LinAtom {
+                        expr: exprs[i].add(&exprs[j].neg()),
+                        rel: Rel::Ne,
+                    });
+                }
+            }
+            Some(atoms)
+        }
+        _ => None,
+    }
+}
+
+/// Result of solving a conjunction of linear atoms.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ConjunctionResult {
+    /// Satisfiable with the given variable assignment.
+    Sat(Model),
+    /// Unsatisfiable.
+    Unsat,
+    /// Budget exhausted.
+    Unknown,
+}
+
+/// Solves a conjunction of linear atoms over `Int` or `Real` variables.
+///
+/// Disequalities are handled by case-splitting, integers by branch-and-bound
+/// on the simplex relaxation.
+pub fn solve_conjunction(
+    store: &TermStore,
+    atoms: &[LinAtom],
+    vars: &[SymbolId],
+    is_int: bool,
+    budget: &Budget,
+    stats: &mut SolverStats,
+) -> ConjunctionResult {
+    let mut simplex = Simplex::new();
+    let var_index: BTreeMap<SymbolId, usize> =
+        vars.iter().map(|&v| (v, simplex.add_var())).collect();
+    let mut disequalities: Vec<&LinAtom> = Vec::new();
+    for atom in atoms {
+        if is_int && atom.rel == Rel::Eq && int_eq_gcd_infeasible(atom) {
+            return ConjunctionResult::Unsat;
+        }
+        match atom.rel {
+            Rel::Ne => disequalities.push(atom),
+            _ => {
+                if !assert_atom(&mut simplex, &var_index, atom) {
+                    return ConjunctionResult::Unsat;
+                }
+            }
+        }
+    }
+    let result = solve_rec(
+        store,
+        simplex,
+        &var_index,
+        &disequalities,
+        is_int,
+        budget,
+        stats,
+        0,
+    );
+    stats.theory_checks += 1;
+    result
+}
+
+/// GCD test for integer equalities: scale `Σ cᵢxᵢ + k = 0` to integer
+/// coefficients; if `gcd(cᵢ)` does not divide the constant, the equation has
+/// no integer solution (branch-and-bound alone cannot refute these because
+/// the rational relaxation stays feasible forever).
+fn int_eq_gcd_infeasible(atom: &LinAtom) -> bool {
+    debug_assert_eq!(atom.rel, Rel::Eq);
+    if atom.expr.coeffs.is_empty() {
+        return false; // ground atoms handled elsewhere
+    }
+    // Common denominator of all coefficients and the constant.
+    let mut denom_lcm = BigInt::one();
+    let lcm = |a: &BigInt, b: &BigInt| -> BigInt {
+        let g = a.gcd(b);
+        &(a / &g) * b
+    };
+    for c in atom.expr.coeffs.values().chain(std::iter::once(&atom.expr.constant)) {
+        denom_lcm = lcm(&denom_lcm, c.denom());
+    }
+    let scale = BigRational::from_int(denom_lcm);
+    let mut g = BigInt::zero();
+    for c in atom.expr.coeffs.values() {
+        let scaled = (c * &scale).floor();
+        g = g.gcd(&scaled);
+    }
+    if g.is_zero() || g == BigInt::one() {
+        return false;
+    }
+    let k = (&atom.expr.constant * &scale).floor();
+    !(&k % &g).is_zero()
+}
+
+fn assert_atom(
+    simplex: &mut Simplex,
+    var_index: &BTreeMap<SymbolId, usize>,
+    atom: &LinAtom,
+) -> bool {
+    // expr rel 0  becomes  Σ c x rel -k  on a slack row.
+    let combination: Vec<(usize, BigRational)> = atom
+        .expr
+        .coeffs
+        .iter()
+        .map(|(v, c)| (var_index[v], c.clone()))
+        .collect();
+    let rhs = -atom.expr.constant.clone();
+    if combination.is_empty() {
+        // Ground atom.
+        let lhs = BigRational::zero();
+        return match atom.rel {
+            Rel::Le => lhs <= rhs,
+            Rel::Lt => lhs < rhs,
+            Rel::Eq => lhs == rhs,
+            Rel::Ne => lhs != rhs,
+        };
+    }
+    let slack = if combination.len() == 1 && combination[0].1 == BigRational::one() {
+        combination[0].0
+    } else {
+        simplex.add_row(&combination)
+    };
+    match atom.rel {
+        Rel::Le => simplex.assert_upper(slack, DeltaRat::rational(rhs)),
+        Rel::Lt => simplex.assert_upper(slack, DeltaRat::minus_delta(rhs)),
+        Rel::Eq => {
+            simplex.assert_lower(slack, DeltaRat::rational(rhs.clone()))
+                && simplex.assert_upper(slack, DeltaRat::rational(rhs))
+        }
+        Rel::Ne => unreachable!("disequalities handled by splitting"),
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn solve_rec(
+    store: &TermStore,
+    mut simplex: Simplex,
+    var_index: &BTreeMap<SymbolId, usize>,
+    disequalities: &[&LinAtom],
+    is_int: bool,
+    budget: &Budget,
+    stats: &mut SolverStats,
+    depth: u32,
+) -> ConjunctionResult {
+    if depth > 64 || budget.exhausted() {
+        return ConjunctionResult::Unknown;
+    }
+    let feasibility = simplex.check(budget);
+    stats.pivots += simplex.pivots;
+    match feasibility {
+        Feasibility::Infeasible => return ConjunctionResult::Unsat,
+        Feasibility::Unknown => return ConjunctionResult::Unknown,
+        Feasibility::Feasible => {}
+    }
+    let values = simplex.concrete_values();
+    // Branch-and-bound: force integrality of structural variables.
+    if is_int {
+        for (&sym, &idx) in var_index {
+            let v = &values[idx];
+            if v.is_integer() {
+                continue;
+            }
+            let _ = sym;
+            let floor = v.floor();
+            // Branch x <= floor(v).
+            let mut left = simplex.clone();
+            left.pivots = 0;
+            if left.assert_upper(idx, DeltaRat::rational(BigRational::from_int(floor.clone()))) {
+                match solve_rec(store, left, var_index, disequalities, is_int, budget, stats, depth + 1)
+                {
+                    ConjunctionResult::Unsat => {}
+                    other => return other,
+                }
+            }
+            // Branch x >= floor(v) + 1.
+            let mut right = simplex;
+            right.pivots = 0;
+            let ceil = &floor + &BigInt::one();
+            if right.assert_lower(idx, DeltaRat::rational(BigRational::from_int(ceil))) {
+                return solve_rec(
+                    store,
+                    right,
+                    var_index,
+                    disequalities,
+                    is_int,
+                    budget,
+                    stats,
+                    depth + 1,
+                );
+            }
+            return ConjunctionResult::Unsat;
+        }
+    }
+    // Check disequalities at the candidate point.
+    for (i, atom) in disequalities.iter().enumerate() {
+        let mut lhs = atom.expr.constant.clone();
+        for (v, c) in &atom.expr.coeffs {
+            lhs = &lhs + &(c * &values[var_index[v]]);
+        }
+        if !lhs.is_zero() {
+            continue;
+        }
+        // Violated: split into expr < 0 and expr > 0.
+        let rest = &disequalities[i + 1..];
+        let earlier = &disequalities[..i];
+        let mut remaining: Vec<&LinAtom> = earlier.to_vec();
+        remaining.extend_from_slice(rest);
+        for strict in [
+            LinAtom { expr: atom.expr.clone(), rel: Rel::Lt },
+            LinAtom { expr: atom.expr.neg(), rel: Rel::Lt },
+        ] {
+            let mut branch = simplex.clone();
+            branch.pivots = 0;
+            if assert_atom(&mut branch, var_index, &strict) {
+                match solve_rec(
+                    store,
+                    branch,
+                    var_index,
+                    &remaining,
+                    is_int,
+                    budget,
+                    stats,
+                    depth + 1,
+                ) {
+                    ConjunctionResult::Unsat => {}
+                    other => return other,
+                }
+            }
+        }
+        return ConjunctionResult::Unsat;
+    }
+    // All constraints hold at this point: build the model.
+    let mut model = Model::new();
+    for (&sym, &idx) in var_index {
+        let value = if is_int {
+            debug_assert!(values[idx].is_integer());
+            Value::Int(values[idx].floor())
+        } else {
+            Value::Real(values[idx].clone())
+        };
+        model.insert(sym, value);
+    }
+    stats.model_checks += 1;
+    ConjunctionResult::Sat(model)
+}
+
+/// Convenience wrapper used by the facade for pure conjunctions of linear
+/// literals (each assertion must itself be a linear atom, possibly negated).
+pub fn solve_linear_script(
+    store: &TermStore,
+    assertions: &[TermId],
+    is_int: bool,
+    budget: &Budget,
+    stats: &mut SolverStats,
+) -> Option<SatResult> {
+    let mut atoms: Vec<LinAtom> = Vec::new();
+    let mut vars: Vec<SymbolId> = Vec::new();
+    for &a in assertions {
+        let collected = collect_conjunct_atoms(store, a)?;
+        atoms.extend(collected);
+        for v in store.vars_of(a) {
+            if store.symbol_sort(v).is_numeric() && !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    Some(match solve_conjunction(store, &atoms, &vars, is_int, budget, stats) {
+        ConjunctionResult::Sat(mut model) => {
+            // Bind boolean variables (none participate in linear atoms).
+            for &a in assertions {
+                for v in store.vars_of(a) {
+                    if store.symbol_sort(v) == Sort::Bool && model.get(v).is_none() {
+                        model.insert(v, Value::Bool(true));
+                    }
+                }
+            }
+            SatResult::Sat(model)
+        }
+        ConjunctionResult::Unsat => SatResult::Unsat,
+        ConjunctionResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
+    })
+}
+
+/// DNF expansion limit for [`solve_linear_case_split`].
+const MAX_BRANCHES: usize = 24;
+
+/// Handles boolean structure over linear atoms by disjunctive-normal-form
+/// case splitting: the formula is expanded into a bounded number of
+/// conjunctions of atoms, each decided by simplex/branch-and-bound. This is
+/// what lets the *complete* linear engine (rather than budgeted interval
+/// search) refute disjunctive queries like ranking-certificate validations
+/// over unbounded integers.
+///
+/// Returns `None` when the formula is nonlinear or expands too far.
+pub fn solve_linear_case_split(
+    store: &TermStore,
+    assertions: &[TermId],
+    is_int: bool,
+    budget: &Budget,
+    stats: &mut SolverStats,
+) -> Option<SatResult> {
+    let mut branches: Vec<Vec<LinAtom>> = vec![Vec::new()];
+    let mut vars: Vec<SymbolId> = Vec::new();
+    for &a in assertions {
+        let alternatives = dnf(store, a)?;
+        if alternatives.is_empty() {
+            return Some(SatResult::Unsat); // assertion is `false`
+        }
+        let mut next = Vec::new();
+        for branch in &branches {
+            for alt in &alternatives {
+                let mut merged = branch.clone();
+                merged.extend(alt.iter().cloned());
+                next.push(merged);
+                if next.len() > MAX_BRANCHES {
+                    return None;
+                }
+            }
+        }
+        branches = next;
+        for v in store.vars_of(a) {
+            if store.symbol_sort(v).is_numeric() && !vars.contains(&v) {
+                vars.push(v);
+            }
+        }
+    }
+    let mut any_unknown = false;
+    for branch in branches {
+        match solve_conjunction(store, &branch, &vars, is_int, budget, stats) {
+            ConjunctionResult::Sat(mut model) => {
+                for &a in assertions {
+                    for v in store.vars_of(a) {
+                        if store.symbol_sort(v) == Sort::Bool && model.get(v).is_none() {
+                            model.insert(v, Value::Bool(true));
+                        }
+                    }
+                }
+                return Some(SatResult::Sat(model));
+            }
+            ConjunctionResult::Unsat => {}
+            ConjunctionResult::Unknown => any_unknown = true,
+        }
+    }
+    Some(if any_unknown {
+        SatResult::Unknown(UnknownReason::BudgetExhausted)
+    } else {
+        SatResult::Unsat
+    })
+}
+
+/// Disjunctive normal form of one boolean term over linear atoms: a list of
+/// alternative conjunctions. `None` for nonlinear leaves or unsupported
+/// structure; an empty list means `false`.
+fn dnf(store: &TermStore, id: TermId) -> Option<Vec<Vec<LinAtom>>> {
+    let term = store.term(id);
+    match term.op() {
+        Op::True => Some(vec![Vec::new()]),
+        Op::False => Some(Vec::new()),
+        Op::And => {
+            let mut acc: Vec<Vec<LinAtom>> = vec![Vec::new()];
+            for &c in term.args() {
+                let child = dnf(store, c)?;
+                let mut next = Vec::new();
+                for a in &acc {
+                    for b in &child {
+                        let mut merged = a.clone();
+                        merged.extend(b.iter().cloned());
+                        next.push(merged);
+                        if next.len() > MAX_BRANCHES {
+                            return None;
+                        }
+                    }
+                }
+                acc = next;
+            }
+            Some(acc)
+        }
+        Op::Or => {
+            let mut acc = Vec::new();
+            for &c in term.args() {
+                acc.extend(dnf(store, c)?);
+                if acc.len() > MAX_BRANCHES {
+                    return None;
+                }
+            }
+            Some(acc)
+        }
+        Op::Not => {
+            let inner = extract_atoms(store, term.args()[0])?;
+            // ¬(a1 ∧ ... ∧ an) = ¬a1 ∨ ... ∨ ¬an.
+            Some(inner.iter().map(|a| vec![a.negated()]).collect())
+        }
+        Op::Implies if term.args().len() == 2 => {
+            // a => b  is  ¬a ∨ b.
+            let nots = extract_atoms(store, term.args()[0])?;
+            let mut acc: Vec<Vec<LinAtom>> =
+                nots.iter().map(|a| vec![a.negated()]).collect();
+            acc.extend(dnf(store, term.args()[1])?);
+            (acc.len() <= MAX_BRANCHES).then_some(acc)
+        }
+        _ => extract_atoms(store, id).map(|atoms| vec![atoms]),
+    }
+}
+
+/// Flattens top-level `and`/`not` structure into linear atoms; `None` if
+/// any leaf is not a linear atom (caller falls back to the lazy loop / ICP).
+fn collect_conjunct_atoms(store: &TermStore, id: TermId) -> Option<Vec<LinAtom>> {
+    let term = store.term(id);
+    match term.op() {
+        Op::And => {
+            let mut out = Vec::new();
+            for &c in term.args() {
+                out.extend(collect_conjunct_atoms(store, c)?);
+            }
+            Some(out)
+        }
+        Op::Not => {
+            let inner = extract_atoms(store, term.args()[0])?;
+            // ¬(a1 ∧ a2 ∧ ...) is only a conjunction if there's one atom.
+            if inner.len() == 1 {
+                Some(vec![inner[0].negated()])
+            } else {
+                None
+            }
+        }
+        Op::True => Some(Vec::new()),
+        _ => extract_atoms(store, id),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_smtlib::{evaluate, Script};
+
+    fn solve(src: &str, is_int: bool) -> SatResult {
+        let script = Script::parse(src).unwrap();
+        let mut stats = SolverStats::default();
+        let r = solve_linear_script(
+            script.store(),
+            script.assertions(),
+            is_int,
+            &Budget::unlimited(),
+            &mut stats,
+        )
+        .expect("script is linear");
+        if let SatResult::Sat(m) = &r {
+            for &a in script.assertions() {
+                assert_eq!(
+                    evaluate(script.store(), a, m).unwrap(),
+                    Value::Bool(true),
+                    "model check for {src}"
+                );
+            }
+        }
+        r
+    }
+
+    #[test]
+    fn linearize_basics() {
+        let script = Script::parse(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ (* 2 x) (* 3 y) 1) 0))",
+        )
+        .unwrap();
+        let eq = script.store().term(script.assertions()[0]);
+        let lhs = eq.args()[0];
+        let e = linearize(script.store(), lhs).unwrap();
+        assert_eq!(e.coeffs.len(), 2);
+        assert_eq!(e.constant, BigRational::one());
+    }
+
+    #[test]
+    fn nonlinear_detected() {
+        let script = Script::parse(
+            "(declare-fun x () Int)(assert (= (* x x) 4))",
+        )
+        .unwrap();
+        let eq = script.store().term(script.assertions()[0]);
+        assert!(linearize(script.store(), eq.args()[0]).is_none());
+        assert!(extract_atoms(script.store(), script.assertions()[0]).is_none());
+    }
+
+    #[test]
+    fn real_system_sat() {
+        let r = solve(
+            "(declare-fun x () Real)(declare-fun y () Real)
+             (assert (<= (+ x y) 2.0))
+             (assert (>= x 0.5))
+             (assert (>= y 0.5))",
+            false,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn real_system_unsat() {
+        let r = solve(
+            "(declare-fun x () Real)
+             (assert (< x 1.0))
+             (assert (> x 1.0))",
+            false,
+        );
+        assert!(r.is_unsat());
+    }
+
+    #[test]
+    fn strict_real_feasibility() {
+        let r = solve(
+            "(declare-fun x () Real)
+             (assert (> x 0.0)) (assert (< x 1.0))",
+            false,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn integer_branch_and_bound() {
+        // 2x + 2y = 5 has real but no integer solutions.
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ (* 2 x) (* 2 y)) 5))",
+            true,
+        );
+        assert!(r.is_unsat());
+        let r2 = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ (* 2 x) (* 3 y)) 5))
+             (assert (>= x 0)) (assert (>= y 0))",
+            true,
+        );
+        assert!(r2.is_sat());
+    }
+
+    #[test]
+    fn paper_figure4_constraint() {
+        // a >= 15, a - b < 0 (Fig. 4): satisfiable, e.g. a=15, b=16.
+        let r = solve(
+            "(declare-fun a () Int)(declare-fun b () Int)
+             (assert (>= a 15))
+             (assert (< (- a b) 0))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn disequality_splitting() {
+        let r = solve(
+            "(declare-fun x () Int)
+             (assert (>= x 0)) (assert (<= x 1))
+             (assert (not (= x 0))) (assert (not (= x 1)))",
+            true,
+        );
+        assert!(r.is_unsat());
+        let r2 = solve(
+            "(declare-fun x () Int)
+             (assert (>= x 0)) (assert (<= x 2))
+             (assert (not (= x 0))) (assert (not (= x 2)))",
+            true,
+        );
+        assert!(r2.is_sat());
+    }
+
+    #[test]
+    fn equality_chains() {
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (= x y z))
+             (assert (= (+ x y z) 9))",
+            true,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn division_by_constant_is_linear() {
+        let r = solve(
+            "(declare-fun x () Real)
+             (assert (= (/ x 2.0) 3.5))",
+            false,
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn unbounded_integer_problems() {
+        let r = solve(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (- (* 3 x) (* 2 y)) 1))",
+            true,
+        );
+        assert!(r.is_sat(), "3x - 2y = 1 solvable, e.g. x=1, y=1");
+    }
+
+    #[test]
+    fn ground_atoms() {
+        assert!(solve("(assert (< 1 2))", true).is_sat());
+        assert!(solve("(assert (< 2 1))", true).is_unsat());
+    }
+}

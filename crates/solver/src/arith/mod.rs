@@ -1,0 +1,16 @@
+//! Arithmetic decision procedures for unbounded theories.
+//!
+//! * [`simplex`] — general simplex over δ-rationals (QF_LRA conjunctions).
+//! * [`linear`] — linear atom extraction, disequality splitting, and
+//!   branch-and-bound (QF_LIA).
+//! * [`lazy`] — offline DPLL(T): skeleton enumeration with blocking clauses
+//!   for linear formulas with rich boolean structure.
+//! * [`interval`] — extended-rational interval arithmetic.
+//! * [`icp`] — interval constraint propagation with branch-and-prune search
+//!   (QF_NIA / QF_NRA), budgeted and honest about undecidability.
+
+pub mod icp;
+pub mod interval;
+pub mod lazy;
+pub mod linear;
+pub mod simplex;

@@ -1,0 +1,188 @@
+//! Time and step budgets.
+//!
+//! Every engine in this crate is budgeted: real solvers time out, and the
+//! paper's evaluation (Tables 2–3) depends on timeouts being observable.
+//! A [`Budget`] combines a wall-clock deadline with a deterministic step
+//! limit so tests can be time-independent.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A thread-safe cancellation handle: portfolio legs hold each other's
+/// flags and cancel the loser as soon as a sound answer lands.
+#[derive(Debug, Clone, Default)]
+pub struct CancelFlag(Arc<AtomicBool>);
+
+impl CancelFlag {
+    /// Creates an un-set flag.
+    pub fn new() -> CancelFlag {
+        CancelFlag::default()
+    }
+
+    /// Requests cancellation of every budget carrying this flag.
+    pub fn cancel(&self) {
+        self.0.store(true, Ordering::Relaxed);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A combined wall-clock and step budget.
+///
+/// # Examples
+///
+/// ```
+/// use staub_solver::Budget;
+/// use std::time::Duration;
+///
+/// let budget = Budget::new(Duration::from_millis(100), 10_000);
+/// assert!(!budget.exhausted());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Budget {
+    deadline: Instant,
+    duration: Duration,
+    steps_left: std::cell::Cell<u64>,
+    cancel: Option<CancelFlag>,
+}
+
+impl Budget {
+    /// Creates a budget starting now.
+    pub fn new(duration: Duration, steps: u64) -> Budget {
+        Budget {
+            deadline: Instant::now() + duration,
+            duration,
+            steps_left: std::cell::Cell::new(steps),
+            cancel: None,
+        }
+    }
+
+    /// Creates a budget that can additionally be cancelled from another
+    /// thread (see [`CancelFlag`]).
+    pub fn with_cancel(duration: Duration, steps: u64, cancel: CancelFlag) -> Budget {
+        Budget { cancel: Some(cancel), ..Budget::new(duration, steps) }
+    }
+
+    /// A budget that is effectively unlimited (for tests).
+    pub fn unlimited() -> Budget {
+        Budget::new(Duration::from_secs(3600), u64::MAX)
+    }
+
+    fn cancelled(&self) -> bool {
+        self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+
+    /// The wall-clock duration this budget was created with.
+    pub fn duration(&self) -> Duration {
+        self.duration
+    }
+
+    /// Consumes `n` steps and reports whether the budget is now exhausted.
+    /// The wall clock is consulted only every few thousand steps to keep the
+    /// check cheap in inner loops.
+    pub fn consume(&self, n: u64) -> bool {
+        let left = self.steps_left.get();
+        let new_left = left.saturating_sub(n);
+        self.steps_left.set(new_left);
+        if new_left == 0 {
+            return true;
+        }
+        // Check the clock (and cancellation) at step-count boundaries to
+        // amortize syscall cost.
+        if (left / 4096) != (new_left / 4096) {
+            return self.cancelled() || Instant::now() >= self.deadline;
+        }
+        false
+    }
+
+    /// Returns `true` if any limit has been reached or the budget was
+    /// cancelled.
+    pub fn exhausted(&self) -> bool {
+        self.steps_left.get() == 0 || self.cancelled() || Instant::now() >= self.deadline
+    }
+
+    /// Remaining steps (saturating).
+    pub fn steps_left(&self) -> u64 {
+        self.steps_left.get()
+    }
+
+    /// Creates a child budget with a fraction of the remaining steps and the
+    /// same deadline. `num / den` of the remaining steps are allocated.
+    pub fn fraction(&self, num: u64, den: u64) -> Budget {
+        let steps = self.steps_left.get() / den * num;
+        Budget {
+            deadline: self.deadline,
+            duration: self.duration,
+            steps_left: std::cell::Cell::new(steps.max(1)),
+            cancel: self.cancel.clone(),
+        }
+    }
+}
+
+impl Default for Budget {
+    /// One second and one million steps — a sensible interactive default.
+    fn default() -> Budget {
+        Budget::new(Duration::from_secs(1), 1_000_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn step_budget_exhausts() {
+        let b = Budget::new(Duration::from_secs(3600), 10);
+        assert!(!b.exhausted());
+        assert!(!b.consume(5));
+        assert!(b.consume(5));
+        assert!(b.exhausted());
+        assert_eq!(b.steps_left(), 0);
+    }
+
+    #[test]
+    fn time_budget_exhausts() {
+        let b = Budget::new(Duration::from_millis(0), u64::MAX);
+        std::thread::sleep(Duration::from_millis(1));
+        assert!(b.exhausted());
+    }
+
+    #[test]
+    fn fraction_shares_deadline() {
+        let b = Budget::new(Duration::from_secs(3600), 1000);
+        let child = b.fraction(1, 2);
+        assert_eq!(child.steps_left(), 500);
+        assert!(!child.exhausted());
+    }
+
+    #[test]
+    fn unlimited_is_not_exhausted() {
+        assert!(!Budget::unlimited().exhausted());
+    }
+
+    #[test]
+    fn cancellation_exhausts_immediately() {
+        let flag = CancelFlag::new();
+        let b = Budget::with_cancel(Duration::from_secs(3600), u64::MAX, flag.clone());
+        assert!(!b.exhausted());
+        flag.cancel();
+        assert!(b.exhausted());
+        // consume() notices at its next clock check boundary.
+        let b2 = Budget::with_cancel(Duration::from_secs(3600), 10_000, flag);
+        assert!(b2.consume(5000), "crossing a 4096 boundary sees the flag");
+    }
+
+    #[test]
+    fn cancellation_crosses_threads() {
+        let flag = CancelFlag::new();
+        let b = Budget::with_cancel(Duration::from_secs(3600), u64::MAX, flag.clone());
+        std::thread::scope(|scope| {
+            scope.spawn(move || flag.cancel());
+        });
+        assert!(b.exhausted());
+    }
+}

@@ -1,0 +1,336 @@
+//! Floating-point solving by real relaxation and numeric model lifting.
+//!
+//! Strategy (Ramachandran & Wahl, FMCAD'16 — the proxy-theory approach the
+//! STAUB paper cites): relax the FP formula to real arithmetic by reading
+//! every `fp.*` operation as its exact real counterpart, solve the
+//! relaxation, then *lift* the rational model back to floating point by
+//! rounding, re-checking the original formula with exact IEEE semantics.
+//! Rounding variants are tried as perturbations.
+//!
+//! The method is satisfiability-incomplete in both directions: a refuted
+//! relaxation does **not** prove the FP formula unsat (rounding can create
+//! solutions), so this engine only ever answers `Sat` or `Unknown`. That
+//! asymmetry is precisely why the paper's real-arithmetic rows show few
+//! verified cases — a shape this reproduction preserves.
+
+use std::collections::HashMap;
+
+use staub_numeric::{RoundingMode, SoftFloat};
+use staub_smtlib::{evaluate, Model, Op, Script, Sort, SymbolId, TermId, TermStore, Value};
+
+use crate::arith::icp::{solve_nonlinear, IcpConfig};
+use crate::arith::linear::solve_linear_script;
+use crate::budget::Budget;
+use crate::result::{SatResult, SolverStats, UnknownReason};
+
+/// Solves a floating-point script (sorts `Bool` and `(_ FloatingPoint ..)`).
+pub fn solve_fp(
+    script: &Script,
+    icp_config: &IcpConfig,
+    budget: &Budget,
+    stats: &mut SolverStats,
+) -> SatResult {
+    let store = script.store();
+    // 1. Build the real relaxation in a scratch store.
+    let mut relaxed_store = TermStore::new();
+    let mut relaxer = Relaxer {
+        src: store,
+        dst: &mut relaxed_store,
+        var_map: HashMap::new(),
+        memo: HashMap::new(),
+    };
+    let mut relaxed_assertions = Vec::with_capacity(script.assertions().len());
+    for &a in script.assertions() {
+        match relaxer.relax(a) {
+            Some(t) => relaxed_assertions.push(t),
+            None => return SatResult::Unknown(UnknownReason::Incomplete),
+        }
+    }
+    let var_map = relaxer.var_map.clone();
+
+    // 2. Solve the relaxation: linear fast path, then ICP.
+    let relaxed_result = match solve_linear_script(
+        &relaxed_store,
+        &relaxed_assertions,
+        false,
+        budget,
+        stats,
+    ) {
+        Some(r) => r,
+        None => solve_nonlinear(
+            &relaxed_store,
+            &relaxed_assertions,
+            false,
+            icp_config,
+            budget,
+            stats,
+        ),
+    };
+    let real_model = match relaxed_result {
+        SatResult::Sat(m) => m,
+        // Refuting the relaxation does not refute the FP formula.
+        SatResult::Unsat => return SatResult::Unknown(UnknownReason::Incomplete),
+        SatResult::Unknown(r) => return SatResult::Unknown(r),
+    };
+
+    // 3. Lift: round each FP variable's rational value, try a small set of
+    //    rounding-mode perturbations, re-check exactly.
+    let fp_vars: Vec<(SymbolId, SymbolId, u32, u32)> = var_map
+        .iter()
+        .map(|(&orig, &relaxed)| {
+            let Sort::Float(eb, sb) = store.symbol_sort(orig) else {
+                unreachable!("var_map holds only FP variables")
+            };
+            (orig, relaxed, eb, sb)
+        })
+        .collect();
+
+    let lift = |modes: &dyn Fn(usize) -> RoundingMode| -> Model {
+        let mut model = Model::new();
+        for (i, &(orig, relaxed, eb, sb)) in fp_vars.iter().enumerate() {
+            let value = match real_model.get(relaxed) {
+                Some(Value::Real(r)) => SoftFloat::round_from_rational(eb, sb, r, modes(i)),
+                _ => SoftFloat::zero(eb, sb),
+            };
+            model.insert(orig, Value::Float(value));
+        }
+        // Copy boolean variables through unchanged.
+        for sym in store.symbols() {
+            if store.symbol_sort(sym) == Sort::Bool {
+                if let Some(relaxed_sym) = relaxed_store.symbol(store.symbol_name(sym)) {
+                    if let Some(v) = real_model.get(relaxed_sym) {
+                        model.insert(sym, v.clone());
+                    }
+                }
+            }
+        }
+        model
+    };
+
+    let uniform: [RoundingMode; 4] = [
+        RoundingMode::NearestEven,
+        RoundingMode::TowardZero,
+        RoundingMode::TowardPositive,
+        RoundingMode::TowardNegative,
+    ];
+    let mut candidates: Vec<Model> = uniform.iter().map(|&m| lift(&move |_| m)).collect();
+    // Single-variable perturbations around RNE.
+    for i in 0..fp_vars.len().min(8) {
+        for &m in &uniform[1..] {
+            candidates.push(lift(&move |j| if j == i { m } else { RoundingMode::NearestEven }));
+        }
+    }
+    for model in candidates {
+        stats.model_checks += 1;
+        if check_model(store, script.assertions(), &model) {
+            return SatResult::Sat(model);
+        }
+        if budget.exhausted() {
+            return SatResult::Unknown(UnknownReason::BudgetExhausted);
+        }
+    }
+    SatResult::Unknown(UnknownReason::Incomplete)
+}
+
+fn check_model(store: &TermStore, assertions: &[TermId], model: &Model) -> bool {
+    assertions
+        .iter()
+        .all(|&a| matches!(evaluate(store, a, model), Ok(Value::Bool(true))))
+}
+
+struct Relaxer<'a> {
+    src: &'a TermStore,
+    dst: &'a mut TermStore,
+    /// Original FP symbol → relaxed real symbol.
+    var_map: HashMap<SymbolId, SymbolId>,
+    memo: HashMap<TermId, TermId>,
+}
+
+impl<'a> Relaxer<'a> {
+    /// Translates a term into the real relaxation; `None` when the term
+    /// mentions something with no finite real reading (NaN/∞ literals,
+    /// `fp.isNaN`, ...).
+    fn relax(&mut self, id: TermId) -> Option<TermId> {
+        if let Some(&t) = self.memo.get(&id) {
+            return Some(t);
+        }
+        let term = self.src.term(id).clone();
+        // fp.add/sub/mul/div carry the rounding mode as their first
+        // argument; the relaxation reads operations as exact, so drop it
+        // *before* translating children (a rounding mode has no real form).
+        let child_ids: &[TermId] = match term.op() {
+            Op::FpAdd | Op::FpSub | Op::FpMul | Op::FpDiv => &term.args()[1..],
+            _ => term.args(),
+        };
+        let mut args = Vec::with_capacity(child_ids.len());
+        for &a in child_ids {
+            args.push(self.relax(a)?);
+        }
+        let out = match term.op() {
+            Op::Var(sym) => {
+                let sym = *sym;
+                match self.src.symbol_sort(sym) {
+                    Sort::Float(..) => {
+                        let relaxed = match self.var_map.get(&sym) {
+                            Some(&r) => r,
+                            None => {
+                                let name = self.src.symbol_name(sym).to_string();
+                                let r = self
+                                    .dst
+                                    .declare(&name, Sort::Real)
+                                    .expect("fresh relaxed symbol");
+                                self.var_map.insert(sym, r);
+                                r
+                            }
+                        };
+                        self.dst.var(relaxed)
+                    }
+                    Sort::Bool => {
+                        let name = self.src.symbol_name(sym).to_string();
+                        let r = self.dst.declare(&name, Sort::Bool).expect("fresh bool");
+                        self.dst.var(r)
+                    }
+                    other => panic!("unexpected sort {other} in FP relaxation"),
+                }
+            }
+            Op::FpConst(v) => {
+                let r = v.to_rational()?; // NaN/Inf have no real reading
+                self.dst.real(r)
+            }
+            Op::RmConst(_) => return None, // unreachable: parents drop it
+            Op::True => self.dst.bool(true),
+            Op::False => self.dst.bool(false),
+            Op::FpAdd => self.dst.app(Op::Add, &args).ok()?,
+            Op::FpSub => self.dst.app(Op::Sub, &args).ok()?,
+            Op::FpMul => self.dst.app(Op::Mul, &args).ok()?,
+            Op::FpDiv => self.dst.app(Op::RealDiv, &args).ok()?,
+            Op::FpNeg => self.dst.app(Op::Neg, &args).ok()?,
+            Op::FpAbs => {
+                // Real abs via ite(x < 0, -x, x).
+                let zero = self.dst.real(staub_numeric::BigRational::zero());
+                let cond = self.dst.lt(args[0], zero).ok()?;
+                let neg = self.dst.app(Op::Neg, &[args[0]]).ok()?;
+                self.dst.app(Op::Ite, &[cond, neg, args[0]]).ok()?
+            }
+            Op::FpEq => self.dst.app(Op::Eq, &args).ok()?,
+            Op::FpLt => self.dst.app(Op::Lt, &args).ok()?,
+            Op::FpLeq => self.dst.app(Op::Le, &args).ok()?,
+            Op::FpGt => self.dst.app(Op::Gt, &args).ok()?,
+            Op::FpGeq => self.dst.app(Op::Ge, &args).ok()?,
+            Op::FpIsNan | Op::FpIsInf => return None,
+            // Structural and (rare) mixed operators pass through. `=` and
+            // `distinct` on floats become their real counterparts, losing
+            // NaN/-0 distinctions — sound for relax-then-verify.
+            op => self.dst.app(op.clone(), &args).ok()?,
+        };
+        self.memo.insert(id, out);
+        Some(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn solve(src: &str) -> SatResult {
+        let script = Script::parse(src).unwrap();
+        let mut stats = SolverStats::default();
+        let r = solve_fp(
+            &script,
+            &IcpConfig::default(),
+            &Budget::new(std::time::Duration::from_secs(10), 500_000),
+            &mut stats,
+        );
+        if let SatResult::Sat(m) = &r {
+            assert!(
+                check_model(script.store(), script.assertions(), m),
+                "lifted model must satisfy {src}"
+            );
+        }
+        r
+    }
+
+    #[test]
+    fn exact_linear_equation() {
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (assert (fp.eq (fp.add RNE x (fp #b0 #b01111111 #b00000000000000000000000))
+                            (fp #b0 #b10000000 #b10000000000000000000000)))",
+        );
+        // x + 1 = 3 => x = 2, exactly representable.
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn inequalities() {
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (declare-fun y () (_ FloatingPoint 8 24))
+             (assert (fp.lt x y))
+             (assert (fp.gt x (fp #b0 #b10000001 #b01000000000000000000000)))",
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn multiplication() {
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (assert (fp.eq (fp.mul RNE x x) (fp #b0 #b10000001 #b00100000000000000000000)))",
+        );
+        // x^2 = 4.5: real solution sqrt(4.5) irrational; rounding may or may
+        // not verify — accept sat-or-unknown, never unsat.
+        assert!(!r.is_unsat());
+    }
+
+    #[test]
+    fn square_exactly_solvable() {
+        // x * x = 4 => x = 2.
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (assert (fp.eq (fp.mul RNE x x) (fp #b0 #b10000001 #b00000000000000000000000)))",
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn unsat_relaxation_is_unknown() {
+        // x < x is unsat; the engine must not claim sat, and answers unknown.
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (assert (fp.lt x x))",
+        );
+        assert!(r.is_unknown());
+    }
+
+    #[test]
+    fn nan_constraints_are_unknown() {
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (assert (fp.isNaN x))",
+        );
+        assert!(r.is_unknown(), "no real relaxation for NaN predicates");
+    }
+
+    #[test]
+    fn boolean_structure() {
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 8 24))
+             (declare-fun p () Bool)
+             (assert (or p (fp.lt x (fp #b0 #b01111111 #b00000000000000000000000))))
+             (assert (not p))",
+        );
+        assert!(r.is_sat());
+    }
+
+    #[test]
+    fn tiny_format_lifting() {
+        // In a (3,3) format the lattice is coarse; lifting still works for
+        // exactly-representable targets: x + 1 = 2.5.
+        let r = solve(
+            "(declare-fun x () (_ FloatingPoint 3 3))
+             (assert (fp.eq (fp.add RNE x (fp #b0 #b011 #b00)) (fp #b0 #b100 #b01)))",
+        );
+        assert!(r.is_sat());
+    }
+}

@@ -1,0 +1,53 @@
+//! A from-scratch SMT solver.
+//!
+//! This crate is the solver substrate for STAUB's evaluation: the paper
+//! measures Z3 and CVC5, which are not reimplementable verbatim, so this
+//! crate provides a real solver with the same *structural* performance
+//! asymmetry the paper exploits:
+//!
+//! * **Bounded theories are cheap.** QF_BV formulas (and the boolean
+//!   structure around them) are bit-blasted ([`bv`]) into CNF and handed to
+//!   a CDCL SAT solver ([`sat`]) — complete and fast at the widths STAUB
+//!   infers.
+//! * **Unbounded theories are expensive.** Linear arithmetic goes through a
+//!   simplex core ([`arith::simplex`]) with branch-and-bound for integers;
+//!   *nonlinear* arithmetic goes through interval constraint propagation and
+//!   budgeted search ([`arith::icp`]), which — matching undecidability — may
+//!   return [`SatResult::Unknown`] when its budget is exhausted.
+//! * **Floating point** is solved by real-relaxation plus numeric model
+//!   lifting ([`fp`]), the approach of Ramachandran & Wahl cited by the
+//!   paper.
+//!
+//! Two heuristic profiles, [`SolverProfile::Zed`] and [`SolverProfile::Cove`],
+//! stand in for the paper's Z3 and CVC5 columns: they differ in branching,
+//! restart, and splitting heuristics, so they disagree on which instances are
+//! easy exactly the way distinct production solvers do.
+//!
+//! # Examples
+//!
+//! ```
+//! use staub_smtlib::Script;
+//! use staub_solver::{SatResult, Solver, SolverProfile};
+//!
+//! let script = Script::parse("\
+//! (declare-fun x () (_ BitVec 12))
+//! (assert (= (bvmul x x) (_ bv49 12)))
+//! (check-sat)")?;
+//! let solver = Solver::new(SolverProfile::Zed);
+//! let outcome = solver.solve(&script);
+//! assert!(matches!(outcome.result, SatResult::Sat(_)));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod arith;
+pub mod budget;
+pub mod bv;
+pub mod fp;
+pub mod sat;
+
+mod facade;
+mod result;
+
+pub use budget::{Budget, CancelFlag};
+pub use facade::{Solver, SolverProfile, SolveOutcome};
+pub use result::{SatResult, SolverStats, UnknownReason};

@@ -1,0 +1,531 @@
+//! The while-language: single-loop integer programs with a conjunctive
+//! linear guard and (possibly nonlinear) assignment bodies.
+
+use std::error::Error;
+use std::fmt;
+
+/// An integer expression over program variables.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Expr {
+    /// Integer literal.
+    Const(i64),
+    /// Variable reference (index into [`Program::vars`]).
+    Var(usize),
+    /// Sum.
+    Add(Box<Expr>, Box<Expr>),
+    /// Difference.
+    Sub(Box<Expr>, Box<Expr>),
+    /// Product (nonlinear when both sides mention variables).
+    Mul(Box<Expr>, Box<Expr>),
+}
+
+impl Expr {
+    /// Extracts the affine form `coeffs·x + k` if the expression is linear.
+    pub fn affine(&self, n_vars: usize) -> Option<(Vec<i64>, i64)> {
+        match self {
+            Expr::Const(c) => Some((vec![0; n_vars], *c)),
+            Expr::Var(i) => {
+                let mut coeffs = vec![0; n_vars];
+                coeffs[*i] = 1;
+                Some((coeffs, 0))
+            }
+            Expr::Add(a, b) => {
+                let (ca, ka) = a.affine(n_vars)?;
+                let (cb, kb) = b.affine(n_vars)?;
+                Some((ca.iter().zip(&cb).map(|(x, y)| x + y).collect(), ka + kb))
+            }
+            Expr::Sub(a, b) => {
+                let (ca, ka) = a.affine(n_vars)?;
+                let (cb, kb) = b.affine(n_vars)?;
+                Some((ca.iter().zip(&cb).map(|(x, y)| x - y).collect(), ka - kb))
+            }
+            Expr::Mul(a, b) => {
+                let (ca, ka) = a.affine(n_vars)?;
+                let (cb, kb) = b.affine(n_vars)?;
+                let a_const = ca.iter().all(|&c| c == 0);
+                let b_const = cb.iter().all(|&c| c == 0);
+                match (a_const, b_const) {
+                    (true, _) => Some((cb.iter().map(|c| c * ka).collect(), kb * ka)),
+                    (_, true) => Some((ca.iter().map(|c| c * kb).collect(), ka * kb)),
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// `true` when [`Expr::affine`] succeeds.
+    pub fn is_linear(&self, n_vars: usize) -> bool {
+        self.affine(n_vars).is_some()
+    }
+
+    /// Evaluates under a concrete state.
+    pub fn eval(&self, state: &[i64]) -> i64 {
+        match self {
+            Expr::Const(c) => *c,
+            Expr::Var(i) => state[*i],
+            Expr::Add(a, b) => a.eval(state).wrapping_add(b.eval(state)),
+            Expr::Sub(a, b) => a.eval(state).wrapping_sub(b.eval(state)),
+            Expr::Mul(a, b) => a.eval(state).wrapping_mul(b.eval(state)),
+        }
+    }
+}
+
+/// Comparison operators in guards.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Cmp {
+    /// `>`.
+    Gt,
+    /// `>=`.
+    Ge,
+    /// `<`.
+    Lt,
+    /// `<=`.
+    Le,
+    /// `==`.
+    Eq,
+    /// `!=`.
+    Ne,
+}
+
+/// One conjunct of the loop guard: `lhs cmp rhs`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Cond {
+    /// Left side.
+    pub lhs: Expr,
+    /// Operator.
+    pub cmp: Cmp,
+    /// Right side.
+    pub rhs: Expr,
+}
+
+impl Cond {
+    /// Normal form `expr >= 0` for linear conditions; equalities expand to
+    /// two rows, and `!=`/nonlinear conditions return `None`.
+    pub fn ge_zero_rows(&self, n_vars: usize) -> Option<Vec<(Vec<i64>, i64)>> {
+        let (cl, kl) = self.lhs.affine(n_vars)?;
+        let (cr, kr) = self.rhs.affine(n_vars)?;
+        let diff: Vec<i64> = cl.iter().zip(&cr).map(|(a, b)| a - b).collect();
+        let k = kl - kr;
+        let neg = |v: &[i64]| v.iter().map(|c| -c).collect::<Vec<i64>>();
+        Some(match self.cmp {
+            // lhs > rhs  <=>  diff - 1 >= 0 (integers).
+            Cmp::Gt => vec![(diff, k - 1)],
+            Cmp::Ge => vec![(diff, k)],
+            Cmp::Lt => vec![(neg(&diff), -k - 1)],
+            Cmp::Le => vec![(neg(&diff), -k)],
+            Cmp::Eq => vec![(diff.clone(), k), (neg(&diff), -k)],
+            Cmp::Ne => return None,
+        })
+    }
+
+    /// Evaluates under a concrete state.
+    pub fn eval(&self, state: &[i64]) -> bool {
+        let l = self.lhs.eval(state);
+        let r = self.rhs.eval(state);
+        match self.cmp {
+            Cmp::Gt => l > r,
+            Cmp::Ge => l >= r,
+            Cmp::Lt => l < r,
+            Cmp::Le => l <= r,
+            Cmp::Eq => l == r,
+            Cmp::Ne => l != r,
+        }
+    }
+}
+
+/// A single-loop program: `vars ...; while (guard) { simultaneous updates }`.
+///
+/// Updates are *simultaneous* (all right-hand sides read the pre-state), as
+/// in transition-system semantics.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Program name (used in reports).
+    pub name: String,
+    /// Variable names.
+    pub vars: Vec<String>,
+    /// Conjunctive loop guard.
+    pub guard: Vec<Cond>,
+    /// Per-variable update expressions, indexed like `vars` (identity when
+    /// a variable is not assigned).
+    pub updates: Vec<Expr>,
+}
+
+/// Parse error for the while-language.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseProgramError {
+    message: String,
+}
+
+impl fmt::Display for ParseProgramError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "program parse error: {}", self.message)
+    }
+}
+
+impl Error for ParseProgramError {}
+
+impl Program {
+    /// Builds a program from parts (used by the generated suite).
+    pub fn new(
+        name: impl Into<String>,
+        vars: Vec<String>,
+        guard: Vec<Cond>,
+        updates: Vec<Expr>,
+    ) -> Program {
+        let p = Program { name: name.into(), vars, guard, updates };
+        assert_eq!(p.updates.len(), p.vars.len(), "one update per variable");
+        p
+    }
+
+    /// Parses the concrete syntax:
+    ///
+    /// ```text
+    /// vars x, y;
+    /// while (x > 0 && y <= 10) {
+    ///   x = x - 1;
+    ///   y = y + 2;
+    /// }
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ParseProgramError`] on malformed input or references to
+    /// undeclared variables.
+    pub fn parse(name: &str, src: &str) -> Result<Program, ParseProgramError> {
+        parse_program(name, src)
+    }
+
+    /// `true` when the guard and every update are linear (so Farkas-based
+    /// ranking synthesis applies).
+    pub fn is_linear(&self) -> bool {
+        let n = self.vars.len();
+        self.guard.iter().all(|c| c.ge_zero_rows(n).is_some())
+            && self.updates.iter().all(|u| u.is_linear(n))
+    }
+
+    /// Guard rows in `G·x + h >= 0` form; `None` if the guard is nonlinear
+    /// or contains `!=`.
+    pub fn guard_rows(&self) -> Option<Vec<(Vec<i64>, i64)>> {
+        let n = self.vars.len();
+        let mut rows = Vec::new();
+        for c in &self.guard {
+            rows.extend(c.ge_zero_rows(n)?);
+        }
+        Some(rows)
+    }
+
+    /// Runs the loop concretely from `state` for at most `fuel` iterations;
+    /// returns the number of iterations executed, or `None` if the fuel ran
+    /// out (possible nontermination).
+    pub fn run(&self, mut state: Vec<i64>, fuel: usize) -> Option<usize> {
+        for step in 0..=fuel {
+            if !self.guard.iter().all(|c| c.eval(&state)) {
+                return Some(step);
+            }
+            if step == fuel {
+                break;
+            }
+            let next: Vec<i64> = self.updates.iter().map(|u| u.eval(&state)).collect();
+            state = next;
+        }
+        None
+    }
+
+    /// Index of a variable by name.
+    pub fn var_index(&self, name: &str) -> Option<usize> {
+        self.vars.iter().position(|v| v == name)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct P<'a> {
+    src: &'a [u8],
+    pos: usize,
+    vars: Vec<String>,
+}
+
+fn parse_program(name: &str, src: &str) -> Result<Program, ParseProgramError> {
+    let mut p = P { src: src.as_bytes(), pos: 0, vars: Vec::new() };
+    p.keyword("vars")?;
+    loop {
+        let v = p.ident()?;
+        if p.vars.contains(&v) {
+            return Err(p.error(format!("duplicate variable `{v}`")));
+        }
+        p.vars.push(v);
+        if !p.eat(b",") {
+            break;
+        }
+    }
+    p.expect(b";")?;
+    p.keyword("while")?;
+    p.expect(b"(")?;
+    let mut guard = vec![p.cond()?];
+    while p.eat(b"&&") {
+        guard.push(p.cond()?);
+    }
+    p.expect(b")")?;
+    p.expect(b"{")?;
+    let mut updates: Vec<Expr> = (0..p.vars.len()).map(Expr::Var).collect();
+    let mut assigned = vec![false; p.vars.len()];
+    while !p.peek(b"}") {
+        let v = p.ident()?;
+        let idx = p
+            .vars
+            .iter()
+            .position(|x| *x == v)
+            .ok_or_else(|| p.error(format!("undeclared variable `{v}`")))?;
+        if assigned[idx] {
+            return Err(p.error(format!("variable `{v}` assigned twice")));
+        }
+        p.expect(b"=")?;
+        updates[idx] = p.expr()?;
+        assigned[idx] = true;
+        p.expect(b";")?;
+    }
+    p.expect(b"}")?;
+    p.skip_ws();
+    if p.pos != p.src.len() {
+        return Err(p.error("trailing input after program"));
+    }
+    Ok(Program { name: name.to_string(), vars: p.vars, guard, updates })
+}
+
+impl<'a> P<'a> {
+    fn error(&self, message: impl Into<String>) -> ParseProgramError {
+        ParseProgramError { message: format!("{} (at byte {})", message.into(), self.pos) }
+    }
+
+    fn skip_ws(&mut self) {
+        while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_whitespace() {
+            self.pos += 1;
+        }
+    }
+
+    fn peek(&mut self, tok: &[u8]) -> bool {
+        self.skip_ws();
+        self.src[self.pos..].starts_with(tok)
+    }
+
+    fn eat(&mut self, tok: &[u8]) -> bool {
+        if self.peek(tok) {
+            self.pos += tok.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, tok: &[u8]) -> Result<(), ParseProgramError> {
+        if self.eat(tok) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected `{}`", String::from_utf8_lossy(tok))))
+        }
+    }
+
+    fn keyword(&mut self, kw: &str) -> Result<(), ParseProgramError> {
+        if self.eat(kw.as_bytes()) {
+            Ok(())
+        } else {
+            Err(self.error(format!("expected keyword `{kw}`")))
+        }
+    }
+
+    fn ident(&mut self) -> Result<String, ParseProgramError> {
+        self.skip_ws();
+        let start = self.pos;
+        while self.pos < self.src.len()
+            && ((self.src[self.pos] as char).is_ascii_alphanumeric() || self.src[self.pos] == b'_')
+        {
+            self.pos += 1;
+        }
+        if self.pos == start || (self.src[start] as char).is_ascii_digit() {
+            return Err(self.error("expected identifier"));
+        }
+        Ok(String::from_utf8_lossy(&self.src[start..self.pos]).into_owned())
+    }
+
+    fn cond(&mut self) -> Result<Cond, ParseProgramError> {
+        let lhs = self.expr()?;
+        self.skip_ws();
+        let cmp = if self.eat(b">=") {
+            Cmp::Ge
+        } else if self.eat(b"<=") {
+            Cmp::Le
+        } else if self.eat(b"==") {
+            Cmp::Eq
+        } else if self.eat(b"!=") {
+            Cmp::Ne
+        } else if self.eat(b">") {
+            Cmp::Gt
+        } else if self.eat(b"<") {
+            Cmp::Lt
+        } else {
+            return Err(self.error("expected comparison operator"));
+        };
+        let rhs = self.expr()?;
+        Ok(Cond { lhs, cmp, rhs })
+    }
+
+    fn expr(&mut self) -> Result<Expr, ParseProgramError> {
+        let mut acc = self.term()?;
+        loop {
+            if self.peek(b"+") {
+                self.eat(b"+");
+                acc = Expr::Add(Box::new(acc), Box::new(self.term()?));
+            } else if self.peek(b"-") {
+                self.eat(b"-");
+                acc = Expr::Sub(Box::new(acc), Box::new(self.term()?));
+            } else {
+                return Ok(acc);
+            }
+        }
+    }
+
+    fn term(&mut self) -> Result<Expr, ParseProgramError> {
+        let mut acc = self.factor()?;
+        while self.peek(b"*") {
+            self.eat(b"*");
+            acc = Expr::Mul(Box::new(acc), Box::new(self.factor()?));
+        }
+        Ok(acc)
+    }
+
+    fn factor(&mut self) -> Result<Expr, ParseProgramError> {
+        self.skip_ws();
+        if self.eat(b"(") {
+            let e = self.expr()?;
+            self.expect(b")")?;
+            return Ok(e);
+        }
+        if self.pos < self.src.len() && self.src[self.pos] == b'-' {
+            self.pos += 1;
+            let inner = self.factor()?;
+            return Ok(Expr::Sub(Box::new(Expr::Const(0)), Box::new(inner)));
+        }
+        if self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_digit() {
+            let start = self.pos;
+            while self.pos < self.src.len() && (self.src[self.pos] as char).is_ascii_digit() {
+                self.pos += 1;
+            }
+            let text = std::str::from_utf8(&self.src[start..self.pos]).expect("digits");
+            return text
+                .parse::<i64>()
+                .map(Expr::Const)
+                .map_err(|_| self.error("integer literal out of range"));
+        }
+        let name = self.ident()?;
+        match self.vars.iter().position(|v| *v == name) {
+            Some(i) => Ok(Expr::Var(i)),
+            None => Err(self.error(format!("undeclared variable `{name}`"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn countdown() -> Program {
+        Program::parse("countdown", "vars x; while (x > 0) { x = x - 1; }").unwrap()
+    }
+
+    #[test]
+    fn parse_basic() {
+        let p = countdown();
+        assert_eq!(p.vars, vec!["x"]);
+        assert_eq!(p.guard.len(), 1);
+        assert!(p.is_linear());
+    }
+
+    #[test]
+    fn parse_multivar() {
+        let p = Program::parse(
+            "two",
+            "vars x, y;\nwhile (x > 0 && y <= 10) {\n  x = x - 1;\n  y = y + 2;\n}",
+        )
+        .unwrap();
+        assert_eq!(p.vars.len(), 2);
+        assert_eq!(p.guard.len(), 2);
+        // y's update is y + 2, x's is x - 1; unassigned vars default to id.
+        assert!(p.is_linear());
+    }
+
+    #[test]
+    fn parse_nonlinear() {
+        let p = Program::parse("sqgrow", "vars x, y; while (x < 100) { x = x * y; }").unwrap();
+        assert!(!p.is_linear());
+        assert!(p.updates[0].affine(2).is_none());
+        assert!(p.updates[1].affine(2).is_some(), "identity update is linear");
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(Program::parse("e", "while (x > 0) {}").is_err());
+        assert!(Program::parse("e", "vars x; while (x > 0) { y = 1; }").is_err());
+        assert!(Program::parse("e", "vars x, x; while (x > 0) {}").is_err());
+        assert!(Program::parse("e", "vars x; while (x ~ 0) { }").is_err());
+        assert!(Program::parse("e", "vars x; while (x > 0) { x = x - 1; } extra").is_err());
+        assert!(Program::parse("e", "vars x; while (x > 0) { x = x - 1; x = 0; }").is_err());
+    }
+
+    #[test]
+    fn affine_extraction() {
+        let p = Program::parse("a", "vars x, y; while (x + 2*y - 3 > y) { x = x - 1; }").unwrap();
+        let rows = p.guard_rows().unwrap();
+        // x + 2y - 3 > y  =>  x + y - 4 >= 0.
+        assert_eq!(rows, vec![(vec![1, 1], -4)]);
+    }
+
+    #[test]
+    fn equality_gives_two_rows() {
+        let p = Program::parse("eq", "vars x; while (x == 5) { x = x + 1; }").unwrap();
+        assert_eq!(p.guard_rows().unwrap().len(), 2);
+    }
+
+    #[test]
+    fn disequality_blocks_rows() {
+        let p = Program::parse("ne", "vars x; while (x != 0) { x = x - 1; }").unwrap();
+        assert!(p.guard_rows().is_none());
+        assert!(!p.is_linear());
+    }
+
+    #[test]
+    fn concrete_execution() {
+        let p = countdown();
+        assert_eq!(p.run(vec![5], 100), Some(5));
+        assert_eq!(p.run(vec![0], 100), Some(0));
+        assert_eq!(p.run(vec![-3], 100), Some(0));
+        let diverging = Program::parse("up", "vars x; while (x > 0) { x = x + 1; }").unwrap();
+        assert_eq!(diverging.run(vec![1], 50), None);
+    }
+
+    #[test]
+    fn simultaneous_updates() {
+        let p = Program::parse(
+            "swapish",
+            "vars x, y; while (x > 0) { x = y; y = x - 1; }",
+        )
+        .unwrap();
+        // From (2, 1): x' = y = 1, y' = x - 1 = 1 (reads pre-state x).
+        let mut state = vec![2i64, 1];
+        let next: Vec<i64> = p.updates.iter().map(|u| u.eval(&state)).collect();
+        state = next;
+        assert_eq!(state, vec![1, 1]);
+    }
+
+    #[test]
+    fn unary_minus_and_parens() {
+        let p = Program::parse(
+            "neg",
+            "vars x; while (x > -5) { x = -(x + 1); }",
+        )
+        .unwrap();
+        assert_eq!(p.updates[0].eval(&[3]), -4);
+        assert!(p.is_linear());
+    }
+}

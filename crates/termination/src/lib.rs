@@ -1,0 +1,44 @@
+//! Termination proving — the client analysis of the paper's RQ3.
+//!
+//! The paper evaluates STAUB inside Ultimate Automizer on 97 SV-COMP
+//! termination tasks. This crate reproduces the *shape* of that workload: a
+//! small imperative while-language ([`Program`]), a prover that reduces
+//! termination questions to SMT constraints, and a 97-program suite
+//! ([`suite::suite_97`]).
+//!
+//! The prover emits two kinds of constraints:
+//!
+//! * **Unrolling feasibility** ([`unroll`]) — "can the loop execute `k`
+//!   iterations from some state?" `unsat` proves termination within `k`
+//!   steps. Nonlinear updates (`x = x * y`) make these genuine QF_NIA
+//!   constraints. Deep unrollings of terminating loops are unsat — exactly
+//!   the pessimistic, unsat-heavy population the paper describes (§5.4).
+//! * **Linear ranking synthesis** ([`ranking`]) — Podelski–Rybalchenko-style
+//!   conditions turned existential with Farkas multipliers; `sat` yields a
+//!   linear ranking function, proving termination for unbounded loops.
+//!
+//! # Examples
+//!
+//! ```
+//! use staub_termination::{Program, TerminationProver, Verdict};
+//!
+//! let program = Program::parse("countdown", "\
+//! vars x;
+//! while (x > 0) {
+//!   x = x - 1;
+//! }")?;
+//! let prover = TerminationProver::default();
+//! let outcome = prover.prove(&program);
+//! assert_eq!(outcome.verdict, Verdict::Terminating);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub mod ranking;
+pub mod suite;
+pub mod unroll;
+
+mod lang;
+mod prover;
+
+pub use lang::{Cmp, Cond, Expr, ParseProgramError, Program};
+pub use prover::{ConstraintRecord, ProveOutcome, TerminationProver, Verdict};

@@ -1,0 +1,399 @@
+//! Linear ranking-function synthesis via Farkas' lemma
+//! (Podelski–Rybalchenko style).
+//!
+//! For a linear program with guard `G·x + h ≥ 0` and affine update
+//! `x' = U·x + u`, a linear function `f(x) = c·x + c₀` proves termination if
+//! for every state satisfying the guard:
+//!
+//! 1. **bounded**: `f(x) ≥ 0`, and
+//! 2. **decreasing**: `f(x) − f(x') ≥ 1`.
+//!
+//! Each `∀x` implication is made existential with nonnegative Farkas
+//! multipliers: `∀x (G·x + h ≥ 0 → p·x + q ≥ 0)` holds if
+//! `∃λ ≥ 0: p = λᵀG ∧ q ≥ λᵀh`. Both instantiations are *linear* in the
+//! unknowns `(c, c₀, λ, μ)`, so the synthesis constraint is QF_LIA — the
+//! constraint population Ultimate Automizer feeds its solver.
+
+use staub_numeric::BigInt;
+use staub_smtlib::{Logic, Model, Script, Sort, SymbolId, TermId};
+
+use crate::lang::Program;
+
+/// A synthesized ranking function `f(x) = Σ coeffs·x + constant`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RankingFunction {
+    /// Per-variable coefficients (aligned with [`Program::vars`]).
+    pub coeffs: Vec<i64>,
+    /// Constant offset.
+    pub constant: i64,
+}
+
+impl std::fmt::Display for RankingFunction {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "f(x) = ")?;
+        for (i, c) in self.coeffs.iter().enumerate() {
+            if *c != 0 {
+                write!(f, "{c}·x{i} + ")?;
+            }
+        }
+        write!(f, "{}", self.constant)
+    }
+}
+
+/// The synthesis constraint plus the metadata needed to decode a model.
+#[derive(Debug, Clone)]
+pub struct RankingQuery {
+    /// The QF_LIA constraint (sat ⇔ a linear ranking function exists that
+    /// the Farkas certificates can justify).
+    pub script: Script,
+    coeff_syms: Vec<SymbolId>,
+    const_sym: SymbolId,
+}
+
+impl RankingQuery {
+    /// Decodes a model of [`RankingQuery::script`] into the ranking
+    /// function it certifies.
+    pub fn decode(&self, model: &Model) -> Option<RankingFunction> {
+        let coeffs = self
+            .coeff_syms
+            .iter()
+            .map(|&sym| model.get(sym)?.as_int()?.to_i64())
+            .collect::<Option<Vec<i64>>>()?;
+        let constant = model.get(self.const_sym)?.as_int()?.to_i64()?;
+        Some(RankingFunction { coeffs, constant })
+    }
+}
+
+/// Builds the ranking-synthesis constraint; `None` when the program is not
+/// linear (guard or updates), where Farkas reasoning does not apply.
+pub fn ranking_query(program: &Program) -> Option<RankingQuery> {
+    let n = program.vars.len();
+    let rows = program.guard_rows()?; // G·x + h >= 0
+    let m = rows.len();
+    // Affine updates: x' = U·x + u.
+    let mut matrix_u = Vec::with_capacity(n);
+    let mut offset_u = Vec::with_capacity(n);
+    for update in &program.updates {
+        let (coeffs, k) = update.affine(n)?;
+        matrix_u.push(coeffs);
+        offset_u.push(k);
+    }
+
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let coeff_syms: Vec<SymbolId> = (0..n)
+        .map(|i| script.declare(&format!("c{i}"), Sort::Int).expect("fresh symbol"))
+        .collect();
+    let const_sym = script.declare("c0", Sort::Int).expect("fresh symbol");
+    let lambda: Vec<SymbolId> = (0..m)
+        .map(|i| script.declare(&format!("lam{i}"), Sort::Int).expect("fresh symbol"))
+        .collect();
+    let mu: Vec<SymbolId> = (0..m)
+        .map(|i| script.declare(&format!("mu{i}"), Sort::Int).expect("fresh symbol"))
+        .collect();
+
+    // Multipliers are nonnegative.
+    {
+        let s = script.store_mut();
+        let zero = s.int(BigInt::zero());
+        let nonneg: Vec<TermId> = lambda
+            .iter()
+            .chain(&mu)
+            .map(|&sym| {
+                let v = s.var(sym);
+                s.ge(v, zero).expect("ge")
+            })
+            .collect();
+        for c in nonneg {
+            script.assert(c);
+        }
+    }
+
+    // BOUNDED: c = λᵀG (per column), c0 ≥ λᵀh.
+    {
+        let constraints = farkas_rows(
+            &mut script,
+            &rows,
+            &lambda,
+            // target coefficient of x_j: c_j
+            |s, j| s.var(coeff_syms[j]),
+            // target constant: c0
+            |s| s.var(const_sym),
+        );
+        for c in constraints {
+            script.assert(c);
+        }
+    }
+
+    // DECREASING: p = c(I − U) (per column), q = −c·u − 1; p = μᵀG, q ≥ μᵀh.
+    {
+        let constraints = farkas_rows(
+            &mut script,
+            &rows,
+            &mu,
+            |s, j| {
+                // p_j = c_j − Σ_i c_i · U[i][j]
+                let cj = s.var(coeff_syms[j]);
+                let mut subtractions: Vec<TermId> = Vec::new();
+                for (i, row) in matrix_u.iter().enumerate() {
+                    if row[j] != 0 {
+                        let ci = s.var(coeff_syms[i]);
+                        let k = s.int(BigInt::from(row[j]));
+                        subtractions.push(s.mul(&[k, ci]).expect("mul"));
+                    }
+                }
+                if subtractions.is_empty() {
+                    cj
+                } else {
+                    let total = if subtractions.len() == 1 {
+                        subtractions[0]
+                    } else {
+                        s.add(&subtractions).expect("add")
+                    };
+                    s.sub(cj, total).expect("sub")
+                }
+            },
+            |s| {
+                // q = −Σ c_i·u_i − 1
+                let mut terms: Vec<TermId> = Vec::new();
+                for (i, &ui) in offset_u.iter().enumerate() {
+                    if ui != 0 {
+                        let ci = s.var(coeff_syms[i]);
+                        let k = s.int(BigInt::from(-ui));
+                        terms.push(s.mul(&[k, ci]).expect("mul"));
+                    }
+                }
+                let minus_one = s.int(BigInt::from(-1));
+                terms.push(minus_one);
+                if terms.len() == 1 {
+                    terms[0]
+                } else {
+                    s.add(&terms).expect("add")
+                }
+            },
+        );
+        for c in constraints {
+            script.assert(c);
+        }
+    }
+
+    script.check_sat();
+    Some(RankingQuery { script, coeff_syms, const_sym })
+}
+
+/// Emits `target_coeff(j) = Σᵢ multᵢ·G[i][j]` for every column `j` and
+/// `target_const() ≥ Σᵢ multᵢ·h[i]`.
+fn farkas_rows(
+    script: &mut Script,
+    rows: &[(Vec<i64>, i64)],
+    mults: &[SymbolId],
+    target_coeff: impl Fn(&mut staub_smtlib::TermStore, usize) -> TermId,
+    target_const: impl Fn(&mut staub_smtlib::TermStore) -> TermId,
+) -> Vec<TermId> {
+    let n = rows.first().map_or(0, |(g, _)| g.len());
+    let mut constraints = Vec::new();
+    for j in 0..n {
+        let s = script.store_mut();
+        let mut terms: Vec<TermId> = Vec::new();
+        for (i, (g, _)) in rows.iter().enumerate() {
+            if g[j] != 0 {
+                let lam = s.var(mults[i]);
+                let k = s.int(BigInt::from(g[j]));
+                terms.push(s.mul(&[k, lam]).expect("mul"));
+            }
+        }
+        let sum = match terms.len() {
+            0 => s.int(BigInt::zero()),
+            1 => terms[0],
+            _ => s.add(&terms).expect("add"),
+        };
+        let target = target_coeff(s, j);
+        constraints.push(s.eq(target, sum).expect("eq"));
+    }
+    // Constant row.
+    let s = script.store_mut();
+    let mut terms: Vec<TermId> = Vec::new();
+    for (i, (_, h)) in rows.iter().enumerate() {
+        if *h != 0 {
+            let lam = s.var(mults[i]);
+            let k = s.int(BigInt::from(*h));
+            terms.push(s.mul(&[k, lam]).expect("mul"));
+        }
+    }
+    let sum = match terms.len() {
+        0 => s.int(BigInt::zero()),
+        1 => terms[0],
+        _ => s.add(&terms).expect("add"),
+    };
+    let target = target_const(s);
+    constraints.push(s.ge(target, sum).expect("ge"));
+    constraints
+}
+
+/// Builds the certificate-validation query for a synthesized ranking
+/// function: *does a guard-satisfying state exist where `f` is negative or
+/// fails to decrease?* `unsat` validates the certificate — the population
+/// of queries a CEGAR-style prover discharges after every synthesis step,
+/// and the reason the client's constraint mix is unsat-heavy (paper §5.4).
+pub fn validation_query(program: &Program, f: &RankingFunction) -> Option<Script> {
+    use crate::unroll::{encode_cond, encode_expr};
+    use staub_smtlib::TermId;
+    if !program.is_linear() {
+        return None;
+    }
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let pre: Vec<SymbolId> = program
+        .vars
+        .iter()
+        .map(|v| script.declare(&format!("{v}__pre"), Sort::Int).expect("fresh symbol"))
+        .collect();
+    let pre_vars: Vec<TermId> = {
+        let s = script.store_mut();
+        pre.iter().map(|&sym| s.var(sym)).collect()
+    };
+    for cond in &program.guard {
+        let c = encode_cond(script.store_mut(), cond, &pre_vars);
+        script.assert(c);
+    }
+    // Post-state terms directly from the update expressions.
+    let post_vars: Vec<TermId> = program
+        .updates
+        .iter()
+        .map(|u| encode_expr(script.store_mut(), u, &pre_vars))
+        .collect();
+    let rank_term = |script: &mut Script, vars: &[TermId]| -> TermId {
+        let s = script.store_mut();
+        let mut terms: Vec<TermId> = Vec::new();
+        for (i, &c) in f.coeffs.iter().enumerate() {
+            if c != 0 {
+                let k = s.int(BigInt::from(c));
+                terms.push(s.mul(&[k, vars[i]]).expect("mul"));
+            }
+        }
+        terms.push(s.int(BigInt::from(f.constant)));
+        if terms.len() == 1 {
+            terms[0]
+        } else {
+            s.add(&terms).expect("add")
+        }
+    };
+    let f_pre = rank_term(&mut script, &pre_vars);
+    let f_post = rank_term(&mut script, &post_vars);
+    let violated = {
+        let s = script.store_mut();
+        let zero = s.int(BigInt::zero());
+        let one = s.int(BigInt::one());
+        let unbounded = s.lt(f_pre, zero).expect("lt");
+        let decrease_amount = s.sub(f_pre, f_post).expect("sub");
+        let not_decreasing = s.lt(decrease_amount, one).expect("lt");
+        s.or(&[unbounded, not_decreasing]).expect("or")
+    };
+    script.assert(violated);
+    script.check_sat();
+    Some(script)
+}
+
+/// Checks a candidate ranking function against concrete executions
+/// (a lightweight dynamic soundness probe used by tests).
+pub fn validate_on_trace(program: &Program, f: &RankingFunction, start: Vec<i64>, fuel: usize) -> bool {
+    let eval_f = |state: &[i64]| -> i64 {
+        f.coeffs.iter().zip(state).map(|(c, x)| c * x).sum::<i64>() + f.constant
+    };
+    let mut state = start;
+    for _ in 0..fuel {
+        if !program.guard.iter().all(|c| c.eval(&state)) {
+            return true;
+        }
+        let value = eval_f(&state);
+        if value < 0 {
+            return false;
+        }
+        let next: Vec<i64> = program.updates.iter().map(|u| u.eval(&state)).collect();
+        if eval_f(&next) > value - 1 {
+            return false;
+        }
+        state = next;
+    }
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_solver::{SatResult, Solver, SolverProfile};
+    use std::time::Duration;
+
+    fn solver() -> Solver {
+        Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(5))
+            .with_steps(4_000_000)
+    }
+
+    fn synthesize(src: &str) -> Option<RankingFunction> {
+        let p = Program::parse("t", src).unwrap();
+        let query = ranking_query(&p)?;
+        match solver().solve(&query.script).result {
+            SatResult::Sat(model) => query.decode(&model),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn countdown_has_ranking_function() {
+        let f = synthesize("vars x; while (x > 0) { x = x - 1; }")
+            .expect("f(x) = x works");
+        let p = Program::parse("t", "vars x; while (x > 0) { x = x - 1; }").unwrap();
+        for start in [0i64, 1, 7, 100] {
+            assert!(validate_on_trace(&p, &f, vec![start], 200), "start {start}, {f}");
+        }
+    }
+
+    #[test]
+    fn two_variable_ranking() {
+        let src = "vars x, y; while (x > 0 && y > 0) { x = x - 1; y = y + 1; }";
+        let f = synthesize(src).expect("f = x works");
+        let p = Program::parse("t", src).unwrap();
+        for start in [[3i64, 1], [10, 2]] {
+            assert!(validate_on_trace(&p, &f, start.to_vec(), 100), "{f}");
+        }
+    }
+
+    #[test]
+    fn diverging_loop_has_no_ranking() {
+        assert!(
+            synthesize("vars x; while (x > 0) { x = x + 1; }").is_none(),
+            "x grows: no linear ranking exists"
+        );
+    }
+
+    #[test]
+    fn constant_loop_has_no_ranking() {
+        assert!(
+            synthesize("vars x; while (x > 0) { x = x; }").is_none(),
+            "state never changes"
+        );
+    }
+
+    #[test]
+    fn nonlinear_program_not_applicable() {
+        let p = Program::parse("nl", "vars x, y; while (x > 0) { x = x * y; }").unwrap();
+        assert!(ranking_query(&p).is_none());
+    }
+
+    #[test]
+    fn decreasing_sum() {
+        let src = "vars x, y; while (x + y > 0) { x = x - 1; y = y - 1; }";
+        let f = synthesize(src).expect("f = x + y works");
+        let p = Program::parse("t", src).unwrap();
+        assert!(validate_on_trace(&p, &f, vec![5, 5], 100), "{f}");
+        assert!(validate_on_trace(&p, &f, vec![10, -3], 100), "{f}");
+    }
+
+    #[test]
+    fn query_is_lia() {
+        let p = Program::parse("q", "vars x; while (x > 0) { x = x - 2; }").unwrap();
+        let q = ranking_query(&p).unwrap();
+        assert_eq!(q.script.logic().map(|l| l.name()), Some("QF_LIA"));
+    }
+}

@@ -1,0 +1,197 @@
+//! The 97-program evaluation suite (the SV-COMP termination stand-in).
+//!
+//! The paper's RQ3 runs Ultimate Automizer on the 97 SV-COMP termination
+//! tasks for which it emits array-free constraints. This suite mirrors that
+//! population: deterministic families of counting loops, coupled linear
+//! loops, bounded-window loops, nonlinear growth loops, and diverging loops
+//! (for which every proof attempt fails, keeping the constraint mix
+//! unsat-heavy).
+
+use crate::lang::Program;
+
+/// A suite entry: a program plus its ground-truth termination status
+/// (`None` when divergence depends on the initial state in a way the suite
+/// does not document).
+#[derive(Debug, Clone)]
+pub struct SuiteEntry {
+    /// The program.
+    pub program: Program,
+    /// Whether the loop terminates from **every** initial state.
+    pub terminates: Option<bool>,
+}
+
+/// Builds the full 97-program suite. Deterministic: no randomness, so
+/// reports are reproducible.
+pub fn suite_97() -> Vec<SuiteEntry> {
+    let mut out = Vec::with_capacity(97);
+    let mut push = |src: String, name: String, terminates: Option<bool>| {
+        let program = Program::parse(&name, &src).unwrap_or_else(|e| {
+            panic!("suite program {name} fails to parse: {e}\n{src}")
+        });
+        out.push(SuiteEntry { program, terminates });
+    };
+
+    // Family 1: countdown loops with varied strides (terminating). 20.
+    for stride in 1..=20i64 {
+        push(
+            format!("vars x; while (x > 0) {{ x = x - {stride}; }}"),
+            format!("countdown-stride-{stride}"),
+            Some(true),
+        );
+    }
+
+    // Family 2: coupled two-variable linear loops (terminating: x+y or x
+    // decreases). 16.
+    for i in 0..16i64 {
+        let a = 1 + i % 4;
+        let b = 1 + i / 4;
+        push(
+            format!(
+                "vars x, y; while (x + y > 0) {{ x = x - {a}; y = y - {b}; }}"
+            ),
+            format!("coupled-{i:02}"),
+            Some(true),
+        );
+    }
+
+    // Family 3: bounded windows (terminating, provable by unrolling). 15.
+    for width in 1..=15i64 {
+        push(
+            format!("vars i; while (i > 0 && i < {}) {{ i = i + 1; }}", width + 1),
+            format!("window-{width:02}"),
+            Some(true),
+        );
+    }
+
+    // Family 4: nonlinear growth under a cap (terminating; QF_NIA
+    // unrollings). 12.
+    for cap_log in 2..=13i64 {
+        let cap = 1i64 << cap_log;
+        push(
+            format!(
+                "vars x, y; while (x < {cap} && x > 1 && y == 2) {{ x = x * y; }}"
+            ),
+            format!("double-under-{cap}"),
+            Some(true),
+        );
+    }
+
+    // Family 5: diverging counters (nonterminating: every proof attempt
+    // fails — the pessimistic population). 14.
+    for i in 0..14i64 {
+        let step = 1 + i % 5;
+        push(
+            format!("vars x; while (x > 0) {{ x = x + {step}; }}"),
+            format!("diverge-up-{i:02}"),
+            Some(false),
+        );
+    }
+
+    // Family 6: oscillators (nonterminating from some states). 10.
+    for i in 0..10i64 {
+        let k = 1 + i;
+        push(
+            format!("vars x, y; while (x > 0) {{ x = y; y = x + {k}; }}"),
+            format!("oscillator-{i:02}"),
+            None,
+        );
+    }
+
+    // Family 7: lexicographic-style loops (terminating but needing a
+    // non-obvious linear combination). 10.
+    for i in 0..10i64 {
+        let outer = 2 + i % 3;
+        push(
+            format!(
+                "vars x, y; while (x > 0 && y > 0) {{ x = x - 1; y = y + {outer}; }}"
+            ),
+            format!("lexico-{i:02}"),
+            Some(true),
+        );
+    }
+    debug_assert_eq!(out.len(), 20 + 16 + 15 + 12 + 14 + 10 + 10);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::prover::{TerminationProver, Verdict};
+
+    #[test]
+    fn suite_has_97_programs() {
+        let suite = suite_97();
+        assert_eq!(suite.len(), 97);
+        let mut names: Vec<&str> = suite.iter().map(|e| e.program.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), 97, "names unique");
+    }
+
+    #[test]
+    fn deterministic() {
+        let a = suite_97();
+        let b = suite_97();
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.program, y.program);
+        }
+    }
+
+    #[test]
+    fn ground_truth_spot_checks_by_execution() {
+        for entry in suite_97() {
+            match entry.terminates {
+                Some(true) => {
+                    // Run from several states; must always terminate.
+                    for start in [-2i64, 0, 3, 17] {
+                        let state = vec![start; entry.program.vars.len()];
+                        assert!(
+                            entry.program.run(state, 100_000).is_some(),
+                            "{} should terminate from {start}",
+                            entry.program.name
+                        );
+                    }
+                }
+                Some(false) => {
+                    // Diverges from at least one state.
+                    let state = vec![1; entry.program.vars.len()];
+                    assert!(
+                        entry.program.run(state, 10_000).is_none(),
+                        "{} should diverge from all-ones",
+                        entry.program.name
+                    );
+                }
+                None => {}
+            }
+        }
+    }
+
+    #[test]
+    fn prover_never_claims_termination_of_diverging_programs() {
+        let prover = TerminationProver::default();
+        for entry in suite_97().into_iter().filter(|e| e.terminates == Some(false)).take(4) {
+            let outcome = prover.prove(&entry.program);
+            assert_eq!(
+                outcome.verdict,
+                Verdict::Unknown,
+                "{} must not be proven terminating",
+                entry.program.name
+            );
+        }
+    }
+
+    #[test]
+    fn prover_handles_a_sample_of_each_family() {
+        let suite = suite_97();
+        let prover = TerminationProver::default();
+        for idx in [0usize, 20, 36, 51, 63, 77, 87] {
+            let entry = &suite[idx];
+            let outcome = prover.prove(&entry.program);
+            if entry.terminates == Some(false) {
+                assert_ne!(outcome.verdict, Verdict::Terminating, "{}", entry.program.name);
+            }
+            // Terminating entries may still be Unknown under tight budgets;
+            // soundness is what matters here.
+        }
+    }
+}

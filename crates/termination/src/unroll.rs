@@ -1,0 +1,197 @@
+//! Unrolling-feasibility constraints.
+//!
+//! `unroll_query(p, k)` asks: *does some initial state execute the loop at
+//! least `k` times?* An `unsat` answer proves the loop terminates within
+//! `k - 1` iterations from every initial state. With nonlinear update
+//! expressions these are genuine QF_NIA constraints; linear programs yield
+//! QF_LIA.
+
+use staub_numeric::BigInt;
+use staub_smtlib::{Logic, Script, Sort, TermId, TermStore};
+
+use crate::lang::{Cmp, Cond, Expr, Program};
+
+/// Builds the `k`-iteration feasibility constraint for a program.
+///
+/// Variables `v__j` encode the state before iteration `j`; the script
+/// asserts the guard at steps `0..k` and the transition between consecutive
+/// steps.
+///
+/// # Panics
+///
+/// Panics if `k == 0` (a 0-unrolling is trivially satisfiable and useless).
+pub fn unroll_query(program: &Program, k: usize) -> Script {
+    assert!(k > 0, "unrolling depth must be positive");
+    let mut script = Script::new();
+    let logic = if program.is_linear() { Logic::QfLia } else { Logic::QfNia };
+    script.set_logic(logic);
+    // Declare state variables per step.
+    let mut state_syms = Vec::with_capacity(k + 1);
+    for j in 0..=k.saturating_sub(1) {
+        let step: Vec<_> = program
+            .vars
+            .iter()
+            .map(|v| {
+                script
+                    .declare(&format!("{v}__{j}"), Sort::Int)
+                    .expect("fresh step variable")
+            })
+            .collect();
+        state_syms.push(step);
+    }
+    for j in 0..k {
+        // Guard holds at step j.
+        let step_vars: Vec<TermId> = {
+            let s = script.store_mut();
+            state_syms[j].iter().map(|&sym| s.var(sym)).collect()
+        };
+        for cond in &program.guard {
+            let c = encode_cond(script.store_mut(), cond, &step_vars);
+            script.assert(c);
+        }
+        // Transition to step j+1 (skipped after the last guarded step).
+        if j + 1 < k {
+            let next_vars: Vec<TermId> = {
+                let s = script.store_mut();
+                state_syms[j + 1].iter().map(|&sym| s.var(sym)).collect()
+            };
+            for (i, update) in program.updates.iter().enumerate() {
+                let s = script.store_mut();
+                let rhs = encode_expr(s, update, &step_vars);
+                let eq = s.eq(next_vars[i], rhs).expect("transition equality");
+                script.assert(eq);
+            }
+        }
+    }
+    script.check_sat();
+    script
+}
+
+/// Encodes a program expression over the given step's variable terms.
+pub fn encode_expr(store: &mut TermStore, expr: &Expr, vars: &[TermId]) -> TermId {
+    match expr {
+        Expr::Const(c) => store.int(BigInt::from(*c)),
+        Expr::Var(i) => vars[*i],
+        Expr::Add(a, b) => {
+            let ta = encode_expr(store, a, vars);
+            let tb = encode_expr(store, b, vars);
+            store.add(&[ta, tb]).expect("int add")
+        }
+        Expr::Sub(a, b) => {
+            let ta = encode_expr(store, a, vars);
+            let tb = encode_expr(store, b, vars);
+            store.sub(ta, tb).expect("int sub")
+        }
+        Expr::Mul(a, b) => {
+            let ta = encode_expr(store, a, vars);
+            let tb = encode_expr(store, b, vars);
+            store.mul(&[ta, tb]).expect("int mul")
+        }
+    }
+}
+
+/// Encodes a guard conjunct over the given step's variable terms.
+pub fn encode_cond(store: &mut TermStore, cond: &Cond, vars: &[TermId]) -> TermId {
+    let l = encode_expr(store, &cond.lhs, vars);
+    let r = encode_expr(store, &cond.rhs, vars);
+    match cond.cmp {
+        Cmp::Gt => store.gt(l, r),
+        Cmp::Ge => store.ge(l, r),
+        Cmp::Lt => store.lt(l, r),
+        Cmp::Le => store.le(l, r),
+        Cmp::Eq => store.eq(l, r),
+        Cmp::Ne => {
+            let eq = store.eq(l, r).expect("int eq");
+            store.not(eq)
+        }
+    }
+    .expect("guard encoding is well-sorted")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_solver::{Solver, SolverProfile};
+    use std::time::Duration;
+
+    fn solver() -> Solver {
+        Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(3))
+            .with_steps(2_000_000)
+    }
+
+    #[test]
+    fn bounded_loop_unrolls_until_its_bound() {
+        // while (0 < x <= 3) x = x - 1: at most 3 iterations.
+        let p = Program::parse(
+            "b3",
+            "vars x; while (x > 0 && x <= 3) { x = x - 1; }",
+        )
+        .unwrap();
+        let s = solver();
+        assert!(s.solve(&unroll_query(&p, 3)).result.is_sat(), "3 iterations possible");
+        assert!(s.solve(&unroll_query(&p, 4)).result.is_unsat(), "4 iterations impossible");
+    }
+
+    #[test]
+    fn unbounded_terminating_loop_always_unrollable() {
+        let p = Program::parse("cd", "vars x; while (x > 0) { x = x - 1; }").unwrap();
+        let s = solver();
+        // Any k iterations are possible from x = k.
+        for k in [1, 3, 6] {
+            assert!(s.solve(&unroll_query(&p, k)).result.is_sat(), "k = {k}");
+        }
+    }
+
+    #[test]
+    fn nonlinear_unrolling_is_nia() {
+        let p = Program::parse(
+            "nl",
+            "vars x, y; while (x < 100 && x > 1 && y > 1) { x = x * y; }",
+        )
+        .unwrap();
+        let script = unroll_query(&p, 2);
+        assert_eq!(script.logic().map(|l| l.name()), Some("QF_NIA"));
+        let s = solver();
+        assert!(s.solve(&script).result.is_sat(), "x=2, y=2 runs twice");
+    }
+
+    #[test]
+    fn nonlinear_bounded_iterations_unsat() {
+        // x doubles (at least) each step from > 1 under x < 16: at most 4
+        // guarded steps (x = 2 -> 4 -> 8 -> done... compute: guard x < 16,
+        // x > 1, y pinned to 2 by guard y == 2).
+        let p = Program::parse(
+            "nl2",
+            "vars x, y; while (x < 16 && x > 1 && y == 2) { x = x * y; }",
+        )
+        .unwrap();
+        let s = solver();
+        assert!(s.solve(&unroll_query(&p, 3)).result.is_sat(), "2 -> 4 -> 8 runs 3 steps");
+        let r4 = s.solve(&unroll_query(&p, 4)).result;
+        assert!(!r4.is_sat(), "no start runs 4 guarded steps");
+    }
+
+    #[test]
+    fn transition_uses_pre_state() {
+        // Simultaneous swap must be encoded on the pre-state.
+        let p = Program::parse(
+            "swap",
+            "vars x, y; while (x > 0 && y < 1) { x = y; y = x; }",
+        )
+        .unwrap();
+        // One iteration from (1, 0) gives (0, 1): the guard then fails, so
+        // a 2-unrolling is unsat (x' = y <= 0 conflicts with x' > 0 ... for
+        // any start: x1 = y0 < 1 and x1 > 0 means 0 < y0 < 1, impossible).
+        let s = solver();
+        assert!(s.solve(&unroll_query(&p, 1)).result.is_sat());
+        assert!(s.solve(&unroll_query(&p, 2)).result.is_unsat());
+    }
+
+    #[test]
+    #[should_panic(expected = "must be positive")]
+    fn zero_unrolling_panics() {
+        let p = Program::parse("z", "vars x; while (x > 0) { x = x - 1; }").unwrap();
+        let _ = unroll_query(&p, 0);
+    }
+}

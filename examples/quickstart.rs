@@ -1,0 +1,51 @@
+//! Quickstart: run the STAUB pipeline on an SMT-LIB constraint.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use staub::core::{Staub, StaubOutcome, Via};
+use staub::smtlib::Script;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let src = "\
+(set-logic QF_NIA)
+(declare-fun x () Int)
+(declare-fun y () Int)
+(assert (= (+ (* x x) (* y y)) 6724))
+(assert (> x 0))
+(assert (> y x))
+(check-sat)";
+    println!("Input constraint:\n{src}\n");
+
+    let script = Script::parse(src)?;
+    let staub = Staub::default();
+
+    // Inspect the inferred bounds and the transformed constraint.
+    let bounds = staub.infer(&script);
+    println!(
+        "Inferred bounds: assumption width x = {}, root width [S] = {}",
+        bounds.assumption_width, bounds.root_width
+    );
+    let transformed = staub.transform(&script)?;
+    println!(
+        "Translated to {}-bit bitvectors with {} overflow guards:\n{}",
+        transformed.bv_width.expect("integer constraint"),
+        transformed.guard_count,
+        transformed.script
+    );
+
+    // Run the full pipeline (bounded path + fallback).
+    match staub.run(&script)? {
+        StaubOutcome::Sat { model, via } => {
+            println!(
+                "sat (via the {} constraint)",
+                if via == Via::Bounded { "bounded" } else { "original" }
+            );
+            println!("model:\n{}", model.to_smtlib(script.store()));
+        }
+        StaubOutcome::Unsat => println!("unsat"),
+        StaubOutcome::Unknown => println!("unknown"),
+    }
+    Ok(())
+}

@@ -1,0 +1,50 @@
+//! RQ2: chaining STAUB with SLOT-style compiler optimization.
+//!
+//! Transforms an unbounded constraint to bitvectors, then runs the SLOT
+//! pass pipeline over the bounded term graph and shows what each pass
+//! contributed.
+//!
+//! ```text
+//! cargo run --release --example slot_pipeline
+//! ```
+
+use staub::core::Staub;
+use staub::slot::Slot;
+use staub::smtlib::Script;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // A deliberately sloppy constraint with foldable and reducible parts.
+    let src = "\
+(set-logic QF_NIA)
+(declare-fun a () Int)
+(declare-fun b () Int)
+(assert (= (* (+ a 0) 1) (* b 8)))
+(assert (<= (* a a) (+ 100 44)))
+(assert (>= (- a a) 0))
+(check-sat)";
+    let script = Script::parse(src)?;
+    println!("Original (unbounded):\n{script}");
+
+    let transformed = Staub::default().transform(&script)?;
+    let mut bounded = transformed.script.clone();
+    println!(
+        "After STAUB (width {}):\n{bounded}",
+        transformed.bv_width.expect("integer constraint")
+    );
+
+    let slot = Slot::standard();
+    let report = slot.optimize(&mut bounded);
+    println!("After SLOT ({report}):\n{bounded}");
+    for (pass, rewrites) in &report.per_pass {
+        println!("  {pass:20} {rewrites} rewrites");
+    }
+
+    // The optimized constraint is equisatisfiable with the bounded one.
+    use staub::solver::{Solver, SolverProfile};
+    let solver = Solver::new(SolverProfile::Zed);
+    let before = solver.solve(&transformed.script).result;
+    let after = solver.solve(&bounded).result;
+    println!("\nbounded: {before} / optimized: {after}");
+    assert_eq!(before.is_sat(), after.is_sat());
+    Ok(())
+}

@@ -1,0 +1,240 @@
+//! The STAUB command-line tool.
+//!
+//! Reads an SMT-LIB script over QF_LIA / QF_NIA / QF_LRA / QF_NRA and
+//! either solves it with theory arbitrage (default) or emits the bounded
+//! translation for use with any other SMT-LIB solver (`--emit`, the paper's
+//! output flag).
+//!
+//! ```text
+//! staub [OPTIONS] <file.smt2>
+//!
+//! OPTIONS:
+//!   --emit             print the bounded SMT-LIB constraint and exit
+//!   --width <N>        fixed bitvector width instead of inference
+//!   --profile <P>      solver profile: zed (default) or cove
+//!   --timeout-ms <N>   per-solver-call wall-clock budget (default 1000)
+//!   --refine <N>       iterative width refinement rounds (default 0)
+//!   --reduce           width-reduce an already-bounded QF_BV input (§6.4)
+//!   --race             run the two-core portfolio race (default: sequential)
+//!   --stats            print inference and timing details
+//! ```
+
+use std::process::ExitCode;
+use std::time::Duration;
+
+use staub::core::{Staub, StaubConfig, StaubOutcome, Via, WidthChoice};
+use staub::smtlib::Script;
+use staub::solver::SolverProfile;
+
+struct Options {
+    file: String,
+    emit: bool,
+    width: WidthChoice,
+    profile: SolverProfile,
+    timeout: Duration,
+    race: bool,
+    stats: bool,
+    refine: u32,
+    reduce: bool,
+}
+
+fn parse_args() -> Result<Options, String> {
+    let mut args = std::env::args().skip(1);
+    let mut file = None;
+    let mut options = Options {
+        file: String::new(),
+        emit: false,
+        width: WidthChoice::Inferred,
+        profile: SolverProfile::Zed,
+        timeout: Duration::from_millis(1000),
+        race: false,
+        stats: false,
+        refine: 0,
+        reduce: false,
+    };
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--emit" => options.emit = true,
+            "--reduce" => options.reduce = true,
+            "--race" => options.race = true,
+            "--stats" => options.stats = true,
+            "--width" => {
+                let w = args
+                    .next()
+                    .ok_or("--width needs a value")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid width: {e}"))?;
+                options.width = WidthChoice::Fixed(w);
+            }
+            "--profile" => match args.next().as_deref() {
+                Some("zed") => options.profile = SolverProfile::Zed,
+                Some("cove") => options.profile = SolverProfile::Cove,
+                other => return Err(format!("unknown profile {other:?}")),
+            },
+            "--refine" => {
+                options.refine = args
+                    .next()
+                    .ok_or("--refine needs a value")?
+                    .parse::<u32>()
+                    .map_err(|e| format!("invalid refinement rounds: {e}"))?;
+            }
+            "--timeout-ms" => {
+                let ms = args
+                    .next()
+                    .ok_or("--timeout-ms needs a value")?
+                    .parse::<u64>()
+                    .map_err(|e| format!("invalid timeout: {e}"))?;
+                options.timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => return Err("help".to_string()),
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => return Err(format!("unexpected argument `{other}`")),
+        }
+    }
+    options.file = file.ok_or("missing input file")?;
+    Ok(options)
+}
+
+const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
+[--profile zed|cove] [--timeout-ms N] [--refine N] [--race] [--stats] <file.smt2>";
+
+fn main() -> ExitCode {
+    let options = match parse_args() {
+        Ok(o) => o,
+        Err(msg) => {
+            if msg == "help" {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("error: {msg}\n{USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let source = match std::fs::read_to_string(&options.file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {}: {e}", options.file);
+            return ExitCode::from(2);
+        }
+    };
+    let script = match Script::parse(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let staub = Staub::new(StaubConfig {
+        width_choice: options.width,
+        profile: options.profile,
+        timeout: options.timeout,
+        refinement_rounds: options.refine,
+        ..Default::default()
+    });
+
+    if options.stats {
+        let bounds = staub.infer(&script);
+        eprintln!(
+            "; bound inference: x = {}, [S] = {}, {} nodes",
+            bounds.assumption_width, bounds.root_width, bounds.nodes_visited
+        );
+    }
+
+    if options.reduce {
+        use staub::core::bvreduce;
+        use staub::solver::{SatResult, Solver};
+        let Some(width) = bvreduce::infer_reduction(&script) else {
+            eprintln!("error: input is not a reducible uniform-width QF_BV script");
+            return ExitCode::FAILURE;
+        };
+        let Some(reduced) = bvreduce::reduce(&script, width) else {
+            eprintln!("error: constants do not fit the inferred width {width}");
+            return ExitCode::FAILURE;
+        };
+        if options.stats {
+            eprintln!(
+                "; reduced (_ BitVec {}) to (_ BitVec {})",
+                reduced.original_width, reduced.width
+            );
+        }
+        if options.emit {
+            print!("{}", reduced.script);
+            return ExitCode::SUCCESS;
+        }
+        let solver = Solver::new(options.profile).with_timeout(options.timeout);
+        return match solver.solve(&reduced.script).result {
+            SatResult::Sat(narrow) => {
+                match bvreduce::lift_and_verify(&script, &reduced, &narrow) {
+                    Some(model) => {
+                        println!("sat");
+                        println!("{}", model.to_smtlib(script.store()));
+                        ExitCode::SUCCESS
+                    }
+                    None => {
+                        println!("unknown");
+                        eprintln!("; narrow model did not verify; rerun without --reduce");
+                        ExitCode::SUCCESS
+                    }
+                }
+            }
+            _ => {
+                println!("unknown");
+                eprintln!("; narrow constraint gave no verified answer");
+                ExitCode::SUCCESS
+            }
+        };
+    }
+
+    if options.emit {
+        return match staub.transform(&script) {
+            Ok(transformed) => {
+                if options.stats {
+                    eprintln!(
+                        "; target: {}, {} guards",
+                        match (transformed.bv_width, transformed.fp_format) {
+                            (Some(w), _) => format!("(_ BitVec {w})"),
+                            (_, Some((eb, sb))) => format!("(_ FloatingPoint {eb} {sb})"),
+                            _ => "?".to_string(),
+                        },
+                        transformed.guard_count
+                    );
+                }
+                print!("{}", transformed.script);
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("error: cannot transform: {e}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+
+    let start = std::time::Instant::now();
+    let outcome = if options.race { staub.race(&script) } else { staub.run(&script) };
+    match outcome {
+        Ok(StaubOutcome::Sat { model, via }) => {
+            println!("sat");
+            if options.stats {
+                eprintln!(
+                    "; via {} path in {:?}",
+                    if via == Via::Bounded { "bounded" } else { "original" },
+                    start.elapsed()
+                );
+            }
+            println!("{}", model.to_smtlib(script.store()));
+            ExitCode::SUCCESS
+        }
+        Ok(StaubOutcome::Unsat) => {
+            println!("unsat");
+            ExitCode::SUCCESS
+        }
+        Ok(StaubOutcome::Unknown) => {
+            println!("unknown");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,41 @@
+//! STAUB — SMT Theory Arbitrage in Rust.
+//!
+//! Umbrella crate re-exporting the whole workspace. Start with
+//! [`staub_core::Staub`] (re-exported as [`core::Staub`]) for the end-to-end
+//! pipeline, or see the crate-level docs of each member:
+//!
+//! * [`numeric`] — exact arithmetic (bigints, rationals, bitvectors, floats).
+//! * [`smtlib`] — SMT-LIB v2 parsing, terms, and printing.
+//! * [`solver`] — the from-scratch SMT solver (SAT core, bit-blasting,
+//!   simplex, interval propagation).
+//! * [`core`] — theory arbitrage: bound inference, transformation,
+//!   verification, portfolio.
+//! * [`slot`] — compiler-optimization-style simplification of bounded
+//!   constraints.
+//! * [`termination`] — the termination-proving client analysis.
+//! * [`benchgen`] — seeded benchmark-suite generators.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use staub::core::{Staub, StaubOutcome};
+//! use staub::smtlib::Script;
+//!
+//! let src = "\
+//! (declare-fun x () Int)
+//! (assert (= (* x x) 49))
+//! (check-sat)";
+//! let script = Script::parse(src)?;
+//! let staub = Staub::default();
+//! let outcome = staub.run(&script)?;
+//! assert!(matches!(outcome, StaubOutcome::Sat { .. }));
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+pub use staub_benchgen as benchgen;
+pub use staub_core as core;
+pub use staub_numeric as numeric;
+pub use staub_slot as slot;
+pub use staub_smtlib as smtlib;
+pub use staub_solver as solver;
+pub use staub_termination as termination;

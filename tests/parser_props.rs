@@ -1,0 +1,100 @@
+//! Print/parse round-trip properties for the SMT-LIB front end, driven by
+//! both the suite generators and proptest-generated literal values.
+
+use proptest::prelude::*;
+use staub::benchgen::{generate, SuiteKind};
+use staub::numeric::{BigInt, BigRational, BitVecValue};
+use staub::smtlib::{Script, Sort};
+
+/// Every generated benchmark prints to text that re-parses to a script with
+/// identical structure, and printing is a fixed point.
+#[test]
+fn generated_suites_round_trip() {
+    for kind in SuiteKind::all() {
+        for b in generate(kind, 20, 0x707) {
+            let once = b.script.to_string();
+            let reparsed = Script::parse(&once)
+                .unwrap_or_else(|e| panic!("{}: {e}\n{once}", b.name));
+            let twice = reparsed.to_string();
+            assert_eq!(once, twice, "{}: printing is not a fixed point", b.name);
+            assert_eq!(reparsed.assertions().len(), b.script.assertions().len());
+            assert_eq!(reparsed.store().symbol_count(), b.script.store().symbol_count());
+        }
+    }
+}
+
+proptest! {
+    #[test]
+    fn integer_literals_round_trip(v in any::<i128>()) {
+        let mut script = Script::new();
+        let x = script.declare("x", Sort::Int).unwrap();
+        let xv = script.store_mut().var(x);
+        let c = script.store_mut().int(BigInt::from(v));
+        let eq = script.store_mut().eq(xv, c).unwrap();
+        script.assert(eq);
+        let text = script.to_string();
+        let reparsed = Script::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn rational_literals_round_trip(n in -100_000i64..100_000, d in 1i64..10_000) {
+        let v = BigRational::new(BigInt::from(n), BigInt::from(d));
+        let mut script = Script::new();
+        let x = script.declare("r", Sort::Real).unwrap();
+        let xv = script.store_mut().var(x);
+        let c = script.store_mut().real(v);
+        let eq = script.store_mut().eq(xv, c).unwrap();
+        script.assert(eq);
+        let text = script.to_string();
+        let reparsed = Script::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn bitvector_literals_round_trip(v in any::<u64>(), w in 1u32..=64) {
+        let value = BitVecValue::new(BigInt::from(v), w);
+        let mut script = Script::new();
+        let x = script.declare("b", Sort::BitVec(w)).unwrap();
+        let xv = script.store_mut().var(x);
+        let c = script.store_mut().bv(value.clone());
+        let eq = script.store_mut().eq(xv, c).unwrap();
+        script.assert(eq);
+        let text = script.to_string();
+        let reparsed = Script::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text.clone());
+        prop_assert!(text.contains(&value.to_string()));
+    }
+
+    #[test]
+    fn fp_literals_round_trip(bits in any::<u32>()) {
+        // Arbitrary binary32 bit patterns (incl. NaN/inf/subnormals).
+        let f = f32::from_bits(bits);
+        let sf = staub::numeric::SoftFloat::from_fields(
+            8,
+            24,
+            bits >> 31 == 1,
+            &BigInt::from((bits >> 23) & 0xff),
+            &BigInt::from(bits & 0x7f_ffff),
+        );
+        let _ = f;
+        let mut script = Script::new();
+        let x = script.declare("f", Sort::Float(8, 24)).unwrap();
+        let xv = script.store_mut().var(x);
+        let c = script.store_mut().fp(sf);
+        let eq = script.store_mut().eq(xv, c).unwrap();
+        script.assert(eq);
+        let text = script.to_string();
+        let reparsed = Script::parse(&text).unwrap();
+        prop_assert_eq!(reparsed.to_string(), text);
+    }
+
+    #[test]
+    fn comment_and_whitespace_insensitive(pad in "[ \t\n]{0,12}") {
+        let src = format!(
+            "(declare-fun x () Int){pad}; a comment\n(assert{pad}(> x 0))"
+        );
+        let script = Script::parse(&src).unwrap();
+        prop_assert_eq!(script.assertions().len(), 1);
+    }
+}

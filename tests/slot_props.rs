@@ -1,0 +1,167 @@
+//! Property tests for the SLOT optimizer: optimization must preserve the
+//! *value* of every assertion under every assignment (a strictly stronger
+//! property than equisatisfiability), checked by brute force over small
+//! bitvector domains.
+
+use proptest::prelude::*;
+use staub::numeric::{BigInt, BitVecValue};
+use staub::slot::Slot;
+use staub::smtlib::{evaluate, Model, Script, Sort, TermId, Value};
+
+/// A small random bitvector expression over two 4-bit variables.
+#[derive(Debug, Clone)]
+enum BvExpr {
+    Var(usize),
+    Const(u8),
+    Add(Box<BvExpr>, Box<BvExpr>),
+    Sub(Box<BvExpr>, Box<BvExpr>),
+    Mul(Box<BvExpr>, Box<BvExpr>),
+    And(Box<BvExpr>, Box<BvExpr>),
+    Or(Box<BvExpr>, Box<BvExpr>),
+    Xor(Box<BvExpr>, Box<BvExpr>),
+    Not(Box<BvExpr>),
+    Neg(Box<BvExpr>),
+}
+
+const WIDTH: u32 = 4;
+
+fn bv_expr(depth: u32) -> impl Strategy<Value = BvExpr> {
+    let leaf = prop_oneof![
+        (0usize..2).prop_map(BvExpr::Var),
+        (0u8..16).prop_map(BvExpr::Const),
+    ];
+    leaf.prop_recursive(depth, 24, 2, |inner| {
+        prop_oneof![
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Add(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Sub(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::And(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Or(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Xor(Box::new(a), Box::new(b))),
+            inner.clone().prop_map(|a| BvExpr::Not(Box::new(a))),
+            inner.prop_map(|a| BvExpr::Neg(Box::new(a))),
+        ]
+    })
+}
+
+fn emit(e: &BvExpr, script: &mut Script, vars: &[staub::smtlib::SymbolId]) -> TermId {
+    use staub::smtlib::Op;
+    match e {
+        BvExpr::Var(i) => script.store_mut().var(vars[*i]),
+        BvExpr::Const(c) => script
+            .store_mut()
+            .bv(BitVecValue::new(BigInt::from(*c as i64), WIDTH)),
+        BvExpr::Add(a, b) => bin(script, vars, Op::BvAdd, a, b),
+        BvExpr::Sub(a, b) => bin(script, vars, Op::BvSub, a, b),
+        BvExpr::Mul(a, b) => bin(script, vars, Op::BvMul, a, b),
+        BvExpr::And(a, b) => bin(script, vars, Op::BvAnd, a, b),
+        BvExpr::Or(a, b) => bin(script, vars, Op::BvOr, a, b),
+        BvExpr::Xor(a, b) => bin(script, vars, Op::BvXor, a, b),
+        BvExpr::Not(a) => un(script, vars, Op::BvNot, a),
+        BvExpr::Neg(a) => un(script, vars, Op::BvNeg, a),
+    }
+}
+
+fn bin(
+    script: &mut Script,
+    vars: &[staub::smtlib::SymbolId],
+    op: staub::smtlib::Op,
+    a: &BvExpr,
+    b: &BvExpr,
+) -> TermId {
+    let ta = emit(a, script, vars);
+    let tb = emit(b, script, vars);
+    script.store_mut().app(op, &[ta, tb]).expect("well-sorted")
+}
+
+fn un(
+    script: &mut Script,
+    vars: &[staub::smtlib::SymbolId],
+    op: staub::smtlib::Op,
+    a: &BvExpr,
+) -> TermId {
+    let ta = emit(a, script, vars);
+    script.store_mut().app(op, &[ta]).expect("well-sorted")
+}
+
+fn assertion_values(script: &Script) -> Vec<Vec<bool>> {
+    // Truth table of all assertions over every (a, b) in [0,16)².
+    let a = script.store().symbol("a").unwrap();
+    let b = script.store().symbol("b").unwrap();
+    let mut rows = Vec::with_capacity(256);
+    for av in 0..16i64 {
+        for bv in 0..16i64 {
+            let mut m = Model::new();
+            m.insert(a, Value::BitVec(BitVecValue::from_i64(av, WIDTH)));
+            m.insert(b, Value::BitVec(BitVecValue::from_i64(bv, WIDTH)));
+            let row: Vec<bool> = script
+                .assertions()
+                .iter()
+                .map(|&t| evaluate(script.store(), t, &m) == Ok(Value::Bool(true)))
+                .collect();
+            rows.push(row);
+        }
+    }
+    rows
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn slot_preserves_models_exactly(
+        lhs in bv_expr(3),
+        rhs in bv_expr(3),
+        cmp in any::<u8>(),
+    ) {
+        use staub::smtlib::Op;
+        let mut script = Script::new();
+        let vars = vec![
+            script.declare("a", Sort::BitVec(WIDTH)).unwrap(),
+            script.declare("b", Sort::BitVec(WIDTH)).unwrap(),
+        ];
+        let tl = emit(&lhs, &mut script, &vars);
+        let tr = emit(&rhs, &mut script, &vars);
+        let op = match cmp % 4 {
+            0 => Op::Eq,
+            1 => Op::BvUlt,
+            2 => Op::BvSle,
+            _ => Op::BvSgt,
+        };
+        let atom = script.store_mut().app(op, &[tl, tr]).unwrap();
+        script.assert(atom);
+
+        // Conjunction-level satisfaction before/after must be identical
+        // under every assignment (assertions may be restructured, so we
+        // compare the conjunction of each row, not individual columns).
+        let before: Vec<bool> =
+            assertion_values(&script).iter().map(|row| row.iter().all(|&b| b)).collect();
+        let mut optimized = script.clone();
+        let _ = Slot::standard().optimize(&mut optimized);
+        let after: Vec<bool> =
+            assertion_values(&optimized).iter().map(|row| row.iter().all(|&b| b)).collect();
+        prop_assert_eq!(before, after, "SLOT changed semantics of:\n{}\n=>\n{}", script, optimized);
+    }
+
+    #[test]
+    fn slot_is_idempotent(
+        lhs in bv_expr(3),
+        rhs in bv_expr(3),
+    ) {
+        let mut script = Script::new();
+        let vars = vec![
+            script.declare("a", Sort::BitVec(WIDTH)).unwrap(),
+            script.declare("b", Sort::BitVec(WIDTH)).unwrap(),
+        ];
+        let tl = emit(&lhs, &mut script, &vars);
+        let tr = emit(&rhs, &mut script, &vars);
+        let atom = script.store_mut().eq(tl, tr).unwrap();
+        script.assert(atom);
+        let slot = Slot::standard();
+        let _ = slot.optimize(&mut script);
+        let first = script.to_string();
+        let report = slot.optimize(&mut script);
+        prop_assert_eq!(report.rewrites, 0, "second run found rewrites in {}", first);
+        prop_assert_eq!(script.to_string(), first);
+    }
+}
