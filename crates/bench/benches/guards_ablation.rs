@@ -16,7 +16,9 @@ fn transformed(target: i64) -> (Script, usize) {
         width_choice: WidthChoice::Inferred,
         ..Default::default()
     });
-    let t = staub.transform(&sum_of_cubes(target)).expect("transformable");
+    let t = staub
+        .transform(&sum_of_cubes(target))
+        .expect("transformable");
     (t.script, t.guard_count)
 }
 
@@ -38,10 +40,10 @@ fn bench_guards(c: &mut Criterion) {
         let (guarded, guard_count) = transformed(target);
         let unguarded = strip_guards(&guarded, guard_count);
         group.bench_with_input(BenchmarkId::new("guarded", target), &guarded, |b, s| {
-            b.iter(|| solver.solve(s))
+            b.iter(|| solver.solve(s));
         });
         group.bench_with_input(BenchmarkId::new("unguarded", target), &unguarded, |b, s| {
-            b.iter(|| solver.solve(s))
+            b.iter(|| solver.solve(s));
         });
     }
     group.finish();

@@ -61,14 +61,18 @@ fn bench_motivating(c: &mut Criterion) {
         let bounded = staub().transform(&original).expect("transformable").script;
         let imposed = with_imposed_bounds(target);
         group.bench_with_input(BenchmarkId::new("unbounded", target), &original, |b, s| {
-            b.iter(|| solver().solve(s))
+            b.iter(|| solver().solve(s));
         });
         group.bench_with_input(BenchmarkId::new("arbitraged", target), &bounded, |b, s| {
-            b.iter(|| solver().solve(s))
+            b.iter(|| solver().solve(s));
         });
-        group.bench_with_input(BenchmarkId::new("bounds-imposed", target), &imposed, |b, s| {
-            b.iter(|| solver().solve(s))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("bounds-imposed", target),
+            &imposed,
+            |b, s| {
+                b.iter(|| solver().solve(s));
+            },
+        );
     }
     group.finish();
 }

@@ -38,15 +38,17 @@ fn bench_slot(c: &mut Criterion) {
                 let mut script = s.clone();
                 Slot::standard().optimize(&mut script);
             }
-        })
+        });
     });
     group.bench_function("optimize/const-fold-only", |b| {
         b.iter(|| {
             for s in &samples {
                 let mut script = s.clone();
-                Slot::new().with_pass(passes::ConstFold).optimize(&mut script);
+                Slot::new()
+                    .with_pass(passes::ConstFold)
+                    .optimize(&mut script);
             }
-        })
+        });
     });
 
     // Solve time before vs after optimization.
@@ -54,10 +56,10 @@ fn bench_slot(c: &mut Criterion) {
         let mut optimized = s.clone();
         Slot::standard().optimize(&mut optimized);
         group.bench_with_input(BenchmarkId::new("solve/raw", i), s, |b, s| {
-            b.iter(|| solver.solve(s))
+            b.iter(|| solver.solve(s));
         });
         group.bench_with_input(BenchmarkId::new("solve/slotted", i), &optimized, |b, s| {
-            b.iter(|| solver.solve(s))
+            b.iter(|| solver.solve(s));
         });
     }
     group.finish();

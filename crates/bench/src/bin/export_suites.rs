@@ -14,7 +14,10 @@ use staub_benchgen::SuiteKind;
 use staub_core::{Staub, StaubConfig, WidthChoice};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let out_dir: PathBuf = std::env::args().nth(1).unwrap_or_else(|| "suites".to_string()).into();
+    let out_dir: PathBuf = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "suites".to_string())
+        .into();
     let config = EvalConfig::from_env();
     let staub = Staub::new(StaubConfig {
         width_choice: WidthChoice::Inferred,
@@ -47,6 +50,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             total += 1;
         }
     }
-    println!("exported {total} constraints (+ bounded translations) to {}", out_dir.display());
+    println!(
+        "exported {total} constraints (+ bounded translations) to {}",
+        out_dir.display()
+    );
     Ok(())
 }

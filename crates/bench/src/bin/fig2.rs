@@ -26,7 +26,10 @@ fn main() {
         let suite = staub_bench::suite(kind, &config);
         let solver = config.solver(SolverProfile::Zed);
         // Baseline verdicts on the originals.
-        let baseline: Vec<_> = suite.iter().map(|b| solver.solve(&b.script).result).collect();
+        let baseline: Vec<_> = suite
+            .iter()
+            .map(|b| solver.solve(&b.script).result)
+            .collect();
         let mut mean_times = Vec::new();
         let mut mismatch_pct = Vec::new();
         for &w in &widths {

@@ -37,15 +37,32 @@ fn main() {
     }
 
     let verified = all_reports.iter().filter(|r| r.verified).count();
-    let tractability = all_reports.iter().filter(|r| r.tractability_improvement()).count();
+    let tractability = all_reports
+        .iter()
+        .filter(|r| r.tractability_improvement())
+        .count();
     let verified_speedup = geometric_mean(
-        &all_reports.iter().filter(|r| r.verified).map(|r| r.speedup()).collect::<Vec<f64>>(),
+        &all_reports
+            .iter()
+            .filter(|r| r.verified)
+            .map(staub_core::PortfolioReport::speedup)
+            .collect::<Vec<f64>>(),
     );
-    let overall_speedup =
-        geometric_mean(&all_reports.iter().map(|r| r.speedup()).collect::<Vec<f64>>());
-    let unsat = all_reports.iter().filter(|r| r.baseline_result.is_unsat()).count();
+    let overall_speedup = geometric_mean(
+        &all_reports
+            .iter()
+            .map(staub_core::PortfolioReport::speedup)
+            .collect::<Vec<f64>>(),
+    );
+    let unsat = all_reports
+        .iter()
+        .filter(|r| r.baseline_result.is_unsat())
+        .count();
     let total_time: Duration = all_reports.iter().map(|r| r.t_pre).sum();
-    let final_time: Duration = all_reports.iter().map(|r| r.t_final()).sum();
+    let final_time: Duration = all_reports
+        .iter()
+        .map(staub_core::PortfolioReport::t_final)
+        .sum();
 
     println!("Fig. 8: STAUB applied to the termination-proving client analysis\n");
     println!("  Benchmarks (programs)            {}", 97);

@@ -42,14 +42,15 @@ fn main() {
         }
         for by_choice in &per {
             for ms in by_choice {
-                let n = ms.iter().filter(|m| m.report.tractability_improvement()).count();
+                let n = ms
+                    .iter()
+                    .filter(|m| m.report.tractability_improvement())
+                    .count();
                 row.push(n.to_string());
             }
         }
         // Intersection: unknown under both baselines, improved by either.
-        for ci in 0..choices.len() {
-            let zed = &per[0][ci];
-            let cove = &per[1][ci];
+        for (zed, cove) in per[0].iter().zip(&per[1]) {
             let zed_unknown: HashSet<&str> = zed
                 .iter()
                 .filter(|m| m.report.baseline_result.is_unknown())
@@ -75,6 +76,9 @@ fn main() {
     }
 
     println!("Table 2: tractability improvements (baseline unknown, arbitrage");
-    println!("produced a verified answer) at timeout {:?}\n", config.timeout);
+    println!(
+        "produced a verified answer) at timeout {:?}\n",
+        config.timeout
+    );
     print!("{}", render_table(&header_refs, &rows));
 }

@@ -13,8 +13,8 @@ use staub_core::WidthChoice;
 fn main() {
     let config = EvalConfig::from_env();
     let header = [
-        "Logic", "Solver", "T_pre", "Count", "8b Ver", "8b VSpd", "8b Ovr", "16b Ver",
-        "16b VSpd", "16b Ovr", "ST Ver", "ST VSpd", "ST Ovr", "SLOT Ovr",
+        "Logic", "Solver", "T_pre", "Count", "8b Ver", "8b VSpd", "8b Ovr", "16b Ver", "16b VSpd",
+        "16b Ovr", "ST Ver", "ST VSpd", "ST Ovr", "SLOT Ovr",
     ];
     let mut rows: Vec<Vec<String>> = Vec::new();
 
@@ -62,7 +62,10 @@ fn main() {
     }
 
     println!("Table 3: geometric-mean speedups (Ver = verified cases,");
-    println!("VSpd = verified-case speedup, Ovr = overall speedup) at timeout {:?}\n", config.timeout);
+    println!(
+        "VSpd = verified-case speedup, Ovr = overall speedup) at timeout {:?}\n",
+        config.timeout
+    );
     print!("{}", render_table(&header, &rows));
     println!();
     println!("Column groups: fixed 8-bit | fixed 16-bit | STAUB inferred widths |");

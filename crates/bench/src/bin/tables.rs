@@ -3,12 +3,37 @@
 
 fn main() {
     println!("Table 1: Summary of theoretical results for unbounded SMT theories\n");
-    let header = ["Logic", "Decidable?", "Theoretically Bounded?", "Practically Bounded?"];
+    let header = [
+        "Logic",
+        "Decidable?",
+        "Theoretically Bounded?",
+        "Practically Bounded?",
+    ];
     let rows = vec![
-        vec!["Linear Integer Arithmetic".to_string(), "Yes".into(), "Yes".into(), "No".into()],
-        vec!["Nonlinear Integer Arithmetic".to_string(), "No".into(), "No".into(), "No".into()],
-        vec!["Linear Real Arithmetic".to_string(), "Yes".into(), "No".into(), "No".into()],
-        vec!["Nonlinear Real Arithmetic".to_string(), "Yes".into(), "No".into(), "No".into()],
+        vec![
+            "Linear Integer Arithmetic".to_string(),
+            "Yes".into(),
+            "Yes".into(),
+            "No".into(),
+        ],
+        vec![
+            "Nonlinear Integer Arithmetic".to_string(),
+            "No".into(),
+            "No".into(),
+            "No".into(),
+        ],
+        vec![
+            "Linear Real Arithmetic".to_string(),
+            "Yes".into(),
+            "No".into(),
+            "No".into(),
+        ],
+        vec![
+            "Nonlinear Real Arithmetic".to_string(),
+            "Yes".into(),
+            "No".into(),
+            "No".into(),
+        ],
     ];
     print!("{}", staub_bench::render_table(&header, &rows));
     println!();

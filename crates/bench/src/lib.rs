@@ -90,7 +90,9 @@ impl EvalConfig {
 
     /// A baseline solver for a profile.
     pub fn solver(&self, profile: SolverProfile) -> Solver {
-        Solver::new(profile).with_timeout(self.timeout).with_steps(self.steps)
+        Solver::new(profile)
+            .with_timeout(self.timeout)
+            .with_steps(self.steps)
     }
 }
 
@@ -156,7 +158,13 @@ pub fn measure_with_slot(
                 SatResult::Sat(m) => lift_and_verify(script, &tf, m).is_some(),
                 _ => false,
             };
-            (t_trans, t_post, t2.elapsed(), verified, Some(outcome.result))
+            (
+                t_trans,
+                t_post,
+                t2.elapsed(),
+                verified,
+                Some(outcome.result),
+            )
         }
         Err(_) => (t0.elapsed(), Duration::ZERO, Duration::ZERO, false, None),
     };
@@ -202,8 +210,12 @@ pub fn geometric_mean(ratios: &[f64]) -> f64 {
 /// The paper's `T_pre` interval buckets, expressed as fractions of the
 /// timeout (the paper uses [0, 300], [1, 300], [60, 300], [180, 300] s at a
 /// 300 s timeout).
-pub const TPRE_BUCKETS: [(&str, f64); 4] =
-    [("0-T", 0.0), ("T/300-T", 1.0 / 300.0), ("T/5-T", 0.2), ("3T/5-T", 0.6)];
+pub const TPRE_BUCKETS: [(&str, f64); 4] = [
+    ("0-T", 0.0),
+    ("T/300-T", 1.0 / 300.0),
+    ("T/5-T", 0.2),
+    ("3T/5-T", 0.6),
+];
 
 /// Aggregated row: verified cases, verified speedup, overall speedup.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -242,7 +254,10 @@ pub fn aggregate(
 
 /// Counts tractability improvements in a set of reports.
 pub fn tractability_improvements(reports: &[portfolio::PortfolioReport]) -> usize {
-    reports.iter().filter(|r| r.tractability_improvement()).count()
+    reports
+        .iter()
+        .filter(|r| r.tractability_improvement())
+        .count()
 }
 
 // ---------------------------------------------------------------------------
@@ -266,7 +281,10 @@ pub fn render_table(header: &[&str], rows: &[Vec<String>]) -> String {
             .collect::<Vec<String>>()
             .join("  ")
     };
-    let header_cells: Vec<String> = header.iter().map(|h| h.to_string()).collect();
+    let header_cells: Vec<String> = header
+        .iter()
+        .map(std::string::ToString::to_string)
+        .collect();
     out.push_str(&fmt_row(&header_cells, &widths));
     out.push('\n');
     out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * (widths.len() - 1)));
@@ -342,7 +360,12 @@ mod tests {
             counts: [6, 6, 4, 4],
             seed: 2,
         };
-        let ms = run_suite(SuiteKind::QfNia, SolverProfile::Zed, WidthChoice::Inferred, &config);
+        let ms = run_suite(
+            SuiteKind::QfNia,
+            SolverProfile::Zed,
+            WidthChoice::Inferred,
+            &config,
+        );
         let reports: Vec<_> = ms.iter().map(|m| m.report.clone()).collect();
         let all = aggregate(&reports, config.timeout, 0.0);
         let hard = aggregate(&reports, config.timeout, 0.6);

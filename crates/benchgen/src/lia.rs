@@ -25,7 +25,11 @@ fn planted_system(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfLia);
     let syms: Vec<_> = (0..n_vars)
-        .map(|i| script.declare(&format!("v{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("v{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     for _ in 0..n_rows {
         let coeffs: Vec<i64> = (0..n_vars).map(|_| rng.gen_range(-5i64..=5)).collect();
@@ -86,7 +90,11 @@ fn scheduling(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfLia);
     let syms: Vec<_> = (0..jobs)
-        .map(|i| script.declare(&format!("s{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("s{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     let s = script.store_mut();
     let zero = s.int(BigInt::zero());
@@ -170,7 +178,11 @@ fn knapsack(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfLia);
     let syms: Vec<_> = (0..items)
-        .map(|i| script.declare(&format!("x{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("x{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     let s = script.store_mut();
     let zero = s.int(BigInt::zero());
@@ -273,9 +285,11 @@ mod tests {
                 for (j, &sym) in syms.iter().enumerate() {
                     m.insert(sym, Value::Int(BigInt::from((mask >> j & 1) as i64)));
                 }
-                if script.assertions().iter().all(|&a| {
-                    evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
-                }) {
+                if script
+                    .assertions()
+                    .iter()
+                    .all(|&a| evaluate(script.store(), a, &m) == Ok(Value::Bool(true)))
+                {
                     any = true;
                     break;
                 }

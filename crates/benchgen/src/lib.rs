@@ -61,7 +61,12 @@ impl SuiteKind {
 
     /// All four suites, in the paper's table order.
     pub fn all() -> [SuiteKind; 4] {
-        [SuiteKind::QfNia, SuiteKind::QfLia, SuiteKind::QfNra, SuiteKind::QfLra]
+        [
+            SuiteKind::QfNia,
+            SuiteKind::QfLia,
+            SuiteKind::QfNra,
+            SuiteKind::QfLra,
+        ]
     }
 }
 
@@ -104,10 +109,10 @@ pub fn generate(kind: SuiteKind, count: usize, seed: u64) -> Vec<Benchmark> {
 
 fn kind_tag(kind: SuiteKind) -> u64 {
     match kind {
-        SuiteKind::QfNia => 0x4e49_41,
-        SuiteKind::QfLia => 0x4c49_41,
-        SuiteKind::QfNra => 0x4e52_41,
-        SuiteKind::QfLra => 0x4c52_41,
+        SuiteKind::QfNia => 0x4e_49_41,
+        SuiteKind::QfLia => 0x4c_49_41,
+        SuiteKind::QfNra => 0x4e_52_41,
+        SuiteKind::QfLra => 0x4c_52_41,
     }
 }
 
@@ -155,7 +160,9 @@ mod tests {
             }
             let c = generate(kind, 12, 100);
             assert!(
-                a.iter().zip(&c).any(|(x, y)| x.script.to_string() != y.script.to_string()),
+                a.iter()
+                    .zip(&c)
+                    .any(|(x, y)| x.script.to_string() != y.script.to_string()),
                 "different seeds give different suites for {kind}"
             );
         }
@@ -238,12 +245,10 @@ mod tests {
         let suite = generate(SuiteKind::QfNia, 20, 13);
         for b in suite {
             let empty = Model::new();
-            let trivially_true = b.script.assertions().iter().all(|&a| {
-                matches!(
-                    evaluate(b.script.store(), a, &empty),
-                    Ok(Value::Bool(true))
-                )
-            });
+            let trivially_true =
+                b.script.assertions().iter().all(|&a| {
+                    matches!(evaluate(b.script.store(), a, &empty), Ok(Value::Bool(true)))
+                });
             assert!(!trivially_true, "{} is vacuous", b.name);
         }
     }

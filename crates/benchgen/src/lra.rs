@@ -26,7 +26,11 @@ fn planted_inequalities(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfLra);
     let syms: Vec<_> = (0..n_vars)
-        .map(|i| script.declare(&format!("r{i}"), Sort::Real).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("r{i}"), Sort::Real)
+                .expect("fresh symbol")
+        })
         .collect();
     for _ in 0..n_rows {
         let coeffs: Vec<i64> = (0..n_vars).map(|_| rng.gen_range(-4i64..=4)).collect();
@@ -48,7 +52,11 @@ fn planted_inequalities(rng: &mut impl Rng, index: usize) -> Benchmark {
             let c_t = s.real(BigRational::from(c));
             terms.push(s.mul(&[c_t, v]).expect("mul"));
         }
-        let lhs = if terms.len() == 1 { terms[0] } else { s.add(&terms).expect("add") };
+        let lhs = if terms.len() == 1 {
+            terms[0]
+        } else {
+            s.add(&terms).expect("add")
+        };
         let rhs_t = s.real(rhs);
         let le = s.le(lhs, rhs_t).expect("le");
         script.assert(le);
@@ -84,7 +92,11 @@ fn difference_cycle(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfLra);
     let syms: Vec<_> = (0..n)
-        .map(|i| script.declare(&format!("t{i}"), Sort::Real).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("t{i}"), Sort::Real)
+                .expect("fresh symbol")
+        })
         .collect();
     let s = script.store_mut();
     let mut constraints = Vec::new();
@@ -159,7 +171,7 @@ mod tests {
             // Bellman-Ford fact: feasible iff no negative cycle, and the
             // single cycle has weight Σ c_i.
             assert!(b.expected.is_some());
-            assert_eq!(b.script.assertions().len() >= 3, true, "{}", b.name);
+            assert!(b.script.assertions().len() >= 3, "{}", b.name);
         }
     }
 
@@ -190,9 +202,11 @@ mod tests {
                     x,
                     Value::Real(BigRational::new(BigInt::from(num), BigInt::from(8192))),
                 );
-                if script.assertions().iter().all(|&a| {
-                    evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
-                }) {
+                if script
+                    .assertions()
+                    .iter()
+                    .all(|&a| evaluate(script.store(), a, &m) == Ok(Value::Bool(true)))
+                {
                     found = true;
                     break;
                 }

@@ -55,7 +55,11 @@ fn quad_system(rng: &mut impl Rng, index: usize) -> Benchmark {
     let mut script = Script::new();
     script.set_logic(Logic::QfNia);
     let syms: Vec<_> = (0..n_vars)
-        .map(|i| script.declare(&format!("q{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("q{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     for _ in 0..n_rows {
         // row: x_i * x_j - x_k * x_l + x_m, compared against its planted
@@ -197,18 +201,12 @@ fn pythagorean(rng: &mut impl Rng, index: usize) -> Benchmark {
         .collect();
     let s = script.store_mut();
     let vars: Vec<TermId> = syms.iter().map(|&sym| s.var(sym)).collect();
-    let squares: Vec<TermId> = vars
-        .iter()
-        .map(|&v| s.mul(&[v, v]).expect("mul"))
-        .collect();
+    let squares: Vec<TermId> = vars.iter().map(|&v| s.mul(&[v, v]).expect("mul")).collect();
     let lhs = s.add(&[squares[0], squares[1]]).expect("add");
     let eq = s.eq(lhs, squares[2]).expect("eq");
     let one = s.int(BigInt::one());
     let bound_t = s.int(BigInt::from(bound));
-    let positivity: Vec<TermId> = vars
-        .iter()
-        .map(|&v| s.ge(v, one).expect("ge"))
-        .collect();
+    let positivity: Vec<TermId> = vars.iter().map(|&v| s.ge(v, one).expect("ge")).collect();
     let bounded: Vec<TermId> = vars
         .iter()
         .map(|&v| s.le(v, bound_t).expect("le"))
@@ -295,7 +293,10 @@ mod tests {
         assert_eq!(fams[0], fams[6]);
         assert_eq!(fams[1], fams[7]);
         assert_eq!(
-            fams[..6].iter().collect::<std::collections::HashSet<_>>().len(),
+            fams[..6]
+                .iter()
+                .collect::<std::collections::HashSet<_>>()
+                .len(),
             5,
             "five distinct families (quadsys appears twice per cycle)"
         );
@@ -318,9 +319,11 @@ mod tests {
                     let mut m = Model::new();
                     m.insert(x, Value::Int(BigInt::from(xv)));
                     m.insert(y, Value::Int(BigInt::from(yv)));
-                    if script.assertions().iter().all(|&a| {
-                        evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
-                    }) {
+                    if script
+                        .assertions()
+                        .iter()
+                        .all(|&a| evaluate(script.store(), a, &m) == Ok(Value::Bool(true)))
+                    {
                         found = true;
                     }
                 }

@@ -158,11 +158,19 @@ mod tests {
             for xi in -20..=20i64 {
                 for yi in -20..=20i64 {
                     let mut m = Model::new();
-                    m.insert(x, Value::Real(BigRational::new(BigInt::from(xi), BigInt::from(4))));
-                    m.insert(y, Value::Real(BigRational::new(BigInt::from(yi), BigInt::from(4))));
-                    if script.assertions().iter().all(|&a| {
-                        evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
-                    }) {
+                    m.insert(
+                        x,
+                        Value::Real(BigRational::new(BigInt::from(xi), BigInt::from(4))),
+                    );
+                    m.insert(
+                        y,
+                        Value::Real(BigRational::new(BigInt::from(yi), BigInt::from(4))),
+                    );
+                    if script
+                        .assertions()
+                        .iter()
+                        .all(|&a| evaluate(script.store(), a, &m) == Ok(Value::Bool(true)))
+                    {
                         found = true;
                         break;
                     }
@@ -199,11 +207,19 @@ mod tests {
             'outer: for xi in -12..=12i64 {
                 for yi in -144..=144i64 {
                     let mut m = Model::new();
-                    m.insert(x, Value::Real(BigRational::new(BigInt::from(xi), BigInt::from(2))));
-                    m.insert(y, Value::Real(BigRational::new(BigInt::from(yi), BigInt::from(16))));
-                    if script.assertions().iter().all(|&a| {
-                        evaluate(script.store(), a, &m) == Ok(Value::Bool(true))
-                    }) {
+                    m.insert(
+                        x,
+                        Value::Real(BigRational::new(BigInt::from(xi), BigInt::from(2))),
+                    );
+                    m.insert(
+                        y,
+                        Value::Real(BigRational::new(BigInt::from(yi), BigInt::from(16))),
+                    );
+                    if script
+                        .assertions()
+                        .iter()
+                        .all(|&a| evaluate(script.store(), a, &m) == Ok(Value::Bool(true)))
+                    {
                         found = true;
                         break 'outer;
                     }

@@ -90,7 +90,10 @@ pub fn infer(script: &Script) -> InferredBounds {
 pub fn infer_terms(store: &TermStore, roots: &[TermId]) -> InferredBounds {
     // Pass 1: the variable assumption from the largest constant.
     let mut max_const: Width = 0;
-    let mut max_real = MagPrec { magnitude: 0, precision: Some(0) };
+    let mut max_real = MagPrec {
+        magnitude: 0,
+        precision: Some(0),
+    };
     let mut seen = vec![false; store.len()];
     let mut stack: Vec<TermId> = roots.to_vec();
     let mut visited = 0usize;
@@ -133,12 +136,7 @@ pub fn infer_terms(store: &TermStore, roots: &[TermId]) -> InferredBounds {
     let mut root_width: Width = assumption_width;
     let mut root_real = assumption_real;
     for &root in roots {
-        root_width = root_width.max(eval_int(
-            store,
-            root,
-            assumption_width,
-            &mut int_memo,
-        ));
+        root_width = root_width.max(eval_int(store, root, assumption_width, &mut int_memo));
         root_real = root_real.join(eval_real(store, root, assumption_real, &mut real_memo));
     }
     InferredBounds {
@@ -153,7 +151,10 @@ pub fn infer_terms(store: &TermStore, roots: &[TermId]) -> InferredBounds {
 fn real_const_abs(c: &BigRational) -> MagPrec {
     let magnitude = (c.abs().ceil().bit_len() as Width + 1).max(2);
     let precision = c.dig().map(|d| d as Width);
-    MagPrec { magnitude, precision }
+    MagPrec {
+        magnitude,
+        precision,
+    }
 }
 
 /// Abstract semantics for the integer domain (Fig. 5a). Boolean-sorted
@@ -180,8 +181,17 @@ fn eval_int(store: &TermStore, id: TermId, x: Width, memo: &mut Vec<Option<Width
         },
         Op::True | Op::False | Op::BvConst(_) | Op::FpConst(_) | Op::RmConst(_) => 1,
         // Boolean structure and comparisons: propagate the max (Fig. 5a).
-        Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Eq | Op::Distinct
-        | Op::Le | Op::Lt | Op::Ge | Op::Gt => max_arg,
+        Op::Not
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Implies
+        | Op::Eq
+        | Op::Distinct
+        | Op::Le
+        | Op::Lt
+        | Op::Ge
+        | Op::Gt => max_arg,
         Op::Ite => arg_widths.iter().copied().max().unwrap_or(1),
         // A fold of n-1 binary additions can add ⌈log₂ n⌉ bits.
         Op::Add | Op::Sub => {
@@ -218,22 +228,43 @@ fn eval_real(
         arg_vals.push(eval_real(store, a, x, memo));
     }
     let join_all = |vals: &[MagPrec]| {
-        vals.iter()
-            .copied()
-            .fold(MagPrec { magnitude: 1, precision: Some(0) }, MagPrec::join)
+        vals.iter().copied().fold(
+            MagPrec {
+                magnitude: 1,
+                precision: Some(0),
+            },
+            MagPrec::join,
+        )
     };
     let v = match term.op() {
         Op::RealConst(c) => real_const_abs(c),
-        Op::IntConst(c) => MagPrec { magnitude: const_width(c), precision: Some(0) },
+        Op::IntConst(c) => MagPrec {
+            magnitude: const_width(c),
+            precision: Some(0),
+        },
         Op::Var(sym) => match store.symbol_sort(*sym) {
             Sort::Real => x,
-            _ => MagPrec { magnitude: 1, precision: Some(0) },
+            _ => MagPrec {
+                magnitude: 1,
+                precision: Some(0),
+            },
         },
-        Op::True | Op::False | Op::BvConst(_) | Op::FpConst(_) | Op::RmConst(_) => {
-            MagPrec { magnitude: 1, precision: Some(0) }
-        }
-        Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Eq | Op::Distinct
-        | Op::Le | Op::Lt | Op::Ge | Op::Gt | Op::Ite => join_all(&arg_vals),
+        Op::True | Op::False | Op::BvConst(_) | Op::FpConst(_) | Op::RmConst(_) => MagPrec {
+            magnitude: 1,
+            precision: Some(0),
+        },
+        Op::Not
+        | Op::And
+        | Op::Or
+        | Op::Xor
+        | Op::Implies
+        | Op::Eq
+        | Op::Distinct
+        | Op::Le
+        | Op::Lt
+        | Op::Ge
+        | Op::Gt
+        | Op::Ite => join_all(&arg_vals),
         Op::Add | Op::Sub => {
             let joined = join_all(&arg_vals);
             let extra = (usize::BITS - (args.len().max(2) - 1).leading_zeros()) as Width;
@@ -244,13 +275,19 @@ fn eval_real(
         }
         Op::Neg | Op::Abs => {
             let joined = join_all(&arg_vals);
-            MagPrec { magnitude: joined.magnitude.saturating_add(1), precision: joined.precision }
+            MagPrec {
+                magnitude: joined.magnitude.saturating_add(1),
+                precision: joined.precision,
+            }
         }
         Op::Mul | Op::RealDiv => {
             // Multiplication: (m₁+m₂, p₁+p₂); division uses the modified
             // finite-precision semantics of §4.2 — identical shape.
             arg_vals.iter().copied().fold(
-                MagPrec { magnitude: 0, precision: Some(0) },
+                MagPrec {
+                    magnitude: 0,
+                    precision: Some(0),
+                },
                 |acc, v| MagPrec {
                     magnitude: acc.magnitude.saturating_add(v.magnitude),
                     precision: match (acc.precision, v.precision) {
@@ -306,7 +343,10 @@ mod tests {
 
     #[test]
     fn constants_drive_assumption() {
-        assert_eq!(infer_src("(declare-fun v () Int)(assert (> v 0))").assumption_width, 3);
+        assert_eq!(
+            infer_src("(declare-fun v () Int)(assert (> v 0))").assumption_width,
+            3
+        );
         assert_eq!(
             infer_src("(declare-fun v () Int)(assert (> v 1000000))").assumption_width,
             22 // bit_len(1_000_000)=20, +1 sign, +1 assumption
@@ -333,9 +373,7 @@ mod tests {
 
     #[test]
     fn multiplication_adds_widths() {
-        let b = infer_src(
-            "(declare-fun a () Int)(assert (= (* a a) 49))",
-        );
+        let b = infer_src("(declare-fun a () Int)(assert (= (* a a) 49))");
         // x = bit_len(49)+2 = 8; a*a → 16.
         assert_eq!(b.assumption_width, 8);
         assert_eq!(b.root_width, 16);
@@ -365,7 +403,10 @@ mod tests {
         // 1/3 as a term is (/ 1.0 3.0): division semantics keep precision
         // finite per the §4.2 modification.
         let b = infer_src("(declare-fun r () Real)(assert (= r (/ 1.0 3.0)))");
-        assert!(b.root_real.precision.is_some(), "modified division stays finite");
+        assert!(
+            b.root_real.precision.is_some(),
+            "modified division stays finite"
+        );
     }
 
     #[test]
@@ -373,10 +414,7 @@ mod tests {
         let b = infer_src("(declare-fun r () Real)(assert (= (* r r) 2.25))");
         let a = b.assumption_real;
         assert_eq!(b.root_real.magnitude, a.magnitude * 2);
-        assert_eq!(
-            b.root_real.precision,
-            a.precision.map(|p| p * 2)
-        );
+        assert_eq!(b.root_real.precision, a.precision.map(|p| p * 2));
     }
 
     #[test]

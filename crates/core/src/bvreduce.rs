@@ -136,7 +136,11 @@ struct Reducer {
 
 impl Reducer {
     fn guard_not(&mut self, pred: Op, args: &[TermId]) {
-        let p = self.out.store_mut().app(pred, args).expect("guard is well-sorted");
+        let p = self
+            .out
+            .store_mut()
+            .app(pred, args)
+            .expect("guard is well-sorted");
         let not_p = self.out.store_mut().not(p).expect("guard negation");
         if !self.guards.contains(&not_p) {
             self.guards.push(not_p);
@@ -172,7 +176,9 @@ impl Reducer {
                 if !BitVecValue::fits_signed(&signed, self.width) {
                     return None;
                 }
-                self.out.store_mut().bv(BitVecValue::new(signed, self.width))
+                self.out
+                    .store_mut()
+                    .bv(BitVecValue::new(signed, self.width))
             }
             Op::Var(sym) => {
                 let new_sym = match self.var_map.get(sym) {
@@ -236,7 +242,11 @@ impl Reducer {
 
 /// Lifts a model of the reduced script back by sign extension and verifies
 /// it exactly against the original. Returns the verified wide model.
-pub fn lift_and_verify(original: &Script, reduced: &Reduced, narrow_model: &Model) -> Option<Model> {
+pub fn lift_and_verify(
+    original: &Script,
+    reduced: &Reduced,
+    narrow_model: &Model,
+) -> Option<Model> {
     let mut wide = Model::new();
     for &(orig, new) in &reduced.var_map {
         match narrow_model.get(new)? {
@@ -283,20 +293,17 @@ mod tests {
 
     #[test]
     fn infers_reduction_from_constants() {
-        let script = Script::parse(
-            "(declare-fun x () (_ BitVec 64))(assert (= (bvmul x x) (_ bv49 64)))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun x () (_ BitVec 64))(assert (= (bvmul x x) (_ bv49 64)))")
+                .unwrap();
         // 49 needs 7 signed bits; target 8.
         assert_eq!(infer_reduction(&script), Some(8));
     }
 
     #[test]
     fn already_narrow_is_none() {
-        let script = Script::parse(
-            "(declare-fun x () (_ BitVec 8))(assert (= x (_ bv49 8)))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= x (_ bv49 8)))").unwrap();
         assert_eq!(infer_reduction(&script), None);
     }
 
@@ -351,18 +358,15 @@ mod tests {
     fn unsat_narrow_never_trusted() {
         // Narrow unsat says nothing about the original: x = 100 at width 8
         // is sat, but at width 6 the constant does not even fit.
-        let script = Script::parse(
-            "(declare-fun x () (_ BitVec 8))(assert (= x (_ bv100 8)))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= x (_ bv100 8)))").unwrap();
         assert!(reduce(&script, 6).is_none());
         // And where constants fit but solutions do not, verification is the
         // firewall: x*x = 36 with x > 4 forces x = 6 or x = -6... both fit
         // width 5, so this verifies — demonstrating the happy path.
-        let script2 = Script::parse(
-            "(declare-fun x () (_ BitVec 16))(assert (= (bvmul x x) (_ bv36 16)))",
-        )
-        .unwrap();
+        let script2 =
+            Script::parse("(declare-fun x () (_ BitVec 16))(assert (= (bvmul x x) (_ bv36 16)))")
+                .unwrap();
         let r = reduce(&script2, infer_reduction(&script2).unwrap()).unwrap();
         if let SatResult::Sat(m) = solver().solve(&r.script).result {
             assert!(lift_and_verify(&script2, &r, &m).is_some());

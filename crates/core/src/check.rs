@@ -1,0 +1,154 @@
+//! Between-stage certification: runs `staub-lint`'s passes over pipeline
+//! stage outputs.
+//!
+//! The pipeline trusts nothing it can re-check cheaply: with checking
+//! enabled, every transformation is re-certified (resort, boundedness,
+//! correspondence) before solving, and every satisfying assignment is
+//! shape-checked before `verify` evaluates it. See [`CheckLevel`] for when
+//! the checks run and what a violation does.
+
+use staub_lint::{boundedness, correspondence, model_shape, resort, Correspondence, LintReport};
+use staub_smtlib::{Model, Script};
+
+use crate::transform::Transformed;
+
+/// When the certifying checker runs between pipeline stages.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CheckLevel {
+    /// Never run the checker.
+    Off,
+    /// Run in debug builds only; an error-severity finding panics (the
+    /// invariant violation is a bug, and debug builds should fail loudly).
+    #[default]
+    Debug,
+    /// Always run, release builds included; an error-severity finding
+    /// abandons the bounded path so the pipeline falls back to the original
+    /// constraint (sound, at the cost of the arbitrage speedup).
+    Always,
+}
+
+impl CheckLevel {
+    /// Returns `true` when checks should run in this build.
+    pub fn active(self) -> bool {
+        match self {
+            CheckLevel::Off => false,
+            CheckLevel::Debug => cfg!(debug_assertions),
+            CheckLevel::Always => true,
+        }
+    }
+}
+
+/// Certifies a completed transformation: re-sorts the bounded store, checks
+/// boundedness of the bounded script, and checks the correspondence against
+/// the original script.
+pub fn check_transformed(original: &Script, t: &Transformed) -> LintReport {
+    let mut report = resort(t.script.store());
+    report.merge(boundedness(&t.script));
+    report.merge(correspondence(&Correspondence {
+        original,
+        bounded: &t.script,
+        var_map: &t.var_map,
+        bv_width: t.bv_width,
+        fp_format: t.fp_format,
+        int_assumption_width: t.bv_width.map(|_| t.bounds.assumption_width),
+        real_assumption: t.fp_format.and_then(|_| {
+            t.bounds
+                .assumption_real
+                .precision
+                .map(|p| (t.bounds.assumption_real.magnitude, p))
+        }),
+    }));
+    report
+}
+
+/// Certifies a satisfying assignment against the script it claims to
+/// satisfy.
+pub fn check_model(script: &Script, model: &Model) -> LintReport {
+    model_shape(script, model)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pipeline::{Staub, StaubConfig, WidthChoice};
+    use staub_lint::LintCode;
+
+    fn transformed(src: &str) -> (Script, Transformed) {
+        let script = Script::parse(src).unwrap();
+        let t = Staub::default().transform(&script).unwrap();
+        (script, t)
+    }
+
+    #[test]
+    fn check_level_activation() {
+        assert!(!CheckLevel::Off.active());
+        assert!(CheckLevel::Always.active());
+        assert_eq!(CheckLevel::Debug.active(), cfg!(debug_assertions));
+    }
+
+    #[test]
+    fn integer_transform_certifies_clean() {
+        let (original, t) = transformed(
+            "(set-logic QF_NIA)(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ (* x y) (div x y)) 12))",
+        );
+        let report = check_transformed(&original, &t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn real_transform_certifies_clean() {
+        let (original, t) = transformed(
+            "(set-logic QF_NRA)(declare-fun a () Real)(declare-fun b () Real)
+             (assert (= (* a b) 6.25))(assert (> a 0.5))",
+        );
+        let report = check_transformed(&original, &t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn dropped_guard_is_caught() {
+        let (original, mut t) =
+            transformed("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))");
+        // Strip the transformer's guard assertions, keeping only formulas
+        // that are not overflow guards.
+        let kept: Vec<_> = t
+            .script
+            .assertions()
+            .iter()
+            .copied()
+            .filter(|&a| {
+                let store = t.script.store();
+                let term = store.term(a);
+                !matches!(term.op(), staub_smtlib::Op::Not)
+            })
+            .collect();
+        assert!(kept.len() < t.script.assertions().len(), "guards present");
+        t.script.set_assertions(kept);
+        let report = check_transformed(&original, &t);
+        assert!(report.has(LintCode::MissingGuard), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn removed_phi_entry_is_caught() {
+        let (original, mut t) =
+            transformed("(set-logic QF_NIA)(declare-fun x () Int)(assert (= (* x x) 49))");
+        t.var_map.clear();
+        let report = check_transformed(&original, &t);
+        assert!(report.has(LintCode::PhiIncomplete), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn checked_pipeline_still_answers() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 121))").unwrap();
+        let staub = Staub::new(StaubConfig {
+            check: CheckLevel::Always,
+            width_choice: WidthChoice::Inferred,
+            ..Default::default()
+        });
+        let outcome = staub.run(&script).unwrap();
+        assert!(matches!(outcome, crate::pipeline::StaubOutcome::Sat { .. }));
+    }
+}

@@ -74,7 +74,10 @@ pub fn select_fp_format(
         WidthChoice::Fixed(w) => {
             // A fixed "width" for reals is read as a significand budget
             // split evenly between magnitude and precision.
-            MagPrec { magnitude: (w / 2).max(1), precision: Some((w - w / 2).max(1)) }
+            MagPrec {
+                magnitude: (w / 2).max(1),
+                precision: Some((w - w / 2).max(1)),
+            }
         }
         WidthChoice::Inferred => {
             let root_ok = bounds.root_real.precision.is_some()
@@ -137,8 +140,14 @@ mod tests {
         InferredBounds {
             assumption_width: assumption,
             root_width: root,
-            assumption_real: MagPrec { magnitude: 8, precision: Some(4) },
-            root_real: MagPrec { magnitude: 12, precision: Some(6) },
+            assumption_real: MagPrec {
+                magnitude: 8,
+                precision: Some(4),
+            },
+            root_real: MagPrec {
+                magnitude: 12,
+                precision: Some(6),
+            },
             nodes_visited: 0,
         }
     }
@@ -177,24 +186,32 @@ mod tests {
 
     #[test]
     fn width_over_limit_rejected() {
-        let limits = SortLimits { max_bv_width: 10, ..Default::default() };
-        assert_eq!(select_bv_width(&bounds(12, 38), WidthChoice::Inferred, &limits), None);
+        let limits = SortLimits {
+            max_bv_width: 10,
+            ..Default::default()
+        };
+        assert_eq!(
+            select_bv_width(&bounds(12, 38), WidthChoice::Inferred, &limits),
+            None
+        );
     }
 
     #[test]
     fn fp_format_covers_inferred_bounds() {
         let b = bounds(0, 0);
-        let (eb, sb) =
-            select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let (eb, sb) = select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).unwrap();
         // root_real = (12, 6): sb >= 18, exponent reach >= 14.
         assert!(sb >= 18);
-        assert!((1u32 << (eb - 1)) - 1 >= 14);
+        assert!((1u32 << (eb - 1)) > 14);
     }
 
     #[test]
     fn fp_falls_back_when_root_too_precise() {
         let b = InferredBounds {
-            root_real: MagPrec { magnitude: 100, precision: Some(100) },
+            root_real: MagPrec {
+                magnitude: 100,
+                precision: Some(100),
+            },
             ..bounds(0, 0)
         };
         let (_, sb) = select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).unwrap();
@@ -204,7 +221,10 @@ mod tests {
     #[test]
     fn fp_infinite_precision_falls_back() {
         let b = InferredBounds {
-            root_real: MagPrec { magnitude: 4, precision: None },
+            root_real: MagPrec {
+                magnitude: 4,
+                precision: None,
+            },
             ..bounds(0, 0)
         };
         assert!(select_fp_format(&b, WidthChoice::Inferred, &SortLimits::default()).is_some());

@@ -22,7 +22,9 @@
 //! [`portfolio`] runs the baseline solver and the STAUB pipeline in a race,
 //! so no constraint is ever slowed down (§5.1). [`bvreduce`] implements the
 //! paper's §6.4 suggestion of applying the same scheme to *already-bounded*
-//! constraints (bitvector width reduction).
+//! constraints (bitvector width reduction). [`check`] re-certifies each
+//! stage's output with the `staub-lint` checker (see
+//! [`StaubConfig::check`]).
 //!
 //! # Quickstart
 //!
@@ -41,6 +43,7 @@
 
 pub mod absint;
 pub mod bvreduce;
+pub mod check;
 pub mod correspond;
 pub mod portfolio;
 pub mod transform;
@@ -48,6 +51,7 @@ pub mod verify;
 
 mod pipeline;
 
+pub use check::CheckLevel;
 pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
 pub use transform::{TransformError, Transformed};

@@ -9,6 +9,7 @@ use staub_smtlib::{Model, Script};
 use staub_solver::{Budget, SatResult, Solver, SolverProfile};
 
 use crate::absint;
+use crate::check::{self, CheckLevel};
 use crate::correspond::SortLimits;
 use crate::portfolio;
 use crate::transform::{transform, TransformError, Transformed};
@@ -71,6 +72,9 @@ pub struct StaubConfig {
     /// to this many extra rounds. `0` disables refinement (the paper's
     /// evaluated configuration).
     pub refinement_rounds: u32,
+    /// When to run the `staub-lint` certifying checker between pipeline
+    /// stages (see [`CheckLevel`]).
+    pub check: CheckLevel,
 }
 
 impl Default for StaubConfig {
@@ -82,6 +86,7 @@ impl Default for StaubConfig {
             timeout: Duration::from_secs(1),
             steps: 4_000_000,
             refinement_rounds: 0,
+            check: CheckLevel::default(),
         }
     }
 }
@@ -151,7 +156,29 @@ impl Staub {
     /// the configured limits.
     pub fn transform(&self, script: &Script) -> Result<Transformed, TransformError> {
         let bounds = absint::infer(script);
-        transform(script, &bounds, self.config.width_choice, &self.config.limits)
+        transform(
+            script,
+            &bounds,
+            self.config.width_choice,
+            &self.config.limits,
+        )
+    }
+
+    /// Adjudicates a lint report from a between-stage check. Returns `true`
+    /// when the bounded path may continue.
+    ///
+    /// # Panics
+    ///
+    /// Under [`CheckLevel::Debug`], panics on error-severity findings —
+    /// invariant violations are pipeline bugs and debug builds fail loudly.
+    fn certify(&self, stage: &str, report: staub_lint::LintReport) -> bool {
+        if report.is_clean() {
+            return true;
+        }
+        if self.config.check == CheckLevel::Debug {
+            panic!("staub-lint: `{stage}` output violates pipeline invariants:\n{report}");
+        }
+        false
     }
 
     /// Attempts the bounded path only: transform, solve, verify — with
@@ -167,13 +194,25 @@ impl Staub {
                 return None;
             }
             let bounds = absint::infer(script);
-            let transformed =
-                transform(script, &bounds, choice, &self.config.limits).ok()?;
+            let transformed = transform(script, &bounds, choice, &self.config.limits).ok()?;
+            if self.config.check.active()
+                && !self.certify("transform", check::check_transformed(script, &transformed))
+            {
+                return None;
+            }
             let solver = Solver::new(self.config.profile);
             let outcome = solver.solve_with_budget(&transformed.script, budget);
             match outcome.result {
                 SatResult::Sat(bounded_model) => {
-                    return lift_and_verify(script, &transformed, &bounded_model)
+                    if self.config.check.active()
+                        && !self.certify(
+                            "solve",
+                            check::check_model(&transformed.script, &bounded_model),
+                        )
+                    {
+                        return None;
+                    }
+                    return lift_and_verify(script, &transformed, &bounded_model);
                 }
                 // A bounded `unsat` cannot distinguish "really unsat" from
                 // "width too small" (§4.4 case 1): refine by doubling.
@@ -209,13 +248,19 @@ impl Staub {
         }
         let budget = Budget::new(self.config.timeout, self.config.steps);
         if let Some(model) = self.try_bounded(script, &budget) {
-            return Ok(StaubOutcome::Sat { model, via: Via::Bounded });
+            return Ok(StaubOutcome::Sat {
+                model,
+                via: Via::Bounded,
+            });
         }
         let solver = Solver::new(self.config.profile)
             .with_timeout(self.config.timeout)
             .with_steps(self.config.steps);
         Ok(match solver.solve(script).result {
-            SatResult::Sat(model) => StaubOutcome::Sat { model, via: Via::Original },
+            SatResult::Sat(model) => StaubOutcome::Sat {
+                model,
+                via: Via::Original,
+            },
             SatResult::Unsat => StaubOutcome::Unsat,
             SatResult::Unknown(_) => StaubOutcome::Unknown,
         })
@@ -265,10 +310,8 @@ mod tests {
 
     #[test]
     fn unsat_via_original() {
-        let outcome = run(
-            "(declare-fun x () Int)
-             (assert (>= x 0))(assert (<= x 3))(assert (= (* x x) 7))",
-        );
+        let outcome = run("(declare-fun x () Int)
+             (assert (>= x 0))(assert (<= x 3))(assert (= (* x x) 7))");
         assert!(matches!(outcome, StaubOutcome::Unsat));
     }
 
@@ -282,15 +325,15 @@ mod tests {
     #[test]
     fn empty_script_is_error() {
         let script = Script::parse("(declare-fun x () Int)").unwrap();
-        assert_eq!(Staub::default().run(&script).unwrap_err(), StaubError::EmptyScript);
+        assert_eq!(
+            Staub::default().run(&script).unwrap_err(),
+            StaubError::EmptyScript
+        );
     }
 
     #[test]
     fn fixed_width_configuration() {
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 49))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
         let staub = Staub::new(StaubConfig {
             width_choice: WidthChoice::Fixed(16),
             timeout: Duration::from_secs(5),
@@ -306,10 +349,7 @@ mod tests {
     fn insufficient_fixed_width_reverts() {
         // Width 4 cannot represent 49: transformation fails, original path
         // answers.
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 49))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
         let staub = Staub::new(StaubConfig {
             width_choice: WidthChoice::Fixed(4),
             timeout: Duration::from_secs(5),
@@ -325,10 +365,7 @@ mod tests {
     fn refinement_never_loses_answers() {
         // With refinement enabled, every answer the unrefined bounded path
         // finds must still be found (round 0 is the unrefined attempt).
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 256))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 256))").unwrap();
         let no_refine = Staub::new(StaubConfig {
             width_choice: WidthChoice::Fixed(10),
             refinement_rounds: 0,
@@ -341,8 +378,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        let base =
-            no_refine.try_bounded(&script, &Budget::new(Duration::from_secs(5), 4_000_000));
+        let base = no_refine.try_bounded(&script, &Budget::new(Duration::from_secs(5), 4_000_000));
         let refined =
             with_refine.try_bounded(&script, &Budget::new(Duration::from_secs(5), 4_000_000));
         if base.is_some() {
@@ -386,10 +422,7 @@ mod tests {
         // constraint is sat (x = 2^20 fits in 42 bits), but pick a narrow
         // fixed width where the *guarded* bounded constraint is unsat and
         // confirm the pipeline still answers sat via the original.
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 256))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 256))").unwrap();
         let staub = Staub::new(StaubConfig {
             // Width 6: 256 does not fit signed 6 bits → transform error →
             // fallback; and with width 10 the guards allow x=16. Use 6.

@@ -4,7 +4,7 @@
 //! and takes the first sound answer, so no constraint is ever slowed down.
 //! This module provides both:
 //!
-//! * [`race`] — a real two-thread race (crossbeam scoped threads), used by
+//! * [`race`] — a real two-thread race (scoped threads), used by
 //!   [`crate::Staub::race`];
 //! * [`measure`] — a *sequential* run of both paths that records every
 //!   timing component (`T_pre`, `T_trans`, `T_post`, `T_check`) and derives
@@ -14,9 +14,9 @@
 use std::time::{Duration, Instant};
 
 use staub_smtlib::Script;
-use staub_solver::{Budget, CancelFlag, SatResult, Solver};
 #[cfg(test)]
 use staub_solver::UnknownReason;
+use staub_solver::{Budget, CancelFlag, SatResult, Solver};
 
 use crate::pipeline::{Staub, StaubOutcome, Via};
 use crate::verify::lift_and_verify;
@@ -149,13 +149,12 @@ pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
     let config = staub.config();
     let cancel_staub = CancelFlag::new();
     let cancel_baseline = CancelFlag::new();
-    let result = crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         let staub_leg = {
             let cancel_staub = cancel_staub.clone();
             let cancel_baseline = cancel_baseline.clone();
-            scope.spawn(move |_| {
-                let budget =
-                    Budget::with_cancel(config.timeout, config.steps, cancel_staub);
+            scope.spawn(move || {
+                let budget = Budget::with_cancel(config.timeout, config.steps, cancel_staub);
                 let model = staub.try_bounded(script, &budget);
                 if model.is_some() {
                     // Verified answer in hand: stop the baseline.
@@ -167,10 +166,9 @@ pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
         let baseline_leg = {
             let cancel_staub = cancel_staub.clone();
             let cancel_baseline = cancel_baseline.clone();
-            scope.spawn(move |_| {
+            scope.spawn(move || {
                 let solver = Solver::new(config.profile);
-                let budget =
-                    Budget::with_cancel(config.timeout, config.steps, cancel_baseline);
+                let budget = Budget::with_cancel(config.timeout, config.steps, cancel_baseline);
                 let result = solver.solve_with_budget(script, &budget).result;
                 if !result.is_unknown() {
                     // Definite answer: stop the arbitrage leg.
@@ -183,19 +181,27 @@ pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
         let baseline = baseline_leg.join().expect("baseline leg does not panic");
         match (bounded, baseline) {
             (Some(model), SatResult::Unknown(_)) | (Some(model), SatResult::Sat(_)) => {
-                StaubOutcome::Sat { model, via: Via::Bounded }
+                StaubOutcome::Sat {
+                    model,
+                    via: Via::Bounded,
+                }
             }
-            (None, SatResult::Sat(model)) => StaubOutcome::Sat { model, via: Via::Original },
+            (None, SatResult::Sat(model)) => StaubOutcome::Sat {
+                model,
+                via: Via::Original,
+            },
             (Some(model), SatResult::Unsat) => {
                 // A verified model contradicts a baseline `unsat`; trust the
                 // exact verification (the model *does* satisfy the script).
-                StaubOutcome::Sat { model, via: Via::Bounded }
+                StaubOutcome::Sat {
+                    model,
+                    via: Via::Bounded,
+                }
             }
             (None, SatResult::Unsat) => StaubOutcome::Unsat,
             (None, SatResult::Unknown(_)) => StaubOutcome::Unknown,
         }
-    });
-    result.expect("portfolio threads join")
+    })
 }
 
 /// Convenience used in tests: classify a report against ground truth.
@@ -221,10 +227,7 @@ mod tests {
 
     #[test]
     fn measure_reports_all_timings() {
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 49))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
         let report = measure(&staub(), &script);
         assert!(report.verified, "square constraint verifies");
         assert!(report.t_trans > Duration::ZERO);
@@ -304,7 +307,10 @@ mod tests {
         };
         assert!(report.speedup() > 90.0);
         assert!(report.tractability_improvement());
-        let no_improvement = PortfolioReport { verified: false, ..report };
+        let no_improvement = PortfolioReport {
+            verified: false,
+            ..report
+        };
         assert!((no_improvement.speedup() - 1.0).abs() < 1e-9);
     }
 }

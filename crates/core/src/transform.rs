@@ -147,8 +147,7 @@ fn transform_int(
     choice: WidthChoice,
     limits: &SortLimits,
 ) -> Result<Transformed, TransformError> {
-    let width =
-        select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    let width = select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
     let mut tx = IntTx {
         src: script.store(),
         out: Script::new(),
@@ -185,7 +184,11 @@ fn transform_int(
 
 impl<'a> IntTx<'a> {
     fn guard_not(&mut self, pred: Op, args: &[TermId]) {
-        let p = self.out.store_mut().app(pred, args).expect("guard is well-sorted");
+        let p = self
+            .out
+            .store_mut()
+            .app(pred, args)
+            .expect("guard is well-sorted");
         let not_p = self.out.store_mut().not(p).expect("guard negation");
         self.guards.push(not_p);
     }
@@ -212,7 +215,13 @@ impl<'a> IntTx<'a> {
             Op::True => self.out.store_mut().bool(true),
             Op::False => self.out.store_mut().bool(false),
             // Core structure passes through.
-            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies | Op::Ite | Op::Eq
+            Op::Not
+            | Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Implies
+            | Op::Ite
+            | Op::Eq
             | Op::Distinct => self.app(term.op().clone(), &args)?,
             Op::Neg => {
                 self.guard_not(Op::BvNego, &args);
@@ -220,7 +229,10 @@ impl<'a> IntTx<'a> {
             }
             Op::Abs => {
                 self.guard_not(Op::BvNego, &args);
-                let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+                let zero = self
+                    .out
+                    .store_mut()
+                    .bv(staub_numeric::BitVecValue::zero(self.width));
                 let is_neg = self.app(Op::BvSlt, &[args[0], zero])?;
                 let negated = self.app(Op::BvNeg, &[args[0]])?;
                 self.app(Op::Ite, &[is_neg, negated, args[0]])?
@@ -250,7 +262,10 @@ impl<'a> IntTx<'a> {
             Sort::Bool => Sort::Bool,
             other => unreachable!("unexpected variable sort {other} in integer constraint"),
         };
-        let new_sym = self.out.declare(&name, sort).expect("fresh symbol in output script");
+        let new_sym = self
+            .out
+            .declare(&name, sort)
+            .expect("fresh symbol in output script");
         self.var_map.insert(sym, new_sym);
         Ok(new_sym)
     }
@@ -297,14 +312,22 @@ impl<'a> IntTx<'a> {
         self.div_guards(a, b);
         let q0 = self.app(Op::BvSdiv, &[a, b])?;
         let r0 = self.app(Op::BvSrem, &[a, b])?;
-        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let zero = self
+            .out
+            .store_mut()
+            .bv(staub_numeric::BitVecValue::zero(self.width));
         let one = self
             .out
             .store_mut()
             .bv(staub_numeric::BitVecValue::new(BigInt::one(), self.width));
         let r_neg = self.app(Op::BvSlt, &[r0, zero])?;
         let b_pos = self.app(Op::BvSgt, &[b, zero])?;
+        // The adjustment arithmetic gets its own overflow guards so *every*
+        // bvadd/bvsub in the output is guard-dominated (a slightly stronger
+        // — still sound — underapproximation; certified by staub-lint).
+        self.guard_not(Op::BvSsubo, &[q0, one]);
         let q_minus = self.app(Op::BvSub, &[q0, one])?;
+        self.guard_not(Op::BvSaddo, &[q0, one]);
         let q_plus = self.app(Op::BvAdd, &[q0, one])?;
         let adjusted = self.app(Op::Ite, &[b_pos, q_minus, q_plus])?;
         self.app(Op::Ite, &[r_neg, adjusted, q0])
@@ -315,11 +338,19 @@ impl<'a> IntTx<'a> {
         let (a, b) = (args[0], args[1]);
         self.div_guards(a, b);
         let r0 = self.app(Op::BvSrem, &[a, b])?;
-        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let zero = self
+            .out
+            .store_mut()
+            .bv(staub_numeric::BitVecValue::zero(self.width));
         let r_neg = self.app(Op::BvSlt, &[r0, zero])?;
         let b_neg = self.app(Op::BvSlt, &[b, zero])?;
+        // Guard the |b| negation and the remainder adjustment so every
+        // arithmetic node is guard-dominated (sound underapproximation;
+        // certified by staub-lint).
+        self.guard_not(Op::BvNego, &[b]);
         let negb = self.app(Op::BvNeg, &[b])?;
         let abs_b = self.app(Op::Ite, &[b_neg, negb, b])?;
+        self.guard_not(Op::BvSaddo, &[r0, abs_b]);
         let r_plus = self.app(Op::BvAdd, &[r0, abs_b])?;
         self.app(Op::Ite, &[r_neg, r_plus, r0])
     }
@@ -328,7 +359,10 @@ impl<'a> IntTx<'a> {
     /// division by zero is uninterpreted, so excluding it is a further
     /// underapproximation) and the division does not overflow.
     fn div_guards(&mut self, a: TermId, b: TermId) {
-        let zero = self.out.store_mut().bv(staub_numeric::BitVecValue::zero(self.width));
+        let zero = self
+            .out
+            .store_mut()
+            .bv(staub_numeric::BitVecValue::zero(self.width));
         let b_is_zero = self
             .out
             .store_mut()
@@ -360,8 +394,7 @@ fn transform_real(
     choice: WidthChoice,
     limits: &SortLimits,
 ) -> Result<Transformed, TransformError> {
-    let (eb, sb) =
-        select_fp_format(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    let (eb, sb) = select_fp_format(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
     let mut tx = RealTx {
         src: script.store(),
         out: Script::new(),
@@ -446,9 +479,10 @@ impl<'a> RealTx<'a> {
                 // Guard each divisor against (IEEE) zero: real division by
                 // zero is uninterpreted, fp.div by zero is ±∞.
                 for &d in &args[1..] {
-                    let zero = self.out.store_mut().fp(staub_numeric::SoftFloat::zero(
-                        self.eb, self.sb,
-                    ));
+                    let zero = self
+                        .out
+                        .store_mut()
+                        .fp(staub_numeric::SoftFloat::zero(self.eb, self.sb));
                     let is_zero = self.app(Op::FpEq, &[d, zero])?;
                     let not_zero = self.out.store_mut().not(is_zero).expect("negation");
                     self.guards.push(not_zero);
@@ -475,7 +509,10 @@ impl<'a> RealTx<'a> {
             Sort::Bool => Sort::Bool,
             other => unreachable!("unexpected variable sort {other} in real constraint"),
         };
-        let new_sym = self.out.declare(&name, sort).expect("fresh symbol in output script");
+        let new_sym = self
+            .out
+            .declare(&name, sort)
+            .expect("fresh symbol in output script");
         self.var_map.insert(sym, new_sym);
         Ok(new_sym)
     }
@@ -517,7 +554,12 @@ mod tests {
     fn tx(src: &str) -> Result<Transformed, TransformError> {
         let script = Script::parse(src).unwrap();
         let bounds = absint::infer(&script);
-        transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default())
+        transform(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+        )
     }
 
     #[test]
@@ -538,20 +580,15 @@ mod tests {
 
     #[test]
     fn figure4_uses_root_width() {
-        let t = tx(
-            "(declare-fun a () Int)(declare-fun b () Int)
-             (assert (>= a 15))(assert (< (- a b) 0))",
-        )
+        let t = tx("(declare-fun a () Int)(declare-fun b () Int)
+             (assert (>= a 15))(assert (< (- a b) 0))")
         .unwrap();
         assert_eq!(t.bv_width, Some(7), "small root widths are used directly");
     }
 
     #[test]
     fn translated_script_reparses() {
-        let t = tx(
-            "(declare-fun x () Int)(assert (= (* x x) 49))",
-        )
-        .unwrap();
+        let t = tx("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
         let printed = t.script.to_string();
         let reparsed = Script::parse(&printed).unwrap();
         assert_eq!(reparsed.assertions().len(), t.script.assertions().len());
@@ -561,7 +598,12 @@ mod tests {
     fn fixed_width_rejects_oversized_constants() {
         let script = Script::parse("(declare-fun x () Int)(assert (= x 855))").unwrap();
         let bounds = absint::infer(&script);
-        let r = transform(&script, &bounds, WidthChoice::Fixed(8), &SortLimits::default());
+        let r = transform(
+            &script,
+            &bounds,
+            WidthChoice::Fixed(8),
+            &SortLimits::default(),
+        );
         assert!(matches!(r, Err(TransformError::ConstantTooWide(_))));
     }
 
@@ -578,8 +620,8 @@ mod tests {
 
     #[test]
     fn real_division_guarded() {
-        let t = tx("(declare-fun r () Real)(declare-fun s () Real)(assert (= (/ r s) 2.0))")
-            .unwrap();
+        let t =
+            tx("(declare-fun r () Real)(declare-fun s () Real)(assert (= (/ r s) 2.0))").unwrap();
         assert_eq!(t.guard_count, 1);
         let printed = t.script.to_string();
         assert!(printed.contains("(not (fp.eq"), "{printed}");
@@ -587,23 +629,21 @@ mod tests {
 
     #[test]
     fn integer_div_mod_translate_euclideanly() {
-        let t = tx(
-            "(declare-fun a () Int)(assert (= (+ (* 2 (div a 2)) (mod a 2)) a))",
-        )
-        .unwrap();
+        let t = tx("(declare-fun a () Int)(assert (= (+ (* 2 (div a 2)) (mod a 2)) a))").unwrap();
         let printed = t.script.to_string();
         assert!(printed.contains("bvsdiv"), "{printed}");
         assert!(printed.contains("bvsrem"), "{printed}");
-        assert!(printed.contains("ite"), "euclidean adjustment present: {printed}");
+        assert!(
+            printed.contains("ite"),
+            "euclidean adjustment present: {printed}"
+        );
         assert!(t.guard_count >= 2, "nonzero-divisor and overflow guards");
     }
 
     #[test]
     fn mixed_sorts_rejected() {
-        let r = tx(
-            "(declare-fun x () Int)(declare-fun r () Real)
-             (assert (> x 0))(assert (> r 0.0))",
-        );
+        let r = tx("(declare-fun x () Int)(declare-fun r () Real)
+             (assert (> x 0))(assert (> r 0.0))");
         assert_eq!(r.unwrap_err(), TransformError::UnsupportedSorts);
     }
 
@@ -617,10 +657,8 @@ mod tests {
 
     #[test]
     fn bool_variables_pass_through() {
-        let t = tx(
-            "(declare-fun x () Int)(declare-fun p () Bool)
-             (assert (or p (= x 3)))",
-        )
+        let t = tx("(declare-fun x () Int)(declare-fun p () Bool)
+             (assert (or p (= x 3)))")
         .unwrap();
         let new_store = t.script.store();
         let p = new_store.symbol("p").unwrap();
@@ -629,10 +667,8 @@ mod tests {
 
     #[test]
     fn var_map_covers_all_numeric_vars() {
-        let t = tx(
-            "(declare-fun x () Int)(declare-fun y () Int)
-             (assert (= (+ x y) 10))",
-        )
+        let t = tx("(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ x y) 10))")
         .unwrap();
         assert_eq!(t.var_map.len(), 2);
     }

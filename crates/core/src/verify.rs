@@ -41,12 +41,10 @@ pub fn lift_model(transformed: &Transformed, bounded_model: &Model) -> Option<Mo
 /// model) count as failure — the model does not verifiably satisfy the
 /// constraint.
 pub fn verify_model(original: &Script, model: &Model) -> bool {
-    original.assertions().iter().all(|&a| {
-        matches!(
-            evaluate(original.store(), a, model),
-            Ok(Value::Bool(true))
-        )
-    })
+    original
+        .assertions()
+        .iter()
+        .all(|&a| matches!(evaluate(original.store(), a, model), Ok(Value::Bool(true))))
 }
 
 /// Convenience: lift and verify in one step, returning the verified model.
@@ -84,8 +82,13 @@ mod tests {
     fn pipeline(src: &str) -> (Script, Transformed, SatResult) {
         let script = Script::parse(src).unwrap();
         let bounds = absint::infer(&script);
-        let transformed =
-            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let transformed = transform(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+        )
+        .unwrap();
         let solver = Solver::new(SolverProfile::Zed)
             .with_timeout(std::time::Duration::from_secs(10))
             .with_steps(4_000_000);
@@ -134,15 +137,16 @@ mod tests {
             "(declare-fun a () Int)(declare-fun b () Int)
              (assert (>= a 15))(assert (< (- a b) 0))",
         );
-        let SatResult::Sat(m) = result else { panic!("sat expected") };
+        let SatResult::Sat(m) = result else {
+            panic!("sat expected")
+        };
         assert!(lift_and_verify(&script, &transformed, &m).is_some());
     }
 
     #[test]
     fn real_end_to_end_exact_case() {
-        let (script, transformed, result) = pipeline(
-            "(declare-fun r () Real)(assert (= (* r r) 2.25))",
-        );
+        let (script, transformed, result) =
+            pipeline("(declare-fun r () Real)(assert (= (* r r) 2.25))");
         if let SatResult::Sat(m) = result {
             // ±1.5 is dyadic: the lifted model verifies exactly.
             let lifted = lift_and_verify(&script, &transformed, &m);
@@ -153,28 +157,38 @@ mod tests {
 
     #[test]
     fn division_by_zero_models_fail_verification() {
-        let script = Script::parse(
-            "(declare-fun a () Int)(declare-fun b () Int)(assert (= (div a b) a))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun a () Int)(declare-fun b () Int)(assert (= (div a b) a))")
+                .unwrap();
         let a = script.store().symbol("a").unwrap();
         let b = script.store().symbol("b").unwrap();
         let mut model = Model::new();
         model.insert(a, Value::Int(staub_numeric::BigInt::zero()));
         model.insert(b, Value::Int(staub_numeric::BigInt::zero()));
-        assert!(!verify_model(&script, &model), "div-by-zero evaluates to error");
+        assert!(
+            !verify_model(&script, &model),
+            "div-by-zero evaluates to error"
+        );
     }
 
     #[test]
     fn lift_model_maps_values() {
         let script = Script::parse("(declare-fun x () Int)(assert (= x 5))").unwrap();
         let bounds = absint::infer(&script);
-        let transformed =
-            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let transformed = transform(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+        )
+        .unwrap();
         let new_x = transformed.script.store().symbol("x").unwrap();
         let mut bounded = Model::new();
         let w = transformed.bv_width.unwrap();
-        bounded.insert(new_x, Value::BitVec(staub_numeric::BitVecValue::from_i64(-3, w)));
+        bounded.insert(
+            new_x,
+            Value::BitVec(staub_numeric::BitVecValue::from_i64(-3, w)),
+        );
         let lifted = lift_model(&transformed, &bounded).unwrap();
         let orig_x = script.store().symbol("x").unwrap();
         assert_eq!(
@@ -187,8 +201,13 @@ mod tests {
     fn nan_model_cannot_lift() {
         let script = Script::parse("(declare-fun r () Real)(assert (= r r))").unwrap();
         let bounds = absint::infer(&script);
-        let transformed =
-            transform(&script, &bounds, WidthChoice::Inferred, &SortLimits::default()).unwrap();
+        let transformed = transform(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+        )
+        .unwrap();
         let new_r = transformed.script.store().symbol("r").unwrap();
         let (eb, sb) = transformed.fp_format.unwrap();
         let mut bounded = Model::new();

@@ -1,0 +1,216 @@
+//! Pass 2 (`L1xx`): certify that a transformed script is actually bounded
+//! and that its arithmetic is overflow-guarded.
+//!
+//! After ℳ runs, the output constraint must live entirely in bounded
+//! theories: no `Int`- or `Real`-sorted symbol or subterm may survive.
+//! Additionally, STAUB's soundness argument (paper §4.2) requires every
+//! bitvector arithmetic application to be *dominated* by a matching
+//! overflow-guard assertion — `(assert (not (bvsaddo a b)))` for
+//! `(bvadd a b)` and so on — so that any model of the bounded script maps
+//! back to exact arithmetic. This pass rebuilds the guard set from the
+//! asserted formulas and checks domination application by application,
+//! without trusting the transformer's own bookkeeping.
+
+use std::collections::HashSet;
+
+use staub_smtlib::{print_term, Command, Op, Script, TermId};
+
+use crate::report::{LintCode, LintReport};
+
+/// The overflow predicate that must guard a bitvector arithmetic operator,
+/// or `None` for operators that cannot overflow.
+fn guard_pred(op: &Op) -> Option<Op> {
+    Some(match op {
+        Op::BvAdd => Op::BvSaddo,
+        Op::BvSub => Op::BvSsubo,
+        Op::BvMul => Op::BvSmulo,
+        Op::BvSdiv => Op::BvSdivo,
+        Op::BvNeg => Op::BvNego,
+        _ => return None,
+    })
+}
+
+/// Checks a transformed script for surviving unbounded sorts, unguarded
+/// bitvector arithmetic, and over-wide bitvector constants.
+pub fn boundedness(script: &Script) -> LintReport {
+    let mut report = LintReport::new();
+    let store = script.store();
+
+    // Every declared symbol must have a bounded sort.
+    for cmd in script.commands() {
+        if let Command::Declare(sym) = cmd {
+            let sort = store.symbol_sort(*sym);
+            if sort.is_unbounded() {
+                report.error(
+                    LintCode::UnboundedSubterm,
+                    format!(
+                        "declared symbol `{}` has unbounded sort {sort}",
+                        store.symbol_name(*sym)
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+
+    // Rebuild the guard set: an asserted `(not (ovf-pred a ...))`, possibly
+    // under a top-level conjunction, licenses the matching application.
+    let mut guards: HashSet<(Op, Vec<TermId>)> = HashSet::new();
+    let mut stack: Vec<TermId> = script.assertions().to_vec();
+    while let Some(id) = stack.pop() {
+        let t = store.term(id);
+        match t.op() {
+            Op::And => stack.extend(t.args().iter().copied()),
+            Op::Not => {
+                let inner = store.term(t.args()[0]);
+                if matches!(
+                    inner.op(),
+                    Op::BvSaddo | Op::BvSsubo | Op::BvSmulo | Op::BvSdivo | Op::BvNego
+                ) {
+                    guards.insert((inner.op().clone(), inner.args().to_vec()));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    // Walk every subterm reachable from an assertion exactly once.
+    let mut seen = vec![false; store.len()];
+    let mut stack: Vec<TermId> = script.assertions().to_vec();
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        let t = store.term(id);
+        stack.extend(t.args().iter().copied());
+
+        if t.sort().is_unbounded() {
+            report.error(
+                LintCode::UnboundedSubterm,
+                format!("{}-sorted subterm survived the transformation", t.sort()),
+                Some(print_term(store, id)),
+            );
+        }
+        if let Some(pred) = guard_pred(t.op()) {
+            if !guards.contains(&(pred.clone(), t.args().to_vec())) {
+                report.error(
+                    LintCode::MissingGuard,
+                    format!(
+                        "`{}` application is not dominated by a `{}` guard assertion",
+                        t.op().smtlib_name(),
+                        pred.smtlib_name()
+                    ),
+                    Some(print_term(store, id)),
+                );
+            }
+        }
+        if let Op::BvConst(v) = t.op() {
+            let unsigned = v.to_unsigned();
+            if unsigned.is_negative() || unsigned.bit_len() > v.width() as usize {
+                report.error(
+                    LintCode::ConstantOverflow,
+                    format!(
+                        "bitvector constant value does not fit its declared width {}",
+                        v.width()
+                    ),
+                    Some(print_term(store, id)),
+                );
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_numeric::{BigInt, BitVecValue};
+    use staub_smtlib::{Logic, Sort};
+
+    /// `x + y = 5` over `(_ BitVec 8)` with (when `guarded`) the overflow
+    /// guard the transformer would emit.
+    fn bv_script(guarded: bool) -> Script {
+        let mut script = Script::new();
+        script.set_logic(Logic::QfBv);
+        let x = script.declare("x", Sort::BitVec(8)).unwrap();
+        let y = script.declare("y", Sort::BitVec(8)).unwrap();
+        let s = script.store_mut();
+        let xv = s.var(x);
+        let yv = s.var(y);
+        let ovf = s.app(Op::BvSaddo, &[xv, yv]).unwrap();
+        let guard = s.not(ovf).unwrap();
+        let sum = s.app(Op::BvAdd, &[xv, yv]).unwrap();
+        let five = s.bv(BitVecValue::new(BigInt::from(5), 8));
+        let eq = s.eq(sum, five).unwrap();
+        if guarded {
+            script.assert(guard);
+        }
+        script.assert(eq);
+        script.check_sat();
+        script
+    }
+
+    #[test]
+    fn guarded_script_is_clean() {
+        let report = boundedness(&bv_script(true));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn dropped_guard_fires_l102() {
+        let report = boundedness(&bv_script(false));
+        assert!(report.has(LintCode::MissingGuard), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn guard_under_conjunction_counts() {
+        let mut script = Script::new();
+        script.set_logic(Logic::QfBv);
+        let x = script.declare("x", Sort::BitVec(8)).unwrap();
+        let s = script.store_mut();
+        let xv = s.var(x);
+        let ovf = s.app(Op::BvNego, &[xv]).unwrap();
+        let guard = s.not(ovf).unwrap();
+        let neg = s.app(Op::BvNeg, &[xv]).unwrap();
+        let eq = s.eq(neg, xv).unwrap();
+        let conj = s.and(&[guard, eq]).unwrap();
+        script.assert(conj);
+        let report = boundedness(&script);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn surviving_int_fires_l101() {
+        let mut script = Script::new();
+        script.set_logic(Logic::QfBv);
+        let n = script.declare("n", Sort::Int).unwrap();
+        let s = script.store_mut();
+        let nv = s.var(n);
+        let zero = s.int_i64(0);
+        let cmp = s.ge(nv, zero).unwrap();
+        script.assert(cmp);
+        let report = boundedness(&script);
+        assert!(report.has(LintCode::UnboundedSubterm), "{report}");
+        // Declared symbol, variable occurrence, and the literal all count.
+        assert!(report.error_count() >= 2);
+    }
+
+    #[test]
+    fn over_wide_constant_fires_l103() {
+        let mut script = bv_script(true);
+        let five = {
+            let s = script.store_mut();
+            s.bv(BitVecValue::new(BigInt::from(5), 8))
+        };
+        // 300 needs 9 bits; smuggle it into the width-8 literal.
+        script.store_mut().corrupt_op_for_test(
+            five,
+            Op::BvConst(BitVecValue::corrupted_for_test(BigInt::from(300), 8)),
+        );
+        let report = boundedness(&script);
+        assert!(report.has(LintCode::ConstantOverflow), "{report}");
+    }
+}

@@ -1,0 +1,240 @@
+//! Pass 3 (`L2xx`): certify the sort correspondence between an original
+//! unbounded script and its bounded translation.
+//!
+//! Soundness of model back-translation (paper §4.1/§4.3) needs two things
+//! this pass re-checks from first principles:
+//!
+//! * **φ totality** — every symbol of the original script that the lifted
+//!   model could be asked about must have a φ⁻¹ entry in the variable map
+//!   (or, for already-bounded sorts, a same-sort twin in the bounded
+//!   script).
+//! * **Width monotonicity** — the selected bounded sort must be at least as
+//!   wide as what abstract interpretation inferred for the constraint's
+//!   constants; a narrower choice silently truncates φ.
+
+use staub_smtlib::{Script, Sort, SymbolId};
+
+use crate::report::{LintCode, LintReport};
+
+/// Everything the correspondence pass checks, as plain data so the pass
+/// stays independent of the pipeline's own bookkeeping types.
+#[derive(Debug, Clone, Copy)]
+pub struct Correspondence<'a> {
+    /// The untranslated input script.
+    pub original: &'a Script,
+    /// The bounded translation (its own term store).
+    pub bounded: &'a Script,
+    /// Original symbol → bounded symbol (φ⁻¹'s domain pairing).
+    pub var_map: &'a [(SymbolId, SymbolId)],
+    /// Selected bitvector width, for integer constraints.
+    pub bv_width: Option<u32>,
+    /// Selected floating-point format `(eb, sb)`, for real constraints.
+    pub fp_format: Option<(u32, u32)>,
+    /// The assumption width abstract interpretation inferred for integers
+    /// (one bit above the widest constant).
+    pub int_assumption_width: Option<u32>,
+    /// The `(magnitude, precision)` abstract interpretation inferred for
+    /// reals, when the precision is finite.
+    pub real_assumption: Option<(u32, u32)>,
+}
+
+/// Checks φ totality, per-entry sort pairing, and width monotonicity.
+pub fn correspondence(c: &Correspondence<'_>) -> LintReport {
+    let mut report = LintReport::new();
+    let ostore = c.original.store();
+    let bstore = c.bounded.store();
+
+    // Symbols actually occurring in the original assertions: missing φ⁻¹
+    // coverage for these is an error, for merely-declared symbols a warning.
+    let mut occurs = vec![false; ostore.symbol_count()];
+    for &a in c.original.assertions() {
+        for sym in ostore.vars_of(a) {
+            occurs[sym.index()] = true;
+        }
+    }
+
+    for sym in ostore.symbols() {
+        if c.var_map.iter().any(|&(o, _)| o == sym) {
+            continue;
+        }
+        let name = ostore.symbol_name(sym);
+        let sort = ostore.symbol_sort(sym);
+        if occurs[sym.index()] {
+            report.error(
+                LintCode::PhiIncomplete,
+                format!("symbol `{name}` ({sort}) occurs in the constraint but has no φ⁻¹ entry"),
+                None,
+            );
+        } else {
+            report.warning(
+                LintCode::PhiIncomplete,
+                format!("declared symbol `{name}` ({sort}) has no φ⁻¹ entry"),
+                None,
+            );
+        }
+    }
+
+    for &(o, b) in c.var_map {
+        let os = ostore.symbol_sort(o);
+        let bs = bstore.symbol_sort(b);
+        let corresponds = match os {
+            Sort::Int => matches!(bs, Sort::BitVec(w) if Some(w) == c.bv_width),
+            Sort::Real => matches!(bs, Sort::Float(eb, sb) if Some((eb, sb)) == c.fp_format),
+            // Bounded sorts must be carried over unchanged.
+            other => bs == other,
+        };
+        if !corresponds {
+            report.error(
+                LintCode::PhiSortMismatch,
+                format!(
+                    "`{}` ({os}) is mapped to `{}` ({bs}), which is not the selected bounded sort",
+                    ostore.symbol_name(o),
+                    bstore.symbol_name(b)
+                ),
+                None,
+            );
+        }
+    }
+
+    if let (Some(w), Some(assumption)) = (c.bv_width, c.int_assumption_width) {
+        // `assumption` carries a one-bit safety margin above the widest
+        // constant; below `assumption - 1`, φ is not even total on the
+        // constraint's own literals.
+        if w + 1 < assumption {
+            report.error(
+                LintCode::WidthBelowInference,
+                format!(
+                    "selected width {w} cannot represent the constraint's constants \
+                     (inference requires at least {})",
+                    assumption - 1
+                ),
+                None,
+            );
+        } else if w < assumption {
+            report.warning(
+                LintCode::WidthMarginDropped,
+                format!(
+                    "selected width {w} drops the inferred one-bit margin \
+                     (assumption width {assumption})"
+                ),
+                None,
+            );
+        }
+    }
+    if let (Some((_, sb)), Some((magnitude, precision))) = (c.fp_format, c.real_assumption) {
+        // φ_real rounds, so a thin significand is inexact rather than
+        // unsound: warn only.
+        if sb < magnitude + precision {
+            report.warning(
+                LintCode::WidthMarginDropped,
+                format!(
+                    "significand width {sb} is below the inferred magnitude+precision \
+                     {}",
+                    magnitude + precision
+                ),
+                None,
+            );
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_smtlib::Logic;
+
+    /// `x < 10` over Int, translated to width-12 bitvectors.
+    fn pair() -> (Script, Script) {
+        let mut original = Script::new();
+        original.set_logic(Logic::QfLia);
+        let x = original.declare("x", Sort::Int).unwrap();
+        let s = original.store_mut();
+        let xv = s.var(x);
+        let ten = s.int_i64(10);
+        let cmp = s.lt(xv, ten).unwrap();
+        original.assert(cmp);
+
+        let mut bounded = Script::new();
+        bounded.set_logic(Logic::QfBv);
+        bounded.declare("x", Sort::BitVec(12)).unwrap();
+        (original, bounded)
+    }
+
+    fn input<'a>(
+        original: &'a Script,
+        bounded: &'a Script,
+        var_map: &'a [(SymbolId, SymbolId)],
+    ) -> Correspondence<'a> {
+        Correspondence {
+            original,
+            bounded,
+            var_map,
+            bv_width: Some(12),
+            fp_format: None,
+            int_assumption_width: Some(6),
+            real_assumption: None,
+        }
+    }
+
+    #[test]
+    fn total_map_is_clean() {
+        let (original, bounded) = pair();
+        let ox = original.store().symbol("x").unwrap();
+        let bx = bounded.store().symbol("x").unwrap();
+        let var_map = [(ox, bx)];
+        let report = correspondence(&input(&original, &bounded, &var_map));
+        assert!(report.is_clean(), "{report}");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn removed_entry_fires_l201() {
+        let (original, bounded) = pair();
+        let report = correspondence(&input(&original, &bounded, &[]));
+        assert!(report.has(LintCode::PhiIncomplete), "{report}");
+        assert!(!report.is_clean(), "occurring symbol uncovered is an error");
+    }
+
+    #[test]
+    fn unused_symbol_only_warns() {
+        let (mut original, bounded) = pair();
+        original.declare("unused", Sort::Int).unwrap();
+        let ox = original.store().symbol("x").unwrap();
+        let bx = bounded.store().symbol("x").unwrap();
+        let var_map = [(ox, bx)];
+        let report = correspondence(&input(&original, &bounded, &var_map));
+        assert!(report.has(LintCode::PhiIncomplete), "{report}");
+        assert!(report.is_clean(), "unused symbols warn without failing");
+    }
+
+    #[test]
+    fn wrong_target_width_fires_l202() {
+        let (original, mut bounded) = pair();
+        let narrow = bounded.declare("x8", Sort::BitVec(8)).unwrap();
+        let ox = original.store().symbol("x").unwrap();
+        let var_map = [(ox, narrow)];
+        let report = correspondence(&input(&original, &bounded, &var_map));
+        assert!(report.has(LintCode::PhiSortMismatch), "{report}");
+    }
+
+    #[test]
+    fn width_monotonicity() {
+        let (original, bounded) = pair();
+        let ox = original.store().symbol("x").unwrap();
+        let bx = bounded.store().symbol("x").unwrap();
+        let var_map = [(ox, bx)];
+        let mut c = input(&original, &bounded, &var_map);
+        c.int_assumption_width = Some(14);
+        // 12 < 14 - 1: constants no longer representable.
+        let report = correspondence(&c);
+        assert!(report.has(LintCode::WidthBelowInference), "{report}");
+        assert!(!report.is_clean());
+        // 12 == 13 - 1: margin dropped, but sound.
+        c.int_assumption_width = Some(13);
+        let report = correspondence(&c);
+        assert!(report.has(LintCode::WidthMarginDropped), "{report}");
+        assert!(report.is_clean());
+    }
+}

@@ -1,0 +1,120 @@
+//! Pass 4 (`L3xx`): certify a model's shape before evaluation trusts it.
+//!
+//! `verify` re-evaluates the original assertions under a candidate model
+//! (paper §4.4). Evaluation assumes the model is *well-shaped*: every free
+//! symbol of the constraint is assigned, and each assignment has the
+//! symbol's declared sort. This pass checks exactly that, so shape bugs in
+//! solving or back-translation surface as structured diagnostics instead of
+//! evaluation errors deep inside `verify`.
+
+use staub_smtlib::{Model, Script};
+
+use crate::report::{LintCode, LintReport};
+
+/// Checks that `model` assigns every free symbol of `script` a value of its
+/// declared sort. Sort mismatches on non-free (merely declared) symbols are
+/// reported too — they indicate the same producer bug.
+pub fn model_shape(script: &Script, model: &Model) -> LintReport {
+    let mut report = LintReport::new();
+    let store = script.store();
+
+    let mut free = vec![false; store.symbol_count()];
+    for &a in script.assertions() {
+        for sym in store.vars_of(a) {
+            free[sym.index()] = true;
+        }
+    }
+
+    for sym in store.symbols() {
+        let name = store.symbol_name(sym);
+        let declared = store.symbol_sort(sym);
+        match model.get(sym) {
+            None if free[sym.index()] => report.error(
+                LintCode::ModelMissingValue,
+                format!("model assigns no value to free symbol `{name}` ({declared})"),
+                None,
+            ),
+            Some(v) if v.sort() != declared => report.error(
+                LintCode::ModelSortMismatch,
+                format!(
+                    "model assigns `{name}` a {} value but it is declared {declared}",
+                    v.sort()
+                ),
+                None,
+            ),
+            _ => {}
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_numeric::BigInt;
+    use staub_smtlib::{Sort, Value};
+
+    /// `x > 2 ∧ b` with `x : Int`, `b : Bool`.
+    fn sample() -> Script {
+        let mut script = Script::new();
+        let x = script.declare("x", Sort::Int).unwrap();
+        let b = script.declare("b", Sort::Bool).unwrap();
+        let s = script.store_mut();
+        let xv = s.var(x);
+        let two = s.int_i64(2);
+        let cmp = s.gt(xv, two).unwrap();
+        let bv = s.var(b);
+        script.assert(cmp);
+        script.assert(bv);
+        script
+    }
+
+    #[test]
+    fn complete_model_is_clean() {
+        let script = sample();
+        let x = script.store().symbol("x").unwrap();
+        let b = script.store().symbol("b").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Int(BigInt::from(3)));
+        model.insert(b, Value::Bool(true));
+        let report = model_shape(&script, &model);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn missing_assignment_fires_l301() {
+        let script = sample();
+        let x = script.store().symbol("x").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Int(BigInt::from(3)));
+        let report = model_shape(&script, &model);
+        assert!(report.has(LintCode::ModelMissingValue), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn wrong_sort_fires_l302() {
+        let script = sample();
+        let x = script.store().symbol("x").unwrap();
+        let b = script.store().symbol("b").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Bool(false));
+        model.insert(b, Value::Bool(true));
+        let report = model_shape(&script, &model);
+        assert!(report.has(LintCode::ModelSortMismatch), "{report}");
+    }
+
+    #[test]
+    fn unused_symbol_may_be_unassigned() {
+        let mut script = sample();
+        script.declare("spare", Sort::Int).unwrap();
+        let x = script.store().symbol("x").unwrap();
+        let b = script.store().symbol("b").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Int(BigInt::from(3)));
+        model.insert(b, Value::Bool(true));
+        let report = model_shape(&script, &model);
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -1,0 +1,248 @@
+//! Structured diagnostics produced by the lint passes.
+
+use std::fmt;
+
+/// Stable diagnostic codes, one family per pass:
+///
+/// * `L0xx` — resort (term-store integrity)
+/// * `L1xx` — boundedness (transformed constraint shape)
+/// * `L2xx` — correspondence (φ totality and width monotonicity)
+/// * `L3xx` — model shape
+///
+/// Codes are part of the tool's stable output: tests and downstream
+/// tooling match on them, so variants may be added but never renumbered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum LintCode {
+    /// `L001`: a term's cached sort disagrees with the sort re-derived from
+    /// the operator's typing rule.
+    SortMismatch,
+    /// `L002`: the operator's typing rule rejects the term outright (bad
+    /// arity or argument sorts) — the store interned an ill-sorted term.
+    SortUnderivable,
+    /// `L003`: a term references an argument at or after its own position,
+    /// breaking the store's bottom-up interning order (possible cycle).
+    AcyclicityViolation,
+    /// `L101`: an `Int`- or `Real`-sorted subterm (or declared symbol)
+    /// survived into a transformed constraint.
+    UnboundedSubterm,
+    /// `L102`: a bitvector arithmetic application is not dominated by a
+    /// matching overflow-guard assertion.
+    MissingGuard,
+    /// `L103`: a bitvector constant's value does not fit its declared width.
+    ConstantOverflow,
+    /// `L201`: φ⁻¹ does not cover a declared symbol of the original script.
+    PhiIncomplete,
+    /// `L202`: a φ entry pairs symbols whose sorts do not correspond
+    /// (e.g. `Int` mapped to something other than the selected bitvector
+    /// sort).
+    PhiSortMismatch,
+    /// `L203`: the selected width is below what abstract interpretation
+    /// inferred as the minimum for representing the constraint's constants
+    /// (monotonicity over the width domain is violated).
+    WidthBelowInference,
+    /// `L204` (warning): the selected width drops the inference's one-bit
+    /// safety margin — constants still fit, but the assumption width does
+    /// not.
+    WidthMarginDropped,
+    /// `L301`: a returned model assigns no value to a free symbol.
+    ModelMissingValue,
+    /// `L302`: a returned model assigns a value of the wrong sort.
+    ModelSortMismatch,
+}
+
+impl LintCode {
+    /// The stable code string, e.g. `"L102"`.
+    pub fn code(self) -> &'static str {
+        match self {
+            LintCode::SortMismatch => "L001",
+            LintCode::SortUnderivable => "L002",
+            LintCode::AcyclicityViolation => "L003",
+            LintCode::UnboundedSubterm => "L101",
+            LintCode::MissingGuard => "L102",
+            LintCode::ConstantOverflow => "L103",
+            LintCode::PhiIncomplete => "L201",
+            LintCode::PhiSortMismatch => "L202",
+            LintCode::WidthBelowInference => "L203",
+            LintCode::WidthMarginDropped => "L204",
+            LintCode::ModelMissingValue => "L301",
+            LintCode::ModelSortMismatch => "L302",
+        }
+    }
+
+    /// A short kebab-case name, e.g. `"missing-guard"`.
+    pub fn name(self) -> &'static str {
+        match self {
+            LintCode::SortMismatch => "sort-mismatch",
+            LintCode::SortUnderivable => "sort-underivable",
+            LintCode::AcyclicityViolation => "acyclicity-violation",
+            LintCode::UnboundedSubterm => "unbounded-subterm",
+            LintCode::MissingGuard => "missing-guard",
+            LintCode::ConstantOverflow => "constant-overflow",
+            LintCode::PhiIncomplete => "phi-incomplete",
+            LintCode::PhiSortMismatch => "phi-sort-mismatch",
+            LintCode::WidthBelowInference => "width-below-inference",
+            LintCode::WidthMarginDropped => "width-margin-dropped",
+            LintCode::ModelMissingValue => "model-missing-value",
+            LintCode::ModelSortMismatch => "model-sort-mismatch",
+        }
+    }
+}
+
+impl fmt::Display for LintCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.code(), self.name())
+    }
+}
+
+/// How bad a finding is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Severity {
+    /// Suspicious but not soundness-relevant.
+    Warning,
+    /// A violated pipeline invariant; the producing stage's output must not
+    /// be trusted.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            Severity::Warning => "warning",
+            Severity::Error => "error",
+        })
+    }
+}
+
+/// One diagnostic.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// Stable code.
+    pub code: LintCode,
+    /// Severity.
+    pub severity: Severity,
+    /// Human-readable description of the violation.
+    pub message: String,
+    /// Printed excerpt of the offending term, when one exists.
+    pub excerpt: Option<String>,
+}
+
+impl fmt::Display for Finding {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}: {}", self.severity, self.code, self.message)?;
+        if let Some(excerpt) = &self.excerpt {
+            write!(f, "\n  --> {excerpt}")?;
+        }
+        Ok(())
+    }
+}
+
+/// All findings from one checker run.
+#[derive(Debug, Clone, Default)]
+pub struct LintReport {
+    /// The findings, in discovery order.
+    pub findings: Vec<Finding>,
+}
+
+impl LintReport {
+    /// An empty report.
+    pub fn new() -> LintReport {
+        LintReport::default()
+    }
+
+    /// Records an error-severity finding.
+    pub fn error(&mut self, code: LintCode, message: impl Into<String>, excerpt: Option<String>) {
+        self.findings.push(Finding {
+            code,
+            severity: Severity::Error,
+            message: message.into(),
+            excerpt,
+        });
+    }
+
+    /// Records a warning-severity finding.
+    pub fn warning(&mut self, code: LintCode, message: impl Into<String>, excerpt: Option<String>) {
+        self.findings.push(Finding {
+            code,
+            severity: Severity::Warning,
+            message: message.into(),
+            excerpt,
+        });
+    }
+
+    /// Number of error-severity findings.
+    pub fn error_count(&self) -> usize {
+        self.findings
+            .iter()
+            .filter(|f| f.severity == Severity::Error)
+            .count()
+    }
+
+    /// Returns `true` when there are no error-severity findings
+    /// (warnings do not make a report unclean).
+    pub fn is_clean(&self) -> bool {
+        self.error_count() == 0
+    }
+
+    /// Returns `true` if some finding carries the given code.
+    pub fn has(&self, code: LintCode) -> bool {
+        self.findings.iter().any(|f| f.code == code)
+    }
+
+    /// Appends all findings of another report.
+    pub fn merge(&mut self, other: LintReport) {
+        self.findings.extend(other.findings);
+    }
+}
+
+impl fmt::Display for LintReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for finding in &self.findings {
+            writeln!(f, "{finding}")?;
+        }
+        write!(
+            f,
+            "{} finding(s), {} error(s)",
+            self.findings.len(),
+            self.error_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_are_unique_and_stable() {
+        let all = [
+            LintCode::SortMismatch,
+            LintCode::SortUnderivable,
+            LintCode::AcyclicityViolation,
+            LintCode::UnboundedSubterm,
+            LintCode::MissingGuard,
+            LintCode::ConstantOverflow,
+            LintCode::PhiIncomplete,
+            LintCode::PhiSortMismatch,
+            LintCode::WidthBelowInference,
+            LintCode::WidthMarginDropped,
+            LintCode::ModelMissingValue,
+            LintCode::ModelSortMismatch,
+        ];
+        let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
+        codes.sort_unstable();
+        codes.dedup();
+        assert_eq!(codes.len(), all.len(), "duplicate code strings");
+    }
+
+    #[test]
+    fn clean_means_no_errors() {
+        let mut r = LintReport::new();
+        assert!(r.is_clean());
+        r.warning(LintCode::WidthMarginDropped, "margin", None);
+        assert!(r.is_clean(), "warnings stay clean");
+        r.error(LintCode::MissingGuard, "guard", None);
+        assert!(!r.is_clean());
+        assert_eq!(r.error_count(), 1);
+        assert!(r.has(LintCode::MissingGuard));
+    }
+}

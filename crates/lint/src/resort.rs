@@ -1,0 +1,101 @@
+//! Pass 1 (`L0xx`): re-derive every cached sort from the operator typing
+//! rules, trusting nothing the store producer wrote.
+//!
+//! The [`staub_smtlib::TermStore`] caches a sort per interned term so the
+//! rest of the pipeline can sort-query in O(1). This pass recomputes each
+//! term's sort from [`staub_smtlib::Op::result_sort`] over the *cached*
+//! argument sorts and flags any disagreement, plus any violation of the
+//! store's bottom-up interning order (an argument id at or after its
+//! application would make the supposed DAG cyclic).
+
+use staub_smtlib::{print_term, Op, Sort, TermStore};
+
+use crate::report::{LintCode, LintReport};
+
+/// Re-derives every term's sort and checks interning order.
+pub fn resort(store: &TermStore) -> LintReport {
+    let mut report = LintReport::new();
+    for id in store.ids() {
+        let term = store.term(id);
+        // Interning is bottom-up, so arguments must have strictly smaller
+        // ids than the application using them.
+        if term.args().iter().any(|a| a.index() >= id.index()) {
+            report.error(
+                LintCode::AcyclicityViolation,
+                format!(
+                    "term #{} references an argument interned at or after itself",
+                    id.index()
+                ),
+                // Printing a cyclic term would not terminate.
+                None,
+            );
+            continue;
+        }
+        let arg_sorts: Vec<Sort> = term.args().iter().map(|&a| store.sort(a)).collect();
+        let var_sort = match term.op() {
+            Op::Var(sym) => Some(store.symbol_sort(*sym)),
+            _ => None,
+        };
+        match term.op().result_sort(&arg_sorts, var_sort) {
+            Ok(derived) if derived == term.sort() => {}
+            Ok(derived) => report.error(
+                LintCode::SortMismatch,
+                format!(
+                    "cached sort {} disagrees with derived sort {derived}",
+                    term.sort()
+                ),
+                Some(print_term(store, id)),
+            ),
+            Err(e) => report.error(
+                LintCode::SortUnderivable,
+                format!("typing rules reject the application: {e}"),
+                Some(print_term(store, id)),
+            ),
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_store() -> (TermStore, staub_smtlib::TermId, staub_smtlib::TermId) {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let xv = s.var(x);
+        let two = s.int_i64(2);
+        let sum = s.add(&[xv, two]).unwrap();
+        let ten = s.int_i64(10);
+        let cmp = s.lt(sum, ten).unwrap();
+        (s, two, cmp)
+    }
+
+    #[test]
+    fn well_formed_store_is_clean() {
+        let (s, _, _) = sample_store();
+        let report = resort(&s);
+        assert!(report.is_clean(), "{report}");
+        assert!(report.findings.is_empty());
+    }
+
+    #[test]
+    fn corrupted_sort_fires_l001() {
+        let (mut s, two, _) = sample_store();
+        s.corrupt_sort_for_test(two, Sort::Real);
+        let report = resort(&s);
+        assert!(report.has(LintCode::SortMismatch), "{report}");
+        // The corruption also makes the parent `(+ x 2)` ill-sorted.
+        assert!(report.has(LintCode::SortUnderivable), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn corrupted_op_fires_l002() {
+        let (mut s, _, cmp) = sample_store();
+        // `<` over Int arguments becomes `and` over Int arguments: underivable.
+        s.corrupt_op_for_test(cmp, Op::And);
+        let report = resort(&s);
+        assert!(report.has(LintCode::SortUnderivable), "{report}");
+    }
+}

@@ -91,8 +91,8 @@ fn mag_add(a: &[u64], b: &[u64]) -> Vec<u64> {
     let (long, short) = if a.len() >= b.len() { (a, b) } else { (b, a) };
     let mut out = Vec::with_capacity(long.len() + 1);
     let mut carry = 0u64;
-    for i in 0..long.len() {
-        let (s1, c1) = long[i].overflowing_add(*short.get(i).unwrap_or(&0));
+    for (i, &limb) in long.iter().enumerate() {
+        let (s1, c1) = limb.overflowing_add(*short.get(i).unwrap_or(&0));
         let (s2, c2) = s1.overflowing_add(carry);
         out.push(s2);
         carry = u64::from(c1) + u64::from(c2);
@@ -108,8 +108,8 @@ fn mag_sub(a: &[u64], b: &[u64]) -> Vec<u64> {
     debug_assert!(mag_cmp(a, b) != Ordering::Less);
     let mut out = Vec::with_capacity(a.len());
     let mut borrow = 0u64;
-    for i in 0..a.len() {
-        let (d1, b1) = a[i].overflowing_sub(*b.get(i).unwrap_or(&0));
+    for (i, &limb) in a.iter().enumerate() {
+        let (d1, b1) = limb.overflowing_sub(*b.get(i).unwrap_or(&0));
         let (d2, b2) = d1.overflowing_sub(borrow);
         out.push(d2);
         borrow = u64::from(b1) + u64::from(b2);
@@ -836,7 +836,12 @@ mod tests {
 
     #[test]
     fn display_round_trip() {
-        for s in ["0", "-1", "98765432109876543210", "-340282366920938463463374607431768211457"] {
+        for s in [
+            "0",
+            "-1",
+            "98765432109876543210",
+            "-340282366920938463463374607431768211457",
+        ] {
             let v: BigInt = s.parse().unwrap();
             assert_eq!(v.to_string(), s);
         }

@@ -50,6 +50,17 @@ impl BitVecValue {
         BitVecValue::new(BigInt::from(value), width)
     }
 
+    /// Creates a bitvector *without* reducing modulo `2^width`, violating
+    /// the type's invariant when `value` is out of range.
+    ///
+    /// Exists only so negative tests can seed the corrupted constants that
+    /// `staub-lint`'s boundedness pass certifies against. Never call this
+    /// from production code.
+    #[doc(hidden)]
+    pub fn corrupted_for_test(value: BigInt, width: u32) -> BitVecValue {
+        BitVecValue { width, value }
+    }
+
     /// The all-zero bitvector of the given width.
     pub fn zero(width: u32) -> BitVecValue {
         BitVecValue::new(BigInt::zero(), width)

@@ -219,11 +219,19 @@ impl BigRational {
                 return None;
             }
             let negative = int_part.starts_with('-');
-            let int_val: BigInt = if int_part == "-" { BigInt::zero() } else { int_part.parse().ok()? };
+            let int_val: BigInt = if int_part == "-" {
+                BigInt::zero()
+            } else {
+                int_part.parse().ok()?
+            };
             let frac_val: BigInt = frac_part.parse().ok()?;
             let scale = BigInt::from(10).pow(frac_part.len() as u32);
             let mag = &(&int_val.abs() * &scale) + &frac_val;
-            let num = if negative || int_val.is_negative() { -mag } else { mag };
+            let num = if negative || int_val.is_negative() {
+                -mag
+            } else {
+                mag
+            };
             return Some(BigRational::new(num, scale));
         }
         s.parse::<BigInt>().ok().map(BigRational::from_int)

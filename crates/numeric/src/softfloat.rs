@@ -114,25 +114,41 @@ impl SoftFloat {
     /// Positive zero in the given format.
     pub fn zero(eb: u32, sb: u32) -> SoftFloat {
         Self::check_format(eb, sb);
-        SoftFloat { eb, sb, repr: Repr::Zero(false) }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Zero(false),
+        }
     }
 
     /// Negative zero.
     pub fn neg_zero(eb: u32, sb: u32) -> SoftFloat {
         Self::check_format(eb, sb);
-        SoftFloat { eb, sb, repr: Repr::Zero(true) }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Zero(true),
+        }
     }
 
     /// NaN (a single canonical quiet NaN per format).
     pub fn nan(eb: u32, sb: u32) -> SoftFloat {
         Self::check_format(eb, sb);
-        SoftFloat { eb, sb, repr: Repr::Nan }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Nan,
+        }
     }
 
     /// Positive or negative infinity.
     pub fn infinity(eb: u32, sb: u32, negative: bool) -> SoftFloat {
         Self::check_format(eb, sb);
-        SoftFloat { eb, sb, repr: Repr::Inf(negative) }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Inf(negative),
+        }
     }
 
     /// Rounds a rational to the nearest representable value (ties to even).
@@ -174,7 +190,11 @@ impl SoftFloat {
         let mut e = (e_lead - (i64::from(sb) - 1)).max(min_e);
         let mut sig = Self::round_scaled(&mag, e, sign, mode);
         if sig.is_zero() {
-            return SoftFloat { eb, sb, repr: Repr::Zero(sign) };
+            return SoftFloat {
+                eb,
+                sb,
+                repr: Repr::Zero(sign),
+            };
         }
         // Rounding may have carried to sb+1 bits: renormalize.
         if sig.bit_len() as i64 > i64::from(sb) {
@@ -196,7 +216,11 @@ impl SoftFloat {
             }
             return SoftFloat::infinity(eb, sb, sign);
         }
-        SoftFloat { eb, sb, repr: Repr::Finite { sign, exp: e, sig } }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Finite { sign, exp: e, sig },
+        }
     }
 
     /// The largest finite value of the format, with the given sign.
@@ -204,7 +228,15 @@ impl SoftFloat {
         Self::check_format(eb, sb);
         let sig = BigInt::one().shl_bits(sb as usize) - BigInt::one();
         let exp = Self::max_unbiased(eb) - (i64::from(sb) - 1);
-        SoftFloat { eb, sb, repr: Repr::Finite { sign: negative, exp, sig } }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Finite {
+                sign: negative,
+                exp,
+                sig,
+            },
+        }
     }
 
     /// Compares `mag` (positive) against `2^e`.
@@ -333,8 +365,16 @@ impl SoftFloat {
             } else {
                 Ordering::Greater
             }),
-            (Repr::Inf(a), _) => Some(if *a { Ordering::Less } else { Ordering::Greater }),
-            (_, Repr::Inf(b)) => Some(if *b { Ordering::Greater } else { Ordering::Less }),
+            (Repr::Inf(a), _) => Some(if *a {
+                Ordering::Less
+            } else {
+                Ordering::Greater
+            }),
+            (_, Repr::Inf(b)) => Some(if *b {
+                Ordering::Greater
+            } else {
+                Ordering::Less
+            }),
             _ => {
                 let a = self.to_rational().expect("finite");
                 let b = other.to_rational().expect("finite");
@@ -355,7 +395,11 @@ impl SoftFloat {
                 sig: sig.clone(),
             },
         };
-        SoftFloat { eb: self.eb, sb: self.sb, repr }
+        SoftFloat {
+            eb: self.eb,
+            sb: self.sb,
+            repr,
+        }
     }
 
     /// `fp.abs`: clears the sign.
@@ -399,7 +443,11 @@ impl SoftFloat {
                 } else {
                     mode == RoundingMode::TowardNegative
                 };
-                SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) }
+                SoftFloat {
+                    eb: self.eb,
+                    sb: self.sb,
+                    repr: Repr::Zero(sign),
+                }
             }
             _ => {
                 let a = self.to_rational().expect("finite");
@@ -414,7 +462,11 @@ impl SoftFloat {
                         return self.clone();
                     }
                     let sign = mode == RoundingMode::TowardNegative;
-                    return SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) };
+                    return SoftFloat {
+                        eb: self.eb,
+                        sb: self.sb,
+                        repr: Repr::Zero(sign),
+                    };
                 }
                 SoftFloat::round_from_rational(self.eb, self.sb, &sum, mode)
             }
@@ -436,9 +488,11 @@ impl SoftFloat {
                 SoftFloat::nan(self.eb, self.sb)
             }
             (Repr::Inf(_), _) | (_, Repr::Inf(_)) => SoftFloat::infinity(self.eb, self.sb, sign),
-            (Repr::Zero(_), _) | (_, Repr::Zero(_)) => {
-                SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) }
-            }
+            (Repr::Zero(_), _) | (_, Repr::Zero(_)) => SoftFloat {
+                eb: self.eb,
+                sb: self.sb,
+                repr: Repr::Zero(sign),
+            },
             _ => {
                 let p = self.to_rational().expect("finite") * other.to_rational().expect("finite");
                 SoftFloat::round_from_rational(self.eb, self.sb, &p, mode)
@@ -456,8 +510,16 @@ impl SoftFloat {
                 SoftFloat::nan(self.eb, self.sb)
             }
             (Repr::Inf(_), _) => SoftFloat::infinity(self.eb, self.sb, sign),
-            (_, Repr::Inf(_)) => SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) },
-            (Repr::Zero(_), _) => SoftFloat { eb: self.eb, sb: self.sb, repr: Repr::Zero(sign) },
+            (_, Repr::Inf(_)) => SoftFloat {
+                eb: self.eb,
+                sb: self.sb,
+                repr: Repr::Zero(sign),
+            },
+            (Repr::Zero(_), _) => SoftFloat {
+                eb: self.eb,
+                sb: self.sb,
+                repr: Repr::Zero(sign),
+            },
             (_, Repr::Zero(_)) => SoftFloat::infinity(self.eb, self.sb, sign),
             _ => {
                 let q = self.to_rational().expect("finite") / other.to_rational().expect("finite");
@@ -493,7 +555,13 @@ impl SoftFloat {
     /// # Panics
     ///
     /// Panics if the fields are out of range for the format.
-    pub fn from_fields(eb: u32, sb: u32, sign: bool, exp_field: &BigInt, sig_field: &BigInt) -> SoftFloat {
+    pub fn from_fields(
+        eb: u32,
+        sb: u32,
+        sign: bool,
+        exp_field: &BigInt,
+        sig_field: &BigInt,
+    ) -> SoftFloat {
         Self::check_format(eb, sb);
         let max_exp = BigInt::from((1i64 << eb) - 1);
         assert!(
@@ -514,18 +582,34 @@ impl SoftFloat {
         }
         if exp_field.is_zero() {
             if sig_field.is_zero() {
-                return SoftFloat { eb, sb, repr: Repr::Zero(sign) };
+                return SoftFloat {
+                    eb,
+                    sb,
+                    repr: Repr::Zero(sign),
+                };
             }
             return SoftFloat {
                 eb,
                 sb,
-                repr: Repr::Finite { sign, exp: Self::min_exp(eb, sb), sig: sig_field.clone() },
+                repr: Repr::Finite {
+                    sign,
+                    exp: Self::min_exp(eb, sb),
+                    sig: sig_field.clone(),
+                },
             };
         }
         let hidden = BigInt::one().shl_bits(sb as usize - 1);
         let sig = sig_field + &hidden;
         let lead = exp_field.to_i64().expect("eb <= 60") - Self::bias(eb);
-        SoftFloat { eb, sb, repr: Repr::Finite { sign, exp: lead - (i64::from(sb) - 1), sig } }
+        SoftFloat {
+            eb,
+            sb,
+            repr: Repr::Finite {
+                sign,
+                exp: lead - (i64::from(sb) - 1),
+                sig,
+            },
+        }
     }
 }
 
@@ -533,8 +617,20 @@ impl fmt::Display for SoftFloat {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match &self.repr {
             Repr::Nan => write!(f, "NaN[{},{}]", self.eb, self.sb),
-            Repr::Inf(s) => write!(f, "{}oo[{},{}]", if *s { "-" } else { "+" }, self.eb, self.sb),
-            Repr::Zero(s) => write!(f, "{}0[{},{}]", if *s { "-" } else { "+" }, self.eb, self.sb),
+            Repr::Inf(s) => write!(
+                f,
+                "{}oo[{},{}]",
+                if *s { "-" } else { "+" },
+                self.eb,
+                self.sb
+            ),
+            Repr::Zero(s) => write!(
+                f,
+                "{}0[{},{}]",
+                if *s { "-" } else { "+" },
+                self.eb,
+                self.sb
+            ),
             Repr::Finite { .. } => {
                 let r = self.to_rational().expect("finite");
                 write!(f, "{}[{},{}]", r, self.eb, self.sb)
@@ -640,10 +736,17 @@ mod tests {
         if hw.is_nan() {
             assert!(sf.is_nan(), "{ctx}: expected NaN, got {sf}");
         } else if hw.is_infinite() {
-            assert!(sf.is_infinite() && sf.sign() == (hw < 0.0), "{ctx}: expected {hw}, got {sf}");
+            assert!(
+                sf.is_infinite() && sf.sign() == (hw < 0.0),
+                "{ctx}: expected {hw}, got {sf}"
+            );
         } else {
             let got = sf.to_rational().unwrap().to_f64() as f32;
-            assert_eq!(got.to_bits(), hw.to_bits(), "{ctx}: expected {hw}, got {sf}");
+            assert_eq!(
+                got.to_bits(),
+                hw.to_bits(),
+                "{ctx}: expected {hw}, got {sf}"
+            );
         }
     }
 
@@ -763,7 +866,10 @@ mod tests {
         let tiny = BigRational::dyadic(BigInt::one(), -149);
         let a = SoftFloat::from_rational(8, 24, &tiny);
         let sum = a.add(&a, RoundingMode::NearestEven);
-        assert_eq!(sum.to_rational().unwrap(), BigRational::dyadic(BigInt::one(), -148));
+        assert_eq!(
+            sum.to_rational().unwrap(),
+            BigRational::dyadic(BigInt::one(), -148)
+        );
         // Dividing the smallest subnormal by 2 underflows to zero (RNE).
         let two = SoftFloat::from_rational(8, 24, &"2".parse().unwrap());
         let q = a.div(&two, RoundingMode::NearestEven);

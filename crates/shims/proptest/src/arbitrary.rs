@@ -1,0 +1,79 @@
+//! `any::<T>()` — whole-domain strategies for primitive types.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+/// Types with a canonical whole-domain strategy.
+pub trait Arbitrary: Sized {
+    /// The strategy [`any`] returns.
+    type Strategy: Strategy<Value = Self>;
+
+    /// The canonical strategy for this type.
+    fn arbitrary() -> Self::Strategy;
+}
+
+/// The canonical strategy covering all of `A`'s domain.
+pub fn any<A: Arbitrary>() -> A::Strategy {
+    A::arbitrary()
+}
+
+/// Whole-domain integer strategy with a bias toward boundary values.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyInt<T> {
+    _marker: std::marker::PhantomData<T>,
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ident),* $(,)?) => {$(
+        impl Strategy for AnyInt<$t> {
+            type Value = $t;
+
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                // 1-in-8 cases draw from the edge set: overflow and
+                // sign-boundary bugs live there, and a uniform draw over a
+                // wide domain would almost never hit them.
+                if rng.gen_bool(0.125) {
+                    const EDGES: [$t; 5] = [$t::MIN, $t::MAX, 0, 1, $t::MAX - 1];
+                    EDGES[rng.gen_range(0..EDGES.len())]
+                } else {
+                    rng.gen_range($t::MIN..=$t::MAX)
+                }
+            }
+        }
+
+        impl Arbitrary for $t {
+            type Strategy = AnyInt<$t>;
+
+            fn arbitrary() -> AnyInt<$t> {
+                AnyInt { _marker: std::marker::PhantomData }
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int! {
+    i8, i16, i32, i64, i128, isize,
+    u8, u16, u32, u64, u128, usize,
+}
+
+/// Whole-domain `bool` strategy.
+#[derive(Clone, Copy, Debug)]
+pub struct AnyBool;
+
+impl Strategy for AnyBool {
+    type Value = bool;
+
+    fn generate(&self, rng: &mut TestRng) -> bool {
+        rng.gen_bool(0.5)
+    }
+}
+
+impl Arbitrary for bool {
+    type Strategy = AnyBool;
+
+    fn arbitrary() -> AnyBool {
+        AnyBool
+    }
+}

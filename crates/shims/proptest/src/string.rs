@@ -1,0 +1,174 @@
+//! String strategies from a small regex subset.
+//!
+//! A `&'static str` is itself a strategy (matching upstream proptest, where
+//! string literals are regexes). The supported subset is what simple
+//! whitespace/identifier patterns need: literal characters, escapes
+//! (`\t`, `\n`, `\r`, `\\`, and escaped metacharacters), character classes
+//! `[...]` with ranges, and the quantifiers `{n}`, `{m,n}`, `?`, `*`, `+`
+//! (`*`/`+` capped at 8 repetitions). Anything else panics at generation
+//! time with a message naming the unsupported construct.
+
+use rand::Rng;
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+
+struct Atom {
+    /// The alternatives this atom can produce, one drawn uniformly.
+    chars: Vec<char>,
+    min: usize,
+    max: usize,
+}
+
+fn unescape(c: char) -> char {
+    match c {
+        't' => '\t',
+        'n' => '\n',
+        'r' => '\r',
+        // Escaped metacharacters (\\, \[, \-, ...) stand for themselves.
+        other => other,
+    }
+}
+
+fn parse_class(chars: &mut std::iter::Peekable<std::str::Chars<'_>>, pattern: &str) -> Vec<char> {
+    let mut out = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated character class in regex {pattern:?}"));
+        match c {
+            ']' => return out,
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                out.push(unescape(esc));
+            }
+            _ if chars.peek() == Some(&'-') => {
+                chars.next();
+                let hi = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("unterminated range in regex {pattern:?}"));
+                if hi == ']' {
+                    // Trailing '-' is a literal.
+                    out.push(c);
+                    out.push('-');
+                    return out;
+                }
+                assert!(c <= hi, "inverted range {c}-{hi} in regex {pattern:?}");
+                out.extend(c..=hi);
+            }
+            _ => out.push(c),
+        }
+    }
+}
+
+fn parse_quantifier(
+    chars: &mut std::iter::Peekable<std::str::Chars<'_>>,
+    pattern: &str,
+) -> (usize, usize) {
+    match chars.peek() {
+        Some('{') => {
+            chars.next();
+            let body: String = chars.by_ref().take_while(|&c| c != '}').collect();
+            let parse = |s: &str| {
+                s.trim()
+                    .parse::<usize>()
+                    .unwrap_or_else(|_| panic!("bad quantifier {{{body}}} in regex {pattern:?}"))
+            };
+            match body.split_once(',') {
+                Some((lo, hi)) => (parse(lo), parse(hi)),
+                None => {
+                    let n = parse(&body);
+                    (n, n)
+                }
+            }
+        }
+        Some('?') => {
+            chars.next();
+            (0, 1)
+        }
+        Some('*') => {
+            chars.next();
+            (0, 8)
+        }
+        Some('+') => {
+            chars.next();
+            (1, 8)
+        }
+        _ => (1, 1),
+    }
+}
+
+fn parse(pattern: &str) -> Vec<Atom> {
+    let mut atoms = Vec::new();
+    let mut chars = pattern.chars().peekable();
+    while let Some(c) = chars.next() {
+        let alternatives = match c {
+            '[' => parse_class(&mut chars, pattern),
+            '\\' => {
+                let esc = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in regex {pattern:?}"));
+                vec![unescape(esc)]
+            }
+            '(' | ')' | '|' | '.' | '^' | '$' => {
+                panic!("unsupported regex construct {c:?} in {pattern:?} (shim supports literals, classes, and quantifiers)")
+            }
+            _ => vec![c],
+        };
+        assert!(
+            !alternatives.is_empty(),
+            "empty character class in regex {pattern:?}"
+        );
+        let (min, max) = parse_quantifier(&mut chars, pattern);
+        atoms.push(Atom {
+            chars: alternatives,
+            min,
+            max,
+        });
+    }
+    atoms
+}
+
+impl Strategy for &'static str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let mut out = String::new();
+        for atom in parse(self) {
+            let reps = rng.gen_range(atom.min..=atom.max);
+            for _ in 0..reps {
+                out.push(atom.chars[rng.gen_range(0..atom.chars.len())]);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    #[test]
+    fn whitespace_pattern() {
+        let mut rng = TestRng::from_seed(3);
+        for _ in 0..200 {
+            let s = "[ \t\n]{0,12}".generate(&mut rng);
+            assert!(s.len() <= 12);
+            assert!(s.chars().all(|c| c == ' ' || c == '\t' || c == '\n'));
+        }
+    }
+
+    #[test]
+    fn literal_class_and_range() {
+        let mut rng = TestRng::from_seed(4);
+        for _ in 0..200 {
+            let s = "x[a-c]+".generate(&mut rng);
+            assert!(s.starts_with('x'));
+            assert!(s.len() >= 2 && s.len() <= 9);
+            assert!(s[1..].chars().all(|c| ('a'..='c').contains(&c)));
+        }
+    }
+}

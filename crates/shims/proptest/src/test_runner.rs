@@ -1,0 +1,209 @@
+//! Case execution, seed derivation, and regression-file persistence.
+
+use std::fmt;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// The RNG handed to strategies; one fresh instance per test case, so a
+/// case is fully determined by its seed.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator for the case with the given seed.
+    pub fn from_seed(seed: u64) -> TestRng {
+        TestRng(StdRng::seed_from_u64(seed))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}
+
+/// Per-test configuration, set via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of (non-rejected) cases each property runs.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// The default configuration with a different case count.
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 256 }
+    }
+}
+
+/// Why a single test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is discarded, not failed.
+    Reject(String),
+    /// An assertion failed.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A discarded case with the given reason.
+    pub fn reject(msg: impl Into<String>) -> TestCaseError {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Reject(msg) => write!(f, "rejected: {msg}"),
+            TestCaseError::Fail(msg) => write!(f, "{msg}"),
+        }
+    }
+}
+
+/// FNV-1a, for deriving a stable per-test base seed from its name.
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+fn regression_path(file: &str) -> PathBuf {
+    PathBuf::from(file).with_extension("proptest-regressions")
+}
+
+/// Persisted seeds: every `cc <hex>` line's leading 16 hex digits, read as
+/// a `u64`. Upstream's 64-digit entries parse the same way.
+fn load_regression_seeds(file: &str) -> Vec<u64> {
+    let Ok(text) = std::fs::read_to_string(regression_path(file)) else {
+        return Vec::new();
+    };
+    text.lines()
+        .filter_map(|line| line.trim().strip_prefix("cc "))
+        .filter_map(|rest| {
+            let hex: String = rest
+                .trim()
+                .chars()
+                .take_while(char::is_ascii_hexdigit)
+                .collect();
+            (hex.len() >= 16).then(|| u64::from_str_radix(&hex[..16], 16).ok())?
+        })
+        .collect()
+}
+
+fn persist_failure(file: &str, test: &str, seed: u64, case: &str) {
+    let path = regression_path(file);
+    let mut entry = String::new();
+    if !path.exists() {
+        entry.push_str(
+            "# Seeds for failure cases proptest has generated in the past. It is\n\
+             # automatically read and these particular cases re-run before any\n\
+             # novel cases are generated.\n\
+             #\n\
+             # It is recommended to check this file in to source control so that\n\
+             # everyone who runs the test benefits from these saved cases.\n",
+        );
+    }
+    let mut summary: String = case.chars().take(160).collect();
+    if summary.len() < case.len() {
+        summary.push('…');
+    }
+    entry.push_str(&format!("cc {seed:016x} # {test}: {summary}\n"));
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut f| std::io::Write::write_all(&mut f, entry.as_bytes()));
+    if written.is_err() {
+        eprintln!(
+            "proptest: could not persist failing seed to {}",
+            path.display()
+        );
+    }
+}
+
+/// Runs one property over its persisted regression seeds, then
+/// `config.cases` fresh seeded cases. Panics on the first failing case
+/// after persisting its seed.
+pub fn run_property_test<F>(file: &str, test: &str, config: &ProptestConfig, run_case: F)
+where
+    F: Fn(&mut TestRng) -> (String, Result<(), TestCaseError>),
+{
+    let base = std::env::var("PROPTEST_RNG_SEED")
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .unwrap_or_else(|| fnv1a(format!("{file}::{test}").as_bytes()));
+
+    let replay = load_regression_seeds(file);
+    let fresh = (0..u64::from(config.cases) * 8).map(|i| base.wrapping_add(i));
+    let mut passed = 0u32;
+    let mut rejected = 0u64;
+    for (idx, seed) in replay.iter().copied().chain(fresh).enumerate() {
+        let is_replay = idx < replay.len();
+        if !is_replay && passed >= config.cases {
+            break;
+        }
+        let mut rng = TestRng::from_seed(seed);
+        let outcome = catch_unwind(AssertUnwindSafe(|| run_case(&mut rng)));
+        let (case, result) = match outcome {
+            Ok(pair) => pair,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<&str>()
+                    .map(|s| (*s).to_owned())
+                    .or_else(|| payload.downcast_ref::<String>().cloned())
+                    .unwrap_or_else(|| "non-string panic payload".to_owned());
+                (
+                    String::from("<panicked during generation or body>"),
+                    Err(TestCaseError::fail(msg)),
+                )
+            }
+        };
+        match result {
+            Ok(()) => passed += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                // With only rejections and no progress, give up rather
+                // than loop forever on an unsatisfiable assumption.
+                assert!(
+                    rejected < u64::from(config.cases) * 8,
+                    "{test}: too many prop_assume! rejections ({rejected}) — assumption may be unsatisfiable"
+                );
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                if !is_replay {
+                    persist_failure(file, test, seed, &case);
+                }
+                panic!(
+                    "{test}: property failed (seed {seed:#018x}{replay_note})\n  case: {case}\n  {msg}",
+                    replay_note = if is_replay { ", replayed from regression file" } else { "" },
+                );
+            }
+        }
+    }
+    assert!(
+        passed >= config.cases.min(1),
+        "{test}: exhausted seed budget with only {passed} cases run"
+    );
+}

@@ -90,7 +90,10 @@ impl Default for Slot {
 impl Slot {
     /// An empty pipeline (add passes with [`Slot::with_pass`]).
     pub fn new() -> Slot {
-        Slot { passes: Vec::new(), max_iterations: 8 }
+        Slot {
+            passes: Vec::new(),
+            max_iterations: 8,
+        }
     }
 
     /// The standard pipeline: constant folding, boolean simplification,
@@ -125,7 +128,11 @@ impl Slot {
     /// Optimizes a script in place.
     pub fn optimize(&self, script: &mut Script) -> SlotReport {
         let mut report = SlotReport {
-            per_pass: self.passes.iter().map(|p| (p.name().to_string(), 0)).collect(),
+            per_pass: self
+                .passes
+                .iter()
+                .map(|p| (p.name().to_string(), 0))
+                .collect(),
             ..Default::default()
         };
         let mut assertions: Vec<TermId> = script.assertions().to_vec();
@@ -136,8 +143,13 @@ impl Slot {
                 let mut memo: HashMap<TermId, TermId> = HashMap::new();
                 let mut count = 0usize;
                 for a in &mut assertions {
-                    let next =
-                        rewrite_bottom_up(script.store_mut(), *a, pass.as_ref(), &mut memo, &mut count);
+                    let next = rewrite_bottom_up(
+                        script.store_mut(),
+                        *a,
+                        pass.as_ref(),
+                        &mut memo,
+                        &mut count,
+                    );
                     if next != *a {
                         changed = true;
                         *a = next;
@@ -334,7 +346,11 @@ mod tests {
                 after.is_sat(),
                 "sat status changed for {src}"
             );
-            assert_eq!(before.is_unsat(), after.is_unsat(), "unsat status changed for {src}");
+            assert_eq!(
+                before.is_unsat(),
+                after.is_unsat(),
+                "unsat status changed for {src}"
+            );
         }
     }
 
@@ -362,9 +378,13 @@ mod tests {
         .unwrap();
         let transformed = Staub::default().transform(&script).unwrap();
         let mut bounded = transformed.script.clone();
-        let before = bounded.store().dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
+        let before = bounded
+            .store()
+            .dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
         let report = Slot::standard().optimize(&mut bounded);
-        let after = bounded.store().dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
+        let after = bounded
+            .store()
+            .dag_size(bounded.assertions()[bounded.assertions().len() - 1]);
         assert!(report.rewrites > 0);
         assert!(after <= before);
     }

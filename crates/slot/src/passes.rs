@@ -34,7 +34,10 @@ impl Pass for ConstFold {
             return None;
         }
         // All children must be literal constants.
-        if !args.iter().all(|&a| store.term(a).op().is_leaf() && !matches!(store.term(a).op(), Op::Var(_))) {
+        if !args
+            .iter()
+            .all(|&a| store.term(a).op().is_leaf() && !matches!(store.term(a).op(), Op::Var(_)))
+        {
             return None;
         }
         let root = store.app(op.clone(), args).ok()?;
@@ -336,7 +339,9 @@ fn bv_width(store: &TermStore, t: TermId) -> u32 {
 
 fn fp_is_one(store: &TermStore, t: TermId) -> bool {
     match store.term(t).op() {
-        Op::FpConst(v) => v.to_rational().is_some_and(|r| r == staub_numeric::BigRational::one()),
+        Op::FpConst(v) => v
+            .to_rational()
+            .is_some_and(|r| r == staub_numeric::BigRational::one()),
         _ => false,
     }
 }
@@ -363,8 +368,7 @@ impl Pass for StrengthReduction {
                         if let Some(k) = exact_log2(&u) {
                             if k > 0 {
                                 let w = v.width();
-                                let amount =
-                                    store.bv(BitVecValue::new(BigInt::from(k), w));
+                                let amount = store.bv(BitVecValue::new(BigInt::from(k), w));
                                 return store.app(Op::BvShl, &[other, amount]).ok();
                             }
                         }
@@ -421,18 +425,14 @@ mod tests {
 
     #[test]
     fn const_fold_bv() {
-        let out = simplify_with(
-            &ConstFold,
-            "(assert (bvult (_ bv3 8) (_ bv5 8)))",
-        );
+        let out = simplify_with(&ConstFold, "(assert (bvult (_ bv3 8) (_ bv5 8)))");
         assert!(out.contains("(assert true)"), "{out}");
     }
 
     #[test]
     fn const_fold_skips_div_by_zero_int() {
         // Integer division by zero must not fold (uninterpreted).
-        let mut script =
-            Script::parse("(declare-fun x () Int)(assert (= x (div 4 0)))").unwrap();
+        let mut script = Script::parse("(declare-fun x () Int)(assert (= x (div 4 0)))").unwrap();
         let a = script.assertions()[0];
         let eq = script.store().term(a).clone();
         let div = eq.args()[1];
@@ -445,14 +445,25 @@ mod tests {
 
     #[test]
     fn bool_rules() {
-        let out = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (and p true p))");
+        let out = simplify_with(
+            &BoolSimplify,
+            "(declare-fun p () Bool)(assert (and p true p))",
+        );
         assert!(out.contains("(assert p)"), "{out}");
-        let out2 = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (or p (not p)))");
+        let out2 = simplify_with(
+            &BoolSimplify,
+            "(declare-fun p () Bool)(assert (or p (not p)))",
+        );
         assert!(out2.contains("(assert true)"), "{out2}");
-        let out3 = simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (not (not p)))");
+        let out3 = simplify_with(
+            &BoolSimplify,
+            "(declare-fun p () Bool)(assert (not (not p)))",
+        );
         assert!(out3.contains("(assert p)"), "{out3}");
-        let out4 =
-            simplify_with(&BoolSimplify, "(declare-fun p () Bool)(assert (=> false p))");
+        let out4 = simplify_with(
+            &BoolSimplify,
+            "(declare-fun p () Bool)(assert (=> false p))",
+        );
         assert!(out4.contains("(assert true)"), "{out4}");
     }
 
@@ -460,7 +471,10 @@ mod tests {
     fn algebraic_bv_rules() {
         let cases = [
             ("(assert (= x (bvadd x (_ bv0 8))))", "(= x x)"),
-            ("(assert (= (bvsub x x) (_ bv0 8)))", "(= (_ bv0 8) (_ bv0 8))"),
+            (
+                "(assert (= (bvsub x x) (_ bv0 8)))",
+                "(= (_ bv0 8) (_ bv0 8))",
+            ),
             ("(assert (= x (bvmul (_ bv1 8) x)))", "(= x x)"),
             ("(assert (= x (bvneg (bvneg x))))", "(= x x)"),
             ("(assert (= x (bvxor x (_ bv0 8))))", "(= x x)"),
@@ -473,7 +487,9 @@ mod tests {
             // Simplify the inner application (args of =).
             let inner_changed = eq.args().iter().any(|&arg| {
                 let t = script.store().term(arg).clone();
-                Algebraic.simplify(script.store_mut(), t.op(), t.args()).is_some()
+                Algebraic
+                    .simplify(script.store_mut(), t.op(), t.args())
+                    .is_some()
             });
             assert!(inner_changed, "no rule fired for {src}");
         }

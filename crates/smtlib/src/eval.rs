@@ -103,7 +103,11 @@ fn apply(store: &TermStore, op: &Op, args: &[Value], model: &Model) -> Result<Va
         Xor => Value::Bool(bools().fold(false, |acc, b| acc ^ b)),
         Implies => {
             // Right-associative: a => b => c  is  a => (b => c).
-            let mut acc = *args.last().and_then(Value::as_bool).as_ref().expect("sort-checked");
+            let mut acc = *args
+                .last()
+                .and_then(Value::as_bool)
+                .as_ref()
+                .expect("sort-checked");
             for v in args[..args.len() - 1].iter().rev() {
                 acc = !v.as_bool().expect("sort-checked") || acc;
             }
@@ -170,19 +174,19 @@ fn apply(store: &TermStore, op: &Op, args: &[Value], model: &Model) -> Result<Va
         Ge => chain_cmp(args, |o| o != Ordering::Less),
         Gt => chain_cmp(args, |o| o == Ordering::Greater),
 
-        BvAdd => bv2(args, |a, b| a.bvadd(b)),
-        BvSub => bv2(args, |a, b| a.bvsub(b)),
-        BvMul => bv2(args, |a, b| a.bvmul(b)),
-        BvSdiv => bv2(args, |a, b| a.bvsdiv(b)),
-        BvSrem => bv2(args, |a, b| a.bvsrem(b)),
-        BvUdiv => bv2(args, |a, b| a.bvudiv(b)),
-        BvUrem => bv2(args, |a, b| a.bvurem(b)),
-        BvShl => bv2(args, |a, b| a.bvshl(b)),
-        BvLshr => bv2(args, |a, b| a.bvlshr(b)),
-        BvAshr => bv2(args, |a, b| a.bvashr(b)),
-        BvAnd => bv2(args, |a, b| a.bvand(b)),
-        BvOr => bv2(args, |a, b| a.bvor(b)),
-        BvXor => bv2(args, |a, b| a.bvxor(b)),
+        BvAdd => bv2(args, staub_numeric::BitVecValue::bvadd),
+        BvSub => bv2(args, staub_numeric::BitVecValue::bvsub),
+        BvMul => bv2(args, staub_numeric::BitVecValue::bvmul),
+        BvSdiv => bv2(args, staub_numeric::BitVecValue::bvsdiv),
+        BvSrem => bv2(args, staub_numeric::BitVecValue::bvsrem),
+        BvUdiv => bv2(args, staub_numeric::BitVecValue::bvudiv),
+        BvUrem => bv2(args, staub_numeric::BitVecValue::bvurem),
+        BvShl => bv2(args, staub_numeric::BitVecValue::bvshl),
+        BvLshr => bv2(args, staub_numeric::BitVecValue::bvlshr),
+        BvAshr => bv2(args, staub_numeric::BitVecValue::bvashr),
+        BvAnd => bv2(args, staub_numeric::BitVecValue::bvand),
+        BvOr => bv2(args, staub_numeric::BitVecValue::bvor),
+        BvXor => bv2(args, staub_numeric::BitVecValue::bvxor),
         BvNeg => Value::BitVec(args[0].as_bitvec().expect("sort-checked").bvneg()),
         BvNot => Value::BitVec(args[0].as_bitvec().expect("sort-checked").bvnot()),
         BvSlt => bvcmp_s(args, Ordering::is_lt),
@@ -191,10 +195,10 @@ fn apply(store: &TermStore, op: &Op, args: &[Value], model: &Model) -> Result<Va
         BvSge => bvcmp_s(args, Ordering::is_ge),
         BvUlt => bvcmp_u(args, Ordering::is_lt),
         BvUle => bvcmp_u(args, Ordering::is_le),
-        BvSaddo => bvpred(args, |a, b| a.bvsaddo(b)),
-        BvSsubo => bvpred(args, |a, b| a.bvssubo(b)),
-        BvSmulo => bvpred(args, |a, b| a.bvsmulo(b)),
-        BvSdivo => bvpred(args, |a, b| a.bvsdivo(b)),
+        BvSaddo => bvpred(args, staub_numeric::BitVecValue::bvsaddo),
+        BvSsubo => bvpred(args, staub_numeric::BitVecValue::bvssubo),
+        BvSmulo => bvpred(args, staub_numeric::BitVecValue::bvsmulo),
+        BvSdivo => bvpred(args, staub_numeric::BitVecValue::bvsdivo),
         BvNego => Value::Bool(args[0].as_bitvec().expect("sort-checked").bvnego()),
         BvSignExtend(n) => {
             let v = args[0].as_bitvec().expect("sort-checked");
@@ -211,13 +215,13 @@ fn apply(store: &TermStore, op: &Op, args: &[Value], model: &Model) -> Result<Va
             Value::BitVec(staub_numeric::BitVecValue::new(shifted, width))
         }
 
-        FpAdd => fp_arith(args, |a, b, m| a.add(b, m)),
-        FpSub => fp_arith(args, |a, b, m| a.sub(b, m)),
-        FpMul => fp_arith(args, |a, b, m| a.mul(b, m)),
-        FpDiv => fp_arith(args, |a, b, m| a.div(b, m)),
+        FpAdd => fp_arith(args, staub_numeric::SoftFloat::add),
+        FpSub => fp_arith(args, staub_numeric::SoftFloat::sub),
+        FpMul => fp_arith(args, staub_numeric::SoftFloat::mul),
+        FpDiv => fp_arith(args, staub_numeric::SoftFloat::div),
         FpNeg => Value::Float(args[0].as_float().expect("sort-checked").neg()),
         FpAbs => Value::Float(args[0].as_float().expect("sort-checked").abs()),
-        FpEq => fp_chain(args, |a, b| a.ieee_eq(b)),
+        FpEq => fp_chain(args, staub_numeric::SoftFloat::ieee_eq),
         FpLt => fp_chain(args, |a, b| a.ieee_cmp(b) == Some(Ordering::Less)),
         FpLeq => fp_chain(args, |a, b| {
             matches!(a.ieee_cmp(b), Some(Ordering::Less | Ordering::Equal))
@@ -307,7 +311,11 @@ fn bvcmp_u(args: &[Value], accept: fn(Ordering) -> bool) -> Value {
 
 fn fp_arith(
     args: &[Value],
-    f: impl Fn(&staub_numeric::SoftFloat, &staub_numeric::SoftFloat, RoundingMode) -> staub_numeric::SoftFloat,
+    f: impl Fn(
+        &staub_numeric::SoftFloat,
+        &staub_numeric::SoftFloat,
+        RoundingMode,
+    ) -> staub_numeric::SoftFloat,
 ) -> Value {
     let Value::Rm(mode) = &args[0] else {
         unreachable!("sort-checked fp rounding mode")
@@ -383,7 +391,10 @@ mod tests {
     fn chained_comparison() {
         let src = "(declare-fun x () Int)(assert (< 0 x 10))";
         assert_eq!(eval_src(src, &[("x", int(5))]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_src(src, &[("x", int(10))]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_src(src, &[("x", int(10))]).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -397,18 +408,31 @@ mod tests {
     fn euclidean_div_mod() {
         let src = "(declare-fun x () Int)(assert (= (+ (* 2 (div x 2)) (mod x 2)) x))";
         for v in [-7i64, -2, 0, 3, 8] {
-            assert_eq!(eval_src(src, &[("x", int(v))]).unwrap(), Value::Bool(true), "x={v}");
+            assert_eq!(
+                eval_src(src, &[("x", int(v))]).unwrap(),
+                Value::Bool(true),
+                "x={v}"
+            );
         }
         let src2 = "(declare-fun x () Int)(assert (= (mod x 2) 1))";
-        assert_eq!(eval_src(src2, &[("x", int(-7))]).unwrap(), Value::Bool(true));
+        assert_eq!(
+            eval_src(src2, &[("x", int(-7))]).unwrap(),
+            Value::Bool(true)
+        );
     }
 
     #[test]
     fn division_by_zero_is_error() {
         let src = "(declare-fun x () Int)(assert (= (div x 0) 1))";
-        assert_eq!(eval_src(src, &[("x", int(1))]), Err(EvalError::DivisionByZero));
+        assert_eq!(
+            eval_src(src, &[("x", int(1))]),
+            Err(EvalError::DivisionByZero)
+        );
         let src2 = "(declare-fun r () Real)(assert (= (/ r 0.0) 1.0))";
-        assert_eq!(eval_src(src2, &[("r", real("1"))]), Err(EvalError::DivisionByZero));
+        assert_eq!(
+            eval_src(src2, &[("r", real("1"))]),
+            Err(EvalError::DivisionByZero)
+        );
     }
 
     #[test]
@@ -423,9 +447,18 @@ mod tests {
     #[test]
     fn real_arithmetic() {
         let src = "(declare-fun r () Real)(assert (= (* r r) 2.25))";
-        assert_eq!(eval_src(src, &[("r", real("1.5"))]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_src(src, &[("r", real("-1.5"))]).unwrap(), Value::Bool(true));
-        assert_eq!(eval_src(src, &[("r", real("1"))]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_src(src, &[("r", real("1.5"))]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_src(src, &[("r", real("-1.5"))]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(
+            eval_src(src, &[("r", real("1"))]).unwrap(),
+            Value::Bool(false)
+        );
     }
 
     #[test]
@@ -461,7 +494,11 @@ mod tests {
 (declare-fun c () (_ FloatingPoint 11 53))
 (assert (fp.eq (fp.add RNE a b) c))";
         let mk = |s: &str| {
-            Value::Float(staub_numeric::SoftFloat::from_rational(11, 53, &s.parse().unwrap()))
+            Value::Float(staub_numeric::SoftFloat::from_rational(
+                11,
+                53,
+                &s.parse().unwrap(),
+            ))
         };
         assert_eq!(
             eval_src(src, &[("a", mk("0.1")), ("b", mk("0.2")), ("c", mk("0.3"))]).unwrap(),
@@ -469,17 +506,28 @@ mod tests {
             "binary64 0.1+0.2 != 0.3"
         );
         assert_eq!(
-            eval_src(src, &[("a", mk("0.5")), ("b", mk("0.25")), ("c", mk("0.75"))]).unwrap(),
+            eval_src(
+                src,
+                &[("a", mk("0.5")), ("b", mk("0.25")), ("c", mk("0.75"))]
+            )
+            .unwrap(),
             Value::Bool(true)
         );
         // And in binary32, 0.1f + 0.2f happens to equal 0.3f.
         let src32 = src.replace("11 53", "8 24");
         let mk32 = |s: &str| {
-            Value::Float(staub_numeric::SoftFloat::from_rational(8, 24, &s.parse().unwrap()))
+            Value::Float(staub_numeric::SoftFloat::from_rational(
+                8,
+                24,
+                &s.parse().unwrap(),
+            ))
         };
         assert_eq!(
-            eval_src(&src32, &[("a", mk32("0.1")), ("b", mk32("0.2")), ("c", mk32("0.3"))])
-                .unwrap(),
+            eval_src(
+                &src32,
+                &[("a", mk32("0.1")), ("b", mk32("0.2")), ("c", mk32("0.3"))]
+            )
+            .unwrap(),
             Value::Bool(true)
         );
     }
@@ -488,7 +536,10 @@ mod tests {
     fn fp_nan_comparisons() {
         let src = "(declare-fun f () (_ FloatingPoint 8 24))(assert (fp.eq f f))";
         let nan = Value::Float(staub_numeric::SoftFloat::nan(8, 24));
-        assert_eq!(eval_src(src, &[("f", nan.clone())]).unwrap(), Value::Bool(false));
+        assert_eq!(
+            eval_src(src, &[("f", nan.clone())]).unwrap(),
+            Value::Bool(false)
+        );
         // But structural = is true for NaN.
         let src2 = "(declare-fun f () (_ FloatingPoint 8 24))(assert (= f (_ NaN 8 24)))";
         assert_eq!(eval_src(src2, &[("f", nan)]).unwrap(), Value::Bool(true));

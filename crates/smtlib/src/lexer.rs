@@ -46,8 +46,23 @@ fn is_symbol_char(c: char) -> bool {
     c.is_ascii_alphanumeric()
         || matches!(
             c,
-            '~' | '!' | '@' | '$' | '%' | '^' | '&' | '*' | '_' | '-' | '+' | '=' | '<' | '>'
-                | '.' | '?' | '/' | ':'
+            '~' | '!'
+                | '@'
+                | '$'
+                | '%'
+                | '^'
+                | '&'
+                | '*'
+                | '_'
+                | '-'
+                | '+'
+                | '='
+                | '<'
+                | '>'
+                | '.'
+                | '?'
+                | '/'
+                | ':'
         )
 }
 
@@ -87,11 +102,19 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
             }
             '(' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::LParen, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::LParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             ')' => {
                 bump!();
-                tokens.push(Token { kind: TokenKind::RParen, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::RParen,
+                    line: tline,
+                    col: tcol,
+                });
             }
             '#' => {
                 bump!();
@@ -114,7 +137,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                                 col: tcol,
                             });
                         }
-                        tokens.push(Token { kind: TokenKind::Binary(s), line: tline, col: tcol });
+                        tokens.push(Token {
+                            kind: TokenKind::Binary(s),
+                            line: tline,
+                            col: tcol,
+                        });
                     }
                     Some('x') => {
                         bump!();
@@ -134,7 +161,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                                 col: tcol,
                             });
                         }
-                        tokens.push(Token { kind: TokenKind::Hex(s), line: tline, col: tcol });
+                        tokens.push(Token {
+                            kind: TokenKind::Hex(s),
+                            line: tline,
+                            col: tcol,
+                        });
                     }
                     other => {
                         return Err(LexError {
@@ -169,7 +200,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::StringLit(s), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::StringLit(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             '|' => {
                 bump!();
@@ -187,7 +222,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         }
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Symbol(s), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if c.is_ascii_digit() => {
                 let mut s = String::new();
@@ -216,7 +255,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                 } else {
                     TokenKind::Numeral(s)
                 };
-                tokens.push(Token { kind, line: tline, col: tcol });
+                tokens.push(Token {
+                    kind,
+                    line: tline,
+                    col: tcol,
+                });
             }
             c if is_symbol_char(c) => {
                 let mut s = String::new();
@@ -228,7 +271,11 @@ pub(crate) fn tokenize(src: &str) -> Result<Vec<Token>, LexError> {
                         break;
                     }
                 }
-                tokens.push(Token { kind: TokenKind::Symbol(s), line: tline, col: tcol });
+                tokens.push(Token {
+                    kind: TokenKind::Symbol(s),
+                    line: tline,
+                    col: tcol,
+                });
             }
             other => {
                 return Err(LexError {
@@ -269,10 +316,10 @@ mod tests {
 
     #[test]
     fn comments_skipped() {
-        assert_eq!(kinds("; a comment\nx ; trailing\ny"), vec![
-            TokenKind::Symbol("x".into()),
-            TokenKind::Symbol("y".into()),
-        ]);
+        assert_eq!(
+            kinds("; a comment\nx ; trailing\ny"),
+            vec![TokenKind::Symbol("x".into()), TokenKind::Symbol("y".into()),]
+        );
     }
 
     #[test]
@@ -281,18 +328,24 @@ mod tests {
         assert_eq!(kinds("#b1010"), vec![TokenKind::Binary("1010".into())]);
         assert_eq!(kinds("#xAf0"), vec![TokenKind::Hex("Af0".into())]);
         assert_eq!(kinds("\"hi\""), vec![TokenKind::StringLit("hi".into())]);
-        assert_eq!(kinds("|odd name|"), vec![TokenKind::Symbol("odd name".into())]);
+        assert_eq!(
+            kinds("|odd name|"),
+            vec![TokenKind::Symbol("odd name".into())]
+        );
     }
 
     #[test]
     fn operators_are_symbols() {
-        assert_eq!(kinds("<= >= => bvadd :status"), vec![
-            TokenKind::Symbol("<=".into()),
-            TokenKind::Symbol(">=".into()),
-            TokenKind::Symbol("=>".into()),
-            TokenKind::Symbol("bvadd".into()),
-            TokenKind::Symbol(":status".into()),
-        ]);
+        assert_eq!(
+            kinds("<= >= => bvadd :status"),
+            vec![
+                TokenKind::Symbol("<=".into()),
+                TokenKind::Symbol(">=".into()),
+                TokenKind::Symbol("=>".into()),
+                TokenKind::Symbol("bvadd".into()),
+                TokenKind::Symbol(":status".into()),
+            ]
+        );
     }
 
     #[test]

@@ -173,7 +173,9 @@ pub struct SortError {
 
 impl SortError {
     pub(crate) fn new(message: impl Into<String>) -> SortError {
-        SortError { message: message.into() }
+        SortError {
+            message: message.into(),
+        }
     }
 }
 
@@ -244,7 +246,9 @@ impl Op {
             if args.iter().all(|&s| s == Sort::Bool) {
                 Ok(())
             } else {
-                Err(SortError::new(format!("{self:?} expects Bool arguments, got {args:?}")))
+                Err(SortError::new(format!(
+                    "{self:?} expects Bool arguments, got {args:?}"
+                )))
             }
         };
         let numeric_same = |kind: fn(Sort) -> bool| -> Result<Sort, SortError> {
@@ -367,8 +371,8 @@ impl Op {
                 Ok(Sort::Bool)
             }
 
-            BvAdd | BvSub | BvMul | BvSdiv | BvSrem | BvUdiv | BvUrem | BvShl | BvLshr
-            | BvAshr | BvAnd | BvOr | BvXor => {
+            BvAdd | BvSub | BvMul | BvSdiv | BvSrem | BvUdiv | BvUrem | BvShl | BvLshr | BvAshr
+            | BvAnd | BvOr | BvXor => {
                 want_arity(2)?;
                 numeric_same(is_bv)
             }
@@ -411,7 +415,9 @@ impl Op {
                     ));
                 }
                 if !is_fp(args[1]) || args[1] != args[2] {
-                    return fail(format!("{self:?} expects matching FP arguments, got {args:?}"));
+                    return fail(format!(
+                        "{self:?} expects matching FP arguments, got {args:?}"
+                    ));
                 }
                 Ok(args[1])
             }
@@ -523,7 +529,9 @@ mod tests {
     #[test]
     fn arity_errors() {
         assert!(Op::Not.result_sort(&[], None).is_err());
-        assert!(Op::Not.result_sort(&[Sort::Bool, Sort::Bool], None).is_err());
+        assert!(Op::Not
+            .result_sort(&[Sort::Bool, Sort::Bool], None)
+            .is_err());
         assert!(Op::Ite.result_sort(&[Sort::Bool, Sort::Int], None).is_err());
         assert!(Op::Add.result_sort(&[Sort::Int], None).is_err());
     }
@@ -531,20 +539,36 @@ mod tests {
     #[test]
     fn sort_mismatch_errors() {
         assert!(Op::Add.result_sort(&[Sort::Int, Sort::Real], None).is_err());
-        assert!(Op::Add.result_sort(&[Sort::Bool, Sort::Bool], None).is_err());
+        assert!(Op::Add
+            .result_sort(&[Sort::Bool, Sort::Bool], None)
+            .is_err());
         assert!(Op::Eq.result_sort(&[Sort::Int, Sort::Real], None).is_err());
-        assert!(Op::BvAdd.result_sort(&[Sort::BitVec(8), Sort::BitVec(9)], None).is_err());
+        assert!(Op::BvAdd
+            .result_sort(&[Sort::BitVec(8), Sort::BitVec(9)], None)
+            .is_err());
         assert!(Op::Abs.result_sort(&[Sort::Real], None).is_err());
         assert!(Op::FpAdd
-            .result_sort(&[Sort::Float(8, 24), Sort::Float(8, 24), Sort::Float(8, 24)], None)
+            .result_sort(
+                &[Sort::Float(8, 24), Sort::Float(8, 24), Sort::Float(8, 24)],
+                None
+            )
             .is_err());
     }
 
     #[test]
     fn result_sorts() {
-        assert_eq!(Op::Add.result_sort(&[Sort::Int, Sort::Int], None), Ok(Sort::Int));
-        assert_eq!(Op::Add.result_sort(&[Sort::Real, Sort::Real], None), Ok(Sort::Real));
-        assert_eq!(Op::Lt.result_sort(&[Sort::Int, Sort::Int], None), Ok(Sort::Bool));
+        assert_eq!(
+            Op::Add.result_sort(&[Sort::Int, Sort::Int], None),
+            Ok(Sort::Int)
+        );
+        assert_eq!(
+            Op::Add.result_sort(&[Sort::Real, Sort::Real], None),
+            Ok(Sort::Real)
+        );
+        assert_eq!(
+            Op::Lt.result_sort(&[Sort::Int, Sort::Int], None),
+            Ok(Sort::Bool)
+        );
         assert_eq!(
             Op::BvMul.result_sort(&[Sort::BitVec(12), Sort::BitVec(12)], None),
             Ok(Sort::BitVec(12))
@@ -568,7 +592,9 @@ mod tests {
             Op::BvExtract(7, 4).result_sort(&[Sort::BitVec(12)], None),
             Ok(Sort::BitVec(4))
         );
-        assert!(Op::BvExtract(12, 0).result_sort(&[Sort::BitVec(12)], None).is_err());
+        assert!(Op::BvExtract(12, 0)
+            .result_sort(&[Sort::BitVec(12)], None)
+            .is_err());
     }
 
     #[test]
@@ -577,7 +603,11 @@ mod tests {
             Op::Ite.result_sort(&[Sort::Bool, Sort::Int, Sort::Int], None),
             Ok(Sort::Int)
         );
-        assert!(Op::Ite.result_sort(&[Sort::Bool, Sort::Int, Sort::Real], None).is_err());
-        assert!(Op::Ite.result_sort(&[Sort::Int, Sort::Int, Sort::Int], None).is_err());
+        assert!(Op::Ite
+            .result_sort(&[Sort::Bool, Sort::Int, Sort::Real], None)
+            .is_err());
+        assert!(Op::Ite
+            .result_sort(&[Sort::Int, Sort::Int, Sort::Int], None)
+            .is_err());
     }
 }

@@ -22,7 +22,11 @@ pub struct ParseError {
 
 impl ParseError {
     fn new(message: impl Into<String>, line: u32, col: u32) -> ParseError {
-        ParseError { message: message.into(), line, col }
+        ParseError {
+            message: message.into(),
+            line,
+            col,
+        }
     }
 
     /// 1-based source line of the error.
@@ -33,7 +37,11 @@ impl ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "parse error at {}:{}: {}", self.line, self.col, self.message)
+        write!(
+            f,
+            "parse error at {}:{}: {}",
+            self.line, self.col, self.message
+        )
     }
 }
 
@@ -56,14 +64,20 @@ impl SExpr {
 
     fn as_symbol(&self) -> Option<&str> {
         match self {
-            SExpr::Atom(Token { kind: TokenKind::Symbol(s), .. }) => Some(s),
+            SExpr::Atom(Token {
+                kind: TokenKind::Symbol(s),
+                ..
+            }) => Some(s),
             _ => None,
         }
     }
 
     fn as_numeral(&self) -> Option<&str> {
         match self {
-            SExpr::Atom(Token { kind: TokenKind::Numeral(s), .. }) => Some(s),
+            SExpr::Atom(Token {
+                kind: TokenKind::Numeral(s),
+                ..
+            }) => Some(s),
             _ => None,
         }
     }
@@ -103,8 +117,7 @@ struct Parser {
 
 /// Parses a full SMT-LIB script.
 pub(crate) fn parse_script(src: &str) -> Result<Script, ParseError> {
-    let tokens = tokenize(src)
-        .map_err(|e| ParseError::new(e.message.clone(), e.line, e.col))?;
+    let tokens = tokenize(src).map_err(|e| ParseError::new(e.message.clone(), e.line, e.col))?;
     let sexprs = parse_sexprs(&tokens)?;
     let mut p = Parser {
         store: TermStore::new(),
@@ -116,7 +129,12 @@ pub(crate) fn parse_script(src: &str) -> Result<Script, ParseError> {
     for sexpr in &sexprs {
         p.command(sexpr)?;
     }
-    Ok(Script::from_parts(p.store, p.commands, p.assertions, p.logic))
+    Ok(Script::from_parts(
+        p.store,
+        p.commands,
+        p.assertions,
+        p.logic,
+    ))
 }
 
 impl Parser {
@@ -134,16 +152,20 @@ impl Parser {
         };
         match head {
             "set-logic" => {
-                let name = items
-                    .get(1)
-                    .and_then(SExpr::as_symbol)
-                    .ok_or_else(|| self.err::<()>("set-logic expects a name", sexpr).unwrap_err())?;
+                let name = items.get(1).and_then(SExpr::as_symbol).ok_or_else(|| {
+                    self.err::<()>("set-logic expects a name", sexpr)
+                        .unwrap_err()
+                })?;
                 let logic = Logic::from_name(name);
                 self.logic = Some(logic.clone());
                 self.commands.push(Command::SetLogic(logic));
             }
             "set-info" => {
-                let key = items.get(1).and_then(SExpr::as_symbol).unwrap_or("").to_string();
+                let key = items
+                    .get(1)
+                    .and_then(SExpr::as_symbol)
+                    .unwrap_or("")
+                    .to_string();
                 let val = match items.get(2) {
                     Some(SExpr::Atom(t)) => match &t.kind {
                         TokenKind::Symbol(s)
@@ -161,15 +183,19 @@ impl Parser {
                 let name = items
                     .get(1)
                     .and_then(SExpr::as_symbol)
-                    .ok_or_else(|| self.err::<()>("declare-fun expects a name", sexpr).unwrap_err())?
+                    .ok_or_else(|| {
+                        self.err::<()>("declare-fun expects a name", sexpr)
+                            .unwrap_err()
+                    })?
                     .to_string();
                 match items.get(2) {
                     Some(SExpr::List(args, ..)) if args.is_empty() => {}
                     _ => return self.err("only 0-ary declare-fun is supported", sexpr),
                 }
-                let sort_sexpr = items
-                    .get(3)
-                    .ok_or_else(|| self.err::<()>("declare-fun expects a sort", sexpr).unwrap_err())?;
+                let sort_sexpr = items.get(3).ok_or_else(|| {
+                    self.err::<()>("declare-fun expects a sort", sexpr)
+                        .unwrap_err()
+                })?;
                 let sort = self.sort(sort_sexpr)?;
                 let id = self
                     .store
@@ -181,11 +207,15 @@ impl Parser {
                 let name = items
                     .get(1)
                     .and_then(SExpr::as_symbol)
-                    .ok_or_else(|| self.err::<()>("declare-const expects a name", sexpr).unwrap_err())?
+                    .ok_or_else(|| {
+                        self.err::<()>("declare-const expects a name", sexpr)
+                            .unwrap_err()
+                    })?
                     .to_string();
-                let sort_sexpr = items
-                    .get(2)
-                    .ok_or_else(|| self.err::<()>("declare-const expects a sort", sexpr).unwrap_err())?;
+                let sort_sexpr = items.get(2).ok_or_else(|| {
+                    self.err::<()>("declare-const expects a sort", sexpr)
+                        .unwrap_err()
+                })?;
                 let sort = self.sort(sort_sexpr)?;
                 let id = self
                     .store
@@ -198,19 +228,24 @@ impl Parser {
                 let name = items
                     .get(1)
                     .and_then(SExpr::as_symbol)
-                    .ok_or_else(|| self.err::<()>("define-fun expects a name", sexpr).unwrap_err())?
+                    .ok_or_else(|| {
+                        self.err::<()>("define-fun expects a name", sexpr)
+                            .unwrap_err()
+                    })?
                     .to_string();
                 match items.get(2) {
                     Some(SExpr::List(args, ..)) if args.is_empty() => {}
                     _ => return self.err("only 0-ary define-fun is supported", sexpr),
                 }
-                let declared = items
-                    .get(3)
-                    .ok_or_else(|| self.err::<()>("define-fun expects a sort", sexpr).unwrap_err())?;
+                let declared = items.get(3).ok_or_else(|| {
+                    self.err::<()>("define-fun expects a sort", sexpr)
+                        .unwrap_err()
+                })?;
                 let declared_sort = self.sort(declared)?;
-                let body = items
-                    .get(4)
-                    .ok_or_else(|| self.err::<()>("define-fun expects a body", sexpr).unwrap_err())?;
+                let body = items.get(4).ok_or_else(|| {
+                    self.err::<()>("define-fun expects a body", sexpr)
+                        .unwrap_err()
+                })?;
                 let body_term = self.term(body, &HashMap::new())?;
                 if self.store.sort(body_term) != declared_sort {
                     return self.err(
@@ -416,7 +451,10 @@ impl Parser {
                 let kind = head_items
                     .get(1)
                     .and_then(SExpr::as_symbol)
-                    .ok_or_else(|| self.err::<()>("malformed indexed operator", at).unwrap_err())?;
+                    .ok_or_else(|| {
+                        self.err::<()>("malformed indexed operator", at)
+                            .unwrap_err()
+                    })?;
                 let op = match kind {
                     "extract" => {
                         let hi = self.index_u32(head_items.get(2), at)?;
@@ -558,7 +596,10 @@ impl Parser {
     fn fp_literal(&mut self, items: &[SExpr], at: &SExpr) -> Result<TermId, ParseError> {
         let bits = |i: usize| -> Option<&str> {
             match items.get(i) {
-                Some(SExpr::Atom(Token { kind: TokenKind::Binary(s), .. })) => Some(s),
+                Some(SExpr::Atom(Token {
+                    kind: TokenKind::Binary(s),
+                    ..
+                })) => Some(s),
                 _ => None,
             }
         };
@@ -621,7 +662,9 @@ mod tests {
         let script = Script::parse(src).unwrap();
         assert_eq!(script.assertions().len(), 2);
         assert_eq!(
-            script.store().symbol_sort(script.store().symbol("x").unwrap()),
+            script
+                .store()
+                .symbol_sort(script.store().symbol("x").unwrap()),
             Sort::BitVec(12)
         );
     }
@@ -712,7 +755,11 @@ mod tests {
         let script = Script::parse(src).unwrap();
         let t0 = script.store().term(script.assertions()[0]);
         let t1 = script.store().term(script.assertions()[1]);
-        assert_eq!(t0.args()[1], t1.args()[1], "same literal interns identically");
+        assert_eq!(
+            t0.args()[1],
+            t1.args()[1],
+            "same literal interns identically"
+        );
     }
 
     #[test]

@@ -85,12 +85,14 @@ pub(crate) fn print_script(script: &Script, f: &mut fmt::Formatter<'_>) -> fmt::
         match command {
             Command::SetLogic(logic) => writeln!(f, "(set-logic {})", logic.name())?,
             Command::SetInfo(key, value) => {
-                if value.chars().all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
+                if value
+                    .chars()
+                    .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == '-' || c == '.')
                     && !value.is_empty()
                 {
-                    writeln!(f, "(set-info {key} {value})")?
+                    writeln!(f, "(set-info {key} {value})")?;
                 } else {
-                    writeln!(f, "(set-info {key} \"{value}\")")?
+                    writeln!(f, "(set-info {key} \"{value}\")")?;
                 }
             }
             Command::Declare(sym) => writeln!(
@@ -140,8 +142,7 @@ mod tests {
 
     #[test]
     fn negative_literals_print_as_applications() {
-        let script =
-            Script::parse("(declare-fun x () Int)(assert (= x (- 5)))").unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= x (- 5)))").unwrap();
         let printed = script.to_string();
         assert!(printed.contains("(- 5)"), "got: {printed}");
     }
@@ -158,10 +159,9 @@ mod tests {
 
     #[test]
     fn fp_special_values_print_as_literals() {
-        let script = Script::parse(
-            "(declare-fun f () (_ FloatingPoint 8 24))(assert (= f (_ NaN 8 24)))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun f () (_ FloatingPoint 8 24))(assert (= f (_ NaN 8 24)))")
+                .unwrap();
         let printed = script.to_string();
         let reparsed = Script::parse(&printed).unwrap();
         assert_eq!(reparsed.assertions().len(), 1);

@@ -55,7 +55,10 @@ impl Logic {
 
     /// Returns `true` for the unbounded arithmetic logics STAUB transforms.
     pub fn is_unbounded(&self) -> bool {
-        matches!(self, Logic::QfLia | Logic::QfNia | Logic::QfLra | Logic::QfNra)
+        matches!(
+            self,
+            Logic::QfLia | Logic::QfNia | Logic::QfLra | Logic::QfNra
+        )
     }
 }
 
@@ -199,7 +202,12 @@ impl Script {
         assertions: Vec<TermId>,
         logic: Option<Logic>,
     ) -> Script {
-        Script { store, commands, assertions, logic }
+        Script {
+            store,
+            commands,
+            assertions,
+            logic,
+        }
     }
 
     /// Replaces this script's assertions (keeping declarations and logic).
@@ -232,7 +240,9 @@ mod tests {
 
     #[test]
     fn logic_names_round_trip() {
-        for name in ["QF_LIA", "QF_NIA", "QF_LRA", "QF_NRA", "QF_BV", "QF_FP", "QF_UFNIA"] {
+        for name in [
+            "QF_LIA", "QF_NIA", "QF_LRA", "QF_NRA", "QF_BV", "QF_FP", "QF_UFNIA",
+        ] {
             assert_eq!(Logic::from_name(name).name(), name);
         }
     }
@@ -285,8 +295,16 @@ mod tests {
         script.set_assertions(vec![a2]);
         assert_eq!(script.assertions(), &[a2]);
         // assert must still precede check-sat
-        let pos_assert = script.commands().iter().position(|c| matches!(c, Command::Assert(_))).unwrap();
-        let pos_check = script.commands().iter().position(|c| matches!(c, Command::CheckSat)).unwrap();
+        let pos_assert = script
+            .commands()
+            .iter()
+            .position(|c| matches!(c, Command::Assert(_)))
+            .unwrap();
+        let pos_check = script
+            .commands()
+            .iter()
+            .position(|c| matches!(c, Command::CheckSat))
+            .unwrap();
         assert!(pos_assert < pos_check);
     }
 }

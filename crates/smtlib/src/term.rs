@@ -148,9 +148,35 @@ impl TermStore {
         self.symbols.len()
     }
 
+    /// All interned term ids, in interning order (arguments always precede
+    /// the applications using them).
+    pub fn ids(&self) -> impl Iterator<Item = TermId> + '_ {
+        (0..self.terms.len()).map(|i| TermId(i as u32))
+    }
+
     /// Fetches an interned term.
     pub fn term(&self, id: TermId) -> &Term {
         &self.terms[id.index()]
+    }
+
+    /// Overwrites a term's cached sort, bypassing sort-checking.
+    ///
+    /// Exists only so negative tests can seed the store corruption that
+    /// `staub-lint`'s resort pass certifies against. Never call this from
+    /// production code.
+    #[doc(hidden)]
+    pub fn corrupt_sort_for_test(&mut self, id: TermId, sort: Sort) {
+        self.terms[id.index()].sort = sort;
+    }
+
+    /// Overwrites a term's operator in place, bypassing sort-checking and
+    /// interning (the term keeps its cached sort and arguments).
+    ///
+    /// Exists only so negative tests can seed the store corruption that
+    /// `staub-lint` certifies against. Never call this from production code.
+    #[doc(hidden)]
+    pub fn corrupt_op_for_test(&mut self, id: TermId, op: Op) {
+        self.terms[id.index()].op = op;
     }
 
     /// The sort of an interned term.
@@ -171,7 +197,11 @@ impl TermStore {
             _ => None,
         };
         let sort = op.result_sort(&arg_sorts, var_sort)?;
-        let term = Term { op, args: args.to_vec(), sort };
+        let term = Term {
+            op,
+            args: args.to_vec(),
+            sort,
+        };
         if let Some(&id) = self.intern.get(&term) {
             return Ok(id);
         }
@@ -185,17 +215,20 @@ impl TermStore {
 
     /// A variable reference term.
     pub fn var(&mut self, sym: SymbolId) -> TermId {
-        self.app(Op::Var(sym), &[]).expect("variables are well-sorted")
+        self.app(Op::Var(sym), &[])
+            .expect("variables are well-sorted")
     }
 
     /// The boolean constant.
     pub fn bool(&mut self, v: bool) -> TermId {
-        self.app(if v { Op::True } else { Op::False }, &[]).expect("booleans are well-sorted")
+        self.app(if v { Op::True } else { Op::False }, &[])
+            .expect("booleans are well-sorted")
     }
 
     /// An integer literal.
     pub fn int(&mut self, v: BigInt) -> TermId {
-        self.app(Op::IntConst(v), &[]).expect("integer literals are well-sorted")
+        self.app(Op::IntConst(v), &[])
+            .expect("integer literals are well-sorted")
     }
 
     /// An integer literal from `i64`.
@@ -205,22 +238,26 @@ impl TermStore {
 
     /// A real literal.
     pub fn real(&mut self, v: BigRational) -> TermId {
-        self.app(Op::RealConst(v), &[]).expect("real literals are well-sorted")
+        self.app(Op::RealConst(v), &[])
+            .expect("real literals are well-sorted")
     }
 
     /// A bitvector literal.
     pub fn bv(&mut self, v: BitVecValue) -> TermId {
-        self.app(Op::BvConst(v), &[]).expect("bitvector literals are well-sorted")
+        self.app(Op::BvConst(v), &[])
+            .expect("bitvector literals are well-sorted")
     }
 
     /// A floating-point literal.
     pub fn fp(&mut self, v: SoftFloat) -> TermId {
-        self.app(Op::FpConst(v), &[]).expect("fp literals are well-sorted")
+        self.app(Op::FpConst(v), &[])
+            .expect("fp literals are well-sorted")
     }
 
     /// A rounding-mode literal.
     pub fn rm(&mut self, v: RoundingMode) -> TermId {
-        self.app(Op::RmConst(v), &[]).expect("rounding modes are well-sorted")
+        self.app(Op::RmConst(v), &[])
+            .expect("rounding modes are well-sorted")
     }
 
     // --- checked application helpers ---------------------------------------

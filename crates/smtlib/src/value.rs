@@ -163,7 +163,9 @@ impl Model {
 
 impl FromIterator<(SymbolId, Value)> for Model {
     fn from_iter<I: IntoIterator<Item = (SymbolId, Value)>>(iter: I) -> Model {
-        Model { values: iter.into_iter().collect() }
+        Model {
+            values: iter.into_iter().collect(),
+        }
     }
 }
 
@@ -183,9 +185,18 @@ mod tests {
         assert_eq!(Value::Bool(true).sort(), Sort::Bool);
         assert_eq!(Value::Int(BigInt::from(3)).sort(), Sort::Int);
         assert_eq!(Value::Real(BigRational::one()).sort(), Sort::Real);
-        assert_eq!(Value::BitVec(BitVecValue::from_i64(1, 9)).sort(), Sort::BitVec(9));
-        assert_eq!(Value::Float(SoftFloat::zero(8, 24)).sort(), Sort::Float(8, 24));
-        assert_eq!(Value::Rm(RoundingMode::NearestEven).sort(), Sort::RoundingMode);
+        assert_eq!(
+            Value::BitVec(BitVecValue::from_i64(1, 9)).sort(),
+            Sort::BitVec(9)
+        );
+        assert_eq!(
+            Value::Float(SoftFloat::zero(8, 24)).sort(),
+            Sort::Float(8, 24)
+        );
+        assert_eq!(
+            Value::Rm(RoundingMode::NearestEven).sort(),
+            Sort::RoundingMode
+        );
     }
 
     #[test]
@@ -201,12 +212,9 @@ mod tests {
         let script = Script::parse("(declare-fun x () Int)(declare-fun b () Bool)").unwrap();
         let x = script.store().symbol("x").unwrap();
         let b = script.store().symbol("b").unwrap();
-        let model: Model = [
-            (x, Value::Int(BigInt::from(-3))),
-            (b, Value::Bool(true)),
-        ]
-        .into_iter()
-        .collect();
+        let model: Model = [(x, Value::Int(BigInt::from(-3))), (b, Value::Bool(true))]
+            .into_iter()
+            .collect();
         let rendered = model.to_smtlib(script.store());
         assert!(rendered.contains("(define-fun x () Int -3)"));
         assert!(rendered.contains("(define-fun b () Bool true)"));

@@ -153,7 +153,11 @@ impl<'a> Icp<'a> {
         let fully_bounded = initial.iter().all(Interval::is_bounded);
         let mut any_abandoned = false;
         let mut bound_log2 = self.config.initial_bound_log2;
-        let rounds = if fully_bounded { 1 } else { self.config.enlargement_rounds };
+        let rounds = if fully_bounded {
+            1
+        } else {
+            self.config.enlargement_rounds
+        };
         for round in 0..rounds {
             let boxed = self.clamp_box(&initial, bound_log2);
             match self.search(boxed, budget, stats) {
@@ -232,16 +236,44 @@ impl<'a> Icp<'a> {
         match op {
             Op::Le | Op::Lt => {
                 if let Some((idx, c)) = var_const(args[0], args[1]) {
-                    apply(boxed, idx, Interval { lo: Ext::MinusInf, hi: Ext::Finite(c) });
+                    apply(
+                        boxed,
+                        idx,
+                        Interval {
+                            lo: Ext::MinusInf,
+                            hi: Ext::Finite(c),
+                        },
+                    );
                 } else if let Some((idx, c)) = var_const(args[1], args[0]) {
-                    apply(boxed, idx, Interval { lo: Ext::Finite(c), hi: Ext::PlusInf });
+                    apply(
+                        boxed,
+                        idx,
+                        Interval {
+                            lo: Ext::Finite(c),
+                            hi: Ext::PlusInf,
+                        },
+                    );
                 }
             }
             Op::Ge | Op::Gt => {
                 if let Some((idx, c)) = var_const(args[0], args[1]) {
-                    apply(boxed, idx, Interval { lo: Ext::Finite(c), hi: Ext::PlusInf });
+                    apply(
+                        boxed,
+                        idx,
+                        Interval {
+                            lo: Ext::Finite(c),
+                            hi: Ext::PlusInf,
+                        },
+                    );
                 } else if let Some((idx, c)) = var_const(args[1], args[0]) {
-                    apply(boxed, idx, Interval { lo: Ext::MinusInf, hi: Ext::Finite(c) });
+                    apply(
+                        boxed,
+                        idx,
+                        Interval {
+                            lo: Ext::MinusInf,
+                            hi: Ext::Finite(c),
+                        },
+                    );
                 }
             }
             Op::Eq => {
@@ -274,12 +306,7 @@ impl<'a> Icp<'a> {
             .collect()
     }
 
-    fn search(
-        &mut self,
-        root: IcpBox,
-        budget: &Budget,
-        stats: &mut SolverStats,
-    ) -> SearchOutcome {
+    fn search(&mut self, root: IcpBox, budget: &Budget, stats: &mut SolverStats) -> SearchOutcome {
         let mut queue: VecDeque<IcpBox> = VecDeque::new();
         queue.push_back(root);
         let mut abandoned = false;
@@ -401,13 +428,19 @@ impl<'a> Icp<'a> {
         };
         let mut left = boxed.clone();
         let mut right = boxed.clone();
-        left[idx] = iv.intersect(&Interval { lo: Ext::MinusInf, hi: Ext::Finite(mid.clone()) });
+        left[idx] = iv.intersect(&Interval {
+            lo: Ext::MinusInf,
+            hi: Ext::Finite(mid.clone()),
+        });
         let right_lo = if self.is_int {
             &mid + &BigRational::one()
         } else {
             mid
         };
-        right[idx] = iv.intersect(&Interval { lo: Ext::Finite(right_lo), hi: Ext::PlusInf });
+        right[idx] = iv.intersect(&Interval {
+            lo: Ext::Finite(right_lo),
+            hi: Ext::PlusInf,
+        });
         if self.is_int {
             left[idx] = left[idx].snap_to_integers();
             right[idx] = right[idx].snap_to_integers();
@@ -487,8 +520,7 @@ impl<'a> Icp<'a> {
     /// strong on planted instances and erase the asymmetry the paper
     /// measures.
     fn check_exact(&self, boxed: &IcpBox) -> Option<Model> {
-        let candidates: Vec<Vec<BigRational>> =
-            vec![boxed.iter().map(Interval::sample).collect()];
+        let candidates: Vec<Vec<BigRational>> = vec![boxed.iter().map(Interval::sample).collect()];
         for point in candidates {
             let mut model = Model::new();
             for (i, v) in point.iter().enumerate() {
@@ -550,7 +582,10 @@ impl<'a> Icp<'a> {
                 .map(|&a| self.eval_bool(a, boxed, memo))
                 .fold(TriBool::False, TriBool::or),
             Op::Xor => {
-                let vals: Vec<TriBool> = args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                let vals: Vec<TriBool> = args
+                    .iter()
+                    .map(|&a| self.eval_bool(a, boxed, memo))
+                    .collect();
                 if vals.contains(&TriBool::Maybe) {
                     TriBool::Maybe
                 } else {
@@ -560,7 +595,10 @@ impl<'a> Icp<'a> {
                 }
             }
             Op::Implies => {
-                let vals: Vec<TriBool> = args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                let vals: Vec<TriBool> = args
+                    .iter()
+                    .map(|&a| self.eval_bool(a, boxed, memo))
+                    .collect();
                 let mut acc = *vals.last().expect("implies nonempty");
                 for v in vals[..vals.len() - 1].iter().rev() {
                     acc = v.not().or(acc);
@@ -585,8 +623,10 @@ impl<'a> Icp<'a> {
             }
             Op::Eq => {
                 if self.store.sort(args[0]) == Sort::Bool {
-                    let vals: Vec<TriBool> =
-                        args.iter().map(|&a| self.eval_bool(a, boxed, memo)).collect();
+                    let vals: Vec<TriBool> = args
+                        .iter()
+                        .map(|&a| self.eval_bool(a, boxed, memo))
+                        .collect();
                     return vals
                         .windows(2)
                         .map(|w| match (w[0], w[1]) {
@@ -595,15 +635,19 @@ impl<'a> Icp<'a> {
                         })
                         .fold(TriBool::True, TriBool::and);
                 }
-                let ivs: Vec<Interval> =
-                    args.iter().map(|&a| self.eval_num(a, boxed, memo)).collect();
+                let ivs: Vec<Interval> = args
+                    .iter()
+                    .map(|&a| self.eval_num(a, boxed, memo))
+                    .collect();
                 ivs.windows(2)
                     .map(|w| self.tri_eq(&w[0], &w[1]))
                     .fold(TriBool::True, TriBool::and)
             }
             Op::Distinct => {
-                let ivs: Vec<Interval> =
-                    args.iter().map(|&a| self.eval_num(a, boxed, memo)).collect();
+                let ivs: Vec<Interval> = args
+                    .iter()
+                    .map(|&a| self.eval_num(a, boxed, memo))
+                    .collect();
                 let mut acc = TriBool::True;
                 for i in 0..ivs.len() {
                     for j in i + 1..ivs.len() {
@@ -612,10 +656,10 @@ impl<'a> Icp<'a> {
                 }
                 acc
             }
-            Op::Le => self.tri_cmp(args, boxed, memo, |o| o.le()),
-            Op::Lt => self.tri_cmp(args, boxed, memo, |o| o.lt()),
-            Op::Ge => self.tri_cmp_rev(args, boxed, memo, |o| o.le()),
-            Op::Gt => self.tri_cmp_rev(args, boxed, memo, |o| o.lt()),
+            Op::Le => self.tri_cmp(args, boxed, memo, super::interval::IntervalOrder::le),
+            Op::Lt => self.tri_cmp(args, boxed, memo, super::interval::IntervalOrder::lt),
+            Op::Ge => self.tri_cmp_rev(args, boxed, memo, super::interval::IntervalOrder::le),
+            Op::Gt => self.tri_cmp_rev(args, boxed, memo, super::interval::IntervalOrder::lt),
             other => unreachable!("non-arithmetic boolean op {other:?} in ICP"),
         }
     }
@@ -986,7 +1030,11 @@ mod tests {
             for order in [SearchOrder::DepthFirst, SearchOrder::BreadthFirst] {
                 let script =
                     Script::parse("(declare-fun x () Int)(assert (= (* x x) 144))").unwrap();
-                let config = IcpConfig { split, order, ..Default::default() };
+                let config = IcpConfig {
+                    split,
+                    order,
+                    ..Default::default()
+                };
                 let mut stats = SolverStats::default();
                 let r = solve_nonlinear(
                     script.store(),

@@ -113,17 +113,26 @@ pub struct Interval {
 impl Interval {
     /// The whole extended real line.
     pub fn top() -> Interval {
-        Interval { lo: Ext::MinusInf, hi: Ext::PlusInf }
+        Interval {
+            lo: Ext::MinusInf,
+            hi: Ext::PlusInf,
+        }
     }
 
     /// A singleton interval.
     pub fn point(v: BigRational) -> Interval {
-        Interval { lo: Ext::Finite(v.clone()), hi: Ext::Finite(v) }
+        Interval {
+            lo: Ext::Finite(v.clone()),
+            hi: Ext::Finite(v),
+        }
     }
 
     /// A finite interval `[lo, hi]`.
     pub fn closed(lo: BigRational, hi: BigRational) -> Interval {
-        Interval { lo: Ext::Finite(lo), hi: Ext::Finite(hi) }
+        Interval {
+            lo: Ext::Finite(lo),
+            hi: Ext::Finite(hi),
+        }
     }
 
     /// An explicitly empty interval.
@@ -186,7 +195,10 @@ impl Interval {
 
     /// Pointwise negation.
     pub fn neg(&self) -> Interval {
-        Interval { lo: self.hi.neg(), hi: self.lo.neg() }
+        Interval {
+            lo: self.hi.neg(),
+            hi: self.lo.neg(),
+        }
     }
 
     /// Interval sum.
@@ -240,7 +252,10 @@ impl Interval {
             Ext::MinusInf | Ext::PlusInf => Ext::Finite(BigRational::zero()),
             Ext::Finite(r) => Ext::Finite(r.recip()),
         };
-        let recip = Interval { lo: inv(&other.hi), hi: inv(&other.lo) };
+        let recip = Interval {
+            lo: inv(&other.hi),
+            hi: inv(&other.lo),
+        };
         self.mul(&recip)
     }
 
@@ -259,8 +274,14 @@ impl Interval {
                     b
                 }
             };
-            Interval { lo: Ext::Finite(BigRational::zero()), hi: hi_mag }
-        } else if matches!(self.hi.cmp_ext(&Ext::Finite(BigRational::zero())), Ordering::Less) {
+            Interval {
+                lo: Ext::Finite(BigRational::zero()),
+                hi: hi_mag,
+            }
+        } else if matches!(
+            self.hi.cmp_ext(&Ext::Finite(BigRational::zero())),
+            Ordering::Less
+        ) {
             self.neg()
         } else {
             self.clone()
@@ -272,10 +293,7 @@ impl Interval {
     /// with integrality).
     pub fn int_div(&self, other: &Interval) -> Interval {
         let real = self.div(other);
-        let widen = Interval::closed(
-            BigRational::from(-1i64),
-            BigRational::from(1i64),
-        );
+        let widen = Interval::closed(BigRational::from(-1i64), BigRational::from(1i64));
         real.add(&widen).snap_to_integers()
     }
 
@@ -284,11 +302,11 @@ impl Interval {
     pub fn int_mod(&self, other: &Interval) -> Interval {
         let mag = other.abs();
         match &mag.hi {
-            Ext::Finite(h) => Interval::closed(
-                BigRational::zero(),
-                h - &BigRational::one(),
-            ),
-            _ => Interval { lo: Ext::Finite(BigRational::zero()), hi: Ext::PlusInf },
+            Ext::Finite(h) => Interval::closed(BigRational::zero(), h - &BigRational::one()),
+            _ => Interval {
+                lo: Ext::Finite(BigRational::zero()),
+                hi: Ext::PlusInf,
+            },
         }
     }
 
@@ -326,9 +344,7 @@ impl Interval {
     /// the finite endpoint (±1) of a half-line, or zero for the whole line.
     pub fn sample(&self) -> BigRational {
         match (&self.lo, &self.hi) {
-            (Ext::Finite(l), Ext::Finite(h)) => {
-                &(l + h) / &BigRational::from(2i64)
-            }
+            (Ext::Finite(l), Ext::Finite(h)) => &(l + h) / &BigRational::from(2i64),
             (Ext::Finite(l), Ext::PlusInf) => l + &BigRational::one(),
             (Ext::MinusInf, Ext::Finite(h)) => h - &BigRational::one(),
             _ => BigRational::zero(),
@@ -363,6 +379,9 @@ pub enum TriBool {
 
 impl TriBool {
     /// Three-valued negation.
+    // Deliberately an inherent method: `std::ops::Not` would promise a
+    // two-valued involution, but `Maybe` is its own fixpoint.
+    #[allow(clippy::should_implement_trait)]
     #[must_use]
     pub fn not(self) -> TriBool {
         match self {
@@ -410,7 +429,12 @@ pub fn cmp_intervals(a: &Interval, b: &Interval) -> IntervalOrder {
     let strictly_greater = a.lo.cmp_ext(&b.hi) == Ordering::Greater;
     let le = a.hi.cmp_ext(&b.lo) != Ordering::Greater; // a.hi <= b.lo
     let ge = a.lo.cmp_ext(&b.hi) != Ordering::Less;
-    IntervalOrder { strictly_less, strictly_greater, le_definite: le, ge_definite: ge }
+    IntervalOrder {
+        strictly_less,
+        strictly_greater,
+        le_definite: le,
+        ge_definite: ge,
+    }
 }
 
 /// Result of an interval comparison (see [`cmp_intervals`]).
@@ -484,7 +508,10 @@ mod tests {
 
     #[test]
     fn multiplication_with_infinities() {
-        let half_line = Interval { lo: Ext::Finite(r(1)), hi: Ext::PlusInf };
+        let half_line = Interval {
+            lo: Ext::Finite(r(1)),
+            hi: Ext::PlusInf,
+        };
         let product = half_line.mul(&iv(2, 3));
         assert_eq!(product.lo, Ext::Finite(r(2)));
         assert_eq!(product.hi, Ext::PlusInf);
@@ -548,9 +575,15 @@ mod tests {
         for i in [iv(1, 5), iv(-10, -2), Interval::top()] {
             assert!(i.contains(&i.sample()), "sample of {i}");
         }
-        let half = Interval { lo: Ext::Finite(r(3)), hi: Ext::PlusInf };
+        let half = Interval {
+            lo: Ext::Finite(r(3)),
+            hi: Ext::PlusInf,
+        };
         assert!(half.contains(&half.sample()));
-        let lower = Interval { lo: Ext::MinusInf, hi: Ext::Finite(r(-3)) };
+        let lower = Interval {
+            lo: Ext::MinusInf,
+            hi: Ext::Finite(r(-3)),
+        };
         assert!(lower.contains(&lower.sample()));
     }
 

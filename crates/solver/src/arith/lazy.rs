@@ -79,7 +79,7 @@ pub fn solve_lazy_linear(
                 blocking.push(Lit::pos(*var));
             }
         }
-        match solve_conjunction(store, &conjunction, &vars, is_int, budget, stats) {
+        match solve_conjunction(&conjunction, &vars, is_int, budget, stats) {
             ConjunctionResult::Sat(mut model) => {
                 // Free booleans from the skeleton model.
                 for (&sym, &var) in &enc.bool_vars {
@@ -145,7 +145,8 @@ impl<'a> Skeleton<'a> {
     fn gate_xor2(&mut self, a: Lit, b: Lit) -> Lit {
         let g = Lit::pos(self.sat.new_var());
         self.sat.add_clause(&[g.negated(), a, b]);
-        self.sat.add_clause(&[g.negated(), a.negated(), b.negated()]);
+        self.sat
+            .add_clause(&[g.negated(), a.negated(), b.negated()]);
         self.sat.add_clause(&[g, a.negated(), b]);
         self.sat.add_clause(&[g, a, b.negated()]);
         g
@@ -196,8 +197,9 @@ impl<'a> Skeleton<'a> {
                 }
                 acc
             }
-            Op::Ite if self.store.sort(id) == Sort::Bool
-                && self.store.sort(term.args()[1]) == Sort::Bool =>
+            Op::Ite
+                if self.store.sort(id) == Sort::Bool
+                    && self.store.sort(term.args()[1]) == Sort::Bool =>
             {
                 let c = self.encode(term.args()[0])?;
                 let t = self.encode(term.args()[1])?;
@@ -222,7 +224,8 @@ impl<'a> Skeleton<'a> {
                     Some(&i) => i,
                     None => {
                         let var = self.sat.new_var();
-                        self.atoms.push((atoms.into_iter().next().expect("one atom"), var));
+                        self.atoms
+                            .push((atoms.into_iter().next().expect("one atom"), var));
                         let i = self.atoms.len() - 1;
                         self.atom_of_term.insert(id, i);
                         i
@@ -321,7 +324,10 @@ mod tests {
             true,
         )
         .unwrap();
-        assert!(r.is_unsat(), "p forces x < 0; ¬p forces x > 5; x = 2 blocks both");
+        assert!(
+            r.is_unsat(),
+            "p forces x < 0; ¬p forces x > 5; x = 2 blocks both"
+        );
     }
 
     #[test]
@@ -350,7 +356,11 @@ mod tests {
 
     #[test]
     fn nonlinear_leaves_decline() {
-        assert!(solve("(declare-fun x () Int)(assert (or (= (* x x) 4) (> x 0)))", true).is_none());
+        assert!(solve(
+            "(declare-fun x () Int)(assert (or (= (* x x) 4) (> x 0)))",
+            true
+        )
+        .is_none());
     }
 
     #[test]

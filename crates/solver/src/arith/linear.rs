@@ -21,13 +21,19 @@ pub struct LinExpr {
 
 impl LinExpr {
     fn constant_of(k: BigRational) -> LinExpr {
-        LinExpr { coeffs: BTreeMap::new(), constant: k }
+        LinExpr {
+            coeffs: BTreeMap::new(),
+            constant: k,
+        }
     }
 
     fn var(v: SymbolId) -> LinExpr {
         let mut coeffs = BTreeMap::new();
         coeffs.insert(v, BigRational::one());
-        LinExpr { coeffs, constant: BigRational::zero() }
+        LinExpr {
+            coeffs,
+            constant: BigRational::zero(),
+        }
     }
 
     fn add(&self, other: &LinExpr) -> LinExpr {
@@ -93,11 +99,23 @@ impl LinAtom {
     pub fn negated(&self) -> LinAtom {
         match self.rel {
             // ¬(e <= 0) is e > 0 is -e < 0.
-            Rel::Le => LinAtom { expr: self.expr.neg(), rel: Rel::Lt },
+            Rel::Le => LinAtom {
+                expr: self.expr.neg(),
+                rel: Rel::Lt,
+            },
             // ¬(e < 0) is e >= 0 is -e <= 0.
-            Rel::Lt => LinAtom { expr: self.expr.neg(), rel: Rel::Le },
-            Rel::Eq => LinAtom { expr: self.expr.clone(), rel: Rel::Ne },
-            Rel::Ne => LinAtom { expr: self.expr.clone(), rel: Rel::Eq },
+            Rel::Lt => LinAtom {
+                expr: self.expr.neg(),
+                rel: Rel::Le,
+            },
+            Rel::Eq => LinAtom {
+                expr: self.expr.clone(),
+                rel: Rel::Ne,
+            },
+            Rel::Ne => LinAtom {
+                expr: self.expr.clone(),
+                rel: Rel::Eq,
+            },
         }
     }
 }
@@ -128,8 +146,7 @@ pub fn linearize(store: &TermStore, id: TermId) -> Option<LinExpr> {
         }
         Op::Mul => {
             // Linear only if at most one factor has variables.
-            let parts: Option<Vec<LinExpr>> =
-                args.iter().map(|&a| linearize(store, a)).collect();
+            let parts: Option<Vec<LinExpr>> = args.iter().map(|&a| linearize(store, a)).collect();
             let parts = parts?;
             let mut scalar = BigRational::one();
             let mut var_part: Option<LinExpr> = None;
@@ -172,8 +189,7 @@ pub fn extract_atoms(store: &TermStore, id: TermId) -> Option<Vec<LinAtom>> {
     let term = store.term(id);
     let args = term.args();
     let pairwise = |rel_fn: &dyn Fn(LinExpr) -> LinAtom| -> Option<Vec<LinAtom>> {
-        let exprs: Option<Vec<LinExpr>> =
-            args.iter().map(|&a| linearize(store, a)).collect();
+        let exprs: Option<Vec<LinExpr>> = args.iter().map(|&a| linearize(store, a)).collect();
         let exprs = exprs?;
         Some(
             exprs
@@ -184,18 +200,30 @@ pub fn extract_atoms(store: &TermStore, id: TermId) -> Option<Vec<LinAtom>> {
     };
     match term.op() {
         // a <= b  ==>  a - b <= 0
-        Op::Le => pairwise(&|e| LinAtom { expr: e, rel: Rel::Le }),
-        Op::Lt => pairwise(&|e| LinAtom { expr: e, rel: Rel::Lt }),
+        Op::Le => pairwise(&|e| LinAtom {
+            expr: e,
+            rel: Rel::Le,
+        }),
+        Op::Lt => pairwise(&|e| LinAtom {
+            expr: e,
+            rel: Rel::Lt,
+        }),
         // a >= b  ==>  b - a <= 0
-        Op::Ge => pairwise(&|e| LinAtom { expr: e.neg(), rel: Rel::Le }),
-        Op::Gt => pairwise(&|e| LinAtom { expr: e.neg(), rel: Rel::Lt }),
-        Op::Eq if store.sort(args[0]).is_numeric() => {
-            pairwise(&|e| LinAtom { expr: e, rel: Rel::Eq })
-        }
+        Op::Ge => pairwise(&|e| LinAtom {
+            expr: e.neg(),
+            rel: Rel::Le,
+        }),
+        Op::Gt => pairwise(&|e| LinAtom {
+            expr: e.neg(),
+            rel: Rel::Lt,
+        }),
+        Op::Eq if store.sort(args[0]).is_numeric() => pairwise(&|e| LinAtom {
+            expr: e,
+            rel: Rel::Eq,
+        }),
         Op::Distinct if store.sort(args[0]).is_numeric() => {
             // All-pairs disequalities (n-ary distinct).
-            let exprs: Option<Vec<LinExpr>> =
-                args.iter().map(|&a| linearize(store, a)).collect();
+            let exprs: Option<Vec<LinExpr>> = args.iter().map(|&a| linearize(store, a)).collect();
             let exprs = exprs?;
             let mut atoms = Vec::new();
             for i in 0..exprs.len() {
@@ -228,7 +256,6 @@ pub enum ConjunctionResult {
 /// Disequalities are handled by case-splitting, integers by branch-and-bound
 /// on the simplex relaxation.
 pub fn solve_conjunction(
-    store: &TermStore,
     atoms: &[LinAtom],
     vars: &[SymbolId],
     is_int: bool,
@@ -253,7 +280,6 @@ pub fn solve_conjunction(
         }
     }
     let result = solve_rec(
-        store,
         simplex,
         &var_index,
         &disequalities,
@@ -281,7 +307,12 @@ fn int_eq_gcd_infeasible(atom: &LinAtom) -> bool {
         let g = a.gcd(b);
         &(a / &g) * b
     };
-    for c in atom.expr.coeffs.values().chain(std::iter::once(&atom.expr.constant)) {
+    for c in atom
+        .expr
+        .coeffs
+        .values()
+        .chain(std::iter::once(&atom.expr.constant))
+    {
         denom_lcm = lcm(&denom_lcm, c.denom());
     }
     let scale = BigRational::from_int(denom_lcm);
@@ -338,7 +369,6 @@ fn assert_atom(
 
 #[allow(clippy::too_many_arguments)]
 fn solve_rec(
-    store: &TermStore,
     mut simplex: Simplex,
     var_index: &BTreeMap<SymbolId, usize>,
     disequalities: &[&LinAtom],
@@ -370,9 +400,19 @@ fn solve_rec(
             // Branch x <= floor(v).
             let mut left = simplex.clone();
             left.pivots = 0;
-            if left.assert_upper(idx, DeltaRat::rational(BigRational::from_int(floor.clone()))) {
-                match solve_rec(store, left, var_index, disequalities, is_int, budget, stats, depth + 1)
-                {
+            if left.assert_upper(
+                idx,
+                DeltaRat::rational(BigRational::from_int(floor.clone())),
+            ) {
+                match solve_rec(
+                    left,
+                    var_index,
+                    disequalities,
+                    is_int,
+                    budget,
+                    stats,
+                    depth + 1,
+                ) {
                     ConjunctionResult::Unsat => {}
                     other => return other,
                 }
@@ -383,7 +423,6 @@ fn solve_rec(
             let ceil = &floor + &BigInt::one();
             if right.assert_lower(idx, DeltaRat::rational(BigRational::from_int(ceil))) {
                 return solve_rec(
-                    store,
                     right,
                     var_index,
                     disequalities,
@@ -411,14 +450,19 @@ fn solve_rec(
         let mut remaining: Vec<&LinAtom> = earlier.to_vec();
         remaining.extend_from_slice(rest);
         for strict in [
-            LinAtom { expr: atom.expr.clone(), rel: Rel::Lt },
-            LinAtom { expr: atom.expr.neg(), rel: Rel::Lt },
+            LinAtom {
+                expr: atom.expr.clone(),
+                rel: Rel::Lt,
+            },
+            LinAtom {
+                expr: atom.expr.neg(),
+                rel: Rel::Lt,
+            },
         ] {
             let mut branch = simplex.clone();
             branch.pivots = 0;
             if assert_atom(&mut branch, var_index, &strict) {
                 match solve_rec(
-                    store,
                     branch,
                     var_index,
                     &remaining,
@@ -469,21 +513,23 @@ pub fn solve_linear_script(
             }
         }
     }
-    Some(match solve_conjunction(store, &atoms, &vars, is_int, budget, stats) {
-        ConjunctionResult::Sat(mut model) => {
-            // Bind boolean variables (none participate in linear atoms).
-            for &a in assertions {
-                for v in store.vars_of(a) {
-                    if store.symbol_sort(v) == Sort::Bool && model.get(v).is_none() {
-                        model.insert(v, Value::Bool(true));
+    Some(
+        match solve_conjunction(&atoms, &vars, is_int, budget, stats) {
+            ConjunctionResult::Sat(mut model) => {
+                // Bind boolean variables (none participate in linear atoms).
+                for &a in assertions {
+                    for v in store.vars_of(a) {
+                        if store.symbol_sort(v) == Sort::Bool && model.get(v).is_none() {
+                            model.insert(v, Value::Bool(true));
+                        }
                     }
                 }
+                SatResult::Sat(model)
             }
-            SatResult::Sat(model)
-        }
-        ConjunctionResult::Unsat => SatResult::Unsat,
-        ConjunctionResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
-    })
+            ConjunctionResult::Unsat => SatResult::Unsat,
+            ConjunctionResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
+        },
+    )
 }
 
 /// DNF expansion limit for [`solve_linear_case_split`].
@@ -531,7 +577,7 @@ pub fn solve_linear_case_split(
     }
     let mut any_unknown = false;
     for branch in branches {
-        match solve_conjunction(store, &branch, &vars, is_int, budget, stats) {
+        match solve_conjunction(&branch, &vars, is_int, budget, stats) {
             ConjunctionResult::Sat(mut model) => {
                 for &a in assertions {
                     for v in store.vars_of(a) {
@@ -598,8 +644,7 @@ fn dnf(store: &TermStore, id: TermId) -> Option<Vec<Vec<LinAtom>>> {
         Op::Implies if term.args().len() == 2 => {
             // a => b  is  ¬a ∨ b.
             let nots = extract_atoms(store, term.args()[0])?;
-            let mut acc: Vec<Vec<LinAtom>> =
-                nots.iter().map(|a| vec![a.negated()]).collect();
+            let mut acc: Vec<Vec<LinAtom>> = nots.iter().map(|a| vec![a.negated()]).collect();
             acc.extend(dnf(store, term.args()[1])?);
             (acc.len() <= MAX_BRANCHES).then_some(acc)
         }
@@ -677,10 +722,7 @@ mod tests {
 
     #[test]
     fn nonlinear_detected() {
-        let script = Script::parse(
-            "(declare-fun x () Int)(assert (= (* x x) 4))",
-        )
-        .unwrap();
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 4))").unwrap();
         let eq = script.store().term(script.assertions()[0]);
         assert!(linearize(script.store(), eq.args()[0]).is_none());
         assert!(extract_atoms(script.store(), script.assertions()[0]).is_none());

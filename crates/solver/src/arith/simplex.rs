@@ -26,17 +26,26 @@ pub struct DeltaRat {
 impl DeltaRat {
     /// A plain rational (no infinitesimal part).
     pub fn rational(r: BigRational) -> DeltaRat {
-        DeltaRat { r, d: BigRational::zero() }
+        DeltaRat {
+            r,
+            d: BigRational::zero(),
+        }
     }
 
     /// `r + δ` (for strict lower bounds).
     pub fn plus_delta(r: BigRational) -> DeltaRat {
-        DeltaRat { r, d: BigRational::one() }
+        DeltaRat {
+            r,
+            d: BigRational::one(),
+        }
     }
 
     /// `r - δ` (for strict upper bounds).
     pub fn minus_delta(r: BigRational) -> DeltaRat {
-        DeltaRat { r, d: -BigRational::one() }
+        DeltaRat {
+            r,
+            d: -BigRational::one(),
+        }
     }
 
     /// Zero.
@@ -45,15 +54,24 @@ impl DeltaRat {
     }
 
     fn add(&self, other: &DeltaRat) -> DeltaRat {
-        DeltaRat { r: &self.r + &other.r, d: &self.d + &other.d }
+        DeltaRat {
+            r: &self.r + &other.r,
+            d: &self.d + &other.d,
+        }
     }
 
     fn sub(&self, other: &DeltaRat) -> DeltaRat {
-        DeltaRat { r: &self.r - &other.r, d: &self.d - &other.d }
+        DeltaRat {
+            r: &self.r - &other.r,
+            d: &self.d - &other.d,
+        }
     }
 
     fn scale(&self, k: &BigRational) -> DeltaRat {
-        DeltaRat { r: &self.r * k, d: &self.d * k }
+        DeltaRat {
+            r: &self.r * k,
+            d: &self.d * k,
+        }
     }
 
     /// Resolves the infinitesimal with a concrete ε.
@@ -283,9 +301,9 @@ impl Simplex {
         let n = self.rows[r].len();
         let neg_inv = -alpha.recip();
         let mut new_row = vec![BigRational::zero(); n];
-        for v in 0..n {
+        for (v, slot) in new_row.iter_mut().enumerate() {
             if v != entering {
-                new_row[v] = &self.rows[r][v] * &neg_inv;
+                *slot = &self.rows[r][v] * &neg_inv;
             }
         }
         new_row[entering] = -BigRational::one();
@@ -298,8 +316,8 @@ impl Simplex {
             if k.is_zero() {
                 continue;
             }
-            for v in 0..n {
-                let add = &new_row[v] * &k;
+            for (v, nv) in new_row.iter().enumerate() {
+                let add = nv * &k;
                 self.rows[rr][v] = &self.rows[rr][v] + &add;
             }
             debug_assert!(self.rows[rr][entering].is_zero());
@@ -325,15 +343,17 @@ impl Simplex {
                 let b = self.basic_of_row[r];
                 if let Some(l) = &self.lower[b] {
                     if self.assign[b] < *l
-                        && violation.is_none_or(|(vr, _)| self.basic_of_row[vr] > b) {
-                            violation = Some((r, true));
-                        }
+                        && violation.is_none_or(|(vr, _)| self.basic_of_row[vr] > b)
+                    {
+                        violation = Some((r, true));
+                    }
                 }
                 if let Some(u) = &self.upper[b] {
                     if self.assign[b] > *u
-                        && violation.is_none_or(|(vr, _)| self.basic_of_row[vr] > b) {
-                            violation = Some((r, false));
-                        }
+                        && violation.is_none_or(|(vr, _)| self.basic_of_row[vr] > b)
+                    {
+                        violation = Some((r, false));
+                    }
                 }
             }
             let Some((r, is_lower)) = violation else {

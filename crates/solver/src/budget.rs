@@ -64,7 +64,10 @@ impl Budget {
     /// Creates a budget that can additionally be cancelled from another
     /// thread (see [`CancelFlag`]).
     pub fn with_cancel(duration: Duration, steps: u64, cancel: CancelFlag) -> Budget {
-        Budget { cancel: Some(cancel), ..Budget::new(duration, steps) }
+        Budget {
+            cancel: Some(cancel),
+            ..Budget::new(duration, steps)
+        }
     }
 
     /// A budget that is effectively unlimited (for tests).

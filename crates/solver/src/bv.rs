@@ -133,7 +133,8 @@ impl<'a> Blaster<'a> {
         }
         let g = self.fresh();
         self.sat.add_clause(&[g.negated(), a, b]);
-        self.sat.add_clause(&[g.negated(), a.negated(), b.negated()]);
+        self.sat
+            .add_clause(&[g.negated(), a.negated(), b.negated()]);
         self.sat.add_clause(&[g, a.negated(), b]);
         self.sat.add_clause(&[g, a, b.negated()]);
         g
@@ -196,18 +197,26 @@ impl<'a> Blaster<'a> {
     /// Ternary xor (full-adder sum), encoded directly with eight clauses
     /// and one auxiliary variable (constant inputs short-circuit).
     fn gate_xor3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
-        if a == self.tru || a == self.fls() || b == self.tru || b == self.fls() || c == self.tru
+        if a == self.tru
+            || a == self.fls()
+            || b == self.tru
+            || b == self.fls()
+            || c == self.tru
             || c == self.fls()
         {
             let ab = self.gate_xor2(a, b);
             return self.gate_xor2(ab, c);
         }
         let s = self.fresh();
-        self.sat.add_clause(&[a.negated(), b.negated(), c.negated(), s]);
-        self.sat.add_clause(&[a.negated(), b.negated(), c, s.negated()]);
-        self.sat.add_clause(&[a.negated(), b, c.negated(), s.negated()]);
+        self.sat
+            .add_clause(&[a.negated(), b.negated(), c.negated(), s]);
+        self.sat
+            .add_clause(&[a.negated(), b.negated(), c, s.negated()]);
+        self.sat
+            .add_clause(&[a.negated(), b, c.negated(), s.negated()]);
         self.sat.add_clause(&[a.negated(), b, c, s]);
-        self.sat.add_clause(&[a, b.negated(), c.negated(), s.negated()]);
+        self.sat
+            .add_clause(&[a, b.negated(), c.negated(), s.negated()]);
         self.sat.add_clause(&[a, b.negated(), c, s]);
         self.sat.add_clause(&[a, b, c.negated(), s]);
         self.sat.add_clause(&[a, b, c, s.negated()]);
@@ -519,11 +528,11 @@ impl<'a> Blaster<'a> {
                 }
                 self.gate_and(&constraints)
             }
-            Op::BvSlt => self.encode_cmp(args, |s, a, b| s.slt(a, b)),
+            Op::BvSlt => self.encode_cmp(args, Blaster::slt),
             Op::BvSle => self.encode_cmp(args, |s, a, b| s.slt(b, a).negated()),
             Op::BvSgt => self.encode_cmp(args, |s, a, b| s.slt(b, a)),
             Op::BvSge => self.encode_cmp(args, |s, a, b| s.slt(a, b).negated()),
-            Op::BvUlt => self.encode_cmp(args, |s, a, b| s.ult(a, b)),
+            Op::BvUlt => self.encode_cmp(args, Blaster::ult),
             Op::BvUle => self.encode_cmp(args, |s, a, b| s.ult(b, a).negated()),
             Op::BvSaddo => {
                 let sum = self.wide_addsub_bits(args[0], args[1], false);
@@ -571,11 +580,7 @@ impl<'a> Blaster<'a> {
         (self.encode_bv(args[0]), self.encode_bv(args[1]))
     }
 
-    fn encode_cmp(
-        &mut self,
-        args: &[TermId],
-        f: impl Fn(&mut Self, &Bits, &Bits) -> Lit,
-    ) -> Lit {
+    fn encode_cmp(&mut self, args: &[TermId], f: impl Fn(&mut Self, &Bits, &Bits) -> Lit) -> Lit {
         let (a, b) = self.encode_pair(args);
         f(self, &a, &b)
     }
@@ -645,10 +650,14 @@ impl<'a> Blaster<'a> {
                 let a = self.encode_bv(args[0]);
                 self.negate(&a)
             }
-            Op::BvNot => self.encode_bv(args[0]).iter().map(|l| l.negated()).collect(),
+            Op::BvNot => self
+                .encode_bv(args[0])
+                .iter()
+                .map(|l| l.negated())
+                .collect(),
             Op::BvAnd => self.bitwise(args, |s, x, y| s.gate_and(&[x, y])),
             Op::BvOr => self.bitwise(args, |s, x, y| s.gate_or(&[x, y])),
-            Op::BvXor => self.bitwise(args, |s, x, y| s.gate_xor2(x, y)),
+            Op::BvXor => self.bitwise(args, Blaster::gate_xor2),
             Op::BvShl | Op::BvLshr | Op::BvAshr => {
                 let (a, amount) = self.encode_pair(args);
                 let op = term.op().clone();
@@ -785,9 +794,7 @@ mod tests {
 
     #[test]
     fn square_equation() {
-        let r = solve_checked(
-            "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))",
-        );
+        let r = solve_checked("(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))");
         assert!(r.is_sat());
     }
 
@@ -814,9 +821,7 @@ mod tests {
     #[test]
     fn unsat_parity() {
         // x + x is even; cannot equal 7.
-        let r = solve_src(
-            "(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv7 8)))",
-        );
+        let r = solve_src("(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv7 8)))");
         assert!(r.0.is_unsat());
     }
 

@@ -131,7 +131,11 @@ impl Solver {
     /// Creates a solver with the given profile and default budget
     /// (1 second / 4M steps).
     pub fn new(profile: SolverProfile) -> Solver {
-        Solver { profile, timeout: Duration::from_secs(1), steps: 4_000_000 }
+        Solver {
+            profile,
+            timeout: Duration::from_secs(1),
+            steps: 4_000_000,
+        }
     }
 
     /// Sets the wall-clock timeout per `solve` call.
@@ -169,7 +173,11 @@ impl Solver {
         let start = Instant::now();
         let mut stats = SolverStats::default();
         let result = self.dispatch(script, budget, &mut stats);
-        SolveOutcome { result, stats, elapsed: start.elapsed() }
+        SolveOutcome {
+            result,
+            stats,
+            elapsed: start.elapsed(),
+        }
     }
 
     fn dispatch(&self, script: &Script, budget: &Budget, stats: &mut SolverStats) -> SatResult {
@@ -189,7 +197,14 @@ impl Solver {
         }
         // Constants can introduce sorts without declared variables.
         for &a in script.assertions() {
-            scan_sorts(store, a, &mut has_int, &mut has_real, &mut has_bv, &mut has_fp);
+            scan_sorts(
+                store,
+                a,
+                &mut has_int,
+                &mut has_real,
+                &mut has_bv,
+                &mut has_fp,
+            );
         }
         match (has_int, has_real, has_bv, has_fp) {
             (false, false, false, false) => {
@@ -210,13 +225,7 @@ impl Solver {
                 // nonlinear fallback.
                 match solve_linear_script(store, script.assertions(), is_int, budget, stats)
                     .or_else(|| {
-                        solve_linear_case_split(
-                            store,
-                            script.assertions(),
-                            is_int,
-                            budget,
-                            stats,
-                        )
+                        solve_linear_case_split(store, script.assertions(), is_int, budget, stats)
                     })
                     .or_else(|| {
                         solve_lazy_linear(
@@ -299,7 +308,10 @@ mod tests {
     #[test]
     fn dispatches_boolean() {
         for p in [SolverProfile::Zed, SolverProfile::Cove] {
-            let r = solve("(declare-fun p () Bool)(declare-fun q () Bool)(assert (xor p q))", p);
+            let r = solve(
+                "(declare-fun p () Bool)(declare-fun q () Bool)(assert (xor p q))",
+                p,
+            );
             assert!(r.is_sat());
         }
     }
@@ -386,10 +398,9 @@ mod tests {
 
     #[test]
     fn stats_populated() {
-        let script = Script::parse(
-            "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))",
-        )
-        .unwrap();
+        let script =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))")
+                .unwrap();
         let outcome = Solver::new(SolverProfile::Zed).solve(&script);
         assert!(outcome.stats.clauses > 0);
         assert!(outcome.elapsed > Duration::ZERO);

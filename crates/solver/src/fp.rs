@@ -49,23 +49,18 @@ pub fn solve_fp(
     let var_map = relaxer.var_map.clone();
 
     // 2. Solve the relaxation: linear fast path, then ICP.
-    let relaxed_result = match solve_linear_script(
-        &relaxed_store,
-        &relaxed_assertions,
-        false,
-        budget,
-        stats,
-    ) {
-        Some(r) => r,
-        None => solve_nonlinear(
-            &relaxed_store,
-            &relaxed_assertions,
-            false,
-            icp_config,
-            budget,
-            stats,
-        ),
-    };
+    let relaxed_result =
+        match solve_linear_script(&relaxed_store, &relaxed_assertions, false, budget, stats) {
+            Some(r) => r,
+            None => solve_nonlinear(
+                &relaxed_store,
+                &relaxed_assertions,
+                false,
+                icp_config,
+                budget,
+                stats,
+            ),
+        };
     let real_model = match relaxed_result {
         SatResult::Sat(m) => m,
         // Refuting the relaxation does not refute the FP formula.
@@ -117,7 +112,13 @@ pub fn solve_fp(
     // Single-variable perturbations around RNE.
     for i in 0..fp_vars.len().min(8) {
         for &m in &uniform[1..] {
-            candidates.push(lift(&move |j| if j == i { m } else { RoundingMode::NearestEven }));
+            candidates.push(lift(&move |j| {
+                if j == i {
+                    m
+                } else {
+                    RoundingMode::NearestEven
+                }
+            }));
         }
     }
     for model in candidates {

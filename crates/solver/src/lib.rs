@@ -49,5 +49,5 @@ mod facade;
 mod result;
 
 pub use budget::{Budget, CancelFlag};
-pub use facade::{Solver, SolverProfile, SolveOutcome};
+pub use facade::{SolveOutcome, Solver, SolverProfile};
 pub use result::{SatResult, SolverStats, UnknownReason};

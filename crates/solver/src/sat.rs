@@ -328,7 +328,10 @@ impl SatSolver {
         // Simplify: drop false lits, detect satisfied/duplicate.
         let mut simplified: Vec<Lit> = Vec::with_capacity(lits.len());
         for &lit in lits {
-            debug_assert!((lit.var().0 as usize) < self.num_vars(), "undeclared variable in clause");
+            debug_assert!(
+                (lit.var().0 as usize) < self.num_vars(),
+                "undeclared variable in clause"
+            );
             match self.lit_value(lit) {
                 LBool::True => return true, // already satisfied at root
                 LBool::False => continue,
@@ -360,7 +363,11 @@ impl SatSolver {
                 let idx = self.clauses.len() as u32;
                 self.watches[simplified[0].index()].push(idx);
                 self.watches[simplified[1].index()].push(idx);
-                self.clauses.push(Clause { lits: simplified, learned: false, activity: 0.0 });
+                self.clauses.push(Clause {
+                    lits: simplified,
+                    learned: false,
+                    activity: 0.0,
+                });
                 true
             }
         }
@@ -536,7 +543,6 @@ impl SatSolver {
         }
 
         // Minimize, then compute the backtrack level over what remains.
-        let mut learned = learned;
         {
             let seen_ref = &seen;
             let this: &Self = self;
@@ -575,7 +581,6 @@ impl SatSolver {
         self.seen = seen;
         (learned, backtrack)
     }
-
 
     fn decide(&mut self) -> Option<Lit> {
         // Pop assigned entries until an unassigned variable surfaces.
@@ -799,7 +804,7 @@ mod tests {
         for row in &p {
             s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
         }
-        for j in 0..2 {
+        for j in [0, 1] {
             for i1 in 0..3 {
                 for i2 in (i1 + 1)..3 {
                     s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
@@ -869,7 +874,9 @@ mod tests {
         // Deterministic LCG so the test is reproducible without rand.
         let mut state = 0xdeadbeefu64;
         let mut next = move || {
-            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             (state >> 33) as u32
         };
         for _ in 0..10 {

@@ -172,7 +172,12 @@ impl Program {
         guard: Vec<Cond>,
         updates: Vec<Expr>,
     ) -> Program {
-        let p = Program { name: name.into(), vars, guard, updates };
+        let p = Program {
+            name: name.into(),
+            vars,
+            guard,
+            updates,
+        };
         assert_eq!(p.updates.len(), p.vars.len(), "one update per variable");
         p
     }
@@ -248,7 +253,11 @@ struct P<'a> {
 }
 
 fn parse_program(name: &str, src: &str) -> Result<Program, ParseProgramError> {
-    let mut p = P { src: src.as_bytes(), pos: 0, vars: Vec::new() };
+    let mut p = P {
+        src: src.as_bytes(),
+        pos: 0,
+        vars: Vec::new(),
+    };
     p.keyword("vars")?;
     loop {
         let v = p.ident()?;
@@ -291,12 +300,19 @@ fn parse_program(name: &str, src: &str) -> Result<Program, ParseProgramError> {
     if p.pos != p.src.len() {
         return Err(p.error("trailing input after program"));
     }
-    Ok(Program { name: name.to_string(), vars: p.vars, guard, updates })
+    Ok(Program {
+        name: name.to_string(),
+        vars: p.vars,
+        guard,
+        updates,
+    })
 }
 
 impl<'a> P<'a> {
     fn error(&self, message: impl Into<String>) -> ParseProgramError {
-        ParseProgramError { message: format!("{} (at byte {})", message.into(), self.pos) }
+        ParseProgramError {
+            message: format!("{} (at byte {})", message.into(), self.pos),
+        }
     }
 
     fn skip_ws(&mut self) {
@@ -460,7 +476,10 @@ mod tests {
         let p = Program::parse("sqgrow", "vars x, y; while (x < 100) { x = x * y; }").unwrap();
         assert!(!p.is_linear());
         assert!(p.updates[0].affine(2).is_none());
-        assert!(p.updates[1].affine(2).is_some(), "identity update is linear");
+        assert!(
+            p.updates[1].affine(2).is_some(),
+            "identity update is linear"
+        );
     }
 
     #[test]
@@ -506,11 +525,8 @@ mod tests {
 
     #[test]
     fn simultaneous_updates() {
-        let p = Program::parse(
-            "swapish",
-            "vars x, y; while (x > 0) { x = y; y = x - 1; }",
-        )
-        .unwrap();
+        let p =
+            Program::parse("swapish", "vars x, y; while (x > 0) { x = y; y = x - 1; }").unwrap();
         // From (2, 1): x' = y = 1, y' = x - 1 = 1 (reads pre-state x).
         let mut state = vec![2i64, 1];
         let next: Vec<i64> = p.updates.iter().map(|u| u.eval(&state)).collect();
@@ -520,11 +536,7 @@ mod tests {
 
     #[test]
     fn unary_minus_and_parens() {
-        let p = Program::parse(
-            "neg",
-            "vars x; while (x > -5) { x = -(x + 1); }",
-        )
-        .unwrap();
+        let p = Program::parse("neg", "vars x; while (x > -5) { x = -(x + 1); }").unwrap();
         assert_eq!(p.updates[0].eval(&[3]), -4);
         assert!(p.is_linear());
     }

@@ -109,7 +109,12 @@ impl TerminationProver {
         self
     }
 
-    fn solve(&self, script: &Script, purpose: &str, records: &mut Vec<ConstraintRecord>) -> SatResult {
+    fn solve(
+        &self,
+        script: &Script,
+        purpose: &str,
+        records: &mut Vec<ConstraintRecord>,
+    ) -> SatResult {
         let start = Instant::now();
         let result = match &self.backend {
             Backend::Baseline(solver) => solver.solve(script).result,
@@ -159,9 +164,9 @@ impl TerminationProver {
                     ranking = query.decode(&model);
                     if let Some(f) = &ranking {
                         let validated = match validation_query(program, f) {
-                            Some(vq) => {
-                                self.solve(&vq, "ranking-validation", &mut records).is_unsat()
-                            }
+                            Some(vq) => self
+                                .solve(&vq, "ranking-validation", &mut records)
+                                .is_unsat(),
                             None => false,
                         };
                         if validated {
@@ -175,7 +180,12 @@ impl TerminationProver {
         }
 
         let total_solve_time = records.iter().map(|r| r.elapsed).sum();
-        ProveOutcome { verdict, ranking, constraints: records, total_solve_time }
+        ProveOutcome {
+            verdict,
+            ranking,
+            constraints: records,
+            total_solve_time,
+        }
     }
 }
 
@@ -192,7 +202,10 @@ mod tests {
     fn countdown_terminates_via_ranking() {
         let outcome = prove("vars x; while (x > 0) { x = x - 1; }");
         assert_eq!(outcome.verdict, Verdict::Terminating);
-        assert!(outcome.ranking.is_some(), "unbounded loop needs a ranking proof");
+        assert!(
+            outcome.ranking.is_some(),
+            "unbounded loop needs a ranking proof"
+        );
     }
 
     #[test]
@@ -200,7 +213,10 @@ mod tests {
         let outcome = prove("vars x; while (x > 2 && x < 6) { x = x + 1; }");
         assert_eq!(outcome.verdict, Verdict::Terminating);
         // Proven by refuting an unrolling (depth 4 suffices: x in 3..5).
-        assert!(outcome.constraints.iter().any(|r| r.purpose.starts_with("unroll")));
+        assert!(outcome
+            .constraints
+            .iter()
+            .any(|r| r.purpose.starts_with("unroll")));
     }
 
     #[test]
@@ -217,8 +233,7 @@ mod tests {
     fn nonlinear_bounded_program() {
         // x doubles each round under x < 16 with y == 2: terminates, and
         // only the (nonlinear) unrolling path can prove it.
-        let outcome =
-            prove("vars x, y; while (x < 16 && x > 1 && y == 2) { x = x * y; }");
+        let outcome = prove("vars x, y; while (x < 16 && x > 1 && y == 2) { x = x * y; }");
         assert_eq!(outcome.verdict, Verdict::Terminating);
         assert!(outcome.ranking.is_none(), "Farkas does not apply to x*y");
     }

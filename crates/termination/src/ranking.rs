@@ -82,14 +82,26 @@ pub fn ranking_query(program: &Program) -> Option<RankingQuery> {
     let mut script = Script::new();
     script.set_logic(Logic::QfLia);
     let coeff_syms: Vec<SymbolId> = (0..n)
-        .map(|i| script.declare(&format!("c{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("c{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     let const_sym = script.declare("c0", Sort::Int).expect("fresh symbol");
     let lambda: Vec<SymbolId> = (0..m)
-        .map(|i| script.declare(&format!("lam{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("lam{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     let mu: Vec<SymbolId> = (0..m)
-        .map(|i| script.declare(&format!("mu{i}"), Sort::Int).expect("fresh symbol"))
+        .map(|i| {
+            script
+                .declare(&format!("mu{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
 
     // Multipliers are nonnegative.
@@ -178,7 +190,11 @@ pub fn ranking_query(program: &Program) -> Option<RankingQuery> {
     }
 
     script.check_sat();
-    Some(RankingQuery { script, coeff_syms, const_sym })
+    Some(RankingQuery {
+        script,
+        coeff_syms,
+        const_sym,
+    })
 }
 
 /// Emits `target_coeff(j) = Σᵢ multᵢ·G[i][j]` for every column `j` and
@@ -246,7 +262,11 @@ pub fn validation_query(program: &Program, f: &RankingFunction) -> Option<Script
     let pre: Vec<SymbolId> = program
         .vars
         .iter()
-        .map(|v| script.declare(&format!("{v}__pre"), Sort::Int).expect("fresh symbol"))
+        .map(|v| {
+            script
+                .declare(&format!("{v}__pre"), Sort::Int)
+                .expect("fresh symbol")
+        })
         .collect();
     let pre_vars: Vec<TermId> = {
         let s = script.store_mut();
@@ -296,7 +316,12 @@ pub fn validation_query(program: &Program, f: &RankingFunction) -> Option<Script
 
 /// Checks a candidate ranking function against concrete executions
 /// (a lightweight dynamic soundness probe used by tests).
-pub fn validate_on_trace(program: &Program, f: &RankingFunction, start: Vec<i64>, fuel: usize) -> bool {
+pub fn validate_on_trace(
+    program: &Program,
+    f: &RankingFunction,
+    start: Vec<i64>,
+    fuel: usize,
+) -> bool {
     let eval_f = |state: &[i64]| -> i64 {
         f.coeffs.iter().zip(state).map(|(c, x)| c * x).sum::<i64>() + f.constant
     };
@@ -341,11 +366,13 @@ mod tests {
 
     #[test]
     fn countdown_has_ranking_function() {
-        let f = synthesize("vars x; while (x > 0) { x = x - 1; }")
-            .expect("f(x) = x works");
+        let f = synthesize("vars x; while (x > 0) { x = x - 1; }").expect("f(x) = x works");
         let p = Program::parse("t", "vars x; while (x > 0) { x = x - 1; }").unwrap();
         for start in [0i64, 1, 7, 100] {
-            assert!(validate_on_trace(&p, &f, vec![start], 200), "start {start}, {f}");
+            assert!(
+                validate_on_trace(&p, &f, vec![start], 200),
+                "start {start}, {f}"
+            );
         }
     }
 
@@ -394,6 +421,9 @@ mod tests {
     fn query_is_lia() {
         let p = Program::parse("q", "vars x; while (x > 0) { x = x - 2; }").unwrap();
         let q = ranking_query(&p).unwrap();
-        assert_eq!(q.script.logic().map(|l| l.name()), Some("QF_LIA"));
+        assert_eq!(
+            q.script.logic().map(staub_smtlib::Logic::name),
+            Some("QF_LIA")
+        );
     }
 }

@@ -25,10 +25,12 @@ pub struct SuiteEntry {
 pub fn suite_97() -> Vec<SuiteEntry> {
     let mut out = Vec::with_capacity(97);
     let mut push = |src: String, name: String, terminates: Option<bool>| {
-        let program = Program::parse(&name, &src).unwrap_or_else(|e| {
-            panic!("suite program {name} fails to parse: {e}\n{src}")
+        let program = Program::parse(&name, &src)
+            .unwrap_or_else(|e| panic!("suite program {name} fails to parse: {e}\n{src}"));
+        out.push(SuiteEntry {
+            program,
+            terminates,
         });
-        out.push(SuiteEntry { program, terminates });
     };
 
     // Family 1: countdown loops with varied strides (terminating). 20.
@@ -46,9 +48,7 @@ pub fn suite_97() -> Vec<SuiteEntry> {
         let a = 1 + i % 4;
         let b = 1 + i / 4;
         push(
-            format!(
-                "vars x, y; while (x + y > 0) {{ x = x - {a}; y = y - {b}; }}"
-            ),
+            format!("vars x, y; while (x + y > 0) {{ x = x - {a}; y = y - {b}; }}"),
             format!("coupled-{i:02}"),
             Some(true),
         );
@@ -57,7 +57,10 @@ pub fn suite_97() -> Vec<SuiteEntry> {
     // Family 3: bounded windows (terminating, provable by unrolling). 15.
     for width in 1..=15i64 {
         push(
-            format!("vars i; while (i > 0 && i < {}) {{ i = i + 1; }}", width + 1),
+            format!(
+                "vars i; while (i > 0 && i < {}) {{ i = i + 1; }}",
+                width + 1
+            ),
             format!("window-{width:02}"),
             Some(true),
         );
@@ -68,9 +71,7 @@ pub fn suite_97() -> Vec<SuiteEntry> {
     for cap_log in 2..=13i64 {
         let cap = 1i64 << cap_log;
         push(
-            format!(
-                "vars x, y; while (x < {cap} && x > 1 && y == 2) {{ x = x * y; }}"
-            ),
+            format!("vars x, y; while (x < {cap} && x > 1 && y == 2) {{ x = x * y; }}"),
             format!("double-under-{cap}"),
             Some(true),
         );
@@ -102,9 +103,7 @@ pub fn suite_97() -> Vec<SuiteEntry> {
     for i in 0..10i64 {
         let outer = 2 + i % 3;
         push(
-            format!(
-                "vars x, y; while (x > 0 && y > 0) {{ x = x - 1; y = y + {outer}; }}"
-            ),
+            format!("vars x, y; while (x > 0 && y > 0) {{ x = x - 1; y = y + {outer}; }}"),
             format!("lexico-{i:02}"),
             Some(true),
         );
@@ -169,7 +168,11 @@ mod tests {
     #[test]
     fn prover_never_claims_termination_of_diverging_programs() {
         let prover = TerminationProver::default();
-        for entry in suite_97().into_iter().filter(|e| e.terminates == Some(false)).take(4) {
+        for entry in suite_97()
+            .into_iter()
+            .filter(|e| e.terminates == Some(false))
+            .take(4)
+        {
             let outcome = prover.prove(&entry.program);
             assert_eq!(
                 outcome.verdict,
@@ -188,7 +191,12 @@ mod tests {
             let entry = &suite[idx];
             let outcome = prover.prove(&entry.program);
             if entry.terminates == Some(false) {
-                assert_ne!(outcome.verdict, Verdict::Terminating, "{}", entry.program.name);
+                assert_ne!(
+                    outcome.verdict,
+                    Verdict::Terminating,
+                    "{}",
+                    entry.program.name
+                );
             }
             // Terminating entries may still be Unknown under tight budgets;
             // soundness is what matters here.

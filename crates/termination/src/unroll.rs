@@ -23,7 +23,11 @@ use crate::lang::{Cmp, Cond, Expr, Program};
 pub fn unroll_query(program: &Program, k: usize) -> Script {
     assert!(k > 0, "unrolling depth must be positive");
     let mut script = Script::new();
-    let logic = if program.is_linear() { Logic::QfLia } else { Logic::QfNia };
+    let logic = if program.is_linear() {
+        Logic::QfLia
+    } else {
+        Logic::QfNia
+    };
     script.set_logic(logic);
     // Declare state variables per step.
     let mut state_syms = Vec::with_capacity(k + 1);
@@ -123,14 +127,16 @@ mod tests {
     #[test]
     fn bounded_loop_unrolls_until_its_bound() {
         // while (0 < x <= 3) x = x - 1: at most 3 iterations.
-        let p = Program::parse(
-            "b3",
-            "vars x; while (x > 0 && x <= 3) { x = x - 1; }",
-        )
-        .unwrap();
+        let p = Program::parse("b3", "vars x; while (x > 0 && x <= 3) { x = x - 1; }").unwrap();
         let s = solver();
-        assert!(s.solve(&unroll_query(&p, 3)).result.is_sat(), "3 iterations possible");
-        assert!(s.solve(&unroll_query(&p, 4)).result.is_unsat(), "4 iterations impossible");
+        assert!(
+            s.solve(&unroll_query(&p, 3)).result.is_sat(),
+            "3 iterations possible"
+        );
+        assert!(
+            s.solve(&unroll_query(&p, 4)).result.is_unsat(),
+            "4 iterations impossible"
+        );
     }
 
     #[test]
@@ -151,7 +157,10 @@ mod tests {
         )
         .unwrap();
         let script = unroll_query(&p, 2);
-        assert_eq!(script.logic().map(|l| l.name()), Some("QF_NIA"));
+        assert_eq!(
+            script.logic().map(staub_smtlib::Logic::name),
+            Some("QF_NIA")
+        );
         let s = solver();
         assert!(s.solve(&script).result.is_sat(), "x=2, y=2 runs twice");
     }
@@ -167,7 +176,10 @@ mod tests {
         )
         .unwrap();
         let s = solver();
-        assert!(s.solve(&unroll_query(&p, 3)).result.is_sat(), "2 -> 4 -> 8 runs 3 steps");
+        assert!(
+            s.solve(&unroll_query(&p, 3)).result.is_sat(),
+            "2 -> 4 -> 8 runs 3 steps"
+        );
         let r4 = s.solve(&unroll_query(&p, 4)).result;
         assert!(!r4.is_sat(), "no start runs 4 guarded steps");
     }

@@ -40,7 +40,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         StaubOutcome::Sat { model, via } => {
             println!(
                 "sat (via the {} constraint)",
-                if via == Via::Bounded { "bounded" } else { "original" }
+                if via == Via::Bounded {
+                    "bounded"
+                } else {
+                    "original"
+                }
             );
             println!("model:\n{}", model.to_smtlib(script.store()));
         }

@@ -12,9 +12,18 @@ use std::time::Duration;
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let programs = [
         ("countdown", "vars x; while (x > 0) { x = x - 1; }"),
-        ("coupled", "vars x, y; while (x + y > 0) { x = x - 1; y = y - 2; }"),
-        ("bounded-window", "vars i; while (i > 0 && i < 10) { i = i + 1; }"),
-        ("nonlinear-double", "vars x, y; while (x < 64 && x > 1 && y == 2) { x = x * y; }"),
+        (
+            "coupled",
+            "vars x, y; while (x + y > 0) { x = x - 1; y = y - 2; }",
+        ),
+        (
+            "bounded-window",
+            "vars i; while (i > 0 && i < 10) { i = i + 1; }",
+        ),
+        (
+            "nonlinear-double",
+            "vars x, y; while (x < 64 && x > 1 && y == 2) { x = x * y; }",
+        ),
         ("diverging", "vars x; while (x > 0) { x = x + 1; }"),
     ];
 

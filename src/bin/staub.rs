@@ -7,6 +7,7 @@
 //!
 //! ```text
 //! staub [OPTIONS] <file.smt2>
+//! staub lint [--width N] <file.smt2>
 //!
 //! OPTIONS:
 //!   --emit             print the bounded SMT-LIB constraint and exit
@@ -18,6 +19,11 @@
 //!   --race             run the two-core portfolio race (default: sequential)
 //!   --stats            print inference and timing details
 //! ```
+//!
+//! The `lint` subcommand runs the `staub-lint` certifying checker: it
+//! re-sorts the parsed input and, when the input is transformable,
+//! re-certifies the bounded translation (boundedness, guard domination,
+//! correspondence). Exits nonzero iff error-severity findings exist.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -96,9 +102,98 @@ fn parse_args() -> Result<Options, String> {
 }
 
 const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
-[--profile zed|cove] [--timeout-ms N] [--refine N] [--race] [--stats] <file.smt2>";
+[--profile zed|cove] [--timeout-ms N] [--refine N] [--race] [--stats] <file.smt2>
+       staub lint [--width N] <file.smt2>";
+
+/// `staub lint`: run the certifying checker over a script and (when
+/// transformable) its bounded translation. Exit code 1 iff error-severity
+/// findings were reported.
+fn lint_main(args: Vec<String>) -> ExitCode {
+    use staub::core::check::check_transformed;
+    use staub::lint::{resort, Severity};
+
+    let mut width = WidthChoice::Inferred;
+    let mut file = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--width" => {
+                let Some(w) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("error: --width needs a numeric value\n{USAGE}");
+                    return ExitCode::from(2);
+                };
+                width = WidthChoice::Fixed(w);
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: missing input file\n{USAGE}");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let script = match Script::parse(&source) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    // Pass 1 on the parsed input itself.
+    let mut report = resort(script.store());
+
+    // Passes 1–3 on the bounded translation, when one exists. A failing
+    // transformation is not a lint finding — the pipeline would simply
+    // revert to the original constraint.
+    let staub = Staub::new(StaubConfig {
+        width_choice: width,
+        ..Default::default()
+    });
+    if script
+        .logic()
+        .is_none_or(staub::smtlib::Logic::is_unbounded)
+    {
+        match staub.transform(&script) {
+            Ok(transformed) => report.merge(check_transformed(&script, &transformed)),
+            Err(e) => eprintln!("; not transformable ({e}); input checks only"),
+        }
+    }
+
+    for finding in &report.findings {
+        println!("{finding}");
+    }
+    let errors = report.error_count();
+    let warnings = report
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Warning)
+        .count();
+    println!("{file}: {errors} error(s), {warnings} warning(s)");
+    if errors > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
 
 fn main() -> ExitCode {
+    {
+        let mut args = std::env::args().skip(1);
+        if args.next().as_deref() == Some("lint") {
+            return lint_main(args.collect());
+        }
+    }
     let options = match parse_args() {
         Ok(o) => o,
         Err(msg) => {
@@ -163,20 +258,18 @@ fn main() -> ExitCode {
         }
         let solver = Solver::new(options.profile).with_timeout(options.timeout);
         return match solver.solve(&reduced.script).result {
-            SatResult::Sat(narrow) => {
-                match bvreduce::lift_and_verify(&script, &reduced, &narrow) {
-                    Some(model) => {
-                        println!("sat");
-                        println!("{}", model.to_smtlib(script.store()));
-                        ExitCode::SUCCESS
-                    }
-                    None => {
-                        println!("unknown");
-                        eprintln!("; narrow model did not verify; rerun without --reduce");
-                        ExitCode::SUCCESS
-                    }
+            SatResult::Sat(narrow) => match bvreduce::lift_and_verify(&script, &reduced, &narrow) {
+                Some(model) => {
+                    println!("sat");
+                    println!("{}", model.to_smtlib(script.store()));
+                    ExitCode::SUCCESS
                 }
-            }
+                None => {
+                    println!("unknown");
+                    eprintln!("; narrow model did not verify; rerun without --reduce");
+                    ExitCode::SUCCESS
+                }
+            },
             _ => {
                 println!("unknown");
                 eprintln!("; narrow constraint gave no verified answer");
@@ -210,14 +303,22 @@ fn main() -> ExitCode {
     }
 
     let start = std::time::Instant::now();
-    let outcome = if options.race { staub.race(&script) } else { staub.run(&script) };
+    let outcome = if options.race {
+        staub.race(&script)
+    } else {
+        staub.run(&script)
+    };
     match outcome {
         Ok(StaubOutcome::Sat { model, via }) => {
             println!("sat");
             if options.stats {
                 eprintln!(
                     "; via {} path in {:?}",
-                    if via == Via::Bounded { "bounded" } else { "original" },
+                    if via == Via::Bounded {
+                        "bounded"
+                    } else {
+                        "original"
+                    },
                     start.elapsed()
                 );
             }

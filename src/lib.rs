@@ -10,6 +10,7 @@
 //!   simplex, interval propagation).
 //! * [`core`] — theory arbitrage: bound inference, transformation,
 //!   verification, portfolio.
+//! * [`lint`] — the certifying checker re-validating pipeline invariants.
 //! * [`slot`] — compiler-optimization-style simplification of bounded
 //!   constraints.
 //! * [`termination`] — the termination-proving client analysis.
@@ -34,6 +35,7 @@
 
 pub use staub_benchgen as benchgen;
 pub use staub_core as core;
+pub use staub_lint as lint;
 pub use staub_numeric as numeric;
 pub use staub_slot as slot;
 pub use staub_smtlib as smtlib;

@@ -84,7 +84,11 @@ fn parsed_and_built_programs_agree() {
     let built = Program::new(
         "p",
         vec!["x".to_string()],
-        vec![Cond { lhs: Expr::Var(0), cmp: Cmp::Gt, rhs: Expr::Const(0) }],
+        vec![Cond {
+            lhs: Expr::Var(0),
+            cmp: Cmp::Gt,
+            rhs: Expr::Const(0),
+        }],
         vec![Expr::Sub(Box::new(Expr::Var(0)), Box::new(Expr::Const(2)))],
     );
     assert_eq!(parsed, built);

@@ -29,7 +29,12 @@ fn pipeline_is_sound_on_all_suites() {
             for b in generate(kind, 18, 0xE2E) {
                 match tool.run(&b.script).expect("non-empty script") {
                     StaubOutcome::Sat { model, .. } => {
-                        assert_ne!(b.expected, Some(false), "{}: sat but expected unsat", b.name);
+                        assert_ne!(
+                            b.expected,
+                            Some(false),
+                            "{}: sat but expected unsat",
+                            b.name
+                        );
                         for &a in b.script.assertions() {
                             assert_eq!(
                                 evaluate(b.script.store(), a, &model).unwrap(),
@@ -101,7 +106,9 @@ fn motivating_example_via_bounded_path() {
 fn emitted_constraints_round_trip_through_text() {
     let tool = staub(SolverProfile::Zed);
     for b in generate(SuiteKind::QfNia, 12, 0xCAFE) {
-        let Ok(transformed) = tool.transform(&b.script) else { continue };
+        let Ok(transformed) = tool.transform(&b.script) else {
+            continue;
+        };
         let text = transformed.script.to_string();
         let reparsed = Script::parse(&text)
             .unwrap_or_else(|e| panic!("{}: emitted text unparsable: {e}", b.name));
@@ -154,7 +161,9 @@ fn slot_chain_preserves_bounded_satisfiability() {
         .with_timeout(Duration::from_secs(1))
         .with_steps(1_000_000);
     for b in generate(SuiteKind::QfLia, 16, 0x510) {
-        let Ok(transformed) = tool.transform(&b.script) else { continue };
+        let Ok(transformed) = tool.transform(&b.script) else {
+            continue;
+        };
         let mut optimized = transformed.script.clone();
         staub::slot::Slot::standard().optimize(&mut optimized);
         let before = solver.solve(&transformed.script).result;

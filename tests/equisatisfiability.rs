@@ -63,8 +63,7 @@ fn small_expr(depth: u32) -> impl Strategy<Value = SmallExpr> {
                 .prop_map(|(a, b)| SmallExpr::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone())
                 .prop_map(|(a, b)| SmallExpr::Sub(Box::new(a), Box::new(b))),
-            (inner.clone(), inner)
-                .prop_map(|(a, b)| SmallExpr::Mul(Box::new(a), Box::new(b))),
+            (inner.clone(), inner).prop_map(|(a, b)| SmallExpr::Mul(Box::new(a), Box::new(b))),
         ]
     })
 }

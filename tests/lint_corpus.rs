@@ -1,0 +1,44 @@
+//! `staub lint` must run clean over the whole generated benchmark corpus:
+//! the parsed input re-sorts, and every transformable constraint's bounded
+//! translation certifies (boundedness, guard domination, correspondence)
+//! with zero error-severity findings.
+
+use staub::benchgen::{generate, SuiteKind};
+use staub::core::check::check_transformed;
+use staub::core::Staub;
+use staub::lint::resort;
+
+const PER_SUITE: usize = 40;
+const SEED: u64 = 0xC0FFEE;
+
+#[test]
+fn corpus_certifies_clean() {
+    let staub = Staub::default();
+    let mut transformed_count = 0usize;
+    for kind in SuiteKind::all() {
+        for benchmark in generate(kind, PER_SUITE, SEED) {
+            let input_report = resort(benchmark.script.store());
+            assert!(
+                input_report.is_clean(),
+                "{kind}/{}: input store failed resort:\n{input_report}",
+                benchmark.name
+            );
+            // Constraints without a bounded counterpart within default
+            // limits are fine — the pipeline reverts; nothing to certify.
+            let Ok(t) = staub.transform(&benchmark.script) else {
+                continue;
+            };
+            transformed_count += 1;
+            let report = check_transformed(&benchmark.script, &t);
+            assert!(
+                report.is_clean(),
+                "{kind}/{}: transformed output failed certification:\n{report}",
+                benchmark.name
+            );
+        }
+    }
+    assert!(
+        transformed_count >= PER_SUITE,
+        "corpus exercised only {transformed_count} transformations"
+    );
+}

@@ -1,0 +1,167 @@
+//! Negative property tests for `staub-lint`: starting from a known-good
+//! transformed constraint (which certifies clean), each seeded mutation
+//! must make exactly the targeted lint code fire.
+
+use proptest::prelude::*;
+
+use staub::benchgen::{generate, SuiteKind};
+use staub::core::check::check_transformed;
+use staub::core::{Staub, Transformed};
+use staub::lint::{model_shape, resort, LintCode};
+use staub::numeric::{BigInt, BitVecValue};
+use staub::smtlib::{Model, Op, Script, Sort, Value};
+
+/// A benchmark from the integer suites that transforms under default
+/// limits, together with its certified-clean translation.
+fn transformed_int(seed: u64) -> Option<(Script, Transformed)> {
+    let staub = Staub::default();
+    let kind = if seed.is_multiple_of(2) {
+        SuiteKind::QfNia
+    } else {
+        SuiteKind::QfLia
+    };
+    for benchmark in generate(kind, 4, seed) {
+        if let Ok(t) = staub.transform(&benchmark.script) {
+            if check_transformed(&benchmark.script, &t).is_clean() {
+                return Some((benchmark.script, t));
+            }
+        }
+    }
+    None
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Dropping any single overflow-guard assertion fires `L102`.
+    #[test]
+    fn dropped_guard_fires_missing_guard(seed in 0u64..10_000) {
+        prop_assume!(transformed_int(seed).is_some());
+        let (original, mut t) = transformed_int(seed).unwrap();
+        let guard_positions: Vec<usize> = t
+            .script
+            .assertions()
+            .iter()
+            .enumerate()
+            .filter(|&(_, &a)| {
+                let store = t.script.store();
+                let term = store.term(a);
+                matches!(term.op(), Op::Not)
+                    && matches!(
+                        store.term(term.args()[0]).op(),
+                        Op::BvSaddo | Op::BvSsubo | Op::BvSmulo | Op::BvSdivo | Op::BvNego
+                    )
+            })
+            .map(|(i, _)| i)
+            .collect();
+        prop_assume!(!guard_positions.is_empty());
+        let drop_at = guard_positions[seed as usize % guard_positions.len()];
+        let mut kept: Vec<_> = t.script.assertions().to_vec();
+        kept.remove(drop_at);
+        t.script.set_assertions(kept);
+        let report = check_transformed(&original, &t);
+        prop_assert!(report.has(LintCode::MissingGuard), "{}", report);
+        prop_assert!(!report.is_clean());
+    }
+
+    /// Widening a bitvector constant past its declared width fires `L103`.
+    #[test]
+    fn oversized_constant_fires_constant_overflow(seed in 0u64..10_000) {
+        prop_assume!(transformed_int(seed).is_some());
+        let (original, mut t) = transformed_int(seed).unwrap();
+        let store = t.script.store();
+        let victim = store.ids().find(|&id| matches!(store.term(id).op(), Op::BvConst(_)));
+        prop_assume!(victim.is_some());
+        let victim = victim.unwrap();
+        let width = match t.script.store().sort(victim) {
+            Sort::BitVec(w) => w,
+            other => {
+                prop_assert!(false, "BvConst carries sort {}", other);
+                unreachable!()
+            }
+        };
+        // The smallest value that no longer fits: 2^width.
+        let too_wide = BigInt::one().shl_bits(width as usize);
+        t.script.store_mut().corrupt_op_for_test(
+            victim,
+            Op::BvConst(BitVecValue::corrupted_for_test(too_wide, width)),
+        );
+        let report = check_transformed(&original, &t);
+        prop_assert!(report.has(LintCode::ConstantOverflow), "{}", report);
+    }
+
+    /// Removing any φ⁻¹ entry fires `L201`.
+    #[test]
+    fn removed_phi_entry_fires_phi_incomplete(seed in 0u64..10_000) {
+        prop_assume!(transformed_int(seed).is_some());
+        let (original, mut t) = transformed_int(seed).unwrap();
+        prop_assume!(!t.var_map.is_empty());
+        let remove_at = seed as usize % t.var_map.len();
+        t.var_map.remove(remove_at);
+        let report = check_transformed(&original, &t);
+        prop_assert!(report.has(LintCode::PhiIncomplete), "{}", report);
+        prop_assert!(!report.is_clean());
+    }
+
+    /// Corrupting a cached sort in the input store fires `L001`.
+    #[test]
+    fn corrupted_sort_fires_sort_mismatch(seed in 0u64..10_000) {
+        prop_assume!(transformed_int(seed).is_some());
+        let (mut original, _) = transformed_int(seed).unwrap();
+        let victim = {
+            let store = original.store();
+            store.ids().find(|&id| store.sort(id) == Sort::Int)
+        };
+        prop_assume!(victim.is_some());
+        original.store_mut().corrupt_sort_for_test(victim.unwrap(), Sort::Real);
+        let report = resort(original.store());
+        prop_assert!(report.has(LintCode::SortMismatch), "{}", report);
+        prop_assert!(!report.is_clean());
+    }
+
+    /// Deleting any free symbol's assignment from a well-shaped model fires
+    /// `L301`; retyping it fires `L302`.
+    #[test]
+    fn broken_model_shape_fires(seed in 0u64..10_000) {
+        prop_assume!(transformed_int(seed).is_some());
+        let (original, _) = transformed_int(seed).unwrap();
+        let store = original.store();
+        let free: Vec<_> = original
+            .assertions()
+            .iter()
+            .flat_map(|&a| store.vars_of(a))
+            .collect();
+        prop_assume!(!free.is_empty());
+        let mut model = Model::new();
+        for &sym in &free {
+            let value = match store.symbol_sort(sym) {
+                Sort::Int => Value::Int(BigInt::zero()),
+                Sort::Bool => Value::Bool(false),
+                other => {
+                    prop_assert!(false, "unexpected symbol sort {other}");
+                    unreachable!()
+                }
+            };
+            model.insert(sym, value);
+        }
+        prop_assert!(model_shape(&original, &model).is_clean());
+
+        let victim = free[seed as usize % free.len()];
+        let mut missing = model.clone();
+        // Model has no removal API; rebuild without the victim.
+        let mut rebuilt = Model::new();
+        for (sym, v) in missing.iter() {
+            if sym != victim {
+                rebuilt.insert(sym, v.clone());
+            }
+        }
+        missing = rebuilt;
+        let report = model_shape(&original, &missing);
+        prop_assert!(report.has(LintCode::ModelMissingValue), "{}", report);
+
+        let mut retyped = model;
+        retyped.insert(victim, Value::Rm(staub::numeric::RoundingMode::NearestEven));
+        let report = model_shape(&original, &retyped);
+        prop_assert!(report.has(LintCode::ModelSortMismatch), "{}", report);
+    }
+}

@@ -13,12 +13,15 @@ fn generated_suites_round_trip() {
     for kind in SuiteKind::all() {
         for b in generate(kind, 20, 0x707) {
             let once = b.script.to_string();
-            let reparsed = Script::parse(&once)
-                .unwrap_or_else(|e| panic!("{}: {e}\n{once}", b.name));
+            let reparsed =
+                Script::parse(&once).unwrap_or_else(|e| panic!("{}: {e}\n{once}", b.name));
             let twice = reparsed.to_string();
             assert_eq!(once, twice, "{}: printing is not a fixed point", b.name);
             assert_eq!(reparsed.assertions().len(), b.script.assertions().len());
-            assert_eq!(reparsed.store().symbol_count(), b.script.store().symbol_count());
+            assert_eq!(
+                reparsed.store().symbol_count(),
+                b.script.store().symbol_count()
+            );
         }
     }
 }

@@ -31,7 +31,8 @@ fn bv_expr(depth: u32) -> impl Strategy<Value = BvExpr> {
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Add(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Mul(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Xor(Box::new(a), Box::new(b))),
-            (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Udiv(Box::new(a), Box::new(b))),
+            (inner.clone(), inner.clone())
+                .prop_map(|(a, b)| BvExpr::Udiv(Box::new(a), Box::new(b))),
             (inner.clone(), inner.clone()).prop_map(|(a, b)| BvExpr::Shl(Box::new(a), Box::new(b))),
             inner.prop_map(|a| BvExpr::Neg(Box::new(a))),
         ]
@@ -56,7 +57,10 @@ fn emit(e: &BvExpr, script: &mut Script, vars: &[staub::smtlib::SymbolId]) -> Te
         BvExpr::Shl(a, b) => bin(script, Op::BvShl, a, b, vars),
         BvExpr::Neg(a) => {
             let ta = emit(a, script, vars);
-            script.store_mut().app(Op::BvNeg, &[ta]).expect("well-sorted")
+            script
+                .store_mut()
+                .app(Op::BvNeg, &[ta])
+                .expect("well-sorted")
         }
     }
 }
@@ -126,7 +130,7 @@ proptest! {
             }
             SatResult::Unsat => prop_assert!(!truth, "solver unsat, oracle sat:\n{script}"),
             SatResult::Unknown(r) => {
-                prop_assert!(false, "4-bit constraint should always decide ({r:?})")
+                prop_assert!(false, "4-bit constraint should always decide ({r:?})");
             }
         }
     }
