@@ -21,7 +21,7 @@
 use std::time::Duration;
 
 use staub_benchgen::{generate, Benchmark, SuiteKind};
-use staub_core::{portfolio, Staub, StaubConfig, WidthChoice};
+use staub_core::{portfolio, run_batch, BatchConfig, BatchItem, Staub, StaubConfig, WidthChoice};
 use staub_slot::Slot;
 use staub_solver::{SatResult, Solver, SolverProfile};
 
@@ -94,6 +94,24 @@ impl EvalConfig {
             .with_timeout(self.timeout)
             .with_steps(self.steps)
     }
+
+    /// Scheduler configuration matching the measurement methodology: the
+    /// exact lane pair `measure` runs (baseline + base STAUB lane, no
+    /// escalations), with cancellation disabled so every lane reports its
+    /// full timing — the scheduler parallelises across *constraints* only,
+    /// keeping Table 2/3 metrics undistorted.
+    pub fn batch(&self, profile: SolverProfile, width: WidthChoice) -> BatchConfig {
+        BatchConfig {
+            timeout: self.timeout,
+            steps: self.steps,
+            width_choice: width,
+            escalations: Vec::new(),
+            profiles: vec![profile],
+            cancel_losers: false,
+            retry: false,
+            ..BatchConfig::default()
+        }
+    }
 }
 
 /// Measurement of one constraint under one configuration.
@@ -107,9 +125,41 @@ pub struct Measurement {
     pub report: portfolio::PortfolioReport,
 }
 
-/// Runs a whole suite through [`portfolio::measure`] for one profile and
-/// width choice.
+/// Runs a whole suite through the batch portfolio scheduler (see
+/// [`EvalConfig::batch`]) for one profile and width choice. Reports come
+/// back projected onto [`portfolio::PortfolioReport`], so aggregation is
+/// identical to the sequential path; [`run_suite_sequential`] retains the
+/// original one-constraint-at-a-time loop for differential testing.
 pub fn run_suite(
+    kind: SuiteKind,
+    profile: SolverProfile,
+    width: WidthChoice,
+    config: &EvalConfig,
+) -> Vec<Measurement> {
+    let benchmarks = generate(kind, config.count(kind), config.seed);
+    let items: Vec<BatchItem> = benchmarks
+        .iter()
+        .map(|b| BatchItem {
+            name: b.name.clone(),
+            script: b.script.clone(),
+        })
+        .collect();
+    let reports = run_batch(&items, &config.batch(profile, width));
+    benchmarks
+        .into_iter()
+        .zip(reports)
+        .map(|(b, r)| Measurement {
+            name: b.name,
+            family: b.family,
+            report: r.to_portfolio(),
+        })
+        .collect()
+}
+
+/// The sequential [`portfolio::measure`] loop the scheduler replaced —
+/// kept as the reference implementation the differential tests compare
+/// scheduler verdicts against.
+pub fn run_suite_sequential(
     kind: SuiteKind,
     profile: SolverProfile,
     width: WidthChoice,

@@ -20,7 +20,10 @@
 //!    revert to the original constraint (§4.4).
 //!
 //! [`portfolio`] runs the baseline solver and the STAUB pipeline in a race,
-//! so no constraint is ever slowed down (§5.1). [`bvreduce`] implements the
+//! so no constraint is ever slowed down (§5.1); [`sched`] scales that race
+//! to batches of constraints, fanning each one into baseline + escalating
+//! STAUB width lanes on a work-stealing pool with cooperative cancellation.
+//! [`bvreduce`] implements the
 //! paper's §6.4 suggestion of applying the same scheme to *already-bounded*
 //! constraints (bitvector width reduction). [`check`] re-certifies each
 //! stage's output with the `staub-lint` checker (see
@@ -46,6 +49,7 @@ pub mod bvreduce;
 pub mod check;
 pub mod correspond;
 pub mod portfolio;
+pub mod sched;
 pub mod transform;
 pub mod verify;
 
@@ -54,4 +58,8 @@ mod pipeline;
 pub use check::CheckLevel;
 pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
+pub use sched::{
+    run_batch, run_one, BatchConfig, BatchItem, BatchReport, BatchVerdict, LaneKind, LaneOutcome,
+    LaneSpec, LaneVerdict,
+};
 pub use transform::{TransformError, Transformed};

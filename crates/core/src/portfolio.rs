@@ -19,7 +19,6 @@ use staub_solver::UnknownReason;
 use staub_solver::{Budget, CancelFlag, SatResult, Solver};
 
 use crate::pipeline::{Staub, StaubOutcome, Via};
-use crate::verify::lift_and_verify;
 
 /// Which path won the portfolio race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,14 +69,27 @@ impl PortfolioReport {
         }
     }
 
+    /// Finite ceiling for [`speedup`](PortfolioReport::speedup). Aggregation
+    /// takes logarithms (geometric means), so an "infinite" speedup from a
+    /// zero `t_final` must be reported as a large finite value instead of
+    /// `f64::INFINITY`.
+    pub const SPEEDUP_CAP: f64 = 1e6;
+
     /// The speedup ratio `α = T_pre / T_final` (1.0 when STAUB offers no
-    /// improvement).
+    /// improvement), clamped to [`Self::SPEEDUP_CAP`]. A zero `t_final`
+    /// against a nonzero `t_pre` reports the cap — not 1.0, which would
+    /// hide the largest wins from the aggregates.
     pub fn speedup(&self) -> f64 {
         let t_final = self.t_final().as_secs_f64();
+        let t_pre = self.t_pre.as_secs_f64();
         if t_final == 0.0 {
-            1.0
+            if t_pre == 0.0 {
+                1.0
+            } else {
+                Self::SPEEDUP_CAP
+            }
         } else {
-            self.t_pre.as_secs_f64() / t_final
+            (t_pre / t_final).min(Self::SPEEDUP_CAP)
         }
     }
 
@@ -92,27 +104,20 @@ impl PortfolioReport {
 pub fn measure(staub: &Staub, script: &Script) -> PortfolioReport {
     let config = staub.config();
 
-    // Leg 1: STAUB pipeline, fully timed.
-    let t0 = Instant::now();
-    let transformed = staub.transform(script);
-    let t_trans = t0.elapsed();
-    let (t_post, t_check, verified, bounded_result) = match &transformed {
-        Ok(tf) => {
-            let solver = Solver::new(config.profile)
-                .with_timeout(config.timeout)
-                .with_steps(config.steps);
-            let t1 = Instant::now();
-            let outcome = solver.solve(&tf.script);
-            let t_post = t1.elapsed();
-            let t2 = Instant::now();
-            let verified = match &outcome.result {
-                SatResult::Sat(m) => lift_and_verify(script, tf, m).is_some(),
-                _ => false,
-            };
-            (t_post, t2.elapsed(), verified, Some(outcome.result))
-        }
-        Err(_) => (Duration::ZERO, Duration::ZERO, false, None),
-    };
+    // Leg 1: the STAUB pipeline as one lane-shaped bounded attempt — the
+    // same primitive the batch scheduler (`crate::sched`) executes, so the
+    // sequential and scheduled paths measure identical code.
+    let budget = Budget::new(config.timeout, config.steps);
+    let attempt = crate::sched::bounded_attempt(
+        script,
+        config.width_choice,
+        &config.limits,
+        config.profile,
+        &budget,
+    );
+    let (t_trans, t_post, t_check) = (attempt.t_trans, attempt.t_post, attempt.t_check);
+    let verified = attempt.model.is_some();
+    let bounded_result = attempt.result;
 
     // Leg 2: baseline on the original constraint.
     let solver = Solver::new(config.profile)
@@ -312,5 +317,29 @@ mod tests {
             ..report
         };
         assert!((no_improvement.speedup() - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn speedup_zero_final_is_capped_not_one() {
+        let report = PortfolioReport {
+            baseline_result: SatResult::Unknown(UnknownReason::BudgetExhausted),
+            t_pre: Duration::from_millis(300),
+            t_trans: Duration::ZERO,
+            t_post: Duration::ZERO,
+            t_check: Duration::ZERO,
+            verified: true,
+            bounded_result: None,
+            winner: Winner::Staub,
+        };
+        // Zero `t_final` against a nonzero baseline: the cap, not 1.0 —
+        // and finite, so geometric means over a suite stay well-defined.
+        assert_eq!(report.speedup(), PortfolioReport::SPEEDUP_CAP);
+        assert!(report.speedup().is_finite());
+        // Both legs zero: a degenerate instant constraint, speedup 1.
+        let idle = PortfolioReport {
+            t_pre: Duration::ZERO,
+            ..report
+        };
+        assert!((idle.speedup() - 1.0).abs() < 1e-9);
     }
 }

@@ -1,0 +1,971 @@
+//! Multi-lane batch portfolio scheduler.
+//!
+//! [`crate::portfolio::race`] races exactly two legs on one constraint.
+//! This module generalises that to a *batch* of constraints, each fanned
+//! out into K lanes — the baseline solver plus STAUB at the base
+//! (inferred or fixed) width and at escalated 2×/4× widths, optionally
+//! under several solver profiles — executed on a fixed pool of
+//! work-stealing worker threads. The first *sound* lane answer decides the
+//! constraint and cancels its sibling lanes through a shared
+//! [`CancelFlag`]; losing lanes observe the flag at their next step-budget
+//! check, so cancellation latency is bounded by one budget slice rather
+//! than by a wall-clock timeout.
+//!
+//! Soundness mirrors the paper's §4.4 case analysis:
+//!
+//! * a baseline verdict (`sat` or `unsat` on the *original* constraint) is
+//!   always sound;
+//! * a bounded `sat` is sound only after [`lift_and_verify`] re-evaluates
+//!   the model against the original constraint exactly;
+//! * a bounded `unsat` is **never** sound — the width may simply have been
+//!   too small. That case is what the escalated lanes are for (UppSAT-style
+//!   precision ladders / Bromberger-style bound escalation).
+//!
+//! Every lane runs under its own wall-clock deadline *and* deterministic
+//! step budget, with at most one bounded retry on step exhaustion, so a
+//! batch degrades gracefully instead of hanging. Workers are scoped
+//! threads: when [`run_batch`] returns, every lane has been joined — no
+//! thread outlives the batch.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use staub_smtlib::{Model, Script};
+use staub_solver::{Budget, CancelFlag, SatResult, Solver, SolverProfile, UnknownReason};
+
+use crate::absint;
+use crate::correspond::SortLimits;
+use crate::pipeline::WidthChoice;
+use crate::portfolio::{PortfolioReport, Winner};
+use crate::transform::transform;
+use crate::verify::lift_and_verify;
+
+// ---------------------------------------------------------------------------
+// Configuration and lane taxonomy
+// ---------------------------------------------------------------------------
+
+/// Configuration of a batch run.
+#[derive(Debug, Clone)]
+pub struct BatchConfig {
+    /// Worker threads; `0` means one per available core.
+    pub threads: usize,
+    /// Per-lane wall-clock deadline.
+    pub timeout: Duration,
+    /// Per-lane deterministic step budget (the primary limit — tests and
+    /// differential runs rely on steps, not wall-clock, for determinism).
+    pub steps: u64,
+    /// Base width selection for the primary STAUB lane.
+    pub width_choice: WidthChoice,
+    /// Width multipliers for escalated STAUB lanes (e.g. `[2, 4]`). An
+    /// escalation is skipped when the base width cannot be resolved or the
+    /// escalated width exceeds [`SortLimits::max_bv_width`].
+    pub escalations: Vec<u32>,
+    /// Solver profiles to fan lanes out under (usually one; both for the
+    /// paper's Zed ∩ Cove experiments).
+    pub profiles: Vec<SolverProfile>,
+    /// Whether to run a baseline lane on the original constraint.
+    pub include_baseline: bool,
+    /// Cancel sibling lanes as soon as a sound answer lands. Disable for
+    /// measurement runs that need every lane's full timing (the bench
+    /// harness does this so Table 2/3 metrics stay undistorted).
+    pub cancel_losers: bool,
+    /// One bounded retry with a fresh step budget when a lane exhausts its
+    /// steps without an answer (graceful degradation, not a hang: the
+    /// retry budget is the same size and is itself cancellable).
+    pub retry: bool,
+    /// Target-sort limits for the STAUB lanes.
+    pub limits: SortLimits,
+}
+
+impl Default for BatchConfig {
+    fn default() -> BatchConfig {
+        BatchConfig {
+            threads: 0,
+            timeout: Duration::from_secs(1),
+            steps: 4_000_000,
+            width_choice: WidthChoice::Inferred,
+            escalations: vec![2, 4],
+            profiles: vec![SolverProfile::Zed],
+            include_baseline: true,
+            cancel_losers: true,
+            retry: false,
+            limits: SortLimits::default(),
+        }
+    }
+}
+
+impl BatchConfig {
+    fn worker_count(&self) -> usize {
+        if self.threads > 0 {
+            self.threads
+        } else {
+            std::thread::available_parallelism()
+                .map(std::num::NonZeroUsize::get)
+                .unwrap_or(2)
+        }
+    }
+}
+
+/// What a lane does.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LaneKind {
+    /// The baseline solver on the original constraint.
+    Baseline,
+    /// The STAUB pipeline at a concrete width choice. `escalation` is the
+    /// multiplier relative to the base lane (`1` for the base itself).
+    Staub {
+        /// The width this lane transforms at.
+        width: WidthChoice,
+        /// Escalation multiplier (for labelling and winner reporting).
+        escalation: u32,
+    },
+}
+
+/// One unit of work: a strategy applied to one constraint.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LaneSpec {
+    /// What the lane does.
+    pub kind: LaneKind,
+    /// The solver profile it runs under.
+    pub profile: SolverProfile,
+}
+
+impl LaneSpec {
+    /// Stable human-readable label, used in JSONL reports:
+    /// `baseline/zed`, `staub/x1/zed`, `staub/x2/cove`, …
+    pub fn label(&self) -> String {
+        let profile = self.profile.name().to_lowercase();
+        match &self.kind {
+            LaneKind::Baseline => format!("baseline/{profile}"),
+            LaneKind::Staub { escalation, .. } => format!("staub/x{escalation}/{profile}"),
+        }
+    }
+
+    /// Whether this is a STAUB (bounded-path) lane.
+    pub fn is_staub(&self) -> bool {
+        matches!(self.kind, LaneKind::Staub { .. })
+    }
+}
+
+/// How a lane ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LaneVerdict {
+    /// Bounded `sat` whose lifted model verified exactly (sound).
+    SatVerified,
+    /// Baseline `sat` on the original constraint (sound).
+    Sat,
+    /// Baseline `unsat` on the original constraint (sound).
+    Unsat,
+    /// Bounded `unsat` — not sound; the width may be too small (§4.4).
+    BoundedUnsat,
+    /// No answer within budget, or a bounded model that failed
+    /// verification.
+    Unknown,
+    /// The lane observed the sibling [`CancelFlag`] and stopped early.
+    Cancelled,
+    /// The constraint has no bounded counterpart at this lane's width.
+    NotApplicable,
+}
+
+impl LaneVerdict {
+    /// A verdict that may decide the constraint.
+    pub fn is_sound(self) -> bool {
+        matches!(
+            self,
+            LaneVerdict::SatVerified | LaneVerdict::Sat | LaneVerdict::Unsat
+        )
+    }
+
+    /// Stable lower-case name for reports.
+    pub fn name(self) -> &'static str {
+        match self {
+            LaneVerdict::SatVerified => "sat-verified",
+            LaneVerdict::Sat => "sat",
+            LaneVerdict::Unsat => "unsat",
+            LaneVerdict::BoundedUnsat => "bounded-unsat",
+            LaneVerdict::Unknown => "unknown",
+            LaneVerdict::Cancelled => "cancelled",
+            LaneVerdict::NotApplicable => "not-applicable",
+        }
+    }
+}
+
+/// Full record of one lane's execution.
+#[derive(Debug, Clone)]
+pub struct LaneOutcome {
+    /// The lane that ran.
+    pub spec: LaneSpec,
+    /// How it ended.
+    pub verdict: LaneVerdict,
+    /// The model, for sound `sat` verdicts (verified for STAUB lanes).
+    pub model: Option<Model>,
+    /// Wall-clock time the lane spent.
+    pub elapsed: Duration,
+    /// Deterministic steps consumed (across the retry, if any).
+    pub steps_used: u64,
+    /// Whether the bounded retry ran.
+    pub retried: bool,
+    /// Time from the sibling cancellation request to this lane actually
+    /// stopping (only set when the lane was cancelled).
+    pub cancel_latency: Option<Duration>,
+    /// Transformation time (STAUB lanes; zero for baseline).
+    pub t_trans: Duration,
+    /// Solving time.
+    pub t_post: Duration,
+    /// Verification time (STAUB lanes; zero for baseline).
+    pub t_check: Duration,
+}
+
+impl LaneOutcome {
+    fn skipped(spec: &LaneSpec, cancel: &CancelFlag) -> LaneOutcome {
+        LaneOutcome {
+            spec: spec.clone(),
+            verdict: LaneVerdict::Cancelled,
+            model: None,
+            elapsed: Duration::ZERO,
+            steps_used: 0,
+            retried: false,
+            cancel_latency: cancel.latency(),
+            t_trans: Duration::ZERO,
+            t_post: Duration::ZERO,
+            t_check: Duration::ZERO,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Batch items and reports
+// ---------------------------------------------------------------------------
+
+/// One constraint submitted to the scheduler.
+#[derive(Debug, Clone)]
+pub struct BatchItem {
+    /// Display name (file path or benchmark name).
+    pub name: String,
+    /// The constraint.
+    pub script: Script,
+}
+
+/// Verdict of the whole portfolio for one constraint.
+#[derive(Debug, Clone)]
+pub enum BatchVerdict {
+    /// Satisfiable; the model satisfies the *original* constraint.
+    Sat(Model),
+    /// Proven unsatisfiable on the original constraint.
+    Unsat,
+    /// No sound lane answer.
+    Unknown,
+}
+
+impl BatchVerdict {
+    /// `sat` / `unsat` / `unknown`.
+    pub fn name(&self) -> &'static str {
+        match self {
+            BatchVerdict::Sat(_) => "sat",
+            BatchVerdict::Unsat => "unsat",
+            BatchVerdict::Unknown => "unknown",
+        }
+    }
+}
+
+/// Per-constraint report: winner, verdict, and every lane's record.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// The constraint's name.
+    pub name: String,
+    /// Portfolio verdict (from the winning lane).
+    pub verdict: BatchVerdict,
+    /// Index into `lanes` of the winning lane, if any lane was sound.
+    pub winner: Option<usize>,
+    /// Every lane's outcome, in plan order.
+    pub lanes: Vec<LaneOutcome>,
+    /// Wall-clock time from submission until the last lane finished.
+    pub wall: Duration,
+    /// Wall-clock time from submission until the first sound answer.
+    pub time_to_answer: Option<Duration>,
+}
+
+impl BatchReport {
+    /// The winning lane's outcome.
+    pub fn winner_lane(&self) -> Option<&LaneOutcome> {
+        self.winner.map(|i| &self.lanes[i])
+    }
+
+    /// The first baseline lane, if one ran.
+    pub fn baseline_lane(&self) -> Option<&LaneOutcome> {
+        self.lanes
+            .iter()
+            .find(|l| l.spec.kind == LaneKind::Baseline)
+    }
+
+    /// The STAUB lane whose timings stand in for the paper's single
+    /// bounded leg: the winner when it is a STAUB lane, else the first
+    /// verified STAUB lane, else the base STAUB lane.
+    fn representative_staub(&self) -> Option<&LaneOutcome> {
+        if let Some(w) = self.winner_lane() {
+            if w.spec.is_staub() {
+                return Some(w);
+            }
+        }
+        self.lanes
+            .iter()
+            .find(|l| l.spec.is_staub() && l.verdict == LaneVerdict::SatVerified)
+            .or_else(|| self.lanes.iter().find(|l| l.spec.is_staub()))
+    }
+
+    /// Projects this report onto the sequential [`PortfolioReport`] shape,
+    /// so aggregation (`speedup`, `tractability_improvement`, Tables 2–3)
+    /// works unchanged on scheduler output.
+    pub fn to_portfolio(&self) -> PortfolioReport {
+        let baseline = self.baseline_lane();
+        let baseline_result = match baseline {
+            Some(l) => match (l.verdict, &l.model) {
+                (LaneVerdict::Sat, Some(m)) => SatResult::Sat(m.clone()),
+                (LaneVerdict::Unsat, _) => SatResult::Unsat,
+                _ => SatResult::Unknown(UnknownReason::BudgetExhausted),
+            },
+            None => SatResult::Unknown(UnknownReason::Incomplete),
+        };
+        let t_pre = baseline.map_or(Duration::ZERO, |l| l.elapsed);
+        let staub = self.representative_staub();
+        let verified = staub.is_some_and(|l| l.verdict == LaneVerdict::SatVerified);
+        let bounded_result = staub.and_then(|l| match (l.verdict, &l.model) {
+            (LaneVerdict::SatVerified, Some(m)) => Some(SatResult::Sat(m.clone())),
+            (LaneVerdict::BoundedUnsat, _) => Some(SatResult::Unsat),
+            (LaneVerdict::NotApplicable, _) => None,
+            _ => Some(SatResult::Unknown(UnknownReason::BudgetExhausted)),
+        });
+        let winner = match self.winner_lane() {
+            Some(l) if l.spec.is_staub() => Winner::Staub,
+            Some(_) => Winner::Baseline,
+            None => Winner::Neither,
+        };
+        PortfolioReport {
+            baseline_result,
+            t_pre,
+            t_trans: staub.map_or(Duration::ZERO, |l| l.t_trans),
+            t_post: staub.map_or(Duration::ZERO, |l| l.t_post),
+            t_check: staub.map_or(Duration::ZERO, |l| l.t_check),
+            verified,
+            bounded_result,
+            winner,
+        }
+    }
+
+    /// One JSON line per constraint (the `staub batch` output format). The
+    /// top-level timing fields mirror [`PortfolioReport`]; `lanes` adds the
+    /// per-lane records including cancellation latency.
+    pub fn to_jsonl(&self) -> String {
+        let portfolio = self.to_portfolio();
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_json_str(&mut out, "name", &self.name);
+        out.push(',');
+        push_json_str(&mut out, "verdict", self.verdict.name());
+        out.push(',');
+        match self.winner_lane() {
+            Some(l) => push_json_str(&mut out, "winner", &l.spec.label()),
+            None => out.push_str("\"winner\":null"),
+        }
+        out.push(',');
+        out.push_str(&format!(
+            "\"wall_ms\":{:.3},\"time_to_answer_ms\":{},",
+            self.wall.as_secs_f64() * 1e3,
+            self.time_to_answer.map_or_else(
+                || "null".to_string(),
+                |d| format!("{:.3}", d.as_secs_f64() * 1e3)
+            ),
+        ));
+        out.push_str(&format!(
+            "\"t_pre_ms\":{:.3},\"t_trans_ms\":{:.3},\"t_post_ms\":{:.3},\"t_check_ms\":{:.3},\
+             \"verified\":{},\"speedup\":{:.3},",
+            portfolio.t_pre.as_secs_f64() * 1e3,
+            portfolio.t_trans.as_secs_f64() * 1e3,
+            portfolio.t_post.as_secs_f64() * 1e3,
+            portfolio.t_check.as_secs_f64() * 1e3,
+            portfolio.verified,
+            portfolio.speedup(),
+        ));
+        out.push_str("\"lanes\":[");
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_json_str(&mut out, "label", &lane.spec.label());
+            out.push(',');
+            push_json_str(&mut out, "verdict", lane.verdict.name());
+            out.push_str(&format!(
+                ",\"ms\":{:.3},\"steps\":{},\"retried\":{},\"cancel_latency_ms\":{}}}",
+                lane.elapsed.as_secs_f64() * 1e3,
+                lane.steps_used,
+                lane.retried,
+                lane.cancel_latency.map_or_else(
+                    || "null".to_string(),
+                    |d| format!("{:.3}", d.as_secs_f64() * 1e3)
+                ),
+            ));
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+fn push_json_str(out: &mut String, key: &str, value: &str) {
+    out.push('"');
+    out.push_str(key);
+    out.push_str("\":\"");
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Lane planning
+// ---------------------------------------------------------------------------
+
+/// Resolves the width the base STAUB lane would translate at (bitvector
+/// width, or floating-point significand width for real constraints).
+fn resolve_base_width(script: &Script, config: &BatchConfig) -> Option<u32> {
+    let bounds = absint::infer(script);
+    let tf = transform(script, &bounds, config.width_choice, &config.limits).ok()?;
+    tf.bv_width.or(tf.fp_format.map(|(_, sb)| sb))
+}
+
+/// Plans the lane fan-out for one constraint: per profile, an optional
+/// baseline lane, the base STAUB lane, and deduplicated escalated lanes
+/// within the width limits.
+pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
+    let mut lanes = Vec::new();
+    let base_width = resolve_base_width(script, config);
+    for &profile in &config.profiles {
+        if config.include_baseline {
+            lanes.push(LaneSpec {
+                kind: LaneKind::Baseline,
+                profile,
+            });
+        }
+        lanes.push(LaneSpec {
+            kind: LaneKind::Staub {
+                width: config.width_choice,
+                escalation: 1,
+            },
+            profile,
+        });
+        if let Some(w0) = base_width {
+            let mut seen = vec![w0];
+            for &m in &config.escalations {
+                let w = w0.saturating_mul(m);
+                if m > 1 && w <= config.limits.max_bv_width && !seen.contains(&w) {
+                    seen.push(w);
+                    lanes.push(LaneSpec {
+                        kind: LaneKind::Staub {
+                            width: WidthChoice::Fixed(w),
+                            escalation: m,
+                        },
+                        profile,
+                    });
+                }
+            }
+        }
+    }
+    lanes
+}
+
+// ---------------------------------------------------------------------------
+// Lane execution
+// ---------------------------------------------------------------------------
+
+/// Timing-resolved result of one bounded (STAUB) attempt. Shared between
+/// the scheduler lanes and [`crate::portfolio::measure`], so the
+/// sequential and scheduled paths measure the same pipeline.
+pub(crate) struct BoundedAttempt {
+    /// Solve result of the bounded constraint; `None` when no bounded
+    /// counterpart exists at this width.
+    pub result: Option<SatResult>,
+    /// The lifted model, iff it verified exactly against the original.
+    pub model: Option<Model>,
+    /// Inference + translation time.
+    pub t_trans: Duration,
+    /// Bounded solving time.
+    pub t_post: Duration,
+    /// Verification time.
+    pub t_check: Duration,
+}
+
+/// Runs one bounded attempt: infer, transform at `width`, solve under
+/// `budget`, lift and verify.
+pub(crate) fn bounded_attempt(
+    script: &Script,
+    width: WidthChoice,
+    limits: &SortLimits,
+    profile: SolverProfile,
+    budget: &Budget,
+) -> BoundedAttempt {
+    let t0 = Instant::now();
+    let bounds = absint::infer(script);
+    let transformed = transform(script, &bounds, width, limits);
+    let t_trans = t0.elapsed();
+    match transformed {
+        Err(_) => BoundedAttempt {
+            result: None,
+            model: None,
+            t_trans,
+            t_post: Duration::ZERO,
+            t_check: Duration::ZERO,
+        },
+        Ok(tf) => {
+            let solver = Solver::new(profile);
+            let t1 = Instant::now();
+            let outcome = solver.solve_with_budget(&tf.script, budget);
+            let t_post = t1.elapsed();
+            let t2 = Instant::now();
+            let model = match &outcome.result {
+                SatResult::Sat(m) => lift_and_verify(script, &tf, m),
+                _ => None,
+            };
+            BoundedAttempt {
+                result: Some(outcome.result),
+                model,
+                t_trans,
+                t_post,
+                t_check: t2.elapsed(),
+            }
+        }
+    }
+}
+
+fn out_of_steps(result: &SatResult, budget: &Budget) -> bool {
+    matches!(result, SatResult::Unknown(UnknownReason::BudgetExhausted)) && !budget.is_cancelled()
+}
+
+/// Executes one lane to completion (or cancellation).
+fn run_lane(
+    script: &Script,
+    spec: &LaneSpec,
+    cancel: &CancelFlag,
+    config: &BatchConfig,
+) -> LaneOutcome {
+    let start = Instant::now();
+    let mut retried = false;
+    let mut steps_used = 0u64;
+    match &spec.kind {
+        LaneKind::Baseline => {
+            let solver = Solver::new(spec.profile);
+            let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+            let mut outcome = solver.solve_with_budget(script, &budget);
+            steps_used += budget.steps_used();
+            if config.retry && out_of_steps(&outcome.result, &budget) {
+                retried = true;
+                budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+                outcome = solver.solve_with_budget(script, &budget);
+                steps_used += budget.steps_used();
+            }
+            let (verdict, model) = match outcome.result {
+                SatResult::Sat(m) => (LaneVerdict::Sat, Some(m)),
+                SatResult::Unsat => (LaneVerdict::Unsat, None),
+                SatResult::Unknown(_) if cancel.is_cancelled() => (LaneVerdict::Cancelled, None),
+                SatResult::Unknown(_) => (LaneVerdict::Unknown, None),
+            };
+            let elapsed = start.elapsed();
+            LaneOutcome {
+                spec: spec.clone(),
+                cancel_latency: (verdict == LaneVerdict::Cancelled)
+                    .then(|| cancel.latency())
+                    .flatten(),
+                verdict,
+                model,
+                elapsed,
+                steps_used,
+                retried,
+                t_trans: Duration::ZERO,
+                t_post: elapsed,
+                t_check: Duration::ZERO,
+            }
+        }
+        LaneKind::Staub { width, .. } => {
+            let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+            let mut attempt =
+                bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
+            steps_used += budget.steps_used();
+            let needs_retry = attempt
+                .result
+                .as_ref()
+                .is_some_and(|r| out_of_steps(r, &budget));
+            if config.retry && needs_retry {
+                retried = true;
+                budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+                attempt = bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
+                steps_used += budget.steps_used();
+            }
+            let verdict = match (&attempt.result, &attempt.model) {
+                (_, Some(_)) => LaneVerdict::SatVerified,
+                (None, _) => LaneVerdict::NotApplicable,
+                (Some(SatResult::Unsat), _) => LaneVerdict::BoundedUnsat,
+                (Some(SatResult::Unknown(_)), _) if cancel.is_cancelled() => LaneVerdict::Cancelled,
+                // An unverified bounded `sat` is as inconclusive as a
+                // timeout (§4.4 case 2: semantics loss).
+                _ => LaneVerdict::Unknown,
+            };
+            LaneOutcome {
+                spec: spec.clone(),
+                cancel_latency: (verdict == LaneVerdict::Cancelled)
+                    .then(|| cancel.latency())
+                    .flatten(),
+                verdict,
+                model: attempt.model,
+                elapsed: start.elapsed(),
+                steps_used,
+                retried,
+                t_trans: attempt.t_trans,
+                t_post: attempt.t_post,
+                t_check: attempt.t_check,
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The scheduler
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy)]
+struct Job {
+    cell: usize,
+    lane: usize,
+}
+
+struct CellState {
+    outcomes: Vec<Option<LaneOutcome>>,
+    winner: Option<usize>,
+    time_to_answer: Option<Duration>,
+    remaining: usize,
+    finished_at: Option<Instant>,
+}
+
+/// Per-constraint shared state: lane plan, sibling cancel flag, results.
+struct Cell<'a> {
+    item: &'a BatchItem,
+    specs: Vec<LaneSpec>,
+    cancel: CancelFlag,
+    started: Instant,
+    state: Mutex<CellState>,
+}
+
+/// Runs every constraint through its lane fan-out on a fixed worker pool
+/// and returns one report per constraint, in input order.
+pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> {
+    let workers = config.worker_count().max(1);
+    let cells: Vec<Cell<'_>> = items
+        .iter()
+        .map(|item| {
+            let specs = plan_lanes(&item.script, config);
+            let lanes = specs.len();
+            Cell {
+                item,
+                specs,
+                cancel: CancelFlag::new(),
+                started: Instant::now(),
+                state: Mutex::new(CellState {
+                    outcomes: vec![None; lanes],
+                    winner: None,
+                    time_to_answer: None,
+                    remaining: lanes,
+                    finished_at: None,
+                }),
+            }
+        })
+        .collect();
+
+    // Seed the per-worker deques round-robin by lane, so a constraint's
+    // sibling lanes start on distinct workers and race for the first sound
+    // answer. Workers drain their own deque front-first and steal from the
+    // back of others'; no job is ever enqueued after this point, so an
+    // empty sweep over every deque is a sound termination condition.
+    let queues: Vec<Mutex<VecDeque<Job>>> =
+        (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
+    let mut next = 0usize;
+    for (ci, cell) in cells.iter().enumerate() {
+        for li in 0..cell.specs.len() {
+            queues[next % workers]
+                .lock()
+                .expect("queue lock")
+                .push_back(Job { cell: ci, lane: li });
+            next += 1;
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for wid in 0..workers {
+            let queues = &queues;
+            let cells = &cells;
+            scope.spawn(move || worker_loop(wid, queues, cells, config));
+        }
+    });
+
+    cells
+        .into_iter()
+        .map(|cell| {
+            let state = cell.state.into_inner().expect("no worker panicked");
+            let lanes: Vec<LaneOutcome> = state
+                .outcomes
+                .into_iter()
+                .map(|o| o.expect("every lane ran"))
+                .collect();
+            let verdict = match state.winner {
+                Some(i) => match (&lanes[i].verdict, &lanes[i].model) {
+                    (LaneVerdict::Unsat, _) => BatchVerdict::Unsat,
+                    (_, Some(m)) => BatchVerdict::Sat(m.clone()),
+                    _ => BatchVerdict::Unknown,
+                },
+                None => BatchVerdict::Unknown,
+            };
+            BatchReport {
+                name: cell.item.name.clone(),
+                verdict,
+                winner: state.winner,
+                lanes,
+                wall: state
+                    .finished_at
+                    .map_or(Duration::ZERO, |t| t.duration_since(cell.started)),
+                time_to_answer: state.time_to_answer,
+            }
+        })
+        .collect()
+}
+
+/// Convenience for a single constraint: plan, run, report.
+pub fn run_one(name: &str, script: &Script, config: &BatchConfig) -> BatchReport {
+    let items = [BatchItem {
+        name: name.to_string(),
+        script: script.clone(),
+    }];
+    run_batch(&items, config)
+        .pop()
+        .expect("one item in, one report out")
+}
+
+fn worker_loop(
+    wid: usize,
+    queues: &[Mutex<VecDeque<Job>>],
+    cells: &[Cell<'_>],
+    config: &BatchConfig,
+) {
+    loop {
+        let job = next_job(wid, queues);
+        let Some(job) = job else { return };
+        execute_job(job, cells, config);
+    }
+}
+
+fn next_job(wid: usize, queues: &[Mutex<VecDeque<Job>>]) -> Option<Job> {
+    if let Some(job) = queues[wid].lock().expect("queue lock").pop_front() {
+        return Some(job);
+    }
+    let n = queues.len();
+    for offset in 1..n {
+        let victim = (wid + offset) % n;
+        if let Some(job) = queues[victim].lock().expect("queue lock").pop_back() {
+            return Some(job);
+        }
+    }
+    None
+}
+
+fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig) {
+    let cell = &cells[job.cell];
+    let spec = &cell.specs[job.lane];
+    // A lane whose constraint is already decided need not start at all.
+    let decided = config.cancel_losers && cell.cancel.is_cancelled();
+    let outcome = if decided {
+        LaneOutcome::skipped(spec, &cell.cancel)
+    } else {
+        run_lane(&cell.item.script, spec, &cell.cancel, config)
+    };
+    let sound = outcome.verdict.is_sound();
+    let mut state = cell.state.lock().expect("cell lock");
+    state.outcomes[job.lane] = Some(outcome);
+    state.remaining -= 1;
+    if state.remaining == 0 {
+        state.finished_at = Some(Instant::now());
+    }
+    if sound && state.winner.is_none() {
+        state.winner = Some(job.lane);
+        state.time_to_answer = Some(cell.started.elapsed());
+        if config.cancel_losers {
+            cell.cancel.cancel();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> BatchConfig {
+        BatchConfig {
+            threads: 2,
+            timeout: Duration::from_secs(30),
+            steps: 400_000,
+            ..Default::default()
+        }
+    }
+
+    fn item(name: &str, src: &str) -> BatchItem {
+        BatchItem {
+            name: name.to_string(),
+            script: Script::parse(src).unwrap(),
+        }
+    }
+
+    #[test]
+    fn batch_solves_mixed_verdicts() {
+        let items = [
+            item("sq49", "(declare-fun x () Int)(assert (= (* x x) 49))"),
+            item(
+                "unsat7",
+                "(declare-fun x () Int)(assert (>= x 0))(assert (<= x 3))(assert (= (* x x) 7))",
+            ),
+        ];
+        let reports = run_batch(&items, &quick_config());
+        assert_eq!(reports.len(), 2);
+        assert_eq!(reports[0].verdict.name(), "sat");
+        assert_eq!(reports[1].verdict.name(), "unsat");
+        for r in &reports {
+            assert!(r.winner.is_some(), "{}: some lane answers", r.name);
+            assert_eq!(
+                r.lanes.len(),
+                plan_lanes(&items[0].script, &quick_config()).len()
+            );
+        }
+    }
+
+    #[test]
+    fn sat_winners_carry_verified_models() {
+        let items = [item(
+            "sq121",
+            "(declare-fun x () Int)(assert (= (* x x) 121))",
+        )];
+        let report = &run_batch(&items, &quick_config())[0];
+        match &report.verdict {
+            BatchVerdict::Sat(model) => {
+                for &a in items[0].script.assertions() {
+                    assert_eq!(
+                        staub_smtlib::evaluate(items[0].script.store(), a, model).unwrap(),
+                        staub_smtlib::Value::Bool(true)
+                    );
+                }
+            }
+            other => panic!("expected sat, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn lane_plan_includes_escalations_and_dedups() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let config = quick_config();
+        let lanes = plan_lanes(&script, &config);
+        // baseline + x1 + x2 + x4 under one profile.
+        assert_eq!(lanes.len(), 4);
+        assert_eq!(lanes[0].kind, LaneKind::Baseline);
+        let labels: Vec<String> = lanes.iter().map(LaneSpec::label).collect();
+        assert_eq!(labels[1], "staub/x1/zed");
+        assert!(labels.contains(&"staub/x2/zed".to_string()));
+        // Escalations beyond max_bv_width are dropped.
+        let narrow = BatchConfig {
+            limits: SortLimits {
+                max_bv_width: 10,
+                ..SortLimits::default()
+            },
+            ..config
+        };
+        let lanes = plan_lanes(&script, &narrow);
+        assert!(
+            lanes
+                .iter()
+                .all(|l| !matches!(l.kind, LaneKind::Staub { escalation, .. } if escalation == 4)),
+            "4x escalation exceeds the 10-bit cap"
+        );
+    }
+
+    #[test]
+    fn both_profiles_double_the_lanes() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let config = BatchConfig {
+            profiles: vec![SolverProfile::Zed, SolverProfile::Cove],
+            ..quick_config()
+        };
+        let lanes = plan_lanes(&script, &config);
+        let zed = lanes
+            .iter()
+            .filter(|l| l.profile == SolverProfile::Zed)
+            .count();
+        let cove = lanes
+            .iter()
+            .filter(|l| l.profile == SolverProfile::Cove)
+            .count();
+        assert_eq!(zed, cove);
+        assert_eq!(lanes.len(), zed * 2);
+    }
+
+    #[test]
+    fn jsonl_is_well_formed_and_escaped() {
+        let items = [item(
+            "weird\"name\\with\ttabs",
+            "(declare-fun x () Int)(assert (= (* x x) 49))",
+        )];
+        let line = run_batch(&items, &quick_config())[0].to_jsonl();
+        assert!(line.starts_with('{') && line.ends_with('}'));
+        assert!(line.contains("\\\"name\\\\with\\t"));
+        assert!(line.contains("\"verdict\":\"sat\""));
+        assert!(line.contains("\"lanes\":["));
+        assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn to_portfolio_maps_winner_and_timings() {
+        let items = [item(
+            "sq64",
+            "(declare-fun x () Int)(assert (= (* x x) 64))",
+        )];
+        let config = BatchConfig {
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let report = &run_batch(&items, &config)[0];
+        let p = report.to_portfolio();
+        assert!(p.verified, "bounded path verifies x^2 = 64");
+        assert!(p.t_trans > Duration::ZERO);
+        assert!(p.speedup() >= 1.0);
+        // Without cancellation the baseline lane finished on its own.
+        assert!(report.baseline_lane().unwrap().verdict.is_sound());
+    }
+
+    #[test]
+    fn single_thread_pool_still_completes() {
+        let items = [
+            item("a", "(declare-fun x () Int)(assert (= (* x x) 49))"),
+            item("b", "(declare-fun p () Bool)(assert p)"),
+        ];
+        let config = BatchConfig {
+            threads: 1,
+            ..quick_config()
+        };
+        let reports = run_batch(&items, &config);
+        assert!(reports.iter().all(|r| r.winner.is_some()));
+    }
+
+    #[test]
+    fn empty_batch_is_empty() {
+        assert!(run_batch(&[], &BatchConfig::default()).is_empty());
+    }
+}

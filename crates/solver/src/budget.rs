@@ -6,13 +6,22 @@
 //! limit so tests can be time-independent.
 
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock};
 use std::time::{Duration, Instant};
 
-/// A thread-safe cancellation handle: portfolio legs hold each other's
-/// flags and cancel the loser as soon as a sound answer lands.
+/// A thread-safe cancellation handle: portfolio legs and scheduler lanes
+/// hold each other's flags and cancel the losers as soon as a sound answer
+/// lands. The flag records *when* cancellation was requested, so observers
+/// can account for cancellation latency (time from the request to the
+/// moment a lane actually stopped).
 #[derive(Debug, Clone, Default)]
-pub struct CancelFlag(Arc<AtomicBool>);
+pub struct CancelFlag(Arc<CancelInner>);
+
+#[derive(Debug, Default)]
+struct CancelInner {
+    cancelled: AtomicBool,
+    at: OnceLock<Instant>,
+}
 
 impl CancelFlag {
     /// Creates an un-set flag.
@@ -20,14 +29,31 @@ impl CancelFlag {
         CancelFlag::default()
     }
 
-    /// Requests cancellation of every budget carrying this flag.
+    /// Requests cancellation of every budget carrying this flag. The first
+    /// call stamps the cancellation instant; repeated calls are no-ops.
     pub fn cancel(&self) {
-        self.0.store(true, Ordering::Relaxed);
+        self.0.at.get_or_init(Instant::now);
+        self.0.cancelled.store(true, Ordering::Release);
     }
 
     /// Whether cancellation has been requested.
     pub fn is_cancelled(&self) -> bool {
-        self.0.load(Ordering::Relaxed)
+        self.0.cancelled.load(Ordering::Acquire)
+    }
+
+    /// The instant the first `cancel()` call was made, if any.
+    pub fn cancelled_at(&self) -> Option<Instant> {
+        if self.is_cancelled() {
+            self.0.at.get().copied()
+        } else {
+            None
+        }
+    }
+
+    /// Time elapsed since cancellation was requested — the cancellation
+    /// latency as observed by a lane that is shutting down now.
+    pub fn latency(&self) -> Option<Duration> {
+        self.cancelled_at().map(|at| at.elapsed())
     }
 }
 
@@ -46,6 +72,7 @@ impl CancelFlag {
 pub struct Budget {
     deadline: Instant,
     duration: Duration,
+    steps_initial: u64,
     steps_left: std::cell::Cell<u64>,
     cancel: Option<CancelFlag>,
 }
@@ -56,6 +83,7 @@ impl Budget {
         Budget {
             deadline: Instant::now() + duration,
             duration,
+            steps_initial: steps,
             steps_left: std::cell::Cell::new(steps),
             cancel: None,
         }
@@ -77,6 +105,17 @@ impl Budget {
 
     fn cancelled(&self) -> bool {
         self.cancel.as_ref().is_some_and(CancelFlag::is_cancelled)
+    }
+
+    /// Whether this budget was cooperatively cancelled (as opposed to
+    /// running out of time or steps).
+    pub fn is_cancelled(&self) -> bool {
+        self.cancelled()
+    }
+
+    /// The cancellation flag attached to this budget, if any.
+    pub fn cancel_flag(&self) -> Option<&CancelFlag> {
+        self.cancel.as_ref()
     }
 
     /// The wall-clock duration this budget was created with.
@@ -113,14 +152,20 @@ impl Budget {
         self.steps_left.get()
     }
 
+    /// Steps consumed so far (the scheduler's per-lane accounting).
+    pub fn steps_used(&self) -> u64 {
+        self.steps_initial.saturating_sub(self.steps_left.get())
+    }
+
     /// Creates a child budget with a fraction of the remaining steps and the
     /// same deadline. `num / den` of the remaining steps are allocated.
     pub fn fraction(&self, num: u64, den: u64) -> Budget {
-        let steps = self.steps_left.get() / den * num;
+        let steps = (self.steps_left.get() / den * num).max(1);
         Budget {
             deadline: self.deadline,
             duration: self.duration,
-            steps_left: std::cell::Cell::new(steps.max(1)),
+            steps_initial: steps,
+            steps_left: std::cell::Cell::new(steps),
             cancel: self.cancel.clone(),
         }
     }
@@ -177,6 +222,31 @@ mod tests {
         // consume() notices at its next clock check boundary.
         let b2 = Budget::with_cancel(Duration::from_secs(3600), 10_000, flag);
         assert!(b2.consume(5000), "crossing a 4096 boundary sees the flag");
+    }
+
+    #[test]
+    fn cancellation_records_latency() {
+        let flag = CancelFlag::new();
+        assert!(flag.cancelled_at().is_none());
+        assert!(flag.latency().is_none());
+        flag.cancel();
+        let at = flag.cancelled_at().expect("timestamp recorded");
+        // Re-cancelling does not move the timestamp.
+        flag.cancel();
+        assert_eq!(flag.cancelled_at(), Some(at));
+        assert!(flag.latency().expect("latency observable") < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn steps_used_accounting() {
+        let b = Budget::new(Duration::from_secs(3600), 100);
+        assert_eq!(b.steps_used(), 0);
+        b.consume(30);
+        assert_eq!(b.steps_used(), 30);
+        b.consume(1000); // saturates at the budget
+        assert_eq!(b.steps_used(), 100);
+        let child = b.fraction(1, 2);
+        assert_eq!(child.steps_used(), 0);
     }
 
     #[test]

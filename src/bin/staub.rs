@@ -8,6 +8,7 @@
 //! ```text
 //! staub [OPTIONS] <file.smt2>
 //! staub lint [--width N] <file.smt2>
+//! staub batch [BATCH OPTIONS] <dir|file.smt2>...
 //!
 //! OPTIONS:
 //!   --emit             print the bounded SMT-LIB constraint and exit
@@ -24,6 +25,11 @@
 //! re-sorts the parsed input and, when the input is transformable,
 //! re-certifies the bounded translation (boundedness, guard domination,
 //! correspondence). Exits nonzero iff error-severity findings exist.
+//!
+//! The `batch` subcommand drives every given constraint through the
+//! multi-lane portfolio scheduler (baseline + STAUB width-escalation
+//! lanes racing on a work-stealing pool) and emits one JSON report line
+//! per constraint; see `staub batch --help` for the lane options.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -103,7 +109,193 @@ fn parse_args() -> Result<Options, String> {
 
 const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
 [--profile zed|cove] [--timeout-ms N] [--refine N] [--race] [--stats] <file.smt2>
-       staub lint [--width N] <file.smt2>";
+       staub lint [--width N] <file.smt2>
+       staub batch [--threads N] [--timeout-ms N] [--steps N] [--width N] \
+[--profile zed|cove|both] [--escalate M,M,...] [--no-baseline] [--no-cancel] \
+[--retry] [--out FILE] <dir|file.smt2>...";
+
+const BATCH_USAGE: &str = "usage: staub batch [BATCH OPTIONS] <dir|file.smt2>...
+
+Runs every constraint through the multi-lane portfolio scheduler and prints
+one JSON report line per constraint (winner lane, per-lane timings and
+verdicts, cancellation latency).
+
+BATCH OPTIONS:
+  --threads <N>       worker threads (default: one per core)
+  --timeout-ms <N>    per-lane wall-clock budget (default 1000)
+  --steps <N>         per-lane deterministic step budget (default 4000000)
+  --width <N>         fixed base width instead of inference
+  --profile <P>       zed (default), cove, or both (doubles the lanes)
+  --escalate <M,...>  STAUB width-escalation multipliers (default 2,4)
+  --no-baseline       skip the baseline lane (bounded lanes only)
+  --no-cancel         let losing lanes run to completion (full timings)
+  --retry             one bounded retry for lanes that exhaust their steps
+  --out <FILE>        write the JSONL to FILE instead of stdout";
+
+/// `staub batch`: the multi-lane scheduler over a corpus of files.
+fn batch_main(args: Vec<String>) -> ExitCode {
+    use staub::core::{run_batch, BatchConfig, BatchItem};
+
+    let mut config = BatchConfig::default();
+    let mut out_path = None;
+    let mut inputs = Vec::new();
+    let mut iter = args.into_iter();
+    macro_rules! value_of {
+        ($flag:literal, $ty:ty) => {
+            match iter.next().and_then(|v| v.parse::<$ty>().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {} needs a numeric value\n{BATCH_USAGE}", $flag);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--threads" => config.threads = value_of!("--threads", usize),
+            "--timeout-ms" => {
+                config.timeout = Duration::from_millis(value_of!("--timeout-ms", u64));
+            }
+            "--steps" => config.steps = value_of!("--steps", u64),
+            "--width" => config.width_choice = WidthChoice::Fixed(value_of!("--width", u32)),
+            "--profile" => match iter.next().as_deref() {
+                Some("zed") => config.profiles = vec![SolverProfile::Zed],
+                Some("cove") => config.profiles = vec![SolverProfile::Cove],
+                Some("both") => config.profiles = vec![SolverProfile::Zed, SolverProfile::Cove],
+                other => {
+                    eprintln!("error: unknown profile {other:?}\n{BATCH_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--escalate" => {
+                let Some(spec) = iter.next() else {
+                    eprintln!("error: --escalate needs a comma-separated list\n{BATCH_USAGE}");
+                    return ExitCode::from(2);
+                };
+                let mut escalations = Vec::new();
+                for part in spec.split(',').filter(|p| !p.is_empty()) {
+                    match part.parse::<u32>() {
+                        Ok(m) => escalations.push(m),
+                        Err(e) => {
+                            eprintln!("error: bad escalation `{part}`: {e}\n{BATCH_USAGE}");
+                            return ExitCode::from(2);
+                        }
+                    }
+                }
+                config.escalations = escalations;
+            }
+            "--no-baseline" => config.include_baseline = false,
+            "--no-cancel" => config.cancel_losers = false,
+            "--retry" => config.retry = true,
+            "--out" => {
+                let Some(path) = iter.next() else {
+                    eprintln!("error: --out needs a path\n{BATCH_USAGE}");
+                    return ExitCode::from(2);
+                };
+                out_path = Some(path);
+            }
+            "--help" | "-h" => {
+                println!("{BATCH_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => inputs.push(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{BATCH_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("error: no input files or directories\n{BATCH_USAGE}");
+        return ExitCode::from(2);
+    }
+
+    // Expand directories into their .smt2 files, sorted for determinism.
+    let mut files = Vec::new();
+    for input in &inputs {
+        let path = std::path::Path::new(input);
+        if path.is_dir() {
+            let entries = match std::fs::read_dir(path) {
+                Ok(entries) => entries,
+                Err(e) => {
+                    eprintln!("error: cannot read directory {input}: {e}");
+                    return ExitCode::from(2);
+                }
+            };
+            let mut found = Vec::new();
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "smt2") {
+                    found.push(p);
+                }
+            }
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        eprintln!("error: no .smt2 files found under {inputs:?}");
+        return ExitCode::from(2);
+    }
+
+    let mut items = Vec::new();
+    for file in &files {
+        let name = file.display().to_string();
+        let source = match std::fs::read_to_string(file) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {name}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        match Script::parse(&source) {
+            Ok(script) => items.push(BatchItem { name, script }),
+            Err(e) => {
+                eprintln!("error: {name}: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let start = std::time::Instant::now();
+    let reports = run_batch(&items, &config);
+    let wall = start.elapsed();
+
+    let mut jsonl = String::new();
+    let (mut sat, mut unsat, mut unknown, mut cancelled) = (0u32, 0u32, 0u32, 0u32);
+    for report in &reports {
+        jsonl.push_str(&report.to_jsonl());
+        jsonl.push('\n');
+        match report.verdict.name() {
+            "sat" => sat += 1,
+            "unsat" => unsat += 1,
+            _ => unknown += 1,
+        }
+        cancelled += report
+            .lanes
+            .iter()
+            .filter(|l| l.cancel_latency.is_some())
+            .count() as u32;
+    }
+    if let Some(path) = out_path {
+        if let Err(e) = std::fs::write(&path, &jsonl) {
+            eprintln!("error: cannot write {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    } else {
+        print!("{jsonl}");
+    }
+    eprintln!(
+        "; {} constraints in {:.1?}: {sat} sat, {unsat} unsat, {unknown} unknown; \
+         {cancelled} lanes cancelled",
+        reports.len(),
+        wall,
+    );
+    ExitCode::SUCCESS
+}
 
 /// `staub lint`: run the certifying checker over a script and (when
 /// transformable) its bounded translation. Exit code 1 iff error-severity
@@ -190,8 +382,10 @@ fn lint_main(args: Vec<String>) -> ExitCode {
 fn main() -> ExitCode {
     {
         let mut args = std::env::args().skip(1);
-        if args.next().as_deref() == Some("lint") {
-            return lint_main(args.collect());
+        match args.next().as_deref() {
+            Some("lint") => return lint_main(args.collect()),
+            Some("batch") => return batch_main(args.collect()),
+            _ => {}
         }
     }
     let options = match parse_args() {

@@ -5,7 +5,10 @@
 use std::time::Duration;
 
 use staub::benchgen::{generate, SuiteKind};
-use staub::core::{portfolio, Staub, StaubConfig, StaubOutcome, WidthChoice};
+use staub::core::{
+    portfolio, run_one, BatchConfig, BatchVerdict, LaneVerdict, Staub, StaubConfig, StaubOutcome,
+    WidthChoice,
+};
 use staub::smtlib::{evaluate, Script, Value};
 use staub::solver::SolverProfile;
 
@@ -149,6 +152,58 @@ fn narrow_fixed_widths_revert_cleanly() {
             }
             StaubOutcome::Unsat => assert_ne!(b.expected, Some(true), "{}", b.name),
             StaubOutcome::Unknown => {}
+        }
+    }
+}
+
+/// Width escalation in the scheduler (UppSAT-style precision ladder): when
+/// the inferred width is insufficient — the base lane comes back bounded
+/// `unsat`, which is never trusted (§4.4) — the 2× escalation lane finds a
+/// verified model and the scheduler reports it as winner.
+#[test]
+fn escalation_lane_wins_when_inferred_width_is_insufficient() {
+    // Integer division keeps the inferred width at the size of the
+    // *constants*: in `(div x K) = T`, x at the inferred width is too small
+    // to reach quotient T, so the base lane is bounded-unsat while the 2×
+    // lane admits the witnesses.
+    for (src, quotient, divisor) in [
+        (
+            "(declare-fun x () Int)(assert (= (div x 5) 11))",
+            11i64,
+            5i64,
+        ),
+        ("(declare-fun x () Int)(assert (= (div x 7) 13))", 13, 7),
+    ] {
+        let script = Script::parse(src).unwrap();
+        let config = BatchConfig {
+            threads: 2,
+            include_baseline: false,
+            escalations: vec![2],
+            // Both lanes run to completion, so lane verdicts (and the
+            // winner: the only sound lane) are deterministic.
+            cancel_losers: false,
+            timeout: Duration::from_secs(30),
+            steps: 400_000,
+            ..BatchConfig::default()
+        };
+        let report = run_one("escalation", &script, &config);
+        assert_eq!(report.lanes.len(), 2, "{src}: base + x2 lanes");
+        let base = &report.lanes[0];
+        assert_eq!(
+            base.verdict,
+            LaneVerdict::BoundedUnsat,
+            "{src}: inferred width must be insufficient for this test to bite"
+        );
+        let winner = report.winner_lane().expect("escalated lane answers");
+        assert_eq!(winner.spec.label(), "staub/x2/zed", "{src}");
+        assert_eq!(winner.verdict, LaneVerdict::SatVerified, "{src}");
+        match &report.verdict {
+            BatchVerdict::Sat(model) => {
+                let sym = script.store().symbol("x").unwrap();
+                let x = model.get(sym).unwrap().as_int().unwrap().to_i64().unwrap();
+                assert_eq!(x.div_euclid(divisor), quotient, "{src}: x = {x}");
+            }
+            other => panic!("{src}: expected sat, got {other:?}"),
         }
     }
 }
