@@ -21,9 +21,28 @@
 use std::time::Duration;
 
 use staub_benchgen::{generate, Benchmark, SuiteKind};
-use staub_core::{portfolio, run_batch, BatchConfig, BatchItem, Staub, StaubConfig, WidthChoice};
+use staub_core::{
+    portfolio, run_batch, run_batch_observed, BatchConfig, BatchItem, Metrics, MetricsSnapshot,
+    Staub, StaubConfig, WidthChoice,
+};
 use staub_slot::Slot;
 use staub_solver::{SatResult, Solver, SolverProfile};
+
+/// Ceiling for the deterministic step budget: far beyond any budget a real
+/// run exhausts, but small enough that downstream scaling (lane escalation
+/// factors, retry doublings) cannot overflow a `u64`.
+pub const MAX_STEPS: u64 = 1 << 40;
+
+/// Deterministic step budget for a wall-clock timeout, ~4k steps/ms.
+///
+/// Saturates instead of wrapping: a huge `STAUB_EVAL_TIMEOUT_MS` (anything
+/// above `u64::MAX / 4_000`) used to overflow `timeout_ms * 4_000` in
+/// release builds, wrapping to an arbitrary — possibly tiny — budget and
+/// silently gutting every lane's work limit. The result is clamped to
+/// `[100_000, MAX_STEPS]`.
+pub fn steps_for_timeout(timeout_ms: u64) -> u64 {
+    timeout_ms.saturating_mul(4_000).clamp(100_000, MAX_STEPS)
+}
 
 /// Evaluation scale knobs.
 #[derive(Debug, Clone)]
@@ -61,7 +80,7 @@ impl EvalConfig {
         let counts = base.map(|n| ((n as f64 * scale).round() as usize).max(4));
         EvalConfig {
             timeout: Duration::from_millis(timeout_ms),
-            steps: (timeout_ms * 4_000).max(100_000),
+            steps: steps_for_timeout(timeout_ms),
             counts,
             seed: 0x57a0b,
         }
@@ -154,6 +173,39 @@ pub fn run_suite(
             report: r.to_portfolio(),
         })
         .collect()
+}
+
+/// [`run_suite`] with observability: routes the suite through
+/// [`run_batch_observed`] so stage spans, lane events, and solver counters
+/// are collected, and returns the metrics snapshot alongside the
+/// measurements. Callers attach the snapshot to their reports with
+/// [`MetricsSnapshot::to_json`] (CI uploads it as an artifact).
+pub fn run_suite_observed(
+    kind: SuiteKind,
+    profile: SolverProfile,
+    width: WidthChoice,
+    config: &EvalConfig,
+) -> (Vec<Measurement>, MetricsSnapshot) {
+    let metrics = Metrics::new();
+    let benchmarks = generate(kind, config.count(kind), config.seed);
+    let items: Vec<BatchItem> = benchmarks
+        .iter()
+        .map(|b| BatchItem {
+            name: b.name.clone(),
+            script: b.script.clone(),
+        })
+        .collect();
+    let reports = run_batch_observed(&items, &config.batch(profile, width), &metrics);
+    let measurements = benchmarks
+        .into_iter()
+        .zip(reports)
+        .map(|(b, r)| Measurement {
+            name: b.name,
+            family: b.family,
+            report: r.to_portfolio(),
+        })
+        .collect();
+    (measurements, metrics.snapshot())
 }
 
 /// The sequential [`portfolio::measure`] loop the scheduler replaced —
@@ -373,6 +425,41 @@ mod tests {
         assert_eq!(lines.len(), 4);
         assert!(lines[0].contains("long-header"));
         assert_eq!(lines[2].len(), lines[3].len());
+    }
+
+    #[test]
+    fn steps_budget_saturates_instead_of_wrapping() {
+        assert_eq!(steps_for_timeout(0), 100_000);
+        assert_eq!(steps_for_timeout(10), 100_000);
+        assert_eq!(steps_for_timeout(1_000), 4_000_000);
+        // Anything past u64::MAX / 4_000 used to wrap; now it saturates and
+        // clamps to the ceiling.
+        assert_eq!(steps_for_timeout(u64::MAX / 4_000 + 1), MAX_STEPS);
+        assert_eq!(steps_for_timeout(u64::MAX), MAX_STEPS);
+        // Monotone in the timeout.
+        assert!(steps_for_timeout(50) <= steps_for_timeout(5_000));
+        assert!(steps_for_timeout(5_000) <= steps_for_timeout(u64::MAX));
+    }
+
+    #[test]
+    fn run_suite_observed_attaches_stats() {
+        let config = EvalConfig {
+            timeout: Duration::from_millis(60),
+            steps: 60_000,
+            counts: [4, 4, 4, 4],
+            seed: 3,
+        };
+        let (ms, snapshot) = run_suite_observed(
+            SuiteKind::QfLia,
+            SolverProfile::Zed,
+            WidthChoice::Inferred,
+            &config,
+        );
+        assert_eq!(ms.len(), 4);
+        assert!(!snapshot.is_empty(), "observed run must record metrics");
+        let json = snapshot.to_json();
+        assert!(json.starts_with("{\"counters\":"), "got: {json}");
+        assert!(json.contains("sched.lane_started"), "got: {json}");
     }
 
     #[test]

@@ -27,7 +27,9 @@
 //! paper's §6.4 suggestion of applying the same scheme to *already-bounded*
 //! constraints (bitvector width reduction). [`check`] re-certifies each
 //! stage's output with the `staub-lint` checker (see
-//! [`StaubConfig::check`]).
+//! [`StaubConfig::check`]). [`metrics`] threads per-stage spans and
+//! solver counters through all of it (`staub stats`, batch JSONL `stats`
+//! blocks).
 //!
 //! # Quickstart
 //!
@@ -48,6 +50,7 @@ pub mod absint;
 pub mod bvreduce;
 pub mod check;
 pub mod correspond;
+pub mod metrics;
 pub mod portfolio;
 pub mod sched;
 pub mod transform;
@@ -56,10 +59,11 @@ pub mod verify;
 mod pipeline;
 
 pub use check::CheckLevel;
+pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
 pub use sched::{
-    run_batch, run_one, BatchConfig, BatchItem, BatchReport, BatchVerdict, LaneKind, LaneOutcome,
-    LaneSpec, LaneVerdict,
+    run_batch, run_batch_observed, run_one, BatchConfig, BatchItem, BatchReport, BatchVerdict,
+    LaneKind, LaneOutcome, LaneSpec, LaneVerdict,
 };
 pub use transform::{TransformError, Transformed};

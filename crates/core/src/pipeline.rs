@@ -3,6 +3,7 @@
 
 use std::error::Error;
 use std::fmt;
+use std::sync::Arc;
 use std::time::Duration;
 
 use staub_smtlib::{Model, Script};
@@ -11,6 +12,7 @@ use staub_solver::{Budget, SatResult, Solver, SolverProfile};
 use crate::absint;
 use crate::check::{self, CheckLevel};
 use crate::correspond::SortLimits;
+use crate::metrics::Metrics;
 use crate::portfolio;
 use crate::transform::{transform, TransformError, Transformed};
 use crate::verify::lift_and_verify;
@@ -127,15 +129,41 @@ impl Error for StaubError {}
 /// }
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct Staub {
     config: StaubConfig,
+    /// Observability registry; disabled by default so un-instrumented runs
+    /// pay a single branch per stage.
+    metrics: Arc<Metrics>,
+}
+
+impl Default for Staub {
+    fn default() -> Staub {
+        Staub::new(StaubConfig::default())
+    }
 }
 
 impl Staub {
     /// Creates a pipeline with the given configuration.
     pub fn new(config: StaubConfig) -> Staub {
-        Staub { config }
+        Staub {
+            config,
+            metrics: Arc::new(Metrics::disabled()),
+        }
+    }
+
+    /// Attaches a metrics registry: subsequent runs record per-stage spans
+    /// (`stage.absint`, `stage.transform`, `stage.solve`, `stage.verify`,
+    /// `stage.lint`, `stage.original_solve`) and solver counters
+    /// (`solver.bounded.*`, `solver.original.*`).
+    pub fn with_metrics(mut self, metrics: Arc<Metrics>) -> Staub {
+        self.metrics = metrics;
+        self
+    }
+
+    /// The attached metrics registry (disabled unless set).
+    pub fn metrics(&self) -> &Arc<Metrics> {
+        &self.metrics
     }
 
     /// The active configuration.
@@ -193,26 +221,52 @@ impl Staub {
             if budget.exhausted() {
                 return None;
             }
-            let bounds = absint::infer(script);
-            let transformed = transform(script, &bounds, choice, &self.config.limits).ok()?;
-            if self.config.check.active()
-                && !self.certify("transform", check::check_transformed(script, &transformed))
-            {
-                return None;
+            self.metrics.incr("pipeline.bounded_attempts", 1);
+            let bounds = self.metrics.time("stage.absint", || absint::infer(script));
+            let transformed = self
+                .metrics
+                .time("stage.transform", || {
+                    transform(script, &bounds, choice, &self.config.limits)
+                })
+                .ok()?;
+            if self.config.check.active() {
+                let clean = self.metrics.time("stage.lint", || {
+                    self.certify("transform", check::check_transformed(script, &transformed))
+                });
+                if !clean {
+                    return None;
+                }
             }
             let solver = Solver::new(self.config.profile);
-            let outcome = solver.solve_with_budget(&transformed.script, budget);
+            let outcome = self.metrics.time("stage.solve", || {
+                solver.solve_with_budget(&transformed.script, budget)
+            });
+            self.metrics.record_solver("solver.bounded", &outcome.stats);
             match outcome.result {
                 SatResult::Sat(bounded_model) => {
-                    if self.config.check.active()
-                        && !self.certify(
-                            "solve",
-                            check::check_model(&transformed.script, &bounded_model),
-                        )
-                    {
-                        return None;
+                    if self.config.check.active() {
+                        let clean = self.metrics.time("stage.lint", || {
+                            self.certify(
+                                "solve",
+                                check::check_model(&transformed.script, &bounded_model),
+                            )
+                        });
+                        if !clean {
+                            return None;
+                        }
                     }
-                    return lift_and_verify(script, &transformed, &bounded_model);
+                    let verified = self.metrics.time("stage.verify", || {
+                        lift_and_verify(script, &transformed, &bounded_model)
+                    });
+                    self.metrics.incr(
+                        if verified.is_some() {
+                            "pipeline.verified"
+                        } else {
+                            "pipeline.verify_failed"
+                        },
+                        1,
+                    );
+                    return verified;
                 }
                 // A bounded `unsat` cannot distinguish "really unsat" from
                 // "width too small" (§4.4 case 1): refine by doubling.
@@ -256,7 +310,12 @@ impl Staub {
         let solver = Solver::new(self.config.profile)
             .with_timeout(self.config.timeout)
             .with_steps(self.config.steps);
-        Ok(match solver.solve(script).result {
+        let outcome = self
+            .metrics
+            .time("stage.original_solve", || solver.solve(script));
+        self.metrics
+            .record_solver("solver.original", &outcome.stats);
+        Ok(match outcome.result {
             SatResult::Sat(model) => StaubOutcome::Sat {
                 model,
                 via: Via::Original,
@@ -414,6 +473,37 @@ mod tests {
         });
         let raced = staub.race(&script).unwrap();
         assert!(matches!(raced, StaubOutcome::Sat { .. }));
+    }
+
+    #[test]
+    fn metrics_record_stage_spans_and_counters() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let metrics = Arc::new(Metrics::new());
+        let staub = Staub::new(StaubConfig {
+            timeout: Duration::from_secs(5),
+            ..Default::default()
+        })
+        .with_metrics(Arc::clone(&metrics));
+        staub.run(&script).unwrap();
+        let snap = metrics.snapshot();
+        for stage in ["stage.absint", "stage.transform", "stage.solve"] {
+            assert!(snap.histograms.contains_key(stage), "missing {stage}");
+        }
+        assert_eq!(snap.counters.get("pipeline.verified"), Some(&1));
+        assert!(
+            snap.counters
+                .keys()
+                .any(|k| k.starts_with("solver.bounded.")),
+            "bounded solver counters recorded"
+        );
+    }
+
+    #[test]
+    fn default_pipeline_records_nothing() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let staub = Staub::default();
+        staub.run(&script).unwrap();
+        assert!(staub.metrics().snapshot().is_empty());
     }
 
     #[test]

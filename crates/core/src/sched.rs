@@ -32,10 +32,13 @@ use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 use staub_smtlib::{Model, Script};
-use staub_solver::{Budget, CancelFlag, SatResult, Solver, SolverProfile, UnknownReason};
+use staub_solver::{
+    Budget, CancelFlag, SatResult, Solver, SolverProfile, SolverStats, UnknownReason,
+};
 
 use crate::absint;
 use crate::correspond::SortLimits;
+use crate::metrics::Metrics;
 use crate::pipeline::WidthChoice;
 use crate::portfolio::{PortfolioReport, Winner};
 use crate::transform::transform;
@@ -215,6 +218,9 @@ pub struct LaneOutcome {
     pub t_post: Duration,
     /// Verification time (STAUB lanes; zero for baseline).
     pub t_check: Duration,
+    /// Solver-internal counters accumulated across the lane's attempts
+    /// (both the initial run and the retry, if any).
+    pub stats: SolverStats,
 }
 
 impl LaneOutcome {
@@ -230,6 +236,7 @@ impl LaneOutcome {
             t_trans: Duration::ZERO,
             t_post: Duration::ZERO,
             t_check: Duration::ZERO,
+            stats: SolverStats::default(),
         }
     }
 }
@@ -387,6 +394,28 @@ impl BatchReport {
             portfolio.verified,
             portfolio.speedup(),
         ));
+        // The observability block: stage durations plus every lane's
+        // solver-internal counters (field set mirrors `SolverStats`).
+        out.push_str(&format!(
+            "\"stats\":{{\"stages\":{{\"pre_ms\":{:.3},\"trans_ms\":{:.3},\
+             \"post_ms\":{:.3},\"check_ms\":{:.3}}},\"lanes\":[",
+            portfolio.t_pre.as_secs_f64() * 1e3,
+            portfolio.t_trans.as_secs_f64() * 1e3,
+            portfolio.t_post.as_secs_f64() * 1e3,
+            portfolio.t_check.as_secs_f64() * 1e3,
+        ));
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_json_str(&mut out, "label", &lane.spec.label());
+            for (field, value) in lane.stats.fields() {
+                out.push_str(&format!(",\"{field}\":{value}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]},");
         out.push_str("\"lanes\":[");
         for (i, lane) in self.lanes.iter().enumerate() {
             if i > 0 {
@@ -500,6 +529,8 @@ pub(crate) struct BoundedAttempt {
     pub t_post: Duration,
     /// Verification time.
     pub t_check: Duration,
+    /// Solver-internal counters from the bounded solve.
+    pub stats: SolverStats,
 }
 
 /// Runs one bounded attempt: infer, transform at `width`, solve under
@@ -522,6 +553,7 @@ pub(crate) fn bounded_attempt(
             t_trans,
             t_post: Duration::ZERO,
             t_check: Duration::ZERO,
+            stats: SolverStats::default(),
         },
         Ok(tf) => {
             let solver = Solver::new(profile);
@@ -539,6 +571,7 @@ pub(crate) fn bounded_attempt(
                 t_trans,
                 t_post,
                 t_check: t2.elapsed(),
+                stats: outcome.stats,
             }
         }
     }
@@ -558,17 +591,20 @@ fn run_lane(
     let start = Instant::now();
     let mut retried = false;
     let mut steps_used = 0u64;
+    let mut stats = SolverStats::default();
     match &spec.kind {
         LaneKind::Baseline => {
             let solver = Solver::new(spec.profile);
             let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
             let mut outcome = solver.solve_with_budget(script, &budget);
             steps_used += budget.steps_used();
+            stats.merge(&outcome.stats);
             if config.retry && out_of_steps(&outcome.result, &budget) {
                 retried = true;
                 budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
                 outcome = solver.solve_with_budget(script, &budget);
                 steps_used += budget.steps_used();
+                stats.merge(&outcome.stats);
             }
             let (verdict, model) = match outcome.result {
                 SatResult::Sat(m) => (LaneVerdict::Sat, Some(m)),
@@ -590,6 +626,7 @@ fn run_lane(
                 t_trans: Duration::ZERO,
                 t_post: elapsed,
                 t_check: Duration::ZERO,
+                stats,
             }
         }
         LaneKind::Staub { width, .. } => {
@@ -597,6 +634,7 @@ fn run_lane(
             let mut attempt =
                 bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
             steps_used += budget.steps_used();
+            stats.merge(&attempt.stats);
             let needs_retry = attempt
                 .result
                 .as_ref()
@@ -606,6 +644,7 @@ fn run_lane(
                 budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
                 attempt = bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
                 steps_used += budget.steps_used();
+                stats.merge(&attempt.stats);
             }
             let verdict = match (&attempt.result, &attempt.model) {
                 (_, Some(_)) => LaneVerdict::SatVerified,
@@ -629,6 +668,7 @@ fn run_lane(
                 t_trans: attempt.t_trans,
                 t_post: attempt.t_post,
                 t_check: attempt.t_check,
+                stats,
             }
         }
     }
@@ -664,7 +704,23 @@ struct Cell<'a> {
 /// Runs every constraint through its lane fan-out on a fixed worker pool
 /// and returns one report per constraint, in input order.
 pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> {
+    run_batch_observed(items, config, &Metrics::disabled())
+}
+
+/// [`run_batch`] with an attached metrics registry: records per-lane
+/// events (`sched.lane_started` / `sched.lane_skipped` /
+/// `sched.lane_cancelled` / `sched.lane_won`), cancel latency and lane
+/// wall-clock histograms, per-label win counters (`sched.wins.<label>`),
+/// deterministic steps, and per-label solver counters
+/// (`solver.<label>.<field>`).
+pub fn run_batch_observed(
+    items: &[BatchItem],
+    config: &BatchConfig,
+    metrics: &Metrics,
+) -> Vec<BatchReport> {
     let workers = config.worker_count().max(1);
+    metrics.gauge_set("sched.workers", workers as i64);
+    metrics.incr("sched.constraints", items.len() as u64);
     let cells: Vec<Cell<'_>> = items
         .iter()
         .map(|item| {
@@ -708,7 +764,7 @@ pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> 
         for wid in 0..workers {
             let queues = &queues;
             let cells = &cells;
-            scope.spawn(move || worker_loop(wid, queues, cells, config));
+            scope.spawn(move || worker_loop(wid, queues, cells, config, metrics));
         }
     });
 
@@ -759,11 +815,12 @@ fn worker_loop(
     queues: &[Mutex<VecDeque<Job>>],
     cells: &[Cell<'_>],
     config: &BatchConfig,
+    metrics: &Metrics,
 ) {
     loop {
         let job = next_job(wid, queues);
         let Some(job) = job else { return };
-        execute_job(job, cells, config);
+        execute_job(job, cells, config, metrics);
     }
 }
 
@@ -781,16 +838,29 @@ fn next_job(wid: usize, queues: &[Mutex<VecDeque<Job>>]) -> Option<Job> {
     None
 }
 
-fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig) {
+fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig, metrics: &Metrics) {
     let cell = &cells[job.cell];
     let spec = &cell.specs[job.lane];
     // A lane whose constraint is already decided need not start at all.
     let decided = config.cancel_losers && cell.cancel.is_cancelled();
     let outcome = if decided {
+        metrics.incr("sched.lane_skipped", 1);
         LaneOutcome::skipped(spec, &cell.cancel)
     } else {
+        metrics.incr("sched.lane_started", 1);
         run_lane(&cell.item.script, spec, &cell.cancel, config)
     };
+    if metrics.is_enabled() {
+        metrics.observe("sched.lane_elapsed", outcome.elapsed);
+        metrics.incr("sched.lane_steps", outcome.steps_used);
+        if outcome.verdict == LaneVerdict::Cancelled {
+            metrics.incr("sched.lane_cancelled", 1);
+            if let Some(latency) = outcome.cancel_latency {
+                metrics.observe("sched.cancel_latency", latency);
+            }
+        }
+        metrics.record_solver(&format!("solver.{}", spec.label()), &outcome.stats);
+    }
     let sound = outcome.verdict.is_sound();
     let mut state = cell.state.lock().expect("cell lock");
     state.outcomes[job.lane] = Some(outcome);
@@ -801,6 +871,8 @@ fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig) {
     if sound && state.winner.is_none() {
         state.winner = Some(job.lane);
         state.time_to_answer = Some(cell.started.elapsed());
+        metrics.incr("sched.lane_won", 1);
+        metrics.incr(&format!("sched.wins.{}", spec.label()), 1);
         if config.cancel_losers {
             cell.cancel.cancel();
         }
@@ -929,6 +1001,41 @@ mod tests {
         assert!(line.contains("\"verdict\":\"sat\""));
         assert!(line.contains("\"lanes\":["));
         assert!(!line.contains('\n'));
+    }
+
+    #[test]
+    fn jsonl_contains_stats_block() {
+        let items = [item("s", "(declare-fun x () Int)(assert (= (* x x) 49))")];
+        let config = BatchConfig {
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let line = run_batch(&items, &config)[0].to_jsonl();
+        assert!(line.contains("\"stats\":{\"stages\":{\"pre_ms\":"));
+        assert!(line.contains("\"trans_ms\":"));
+        // Every lane record in the stats block carries the full counter set.
+        for field in ["decisions", "propagations", "bb_nodes", "fp_moves"] {
+            assert!(line.contains(&format!("\"{field}\":")), "missing {field}");
+        }
+        // Without cancellation some lane did real solver work.
+        let reports = run_batch(&items, &config);
+        assert!(reports[0]
+            .lanes
+            .iter()
+            .any(|l| l.stats != SolverStats::default()));
+    }
+
+    #[test]
+    fn observed_batch_records_lane_events() {
+        let metrics = Metrics::new();
+        let items = [item("s", "(declare-fun x () Int)(assert (= (* x x) 49))")];
+        run_batch_observed(&items, &quick_config(), &metrics);
+        let snap = metrics.snapshot();
+        assert!(snap.counters["sched.lane_started"] >= 1);
+        assert_eq!(snap.counters["sched.lane_won"], 1);
+        assert!(snap.counters.keys().any(|k| k.starts_with("sched.wins.")));
+        assert!(snap.histograms.contains_key("sched.lane_elapsed"));
+        assert_eq!(snap.gauges["sched.workers"], 2);
     }
 
     #[test]

@@ -97,7 +97,14 @@ impl BitVecValue {
 
     /// Returns `true` if `value` is representable as a signed `width`-bit
     /// two's-complement integer.
+    ///
+    /// Unlike the constructors, this takes `width` as a raw parameter, so
+    /// it must handle `width == 0` itself (a zero-width type represents
+    /// nothing) rather than underflow `width - 1`.
     pub fn fits_signed(value: &BigInt, width: u32) -> bool {
+        if width == 0 {
+            return false;
+        }
         let half = BigInt::one().shl_bits(width as usize - 1);
         value >= &(-&half) && value < &half
     }
@@ -359,6 +366,22 @@ mod tests {
     #[should_panic(expected = "width must be positive")]
     fn zero_width_panics() {
         let _ = BitVecValue::zero(0);
+    }
+
+    #[test]
+    fn fits_signed_handles_zero_width() {
+        // Regression: `width - 1` used to underflow for width == 0.
+        assert!(!BitVecValue::fits_signed(&BigInt::zero(), 0));
+        assert!(!BitVecValue::fits_signed(&BigInt::from(-1), 0));
+        // Width-1 boundaries: signed range is [-1, 0].
+        assert!(BitVecValue::fits_signed(&BigInt::from(-1), 1));
+        assert!(BitVecValue::fits_signed(&BigInt::zero(), 1));
+        assert!(!BitVecValue::fits_signed(&BigInt::one(), 1));
+        // Width-8 boundaries.
+        assert!(BitVecValue::fits_signed(&BigInt::from(-128), 8));
+        assert!(BitVecValue::fits_signed(&BigInt::from(127), 8));
+        assert!(!BitVecValue::fits_signed(&BigInt::from(-129), 8));
+        assert!(!BitVecValue::fits_signed(&BigInt::from(128), 8));
     }
 
     #[test]

@@ -17,12 +17,18 @@ use crate::value::{Model, Value};
 
 /// Error produced during evaluation.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum EvalError {
     /// A variable had no binding in the model.
     UnboundVariable(String),
     /// Integer `div`/`mod` or real `/` with a zero divisor — these are
     /// uninterpreted in SMT-LIB, so evaluation cannot produce a value.
     DivisionByZero,
+    /// The term nests deeper than the evaluator's depth cap — returned
+    /// instead of overflowing the stack on adversarially deep terms (which
+    /// can be built programmatically even though the parser caps its own
+    /// input depth).
+    MaxDepthExceeded,
 }
 
 impl fmt::Display for EvalError {
@@ -30,6 +36,7 @@ impl fmt::Display for EvalError {
         match self {
             EvalError::UnboundVariable(name) => write!(f, "unbound variable `{name}`"),
             EvalError::DivisionByZero => f.write_str("division by zero is uninterpreted"),
+            EvalError::MaxDepthExceeded => f.write_str("maximum term depth exceeded"),
         }
     }
 }
@@ -57,8 +64,24 @@ impl Error for EvalError {}
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub fn evaluate(store: &TermStore, root: TermId, model: &Model) -> Result<Value, EvalError> {
+    evaluate_with_max_depth(store, root, model, crate::parser::DEFAULT_MAX_DEPTH)
+}
+
+/// [`evaluate`] with an explicit recursion-depth cap: terms nested deeper
+/// than `max_depth` yield [`EvalError::MaxDepthExceeded`] instead of a
+/// stack overflow.
+///
+/// # Errors
+///
+/// As [`evaluate`], plus the depth rejection above.
+pub fn evaluate_with_max_depth(
+    store: &TermStore,
+    root: TermId,
+    model: &Model,
+    max_depth: usize,
+) -> Result<Value, EvalError> {
     let mut memo: Vec<Option<Value>> = vec![None; store.len()];
-    eval_rec(store, root, model, &mut memo)
+    eval_rec(store, root, model, &mut memo, 0, max_depth)
 }
 
 fn eval_rec(
@@ -66,14 +89,19 @@ fn eval_rec(
     id: TermId,
     model: &Model,
     memo: &mut Vec<Option<Value>>,
+    depth: usize,
+    max_depth: usize,
 ) -> Result<Value, EvalError> {
     if let Some(v) = &memo[id.index()] {
         return Ok(v.clone());
     }
+    if depth >= max_depth {
+        return Err(EvalError::MaxDepthExceeded);
+    }
     let term = store.term(id);
     let mut args = Vec::with_capacity(term.args().len());
     for &arg in term.args() {
-        args.push(eval_rec(store, arg, model, memo)?);
+        args.push(eval_rec(store, arg, model, memo, depth + 1, max_depth)?);
     }
     let value = apply(store, term.op(), &args, model)?;
     memo[id.index()] = Some(value.clone());
@@ -361,6 +389,26 @@ mod tests {
 
     fn real(s: &str) -> Value {
         Value::Real(s.parse().unwrap())
+    }
+
+    #[test]
+    fn deep_programmatic_terms_error_instead_of_overflowing() {
+        // Deep towers can be built through the store even though the
+        // parser caps its input nesting; evaluation must refuse cleanly.
+        let mut script = Script::new();
+        let p = script.declare("p", crate::sort::Sort::Bool).unwrap();
+        let mut t = script.store_mut().var(p);
+        for _ in 0..300 {
+            t = script.store_mut().app(crate::op::Op::Not, &[t]).unwrap();
+        }
+        let mut model = Model::new();
+        model.insert(script.store().symbol("p").unwrap(), Value::Bool(true));
+        // Below the cap: evaluates (300 nots = identity).
+        let v = evaluate_with_max_depth(script.store(), t, &model, 1_000).unwrap();
+        assert_eq!(v, Value::Bool(true));
+        // Above the cap: structured error.
+        let err = evaluate_with_max_depth(script.store(), t, &model, 100).unwrap_err();
+        assert_eq!(err, EvalError::MaxDepthExceeded);
     }
 
     #[test]

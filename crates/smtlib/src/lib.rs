@@ -55,9 +55,9 @@ mod sort;
 mod term;
 mod value;
 
-pub use eval::{evaluate, EvalError};
+pub use eval::{evaluate, evaluate_with_max_depth, EvalError};
 pub use op::{Op, SortError};
-pub use parser::ParseError;
+pub use parser::{ParseError, ParseErrorKind, DEFAULT_MAX_DEPTH};
 pub use printer::print_term;
 pub use script::{Command, Logic, Script};
 pub use sort::Sort;

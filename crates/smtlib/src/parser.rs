@@ -12,12 +12,32 @@ use crate::script::{Command, Logic, Script};
 use crate::sort::Sort;
 use crate::term::{TermId, TermStore};
 
+/// Default maximum s-expression nesting depth accepted by the parser.
+///
+/// Deep enough for any real benchmark (SMT-LIB suites stay under a few
+/// hundred levels) while keeping the recursive term builder and evaluator
+/// comfortably inside a 2 MiB thread stack (the depth they tolerate is
+/// ~5000 there; 2000 also leaves margin for 1 MiB `RUST_MIN_STACK` runs).
+pub const DEFAULT_MAX_DEPTH: usize = 2_000;
+
+/// Structured classification of a [`ParseError`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum ParseErrorKind {
+    /// Malformed input: bad syntax, unknown operators, sort errors.
+    Syntax,
+    /// The input nests deeper than the configured cap — rejected up front
+    /// so adversarial `(not (not ...))` towers cannot overflow the stack.
+    MaxDepthExceeded,
+}
+
 /// Error produced while parsing SMT-LIB input.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ParseError {
     message: String,
     line: u32,
     col: u32,
+    kind: ParseErrorKind,
 }
 
 impl ParseError {
@@ -26,12 +46,27 @@ impl ParseError {
             message: message.into(),
             line,
             col,
+            kind: ParseErrorKind::Syntax,
+        }
+    }
+
+    fn depth(max_depth: usize, line: u32, col: u32) -> ParseError {
+        ParseError {
+            message: format!("maximum nesting depth exceeded (max {max_depth})"),
+            line,
+            col,
+            kind: ParseErrorKind::MaxDepthExceeded,
         }
     }
 
     /// 1-based source line of the error.
     pub fn line(&self) -> u32 {
         self.line
+    }
+
+    /// Structured error classification.
+    pub fn kind(&self) -> ParseErrorKind {
+        self.kind
     }
 }
 
@@ -83,12 +118,20 @@ impl SExpr {
     }
 }
 
-fn parse_sexprs(tokens: &[Token]) -> Result<Vec<SExpr>, ParseError> {
+fn parse_sexprs(tokens: &[Token], max_depth: usize) -> Result<Vec<SExpr>, ParseError> {
     let mut stack: Vec<(Vec<SExpr>, u32, u32)> = Vec::new();
     let mut top: Vec<SExpr> = Vec::new();
     for tok in tokens {
         match &tok.kind {
-            TokenKind::LParen => stack.push((std::mem::take(&mut top), tok.line, tok.col)),
+            TokenKind::LParen => {
+                // Rejecting over-deep input *here* — before any tree is
+                // built — also bounds the recursion of the term builder
+                // and of `SExpr`/term drop glue downstream.
+                if stack.len() >= max_depth {
+                    return Err(ParseError::depth(max_depth, tok.line, tok.col));
+                }
+                stack.push((std::mem::take(&mut top), tok.line, tok.col));
+            }
             TokenKind::RParen => match stack.pop() {
                 Some((mut outer, l, c)) => {
                     let list = SExpr::List(std::mem::take(&mut top), l, c);
@@ -115,10 +158,19 @@ struct Parser {
     defs: HashMap<String, TermId>,
 }
 
-/// Parses a full SMT-LIB script.
+/// Parses a full SMT-LIB script at the default nesting cap.
 pub(crate) fn parse_script(src: &str) -> Result<Script, ParseError> {
+    parse_script_with_max_depth(src, DEFAULT_MAX_DEPTH)
+}
+
+/// Parses a full SMT-LIB script, rejecting input nested deeper than
+/// `max_depth` with [`ParseErrorKind::MaxDepthExceeded`].
+pub(crate) fn parse_script_with_max_depth(
+    src: &str,
+    max_depth: usize,
+) -> Result<Script, ParseError> {
     let tokens = tokenize(src).map_err(|e| ParseError::new(e.message.clone(), e.line, e.col))?;
-    let sexprs = parse_sexprs(&tokens)?;
+    let sexprs = parse_sexprs(&tokens, max_depth)?;
     let mut p = Parser {
         store: TermStore::new(),
         commands: Vec::new(),
@@ -796,6 +848,46 @@ mod tests {
         let src = "(declare-fun x () Int)(assert (< 0 x 10))";
         let script = Script::parse(src).unwrap();
         assert_eq!(script.assertions().len(), 1);
+    }
+
+    fn nested_nots(depth: usize) -> String {
+        let mut src = String::from("(declare-fun p () Bool)(assert ");
+        for _ in 0..depth {
+            src.push_str("(not ");
+        }
+        src.push('p');
+        for _ in 0..depth {
+            src.push(')');
+        }
+        src.push(')');
+        src
+    }
+
+    #[test]
+    fn depth_below_cap_parses() {
+        let script = Script::parse_with_max_depth(&nested_nots(50), 100).unwrap();
+        assert_eq!(script.assertions().len(), 1);
+    }
+
+    #[test]
+    fn depth_above_cap_errors_cleanly() {
+        let err = Script::parse_with_max_depth(&nested_nots(101), 100).unwrap_err();
+        assert_eq!(err.kind(), ParseErrorKind::MaxDepthExceeded);
+        assert!(err.to_string().contains("maximum nesting depth"));
+    }
+
+    #[test]
+    fn hundred_k_deep_not_tower_is_rejected_not_crashed() {
+        // The depth guard fires during s-expression reading, before any
+        // deep tree exists — no stack overflow, no abort.
+        let err = Script::parse(&nested_nots(100_000)).unwrap_err();
+        assert_eq!(err.kind(), ParseErrorKind::MaxDepthExceeded);
+    }
+
+    #[test]
+    fn syntax_errors_have_syntax_kind() {
+        let err = Script::parse("(assert (= x 1))").unwrap_err();
+        assert_eq!(err.kind(), ParseErrorKind::Syntax);
     }
 
     #[test]

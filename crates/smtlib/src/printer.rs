@@ -26,49 +26,69 @@ pub fn print_term(store: &TermStore, id: TermId) -> String {
     out
 }
 
+/// Pending work for the iterative term writer.
+enum Frame {
+    Term(TermId),
+    Text(&'static str),
+}
+
+/// Renders a term with an explicit work stack — terms of arbitrary depth
+/// (which can be built programmatically even though the parser caps its
+/// input nesting) print without overflowing the call stack.
 fn write_term(store: &TermStore, id: TermId, out: &mut String) -> fmt::Result {
-    let term = store.term(id);
-    match term.op() {
-        Op::Var(sym) => out.write_str(store.symbol_name(*sym)),
-        Op::True => out.write_str("true"),
-        Op::False => out.write_str("false"),
-        Op::IntConst(v) => {
-            if v.is_negative() {
-                write!(out, "(- {})", v.abs())
-            } else {
-                write!(out, "{v}")
+    let mut work = vec![Frame::Term(id)];
+    while let Some(frame) = work.pop() {
+        let id = match frame {
+            Frame::Text(s) => {
+                out.write_str(s)?;
+                continue;
             }
-        }
-        Op::RealConst(v) => {
-            let mag = v.abs();
-            let body = if mag.is_integer() {
-                format!("{}.0", mag.numer())
-            } else {
-                format!("(/ {}.0 {}.0)", mag.numer(), mag.denom())
-            };
-            if v.is_negative() {
-                write!(out, "(- {body})")
-            } else {
-                out.write_str(&body)
+            Frame::Term(id) => id,
+        };
+        let term = store.term(id);
+        match term.op() {
+            Op::Var(sym) => out.write_str(store.symbol_name(*sym))?,
+            Op::True => out.write_str("true")?,
+            Op::False => out.write_str("false")?,
+            Op::IntConst(v) => {
+                if v.is_negative() {
+                    write!(out, "(- {})", v.abs())?;
+                } else {
+                    write!(out, "{v}")?;
+                }
             }
-        }
-        Op::BvConst(v) => write!(out, "{v}"),
-        Op::FpConst(v) => {
-            let (sign, exp, sig) = v.to_fields();
-            let exp_bits = to_bin(&exp, v.eb());
-            let sig_bits = to_bin(&sig, v.sb() - 1);
-            write!(out, "(fp #b{} #b{exp_bits} #b{sig_bits})", u8::from(sign))
-        }
-        Op::RmConst(_) => out.write_str(&term.op().smtlib_name()),
-        op => {
-            write!(out, "({}", op.smtlib_name())?;
-            for &arg in term.args() {
-                out.write_str(" ")?;
-                write_term(store, arg, out)?;
+            Op::RealConst(v) => {
+                let mag = v.abs();
+                let body = if mag.is_integer() {
+                    format!("{}.0", mag.numer())
+                } else {
+                    format!("(/ {}.0 {}.0)", mag.numer(), mag.denom())
+                };
+                if v.is_negative() {
+                    write!(out, "(- {body})")?;
+                } else {
+                    out.write_str(&body)?;
+                }
             }
-            out.write_str(")")
+            Op::BvConst(v) => write!(out, "{v}")?,
+            Op::FpConst(v) => {
+                let (sign, exp, sig) = v.to_fields();
+                let exp_bits = to_bin(&exp, v.eb());
+                let sig_bits = to_bin(&sig, v.sb() - 1);
+                write!(out, "(fp #b{} #b{exp_bits} #b{sig_bits})", u8::from(sign))?;
+            }
+            Op::RmConst(_) => out.write_str(&term.op().smtlib_name())?,
+            op => {
+                write!(out, "({}", op.smtlib_name())?;
+                work.push(Frame::Text(")"));
+                for &arg in term.args().iter().rev() {
+                    work.push(Frame::Term(arg));
+                    work.push(Frame::Text(" "));
+                }
+            }
         }
     }
+    Ok(())
 }
 
 fn to_bin(v: &staub_numeric::BigInt, width: u32) -> String {
@@ -155,6 +175,23 @@ mod tests {
         let script2 = Script::parse("(declare-fun r () Real)(assert (= r 0.125))").unwrap();
         assert!(script2.to_string().contains("(/ 1.0 8.0)"));
         assert!(script.to_string().contains("(/ 1.0 3.0)"));
+    }
+
+    #[test]
+    fn deep_programmatic_terms_print_without_overflow() {
+        // Deeper than any sane call stack: the writer must be iterative.
+        let mut script = Script::new();
+        let p = script.declare("p", crate::sort::Sort::Bool).unwrap();
+        let mut t = script.store_mut().var(p);
+        for _ in 0..200_000 {
+            t = script.store_mut().app(Op::Not, &[t]).unwrap();
+        }
+        let printed = print_term(script.store(), t);
+        assert!(printed.starts_with("(not (not "));
+        assert!(printed.contains("(not p)"));
+        assert!(printed.ends_with("))"));
+        assert_eq!(printed.matches("(not").count(), 200_000);
+        assert_eq!(printed.matches(')').count(), 200_000);
     }
 
     #[test]

@@ -133,6 +133,19 @@ impl Script {
         parser::parse_script(src)
     }
 
+    /// [`Script::parse`] with an explicit nesting-depth cap (the default is
+    /// [`crate::DEFAULT_MAX_DEPTH`]). Input nested deeper than `max_depth`
+    /// is rejected with [`crate::ParseErrorKind::MaxDepthExceeded`] before
+    /// any tree is built, so adversarially deep scripts error cleanly
+    /// instead of overflowing the stack.
+    ///
+    /// # Errors
+    ///
+    /// As [`Script::parse`], plus the depth rejection above.
+    pub fn parse_with_max_depth(src: &str, max_depth: usize) -> Result<Script, ParseError> {
+        parser::parse_script_with_max_depth(src, max_depth)
+    }
+
     /// The term store backing this script.
     pub fn store(&self) -> &TermStore {
         &self.store

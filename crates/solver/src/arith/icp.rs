@@ -336,6 +336,9 @@ impl<'a> Icp<'a> {
                 }
             }
             if pruned {
+                // Interval evaluation refuted the whole box: the closest
+                // thing this engine has to an ICP contraction-to-empty.
+                stats.contractions += 1;
                 continue;
             }
             // Exhaustive enumeration of small integer boxes.

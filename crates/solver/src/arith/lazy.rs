@@ -56,12 +56,10 @@ pub fn solve_lazy_linear(
         }
     }
 
-    loop {
+    let result = loop {
         match enc.sat.solve(budget) {
-            SatSolverResult::Unsat => return Some(SatResult::Unsat),
-            SatSolverResult::Unknown => {
-                return Some(SatResult::Unknown(UnknownReason::BudgetExhausted))
-            }
+            SatSolverResult::Unsat => break SatResult::Unsat,
+            SatSolverResult::Unknown => break SatResult::Unknown(UnknownReason::BudgetExhausted),
             SatSolverResult::Sat => {}
         }
         stats.theory_checks += 1;
@@ -85,22 +83,26 @@ pub fn solve_lazy_linear(
                 for (&sym, &var) in &enc.bool_vars {
                     model.insert(sym, Value::Bool(enc.sat.value(var).unwrap_or(false)));
                 }
-                return Some(SatResult::Sat(model));
+                break SatResult::Sat(model);
             }
-            ConjunctionResult::Unknown => {
-                return Some(SatResult::Unknown(UnknownReason::BudgetExhausted))
-            }
+            ConjunctionResult::Unknown => break SatResult::Unknown(UnknownReason::BudgetExhausted),
             ConjunctionResult::Unsat => {
                 // Block this boolean model (over atom variables only).
                 if blocking.is_empty() || !enc.sat.add_clause(&blocking) {
-                    return Some(SatResult::Unsat);
+                    break SatResult::Unsat;
                 }
             }
         }
         if budget.exhausted() {
-            return Some(SatResult::Unknown(UnknownReason::BudgetExhausted));
+            break SatResult::Unknown(UnknownReason::BudgetExhausted);
         }
-    }
+    };
+    stats.decisions += enc.sat.decisions;
+    stats.conflicts += enc.sat.conflicts;
+    stats.propagations += enc.sat.propagations;
+    stats.restarts += enc.sat.restarts;
+    stats.clauses += enc.sat.num_clauses() as u64;
+    Some(result)
 }
 
 struct Skeleton<'a> {

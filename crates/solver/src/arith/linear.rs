@@ -380,6 +380,7 @@ fn solve_rec(
     if depth > 64 || budget.exhausted() {
         return ConjunctionResult::Unknown;
     }
+    stats.bb_nodes += 1;
     let feasibility = simplex.check(budget);
     stats.pivots += simplex.pivots;
     match feasibility {

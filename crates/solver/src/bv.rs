@@ -39,6 +39,8 @@ pub fn solve_bv(script: &Script, config: SatConfig, budget: &Budget) -> (SatResu
     };
     stats.decisions = blaster.sat.decisions;
     stats.conflicts = blaster.sat.conflicts;
+    stats.propagations = blaster.sat.propagations;
+    stats.restarts = blaster.sat.restarts;
     stats.clauses = blaster.sat.num_clauses() as u64;
     (result, stats)
 }

@@ -123,6 +123,7 @@ pub fn solve_fp(
     }
     for model in candidates {
         stats.model_checks += 1;
+        stats.fp_moves += 1;
         if check_model(store, script.assertions(), &model) {
             return SatResult::Sat(model);
         }

@@ -162,6 +162,11 @@ pub struct SatSolver {
     pub decisions: u64,
     /// Conflicts seen (exposed in stats).
     pub conflicts: u64,
+    /// Unit propagations performed (trail literals processed; exposed in
+    /// stats).
+    pub propagations: u64,
+    /// Restarts performed (exposed in stats).
+    pub restarts: u64,
     /// Indexed max-heap over variable activities (MiniSat-style order).
     order: VarOrder,
     /// Reusable scratch buffer for conflict analysis.
@@ -276,6 +281,8 @@ impl SatSolver {
             unsat: false,
             decisions: 0,
             conflicts: 0,
+            propagations: 0,
+            restarts: 0,
             order: VarOrder::default(),
             seen: Vec::new(),
         }
@@ -396,6 +403,7 @@ impl SatSolver {
         while self.prop_head < self.trail.len() {
             let lit = self.trail[self.prop_head];
             self.prop_head += 1;
+            self.propagations += 1;
             let false_lit = lit.negated();
             // Clauses watching `false_lit` must find a new watch or
             // propagate. In-place two-pointer compaction: `j` tracks how
@@ -695,6 +703,7 @@ impl SatSolver {
                 if conflicts_since_restart as f64 >= restart_limit {
                     conflicts_since_restart = 0;
                     restart_limit *= self.config.restart_factor;
+                    self.restarts += 1;
                     self.backtrack_to(0);
                     if self.reduce_countdown == 0 {
                         self.reduce_countdown = 2048;

@@ -8,6 +8,7 @@
 //! ```text
 //! staub [OPTIONS] <file.smt2>
 //! staub lint [--width N] <file.smt2>
+//! staub stats [--width N] [--profile P] [--timeout-ms N] <file.smt2>
 //! staub batch [BATCH OPTIONS] <dir|file.smt2>...
 //!
 //! OPTIONS:
@@ -26,10 +27,16 @@
 //! re-certifies the bounded translation (boundedness, guard domination,
 //! correspondence). Exits nonzero iff error-severity findings exist.
 //!
+//! The `stats` subcommand runs the pipeline once with the metrics
+//! registry enabled and prints the verdict followed by per-stage
+//! wall-clock spans and solver-internal counters.
+//!
 //! The `batch` subcommand drives every given constraint through the
 //! multi-lane portfolio scheduler (baseline + STAUB width-escalation
 //! lanes racing on a work-stealing pool) and emits one JSON report line
-//! per constraint; see `staub batch --help` for the lane options.
+//! per constraint; see `staub batch --help` for the lane options. Batch
+//! metrics are on by default (`--no-stats` disables them); with `--out
+//! FILE` the aggregate snapshot is written to `FILE.stats.json`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -110,9 +117,103 @@ fn parse_args() -> Result<Options, String> {
 const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
 [--profile zed|cove] [--timeout-ms N] [--refine N] [--race] [--stats] <file.smt2>
        staub lint [--width N] <file.smt2>
+       staub stats [--width N] [--profile zed|cove] [--timeout-ms N] <file.smt2>
        staub batch [--threads N] [--timeout-ms N] [--steps N] [--width N] \
 [--profile zed|cove|both] [--escalate M,M,...] [--no-baseline] [--no-cancel] \
-[--retry] [--out FILE] <dir|file.smt2>...";
+[--retry] [--no-stats] [--out FILE] <dir|file.smt2>...";
+
+const STATS_USAGE: &str = "usage: staub stats [--width N] [--profile zed|cove] \
+[--timeout-ms N] <file.smt2>
+
+Runs the full arbitrage pipeline once with the metrics registry enabled and
+prints the verdict followed by per-stage wall-clock spans (parse, absint,
+transform, lint, solve, verify) and solver-internal counters (SAT
+decisions/conflicts/propagations/restarts, bit-blasted clauses, simplex
+pivots, branch-and-bound nodes, ICP contractions, FP local-search moves).";
+
+/// `staub stats`: one observed pipeline run, then the metrics snapshot.
+fn stats_main(args: Vec<String>) -> ExitCode {
+    use staub::core::Metrics;
+    use std::sync::Arc;
+
+    let mut width = WidthChoice::Inferred;
+    let mut profile = SolverProfile::Zed;
+    let mut timeout = Duration::from_millis(1000);
+    let mut file = None;
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--width" => {
+                let Some(w) = iter.next().and_then(|v| v.parse::<u32>().ok()) else {
+                    eprintln!("error: --width needs a numeric value\n{STATS_USAGE}");
+                    return ExitCode::from(2);
+                };
+                width = WidthChoice::Fixed(w);
+            }
+            "--profile" => match iter.next().as_deref() {
+                Some("zed") => profile = SolverProfile::Zed,
+                Some("cove") => profile = SolverProfile::Cove,
+                other => {
+                    eprintln!("error: unknown profile {other:?}\n{STATS_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--timeout-ms" => {
+                let Some(ms) = iter.next().and_then(|v| v.parse::<u64>().ok()) else {
+                    eprintln!("error: --timeout-ms needs a numeric value\n{STATS_USAGE}");
+                    return ExitCode::from(2);
+                };
+                timeout = Duration::from_millis(ms);
+            }
+            "--help" | "-h" => {
+                println!("{STATS_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') && file.is_none() => file = Some(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{STATS_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let Some(file) = file else {
+        eprintln!("error: missing input file\n{STATS_USAGE}");
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(&file) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot read {file}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let metrics = Arc::new(Metrics::new());
+    let script = match metrics.time("stage.parse", || Script::parse(&source)) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let staub = Staub::new(StaubConfig {
+        width_choice: width,
+        profile,
+        timeout,
+        ..Default::default()
+    })
+    .with_metrics(Arc::clone(&metrics));
+    match staub.run(&script) {
+        Ok(StaubOutcome::Sat { .. }) => println!("sat"),
+        Ok(StaubOutcome::Unsat) => println!("unsat"),
+        Ok(StaubOutcome::Unknown) => println!("unknown"),
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    print!("{}", metrics.snapshot());
+    ExitCode::SUCCESS
+}
 
 const BATCH_USAGE: &str = "usage: staub batch [BATCH OPTIONS] <dir|file.smt2>...
 
@@ -130,14 +231,18 @@ BATCH OPTIONS:
   --no-baseline       skip the baseline lane (bounded lanes only)
   --no-cancel         let losing lanes run to completion (full timings)
   --retry             one bounded retry for lanes that exhaust their steps
-  --out <FILE>        write the JSONL to FILE instead of stdout";
+  --no-stats          skip the metrics registry (per-record stats remain)
+  --out <FILE>        write the JSONL to FILE instead of stdout
+                      (with stats on, the aggregate metrics snapshot goes
+                      to FILE.stats.json)";
 
 /// `staub batch`: the multi-lane scheduler over a corpus of files.
 fn batch_main(args: Vec<String>) -> ExitCode {
-    use staub::core::{run_batch, BatchConfig, BatchItem};
+    use staub::core::{run_batch_observed, BatchConfig, BatchItem, Metrics};
 
     let mut config = BatchConfig::default();
     let mut out_path = None;
+    let mut with_stats = true;
     let mut inputs = Vec::new();
     let mut iter = args.into_iter();
     macro_rules! value_of {
@@ -188,6 +293,7 @@ fn batch_main(args: Vec<String>) -> ExitCode {
             "--no-baseline" => config.include_baseline = false,
             "--no-cancel" => config.cancel_losers = false,
             "--retry" => config.retry = true,
+            "--no-stats" => with_stats = false,
             "--out" => {
                 let Some(path) = iter.next() else {
                     eprintln!("error: --out needs a path\n{BATCH_USAGE}");
@@ -260,8 +366,13 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         }
     }
 
+    let metrics = if with_stats {
+        Metrics::new()
+    } else {
+        Metrics::disabled()
+    };
     let start = std::time::Instant::now();
-    let reports = run_batch(&items, &config);
+    let reports = run_batch_observed(&items, &config, &metrics);
     let wall = start.elapsed();
 
     let mut jsonl = String::new();
@@ -285,8 +396,18 @@ fn batch_main(args: Vec<String>) -> ExitCode {
             eprintln!("error: cannot write {path}: {e}");
             return ExitCode::FAILURE;
         }
+        if with_stats {
+            let stats_path = format!("{path}.stats.json");
+            if let Err(e) = std::fs::write(&stats_path, metrics.snapshot().to_json()) {
+                eprintln!("error: cannot write {stats_path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
     } else {
         print!("{jsonl}");
+        if with_stats {
+            eprintln!("; stats: {}", metrics.snapshot().to_json());
+        }
     }
     eprintln!(
         "; {} constraints in {:.1?}: {sat} sat, {unsat} unsat, {unknown} unknown; \
@@ -384,6 +505,7 @@ fn main() -> ExitCode {
         let mut args = std::env::args().skip(1);
         match args.next().as_deref() {
             Some("lint") => return lint_main(args.collect()),
+            Some("stats") => return stats_main(args.collect()),
             Some("batch") => return batch_main(args.collect()),
             _ => {}
         }
