@@ -63,7 +63,7 @@ pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
 pub use sched::{
-    run_batch, run_batch_observed, run_one, BatchConfig, BatchItem, BatchReport, BatchVerdict,
-    LaneKind, LaneOutcome, LaneSpec, LaneVerdict,
+    run_batch, run_batch_observed, run_one, run_one_observed, BatchConfig, BatchItem, BatchReport,
+    BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict,
 };
 pub use transform::{TransformError, Transformed};

@@ -360,6 +360,36 @@ impl BatchReport {
         }
     }
 
+    /// The observability block alone: stage durations plus every lane's
+    /// solver-internal counters (field set mirrors `SolverStats`), as a
+    /// JSON object. Embedded in [`BatchReport::to_jsonl`] under `"stats"`
+    /// and reused verbatim by `staub serve` solve replies.
+    pub fn stats_json(&self) -> String {
+        let portfolio = self.to_portfolio();
+        let mut out = String::with_capacity(128);
+        out.push_str(&format!(
+            "{{\"stages\":{{\"pre_ms\":{:.3},\"trans_ms\":{:.3},\
+             \"post_ms\":{:.3},\"check_ms\":{:.3}}},\"lanes\":[",
+            portfolio.t_pre.as_secs_f64() * 1e3,
+            portfolio.t_trans.as_secs_f64() * 1e3,
+            portfolio.t_post.as_secs_f64() * 1e3,
+            portfolio.t_check.as_secs_f64() * 1e3,
+        ));
+        for (i, lane) in self.lanes.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push('{');
+            push_json_str(&mut out, "label", &lane.spec.label());
+            for (field, value) in lane.stats.fields() {
+                out.push_str(&format!(",\"{field}\":{value}"));
+            }
+            out.push('}');
+        }
+        out.push_str("]}");
+        out
+    }
+
     /// One JSON line per constraint (the `staub batch` output format). The
     /// top-level timing fields mirror [`PortfolioReport`]; `lanes` adds the
     /// per-lane records including cancellation latency.
@@ -394,28 +424,9 @@ impl BatchReport {
             portfolio.verified,
             portfolio.speedup(),
         ));
-        // The observability block: stage durations plus every lane's
-        // solver-internal counters (field set mirrors `SolverStats`).
-        out.push_str(&format!(
-            "\"stats\":{{\"stages\":{{\"pre_ms\":{:.3},\"trans_ms\":{:.3},\
-             \"post_ms\":{:.3},\"check_ms\":{:.3}}},\"lanes\":[",
-            portfolio.t_pre.as_secs_f64() * 1e3,
-            portfolio.t_trans.as_secs_f64() * 1e3,
-            portfolio.t_post.as_secs_f64() * 1e3,
-            portfolio.t_check.as_secs_f64() * 1e3,
-        ));
-        for (i, lane) in self.lanes.iter().enumerate() {
-            if i > 0 {
-                out.push(',');
-            }
-            out.push('{');
-            push_json_str(&mut out, "label", &lane.spec.label());
-            for (field, value) in lane.stats.fields() {
-                out.push_str(&format!(",\"{field}\":{value}"));
-            }
-            out.push('}');
-        }
-        out.push_str("]},");
+        out.push_str("\"stats\":");
+        out.push_str(&self.stats_json());
+        out.push(',');
         out.push_str("\"lanes\":[");
         for (i, lane) in self.lanes.iter().enumerate() {
             if i > 0 {
@@ -801,11 +812,23 @@ pub fn run_batch_observed(
 
 /// Convenience for a single constraint: plan, run, report.
 pub fn run_one(name: &str, script: &Script, config: &BatchConfig) -> BatchReport {
+    run_one_observed(name, script, config, &Metrics::disabled())
+}
+
+/// [`run_one`] with an attached metrics registry — the entry point the
+/// `staub serve` request path uses, so long-running servers accumulate the
+/// same `sched.*` / `solver.*` counters batch runs report.
+pub fn run_one_observed(
+    name: &str,
+    script: &Script,
+    config: &BatchConfig,
+    metrics: &Metrics,
+) -> BatchReport {
     let items = [BatchItem {
         name: name.to_string(),
         script: script.clone(),
     }];
-    run_batch(&items, config)
+    run_batch_observed(&items, config, metrics)
         .pop()
         .expect("one item in, one report out")
 }

@@ -1,0 +1,355 @@
+//! The canonical-constraint answer cache.
+//!
+//! Keys are the canonical serializations produced by
+//! [`staub_smtlib::canonicalize`], so two requests that differ only by
+//! symbol names, assertion order, or commutative argument order share an
+//! entry. Lookup is by 128-bit fingerprint, sharded to keep lock
+//! contention off the request path, with a **full-key comparison on every
+//! hit**: a fingerprint collision degrades to a miss, never to a wrong
+//! answer.
+//!
+//! Only *sound* results are cached — `sat` verdicts whose models the
+//! pipeline already lift-verified, and `unsat` verdicts (which STAUB only
+//! reports from exact lanes; bounded-unsat is never trusted, §4.4).
+//! `unknown` is a budget artifact, not a fact about the constraint, so it
+//! is never cached. Cached models are stored keyed by *canonical
+//! variable index* and rebound through the requester's own
+//! [`Canonical::vars`](staub_smtlib::Canonical::vars) table, then
+//! re-verified by exact evaluation before being served (see
+//! `server::solve_one`), so even a cache bug cannot emit an unsound
+//! `sat`.
+//!
+//! Each shard is a hand-rolled slab LRU: entries live in a `Vec`, the
+//! recency list is a pair of `prev`/`next` index arrays, so promotion and
+//! eviction are O(1) with no per-entry allocation.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use staub_smtlib::Value;
+
+/// A cached answer for one canonical constraint.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CachedVerdict {
+    /// Satisfiable, with the verified model keyed by canonical variable
+    /// index and the lane label that produced it.
+    Sat {
+        /// `(canonical var index, value)` bindings.
+        model: Vec<(usize, Value)>,
+        /// Winning lane label at insertion time.
+        winner: Option<String>,
+    },
+    /// Unsatisfiable (exact-lane verdict only).
+    Unsat {
+        /// Winning lane label at insertion time.
+        winner: Option<String>,
+    },
+}
+
+impl CachedVerdict {
+    /// The protocol verdict string.
+    pub fn name(&self) -> &'static str {
+        match self {
+            CachedVerdict::Sat { .. } => "sat",
+            CachedVerdict::Unsat { .. } => "unsat",
+        }
+    }
+}
+
+/// Tuning knobs for the answer cache.
+#[derive(Debug, Clone)]
+pub struct CacheConfig {
+    /// Total entry capacity across all shards (≥ 1).
+    pub capacity: usize,
+    /// Shard count (rounded up to at least 1; capacity is split evenly,
+    /// remainder to the low shards).
+    pub shards: usize,
+}
+
+impl Default for CacheConfig {
+    fn default() -> CacheConfig {
+        CacheConfig {
+            capacity: 4096,
+            shards: 8,
+        }
+    }
+}
+
+/// Point-in-time cache counters, for health snapshots and tests.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Lookups that returned an entry.
+    pub hits: u64,
+    /// Lookups that found nothing (including fingerprint collisions).
+    pub misses: u64,
+    /// Entries written.
+    pub insertions: u64,
+    /// Entries displaced by capacity pressure.
+    pub evictions: u64,
+    /// Entries currently resident.
+    pub entries: u64,
+}
+
+struct Slot {
+    fingerprint: u128,
+    key: String,
+    verdict: CachedVerdict,
+    prev: usize,
+    next: usize,
+}
+
+const NIL: usize = usize::MAX;
+
+/// One shard: an index by fingerprint plus a slab-backed LRU list.
+struct Shard {
+    index: HashMap<u128, usize>,
+    slots: Vec<Slot>,
+    head: usize,
+    tail: usize,
+    capacity: usize,
+}
+
+impl Shard {
+    fn new(capacity: usize) -> Shard {
+        Shard {
+            index: HashMap::new(),
+            slots: Vec::with_capacity(capacity.min(64)),
+            head: NIL,
+            tail: NIL,
+            capacity,
+        }
+    }
+
+    fn unlink(&mut self, at: usize) {
+        let (prev, next) = (self.slots[at].prev, self.slots[at].next);
+        match prev {
+            NIL => self.head = next,
+            p => self.slots[p].next = next,
+        }
+        match next {
+            NIL => self.tail = prev,
+            n => self.slots[n].prev = prev,
+        }
+    }
+
+    fn push_front(&mut self, at: usize) {
+        self.slots[at].prev = NIL;
+        self.slots[at].next = self.head;
+        match self.head {
+            NIL => self.tail = at,
+            h => self.slots[h].prev = at,
+        }
+        self.head = at;
+    }
+
+    fn get(&mut self, fingerprint: u128, key: &str) -> Option<CachedVerdict> {
+        let at = *self.index.get(&fingerprint)?;
+        if self.slots[at].key != key {
+            // Fingerprint collision between distinct constraints: treat as
+            // a miss rather than ever serving the wrong answer.
+            return None;
+        }
+        self.unlink(at);
+        self.push_front(at);
+        Some(self.slots[at].verdict.clone())
+    }
+
+    /// Inserts an entry; returns `true` if another was evicted for room.
+    fn insert(&mut self, fingerprint: u128, key: String, verdict: CachedVerdict) -> bool {
+        if let Some(&at) = self.index.get(&fingerprint) {
+            self.slots[at].key = key;
+            self.slots[at].verdict = verdict;
+            self.unlink(at);
+            self.push_front(at);
+            return false;
+        }
+        if self.slots.len() < self.capacity {
+            let at = self.slots.len();
+            self.slots.push(Slot {
+                fingerprint,
+                key,
+                verdict,
+                prev: NIL,
+                next: NIL,
+            });
+            self.index.insert(fingerprint, at);
+            self.push_front(at);
+            false
+        } else {
+            // Recycle the least-recently-used slot in place.
+            let at = self.tail;
+            self.unlink(at);
+            self.index.remove(&self.slots[at].fingerprint);
+            self.slots[at].fingerprint = fingerprint;
+            self.slots[at].key = key;
+            self.slots[at].verdict = verdict;
+            self.index.insert(fingerprint, at);
+            self.push_front(at);
+            true
+        }
+    }
+}
+
+/// The sharded answer cache. All methods take `&self`; each shard has its
+/// own mutex and counters are atomics, so readers on distinct shards
+/// never contend.
+pub struct AnswerCache {
+    shards: Vec<Mutex<Shard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+    entries: AtomicU64,
+}
+
+impl AnswerCache {
+    /// Builds a cache with the given capacity split across shards.
+    pub fn new(config: &CacheConfig) -> AnswerCache {
+        let shard_count = config.shards.max(1);
+        let capacity = config.capacity.max(1);
+        let shards = (0..shard_count)
+            .map(|i| {
+                let per = capacity / shard_count + usize::from(i < capacity % shard_count);
+                Mutex::new(Shard::new(per.max(1)))
+            })
+            .collect();
+        AnswerCache {
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+            entries: AtomicU64::new(0),
+        }
+    }
+
+    fn shard(&self, fingerprint: u128) -> &Mutex<Shard> {
+        &self.shards[(fingerprint % self.shards.len() as u128) as usize]
+    }
+
+    /// Looks up a canonical constraint, promoting it on hit.
+    pub fn get(&self, fingerprint: u128, key: &str) -> Option<CachedVerdict> {
+        let got = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .get(fingerprint, key);
+        match got {
+            Some(_) => self.hits.fetch_add(1, Ordering::Relaxed),
+            None => self.misses.fetch_add(1, Ordering::Relaxed),
+        };
+        got
+    }
+
+    /// Records a sound answer for a canonical constraint.
+    pub fn insert(&self, fingerprint: u128, key: String, verdict: CachedVerdict) {
+        let evicted = self
+            .shard(fingerprint)
+            .lock()
+            .expect("cache shard poisoned")
+            .insert(fingerprint, key, verdict);
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+        if evicted {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        } else {
+            // Overwrites of an existing fingerprint also land here; the
+            // entry gauge only counts net-new slots.
+            let resident: u64 = self
+                .shards
+                .iter()
+                .map(|s| s.lock().expect("cache shard poisoned").index.len() as u64)
+                .sum();
+            self.entries.store(resident, Ordering::Relaxed);
+        }
+    }
+
+    /// Snapshot of the counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            entries: self.entries.load(Ordering::Relaxed),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_numeric::BigInt;
+
+    fn sat(n: i64) -> CachedVerdict {
+        CachedVerdict::Sat {
+            model: vec![(0, Value::Int(BigInt::from(n)))],
+            winner: Some("baseline/zed".into()),
+        }
+    }
+
+    #[test]
+    fn hit_returns_inserted_verdict() {
+        let cache = AnswerCache::new(&CacheConfig::default());
+        assert_eq!(cache.get(7, "k"), None);
+        cache.insert(7, "k".into(), sat(3));
+        assert_eq!(cache.get(7, "k"), Some(sat(3)));
+        let stats = cache.stats();
+        assert_eq!((stats.hits, stats.misses, stats.insertions), (1, 1, 1));
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn fingerprint_collision_is_a_miss() {
+        let cache = AnswerCache::new(&CacheConfig::default());
+        cache.insert(7, "left".into(), sat(1));
+        assert_eq!(cache.get(7, "right"), None);
+        assert_eq!(cache.stats().misses, 1);
+    }
+
+    #[test]
+    fn lru_evicts_oldest_within_a_shard() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 2,
+            shards: 1,
+        });
+        cache.insert(1, "a".into(), sat(1));
+        cache.insert(2, "b".into(), sat(2));
+        assert!(cache.get(1, "a").is_some()); // promote a; b is now LRU
+        cache.insert(3, "c".into(), sat(3));
+        assert_eq!(cache.get(2, "b"), None, "b should have been evicted");
+        assert!(cache.get(1, "a").is_some());
+        assert!(cache.get(3, "c").is_some());
+        assert_eq!(cache.stats().evictions, 1);
+        assert_eq!(cache.stats().entries, 2);
+    }
+
+    #[test]
+    fn overwrite_same_fingerprint_keeps_one_entry() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 4,
+            shards: 1,
+        });
+        cache.insert(9, "k".into(), sat(1));
+        cache.insert(9, "k".into(), CachedVerdict::Unsat { winner: None });
+        assert_eq!(
+            cache.get(9, "k"),
+            Some(CachedVerdict::Unsat { winner: None })
+        );
+        assert_eq!(cache.stats().entries, 1);
+    }
+
+    #[test]
+    fn shards_split_capacity() {
+        let cache = AnswerCache::new(&CacheConfig {
+            capacity: 16,
+            shards: 5,
+        });
+        for i in 0..64u128 {
+            cache.insert(i, format!("k{i}"), sat(i as i64));
+        }
+        let stats = cache.stats();
+        assert!(stats.entries <= 16, "entries {} > capacity", stats.entries);
+        assert_eq!(stats.evictions, 64 - stats.entries);
+    }
+}

@@ -1,0 +1,41 @@
+//! STAUB solver-as-a-service: the `staub serve` daemon, its wire
+//! protocol, the canonical-constraint answer cache, and client drivers.
+//!
+//! The batch front end (`staub batch`) amortises solver setup across one
+//! process invocation; this crate amortises it across a *process
+//! lifetime*. A long-running server accepts newline-delimited JSON
+//! requests over TCP or a Unix socket, feeds cache misses into the
+//! multi-lane portfolio scheduler, and answers repeats — including
+//! α-renamed and commutatively reordered repeats — straight from a
+//! sharded LRU keyed by the canonical form of the constraint
+//! ([`staub_smtlib::canonicalize`]).
+//!
+//! Module map:
+//!
+//! * [`json`] — a minimal, depth-capped JSON reader/writer (the workspace
+//!   has no serde; the request path needs only this subset).
+//! * [`protocol`] — request/response shapes, error codes, and the
+//!   size-capped line reader.
+//! * [`cache`] — the sharded LRU answer cache with collision-proof
+//!   full-key comparison.
+//! * [`server`] — accept loops, admission control, the solve path, and
+//!   graceful drain.
+//! * [`client`] — `staub client` / `staub loadgen` drivers with
+//!   client-side response auditing.
+//! * [`signal`] — the SIGINT/SIGTERM shutdown flag (the workspace's one
+//!   audited `unsafe` exception).
+
+pub mod cache;
+pub mod client;
+pub mod json;
+pub mod protocol;
+pub mod server;
+pub mod signal;
+
+pub use cache::{AnswerCache, CacheConfig, CacheStats, CachedVerdict};
+pub use client::{
+    audit_reply, health_request, run_loadgen, shutdown_request, solve_request, Audit, Connection,
+    LoadgenConfig, LoadgenOutcome, RequestRecord,
+};
+pub use protocol::{parse_request, LineRead, LineReader, ProtocolError, Request, SolveRequest};
+pub use server::{DrainSummary, ServeConfig, Server};

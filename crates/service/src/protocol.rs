@@ -1,0 +1,455 @@
+//! The `staub serve` wire protocol: newline-delimited JSON.
+//!
+//! One request per line, one response line per request, over TCP or a
+//! Unix socket. The grammar (also documented in DESIGN.md):
+//!
+//! ```text
+//! request  := solve | health | shutdown
+//! solve    := {"op":"solve", "constraint":"<smt2>",
+//!              "id"?:string, "timeout_ms"?:int, "steps"?:int,
+//!              "no_cache"?:bool}
+//! health   := {"op":"health", "id"?:string}
+//! shutdown := {"op":"shutdown", "id"?:string}
+//!
+//! response := ok-solve | ok-health | ok-shutdown | error | overloaded
+//! ok-solve := {"id":string|null, "status":"ok", "verdict":"sat|unsat|unknown",
+//!              "model":{name:value,...}|null, "winner":string|null,
+//!              "cache":"hit|miss|off", "fingerprint":hex128,
+//!              "wall_ms":float, "stats":object|null}
+//! error    := {"id":string|null, "status":"error",
+//!              "error":{"code":string, "message":string}}
+//! overload := {"id":string|null, "status":"overloaded",
+//!              "error":{"code":"overloaded", "message":string}}
+//! ```
+//!
+//! Malformed lines, unknown `op`s, and lines longer than the server's
+//! request-size cap all yield a structured `error` response; the size cap
+//! and the SMT-LIB parser's nesting-depth cap together bound per-request
+//! memory, mirroring the crash-hardening stance of the batch front end.
+
+use std::io::{self, Read};
+
+use crate::json::{self, Json};
+
+/// Default cap on one request line, in bytes. Analogous to the parser's
+/// nesting-depth cap: a bound enforced *before* any tree is built.
+pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Machine-readable error codes carried in `error` responses.
+pub mod codes {
+    /// The line was not valid JSON.
+    pub const BAD_JSON: &str = "bad-json";
+    /// The JSON was valid but not a known request shape.
+    pub const BAD_REQUEST: &str = "bad-request";
+    /// The request line exceeded the server's size cap.
+    pub const OVERSIZED: &str = "oversized";
+    /// The SMT-LIB constraint failed to parse.
+    pub const PARSE_ERROR: &str = "parse-error";
+    /// The constraint has no assertions.
+    pub const EMPTY_SCRIPT: &str = "empty-script";
+    /// The server is at capacity; retry later.
+    pub const OVERLOADED: &str = "overloaded";
+    /// The server is draining and no longer accepts work.
+    pub const SHUTTING_DOWN: &str = "shutting-down";
+}
+
+/// A parsed request.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Solve one constraint.
+    Solve(SolveRequest),
+    /// Report liveness, build info, and a metrics snapshot.
+    Health {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+    },
+    /// Begin a graceful drain (the protocol twin of SIGINT).
+    Shutdown {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+    },
+}
+
+/// The `solve` request payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SolveRequest {
+    /// Client-chosen correlation id, echoed back in the response.
+    pub id: Option<String>,
+    /// The SMT-LIB constraint text.
+    pub constraint: String,
+    /// Per-request wall-clock budget override (clamped to the server's).
+    pub timeout_ms: Option<u64>,
+    /// Per-request step budget override (clamped to the server's).
+    pub steps: Option<u64>,
+    /// Bypass the answer cache for this request.
+    pub no_cache: bool,
+}
+
+/// A structured protocol failure: code plus human-readable message.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolError {
+    /// One of the [`codes`] constants.
+    pub code: &'static str,
+    /// Details for the human on the other end.
+    pub message: String,
+}
+
+impl ProtocolError {
+    fn new(code: &'static str, message: impl Into<String>) -> ProtocolError {
+        ProtocolError {
+            code,
+            message: message.into(),
+        }
+    }
+}
+
+/// Parses one request line.
+///
+/// # Errors
+///
+/// Returns a [`ProtocolError`] (ready to serialise with
+/// [`error_reply`]) on malformed JSON or an unrecognised shape.
+pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+    let value =
+        json::parse(line).map_err(|e| ProtocolError::new(codes::BAD_JSON, e.to_string()))?;
+    let id = value.get("id").and_then(Json::as_str).map(str::to_string);
+    let op = value
+        .get("op")
+        .and_then(Json::as_str)
+        .ok_or_else(|| ProtocolError::new(codes::BAD_REQUEST, "missing string field `op`"))?;
+    match op {
+        "health" => Ok(Request::Health { id }),
+        "shutdown" => Ok(Request::Shutdown { id }),
+        "solve" => {
+            let constraint = value
+                .get("constraint")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    ProtocolError::new(codes::BAD_REQUEST, "solve needs a string `constraint`")
+                })?
+                .to_string();
+            let num = |field: &str| -> Result<Option<u64>, ProtocolError> {
+                match value.get(field) {
+                    None | Some(Json::Null) => Ok(None),
+                    Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                        ProtocolError::new(
+                            codes::BAD_REQUEST,
+                            format!("`{field}` must be a nonnegative integer"),
+                        )
+                    }),
+                }
+            };
+            Ok(Request::Solve(SolveRequest {
+                id,
+                constraint,
+                timeout_ms: num("timeout_ms")?,
+                steps: num("steps")?,
+                no_cache: value
+                    .get("no_cache")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+            }))
+        }
+        other => Err(ProtocolError::new(
+            codes::BAD_REQUEST,
+            format!("unknown op `{other}`"),
+        )),
+    }
+}
+
+fn push_id(out: &mut String, id: Option<&str>) {
+    json::push_key(out, "id");
+    match id {
+        Some(id) => json::push_str_lit(out, id),
+        None => out.push_str("null"),
+    }
+    out.push(',');
+}
+
+/// Renders an `error` response line (no trailing newline).
+pub fn error_reply(id: Option<&str>, code: &str, message: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str("\"status\":\"error\",\"error\":{");
+    json::push_key(&mut out, "code");
+    json::push_str_lit(&mut out, code);
+    out.push(',');
+    json::push_key(&mut out, "message");
+    json::push_str_lit(&mut out, message);
+    out.push_str("}}");
+    out
+}
+
+/// Renders the admission-control `overloaded` response line.
+pub fn overloaded_reply(id: Option<&str>) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_id(&mut out, id);
+    out.push_str(
+        "\"status\":\"overloaded\",\"error\":{\"code\":\"overloaded\",\
+         \"message\":\"request queue full; retry later\"}}",
+    );
+    out
+}
+
+/// A successful `solve` response, ready to serialise.
+#[derive(Debug, Clone)]
+pub struct SolveReply {
+    /// Echoed correlation id.
+    pub id: Option<String>,
+    /// `sat` / `unsat` / `unknown`.
+    pub verdict: &'static str,
+    /// Variable assignments (name, printed value) for `sat`.
+    pub model: Option<Vec<(String, String)>>,
+    /// Winning lane label, when the scheduler ran.
+    pub winner: Option<String>,
+    /// `hit` / `miss` / `off`.
+    pub cache: &'static str,
+    /// The canonical fingerprint, as 32 hex digits.
+    pub fingerprint: String,
+    /// End-to-end request time on the server.
+    pub wall_ms: f64,
+    /// The PR-3 stats block (a JSON object), when the scheduler ran.
+    pub stats_json: Option<String>,
+}
+
+impl SolveReply {
+    /// Renders the response line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut out = String::with_capacity(256);
+        out.push('{');
+        push_id(&mut out, self.id.as_deref());
+        out.push_str("\"status\":\"ok\",\"verdict\":\"");
+        out.push_str(self.verdict);
+        out.push_str("\",\"model\":");
+        match &self.model {
+            None => out.push_str("null"),
+            Some(bindings) => {
+                out.push('{');
+                for (i, (name, value)) in bindings.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    json::push_key(&mut out, name);
+                    json::push_str_lit(&mut out, value);
+                }
+                out.push('}');
+            }
+        }
+        out.push_str(",\"winner\":");
+        match &self.winner {
+            Some(w) => json::push_str_lit(&mut out, w),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"cache\":\"");
+        out.push_str(self.cache);
+        out.push_str("\",\"fingerprint\":");
+        json::push_str_lit(&mut out, &self.fingerprint);
+        out.push_str(&format!(",\"wall_ms\":{:.3},\"stats\":", self.wall_ms));
+        match &self.stats_json {
+            Some(s) => out.push_str(s),
+            None => out.push_str("null"),
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// Outcome of reading one line under a byte cap.
+#[derive(Debug)]
+pub enum LineRead {
+    /// A complete line (without the newline).
+    Line(String),
+    /// Clean end of stream.
+    Eof,
+    /// No full line yet (read timed out) — poll again; buffered partial
+    /// input is retained.
+    Idle,
+    /// The line exceeded the cap. The connection should answer and close.
+    TooLong,
+    /// The bytes were not valid UTF-8.
+    BadUtf8,
+}
+
+/// Reads newline-delimited requests with a size cap, resilient to read
+/// timeouts (used so connection threads can poll the shutdown flag while
+/// idle) and to pipelined requests (bytes after the newline are kept).
+#[derive(Debug)]
+pub struct LineReader {
+    buf: Vec<u8>,
+    max_line: usize,
+}
+
+impl LineReader {
+    /// A reader enforcing `max_line` bytes per request line.
+    pub fn new(max_line: usize) -> LineReader {
+        LineReader {
+            buf: Vec::new(),
+            max_line,
+        }
+    }
+
+    /// Pulls from `src` until a newline, EOF, timeout, or the cap.
+    pub fn next_line(&mut self, src: &mut impl Read) -> io::Result<LineRead> {
+        loop {
+            if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                let rest = self.buf.split_off(pos + 1);
+                let mut line = std::mem::replace(&mut self.buf, rest);
+                line.pop(); // the newline
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return Ok(match String::from_utf8(line) {
+                    Ok(s) => LineRead::Line(s),
+                    Err(_) => LineRead::BadUtf8,
+                });
+            }
+            if self.buf.len() > self.max_line {
+                self.buf.clear();
+                return Ok(LineRead::TooLong);
+            }
+            let mut chunk = [0u8; 4096];
+            match src.read(&mut chunk) {
+                Ok(0) => return Ok(LineRead::Eof),
+                Ok(n) => self.buf.extend_from_slice(&chunk[..n]),
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                    ) =>
+                {
+                    return Ok(LineRead::Idle)
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(e) => return Err(e),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solve_request_round_trip() {
+        let req = parse_request(
+            r#"{"op":"solve","id":"r7","constraint":"(assert true)","steps":1000,"no_cache":true}"#,
+        )
+        .unwrap();
+        match req {
+            Request::Solve(s) => {
+                assert_eq!(s.id.as_deref(), Some("r7"));
+                assert_eq!(s.constraint, "(assert true)");
+                assert_eq!(s.steps, Some(1000));
+                assert_eq!(s.timeout_ms, None);
+                assert!(s.no_cache);
+            }
+            other => panic!("wrong shape: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn health_and_shutdown_parse() {
+        assert_eq!(
+            parse_request(r#"{"op":"health"}"#).unwrap(),
+            Request::Health { id: None }
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"shutdown","id":"x"}"#).unwrap(),
+            Request::Shutdown {
+                id: Some("x".into())
+            }
+        );
+    }
+
+    #[test]
+    fn malformed_requests_get_codes() {
+        assert_eq!(parse_request("{").unwrap_err().code, codes::BAD_JSON);
+        assert_eq!(parse_request("{}").unwrap_err().code, codes::BAD_REQUEST);
+        assert_eq!(
+            parse_request(r#"{"op":"solve"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"solve","constraint":"x","steps":-4}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"fly"}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn replies_are_parseable_json() {
+        let err = error_reply(Some("a"), codes::PARSE_ERROR, "line 3: what");
+        let v = crate::json::parse(&err).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(
+            v.get("error")
+                .and_then(|e| e.get("code"))
+                .and_then(Json::as_str),
+            Some("parse-error")
+        );
+        let over = overloaded_reply(None);
+        let v = crate::json::parse(&over).unwrap();
+        assert_eq!(v.get("status").and_then(Json::as_str), Some("overloaded"));
+        assert_eq!(v.get("id"), Some(&Json::Null));
+
+        let reply = SolveReply {
+            id: Some("q".into()),
+            verdict: "sat",
+            model: Some(vec![("x".into(), "7".into())]),
+            winner: Some("staub/x1/zed".into()),
+            cache: "miss",
+            fingerprint: "ab".repeat(16),
+            wall_ms: 1.5,
+            stats_json: Some("{\"stages\":{}}".into()),
+        };
+        let v = crate::json::parse(&reply.to_json()).unwrap();
+        assert_eq!(v.get("verdict").and_then(Json::as_str), Some("sat"));
+        assert_eq!(
+            v.get("model")
+                .and_then(|m| m.get("x"))
+                .and_then(Json::as_str),
+            Some("7")
+        );
+        assert!(v.get("stats").unwrap().get("stages").is_some());
+    }
+
+    #[test]
+    fn line_reader_caps_and_pipelines() {
+        let mut reader = LineReader::new(16);
+        let mut src = io::Cursor::new(b"{\"op\":1}\nsecond\n".to_vec());
+        match reader.next_line(&mut src).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "{\"op\":1}"),
+            other => panic!("{other:?}"),
+        }
+        match reader.next_line(&mut src).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "second"),
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(reader.next_line(&mut src).unwrap(), LineRead::Eof));
+
+        let mut reader = LineReader::new(8);
+        let mut src = io::Cursor::new(vec![b'a'; 64]);
+        assert!(matches!(
+            reader.next_line(&mut src).unwrap(),
+            LineRead::TooLong
+        ));
+    }
+
+    #[test]
+    fn line_reader_strips_crlf() {
+        let mut reader = LineReader::new(64);
+        let mut src = io::Cursor::new(b"hello\r\n".to_vec());
+        match reader.next_line(&mut src).unwrap() {
+            LineRead::Line(l) => assert_eq!(l, "hello"),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,769 @@
+//! The `staub serve` daemon: accept loops, admission control, and the
+//! per-request solve path (cache → scheduler).
+//!
+//! The server speaks the newline-delimited JSON protocol of
+//! [`crate::protocol`] over TCP and (on Unix) a Unix domain socket. Each
+//! connection gets its own thread; each `solve` request passes through an
+//! [`AdmissionGate`] bounding concurrent scheduler work, then through the
+//! canonical-constraint [`AnswerCache`] (unless disabled), and only on a
+//! miss spawns lanes via
+//! [`run_one_observed`](staub_core::run_one_observed).
+//!
+//! # Drain
+//!
+//! Listeners are nonblocking and the accept loops poll the shutdown flag
+//! ([`crate::signal`]), because glibc's `SA_RESTART` would otherwise keep
+//! a blocking `accept` alive across SIGINT. On shutdown the server stops
+//! accepting, lets in-flight requests finish, closes idle connections at
+//! their next read-timeout tick, joins every connection thread, and only
+//! then lets [`Server::join`] return — no request is abandoned mid-solve.
+//!
+//! # Cached-answer soundness
+//!
+//! A cache hit never trusts the stored bytes blindly: `sat` entries are
+//! rebound onto the requester's own symbols through the canonical
+//! variable table and **re-verified by exact evaluation** of every
+//! assertion before being served; any failure (index out of range, sort
+//! mismatch surfacing as an eval error, stale entry) silently degrades to
+//! a miss and the scheduler runs. `unsat` entries are verdict-only and
+//! derive from exact lanes (the scheduler never reports bounded-unsat),
+//! so replaying the verdict for a canonically identical constraint is
+//! sound by construction.
+
+use std::io::{self, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use staub_core::{run_one_observed, BatchConfig, BatchVerdict, Metrics};
+use staub_smtlib::{canonicalize, evaluate, Canonical, Model, Script, Value};
+
+use crate::cache::{AnswerCache, CacheConfig, CachedVerdict};
+use crate::protocol::{
+    self, codes, LineRead, LineReader, ProtocolError, Request, SolveReply, SolveRequest,
+};
+use crate::signal;
+
+/// How a server instance should listen, solve, and cache.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP address to bind (e.g. `127.0.0.1:7227`; port `0` for ephemeral).
+    pub tcp: String,
+    /// Optional Unix-socket path to additionally bind (Unix only).
+    pub unix: Option<std::path::PathBuf>,
+    /// Scheduler configuration for cache misses. Per-request `timeout_ms`
+    /// and `steps` overrides are clamped to these values — a client can
+    /// ask for less work than the server default, never more.
+    pub batch: BatchConfig,
+    /// Answer-cache tuning; `None` disables the cache entirely.
+    pub cache: Option<CacheConfig>,
+    /// Maximum `solve` requests running lanes at once.
+    pub max_inflight: usize,
+    /// Maximum `solve` requests queued behind the inflight limit before
+    /// the server answers `overloaded` instead of blocking.
+    pub max_waiting: usize,
+    /// Request-line size cap in bytes (satellite of the parser depth cap).
+    pub max_line_bytes: usize,
+    /// Per-read socket timeout: the idle-poll granularity for drain.
+    pub read_timeout: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> ServeConfig {
+        ServeConfig {
+            tcp: "127.0.0.1:0".to_string(),
+            unix: None,
+            batch: BatchConfig::default(),
+            cache: Some(CacheConfig::default()),
+            max_inflight: 4,
+            max_waiting: 64,
+            max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
+            read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+/// Bounded-queue admission control for `solve` requests.
+///
+/// `acquire` admits up to `max_inflight` concurrent holders; up to
+/// `max_waiting` more block on a condvar (woken in no particular order —
+/// fairness is not needed, boundedness is). Anything beyond that is
+/// refused immediately so the client gets an `overloaded` reply instead
+/// of unbounded queueing.
+struct AdmissionGate {
+    state: Mutex<(usize, usize)>, // (active, waiting)
+    cv: Condvar,
+    max_inflight: usize,
+    max_waiting: usize,
+}
+
+/// Why `acquire` did not grant a slot.
+enum Refused {
+    /// Both the inflight and waiting budgets are full.
+    Overloaded,
+    /// The server began draining while this request waited.
+    ShuttingDown,
+}
+
+impl AdmissionGate {
+    fn new(max_inflight: usize, max_waiting: usize) -> AdmissionGate {
+        AdmissionGate {
+            state: Mutex::new((0, 0)),
+            cv: Condvar::new(),
+            max_inflight: max_inflight.max(1),
+            max_waiting,
+        }
+    }
+
+    fn acquire(&self, shutting_down: impl Fn() -> bool) -> Result<(), Refused> {
+        let mut s = self.state.lock().expect("gate poisoned");
+        if s.0 < self.max_inflight {
+            s.0 += 1;
+            return Ok(());
+        }
+        if s.1 >= self.max_waiting {
+            return Err(Refused::Overloaded);
+        }
+        s.1 += 1;
+        loop {
+            if shutting_down() {
+                s.1 -= 1;
+                return Err(Refused::ShuttingDown);
+            }
+            if s.0 < self.max_inflight {
+                s.1 -= 1;
+                s.0 += 1;
+                return Ok(());
+            }
+            let (next, _) = self
+                .cv
+                .wait_timeout(s, Duration::from_millis(50))
+                .expect("gate poisoned");
+            s = next;
+        }
+    }
+
+    fn release(&self) {
+        let mut s = self.state.lock().expect("gate poisoned");
+        s.0 -= 1;
+        drop(s);
+        self.cv.notify_one();
+    }
+
+    fn active(&self) -> usize {
+        self.state.lock().expect("gate poisoned").0
+    }
+}
+
+/// State shared by the accept loops and every connection thread.
+struct Inner {
+    config: ServeConfig,
+    cache: Option<AnswerCache>,
+    metrics: Metrics,
+    gate: AdmissionGate,
+    started: Instant,
+    local_shutdown: AtomicBool,
+    connections: AtomicU64,
+    requests: AtomicU64,
+}
+
+impl Inner {
+    fn shutting_down(&self) -> bool {
+        self.local_shutdown.load(Ordering::SeqCst) || signal::shutdown_requested()
+    }
+}
+
+/// A running server. Dropping the handle does **not** stop the server;
+/// call [`Server::shutdown`] then [`Server::join`] (or deliver SIGINT).
+pub struct Server {
+    inner: Arc<Inner>,
+    addr: SocketAddr,
+    accept_handles: Vec<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Binds the listeners and starts the accept loops.
+    ///
+    /// # Errors
+    ///
+    /// Propagates bind failures (address in use, bad socket path, …).
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        let tcp = TcpListener::bind(&config.tcp)?;
+        tcp.set_nonblocking(true)?;
+        let addr = tcp.local_addr()?;
+
+        #[cfg(unix)]
+        let unix_listener = match &config.unix {
+            Some(path) => {
+                // A previous unclean exit leaves the socket file behind;
+                // rebinding requires removing it first.
+                let _ = std::fs::remove_file(path);
+                let l = std::os::unix::net::UnixListener::bind(path)?;
+                l.set_nonblocking(true)?;
+                Some(l)
+            }
+            None => None,
+        };
+
+        let cache = config.cache.as_ref().map(AnswerCache::new);
+        let inner = Arc::new(Inner {
+            gate: AdmissionGate::new(config.max_inflight, config.max_waiting),
+            cache,
+            metrics: Metrics::new(),
+            started: Instant::now(),
+            local_shutdown: AtomicBool::new(false),
+            connections: AtomicU64::new(0),
+            requests: AtomicU64::new(0),
+            config,
+        });
+
+        let mut accept_handles = Vec::new();
+        {
+            let inner = Arc::clone(&inner);
+            accept_handles.push(
+                std::thread::Builder::new()
+                    .name("staub-accept-tcp".into())
+                    .spawn(move || accept_loop(&inner, &tcp, tcp_conn))?,
+            );
+        }
+        #[cfg(unix)]
+        if let Some(listener) = unix_listener {
+            let inner = Arc::clone(&inner);
+            accept_handles.push(
+                std::thread::Builder::new()
+                    .name("staub-accept-unix".into())
+                    .spawn(move || accept_loop(&inner, &listener, unix_conn))?,
+            );
+        }
+
+        Ok(Server {
+            inner,
+            addr,
+            accept_handles,
+        })
+    }
+
+    /// The bound TCP address (useful with an ephemeral port).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Begins a graceful drain (same effect as SIGINT).
+    pub fn shutdown(&self) {
+        self.inner.local_shutdown.store(true, Ordering::SeqCst);
+    }
+
+    /// Waits for the drain to complete: accept loops exited, every
+    /// connection thread joined.
+    pub fn join(mut self) -> DrainSummary {
+        for h in self.accept_handles.drain(..) {
+            let _ = h.join();
+        }
+        DrainSummary {
+            connections: self.inner.connections.load(Ordering::Relaxed),
+            requests: self.inner.requests.load(Ordering::Relaxed),
+            uptime: self.inner.started.elapsed(),
+        }
+    }
+
+    /// Point-in-time health JSON, as served to `staub client --health`
+    /// (exposed for tests and the drain banner).
+    pub fn health_json(&self) -> String {
+        health_reply(&self.inner, None)
+    }
+}
+
+/// What a drained server reports on the way out.
+#[derive(Debug, Clone, Copy)]
+pub struct DrainSummary {
+    /// Connections accepted over the server's lifetime.
+    pub connections: u64,
+    /// Requests handled over the server's lifetime.
+    pub requests: u64,
+    /// Total time the server was up.
+    pub uptime: Duration,
+}
+
+// ---------------------------------------------------------------------------
+// Accept loops and connections
+// ---------------------------------------------------------------------------
+
+/// Poll cadence of the nonblocking accept loops.
+const ACCEPT_POLL: Duration = Duration::from_millis(20);
+
+trait Acceptor {
+    type Stream: Read + Write + Send + 'static;
+    fn try_accept(&self) -> io::Result<Self::Stream>;
+}
+
+impl Acceptor for TcpListener {
+    type Stream = TcpStream;
+    fn try_accept(&self) -> io::Result<TcpStream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+#[cfg(unix)]
+impl Acceptor for std::os::unix::net::UnixListener {
+    type Stream = std::os::unix::net::UnixStream;
+    fn try_accept(&self) -> io::Result<Self::Stream> {
+        self.accept().map(|(s, _)| s)
+    }
+}
+
+fn tcp_conn(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))
+}
+
+#[cfg(unix)]
+fn unix_conn(stream: &std::os::unix::net::UnixStream, timeout: Duration) -> io::Result<()> {
+    stream.set_read_timeout(Some(timeout))
+}
+
+fn accept_loop<L: Acceptor>(
+    inner: &Arc<Inner>,
+    listener: &L,
+    configure: fn(&L::Stream, Duration) -> io::Result<()>,
+) {
+    let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
+    while !inner.shutting_down() {
+        match listener.try_accept() {
+            Ok(stream) => {
+                if configure(&stream, inner.config.read_timeout).is_err() {
+                    continue; // peer already gone
+                }
+                inner.connections.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.incr("serve.connections", 1);
+                let inner = Arc::clone(inner);
+                if let Ok(handle) = std::thread::Builder::new()
+                    .name("staub-conn".into())
+                    .spawn(move || connection_loop(&inner, stream))
+                {
+                    conn_handles.push(handle);
+                }
+                // Opportunistically reap finished connection threads so a
+                // long-lived server does not accumulate join handles.
+                conn_handles.retain(|h| !h.is_finished());
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => std::thread::sleep(ACCEPT_POLL),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+            Err(_) => std::thread::sleep(ACCEPT_POLL),
+        }
+    }
+    for handle in conn_handles {
+        let _ = handle.join();
+    }
+}
+
+fn write_line(stream: &mut impl Write, line: &str) -> io::Result<()> {
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    stream.flush()
+}
+
+fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
+    let mut reader = LineReader::new(inner.config.max_line_bytes);
+    loop {
+        match reader.next_line(&mut stream) {
+            Ok(LineRead::Line(line)) => {
+                if line.trim().is_empty() {
+                    continue;
+                }
+                inner.requests.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.incr("serve.requests", 1);
+                let (reply, keep_open) = handle_line(inner, &line);
+                if write_line(&mut stream, &reply).is_err() || !keep_open {
+                    return;
+                }
+            }
+            Ok(LineRead::Idle) => {
+                if inner.shutting_down() {
+                    return; // drain: drop idle keep-alive connections
+                }
+            }
+            Ok(LineRead::TooLong) => {
+                inner.metrics.incr("serve.errors", 1);
+                let reply = protocol::error_reply(
+                    None,
+                    codes::OVERSIZED,
+                    &format!(
+                        "request line exceeds {} bytes; closing connection",
+                        inner.config.max_line_bytes
+                    ),
+                );
+                let _ = write_line(&mut stream, &reply);
+                return;
+            }
+            Ok(LineRead::BadUtf8) => {
+                inner.metrics.incr("serve.errors", 1);
+                let reply =
+                    protocol::error_reply(None, codes::BAD_JSON, "request line is not UTF-8");
+                let _ = write_line(&mut stream, &reply);
+                return;
+            }
+            Ok(LineRead::Eof) | Err(_) => return,
+        }
+    }
+}
+
+/// Dispatches one request line. Returns the reply and whether the
+/// connection stays open.
+fn handle_line(inner: &Arc<Inner>, line: &str) -> (String, bool) {
+    match protocol::parse_request(line) {
+        Err(ProtocolError { code, message }) => {
+            // A malformed line means the sender's framing can no longer be
+            // trusted: reply with the structured error, then close.
+            inner.metrics.incr("serve.errors", 1);
+            (protocol::error_reply(None, code, &message), false)
+        }
+        Ok(Request::Health { id }) => (health_reply(inner, id.as_deref()), true),
+        Ok(Request::Shutdown { id }) => {
+            inner.local_shutdown.store(true, Ordering::SeqCst);
+            let mut out = String::from("{");
+            match &id {
+                Some(id) => {
+                    out.push_str("\"id\":");
+                    crate::json::push_str_lit(&mut out, id);
+                }
+                None => out.push_str("\"id\":null"),
+            }
+            out.push_str(",\"status\":\"ok\",\"draining\":true}");
+            (out, false)
+        }
+        Ok(Request::Solve(req)) => {
+            if inner.shutting_down() {
+                inner.metrics.incr("serve.errors", 1);
+                return (
+                    protocol::error_reply(
+                        req.id.as_deref(),
+                        codes::SHUTTING_DOWN,
+                        "server is draining",
+                    ),
+                    false,
+                );
+            }
+            match inner.gate.acquire(|| inner.shutting_down()) {
+                Err(Refused::Overloaded) => {
+                    inner.metrics.incr("serve.overloaded", 1);
+                    (protocol::overloaded_reply(req.id.as_deref()), true)
+                }
+                Err(Refused::ShuttingDown) => (
+                    protocol::error_reply(
+                        req.id.as_deref(),
+                        codes::SHUTTING_DOWN,
+                        "server is draining",
+                    ),
+                    false,
+                ),
+                Ok(()) => {
+                    let reply = solve_one(inner, &req);
+                    inner.gate.release();
+                    (reply, true)
+                }
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The solve path
+// ---------------------------------------------------------------------------
+
+/// Rebinds a cached canonical-index model onto the requester's symbols.
+/// Returns `None` when an index has no counterpart (a stale or corrupt
+/// entry) — the caller degrades to a miss.
+fn rebind_model(canon: &Canonical, bindings: &[(usize, Value)]) -> Option<Model> {
+    let mut model = Model::new();
+    for (idx, value) in bindings {
+        let sym = *canon.vars().get(*idx)?;
+        model.insert(sym, value.clone());
+    }
+    Some(model)
+}
+
+/// Exact evaluation of every assertion under `model` (paper §4.4 applied
+/// to cached answers: the model is only served if it still checks out).
+fn model_satisfies(script: &Script, model: &Model) -> bool {
+    script
+        .assertions()
+        .iter()
+        .all(|&a| matches!(evaluate(script.store(), a, model), Ok(Value::Bool(true))))
+}
+
+fn named_bindings(script: &Script, model: &Model) -> Vec<(String, String)> {
+    model
+        .iter()
+        .map(|(sym, value)| {
+            (
+                script.store().symbol_name(sym).to_string(),
+                value.to_string(),
+            )
+        })
+        .collect()
+}
+
+fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
+    let start = Instant::now();
+    let id = req.id.as_deref();
+
+    let script = match Script::parse(&req.constraint) {
+        Ok(s) => s,
+        Err(e) => {
+            inner.metrics.incr("serve.errors", 1);
+            return protocol::error_reply(id, codes::PARSE_ERROR, &e.to_string());
+        }
+    };
+    if script.assertions().is_empty() {
+        inner.metrics.incr("serve.errors", 1);
+        return protocol::error_reply(id, codes::EMPTY_SCRIPT, "constraint asserts nothing");
+    }
+
+    let canon = canonicalize(&script);
+    let use_cache = inner.cache.is_some() && !req.no_cache;
+
+    if use_cache {
+        let cache = inner.cache.as_ref().expect("use_cache checked is_some");
+        match cache.get(canon.fingerprint, &canon.key) {
+            Some(CachedVerdict::Sat { model, winner }) => {
+                if let Some(rebound) = rebind_model(&canon, &model) {
+                    if model_satisfies(&script, &rebound) {
+                        inner.metrics.incr("serve.cache.hit", 1);
+                        return SolveReply {
+                            id: req.id.clone(),
+                            verdict: "sat",
+                            model: Some(named_bindings(&script, &rebound)),
+                            winner,
+                            cache: "hit",
+                            fingerprint: canon.fingerprint_hex(),
+                            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                            stats_json: None,
+                        }
+                        .to_json();
+                    }
+                }
+                // Re-verification failed: never serve it, solve fresh.
+                inner.metrics.incr("serve.cache.unsound_hit", 1);
+            }
+            Some(CachedVerdict::Unsat { winner }) => {
+                inner.metrics.incr("serve.cache.hit", 1);
+                return SolveReply {
+                    id: req.id.clone(),
+                    verdict: "unsat",
+                    model: None,
+                    winner,
+                    cache: "hit",
+                    fingerprint: canon.fingerprint_hex(),
+                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                    stats_json: None,
+                }
+                .to_json();
+            }
+            None => inner.metrics.incr("serve.cache.miss", 1),
+        }
+    }
+
+    // Miss (or cache off): run the lanes, with per-request budgets clamped
+    // to the server's configured maxima.
+    let mut batch = inner.config.batch.clone();
+    if let Some(ms) = req.timeout_ms {
+        batch.timeout = batch.timeout.min(Duration::from_millis(ms));
+    }
+    if let Some(steps) = req.steps {
+        batch.steps = batch.steps.min(steps.max(1));
+    }
+    let name = req.id.clone().unwrap_or_else(|| "request".to_string());
+    let report = inner.metrics.time("serve.solve", || {
+        run_one_observed(&name, &script, &batch, &inner.metrics)
+    });
+
+    let winner = report.winner_lane().map(|l| l.spec.label());
+    let (verdict, bindings): (&'static str, Option<Vec<(String, String)>>) = match &report.verdict {
+        BatchVerdict::Sat(model) => ("sat", Some(named_bindings(&script, model))),
+        BatchVerdict::Unsat => ("unsat", None),
+        BatchVerdict::Unknown => ("unknown", None),
+    };
+
+    if use_cache {
+        let cache = inner.cache.as_ref().expect("use_cache checked is_some");
+        match &report.verdict {
+            BatchVerdict::Sat(model) => {
+                // Index the model by canonical variable; symbols that do
+                // not occur in any assertion have no canonical index and
+                // are irrelevant to re-verification, so they are dropped.
+                let indexed: Vec<(usize, Value)> = model
+                    .iter()
+                    .filter_map(|(sym, v)| canon.var_index(sym).map(|i| (i, v.clone())))
+                    .collect();
+                cache.insert(
+                    canon.fingerprint,
+                    canon.key.clone(),
+                    CachedVerdict::Sat {
+                        model: indexed,
+                        winner: winner.clone(),
+                    },
+                );
+            }
+            BatchVerdict::Unsat => cache.insert(
+                canon.fingerprint,
+                canon.key.clone(),
+                CachedVerdict::Unsat {
+                    winner: winner.clone(),
+                },
+            ),
+            // `unknown` is a budget artifact, never cached.
+            BatchVerdict::Unknown => {}
+        }
+        let stats = cache.stats();
+        inner
+            .metrics
+            .gauge_set("serve.cache.entries", stats.entries as i64);
+        inner
+            .metrics
+            .gauge_set("serve.cache.evictions", stats.evictions as i64);
+    }
+
+    SolveReply {
+        id: req.id.clone(),
+        verdict,
+        model: bindings,
+        winner,
+        cache: if use_cache { "miss" } else { "off" },
+        fingerprint: canon.fingerprint_hex(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        stats_json: Some(report.stats_json()),
+    }
+    .to_json()
+}
+
+// ---------------------------------------------------------------------------
+// Health
+// ---------------------------------------------------------------------------
+
+fn health_reply(inner: &Arc<Inner>, id: Option<&str>) -> String {
+    let mut out = String::with_capacity(512);
+    out.push('{');
+    out.push_str("\"id\":");
+    match id {
+        Some(id) => crate::json::push_str_lit(&mut out, id),
+        None => out.push_str("null"),
+    }
+    out.push_str(",\"status\":\"ok\",\"version\":");
+    crate::json::push_str_lit(&mut out, env!("CARGO_PKG_VERSION"));
+    out.push_str(",\"profile\":");
+    crate::json::push_str_lit(
+        &mut out,
+        if cfg!(debug_assertions) {
+            "debug"
+        } else {
+            "release"
+        },
+    );
+    out.push_str(&format!(
+        ",\"uptime_ms\":{:.0},\"inflight\":{},\"connections\":{},\"requests\":{},\"draining\":{}",
+        inner.started.elapsed().as_secs_f64() * 1e3,
+        inner.gate.active(),
+        inner.connections.load(Ordering::Relaxed),
+        inner.requests.load(Ordering::Relaxed),
+        inner.shutting_down(),
+    ));
+    out.push_str(",\"cache\":");
+    match &inner.cache {
+        None => out.push_str("null"),
+        Some(cache) => {
+            let s = cache.stats();
+            out.push_str(&format!(
+                "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{}}}",
+                s.hits, s.misses, s.insertions, s.evictions, s.entries
+            ));
+        }
+    }
+    out.push_str(",\"metrics\":");
+    out.push_str(&inner.metrics.snapshot().to_json());
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_config() -> ServeConfig {
+        ServeConfig {
+            batch: BatchConfig {
+                threads: 2,
+                steps: 200_000,
+                ..BatchConfig::default()
+            },
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn gate_admits_up_to_inflight_then_overloads() {
+        let gate = AdmissionGate::new(2, 0);
+        assert!(gate.acquire(|| false).is_ok());
+        assert!(gate.acquire(|| false).is_ok());
+        assert!(matches!(gate.acquire(|| false), Err(Refused::Overloaded)));
+        gate.release();
+        assert!(gate.acquire(|| false).is_ok());
+        assert_eq!(gate.active(), 2);
+    }
+
+    #[test]
+    fn gate_waiter_bails_on_shutdown() {
+        let gate = AdmissionGate::new(1, 4);
+        assert!(gate.acquire(|| false).is_ok());
+        assert!(matches!(gate.acquire(|| true), Err(Refused::ShuttingDown)));
+    }
+
+    #[test]
+    fn solve_path_answers_and_caches() {
+        let server = Server::start(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        let req = SolveRequest {
+            id: Some("t1".into()),
+            constraint: "(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)".into(),
+            timeout_ms: None,
+            steps: None,
+            no_cache: false,
+        };
+        let first = solve_one(&inner, &req);
+        assert!(first.contains("\"verdict\":\"sat\""), "{first}");
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        // α-renamed + commutatively flipped: must hit.
+        let renamed = SolveRequest {
+            constraint: "(declare-fun y () Int)(assert (= 49 (* y y)))(check-sat)".into(),
+            ..req.clone()
+        };
+        let second = solve_one(&inner, &renamed);
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        assert!(second.contains("\"verdict\":\"sat\""), "{second}");
+        assert!(second.contains("\"model\":{\"y\":"), "{second}");
+        let stats = inner.cache.as_ref().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn no_cache_flag_bypasses_the_cache() {
+        let server = Server::start(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        let req = SolveRequest {
+            id: None,
+            constraint: "(declare-fun a () Int)(assert (> a 3))(check-sat)".into(),
+            timeout_ms: None,
+            steps: None,
+            no_cache: true,
+        };
+        let one = solve_one(&inner, &req);
+        let two = solve_one(&inner, &req);
+        assert!(one.contains("\"cache\":\"off\""), "{one}");
+        assert!(two.contains("\"cache\":\"off\""), "{two}");
+        assert_eq!(inner.cache.as_ref().unwrap().stats().insertions, 0);
+        server.shutdown();
+        server.join();
+    }
+}

@@ -1,0 +1,75 @@
+//! SIGINT/SIGTERM → shutdown-flag plumbing for graceful drain.
+//!
+//! The whole workspace denies `unsafe_code`; this module is the single,
+//! audited exception (an `allow` override), kept to the minimum a signal
+//! handler needs: one `extern` declaration of libc's `signal(2)` and two
+//! calls to it. The handler itself only stores to an `AtomicBool` —
+//! async-signal-safe by construction. The accept loop runs nonblocking
+//! and polls [`shutdown_requested`], because glibc installs handlers with
+//! `SA_RESTART`, so a blocking `accept` would never observe the signal.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has been delivered (or [`request_shutdown`]
+/// called) since process start.
+pub fn shutdown_requested() -> bool {
+    SHUTDOWN.load(Ordering::SeqCst)
+}
+
+/// Raises the shutdown flag from ordinary code (the `shutdown` protocol
+/// op and tests use this; the signal handler uses the same flag).
+pub fn request_shutdown() {
+    SHUTDOWN.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+#[allow(unsafe_code)]
+mod imp {
+    use super::{Ordering, SHUTDOWN};
+
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+
+    type Handler = extern "C" fn(i32);
+
+    extern "C" {
+        fn signal(signum: i32, handler: Handler) -> usize;
+    }
+
+    extern "C" fn on_signal(_signum: i32) {
+        // Only an atomic store: async-signal-safe.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+
+    pub fn install() {
+        unsafe {
+            signal(SIGINT, on_signal);
+            signal(SIGTERM, on_signal);
+        }
+    }
+}
+
+#[cfg(not(unix))]
+mod imp {
+    pub fn install() {}
+}
+
+/// Installs the SIGINT/SIGTERM handlers (idempotent; no-op off Unix).
+pub fn install_handlers() {
+    imp::install();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn request_shutdown_raises_flag() {
+        // Process-global state: this test asserts the one-way transition
+        // only, so it cannot race with other tests in the same binary.
+        request_shutdown();
+        assert!(shutdown_requested());
+    }
+}

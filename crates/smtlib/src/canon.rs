@@ -1,0 +1,610 @@
+//! Canonical forms and fingerprints for constraint scripts.
+//!
+//! The answer cache in `staub-service` must recognise a constraint it has
+//! already solved even when the client reordered commutative arguments,
+//! renamed every symbol, or shuffled the assertion list. This module maps a
+//! [`Script`] to a *canonical form* that is invariant under exactly those
+//! transformations:
+//!
+//! 1. **Refinement pass** — variables start coloured by sort alone; each
+//!    round computes name-blind bottom-up *shape* hashes from the current
+//!    colours (commutative arguments combined order-insensitively), then
+//!    top-down *context* hashes (the sorted multiset of "where does this
+//!    node sit" contributions from its parents), and recolours every
+//!    variable by its context. The loop runs to a fixpoint of the induced
+//!    variable partition, Weisfeiler–Leman style: a single bottom-up pass
+//!    cannot separate variables whose subtrees tie but whose surrounding
+//!    contexts differ, and without that separation the numbering below
+//!    would fall back to argument position, which renaming can permute.
+//! 2. **Numbering pass** — symbols receive canonical indices `v0, v1, …` by
+//!    first occurrence in a deterministic, name-independent traversal
+//!    (assertions and commutative arguments ordered by refined shape hash).
+//! 3. **Hash pass** — a final structural hash over the renamed DAG, now
+//!    sorting commutative arguments by their *renamed* hashes.
+//! 4. **Serialisation pass** — the renamed DAG is written as a compact node
+//!    table, linear in the DAG size (a printed term could be exponential in
+//!    it, because hash-consing shares subterms). The [`Canonical::key`]
+//!    string is that table; [`Canonical::fingerprint`] hashes it.
+//!
+//! The parser represents the SMT-LIB literal `(- 20)` as unary minus
+//! applied to `20` and `(/ 321.0 16.0)` as a real division, while
+//! programmatic builders intern the negative or rational constant
+//! directly; canonicalisation folds the former into the latter so printing
+//! and re-parsing a script never disturbs its key.
+//!
+//! Equal keys imply the two scripts are α-equivalent modulo
+//! commutative-argument and assertion order, so a cache that compares full
+//! keys on fingerprint collision never conflates distinct constraints. The
+//! converse does not quite hold: constraints whose variables the refinement
+//! cannot separate (ties that persist through every round, i.e. symmetric
+//! up to automorphism for tree-shaped inputs) fall back to positional
+//! tie-breaking, which at worst costs a cache hit but never an answer.
+//!
+//! Traversals are iterative (explicit stacks), so inputs at the parser's
+//! nesting-depth cap do not threaten the thread stack here.
+
+use std::collections::HashMap;
+
+use staub_numeric::{BigInt, BigRational};
+
+use crate::op::Op;
+use crate::script::Script;
+use crate::term::{SymbolId, TermId, TermStore};
+
+/// 128-bit FNV-1a, the fingerprint hash. Collisions are guarded by full
+/// key comparison, so the hash only needs to be well-distributed.
+#[derive(Debug, Clone, Copy)]
+struct Fnv(u128);
+
+impl Fnv {
+    const OFFSET: u128 = 0x6c62_272e_07bb_0142_62b8_2175_6295_c58d;
+    const PRIME: u128 = 0x0000_0000_0100_0000_0000_0000_0000_013b;
+
+    fn new() -> Fnv {
+        Fnv(Self::OFFSET)
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u128::from(b);
+            self.0 = self.0.wrapping_mul(Self::PRIME);
+        }
+    }
+
+    fn write_u128(&mut self, v: u128) {
+        self.write(&v.to_le_bytes());
+    }
+
+    fn finish(self) -> u128 {
+        self.0
+    }
+}
+
+/// Hashes `tag` plus a sequence of child hashes.
+fn combine(tag: &str, children: &[u128]) -> u128 {
+    let mut h = Fnv::new();
+    h.write(tag.as_bytes());
+    h.write(b"(");
+    for &c in children {
+        h.write_u128(c);
+    }
+    h.write(b")");
+    h.finish()
+}
+
+/// Whether permuting the operator's arguments preserves meaning.
+///
+/// `Eq`/`Distinct` are n-ary "all equal" / "pairwise distinct" predicates
+/// and `Xor` is an associative-commutative fold, so all three qualify
+/// alongside the obvious arithmetic and bitwise cases. `Sub`, divisions,
+/// shifts, comparisons, and the rounding-mode-carrying FP operations stay
+/// positional.
+fn is_commutative(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::And
+            | Op::Or
+            | Op::Xor
+            | Op::Eq
+            | Op::Distinct
+            | Op::Add
+            | Op::Mul
+            | Op::BvAdd
+            | Op::BvMul
+            | Op::BvAnd
+            | Op::BvOr
+            | Op::BvXor
+            | Op::FpEq
+    )
+}
+
+/// The canonical-form tag for an operator head. Variables are rendered
+/// from the canonical numbering (`var_of`), so two α-equivalent scripts
+/// produce byte-identical tags.
+fn op_tag(store: &TermStore, op: &Op, var_of: impl Fn(SymbolId) -> usize) -> String {
+    match op {
+        Op::Var(sym) => format!("v{}:{}", var_of(*sym), store.symbol_sort(*sym)),
+        Op::IntConst(v) => format!("i{v}"),
+        Op::RealConst(v) => format!("r{v}"),
+        Op::BvConst(v) => format!("b{v}"),
+        Op::FpConst(v) => format!("f{}:{}:{v}", v.eb(), v.sb()),
+        Op::RmConst(m) => format!("m{m:?}"),
+        other => other.smtlib_name(),
+    }
+}
+
+/// A numeric literal value recovered by constant folding.
+#[derive(Clone)]
+enum Lit {
+    Int(BigInt),
+    Real(BigRational),
+}
+
+/// Computes the canonical leaf tag, if any, of every term: direct
+/// constants, plus the composite spellings the printer emits for them.
+/// SMT-LIB has no negative or rational numerals, so `-20` prints as
+/// `(- 20)` and `321/16` as `(/ 321.0 16.0)`, which parse back as `Neg` /
+/// `RealDiv` applications even though programmatic builders intern the
+/// literal directly — folding makes both spellings canonicalise
+/// identically. Division by zero is left unfolded (it has no literal
+/// value). A folded term is treated as a leaf by every pass: its
+/// arguments are never visited.
+fn fold_constants(store: &TermStore, ids: &[TermId]) -> Vec<Option<String>> {
+    let mut lit: Vec<Option<Lit>> = vec![None; ids.len()];
+    let mut folded: Vec<Option<String>> = vec![None; ids.len()];
+    for &id in ids {
+        let t = store.term(id);
+        let value = match t.op() {
+            Op::IntConst(v) => Some(Lit::Int(v.clone())),
+            Op::RealConst(v) => Some(Lit::Real(v.clone())),
+            Op::Neg => match &lit[t.args()[0].index()] {
+                Some(Lit::Int(v)) => Some(Lit::Int(-v.clone())),
+                Some(Lit::Real(v)) => Some(Lit::Real(-v.clone())),
+                None => None,
+            },
+            Op::RealDiv if t.args().len() == 2 => {
+                match (&lit[t.args()[0].index()], &lit[t.args()[1].index()]) {
+                    (Some(Lit::Real(a)), Some(Lit::Real(b))) if !b.is_zero() => {
+                        Some(Lit::Real(a / b))
+                    }
+                    _ => None,
+                }
+            }
+            _ => None,
+        };
+        folded[id.index()] = match (&value, t.op()) {
+            (Some(Lit::Int(v)), _) => Some(format!("i{v}")),
+            (Some(Lit::Real(v)), _) => Some(format!("r{v}")),
+            (None, Op::BvConst(v)) => Some(format!("b{v}")),
+            (None, Op::FpConst(v)) => Some(format!("f{}:{}:{v}", v.eb(), v.sb())),
+            (None, Op::RmConst(m)) => Some(format!("m{m:?}")),
+            (None, _) => None,
+        };
+        lit[id.index()] = value;
+    }
+    folded
+}
+
+/// A script's canonical form: a stable fingerprint, the full canonical key
+/// it abbreviates, and the symbol numbering needed to translate models
+/// between α-equivalent scripts.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Canonical {
+    /// 128-bit hash of [`Canonical::key`] — the cache index.
+    pub fingerprint: u128,
+    /// Serialised canonical DAG. Equal keys ⇒ the scripts are equivalent
+    /// up to symbol renaming, commutative-argument order, and assertion
+    /// order; compare keys on fingerprint collision before trusting a
+    /// cached answer.
+    pub key: String,
+    /// `vars[k]` is the symbol this script binds to canonical index `k`.
+    vars: Vec<SymbolId>,
+}
+
+impl Canonical {
+    /// The symbols in canonical order: `vars()[k]` is this script's name
+    /// for canonical variable `k`.
+    pub fn vars(&self) -> &[SymbolId] {
+        &self.vars
+    }
+
+    /// The canonical index of a symbol, if it occurs in the assertions.
+    pub fn var_index(&self, sym: SymbolId) -> Option<usize> {
+        self.vars.iter().position(|&s| s == sym)
+    }
+
+    /// The fingerprint as fixed-width hex (for logs and JSON).
+    pub fn fingerprint_hex(&self) -> String {
+        format!("{:032x}", self.fingerprint)
+    }
+}
+
+/// Computes the canonical form of a script's assertion set.
+///
+/// Declarations that no assertion mentions do not contribute: they cannot
+/// affect the verdict, and ignoring them widens the cache's reach.
+pub fn canonicalize(script: &Script) -> Canonical {
+    let store = script.store();
+    let n = store.len();
+    let ids: Vec<TermId> = store.ids().collect();
+
+    // Constant folding: a term with a constant tag is a leaf from here on
+    // (see `fold_constants` for why `(- 20)` must fold to the literal
+    // `-20` and `(/ 321.0 16.0)` to `321/16`).
+    let folded = fold_constants(store, &ids);
+
+    // Reachability from the assertion roots, recording each variable's
+    // (hash-consed, hence unique) term. Unreachable terms never touch the
+    // key, and a folded term's argument is deliberately left unreached.
+    let mut reach = vec![false; n];
+    let mut var_node: HashMap<SymbolId, TermId> = HashMap::new();
+    let mut stack: Vec<TermId> = script.assertions().to_vec();
+    while let Some(id) = stack.pop() {
+        if reach[id.index()] {
+            continue;
+        }
+        reach[id.index()] = true;
+        if folded[id.index()].is_some() {
+            continue;
+        }
+        let t = store.term(id);
+        if let Op::Var(sym) = t.op() {
+            var_node.insert(*sym, id);
+        }
+        stack.extend_from_slice(t.args());
+    }
+    let mut var_syms: Vec<SymbolId> = var_node.keys().copied().collect();
+    var_syms.sort_unstable();
+
+    // Pass 1: colour refinement to a fixpoint of the variable partition.
+    // Every round either refines the partition (at most |vars| times) or
+    // detects stability, so the bound below always suffices; interning
+    // order makes a forward sweep bottom-up and a reverse sweep top-down.
+    let root_mark = combine("!root", &[]);
+    let mut colour: HashMap<SymbolId, u128> = var_syms
+        .iter()
+        .map(|&s| (s, combine(&format!("{}", store.symbol_sort(s)), &[])))
+        .collect();
+    let mut shape = vec![0u128; n];
+    let mut partition: Vec<usize> = Vec::new();
+    for _round in 0..=var_syms.len() {
+        // Bottom-up shape hashes under the current colouring.
+        for &id in &ids {
+            let i = id.index();
+            if !reach[i] {
+                continue;
+            }
+            if let Some(tag) = &folded[i] {
+                shape[i] = combine(tag, &[]);
+                continue;
+            }
+            let t = store.term(id);
+            let tag = match t.op() {
+                Op::Var(sym) => {
+                    format!("v({:032x}):{}", colour[sym], store.symbol_sort(*sym))
+                }
+                other => op_tag(store, other, |_| usize::MAX),
+            };
+            let mut child: Vec<u128> = t.args().iter().map(|a| shape[a.index()]).collect();
+            if is_commutative(t.op()) {
+                child.sort_unstable();
+            }
+            shape[i] = combine(&tag, &child);
+        }
+        // Top-down context hashes: each node's context is the sorted
+        // multiset of its parents' contributions; commutative arguments
+        // all share one slot so argument order cannot leak in.
+        let mut parts: Vec<Vec<u128>> = vec![Vec::new(); n];
+        for &root in script.assertions() {
+            parts[root.index()].push(root_mark);
+        }
+        let mut ctx = vec![0u128; n];
+        for &id in ids.iter().rev() {
+            let i = id.index();
+            if !reach[i] {
+                continue;
+            }
+            parts[i].sort_unstable();
+            ctx[i] = combine("ctx", &parts[i]);
+            if folded[i].is_some() {
+                continue;
+            }
+            let t = store.term(id);
+            let comm = is_commutative(t.op());
+            for (slot, &a) in t.args().iter().enumerate() {
+                let pos = if comm { u128::MAX } else { slot as u128 };
+                parts[a.index()].push(combine("at", &[ctx[i], shape[i], pos]));
+            }
+        }
+        // Recolour the variables by context and stop once the induced
+        // partition (which classes exist, not the hash values) is stable.
+        for &sym in &var_syms {
+            colour.insert(sym, ctx[var_node[&sym].index()]);
+        }
+        let mut classes: Vec<u128> = var_syms.iter().map(|s| colour[s]).collect();
+        classes.sort_unstable();
+        classes.dedup();
+        let next: Vec<usize> = var_syms
+            .iter()
+            .map(|s| classes.binary_search(&colour[s]).expect("own colour"))
+            .collect();
+        if next == partition {
+            break;
+        }
+        partition = next;
+    }
+
+    // Pass 2: canonical symbol numbering by first occurrence in a
+    // shape-ordered traversal. Assertion roots and commutative arguments
+    // are visited in (refined shape hash, original position) order, so the
+    // numbering does not depend on the original names, and after the
+    // refinement above a positional tie-break only ever chooses between
+    // interchangeable variables.
+    let mut roots: Vec<TermId> = script.assertions().to_vec();
+    roots.sort_by_key(|id| shape[id.index()]);
+    let mut var_index: HashMap<SymbolId, usize> = HashMap::new();
+    let mut vars: Vec<SymbolId> = Vec::new();
+    let mut seen = vec![false; n];
+    let mut stack: Vec<TermId> = Vec::new();
+    for &root in &roots {
+        stack.push(root);
+        while let Some(id) = stack.pop() {
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            if folded[id.index()].is_some() {
+                continue;
+            }
+            let t = store.term(id);
+            if let Op::Var(sym) = t.op() {
+                var_index.entry(*sym).or_insert_with(|| {
+                    vars.push(*sym);
+                    vars.len() - 1
+                });
+            }
+            let mut order: Vec<TermId> = t.args().to_vec();
+            if is_commutative(t.op()) {
+                let mut keyed: Vec<(u128, usize, TermId)> = order
+                    .iter()
+                    .enumerate()
+                    .map(|(i, &a)| (shape[a.index()], i, a))
+                    .collect();
+                keyed.sort();
+                order = keyed.into_iter().map(|(_, _, a)| a).collect();
+            }
+            // Reverse so the stack pops arguments in traversal order.
+            for &a in order.iter().rev() {
+                stack.push(a);
+            }
+        }
+    }
+
+    // Pass 3: final structural hashes over the *renamed* DAG, sorting
+    // commutative arguments by renamed hash (this is what reconciles
+    // positional tie-breaks that pass 2 resolved differently).
+    let mut chash = vec![0u128; n];
+    for &id in &ids {
+        let i = id.index();
+        if !reach[i] {
+            continue;
+        }
+        if let Some(tag) = &folded[i] {
+            chash[i] = combine(tag, &[]);
+            continue;
+        }
+        let t = store.term(id);
+        let tag = op_tag(store, t.op(), |sym| var_index[&sym]);
+        let mut child: Vec<u128> = t.args().iter().map(|a| chash[a.index()]).collect();
+        if is_commutative(t.op()) {
+            child.sort_unstable();
+        }
+        chash[i] = combine(&tag, &child);
+    }
+
+    // Pass 4: serialise the canonical DAG as a node table (post-order,
+    // one entry per shared node), linear in the DAG size. Rows dedup by
+    // *content*, not just `TermId`, so a folded `(- 20)` and a literal
+    // `-20` interned side by side still share one table entry.
+    let mut final_roots: Vec<TermId> = script.assertions().to_vec();
+    final_roots.sort_by_key(|id| chash[id.index()]);
+    final_roots.dedup_by_key(|id| chash[id.index()]);
+    let mut table = String::new();
+    let mut node_of: HashMap<TermId, usize> = HashMap::new();
+    let mut row_of: HashMap<String, usize> = HashMap::new();
+    // (term, expanded) pairs: the first pop schedules the children, the
+    // second (expanded) pop emits the node.
+    let mut walk: Vec<(TermId, bool)> = Vec::new();
+    for &root in &final_roots {
+        walk.push((root, false));
+        while let Some((id, expanded)) = walk.pop() {
+            if node_of.contains_key(&id) {
+                continue;
+            }
+            let row = if let Some(tag) = &folded[id.index()] {
+                format!("{tag}()")
+            } else {
+                let t = store.term(id);
+                let mut order: Vec<TermId> = t.args().to_vec();
+                if is_commutative(t.op()) {
+                    let mut keyed: Vec<(u128, usize, TermId)> = order
+                        .iter()
+                        .enumerate()
+                        .map(|(i, &a)| (chash[a.index()], i, a))
+                        .collect();
+                    keyed.sort();
+                    order = keyed.into_iter().map(|(_, _, a)| a).collect();
+                }
+                if !expanded {
+                    walk.push((id, true));
+                    for &a in order.iter().rev() {
+                        walk.push((a, false));
+                    }
+                    continue;
+                }
+                let mut row = op_tag(store, t.op(), |sym| var_index[&sym]);
+                row.push('(');
+                for (i, a) in order.iter().enumerate() {
+                    if i > 0 {
+                        row.push(',');
+                    }
+                    row.push_str(&node_of[a].to_string());
+                }
+                row.push(')');
+                row
+            };
+            let node = match row_of.get(&row) {
+                Some(&existing) => existing,
+                None => {
+                    let fresh = row_of.len();
+                    row_of.insert(row.clone(), fresh);
+                    table.push_str(&row);
+                    table.push(';');
+                    fresh
+                }
+            };
+            node_of.insert(id, node);
+        }
+    }
+    table.push('|');
+    for (i, root) in final_roots.iter().enumerate() {
+        if i > 0 {
+            table.push(',');
+        }
+        table.push_str(&node_of[root].to_string());
+    }
+
+    let mut h = Fnv::new();
+    h.write(table.as_bytes());
+    Canonical {
+        fingerprint: h.finish(),
+        key: table,
+        vars,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn canon(src: &str) -> Canonical {
+        canonicalize(&Script::parse(src).unwrap())
+    }
+
+    #[test]
+    fn identical_scripts_agree() {
+        let a = canon("(declare-fun x () Int)(assert (= (* x x) 49))");
+        let b = canon("(declare-fun x () Int)(assert (= (* x x) 49))");
+        assert_eq!(a.fingerprint, b.fingerprint);
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn commutative_reordering_is_invisible() {
+        let a = canon("(declare-fun x () Int)(declare-fun y () Int)(assert (= (+ x y 3) 10))");
+        let b = canon("(declare-fun x () Int)(declare-fun y () Int)(assert (= 10 (+ 3 y x)))");
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn alpha_renaming_is_invisible() {
+        let a = canon(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (> x 0))(assert (< y x))",
+        );
+        let b = canon(
+            "(declare-fun top () Int)(declare-fun low () Int)\
+             (assert (> top 0))(assert (< low top))",
+        );
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn assertion_order_is_invisible() {
+        let a = canon("(declare-fun x () Int)(assert (> x 0))(assert (< x 9))");
+        let b = canon("(declare-fun x () Int)(assert (< x 9))(assert (> x 0))");
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn distinct_constraints_differ() {
+        let a = canon("(declare-fun x () Int)(assert (= (* x x) 49))");
+        let b = canon("(declare-fun x () Int)(assert (= (* x x) 50))");
+        assert_ne!(a.key, b.key);
+        // Non-commutative argument order matters.
+        let c = canon("(declare-fun x () Int)(assert (< x 9))");
+        let d = canon("(declare-fun x () Int)(assert (< 9 x))");
+        assert_ne!(c.key, d.key);
+    }
+
+    #[test]
+    fn var_numbering_translates_models() {
+        let a = canon("(declare-fun p () Int)(declare-fun q () Int)(assert (< p q))");
+        let b = canon("(declare-fun u () Int)(declare-fun w () Int)(assert (< u w))");
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.vars().len(), 2);
+        // Same canonical index on both sides names the corresponding
+        // symbol: a model translated index-wise stays meaningful.
+        let sa =
+            Script::parse("(declare-fun p () Int)(declare-fun q () Int)(assert (< p q))").unwrap();
+        let names_a: Vec<&str> = a
+            .vars()
+            .iter()
+            .map(|&s| sa.store().symbol_name(s))
+            .collect();
+        assert_eq!(names_a.len(), 2);
+        assert_ne!(names_a[0], names_a[1]);
+    }
+
+    #[test]
+    fn context_distinguishes_tied_variables() {
+        // `x` and `y` have identical subtree shapes (both bare Int
+        // variables under a commutative `+`), but only one of them is
+        // additionally bounded below zero — the refinement must separate
+        // them by context so renaming plus argument reversal cannot
+        // permute the canonical numbering.
+        let a = canon(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (= (+ x y) 0))(assert (< x 0))",
+        );
+        let b = canon(
+            "(declare-fun q () Int)(declare-fun p () Int)\
+             (assert (= (+ q p) 0))(assert (< p 0))",
+        );
+        assert_eq!(a.key, b.key);
+        // Swapping which addend carries the bound is the same constraint
+        // up to renaming `x ↔ y`.
+        let c = canon(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (= (+ x y) 0))(assert (< y 0))",
+        );
+        assert_eq!(a.key, c.key);
+    }
+
+    #[test]
+    fn unused_declarations_do_not_contribute() {
+        let a = canon("(declare-fun x () Int)(assert (> x 0))");
+        let b = canon("(declare-fun x () Int)(declare-fun ghost () Real)(assert (> x 0))");
+        assert_eq!(a.key, b.key);
+    }
+
+    #[test]
+    fn shared_subterms_serialise_once() {
+        // (x*x) appears twice in the DAG but once in the table.
+        let c = canon("(declare-fun x () Int)(assert (= (+ (* x x) (* x x)) 8))");
+        assert_eq!(c.key.matches("*(").count(), 1);
+    }
+
+    #[test]
+    fn deep_nesting_does_not_recurse() {
+        // A 1500-deep left nest canonicalises without stack overflow.
+        let mut src = String::from("(declare-fun x () Int)(assert (< ");
+        src.push_str(&"(+ 1 ".repeat(1500));
+        src.push('x');
+        src.push_str(&")".repeat(1500));
+        src.push_str(" 10))");
+        let c = canon(&src);
+        assert!(!c.key.is_empty());
+    }
+}

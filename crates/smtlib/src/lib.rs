@@ -45,6 +45,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+pub mod canon;
+
 mod eval;
 mod lexer;
 mod op;
@@ -55,6 +57,7 @@ mod sort;
 mod term;
 mod value;
 
+pub use canon::{canonicalize, Canonical};
 pub use eval::{evaluate, evaluate_with_max_depth, EvalError};
 pub use op::{Op, SortError};
 pub use parser::{ParseError, ParseErrorKind, DEFAULT_MAX_DEPTH};

@@ -10,6 +10,9 @@
 //! staub lint [--width N] <file.smt2>
 //! staub stats [--width N] [--profile P] [--timeout-ms N] <file.smt2>
 //! staub batch [BATCH OPTIONS] <dir|file.smt2>...
+//! staub serve [SERVE OPTIONS]
+//! staub client [--addr A] [--health | --shutdown | <file.smt2>...]
+//! staub loadgen [LOADGEN OPTIONS] <dir|file.smt2>...
 //!
 //! OPTIONS:
 //!   --emit             print the bounded SMT-LIB constraint and exit
@@ -37,6 +40,11 @@
 //! per constraint; see `staub batch --help` for the lane options. Batch
 //! metrics are on by default (`--no-stats` disables them); with `--out
 //! FILE` the aggregate snapshot is written to `FILE.stats.json`.
+//!
+//! The `serve` subcommand runs the solver as a long-lived daemon speaking
+//! newline-delimited JSON over TCP (and optionally a Unix socket), with a
+//! canonical-constraint answer cache in front of the scheduler; `client`
+//! and `loadgen` are the matching drivers. See `staub serve --help`.
 
 use std::process::ExitCode;
 use std::time::Duration;
@@ -120,7 +128,11 @@ const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
        staub stats [--width N] [--profile zed|cove] [--timeout-ms N] <file.smt2>
        staub batch [--threads N] [--timeout-ms N] [--steps N] [--width N] \
 [--profile zed|cove|both] [--escalate M,M,...] [--no-baseline] [--no-cancel] \
-[--retry] [--no-stats] [--out FILE] <dir|file.smt2>...";
+[--retry] [--no-stats] [--out FILE] <dir|file.smt2>...
+       staub serve [--addr HOST:PORT] [--unix PATH] [SERVE OPTIONS]
+       staub client [--addr HOST:PORT] [--health | --shutdown | <file.smt2>...]
+       staub loadgen [--addr HOST:PORT] [--concurrency N] [--repeat N] \
+[--no-cache] [--out FILE] <dir|file.smt2>...";
 
 const STATS_USAGE: &str = "usage: staub stats [--width N] [--profile zed|cove] \
 [--timeout-ms N] <file.smt2>
@@ -317,35 +329,13 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    // Expand directories into their .smt2 files, sorted for determinism.
-    let mut files = Vec::new();
-    for input in &inputs {
-        let path = std::path::Path::new(input);
-        if path.is_dir() {
-            let entries = match std::fs::read_dir(path) {
-                Ok(entries) => entries,
-                Err(e) => {
-                    eprintln!("error: cannot read directory {input}: {e}");
-                    return ExitCode::from(2);
-                }
-            };
-            let mut found = Vec::new();
-            for entry in entries.flatten() {
-                let p = entry.path();
-                if p.extension().is_some_and(|e| e == "smt2") {
-                    found.push(p);
-                }
-            }
-            found.sort();
-            files.extend(found);
-        } else {
-            files.push(path.to_path_buf());
+    let files = match collect_smt2(&inputs) {
+        Ok(files) => files,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
         }
-    }
-    if files.is_empty() {
-        eprintln!("error: no .smt2 files found under {inputs:?}");
-        return ExitCode::from(2);
-    }
+    };
 
     let mut items = Vec::new();
     for file in &files {
@@ -416,6 +406,396 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         wall,
     );
     ExitCode::SUCCESS
+}
+
+/// Expands a mix of files and directories into a sorted `.smt2` file
+/// list (directories are scanned one level deep, sorted for determinism).
+fn collect_smt2(inputs: &[String]) -> Result<Vec<std::path::PathBuf>, String> {
+    let mut files = Vec::new();
+    for input in inputs {
+        let path = std::path::Path::new(input);
+        if path.is_dir() {
+            let entries = std::fs::read_dir(path)
+                .map_err(|e| format!("cannot read directory {input}: {e}"))?;
+            let mut found = Vec::new();
+            for entry in entries.flatten() {
+                let p = entry.path();
+                if p.extension().is_some_and(|e| e == "smt2") {
+                    found.push(p);
+                }
+            }
+            found.sort();
+            files.extend(found);
+        } else {
+            files.push(path.to_path_buf());
+        }
+    }
+    if files.is_empty() {
+        return Err(format!("no .smt2 files found under {inputs:?}"));
+    }
+    Ok(files)
+}
+
+/// Reads a corpus of (name, source) pairs for the service drivers.
+fn read_corpus(inputs: &[String]) -> Result<Vec<(String, String)>, String> {
+    let files = collect_smt2(inputs)?;
+    let mut corpus = Vec::with_capacity(files.len());
+    for file in files {
+        let name = file.display().to_string();
+        let source =
+            std::fs::read_to_string(&file).map_err(|e| format!("cannot read {name}: {e}"))?;
+        corpus.push((name, source));
+    }
+    Ok(corpus)
+}
+
+const SERVE_USAGE: &str = "usage: staub serve [SERVE OPTIONS]
+
+Runs the solver as a long-lived daemon. Requests are newline-delimited
+JSON ({\"op\":\"solve\",\"constraint\":\"...\"}); see DESIGN.md for the full
+protocol grammar. A canonical-constraint answer cache in front of the
+scheduler answers repeated (including alpha-renamed and commutatively
+reordered) constraints without spawning lanes. SIGINT drains gracefully:
+in-flight requests finish, then the process exits.
+
+SERVE OPTIONS:
+  --addr <HOST:PORT>    TCP bind address (default 127.0.0.1:7227; port 0
+                        picks an ephemeral port, printed on stdout)
+  --unix <PATH>         additionally listen on a Unix socket (Unix only)
+  --threads <N>         scheduler worker threads per request (default: cores)
+  --timeout-ms <N>      per-lane wall-clock ceiling (default 1000); clients
+                        may request less, never more
+  --steps <N>           per-lane step-budget ceiling (default 4000000)
+  --width <N>           fixed base width instead of inference
+  --profile <P>         zed (default), cove, or both
+  --no-cache            disable the answer cache
+  --cache-capacity <N>  answer-cache entries (default 4096)
+  --cache-shards <N>    answer-cache shards (default 8)
+  --max-inflight <N>    concurrent solves (default 4)
+  --max-waiting <N>     queued solves before `overloaded` (default 64)
+  --max-line-bytes <N>  request-line size cap (default 1048576)";
+
+/// `staub serve`: bind, print the address, drain on SIGINT.
+fn serve_main(args: Vec<String>) -> ExitCode {
+    use staub::core::BatchConfig;
+    use staub::service::{signal, CacheConfig, ServeConfig, Server};
+
+    let mut config = ServeConfig {
+        tcp: "127.0.0.1:7227".to_string(),
+        batch: BatchConfig::default(),
+        ..ServeConfig::default()
+    };
+    let mut cache = Some(CacheConfig::default());
+    let mut iter = args.into_iter();
+    macro_rules! value_of {
+        ($flag:literal, $ty:ty) => {
+            match iter.next().and_then(|v| v.parse::<$ty>().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {} needs a numeric value\n{SERVE_USAGE}", $flag);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(addr) => config.tcp = addr,
+                None => {
+                    eprintln!("error: --addr needs a HOST:PORT value\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--unix" => match iter.next() {
+                Some(path) => config.unix = Some(path.into()),
+                None => {
+                    eprintln!("error: --unix needs a path\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--threads" => config.batch.threads = value_of!("--threads", usize),
+            "--timeout-ms" => {
+                config.batch.timeout = Duration::from_millis(value_of!("--timeout-ms", u64));
+            }
+            "--steps" => config.batch.steps = value_of!("--steps", u64),
+            "--width" => {
+                config.batch.width_choice = WidthChoice::Fixed(value_of!("--width", u32));
+            }
+            "--profile" => match iter.next().as_deref() {
+                Some("zed") => config.batch.profiles = vec![SolverProfile::Zed],
+                Some("cove") => config.batch.profiles = vec![SolverProfile::Cove],
+                Some("both") => {
+                    config.batch.profiles = vec![SolverProfile::Zed, SolverProfile::Cove];
+                }
+                other => {
+                    eprintln!("error: unknown profile {other:?}\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--no-cache" => cache = None,
+            "--cache-capacity" => {
+                let capacity = value_of!("--cache-capacity", usize);
+                cache.get_or_insert_with(CacheConfig::default).capacity = capacity;
+            }
+            "--cache-shards" => {
+                let shards = value_of!("--cache-shards", usize);
+                cache.get_or_insert_with(CacheConfig::default).shards = shards;
+            }
+            "--max-inflight" => config.max_inflight = value_of!("--max-inflight", usize),
+            "--max-waiting" => config.max_waiting = value_of!("--max-waiting", usize),
+            "--max-line-bytes" => config.max_line_bytes = value_of!("--max-line-bytes", usize),
+            "--help" | "-h" => {
+                println!("{SERVE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{SERVE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    config.cache = cache;
+
+    signal::install_handlers();
+    let server = match Server::start(config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("error: cannot start server: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // The scripted wait-for-boot handshake: CI and tools watch stdout for
+    // this exact prefix before firing requests.
+    println!("listening on {}", server.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    let summary = server.join();
+    eprintln!(
+        "; drained after {:.1?}: {} connections, {} requests",
+        summary.uptime, summary.connections, summary.requests
+    );
+    ExitCode::SUCCESS
+}
+
+const CLIENT_USAGE: &str = "usage: staub client [--addr HOST:PORT] \
+[--timeout-ms N] [--steps N] [--no-cache] [--health | --shutdown | <file.smt2>...]
+
+One-shot driver for a running `staub serve`. With --health, prints the
+server's health snapshot (version, uptime, cache and scheduler counters).
+With --shutdown, asks the server to drain. Otherwise solves each given
+file and prints one response line per file. Exits nonzero if any reply
+is an error or the transport fails.";
+
+/// `staub client`: one-shot requests against a running server.
+fn client_main(args: Vec<String>) -> ExitCode {
+    use staub::service::{health_request, shutdown_request, solve_request, Connection};
+
+    let mut addr = "127.0.0.1:7227".to_string();
+    let mut health = false;
+    let mut shutdown = false;
+    let mut no_cache = false;
+    let mut timeout_ms = None;
+    let mut steps = None;
+    let mut files = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(a) => addr = a,
+                None => {
+                    eprintln!("error: --addr needs a HOST:PORT value\n{CLIENT_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--health" => health = true,
+            "--shutdown" => shutdown = true,
+            "--no-cache" => no_cache = true,
+            "--timeout-ms" => timeout_ms = iter.next().and_then(|v| v.parse::<u64>().ok()),
+            "--steps" => steps = iter.next().and_then(|v| v.parse::<u64>().ok()),
+            "--help" | "-h" => {
+                println!("{CLIENT_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => files.push(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{CLIENT_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if !health && !shutdown && files.is_empty() {
+        eprintln!("error: nothing to do (want --health, --shutdown, or files)\n{CLIENT_USAGE}");
+        return ExitCode::from(2);
+    }
+
+    let mut conn = match Connection::connect_tcp(&addr) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: cannot connect to {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Returns `true` when the reply indicates failure.
+    fn run(conn: &mut Connection<std::net::TcpStream>, request: &str) -> bool {
+        match conn.roundtrip(request) {
+            Ok(reply) => {
+                println!("{reply}");
+                reply.contains("\"status\":\"error\"")
+                    || reply.contains("\"status\":\"overloaded\"")
+            }
+            Err(e) => {
+                eprintln!("error: {e}");
+                true
+            }
+        }
+    }
+    let mut failed = false;
+    if health {
+        failed |= run(&mut conn, &health_request());
+    }
+    for file in &files {
+        match std::fs::read_to_string(file) {
+            Ok(source) => {
+                failed |= run(
+                    &mut conn,
+                    &solve_request(file, &source, timeout_ms, steps, no_cache),
+                );
+            }
+            Err(e) => {
+                eprintln!("error: cannot read {file}: {e}");
+                failed = true;
+            }
+        }
+    }
+    if shutdown {
+        failed |= run(&mut conn, &shutdown_request());
+    }
+    if failed {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+const LOADGEN_USAGE: &str = "usage: staub loadgen [--addr HOST:PORT] \
+[--concurrency N] [--repeat N] [--timeout-ms N] [--steps N] [--no-cache] \
+[--out FILE] <dir|file.smt2>...
+
+Replays a corpus of constraints against a running `staub serve` at the
+requested concurrency, audits every response (well-formedness plus exact
+re-evaluation of returned models), writes one JSONL record per request,
+and prints a throughput summary. Exits nonzero if any response was
+malformed, any model failed the audit, or the transport misbehaved.";
+
+/// `staub loadgen`: corpus replay + response audit against a server.
+fn loadgen_main(args: Vec<String>) -> ExitCode {
+    use staub::service::{run_loadgen, LoadgenConfig};
+
+    let mut config = LoadgenConfig {
+        addr: "127.0.0.1:7227".to_string(),
+        ..LoadgenConfig::default()
+    };
+    let mut out_path = None;
+    let mut inputs = Vec::new();
+    let mut iter = args.into_iter();
+    macro_rules! value_of {
+        ($flag:literal, $ty:ty) => {
+            match iter.next().and_then(|v| v.parse::<$ty>().ok()) {
+                Some(v) => v,
+                None => {
+                    eprintln!("error: {} needs a numeric value\n{LOADGEN_USAGE}", $flag);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--addr" => match iter.next() {
+                Some(a) => config.addr = a,
+                None => {
+                    eprintln!("error: --addr needs a HOST:PORT value\n{LOADGEN_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--concurrency" => config.concurrency = value_of!("--concurrency", usize),
+            "--repeat" => config.repeat = value_of!("--repeat", usize),
+            "--timeout-ms" => config.timeout_ms = Some(value_of!("--timeout-ms", u64)),
+            "--steps" => config.steps = Some(value_of!("--steps", u64)),
+            "--no-cache" => config.no_cache = true,
+            "--out" => match iter.next() {
+                Some(path) => out_path = Some(path),
+                None => {
+                    eprintln!("error: --out needs a path\n{LOADGEN_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{LOADGEN_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other if !other.starts_with('-') => inputs.push(other.to_string()),
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{LOADGEN_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if inputs.is_empty() {
+        eprintln!("error: no input files or directories\n{LOADGEN_USAGE}");
+        return ExitCode::from(2);
+    }
+    let corpus = match read_corpus(&inputs) {
+        Ok(c) => c,
+        Err(msg) => {
+            eprintln!("error: {msg}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let outcome = match run_loadgen(&corpus, &config) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: loadgen failed to start: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let mut jsonl = String::new();
+    for record in &outcome.records {
+        jsonl.push_str(&record.to_jsonl());
+        jsonl.push('\n');
+    }
+    match out_path {
+        Some(path) => {
+            if let Err(e) = std::fs::write(&path, &jsonl) {
+                eprintln!("error: cannot write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+        None => print!("{jsonl}"),
+    }
+    eprintln!(
+        "; {} requests in {:.1?}: {:.1} req/s, p50 {:.1?}, p95 {:.1?}; \
+         {} hit / {} miss / {} uncached; {} transport error(s)",
+        outcome.records.len(),
+        outcome.wall,
+        outcome.rps(),
+        outcome.latency_percentile(50.0),
+        outcome.latency_percentile(95.0),
+        outcome.cache_count("hit"),
+        outcome.cache_count("miss"),
+        outcome.cache_count("off"),
+        outcome.transport_errors,
+    );
+    if outcome.clean() {
+        ExitCode::SUCCESS
+    } else {
+        let bad_form = outcome.records.iter().filter(|r| !r.well_formed).count();
+        let unsound = outcome.records.iter().filter(|r| !r.sound).count();
+        eprintln!("; FAILED: {bad_form} malformed, {unsound} unsound replies");
+        ExitCode::FAILURE
+    }
 }
 
 /// `staub lint`: run the certifying checker over a script and (when
@@ -507,6 +887,9 @@ fn main() -> ExitCode {
             Some("lint") => return lint_main(args.collect()),
             Some("stats") => return stats_main(args.collect()),
             Some("batch") => return batch_main(args.collect()),
+            Some("serve") => return serve_main(args.collect()),
+            Some("client") => return client_main(args.collect()),
+            Some("loadgen") => return loadgen_main(args.collect()),
             _ => {}
         }
     }

@@ -15,6 +15,8 @@
 //!   constraints.
 //! * [`termination`] — the termination-proving client analysis.
 //! * [`benchgen`] — seeded benchmark-suite generators.
+//! * [`service`] — `staub serve`: the solver-as-a-service daemon with the
+//!   canonical-constraint answer cache, plus client/loadgen drivers.
 //!
 //! # Quickstart
 //!
@@ -37,6 +39,7 @@ pub use staub_benchgen as benchgen;
 pub use staub_core as core;
 pub use staub_lint as lint;
 pub use staub_numeric as numeric;
+pub use staub_service as service;
 pub use staub_slot as slot;
 pub use staub_smtlib as smtlib;
 pub use staub_solver as solver;

@@ -1,0 +1,251 @@
+//! Property tests for constraint canonicalization (the `staub serve`
+//! answer-cache key): the canonical fingerprint and key must be invariant
+//! under consistent symbol renaming, commutative argument reordering, and
+//! assertion reordering — and must *change* whenever the constraint
+//! actually changes (probed by perturbing a constant). A full-key
+//! comparison guards the one remaining failure mode (a 128-bit hash
+//! collision), so key equality, not just fingerprint equality, is the
+//! property checked here.
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use staub::smtlib::{canonicalize, Canonical, Script};
+
+/// A tiny Int-sorted expression AST rendered to SMT-LIB text two
+/// different ways (original vs renamed/flipped/rotated).
+#[derive(Clone, Debug)]
+enum Expr {
+    /// One of [`VARS`] variables, by index.
+    Var(u8),
+    /// An integer literal.
+    Const(i8),
+    /// n-ary commutative `+`.
+    Add(Vec<Expr>),
+    /// n-ary commutative `*`.
+    Mul(Vec<Expr>),
+    /// Binary non-commutative `-`.
+    Sub(Box<Expr>, Box<Expr>),
+}
+
+const VARS: usize = 5;
+
+fn expr_strategy() -> BoxedStrategy<Expr> {
+    let leaf = prop_oneof![
+        (0..VARS as u8).prop_map(Expr::Var),
+        any::<i8>().prop_map(Expr::Const),
+    ];
+    leaf.prop_recursive(3, 24, 3, |inner| {
+        prop_oneof![
+            vec(inner.clone(), 2..4).prop_map(Expr::Add),
+            vec(inner.clone(), 2..4).prop_map(Expr::Mul),
+            (inner.clone(), inner).prop_map(|(a, b)| Expr::Sub(Box::new(a), Box::new(b))),
+        ]
+    })
+}
+
+/// One comparison between two expressions. `Eq` is commutative (sides may
+/// flip); `Lt` is not (sides must stay put).
+#[derive(Clone, Debug)]
+enum Cmp {
+    Eq,
+    Lt,
+}
+
+fn render(expr: &Expr, names: &[String], flip: bool) -> String {
+    match expr {
+        Expr::Var(i) => names[*i as usize].clone(),
+        Expr::Const(c) => {
+            let v = i64::from(*c);
+            if v < 0 {
+                format!("(- {})", -v)
+            } else {
+                v.to_string()
+            }
+        }
+        Expr::Add(args) | Expr::Mul(args) => {
+            let op = if matches!(expr, Expr::Add(_)) {
+                "+"
+            } else {
+                "*"
+            };
+            let mut parts: Vec<String> = args.iter().map(|a| render(a, names, flip)).collect();
+            if flip {
+                parts.reverse();
+            }
+            format!("({op} {})", parts.join(" "))
+        }
+        Expr::Sub(a, b) => format!("(- {} {})", render(a, names, flip), render(b, names, flip)),
+    }
+}
+
+/// Builds a full script: declarations for every variable (used or not),
+/// then the assertions in `order`, then `(check-sat)`.
+fn script_text(
+    assertions: &[(Expr, Cmp, Expr)],
+    names: &[String],
+    flip: bool,
+    rotate: usize,
+) -> String {
+    let mut out = String::new();
+    for name in names {
+        out.push_str(&format!("(declare-fun {name} () Int)"));
+    }
+    let n = assertions.len();
+    for k in 0..n {
+        let (lhs, cmp, rhs) = &assertions[(k + rotate) % n];
+        let (a, b) = (render(lhs, names, flip), render(rhs, names, flip));
+        match cmp {
+            // `=` is commutative: the variant may present the sides swapped.
+            Cmp::Eq if flip => out.push_str(&format!("(assert (= {b} {a}))")),
+            Cmp::Eq => out.push_str(&format!("(assert (= {a} {b}))")),
+            // `<` is not: both renderings keep the side order.
+            Cmp::Lt => out.push_str(&format!("(assert (< {a} {b}))")),
+        }
+    }
+    out.push_str("(check-sat)");
+    out
+}
+
+fn canon_of(text: &str) -> Canonical {
+    let script = Script::parse(text).unwrap_or_else(|e| panic!("{e}\n{text}"));
+    canonicalize(&script)
+}
+
+fn original_names() -> Vec<String> {
+    (0..VARS).map(|i| format!("a{i}")).collect()
+}
+
+/// A consistent renaming: every variable gets a fresh, distinct name with
+/// no relation to the original (different prefixes, reversed indices).
+fn renamed_names() -> Vec<String> {
+    (0..VARS).map(|i| format!("zz{}", VARS - i)).collect()
+}
+
+fn assertions_strategy() -> BoxedStrategy<Vec<(Expr, Cmp, Expr)>> {
+    vec(
+        (
+            expr_strategy(),
+            prop_oneof![Just(Cmp::Eq), Just(Cmp::Lt)],
+            expr_strategy(),
+        ),
+        1..4,
+    )
+    .boxed()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// Renaming every symbol, reversing every commutative argument list
+    /// (including `=` itself), and rotating the assertion order must not
+    /// change the fingerprint or the full canonical key.
+    #[test]
+    fn canonical_key_invariant_under_equivalence(
+        assertions in assertions_strategy(),
+        rotate in 0usize..4,
+    ) {
+        let a = canon_of(&script_text(&assertions, &original_names(), false, 0));
+        let b = canon_of(&script_text(&assertions, &renamed_names(), true, rotate));
+        prop_assert_eq!(a.fingerprint, b.fingerprint);
+        prop_assert_eq!(&a.key, &b.key);
+        prop_assert_eq!(a.fingerprint_hex(), b.fingerprint_hex());
+    }
+
+    /// Only one of renaming / flipping / rotating applied alone must also
+    /// be invisible (the combined test above could in principle pass by
+    /// two bugs cancelling out).
+    #[test]
+    fn each_equivalence_alone_is_invisible(assertions in assertions_strategy()) {
+        let base = canon_of(&script_text(&assertions, &original_names(), false, 0));
+        let renamed = canon_of(&script_text(&assertions, &renamed_names(), false, 0));
+        let flipped = canon_of(&script_text(&assertions, &original_names(), true, 0));
+        let rotated = canon_of(&script_text(&assertions, &original_names(), false, 1));
+        prop_assert_eq!(&base.key, &renamed.key);
+        prop_assert_eq!(&base.key, &flipped.key);
+        prop_assert_eq!(&base.key, &rotated.key);
+    }
+
+    /// Perturbing the constraint (strengthening it with one extra bound on
+    /// one variable) must change the canonical key: distinct constraints
+    /// may only ever collide by *fingerprint* accident, and the full key —
+    /// what the cache compares on hit — must still tell them apart.
+    #[test]
+    fn distinct_constraints_get_distinct_keys(
+        assertions in assertions_strategy(),
+        var in 0..VARS as u8,
+        bound in 0i64..1000,
+    ) {
+        let names = original_names();
+        let base_text = script_text(&assertions, &names, false, 0);
+        let a = canon_of(&base_text);
+
+        let extra = format!(
+            "(assert (< {} {bound}))(check-sat)",
+            names[var as usize]
+        );
+        let b = canon_of(&base_text.replace("(check-sat)", &extra));
+        prop_assert_ne!(&a.key, &b.key);
+    }
+
+    /// Swapping the operands of a *non*-commutative comparison is a
+    /// different constraint and must produce a different key. Every
+    /// variable is anchored by an assertion with its own distinct constant
+    /// so no renaming can permute them — without the anchors, `(< a1 a3)`
+    /// swapped would be α-equivalent to itself and *should* share a key.
+    /// Operand pairs that are equal modulo commutative reordering (probed
+    /// by canonicalizing each side on its own) are skipped for the same
+    /// reason.
+    #[test]
+    fn non_commutative_swap_changes_the_key(lhs in expr_strategy(), rhs in expr_strategy()) {
+        let names = original_names();
+        let l = render(&lhs, &names, false);
+        let r = render(&rhs, &names, false);
+        let mut decls = String::new();
+        for (i, n) in names.iter().enumerate() {
+            decls.push_str(&format!("(declare-fun {n} () Int)"));
+            decls.push_str(&format!("(assert (< {n} {}))", 1000 + i));
+        }
+        let cl = canon_of(&format!("{decls}(assert (= {l} 424242))(check-sat)"));
+        let cr = canon_of(&format!("{decls}(assert (= {r} 424242))(check-sat)"));
+        prop_assume!(cl.key != cr.key);
+        let a = canon_of(&format!("{decls}(assert (< {l} {r}))(check-sat)"));
+        let b = canon_of(&format!("{decls}(assert (< {r} {l}))(check-sat)"));
+        prop_assert_ne!(&a.key, &b.key);
+    }
+}
+
+/// The benchgen corpora round-trip through printing: the canonical key of
+/// a generated script equals the canonical key of its re-parsed printout
+/// (printing/parsing must not disturb canonicalization), and distinct
+/// instances within a suite get distinct keys.
+#[test]
+fn benchgen_corpora_canonicalize_stably() {
+    use staub::benchgen::{generate, SuiteKind};
+    use std::collections::HashMap;
+
+    for kind in SuiteKind::all() {
+        let mut seen: HashMap<String, (String, String)> = HashMap::new();
+        for b in generate(kind, 16, 0xCA11) {
+            let text = b.script.to_string();
+            let direct = canonicalize(&b.script);
+            let reparsed = canon_of(&text);
+            assert_eq!(
+                direct.key, reparsed.key,
+                "{}: print/parse round trip disturbed the canonical key",
+                b.name
+            );
+            // The generator occasionally emits the same script twice;
+            // those duplicates *must* share a key. Only a collision
+            // between textually distinct scripts is a bug.
+            if let Some((previous, prev_text)) =
+                seen.insert(direct.key.clone(), (b.name.clone(), text.clone()))
+            {
+                assert_eq!(
+                    prev_text, text,
+                    "{}: canonical key collides with distinct script {previous}",
+                    b.name
+                );
+            }
+        }
+    }
+}
