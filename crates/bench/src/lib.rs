@@ -21,9 +21,11 @@
 use std::time::Duration;
 
 use staub_benchgen::{generate, Benchmark, SuiteKind};
+use std::sync::Arc;
+
 use staub_core::{
-    portfolio, run_batch, run_batch_observed, BatchConfig, BatchItem, Metrics, MetricsSnapshot,
-    Staub, StaubConfig, WidthChoice,
+    portfolio, run_batch_with, BatchConfig, BatchItem, Metrics, MetricsSnapshot, RunOptions, Staub,
+    StaubConfig, WidthChoice,
 };
 use staub_slot::Slot;
 use staub_solver::{SatResult, Solver, SolverProfile};
@@ -163,7 +165,11 @@ pub fn run_suite(
             script: b.script.clone(),
         })
         .collect();
-    let reports = run_batch(&items, &config.batch(profile, width));
+    let reports = run_batch_with(
+        &items,
+        &config.batch(profile, width),
+        &RunOptions::default(),
+    );
     benchmarks
         .into_iter()
         .zip(reports)
@@ -186,7 +192,7 @@ pub fn run_suite_observed(
     width: WidthChoice,
     config: &EvalConfig,
 ) -> (Vec<Measurement>, MetricsSnapshot) {
-    let metrics = Metrics::new();
+    let metrics = Arc::new(Metrics::new());
     let benchmarks = generate(kind, config.count(kind), config.seed);
     let items: Vec<BatchItem> = benchmarks
         .iter()
@@ -195,7 +201,11 @@ pub fn run_suite_observed(
             script: b.script.clone(),
         })
         .collect();
-    let reports = run_batch_observed(&items, &config.batch(profile, width), &metrics);
+    let options = RunOptions {
+        metrics: Some(Arc::clone(&metrics)),
+        ..RunOptions::default()
+    };
+    let reports = run_batch_with(&items, &config.batch(profile, width), &options);
     let measurements = benchmarks
         .into_iter()
         .zip(reports)

@@ -148,7 +148,7 @@ mod tests {
             width_choice: WidthChoice::Inferred,
             ..Default::default()
         });
-        let outcome = staub.run(&script).unwrap();
+        let outcome = staub.run_with(&script, None).unwrap();
         assert!(matches!(outcome, crate::pipeline::StaubOutcome::Sat { .. }));
     }
 }

@@ -33,15 +33,19 @@
 //!
 //! # Quickstart
 //!
+//! [`Session`] is the single public entrypoint: it carries warm solver
+//! state (variable maps, learned clauses, phases, activities) across
+//! checks, so related queries amortize each other's work.
+//!
 //! ```
-//! use staub_core::{Staub, StaubOutcome};
+//! use staub_core::{Session, StaubOutcome};
 //! use staub_smtlib::Script;
 //!
 //! let script = Script::parse("\
 //! (declare-fun x () Int)
 //! (assert (= (* x x) 49))
 //! (check-sat)")?;
-//! let outcome = Staub::default().run(&script)?;
+//! let outcome = Session::default().run(&script)?;
 //! assert!(matches!(outcome, StaubOutcome::Sat { .. }));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
@@ -57,13 +61,17 @@ pub mod transform;
 pub mod verify;
 
 mod pipeline;
+mod session;
 
 pub use check::CheckLevel;
 pub use metrics::{Metrics, MetricsSnapshot};
-pub use pipeline::{Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
+pub use pipeline::{Provenance, Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
+#[allow(deprecated)]
 pub use sched::{
     run_batch, run_batch_observed, run_one, run_one_observed, BatchConfig, BatchItem, BatchReport,
-    BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict,
+    BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict, RunOptions,
 };
+pub use sched::{run_batch_with, run_one_with};
+pub use session::Session;
 pub use transform::{TransformError, Transformed};

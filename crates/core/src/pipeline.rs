@@ -7,7 +7,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use staub_smtlib::{Model, Script};
-use staub_solver::{Budget, SatResult, Solver, SolverProfile};
+use staub_solver::{Budget, BvSession, SatResult, Solver, SolverProfile};
 
 use crate::absint;
 use crate::check::{self, CheckLevel};
@@ -37,6 +37,53 @@ pub enum Via {
     Original,
 }
 
+/// Which lane (and at which width) produced a verdict.
+///
+/// Attached to every [`StaubOutcome`] so batch JSONL and `staub stats`
+/// report the producing lane directly instead of inferring it from log
+/// order. Labels follow the scheduler's lane naming
+/// (`staub/x2/zed`, `baseline/cove`, …).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Provenance {
+    /// Stable label of the producing lane.
+    pub label: String,
+    /// Width multiplier relative to the base width (`1` = base, doubled
+    /// per escalation/refinement; `0` for the original/unbounded path,
+    /// which has no width).
+    pub multiplier: u32,
+    /// Deterministic solver steps consumed producing the verdict.
+    pub steps: u64,
+}
+
+impl Provenance {
+    /// Provenance of a verified bounded answer at `multiplier` × base width.
+    pub fn bounded(profile: SolverProfile, multiplier: u32, steps: u64) -> Provenance {
+        Provenance {
+            label: format!("staub/x{multiplier}/{}", profile.name().to_lowercase()),
+            multiplier,
+            steps,
+        }
+    }
+
+    /// Provenance of an answer from the original (unbounded) constraint.
+    pub fn original(profile: SolverProfile, steps: u64) -> Provenance {
+        Provenance {
+            label: format!("baseline/{}", profile.name().to_lowercase()),
+            multiplier: 0,
+            steps,
+        }
+    }
+
+    /// Provenance of a no-answer outcome (no lane produced a verdict).
+    pub fn none(steps: u64) -> Provenance {
+        Provenance {
+            label: "none".to_string(),
+            multiplier: 0,
+            steps,
+        }
+    }
+}
+
 /// Final result of a STAUB run.
 #[derive(Debug, Clone)]
 pub enum StaubOutcome {
@@ -47,12 +94,40 @@ pub enum StaubOutcome {
         model: Model,
         /// Which path found it.
         via: Via,
+        /// Which lane/width produced it.
+        provenance: Provenance,
     },
     /// Unsatisfiable (always proven on the original constraint — a bounded
     /// `unsat` is never trusted, §4.4 case 1).
-    Unsat,
+    Unsat {
+        /// Which lane produced the proof (always an original-path lane).
+        provenance: Provenance,
+    },
     /// Neither path answered within budget.
-    Unknown,
+    Unknown {
+        /// Steps burned before giving up.
+        provenance: Provenance,
+    },
+}
+
+impl StaubOutcome {
+    /// The producing lane, whatever the verdict.
+    pub fn provenance(&self) -> &Provenance {
+        match self {
+            StaubOutcome::Sat { provenance, .. }
+            | StaubOutcome::Unsat { provenance }
+            | StaubOutcome::Unknown { provenance } => provenance,
+        }
+    }
+
+    /// `sat` / `unsat` / `unknown`.
+    pub fn verdict_name(&self) -> &'static str {
+        match self {
+            StaubOutcome::Sat { .. } => "sat",
+            StaubOutcome::Unsat { .. } => "unsat",
+            StaubOutcome::Unknown { .. } => "unknown",
+        }
+    }
 }
 
 /// Configuration of the STAUB pipeline.
@@ -112,18 +187,20 @@ impl fmt::Display for StaubError {
 
 impl Error for StaubError {}
 
-/// The STAUB tool: theory arbitrage with verification and fallback.
+/// The STAUB pipeline configuration and stage plumbing.
 ///
-/// # Examples
+/// The one-shot entrypoints ([`Staub::run`], [`Staub::race`],
+/// [`Staub::try_bounded`]) are deprecated in favour of the incremental
+/// [`crate::Session`], which carries solver state across checks:
 ///
 /// ```
-/// use staub_core::{Staub, StaubConfig, StaubOutcome, Via};
+/// use staub_core::{Session, StaubOutcome, Via};
 /// use staub_smtlib::Script;
 ///
 /// let script = Script::parse("\
 /// (declare-fun x () Int)
 /// (assert (= (* x x) 49))")?;
-/// match Staub::default().run(&script)? {
+/// match Session::default().run(&script)? {
 ///     StaubOutcome::Sat { via, .. } => assert_eq!(via, Via::Bounded),
 ///     other => panic!("expected sat, got {other:?}"),
 /// }
@@ -215,8 +292,27 @@ impl Staub {
     ///
     /// Returns `Some(model)` iff some bounded constraint is satisfiable
     /// *and* its model verifies against the original constraint.
+    #[deprecated(note = "use `Session::try_bounded`, which warm-starts repeated checks")]
     pub fn try_bounded(&self, script: &Script, budget: &Budget) -> Option<Model> {
+        self.try_bounded_with(script, budget, None).map(|w| w.model)
+    }
+
+    /// The bounded path with an optional warm solver engine.
+    ///
+    /// When `engine` is supplied and the transformed script is pure
+    /// boolean/bitvector, the check runs through the persistent
+    /// [`BvSession`] (reusing its variable map, gate cache, learned
+    /// clauses, saved phases, and activities); otherwise a fresh
+    /// [`Solver`] is spawned, which is byte-identical to the historical
+    /// cold path.
+    pub(crate) fn try_bounded_with(
+        &self,
+        script: &Script,
+        budget: &Budget,
+        mut engine: Option<&mut BvSession>,
+    ) -> Option<BoundedWin> {
         let mut choice = self.config.width_choice;
+        let mut multiplier: u32 = 1;
         for round in 0..=self.config.refinement_rounds {
             if budget.exhausted() {
                 return None;
@@ -237,12 +333,19 @@ impl Staub {
                     return None;
                 }
             }
-            let solver = Solver::new(self.config.profile);
-            let outcome = self.metrics.time("stage.solve", || {
-                solver.solve_with_budget(&transformed.script, budget)
+            let profile = self.config.profile;
+            let (result, stats) = self.metrics.time("stage.solve", || match engine {
+                Some(ref mut e) if staub_solver::is_bit_blastable(&transformed.script) => {
+                    e.check(&transformed.script, budget)
+                }
+                _ => {
+                    let outcome =
+                        Solver::new(profile).solve_with_budget(&transformed.script, budget);
+                    (outcome.result, outcome.stats)
+                }
             });
-            self.metrics.record_solver("solver.bounded", &outcome.stats);
-            match outcome.result {
+            self.metrics.record_solver("solver.bounded", &stats);
+            match result {
                 SatResult::Sat(bounded_model) => {
                     if self.config.check.active() {
                         let clean = self.metrics.time("stage.lint", || {
@@ -266,7 +369,7 @@ impl Staub {
                         },
                         1,
                     );
-                    return verified;
+                    return verified.map(|model| BoundedWin { model, multiplier });
                 }
                 // A bounded `unsat` cannot distinguish "really unsat" from
                 // "width too small" (§4.4 case 1): refine by doubling.
@@ -280,6 +383,7 @@ impl Staub {
                         return None;
                     }
                     choice = WidthChoice::Fixed(doubled);
+                    multiplier = multiplier.saturating_mul(2);
                 }
                 _ => return None,
             }
@@ -296,32 +400,52 @@ impl Staub {
     /// # Errors
     ///
     /// Returns [`StaubError::EmptyScript`] for scripts without assertions.
+    #[deprecated(note = "use `Session::run`, which warm-starts repeated checks")]
     pub fn run(&self, script: &Script) -> Result<StaubOutcome, StaubError> {
+        self.run_with(script, None)
+    }
+
+    /// The full pipeline with an optional warm solver engine (see
+    /// [`Staub::try_bounded_with`]).
+    pub(crate) fn run_with(
+        &self,
+        script: &Script,
+        engine: Option<&mut BvSession>,
+    ) -> Result<StaubOutcome, StaubError> {
         if script.assertions().is_empty() {
             return Err(StaubError::EmptyScript);
         }
         let budget = Budget::new(self.config.timeout, self.config.steps);
-        if let Some(model) = self.try_bounded(script, &budget) {
+        if let Some(win) = self.try_bounded_with(script, &budget, engine) {
+            let provenance =
+                Provenance::bounded(self.config.profile, win.multiplier, budget.steps_used());
             return Ok(StaubOutcome::Sat {
-                model,
+                model: win.model,
                 via: Via::Bounded,
+                provenance,
             });
         }
-        let solver = Solver::new(self.config.profile)
-            .with_timeout(self.config.timeout)
-            .with_steps(self.config.steps);
-        let outcome = self
-            .metrics
-            .time("stage.original_solve", || solver.solve(script));
+        let bounded_steps = budget.steps_used();
+        let solver = Solver::new(self.config.profile);
+        let original_budget = Budget::new(self.config.timeout, self.config.steps);
+        let outcome = self.metrics.time("stage.original_solve", || {
+            solver.solve_with_budget(script, &original_budget)
+        });
         self.metrics
             .record_solver("solver.original", &outcome.stats);
+        let steps = original_budget.steps_used();
         Ok(match outcome.result {
             SatResult::Sat(model) => StaubOutcome::Sat {
                 model,
                 via: Via::Original,
+                provenance: Provenance::original(self.config.profile, steps),
             },
-            SatResult::Unsat => StaubOutcome::Unsat,
-            SatResult::Unknown(_) => StaubOutcome::Unknown,
+            SatResult::Unsat => StaubOutcome::Unsat {
+                provenance: Provenance::original(self.config.profile, steps),
+            },
+            SatResult::Unknown(_) => StaubOutcome::Unknown {
+                provenance: Provenance::none(bounded_steps + steps),
+            },
         })
     }
 
@@ -331,12 +455,29 @@ impl Staub {
     /// # Errors
     ///
     /// Returns [`StaubError::EmptyScript`] for scripts without assertions.
+    #[deprecated(note = "use `Session::race`, which warm-starts repeated checks")]
     pub fn race(&self, script: &Script) -> Result<StaubOutcome, StaubError> {
+        self.race_with(script, None)
+    }
+
+    /// The portfolio race with an optional warm engine for the STAUB leg.
+    pub(crate) fn race_with(
+        &self,
+        script: &Script,
+        engine: Option<&mut BvSession>,
+    ) -> Result<StaubOutcome, StaubError> {
         if script.assertions().is_empty() {
             return Err(StaubError::EmptyScript);
         }
-        Ok(portfolio::race(self, script))
+        Ok(portfolio::race_with(self, script, engine))
     }
+}
+
+/// A verified bounded-path win: the lifted model plus the width multiplier
+/// (relative to the configured base) that produced it.
+pub(crate) struct BoundedWin {
+    pub(crate) model: Model,
+    pub(crate) multiplier: u32,
 }
 
 #[cfg(test)]
@@ -349,7 +490,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        staub.run(&script).unwrap()
+        staub.run_with(&script, None).unwrap()
     }
 
     #[test]
@@ -359,7 +500,7 @@ mod tests {
              (assert (= (+ (* x x x) (* y y y) (* z z z)) 855))",
         );
         match outcome {
-            StaubOutcome::Sat { via, model } => {
+            StaubOutcome::Sat { via, model, .. } => {
                 assert_eq!(via, Via::Bounded);
                 assert_eq!(model.len(), 3);
             }
@@ -371,7 +512,7 @@ mod tests {
     fn unsat_via_original() {
         let outcome = run("(declare-fun x () Int)
              (assert (>= x 0))(assert (<= x 3))(assert (= (* x x) 7))");
-        assert!(matches!(outcome, StaubOutcome::Unsat));
+        assert!(matches!(outcome, StaubOutcome::Unsat { .. }));
     }
 
     #[test]
@@ -385,7 +526,7 @@ mod tests {
     fn empty_script_is_error() {
         let script = Script::parse("(declare-fun x () Int)").unwrap();
         assert_eq!(
-            Staub::default().run(&script).unwrap_err(),
+            Staub::default().run_with(&script, None).unwrap_err(),
             StaubError::EmptyScript
         );
     }
@@ -398,7 +539,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        match staub.run(&script).unwrap() {
+        match staub.run_with(&script, None).unwrap() {
             StaubOutcome::Sat { via, .. } => assert_eq!(via, Via::Bounded),
             other => panic!("expected sat, got {other:?}"),
         }
@@ -414,7 +555,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        match staub.run(&script).unwrap() {
+        match staub.run_with(&script, None).unwrap() {
             StaubOutcome::Sat { via, .. } => assert_eq!(via, Via::Original),
             other => panic!("expected sat via original, got {other:?}"),
         }
@@ -437,9 +578,16 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        let base = no_refine.try_bounded(&script, &Budget::new(Duration::from_secs(5), 4_000_000));
-        let refined =
-            with_refine.try_bounded(&script, &Budget::new(Duration::from_secs(5), 4_000_000));
+        let base = no_refine.try_bounded_with(
+            &script,
+            &Budget::new(Duration::from_secs(5), 4_000_000),
+            None,
+        );
+        let refined = with_refine.try_bounded_with(
+            &script,
+            &Budget::new(Duration::from_secs(5), 4_000_000),
+            None,
+        );
         if base.is_some() {
             assert!(refined.is_some(), "refinement must not lose answers");
         }
@@ -459,8 +607,11 @@ mod tests {
             ..Default::default()
         });
         let budget = Budget::new(Duration::from_secs(5), 4_000_000);
-        assert!(staub.try_bounded(&script, &budget).is_none());
-        assert!(matches!(staub.run(&script).unwrap(), StaubOutcome::Unsat));
+        assert!(staub.try_bounded_with(&script, &budget, None).is_none());
+        assert!(matches!(
+            staub.run_with(&script, None).unwrap(),
+            StaubOutcome::Unsat { .. }
+        ));
     }
 
     #[test]
@@ -471,7 +622,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        let raced = staub.race(&script).unwrap();
+        let raced = staub.race_with(&script, None).unwrap();
         assert!(matches!(raced, StaubOutcome::Sat { .. }));
     }
 
@@ -484,7 +635,7 @@ mod tests {
             ..Default::default()
         })
         .with_metrics(Arc::clone(&metrics));
-        staub.run(&script).unwrap();
+        staub.run_with(&script, None).unwrap();
         let snap = metrics.snapshot();
         for stage in ["stage.absint", "stage.transform", "stage.solve"] {
             assert!(snap.histograms.contains_key(stage), "missing {stage}");
@@ -502,7 +653,7 @@ mod tests {
     fn default_pipeline_records_nothing() {
         let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
         let staub = Staub::default();
-        staub.run(&script).unwrap();
+        staub.run_with(&script, None).unwrap();
         assert!(staub.metrics().snapshot().is_empty());
     }
 
@@ -520,7 +671,7 @@ mod tests {
             timeout: Duration::from_secs(5),
             ..Default::default()
         });
-        match staub.run(&script).unwrap() {
+        match staub.run_with(&script, None).unwrap() {
             StaubOutcome::Sat { via, .. } => assert_eq!(via, Via::Original),
             other => panic!("expected sat, got {other:?}"),
         }

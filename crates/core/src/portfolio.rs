@@ -16,9 +16,9 @@ use std::time::{Duration, Instant};
 use staub_smtlib::Script;
 #[cfg(test)]
 use staub_solver::UnknownReason;
-use staub_solver::{Budget, CancelFlag, SatResult, Solver};
+use staub_solver::{Budget, BvSession, CancelFlag, SatResult, Solver};
 
-use crate::pipeline::{Staub, StaubOutcome, Via};
+use crate::pipeline::{Provenance, Staub, StaubOutcome, Via};
 
 /// Which path won the portfolio race.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -151,6 +151,17 @@ pub fn measure(staub: &Staub, script: &Script) -> PortfolioReport {
 /// A bounded `sat` must verify before it may win; a bounded `unsat` never
 /// wins (§4.4 case 1).
 pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
+    race_with(staub, script, None)
+}
+
+/// [`race`] with an optional warm [`BvSession`] for the STAUB leg — the
+/// engine rides along on the arbitrage thread, so repeated races through
+/// one [`crate::Session`] reuse learned clauses and the variable map.
+pub(crate) fn race_with(
+    staub: &Staub,
+    script: &Script,
+    engine: Option<&mut BvSession>,
+) -> StaubOutcome {
     let config = staub.config();
     let cancel_staub = CancelFlag::new();
     let cancel_baseline = CancelFlag::new();
@@ -160,12 +171,12 @@ pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
             let cancel_baseline = cancel_baseline.clone();
             scope.spawn(move || {
                 let budget = Budget::with_cancel(config.timeout, config.steps, cancel_staub);
-                let model = staub.try_bounded(script, &budget);
-                if model.is_some() {
+                let win = staub.try_bounded_with(script, &budget, engine);
+                if win.is_some() {
                     // Verified answer in hand: stop the baseline.
                     cancel_baseline.cancel();
                 }
-                model
+                (win, budget.steps_used())
             })
         };
         let baseline_leg = {
@@ -179,32 +190,39 @@ pub fn race(staub: &Staub, script: &Script) -> StaubOutcome {
                     // Definite answer: stop the arbitrage leg.
                     cancel_staub.cancel();
                 }
-                result
+                (result, budget.steps_used())
             })
         };
-        let bounded = staub_leg.join().expect("staub leg does not panic");
-        let baseline = baseline_leg.join().expect("baseline leg does not panic");
+        let (bounded, staub_steps) = staub_leg.join().expect("staub leg does not panic");
+        let (baseline, baseline_steps) = baseline_leg.join().expect("baseline leg does not panic");
         match (bounded, baseline) {
-            (Some(model), SatResult::Unknown(_)) | (Some(model), SatResult::Sat(_)) => {
+            (Some(win), SatResult::Unknown(_)) | (Some(win), SatResult::Sat(_)) => {
                 StaubOutcome::Sat {
-                    model,
+                    model: win.model,
                     via: Via::Bounded,
+                    provenance: Provenance::bounded(config.profile, win.multiplier, staub_steps),
                 }
             }
             (None, SatResult::Sat(model)) => StaubOutcome::Sat {
                 model,
                 via: Via::Original,
+                provenance: Provenance::original(config.profile, baseline_steps),
             },
-            (Some(model), SatResult::Unsat) => {
+            (Some(win), SatResult::Unsat) => {
                 // A verified model contradicts a baseline `unsat`; trust the
                 // exact verification (the model *does* satisfy the script).
                 StaubOutcome::Sat {
-                    model,
+                    model: win.model,
                     via: Via::Bounded,
+                    provenance: Provenance::bounded(config.profile, win.multiplier, staub_steps),
                 }
             }
-            (None, SatResult::Unsat) => StaubOutcome::Unsat,
-            (None, SatResult::Unknown(_)) => StaubOutcome::Unknown,
+            (None, SatResult::Unsat) => StaubOutcome::Unsat {
+                provenance: Provenance::original(config.profile, baseline_steps),
+            },
+            (None, SatResult::Unknown(_)) => StaubOutcome::Unknown {
+                provenance: Provenance::none(staub_steps + baseline_steps),
+            },
         }
     })
 }
@@ -291,9 +309,15 @@ mod tests {
         ] {
             let script = Script::parse(src).unwrap();
             match race(&staub(), &script) {
-                StaubOutcome::Sat { .. } => assert!(expect_sat, "{src}"),
-                StaubOutcome::Unsat => assert!(!expect_sat, "{src}"),
-                StaubOutcome::Unknown => {}
+                StaubOutcome::Sat { provenance, .. } => {
+                    assert!(expect_sat, "{src}");
+                    assert_ne!(provenance.label, "none", "{src}");
+                }
+                StaubOutcome::Unsat { provenance } => {
+                    assert!(!expect_sat, "{src}");
+                    assert_eq!(provenance.multiplier, 0, "{src}");
+                }
+                StaubOutcome::Unknown { .. } => {}
             }
         }
     }

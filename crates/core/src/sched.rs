@@ -28,19 +28,21 @@
 //! thread outlives the batch.
 
 use std::collections::VecDeque;
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 use staub_smtlib::{Model, Script};
 use staub_solver::{
-    Budget, CancelFlag, SatResult, Solver, SolverProfile, SolverStats, UnknownReason,
+    Budget, BvSession, CancelFlag, SatResult, Solver, SolverProfile, SolverStats, UnknownReason,
 };
 
 use crate::absint;
+use crate::check::CheckLevel;
 use crate::correspond::SortLimits;
 use crate::metrics::Metrics;
-use crate::pipeline::WidthChoice;
+use crate::pipeline::{Provenance, StaubConfig, WidthChoice};
 use crate::portfolio::{PortfolioReport, Winner};
+use crate::session::Session;
 use crate::transform::transform;
 use crate::verify::lift_and_verify;
 
@@ -299,6 +301,20 @@ impl BatchReport {
         self.winner.map(|i| &self.lanes[i])
     }
 
+    /// Provenance of the verdict: the winning lane's label, width
+    /// multiplier (0 for baseline/original lanes), and deterministic
+    /// steps. `None` when no lane answered.
+    pub fn provenance(&self) -> Option<Provenance> {
+        self.winner_lane().map(|l| Provenance {
+            label: l.spec.label(),
+            multiplier: match l.spec.kind {
+                LaneKind::Baseline => 0,
+                LaneKind::Staub { escalation, .. } => escalation,
+            },
+            steps: l.steps_used,
+        })
+    }
+
     /// The first baseline lane, if one ran.
     pub fn baseline_lane(&self) -> Option<&LaneOutcome> {
         self.lanes
@@ -404,6 +420,18 @@ impl BatchReport {
         match self.winner_lane() {
             Some(l) => push_json_str(&mut out, "winner", &l.spec.label()),
             None => out.push_str("\"winner\":null"),
+        }
+        out.push(',');
+        match self.provenance() {
+            Some(p) => {
+                out.push_str("\"provenance\":{");
+                push_json_str(&mut out, "label", &p.label);
+                out.push_str(&format!(
+                    ",\"multiplier\":{},\"steps\":{}}}",
+                    p.multiplier, p.steps
+                ));
+            }
+            None => out.push_str("\"provenance\":null"),
         }
         out.push(',');
         out.push_str(&format!(
@@ -553,6 +581,21 @@ pub(crate) fn bounded_attempt(
     profile: SolverProfile,
     budget: &Budget,
 ) -> BoundedAttempt {
+    bounded_attempt_with(script, width, limits, profile, budget, None)
+}
+
+/// [`bounded_attempt`] with an optional warm [`BvSession`]: when the
+/// transformed script is pure boolean/bitvector the solve runs through the
+/// persistent engine (variable map, gate cache, learned clauses, phases);
+/// otherwise a fresh solver is spawned exactly as the cold path does.
+pub(crate) fn bounded_attempt_with(
+    script: &Script,
+    width: WidthChoice,
+    limits: &SortLimits,
+    profile: SolverProfile,
+    budget: &Budget,
+    engine: Option<&mut BvSession>,
+) -> BoundedAttempt {
     let t0 = Instant::now();
     let bounds = absint::infer(script);
     let transformed = transform(script, &bounds, width, limits);
@@ -567,22 +610,29 @@ pub(crate) fn bounded_attempt(
             stats: SolverStats::default(),
         },
         Ok(tf) => {
-            let solver = Solver::new(profile);
             let t1 = Instant::now();
-            let outcome = solver.solve_with_budget(&tf.script, budget);
+            let (result, stats) = match engine {
+                Some(e) if staub_solver::is_bit_blastable(&tf.script) => {
+                    e.check(&tf.script, budget)
+                }
+                _ => {
+                    let outcome = Solver::new(profile).solve_with_budget(&tf.script, budget);
+                    (outcome.result, outcome.stats)
+                }
+            };
             let t_post = t1.elapsed();
             let t2 = Instant::now();
-            let model = match &outcome.result {
+            let model = match &result {
                 SatResult::Sat(m) => lift_and_verify(script, &tf, m),
                 _ => None,
             };
             BoundedAttempt {
-                result: Some(outcome.result),
+                result: Some(result),
                 model,
                 t_trans,
                 t_post,
                 t_check: t2.elapsed(),
-                stats: outcome.stats,
+                stats,
             }
         }
     }
@@ -592,12 +642,24 @@ fn out_of_steps(result: &SatResult, budget: &Budget) -> bool {
     matches!(result, SatResult::Unknown(UnknownReason::BudgetExhausted)) && !budget.is_cancelled()
 }
 
-/// Executes one lane to completion (or cancellation).
+/// Executes one lane to completion (or cancellation), with a fresh solver.
 fn run_lane(
     script: &Script,
     spec: &LaneSpec,
     cancel: &CancelFlag,
     config: &BatchConfig,
+) -> LaneOutcome {
+    run_lane_with(script, spec, cancel, config, None)
+}
+
+/// [`run_lane`] with an optional warm [`Session`] for STAUB lanes — the
+/// escalation-ladder path. Baseline lanes ignore the session.
+fn run_lane_with(
+    script: &Script,
+    spec: &LaneSpec,
+    cancel: &CancelFlag,
+    config: &BatchConfig,
+    mut session: Option<&mut Session>,
 ) -> LaneOutcome {
     let start = Instant::now();
     let mut retried = false;
@@ -642,8 +704,10 @@ fn run_lane(
         }
         LaneKind::Staub { width, .. } => {
             let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
-            let mut attempt =
-                bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
+            let mut attempt = match session.as_deref_mut() {
+                Some(s) => s.bounded_attempt_at(script, *width, &budget),
+                None => bounded_attempt(script, *width, &config.limits, spec.profile, &budget),
+            };
             steps_used += budget.steps_used();
             stats.merge(&attempt.stats);
             let needs_retry = attempt
@@ -653,7 +717,10 @@ fn run_lane(
             if config.retry && needs_retry {
                 retried = true;
                 budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
-                attempt = bounded_attempt(script, *width, &config.limits, spec.profile, &budget);
+                attempt = match session {
+                    Some(s) => s.bounded_attempt_at(script, *width, &budget),
+                    None => bounded_attempt(script, *width, &config.limits, spec.profile, &budget),
+                };
                 steps_used += budget.steps_used();
                 stats.merge(&attempt.stats);
             }
@@ -689,10 +756,14 @@ fn run_lane(
 // The scheduler
 // ---------------------------------------------------------------------------
 
+/// One unit of scheduling: a *group* of lane indices of one cell. Most
+/// groups are singletons (independently racing lanes); under
+/// [`RunOptions::warm`], a cell's STAUB lanes of one profile form a single
+/// sequential escalation ladder sharing a warm [`Session`].
 #[derive(Debug, Clone, Copy)]
 struct Job {
     cell: usize,
-    lane: usize,
+    group: usize,
 }
 
 struct CellState {
@@ -707,27 +778,109 @@ struct CellState {
 struct Cell<'a> {
     item: &'a BatchItem,
     specs: Vec<LaneSpec>,
+    /// Lane indices grouped into schedulable jobs (see [`Job`]).
+    groups: Vec<Vec<usize>>,
     cancel: CancelFlag,
     started: Instant,
     state: Mutex<CellState>,
 }
 
-/// Runs every constraint through its lane fan-out on a fixed worker pool
-/// and returns one report per constraint, in input order.
-pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> {
-    run_batch_observed(items, config, &Metrics::disabled())
+/// Groups a cell's lanes into schedulable jobs. Cold runs (and baseline
+/// lanes always) get singleton groups — the historical racing behavior.
+/// Warm runs collapse each profile's STAUB lanes (plan order = ascending
+/// width) into one ladder group when there is more than one.
+fn plan_groups(specs: &[LaneSpec], warm: bool) -> Vec<Vec<usize>> {
+    let mut groups: Vec<Vec<usize>> = Vec::new();
+    let mut ladder_of_profile: Vec<(SolverProfile, usize)> = Vec::new();
+    for (i, spec) in specs.iter().enumerate() {
+        if !warm || !spec.is_staub() {
+            groups.push(vec![i]);
+            continue;
+        }
+        match ladder_of_profile.iter().find(|(p, _)| *p == spec.profile) {
+            Some(&(_, g)) => groups[g].push(i),
+            None => {
+                groups.push(vec![i]);
+                ladder_of_profile.push((spec.profile, groups.len() - 1));
+            }
+        }
+    }
+    groups
 }
 
-/// [`run_batch`] with an attached metrics registry: records per-lane
-/// events (`sched.lane_started` / `sched.lane_skipped` /
-/// `sched.lane_cancelled` / `sched.lane_won`), cancel latency and lane
-/// wall-clock histograms, per-label win counters (`sched.wins.<label>`),
-/// deterministic steps, and per-label solver counters
-/// (`solver.<label>.<field>`).
+/// Options for the canonical scheduler entrypoints ([`run_batch_with`],
+/// [`run_one_with`]).
+#[derive(Debug, Clone)]
+pub struct RunOptions {
+    /// Metrics registry recording `sched.*` / `solver.*` events; `None`
+    /// disables observation (zero overhead beyond one branch per event).
+    pub metrics: Option<Arc<Metrics>>,
+    /// Warm-start escalation ladders: run each profile's STAUB lanes as
+    /// one sequential ladder (ascending widths) sharing a persistent
+    /// [`Session`], instead of racing fresh-solver lanes. The ladder stops
+    /// at the first sound answer, marking unreached rungs `cancelled`.
+    /// Defaults to `true`; verdicts are unaffected (only wasted re-solving
+    /// is), because warm checks are sound for exactly the reasons cold
+    /// ones are — assertion roots are per-check assumptions.
+    pub warm: bool,
+}
+
+impl Default for RunOptions {
+    fn default() -> RunOptions {
+        RunOptions {
+            metrics: None,
+            warm: true,
+        }
+    }
+}
+
+/// Runs every constraint through its lane fan-out on a fixed worker pool
+/// and returns one report per constraint, in input order.
+#[deprecated(note = "use `run_batch_with(items, config, &RunOptions::default())`")]
+pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> {
+    run_batch_impl(items, config, &Metrics::disabled(), false)
+}
+
+/// Deprecated alias of [`run_batch_with`] taking a bare metrics reference.
+#[deprecated(note = "use `run_batch_with` with `RunOptions { metrics, .. }`")]
 pub fn run_batch_observed(
     items: &[BatchItem],
     config: &BatchConfig,
     metrics: &Metrics,
+) -> Vec<BatchReport> {
+    run_batch_impl(items, config, metrics, false)
+}
+
+/// Runs every constraint through its lane fan-out on a fixed worker pool
+/// and returns one report per constraint, in input order.
+///
+/// With `options.metrics` attached, records per-lane events
+/// (`sched.lane_started` / `sched.lane_skipped` / `sched.lane_cancelled` /
+/// `sched.lane_won`), cancel latency and lane wall-clock histograms,
+/// per-label win counters (`sched.wins.<label>`), deterministic steps,
+/// per-label solver counters (`solver.<label>.<field>`), and — for warm
+/// runs — ladder events (`sched.ladder_jobs` / `sched.warm_rungs`).
+pub fn run_batch_with(
+    items: &[BatchItem],
+    config: &BatchConfig,
+    options: &RunOptions,
+) -> Vec<BatchReport> {
+    let disabled;
+    let metrics: &Metrics = match &options.metrics {
+        Some(m) => m,
+        None => {
+            disabled = Metrics::disabled();
+            &disabled
+        }
+    };
+    run_batch_impl(items, config, metrics, options.warm)
+}
+
+fn run_batch_impl(
+    items: &[BatchItem],
+    config: &BatchConfig,
+    metrics: &Metrics,
+    warm: bool,
 ) -> Vec<BatchReport> {
     let workers = config.worker_count().max(1);
     metrics.gauge_set("sched.workers", workers as i64);
@@ -737,9 +890,11 @@ pub fn run_batch_observed(
         .map(|item| {
             let specs = plan_lanes(&item.script, config);
             let lanes = specs.len();
+            let groups = plan_groups(&specs, warm);
             Cell {
                 item,
                 specs,
+                groups,
                 cancel: CancelFlag::new(),
                 started: Instant::now(),
                 state: Mutex::new(CellState {
@@ -753,8 +908,8 @@ pub fn run_batch_observed(
         })
         .collect();
 
-    // Seed the per-worker deques round-robin by lane, so a constraint's
-    // sibling lanes start on distinct workers and race for the first sound
+    // Seed the per-worker deques round-robin by job, so a constraint's
+    // sibling jobs start on distinct workers and race for the first sound
     // answer. Workers drain their own deque front-first and steal from the
     // back of others'; no job is ever enqueued after this point, so an
     // empty sweep over every deque is a sound termination condition.
@@ -762,11 +917,14 @@ pub fn run_batch_observed(
         (0..workers).map(|_| Mutex::new(VecDeque::new())).collect();
     let mut next = 0usize;
     for (ci, cell) in cells.iter().enumerate() {
-        for li in 0..cell.specs.len() {
+        for gi in 0..cell.groups.len() {
             queues[next % workers]
                 .lock()
                 .expect("queue lock")
-                .push_back(Job { cell: ci, lane: li });
+                .push_back(Job {
+                    cell: ci,
+                    group: gi,
+                });
             next += 1;
         }
     }
@@ -811,13 +969,19 @@ pub fn run_batch_observed(
 }
 
 /// Convenience for a single constraint: plan, run, report.
+#[deprecated(note = "use `run_one_with(name, script, config, &RunOptions::default())`")]
 pub fn run_one(name: &str, script: &Script, config: &BatchConfig) -> BatchReport {
-    run_one_observed(name, script, config, &Metrics::disabled())
+    let items = [BatchItem {
+        name: name.to_string(),
+        script: script.clone(),
+    }];
+    run_batch_impl(&items, config, &Metrics::disabled(), false)
+        .pop()
+        .expect("one item in, one report out")
 }
 
-/// [`run_one`] with an attached metrics registry — the entry point the
-/// `staub serve` request path uses, so long-running servers accumulate the
-/// same `sched.*` / `solver.*` counters batch runs report.
+/// Deprecated alias of [`run_one_with`] taking a bare metrics reference.
+#[deprecated(note = "use `run_one_with` with `RunOptions { metrics, .. }`")]
 pub fn run_one_observed(
     name: &str,
     script: &Script,
@@ -828,7 +992,26 @@ pub fn run_one_observed(
         name: name.to_string(),
         script: script.clone(),
     }];
-    run_batch_observed(&items, config, metrics)
+    run_batch_impl(&items, config, metrics, false)
+        .pop()
+        .expect("one item in, one report out")
+}
+
+/// [`run_batch_with`] for a single constraint: plan, run, report — the
+/// entry point the `staub serve` request path uses, so long-running
+/// servers accumulate the same `sched.*` / `solver.*` counters batch runs
+/// report.
+pub fn run_one_with(
+    name: &str,
+    script: &Script,
+    config: &BatchConfig,
+    options: &RunOptions,
+) -> BatchReport {
+    let items = [BatchItem {
+        name: name.to_string(),
+        script: script.clone(),
+    }];
+    run_batch_with(&items, config, options)
         .pop()
         .expect("one item in, one report out")
 }
@@ -863,16 +1046,81 @@ fn next_job(wid: usize, queues: &[Mutex<VecDeque<Job>>]) -> Option<Job> {
 
 fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig, metrics: &Metrics) {
     let cell = &cells[job.cell];
-    let spec = &cell.specs[job.lane];
-    // A lane whose constraint is already decided need not start at all.
-    let decided = config.cancel_losers && cell.cancel.is_cancelled();
-    let outcome = if decided {
+    let group = &cell.groups[job.group];
+    if group.len() == 1 {
+        let lane = group[0];
+        let outcome = run_or_skip(cell, lane, config, metrics);
+        submit(cell, lane, outcome, config, metrics);
+        return;
+    }
+    // An escalation ladder: this profile's STAUB lanes run sequentially
+    // (ascending width, plan order) through one warm session, so each rung
+    // re-uses the previous rung's low-bit encoding, learned clauses,
+    // phases, and activities. The ladder stops at the first sound rung.
+    metrics.incr("sched.ladder_jobs", 1);
+    let profile = cell.specs[group[0]].profile;
+    let mut session = Session::new(StaubConfig {
+        width_choice: config.width_choice,
+        limits: config.limits,
+        profile,
+        timeout: config.timeout,
+        steps: config.steps,
+        refinement_rounds: 0,
+        check: CheckLevel::default(),
+    });
+    let mut answered = false;
+    for &lane in group {
+        let spec = &cell.specs[lane];
+        let decided = answered || (config.cancel_losers && cell.cancel.is_cancelled());
+        let outcome = if decided {
+            metrics.incr("sched.lane_skipped", 1);
+            LaneOutcome::skipped(spec, &cell.cancel)
+        } else {
+            metrics.incr("sched.lane_started", 1);
+            metrics.incr("sched.warm_rungs", 1);
+            run_lane_with(
+                &cell.item.script,
+                spec,
+                &cell.cancel,
+                config,
+                Some(&mut session),
+            )
+        };
+        if outcome.verdict.is_sound() {
+            answered = true;
+        }
+        submit(cell, lane, outcome, config, metrics);
+    }
+}
+
+/// Runs one lane unless its constraint is already decided (sibling
+/// cancellation), with a fresh solver.
+fn run_or_skip(
+    cell: &Cell<'_>,
+    lane: usize,
+    config: &BatchConfig,
+    metrics: &Metrics,
+) -> LaneOutcome {
+    let spec = &cell.specs[lane];
+    if config.cancel_losers && cell.cancel.is_cancelled() {
         metrics.incr("sched.lane_skipped", 1);
         LaneOutcome::skipped(spec, &cell.cancel)
     } else {
         metrics.incr("sched.lane_started", 1);
         run_lane(&cell.item.script, spec, &cell.cancel, config)
-    };
+    }
+}
+
+/// Records a finished lane into its cell: metrics, winner bookkeeping,
+/// sibling cancellation.
+fn submit(
+    cell: &Cell<'_>,
+    lane: usize,
+    outcome: LaneOutcome,
+    config: &BatchConfig,
+    metrics: &Metrics,
+) {
+    let spec = &cell.specs[lane];
     if metrics.is_enabled() {
         metrics.observe("sched.lane_elapsed", outcome.elapsed);
         metrics.incr("sched.lane_steps", outcome.steps_used);
@@ -886,13 +1134,13 @@ fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig, metrics: &Met
     }
     let sound = outcome.verdict.is_sound();
     let mut state = cell.state.lock().expect("cell lock");
-    state.outcomes[job.lane] = Some(outcome);
+    state.outcomes[lane] = Some(outcome);
     state.remaining -= 1;
     if state.remaining == 0 {
         state.finished_at = Some(Instant::now());
     }
     if sound && state.winner.is_none() {
-        state.winner = Some(job.lane);
+        state.winner = Some(lane);
         state.time_to_answer = Some(cell.started.elapsed());
         metrics.incr("sched.lane_won", 1);
         metrics.incr(&format!("sched.wins.{}", spec.label()), 1);
@@ -931,7 +1179,7 @@ mod tests {
                 "(declare-fun x () Int)(assert (>= x 0))(assert (<= x 3))(assert (= (* x x) 7))",
             ),
         ];
-        let reports = run_batch(&items, &quick_config());
+        let reports = run_batch_with(&items, &quick_config(), &RunOptions::default());
         assert_eq!(reports.len(), 2);
         assert_eq!(reports[0].verdict.name(), "sat");
         assert_eq!(reports[1].verdict.name(), "unsat");
@@ -945,12 +1193,60 @@ mod tests {
     }
 
     #[test]
+    fn warm_ladder_escalates_and_agrees_with_cold() {
+        // x² − y² = 239 (prime): the only non-negative witness is
+        // x = 120, y = 119, whose squares overflow 9-bit signed guards —
+        // bounded-unsat at the base width, verified sat at the ×2 rung.
+        let src = "(declare-fun x () Int)(declare-fun y () Int)
+            (assert (>= x 0))(assert (>= y 0))
+            (assert (= (- (* x x) (* y y)) 239))";
+        let items = [item("prime-diff", src)];
+        let config = BatchConfig {
+            threads: 1,
+            width_choice: WidthChoice::Fixed(9),
+            include_baseline: false,
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let cold = run_batch_with(
+            &items,
+            &config,
+            &RunOptions {
+                metrics: None,
+                warm: false,
+            },
+        );
+        let metrics = Arc::new(Metrics::new());
+        let warm = run_batch_with(
+            &items,
+            &config,
+            &RunOptions {
+                metrics: Some(Arc::clone(&metrics)),
+                warm: true,
+            },
+        );
+        assert_eq!(warm[0].verdict.name(), "sat");
+        assert_eq!(cold[0].verdict.name(), warm[0].verdict.name());
+        let p = warm[0].provenance().expect("warm run has a winner");
+        assert!(p.multiplier > 1, "escalated rung answers: {p:?}");
+        assert!(p.steps > 0);
+        // The ladder stops at the first sound rung; the ×4 rung is skipped.
+        assert_eq!(
+            warm[0].lanes.last().unwrap().verdict,
+            LaneVerdict::Cancelled
+        );
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["sched.ladder_jobs"], 1);
+        assert_eq!(snap.counters["sched.warm_rungs"], 2);
+    }
+
+    #[test]
     fn sat_winners_carry_verified_models() {
         let items = [item(
             "sq121",
             "(declare-fun x () Int)(assert (= (* x x) 121))",
         )];
-        let report = &run_batch(&items, &quick_config())[0];
+        let report = &run_batch_with(&items, &quick_config(), &RunOptions::default())[0];
         match &report.verdict {
             BatchVerdict::Sat(model) => {
                 for &a in items[0].script.assertions() {
@@ -1018,7 +1314,7 @@ mod tests {
             "weird\"name\\with\ttabs",
             "(declare-fun x () Int)(assert (= (* x x) 49))",
         )];
-        let line = run_batch(&items, &quick_config())[0].to_jsonl();
+        let line = run_batch_with(&items, &quick_config(), &RunOptions::default())[0].to_jsonl();
         assert!(line.starts_with('{') && line.ends_with('}'));
         assert!(line.contains("\\\"name\\\\with\\t"));
         assert!(line.contains("\"verdict\":\"sat\""));
@@ -1033,7 +1329,7 @@ mod tests {
             cancel_losers: false,
             ..quick_config()
         };
-        let line = run_batch(&items, &config)[0].to_jsonl();
+        let line = run_batch_with(&items, &config, &RunOptions::default())[0].to_jsonl();
         assert!(line.contains("\"stats\":{\"stages\":{\"pre_ms\":"));
         assert!(line.contains("\"trans_ms\":"));
         // Every lane record in the stats block carries the full counter set.
@@ -1041,7 +1337,7 @@ mod tests {
             assert!(line.contains(&format!("\"{field}\":")), "missing {field}");
         }
         // Without cancellation some lane did real solver work.
-        let reports = run_batch(&items, &config);
+        let reports = run_batch_with(&items, &config, &RunOptions::default());
         assert!(reports[0]
             .lanes
             .iter()
@@ -1050,9 +1346,16 @@ mod tests {
 
     #[test]
     fn observed_batch_records_lane_events() {
-        let metrics = Metrics::new();
+        let metrics = Arc::new(Metrics::new());
         let items = [item("s", "(declare-fun x () Int)(assert (= (* x x) 49))")];
-        run_batch_observed(&items, &quick_config(), &metrics);
+        run_batch_with(
+            &items,
+            &quick_config(),
+            &RunOptions {
+                metrics: Some(Arc::clone(&metrics)),
+                warm: true,
+            },
+        );
         let snap = metrics.snapshot();
         assert!(snap.counters["sched.lane_started"] >= 1);
         assert_eq!(snap.counters["sched.lane_won"], 1);
@@ -1071,7 +1374,7 @@ mod tests {
             cancel_losers: false,
             ..quick_config()
         };
-        let report = &run_batch(&items, &config)[0];
+        let report = &run_batch_with(&items, &config, &RunOptions::default())[0];
         let p = report.to_portfolio();
         assert!(p.verified, "bounded path verifies x^2 = 64");
         assert!(p.t_trans > Duration::ZERO);
@@ -1090,12 +1393,12 @@ mod tests {
             threads: 1,
             ..quick_config()
         };
-        let reports = run_batch(&items, &config);
+        let reports = run_batch_with(&items, &config, &RunOptions::default());
         assert!(reports.iter().all(|r| r.winner.is_some()));
     }
 
     #[test]
     fn empty_batch_is_empty() {
-        assert!(run_batch(&[], &BatchConfig::default()).is_empty());
+        assert!(run_batch_with(&[], &BatchConfig::default(), &RunOptions::default()).is_empty());
     }
 }

@@ -103,7 +103,7 @@ impl<S: Read + Write> Connection<S> {
     }
 }
 
-/// Builds a `solve` request line.
+/// Builds a `solve` request line (protocol v1).
 pub fn solve_request(
     id: &str,
     constraint: &str,
@@ -112,7 +112,7 @@ pub fn solve_request(
     no_cache: bool,
 ) -> String {
     let mut out = String::with_capacity(constraint.len() + 64);
-    out.push_str("{\"op\":\"solve\",");
+    out.push_str("{\"op\":\"solve\",\"v\":1,");
     json::push_key(&mut out, "id");
     json::push_str_lit(&mut out, id);
     out.push(',');
@@ -131,14 +131,61 @@ pub fn solve_request(
     out
 }
 
-/// Builds a `health` request line.
+/// Builds a `health` request line (protocol v1).
 pub fn health_request() -> String {
-    "{\"op\":\"health\"}".to_string()
+    "{\"op\":\"health\",\"v\":1}".to_string()
 }
 
-/// Builds a `shutdown` request line.
+/// Builds a `shutdown` request line (protocol v1).
 pub fn shutdown_request() -> String {
-    "{\"op\":\"shutdown\"}".to_string()
+    "{\"op\":\"shutdown\",\"v\":1}".to_string()
+}
+
+/// Builds a `session_open` request line (protocol v2).
+pub fn session_open_request(timeout_ms: Option<u64>, steps: Option<u64>) -> String {
+    let mut out = String::from("{\"op\":\"session_open\",\"v\":2");
+    if let Some(ms) = timeout_ms {
+        out.push_str(&format!(",\"timeout_ms\":{ms}"));
+    }
+    if let Some(s) = steps {
+        out.push_str(&format!(",\"steps\":{s}"));
+    }
+    out.push('}');
+    out
+}
+
+/// Builds a session `assert` request line (protocol v2).
+pub fn assert_request(session: &str, constraint: &str) -> String {
+    let mut out = String::with_capacity(constraint.len() + 64);
+    out.push_str("{\"op\":\"assert\",\"v\":2,");
+    json::push_key(&mut out, "session");
+    json::push_str_lit(&mut out, session);
+    out.push(',');
+    json::push_key(&mut out, "constraint");
+    json::push_str_lit(&mut out, constraint);
+    out.push('}');
+    out
+}
+
+/// Builds a session `check` request line (protocol v2).
+pub fn check_request(session: &str, no_cache: bool) -> String {
+    let mut out = String::from("{\"op\":\"check\",\"v\":2,");
+    json::push_key(&mut out, "session");
+    json::push_str_lit(&mut out, session);
+    if no_cache {
+        out.push_str(",\"no_cache\":true");
+    }
+    out.push('}');
+    out
+}
+
+/// Builds a `session_close` request line (protocol v2).
+pub fn session_close_request(session: &str) -> String {
+    let mut out = String::from("{\"op\":\"session_close\",\"v\":2,");
+    json::push_key(&mut out, "session");
+    json::push_str_lit(&mut out, session);
+    out.push('}');
+    out
 }
 
 // ---------------------------------------------------------------------------

@@ -34,8 +34,11 @@ pub mod signal;
 
 pub use cache::{AnswerCache, CacheConfig, CacheStats, CachedVerdict};
 pub use client::{
-    audit_reply, health_request, run_loadgen, shutdown_request, solve_request, Audit, Connection,
-    LoadgenConfig, LoadgenOutcome, RequestRecord,
+    assert_request, audit_reply, check_request, health_request, run_loadgen, session_close_request,
+    session_open_request, shutdown_request, solve_request, Audit, Connection, LoadgenConfig,
+    LoadgenOutcome, RequestRecord,
 };
-pub use protocol::{parse_request, LineRead, LineReader, ProtocolError, Request, SolveRequest};
+pub use protocol::{
+    parse_request, LineRead, LineReader, ProtocolError, Request, SolveRequest, PROTOCOL_VERSION,
+};
 pub use server::{DrainSummary, ServeConfig, Server};

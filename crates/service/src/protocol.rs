@@ -1,26 +1,50 @@
 //! The `staub serve` wire protocol: newline-delimited JSON.
 //!
 //! One request per line, one response line per request, over TCP or a
-//! Unix socket. The grammar (also documented in DESIGN.md):
+//! Unix socket. Every request and response carries a protocol version
+//! field `"v"` (absent means `1`); versions above [`PROTOCOL_VERSION`]
+//! get a structured `unsupported_version` error instead of a parse
+//! failure, so future revisions degrade gracefully on old servers. The
+//! grammar (also documented in DESIGN.md):
 //!
 //! ```text
 //! request  := solve | health | shutdown
-//! solve    := {"op":"solve", "constraint":"<smt2>",
+//!           | session-open | session-assert | session-check | session-close
+//! solve    := {"op":"solve", "v"?:1, "constraint":"<smt2>",
 //!              "id"?:string, "timeout_ms"?:int, "steps"?:int,
 //!              "no_cache"?:bool}
-//! health   := {"op":"health", "id"?:string}
-//! shutdown := {"op":"shutdown", "id"?:string}
+//! health   := {"op":"health", "v"?:1, "id"?:string}
+//! shutdown := {"op":"shutdown", "v"?:1, "id"?:string}
 //!
-//! response := ok-solve | ok-health | ok-shutdown | error | overloaded
-//! ok-solve := {"id":string|null, "status":"ok", "verdict":"sat|unsat|unknown",
+//! session-open  := {"op":"session_open", "v":2, "id"?:string,
+//!                   "timeout_ms"?:int, "steps"?:int}
+//! session-assert:= {"op":"assert", "v":2, "session":string,
+//!                   "constraint":"<smt2 fragment>", "id"?:string}
+//! session-check := {"op":"check", "v":2, "session":string,
+//!                   "id"?:string, "no_cache"?:bool}
+//! session-close := {"op":"session_close", "v":2, "session":string,
+//!                   "id"?:string}
+//!
+//! response := ok-solve | ok-health | ok-shutdown | ok-session
+//!           | error | overloaded
+//! ok-solve := {"v":int, "id":string|null, "status":"ok",
+//!              "verdict":"sat|unsat|unknown",
 //!              "model":{name:value,...}|null, "winner":string|null,
+//!              "provenance":{"label":string, "multiplier":int,
+//!                            "steps":int}|null,
 //!              "cache":"hit|miss|off", "fingerprint":hex128,
 //!              "wall_ms":float, "stats":object|null}
-//! error    := {"id":string|null, "status":"error",
+//! error    := {"v":int, "id":string|null, "status":"error",
 //!              "error":{"code":string, "message":string}}
-//! overload := {"id":string|null, "status":"overloaded",
+//! overload := {"v":int, "id":string|null, "status":"overloaded",
 //!              "error":{"code":"overloaded", "message":string}}
 //! ```
+//!
+//! `session_open` answers `{"v":2, ..., "session":string}`; `assert`
+//! echoes the session plus the current `level`; `check` answers the
+//! ok-solve shape plus `"session"`; `session_close` answers
+//! `{..., "closed":true}`. Session state lives on the connection: a
+//! closed connection drops its sessions.
 //!
 //! Malformed lines, unknown `op`s, and lines longer than the server's
 //! request-size cap all yield a structured `error` response; the size cap
@@ -34,6 +58,11 @@ use crate::json::{self, Json};
 /// Default cap on one request line, in bytes. Analogous to the parser's
 /// nesting-depth cap: a bound enforced *before* any tree is built.
 pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
+
+/// Highest protocol version this build speaks. Version 1 is the original
+/// stateless request/response protocol; version 2 adds the incremental
+/// session commands.
+pub const PROTOCOL_VERSION: u32 = 2;
 
 /// Machine-readable error codes carried in `error` responses.
 pub mod codes {
@@ -51,6 +80,11 @@ pub mod codes {
     pub const OVERLOADED: &str = "overloaded";
     /// The server is draining and no longer accepts work.
     pub const SHUTTING_DOWN: &str = "shutting-down";
+    /// The request's `"v"` is newer than this server speaks.
+    pub const UNSUPPORTED_VERSION: &str = "unsupported_version";
+    /// A session command named a session this connection never opened
+    /// (or already closed).
+    pub const UNKNOWN_SESSION: &str = "unknown-session";
 }
 
 /// A parsed request.
@@ -67,6 +101,41 @@ pub enum Request {
     Shutdown {
         /// Client-chosen correlation id, echoed back.
         id: Option<String>,
+    },
+    /// Open an incremental solving session on this connection (v2).
+    SessionOpen {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+        /// Per-check wall-clock budget (clamped to the server's).
+        timeout_ms: Option<u64>,
+        /// Per-check step budget (clamped to the server's).
+        steps: Option<u64>,
+    },
+    /// Append an assertion fragment to an open session (v2).
+    SessionAssert {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+        /// The session name returned by `session_open`.
+        session: String,
+        /// SMT-LIB fragment (declarations and assertions).
+        constraint: String,
+    },
+    /// Check the session's accumulated assertions (v2). The warm solver
+    /// state persists across checks; the answer cache is consulted first.
+    SessionCheck {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+        /// The session name returned by `session_open`.
+        session: String,
+        /// Bypass the answer cache for this check.
+        no_cache: bool,
+    },
+    /// Drop a session and its solver state (v2).
+    SessionClose {
+        /// Client-chosen correlation id, echoed back.
+        id: Option<String>,
+        /// The session name returned by `session_open`.
+        session: String,
     },
 }
 
@@ -103,61 +172,134 @@ impl ProtocolError {
     }
 }
 
-/// Parses one request line.
+/// Parses one request line. Returns the request's protocol version
+/// (defaulting to 1 when the `"v"` field is absent) alongside the
+/// request, so replies can echo it.
 ///
 /// # Errors
 ///
 /// Returns a [`ProtocolError`] (ready to serialise with
-/// [`error_reply`]) on malformed JSON or an unrecognised shape.
-pub fn parse_request(line: &str) -> Result<Request, ProtocolError> {
+/// [`error_reply`]) on malformed JSON, an unrecognised shape, or a
+/// version newer than [`PROTOCOL_VERSION`].
+pub fn parse_request(line: &str) -> Result<(u32, Request), ProtocolError> {
     let value =
         json::parse(line).map_err(|e| ProtocolError::new(codes::BAD_JSON, e.to_string()))?;
+    let v = match value.get("v") {
+        None | Some(Json::Null) => 1,
+        Some(field) => match field.as_u64() {
+            Some(n @ 1..) if n <= u64::from(PROTOCOL_VERSION) => n as u32,
+            Some(n @ 1..) => {
+                return Err(ProtocolError::new(
+                    codes::UNSUPPORTED_VERSION,
+                    format!(
+                    "protocol version {n} not supported; this server speaks 1..={PROTOCOL_VERSION}"
+                ),
+                ))
+            }
+            _ => {
+                return Err(ProtocolError::new(
+                    codes::BAD_REQUEST,
+                    "`v` must be a positive integer",
+                ))
+            }
+        },
+    };
     let id = value.get("id").and_then(Json::as_str).map(str::to_string);
     let op = value
         .get("op")
         .and_then(Json::as_str)
         .ok_or_else(|| ProtocolError::new(codes::BAD_REQUEST, "missing string field `op`"))?;
-    match op {
-        "health" => Ok(Request::Health { id }),
-        "shutdown" => Ok(Request::Shutdown { id }),
-        "solve" => {
-            let constraint = value
-                .get("constraint")
-                .and_then(Json::as_str)
-                .ok_or_else(|| {
-                    ProtocolError::new(codes::BAD_REQUEST, "solve needs a string `constraint`")
-                })?
-                .to_string();
-            let num = |field: &str| -> Result<Option<u64>, ProtocolError> {
-                match value.get(field) {
-                    None | Some(Json::Null) => Ok(None),
-                    Some(v) => v.as_u64().map(Some).ok_or_else(|| {
-                        ProtocolError::new(
-                            codes::BAD_REQUEST,
-                            format!("`{field}` must be a nonnegative integer"),
-                        )
-                    }),
-                }
-            };
-            Ok(Request::Solve(SolveRequest {
+    let num = |field: &str| -> Result<Option<u64>, ProtocolError> {
+        match value.get(field) {
+            None | Some(Json::Null) => Ok(None),
+            Some(v) => v.as_u64().map(Some).ok_or_else(|| {
+                ProtocolError::new(
+                    codes::BAD_REQUEST,
+                    format!("`{field}` must be a nonnegative integer"),
+                )
+            }),
+        }
+    };
+    let string_field = |field: &str| -> Result<String, ProtocolError> {
+        value
+            .get(field)
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| {
+                ProtocolError::new(
+                    codes::BAD_REQUEST,
+                    format!("`{op}` needs a string `{field}`"),
+                )
+            })
+    };
+    let require_v2 = || -> Result<(), ProtocolError> {
+        if v < 2 {
+            return Err(ProtocolError::new(
+                codes::BAD_REQUEST,
+                format!("`{op}` is a session command; send it with \"v\":2"),
+            ));
+        }
+        Ok(())
+    };
+    let request = match op {
+        "health" => Request::Health { id },
+        "shutdown" => Request::Shutdown { id },
+        "solve" => Request::Solve(SolveRequest {
+            id,
+            constraint: string_field("constraint")?,
+            timeout_ms: num("timeout_ms")?,
+            steps: num("steps")?,
+            no_cache: value
+                .get("no_cache")
+                .and_then(Json::as_bool)
+                .unwrap_or(false),
+        }),
+        "session_open" => {
+            require_v2()?;
+            Request::SessionOpen {
                 id,
-                constraint,
                 timeout_ms: num("timeout_ms")?,
                 steps: num("steps")?,
+            }
+        }
+        "assert" => {
+            require_v2()?;
+            Request::SessionAssert {
+                id,
+                session: string_field("session")?,
+                constraint: string_field("constraint")?,
+            }
+        }
+        "check" => {
+            require_v2()?;
+            Request::SessionCheck {
+                id,
+                session: string_field("session")?,
                 no_cache: value
                     .get("no_cache")
                     .and_then(Json::as_bool)
                     .unwrap_or(false),
-            }))
+            }
         }
-        other => Err(ProtocolError::new(
-            codes::BAD_REQUEST,
-            format!("unknown op `{other}`"),
-        )),
-    }
+        "session_close" => {
+            require_v2()?;
+            Request::SessionClose {
+                id,
+                session: string_field("session")?,
+            }
+        }
+        other => {
+            return Err(ProtocolError::new(
+                codes::BAD_REQUEST,
+                format!("unknown op `{other}`"),
+            ))
+        }
+    };
+    Ok((v, request))
 }
 
-fn push_id(out: &mut String, id: Option<&str>) {
+fn push_head(out: &mut String, v: u32, id: Option<&str>) {
+    out.push_str(&format!("\"v\":{v},"));
     json::push_key(out, "id");
     match id {
         Some(id) => json::push_str_lit(out, id),
@@ -166,11 +308,12 @@ fn push_id(out: &mut String, id: Option<&str>) {
     out.push(',');
 }
 
-/// Renders an `error` response line (no trailing newline).
-pub fn error_reply(id: Option<&str>, code: &str, message: &str) -> String {
+/// Renders an `error` response line (no trailing newline), echoing the
+/// request's protocol version.
+pub fn error_reply(v: u32, id: Option<&str>, code: &str, message: &str) -> String {
     let mut out = String::with_capacity(96);
     out.push('{');
-    push_id(&mut out, id);
+    push_head(&mut out, v, id);
     out.push_str("\"status\":\"error\",\"error\":{");
     json::push_key(&mut out, "code");
     json::push_str_lit(&mut out, code);
@@ -182,10 +325,10 @@ pub fn error_reply(id: Option<&str>, code: &str, message: &str) -> String {
 }
 
 /// Renders the admission-control `overloaded` response line.
-pub fn overloaded_reply(id: Option<&str>) -> String {
+pub fn overloaded_reply(v: u32, id: Option<&str>) -> String {
     let mut out = String::with_capacity(96);
     out.push('{');
-    push_id(&mut out, id);
+    push_head(&mut out, v, id);
     out.push_str(
         "\"status\":\"overloaded\",\"error\":{\"code\":\"overloaded\",\
          \"message\":\"request queue full; retry later\"}}",
@@ -193,17 +336,44 @@ pub fn overloaded_reply(id: Option<&str>) -> String {
     out
 }
 
-/// A successful `solve` response, ready to serialise.
+/// Renders a simple session-command `ok` reply (`session_open`,
+/// `assert`, `session_close`). `extra` is appended verbatim as
+/// additional, already-serialised JSON members (e.g. `"level":3`);
+/// empty adds nothing.
+pub fn session_reply(v: u32, id: Option<&str>, session: &str, extra: &str) -> String {
+    let mut out = String::with_capacity(96);
+    out.push('{');
+    push_head(&mut out, v, id);
+    json::push_key(&mut out, "session");
+    json::push_str_lit(&mut out, session);
+    out.push_str(",\"status\":\"ok\"");
+    if !extra.is_empty() {
+        out.push(',');
+        out.push_str(extra);
+    }
+    out.push('}');
+    out
+}
+
+/// A successful `solve` (or session `check`) response, ready to
+/// serialise.
 #[derive(Debug, Clone)]
 pub struct SolveReply {
+    /// Protocol version to echo (1 for `solve`, 2 for session checks).
+    pub v: u32,
     /// Echoed correlation id.
     pub id: Option<String>,
+    /// The session this check ran in (session checks only).
+    pub session: Option<String>,
     /// `sat` / `unsat` / `unknown`.
     pub verdict: &'static str,
     /// Variable assignments (name, printed value) for `sat`.
     pub model: Option<Vec<(String, String)>>,
     /// Winning lane label, when the scheduler ran.
     pub winner: Option<String>,
+    /// Which lane/width produced the verdict, when a pipeline ran
+    /// (absent on cache hits, where no lane ran).
+    pub provenance: Option<staub_core::Provenance>,
     /// `hit` / `miss` / `off`.
     pub cache: &'static str,
     /// The canonical fingerprint, as 32 hex digits.
@@ -219,7 +389,12 @@ impl SolveReply {
     pub fn to_json(&self) -> String {
         let mut out = String::with_capacity(256);
         out.push('{');
-        push_id(&mut out, self.id.as_deref());
+        push_head(&mut out, self.v, self.id.as_deref());
+        if let Some(session) = &self.session {
+            json::push_key(&mut out, "session");
+            json::push_str_lit(&mut out, session);
+            out.push(',');
+        }
         out.push_str("\"status\":\"ok\",\"verdict\":\"");
         out.push_str(self.verdict);
         out.push_str("\",\"model\":");
@@ -240,6 +415,19 @@ impl SolveReply {
         out.push_str(",\"winner\":");
         match &self.winner {
             Some(w) => json::push_str_lit(&mut out, w),
+            None => out.push_str("null"),
+        }
+        out.push_str(",\"provenance\":");
+        match &self.provenance {
+            Some(p) => {
+                out.push('{');
+                json::push_key(&mut out, "label");
+                json::push_str_lit(&mut out, &p.label);
+                out.push_str(&format!(
+                    ",\"multiplier\":{},\"steps\":{}}}",
+                    p.multiplier, p.steps
+                ));
+            }
             None => out.push_str("null"),
         }
         out.push_str(",\"cache\":\"");
@@ -334,10 +522,11 @@ mod tests {
 
     #[test]
     fn solve_request_round_trip() {
-        let req = parse_request(
+        let (v, req) = parse_request(
             r#"{"op":"solve","id":"r7","constraint":"(assert true)","steps":1000,"no_cache":true}"#,
         )
         .unwrap();
+        assert_eq!(v, 1);
         match req {
             Request::Solve(s) => {
                 assert_eq!(s.id.as_deref(), Some("r7"));
@@ -354,14 +543,93 @@ mod tests {
     fn health_and_shutdown_parse() {
         assert_eq!(
             parse_request(r#"{"op":"health"}"#).unwrap(),
-            Request::Health { id: None }
+            (1, Request::Health { id: None })
         );
         assert_eq!(
-            parse_request(r#"{"op":"shutdown","id":"x"}"#).unwrap(),
-            Request::Shutdown {
-                id: Some("x".into())
+            parse_request(r#"{"op":"shutdown","v":1,"id":"x"}"#).unwrap(),
+            (
+                1,
+                Request::Shutdown {
+                    id: Some("x".into())
+                }
+            )
+        );
+    }
+
+    #[test]
+    fn version_negotiation() {
+        // Explicit current versions pass through.
+        assert_eq!(parse_request(r#"{"op":"health","v":2}"#).unwrap().0, 2);
+        // A future version is refused with its own code, not a parse
+        // failure.
+        let err = parse_request(r#"{"op":"health","v":9}"#).unwrap_err();
+        assert_eq!(err.code, codes::UNSUPPORTED_VERSION);
+        assert!(err.message.contains("1..=2"), "{}", err.message);
+        // Zero and non-integers are malformed, not "future".
+        assert_eq!(
+            parse_request(r#"{"op":"health","v":0}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
+        assert_eq!(
+            parse_request(r#"{"op":"health","v":"two"}"#)
+                .unwrap_err()
+                .code,
+            codes::BAD_REQUEST
+        );
+    }
+
+    #[test]
+    fn session_commands_parse_at_v2_only() {
+        let (v, req) =
+            parse_request(r#"{"op":"session_open","v":2,"id":"s","steps":500}"#).unwrap();
+        assert_eq!(v, 2);
+        assert_eq!(
+            req,
+            Request::SessionOpen {
+                id: Some("s".into()),
+                timeout_ms: None,
+                steps: Some(500),
             }
         );
+        let (_, req) =
+            parse_request(r#"{"op":"assert","v":2,"session":"s1","constraint":"(assert true)"}"#)
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::SessionAssert {
+                id: None,
+                session: "s1".into(),
+                constraint: "(assert true)".into(),
+            }
+        );
+        let (_, req) =
+            parse_request(r#"{"op":"check","v":2,"session":"s1","no_cache":true}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::SessionCheck {
+                id: None,
+                session: "s1".into(),
+                no_cache: true,
+            }
+        );
+        let (_, req) = parse_request(r#"{"op":"session_close","v":2,"session":"s1"}"#).unwrap();
+        assert_eq!(
+            req,
+            Request::SessionClose {
+                id: None,
+                session: "s1".into(),
+            }
+        );
+        // The same ops without v:2 are rejected — old servers would not
+        // know them, and old clients cannot send them by accident.
+        for line in [
+            r#"{"op":"session_open"}"#,
+            r#"{"op":"assert","session":"s1","constraint":"x"}"#,
+            r#"{"op":"check","session":"s1"}"#,
+            r#"{"op":"session_close","session":"s1"}"#,
+        ] {
+            assert_eq!(parse_request(line).unwrap_err().code, codes::BAD_REQUEST);
+        }
     }
 
     #[test]
@@ -382,29 +650,47 @@ mod tests {
             parse_request(r#"{"op":"fly"}"#).unwrap_err().code,
             codes::BAD_REQUEST
         );
+        assert_eq!(
+            parse_request(r#"{"op":"check","v":2}"#).unwrap_err().code,
+            codes::BAD_REQUEST
+        );
     }
 
     #[test]
     fn replies_are_parseable_json() {
-        let err = error_reply(Some("a"), codes::PARSE_ERROR, "line 3: what");
+        let err = error_reply(1, Some("a"), codes::PARSE_ERROR, "line 3: what");
         let v = crate::json::parse(&err).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("error"));
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(1));
         assert_eq!(
             v.get("error")
                 .and_then(|e| e.get("code"))
                 .and_then(Json::as_str),
             Some("parse-error")
         );
-        let over = overloaded_reply(None);
+        let over = overloaded_reply(1, None);
         let v = crate::json::parse(&over).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("overloaded"));
         assert_eq!(v.get("id"), Some(&Json::Null));
 
+        let sess = session_reply(2, Some("o"), "s1", "\"closed\":true");
+        let v = crate::json::parse(&sess).unwrap();
+        assert_eq!(v.get("v").and_then(Json::as_u64), Some(2));
+        assert_eq!(v.get("session").and_then(Json::as_str), Some("s1"));
+        assert_eq!(v.get("closed").and_then(Json::as_bool), Some(true));
+
         let reply = SolveReply {
+            v: 2,
             id: Some("q".into()),
+            session: Some("s1".into()),
             verdict: "sat",
             model: Some(vec![("x".into(), "7".into())]),
             winner: Some("staub/x1/zed".into()),
+            provenance: Some(staub_core::Provenance {
+                label: "staub/x1/zed".into(),
+                multiplier: 1,
+                steps: 42,
+            }),
             cache: "miss",
             fingerprint: "ab".repeat(16),
             wall_ms: 1.5,
@@ -412,11 +698,18 @@ mod tests {
         };
         let v = crate::json::parse(&reply.to_json()).unwrap();
         assert_eq!(v.get("verdict").and_then(Json::as_str), Some("sat"));
+        assert_eq!(v.get("session").and_then(Json::as_str), Some("s1"));
         assert_eq!(
             v.get("model")
                 .and_then(|m| m.get("x"))
                 .and_then(Json::as_str),
             Some("7")
+        );
+        assert_eq!(
+            v.get("provenance")
+                .and_then(|p| p.get("multiplier"))
+                .and_then(Json::as_u64),
+            Some(1)
         );
         assert!(v.get("stats").unwrap().get("stages").is_some());
     }

@@ -37,8 +37,12 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use staub_core::{run_one_observed, BatchConfig, BatchVerdict, Metrics};
+use staub_core::{
+    run_one_with, BatchConfig, BatchVerdict, Metrics, RunOptions, Session, StaubConfig, StaubError,
+    StaubOutcome,
+};
 use staub_smtlib::{canonicalize, evaluate, Canonical, Model, Script, Value};
+use staub_solver::SolverProfile;
 
 use crate::cache::{AnswerCache, CacheConfig, CachedVerdict};
 use crate::protocol::{
@@ -161,7 +165,7 @@ impl AdmissionGate {
 struct Inner {
     config: ServeConfig,
     cache: Option<AnswerCache>,
-    metrics: Metrics,
+    metrics: Arc<Metrics>,
     gate: AdmissionGate,
     started: Instant,
     local_shutdown: AtomicBool,
@@ -211,7 +215,7 @@ impl Server {
         let inner = Arc::new(Inner {
             gate: AdmissionGate::new(config.max_inflight, config.max_waiting),
             cache,
-            metrics: Metrics::new(),
+            metrics: Arc::new(Metrics::new()),
             started: Instant::now(),
             local_shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
@@ -271,7 +275,7 @@ impl Server {
     /// Point-in-time health JSON, as served to `staub client --health`
     /// (exposed for tests and the drain banner).
     pub fn health_json(&self) -> String {
-        health_reply(&self.inner, None)
+        health_reply(&self.inner, 1, None)
     }
 }
 
@@ -363,8 +367,37 @@ fn write_line(stream: &mut impl Write, line: &str) -> io::Result<()> {
     stream.flush()
 }
 
+/// Open sessions of one connection. Session state is
+/// connection-scoped: a dropped connection drops its solver state, so a
+/// crashed client cannot leak warm engines.
+#[derive(Default)]
+struct SessionTable {
+    next: u64,
+    open: Vec<(String, Session)>,
+}
+
+/// Cap on concurrently open sessions per connection — each one holds a
+/// warm solver engine, so the bound is a memory bound.
+const MAX_SESSIONS_PER_CONN: usize = 8;
+
+impl SessionTable {
+    fn get_mut(&mut self, name: &str) -> Option<&mut Session> {
+        self.open
+            .iter_mut()
+            .find(|(n, _)| n == name)
+            .map(|(_, s)| s)
+    }
+
+    fn close(&mut self, name: &str) -> bool {
+        let before = self.open.len();
+        self.open.retain(|(n, _)| n != name);
+        self.open.len() < before
+    }
+}
+
 fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
     let mut reader = LineReader::new(inner.config.max_line_bytes);
+    let mut sessions = SessionTable::default();
     loop {
         match reader.next_line(&mut stream) {
             Ok(LineRead::Line(line)) => {
@@ -373,7 +406,7 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
                 }
                 inner.requests.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.incr("serve.requests", 1);
-                let (reply, keep_open) = handle_line(inner, &line);
+                let (reply, keep_open) = handle_line(inner, &mut sessions, &line);
                 if write_line(&mut stream, &reply).is_err() || !keep_open {
                     return;
                 }
@@ -386,6 +419,7 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
             Ok(LineRead::TooLong) => {
                 inner.metrics.incr("serve.errors", 1);
                 let reply = protocol::error_reply(
+                    1,
                     None,
                     codes::OVERSIZED,
                     &format!(
@@ -399,7 +433,7 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
             Ok(LineRead::BadUtf8) => {
                 inner.metrics.incr("serve.errors", 1);
                 let reply =
-                    protocol::error_reply(None, codes::BAD_JSON, "request line is not UTF-8");
+                    protocol::error_reply(1, None, codes::BAD_JSON, "request line is not UTF-8");
                 let _ = write_line(&mut stream, &reply);
                 return;
             }
@@ -410,18 +444,57 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
 
 /// Dispatches one request line. Returns the reply and whether the
 /// connection stays open.
-fn handle_line(inner: &Arc<Inner>, line: &str) -> (String, bool) {
-    match protocol::parse_request(line) {
+fn handle_line(inner: &Arc<Inner>, sessions: &mut SessionTable, line: &str) -> (String, bool) {
+    // Gate-protected work (one `solve` or session `check`), shared by both
+    // request shapes: refuse while draining, admit through the bounded
+    // queue, release on the way out.
+    fn gated(
+        inner: &Arc<Inner>,
+        id: Option<&str>,
+        v: u32,
+        work: impl FnOnce() -> String,
+    ) -> (String, bool) {
+        if inner.shutting_down() {
+            inner.metrics.incr("serve.errors", 1);
+            return (
+                protocol::error_reply(v, id, codes::SHUTTING_DOWN, "server is draining"),
+                false,
+            );
+        }
+        match inner.gate.acquire(|| inner.shutting_down()) {
+            Err(Refused::Overloaded) => {
+                inner.metrics.incr("serve.overloaded", 1);
+                (protocol::overloaded_reply(v, id), true)
+            }
+            Err(Refused::ShuttingDown) => (
+                protocol::error_reply(v, id, codes::SHUTTING_DOWN, "server is draining"),
+                false,
+            ),
+            Ok(()) => {
+                let reply = work();
+                inner.gate.release();
+                (reply, true)
+            }
+        }
+    }
+
+    let (v, request) = match protocol::parse_request(line) {
         Err(ProtocolError { code, message }) => {
             // A malformed line means the sender's framing can no longer be
-            // trusted: reply with the structured error, then close.
+            // trusted: reply with the structured error, then close. (The
+            // one exception is a *well-formed* line at a future version —
+            // framing is fine, so the connection survives the refusal.)
             inner.metrics.incr("serve.errors", 1);
-            (protocol::error_reply(None, code, &message), false)
+            let keep_open = code == codes::UNSUPPORTED_VERSION;
+            return (protocol::error_reply(1, None, code, &message), keep_open);
         }
-        Ok(Request::Health { id }) => (health_reply(inner, id.as_deref()), true),
-        Ok(Request::Shutdown { id }) => {
+        Ok(parsed) => parsed,
+    };
+    match request {
+        Request::Health { id } => (health_reply(inner, v, id.as_deref()), true),
+        Request::Shutdown { id } => {
             inner.local_shutdown.store(true, Ordering::SeqCst);
-            let mut out = String::from("{");
+            let mut out = format!("{{\"v\":{v},");
             match &id {
                 Some(id) => {
                     out.push_str("\"id\":");
@@ -432,39 +505,78 @@ fn handle_line(inner: &Arc<Inner>, line: &str) -> (String, bool) {
             out.push_str(",\"status\":\"ok\",\"draining\":true}");
             (out, false)
         }
-        Ok(Request::Solve(req)) => {
-            if inner.shutting_down() {
-                inner.metrics.incr("serve.errors", 1);
-                return (
-                    protocol::error_reply(
-                        req.id.as_deref(),
-                        codes::SHUTTING_DOWN,
-                        "server is draining",
-                    ),
-                    false,
-                );
+        Request::Solve(req) => {
+            let id = req.id.clone();
+            gated(inner, id.as_deref(), v, || solve_one(inner, v, &req))
+        }
+        Request::SessionOpen {
+            id,
+            timeout_ms,
+            steps,
+        } => (
+            open_session(inner, sessions, id.as_deref(), timeout_ms, steps),
+            true,
+        ),
+        Request::SessionAssert {
+            id,
+            session,
+            constraint,
+        } => {
+            let reply = match sessions.get_mut(&session) {
+                None => unknown_session(inner, id.as_deref(), &session),
+                Some(open) => match open.assert_text(&constraint) {
+                    Ok(()) => {
+                        inner.metrics.incr("serve.session.asserts", 1);
+                        protocol::session_reply(
+                            2,
+                            id.as_deref(),
+                            &session,
+                            &format!("\"level\":{}", open.assertion_level()),
+                        )
+                    }
+                    Err(e) => {
+                        inner.metrics.incr("serve.errors", 1);
+                        protocol::error_reply(2, id.as_deref(), codes::PARSE_ERROR, &e.to_string())
+                    }
+                },
+            };
+            (reply, true)
+        }
+        Request::SessionCheck {
+            id,
+            session,
+            no_cache,
+        } => {
+            if sessions.get_mut(&session).is_none() {
+                return (unknown_session(inner, id.as_deref(), &session), true);
             }
-            match inner.gate.acquire(|| inner.shutting_down()) {
-                Err(Refused::Overloaded) => {
-                    inner.metrics.incr("serve.overloaded", 1);
-                    (protocol::overloaded_reply(req.id.as_deref()), true)
-                }
-                Err(Refused::ShuttingDown) => (
-                    protocol::error_reply(
-                        req.id.as_deref(),
-                        codes::SHUTTING_DOWN,
-                        "server is draining",
-                    ),
-                    false,
-                ),
-                Ok(()) => {
-                    let reply = solve_one(inner, &req);
-                    inner.gate.release();
-                    (reply, true)
-                }
-            }
+            gated(inner, id.as_deref(), v, || {
+                let open = sessions
+                    .get_mut(&session)
+                    .expect("session checked above; single-threaded connection");
+                check_session(inner, id.as_deref(), &session, open, no_cache)
+            })
+        }
+        Request::SessionClose { id, session } => {
+            let reply = if sessions.close(&session) {
+                inner.metrics.incr("serve.session.closed", 1);
+                protocol::session_reply(2, id.as_deref(), &session, "\"closed\":true")
+            } else {
+                unknown_session(inner, id.as_deref(), &session)
+            };
+            (reply, true)
         }
     }
+}
+
+fn unknown_session(inner: &Arc<Inner>, id: Option<&str>, session: &str) -> String {
+    inner.metrics.incr("serve.errors", 1);
+    protocol::error_reply(
+        2,
+        id,
+        codes::UNKNOWN_SESSION,
+        &format!("no open session `{session}` on this connection"),
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -504,7 +616,97 @@ fn named_bindings(script: &Script, model: &Model) -> Vec<(String, String)> {
         .collect()
 }
 
-fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
+/// A cached verdict ready to serve: already rebound onto the
+/// requester's symbols and re-verified.
+enum CacheAnswer {
+    Sat {
+        bindings: Vec<(String, String)>,
+        winner: Option<String>,
+    },
+    Unsat {
+        winner: Option<String>,
+    },
+}
+
+/// Wire projection of a cached answer: verdict name, sat bindings, winner.
+type CacheParts = (&'static str, Option<Vec<(String, String)>>, Option<String>);
+
+impl CacheAnswer {
+    fn into_parts(self) -> CacheParts {
+        match self {
+            CacheAnswer::Sat { bindings, winner } => ("sat", Some(bindings), winner),
+            CacheAnswer::Unsat { winner } => ("unsat", None, winner),
+        }
+    }
+}
+
+/// Consults the answer cache for a canonicalized script. `None` is a
+/// miss — including an entry that failed re-verification, which is never
+/// served (see the module docs on cached-answer soundness).
+fn cache_lookup(inner: &Inner, canon: &Canonical, script: &Script) -> Option<CacheAnswer> {
+    let cache = inner.cache.as_ref()?;
+    match cache.get(canon.fingerprint, &canon.key) {
+        Some(CachedVerdict::Sat { model, winner }) => {
+            if let Some(rebound) = rebind_model(canon, &model) {
+                if model_satisfies(script, &rebound) {
+                    inner.metrics.incr("serve.cache.hit", 1);
+                    return Some(CacheAnswer::Sat {
+                        bindings: named_bindings(script, &rebound),
+                        winner,
+                    });
+                }
+            }
+            // Re-verification failed: never serve it, solve fresh.
+            inner.metrics.incr("serve.cache.unsound_hit", 1);
+            None
+        }
+        Some(CachedVerdict::Unsat { winner }) => {
+            inner.metrics.incr("serve.cache.hit", 1);
+            Some(CacheAnswer::Unsat { winner })
+        }
+        None => {
+            inner.metrics.incr("serve.cache.miss", 1);
+            None
+        }
+    }
+}
+
+/// Stores a fresh `sat` model or `unsat` verdict under the canonical
+/// key (`unknown` is a budget artifact, never cached) and refreshes the
+/// cache gauges.
+fn cache_store(inner: &Inner, canon: &Canonical, model: Option<&Model>, winner: &Option<String>) {
+    let Some(cache) = inner.cache.as_ref() else {
+        return;
+    };
+    let verdict = match model {
+        Some(model) => {
+            // Index the model by canonical variable; symbols that do
+            // not occur in any assertion have no canonical index and
+            // are irrelevant to re-verification, so they are dropped.
+            let indexed: Vec<(usize, Value)> = model
+                .iter()
+                .filter_map(|(sym, v)| canon.var_index(sym).map(|i| (i, v.clone())))
+                .collect();
+            CachedVerdict::Sat {
+                model: indexed,
+                winner: winner.clone(),
+            }
+        }
+        None => CachedVerdict::Unsat {
+            winner: winner.clone(),
+        },
+    };
+    cache.insert(canon.fingerprint, canon.key.clone(), verdict);
+    let stats = cache.stats();
+    inner
+        .metrics
+        .gauge_set("serve.cache.entries", stats.entries as i64);
+    inner
+        .metrics
+        .gauge_set("serve.cache.evictions", stats.evictions as i64);
+}
+
+fn solve_one(inner: &Arc<Inner>, v: u32, req: &SolveRequest) -> String {
     let start = Instant::now();
     let id = req.id.as_deref();
 
@@ -512,55 +714,34 @@ fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
         Ok(s) => s,
         Err(e) => {
             inner.metrics.incr("serve.errors", 1);
-            return protocol::error_reply(id, codes::PARSE_ERROR, &e.to_string());
+            return protocol::error_reply(v, id, codes::PARSE_ERROR, &e.to_string());
         }
     };
     if script.assertions().is_empty() {
         inner.metrics.incr("serve.errors", 1);
-        return protocol::error_reply(id, codes::EMPTY_SCRIPT, "constraint asserts nothing");
+        return protocol::error_reply(v, id, codes::EMPTY_SCRIPT, "constraint asserts nothing");
     }
 
     let canon = canonicalize(&script);
     let use_cache = inner.cache.is_some() && !req.no_cache;
 
     if use_cache {
-        let cache = inner.cache.as_ref().expect("use_cache checked is_some");
-        match cache.get(canon.fingerprint, &canon.key) {
-            Some(CachedVerdict::Sat { model, winner }) => {
-                if let Some(rebound) = rebind_model(&canon, &model) {
-                    if model_satisfies(&script, &rebound) {
-                        inner.metrics.incr("serve.cache.hit", 1);
-                        return SolveReply {
-                            id: req.id.clone(),
-                            verdict: "sat",
-                            model: Some(named_bindings(&script, &rebound)),
-                            winner,
-                            cache: "hit",
-                            fingerprint: canon.fingerprint_hex(),
-                            wall_ms: start.elapsed().as_secs_f64() * 1e3,
-                            stats_json: None,
-                        }
-                        .to_json();
-                    }
-                }
-                // Re-verification failed: never serve it, solve fresh.
-                inner.metrics.incr("serve.cache.unsound_hit", 1);
+        if let Some(answer) = cache_lookup(inner, &canon, &script) {
+            let (verdict, model, winner) = answer.into_parts();
+            return SolveReply {
+                v,
+                id: req.id.clone(),
+                session: None,
+                verdict,
+                model,
+                winner,
+                provenance: None,
+                cache: "hit",
+                fingerprint: canon.fingerprint_hex(),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                stats_json: None,
             }
-            Some(CachedVerdict::Unsat { winner }) => {
-                inner.metrics.incr("serve.cache.hit", 1);
-                return SolveReply {
-                    id: req.id.clone(),
-                    verdict: "unsat",
-                    model: None,
-                    winner,
-                    cache: "hit",
-                    fingerprint: canon.fingerprint_hex(),
-                    wall_ms: start.elapsed().as_secs_f64() * 1e3,
-                    stats_json: None,
-                }
-                .to_json();
-            }
-            None => inner.metrics.incr("serve.cache.miss", 1),
+            .to_json();
         }
     }
 
@@ -574,8 +755,12 @@ fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
         batch.steps = batch.steps.min(steps.max(1));
     }
     let name = req.id.clone().unwrap_or_else(|| "request".to_string());
+    let options = RunOptions {
+        metrics: Some(Arc::clone(&inner.metrics)),
+        ..RunOptions::default()
+    };
     let report = inner.metrics.time("serve.solve", || {
-        run_one_observed(&name, &script, &batch, &inner.metrics)
+        run_one_with(&name, &script, &batch, &options)
     });
 
     let winner = report.winner_lane().map(|l| l.spec.label());
@@ -586,49 +771,21 @@ fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
     };
 
     if use_cache {
-        let cache = inner.cache.as_ref().expect("use_cache checked is_some");
         match &report.verdict {
-            BatchVerdict::Sat(model) => {
-                // Index the model by canonical variable; symbols that do
-                // not occur in any assertion have no canonical index and
-                // are irrelevant to re-verification, so they are dropped.
-                let indexed: Vec<(usize, Value)> = model
-                    .iter()
-                    .filter_map(|(sym, v)| canon.var_index(sym).map(|i| (i, v.clone())))
-                    .collect();
-                cache.insert(
-                    canon.fingerprint,
-                    canon.key.clone(),
-                    CachedVerdict::Sat {
-                        model: indexed,
-                        winner: winner.clone(),
-                    },
-                );
-            }
-            BatchVerdict::Unsat => cache.insert(
-                canon.fingerprint,
-                canon.key.clone(),
-                CachedVerdict::Unsat {
-                    winner: winner.clone(),
-                },
-            ),
-            // `unknown` is a budget artifact, never cached.
+            BatchVerdict::Sat(model) => cache_store(inner, &canon, Some(model), &winner),
+            BatchVerdict::Unsat => cache_store(inner, &canon, None, &winner),
             BatchVerdict::Unknown => {}
         }
-        let stats = cache.stats();
-        inner
-            .metrics
-            .gauge_set("serve.cache.entries", stats.entries as i64);
-        inner
-            .metrics
-            .gauge_set("serve.cache.evictions", stats.evictions as i64);
     }
 
     SolveReply {
+        v,
         id: req.id.clone(),
+        session: None,
         verdict,
         model: bindings,
         winner,
+        provenance: report.provenance(),
         cache: if use_cache { "miss" } else { "off" },
         fingerprint: canon.fingerprint_hex(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
@@ -638,12 +795,147 @@ fn solve_one(inner: &Arc<Inner>, req: &SolveRequest) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental sessions (protocol v2)
+// ---------------------------------------------------------------------------
+
+fn open_session(
+    inner: &Arc<Inner>,
+    sessions: &mut SessionTable,
+    id: Option<&str>,
+    timeout_ms: Option<u64>,
+    steps: Option<u64>,
+) -> String {
+    if sessions.open.len() >= MAX_SESSIONS_PER_CONN {
+        inner.metrics.incr("serve.errors", 1);
+        return protocol::error_reply(
+            2,
+            id,
+            codes::BAD_REQUEST,
+            &format!("session limit ({MAX_SESSIONS_PER_CONN}) reached on this connection"),
+        );
+    }
+    // Per-check budgets are fixed at open time, clamped to the server's
+    // configured maxima (same policy as per-request `solve` overrides).
+    let batch = &inner.config.batch;
+    let mut timeout = batch.timeout;
+    if let Some(ms) = timeout_ms {
+        timeout = timeout.min(Duration::from_millis(ms));
+    }
+    let mut step_budget = batch.steps;
+    if let Some(s) = steps {
+        step_budget = step_budget.min(s.max(1));
+    }
+    let config = StaubConfig {
+        width_choice: batch.width_choice,
+        limits: batch.limits,
+        profile: batch
+            .profiles
+            .first()
+            .copied()
+            .unwrap_or(SolverProfile::Zed),
+        timeout,
+        steps: step_budget,
+        ..StaubConfig::default()
+    };
+    let session = Session::new(config).with_metrics(Arc::clone(&inner.metrics));
+    sessions.next += 1;
+    let name = format!("s{}", sessions.next);
+    sessions.open.push((name.clone(), session));
+    inner.metrics.incr("serve.session.opened", 1);
+    protocol::session_reply(2, id, &name, "")
+}
+
+fn check_session(
+    inner: &Arc<Inner>,
+    id: Option<&str>,
+    name: &str,
+    session: &mut Session,
+    no_cache: bool,
+) -> String {
+    let start = Instant::now();
+    let Some(script) = session.script().cloned() else {
+        inner.metrics.incr("serve.errors", 1);
+        return protocol::error_reply(2, id, codes::EMPTY_SCRIPT, "session has no assertions");
+    };
+    if script.assertions().is_empty() {
+        inner.metrics.incr("serve.errors", 1);
+        return protocol::error_reply(2, id, codes::EMPTY_SCRIPT, "session asserts nothing");
+    }
+
+    let canon = canonicalize(&script);
+    let use_cache = inner.cache.is_some() && !no_cache;
+    if use_cache {
+        if let Some(answer) = cache_lookup(inner, &canon, &script) {
+            let (verdict, model, winner) = answer.into_parts();
+            return SolveReply {
+                v: 2,
+                id: id.map(str::to_string),
+                session: Some(name.to_string()),
+                verdict,
+                model,
+                winner,
+                provenance: None,
+                cache: "hit",
+                fingerprint: canon.fingerprint_hex(),
+                wall_ms: start.elapsed().as_secs_f64() * 1e3,
+                stats_json: None,
+            }
+            .to_json();
+        }
+    }
+
+    inner.metrics.incr("serve.session.checks", 1);
+    let outcome = match inner.metrics.time("serve.solve", || session.check()) {
+        Ok(outcome) => outcome,
+        Err(StaubError::EmptyScript) => {
+            inner.metrics.incr("serve.errors", 1);
+            return protocol::error_reply(2, id, codes::EMPTY_SCRIPT, "session asserts nothing");
+        }
+    };
+
+    let provenance = outcome.provenance().clone();
+    let winner = Some(provenance.label.clone());
+    let (verdict, bindings): (&'static str, Option<Vec<(String, String)>>) = match &outcome {
+        StaubOutcome::Sat { model, .. } => ("sat", Some(named_bindings(&script, model))),
+        StaubOutcome::Unsat { .. } => ("unsat", None),
+        StaubOutcome::Unknown { .. } => ("unknown", None),
+    };
+    if use_cache {
+        match &outcome {
+            StaubOutcome::Sat { model, .. } => cache_store(inner, &canon, Some(model), &winner),
+            // A session `unsat` is always proven on the original
+            // constraint (the pipeline never trusts bounded unsat), so
+            // replaying it for a canonically identical constraint is
+            // sound — the same invariant the scheduler path relies on.
+            StaubOutcome::Unsat { .. } => cache_store(inner, &canon, None, &winner),
+            StaubOutcome::Unknown { .. } => {}
+        }
+    }
+
+    SolveReply {
+        v: 2,
+        id: id.map(str::to_string),
+        session: Some(name.to_string()),
+        verdict,
+        model: bindings,
+        winner,
+        provenance: Some(provenance),
+        cache: if use_cache { "miss" } else { "off" },
+        fingerprint: canon.fingerprint_hex(),
+        wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        stats_json: None,
+    }
+    .to_json()
+}
+
+// ---------------------------------------------------------------------------
 // Health
 // ---------------------------------------------------------------------------
 
-fn health_reply(inner: &Arc<Inner>, id: Option<&str>) -> String {
+fn health_reply(inner: &Arc<Inner>, v: u32, id: Option<&str>) -> String {
     let mut out = String::with_capacity(512);
     out.push('{');
+    out.push_str(&format!("\"v\":{v},"));
     out.push_str("\"id\":");
     match id {
         Some(id) => crate::json::push_str_lit(&mut out, id),
@@ -729,15 +1021,17 @@ mod tests {
             steps: None,
             no_cache: false,
         };
-        let first = solve_one(&inner, &req);
+        let first = solve_one(&inner, 1, &req);
         assert!(first.contains("\"verdict\":\"sat\""), "{first}");
         assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        assert!(first.contains("\"v\":1"), "{first}");
+        assert!(first.contains("\"provenance\":{"), "{first}");
         // α-renamed + commutatively flipped: must hit.
         let renamed = SolveRequest {
             constraint: "(declare-fun y () Int)(assert (= 49 (* y y)))(check-sat)".into(),
             ..req.clone()
         };
-        let second = solve_one(&inner, &renamed);
+        let second = solve_one(&inner, 1, &renamed);
         assert!(second.contains("\"cache\":\"hit\""), "{second}");
         assert!(second.contains("\"verdict\":\"sat\""), "{second}");
         assert!(second.contains("\"model\":{\"y\":"), "{second}");
@@ -758,11 +1052,119 @@ mod tests {
             steps: None,
             no_cache: true,
         };
-        let one = solve_one(&inner, &req);
-        let two = solve_one(&inner, &req);
+        let one = solve_one(&inner, 1, &req);
+        let two = solve_one(&inner, 1, &req);
         assert!(one.contains("\"cache\":\"off\""), "{one}");
         assert!(two.contains("\"cache\":\"off\""), "{two}");
         assert_eq!(inner.cache.as_ref().unwrap().stats().insertions, 0);
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn session_lifecycle_over_handle_line() {
+        let server = Server::start(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        let mut sessions = SessionTable::default();
+
+        let (open, keep) = handle_line(&inner, &mut sessions, r#"{"op":"session_open","v":2}"#);
+        assert!(keep);
+        assert!(open.contains("\"session\":\"s1\""), "{open}");
+
+        let (reply, keep) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"assert","v":2,"session":"s1","constraint":"(declare-fun x () Int)(assert (= (* x x) 49))"}"#,
+        );
+        assert!(keep);
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+        assert!(reply.contains("\"level\":0"), "{reply}");
+
+        let (check1, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"check","v":2,"session":"s1"}"#,
+        );
+        assert!(check1.contains("\"verdict\":\"sat\""), "{check1}");
+        assert!(check1.contains("\"session\":\"s1\""), "{check1}");
+        assert!(check1.contains("\"v\":2"), "{check1}");
+
+        // A second check of the identical stack is a cache hit.
+        let (check2, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"check","v":2,"session":"s1"}"#,
+        );
+        assert!(check2.contains("\"cache\":\"hit\""), "{check2}");
+        assert!(check2.contains("\"verdict\":\"sat\""), "{check2}");
+
+        // Growing the stack changes the canonical constraint: miss, and
+        // the warm engine solves the strictly stronger script.
+        let (reply, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"assert","v":2,"session":"s1","constraint":"(assert (> x 0))"}"#,
+        );
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+        let (check3, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"check","v":2,"session":"s1"}"#,
+        );
+        assert!(check3.contains("\"cache\":\"miss\""), "{check3}");
+        assert!(check3.contains("\"verdict\":\"sat\""), "{check3}");
+        assert!(check3.contains("\"model\":{\"x\":\"7\"}"), "{check3}");
+
+        let (closed, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"session_close","v":2,"session":"s1"}"#,
+        );
+        assert!(closed.contains("\"closed\":true"), "{closed}");
+        let (gone, keep) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"check","v":2,"session":"s1"}"#,
+        );
+        assert!(keep);
+        assert!(gone.contains("unknown-session"), "{gone}");
+
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn bad_session_requests_keep_the_connection_open() {
+        let server = Server::start(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        let mut sessions = SessionTable::default();
+
+        // Future version: refused with its own code, connection survives.
+        let (reply, keep) = handle_line(&inner, &mut sessions, r#"{"op":"health","v":7}"#);
+        assert!(keep);
+        assert!(reply.contains("unsupported_version"), "{reply}");
+
+        // Session command without v:2: structured error.
+        let (reply, keep) = handle_line(&inner, &mut sessions, r#"{"op":"session_open"}"#);
+        assert!(!keep, "v1 misuse of a v2 op is a framing error");
+        assert!(reply.contains("session command"), "{reply}");
+
+        // A parse error inside a session assert does not corrupt it.
+        let (_, _) = handle_line(&inner, &mut sessions, r#"{"op":"session_open","v":2}"#);
+        let (reply, keep) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"assert","v":2,"session":"s1","constraint":"(assert (="}"#,
+        );
+        assert!(keep);
+        assert!(reply.contains("parse-error"), "{reply}");
+        let (reply, _) = handle_line(
+            &inner,
+            &mut sessions,
+            r#"{"op":"assert","v":2,"session":"s1","constraint":"(declare-fun b () Int)(assert (> b 2))"}"#,
+        );
+        assert!(reply.contains("\"status\":\"ok\""), "{reply}");
+
         server.shutdown();
         server.join();
     }

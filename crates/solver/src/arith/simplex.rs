@@ -176,17 +176,21 @@ impl Simplex {
 
     /// Adds a structural variable (initially nonbasic at 0).
     ///
-    /// # Panics
-    ///
-    /// Panics if rows have already been added — declare all structural
-    /// variables first.
+    /// Variables may be declared after rows exist: every stored row is
+    /// widened with a zero coefficient for the newcomer, so the tableau,
+    /// bounds, current assignment — and therefore the warm-started basis
+    /// reached by earlier `check()` calls — carry over unchanged. This is
+    /// what lets an incremental session grow a linear program without
+    /// re-pivoting from scratch.
     pub fn add_var(&mut self) -> usize {
-        assert!(self.rows.is_empty(), "declare variables before rows");
         let v = self.row_of_var.len();
         self.row_of_var.push(None);
         self.lower.push(None);
         self.upper.push(None);
         self.assign.push(DeltaRat::zero());
+        for row in &mut self.rows {
+            row.push(BigRational::zero());
+        }
         v
     }
 
@@ -466,6 +470,39 @@ mod tests {
         let vals = s.concrete_values();
         assert_eq!(vals[x], r(1));
         assert_eq!(vals[y], r(1));
+    }
+
+    #[test]
+    fn warm_recheck_keeps_tableau_across_added_vars_and_rows() {
+        // First check: x + y >= 4 with x <= 2, y <= 2 forces x = y = 2 and
+        // needs at least one pivot (the slack starts basic and violated).
+        let mut s = Simplex::new();
+        let x = s.add_var();
+        let y = s.add_var();
+        let sum = s.add_row(&[(x, r(1)), (y, r(1))]);
+        s.assert_lower(sum, dr(4));
+        s.assert_upper(x, dr(2));
+        s.assert_upper(y, dr(2));
+        assert_eq!(s.check(&Budget::unlimited()), Feasibility::Feasible);
+        let pivots_cold = s.pivots;
+        assert!(pivots_cold > 0, "first check should have pivoted");
+        // Grow the program after rows exist (previously a panic): a new
+        // structural variable and a row tying it to x, with bounds the
+        // current assignment already satisfies.
+        let z = s.add_var();
+        let t = s.add_row(&[(z, r(1)), (x, r(1))]);
+        s.assert_lower(z, dr(1));
+        s.assert_upper(t, dr(5));
+        assert_eq!(s.check(&Budget::unlimited()), Feasibility::Feasible);
+        assert_eq!(
+            s.pivots, pivots_cold,
+            "warm recheck re-pivoted despite a satisfied extension"
+        );
+        let vals = s.concrete_values();
+        assert_eq!(vals[x], r(2));
+        assert_eq!(vals[y], r(2));
+        assert!(vals[z] >= r(1));
+        assert_eq!(vals[t], &vals[z] + &vals[x]);
     }
 
     #[test]

@@ -23,34 +23,138 @@ use crate::sat::{Lit, SatConfig, SatSolver, SatSolverResult};
 /// Panics if the script contains non-bitvector, non-boolean sorts; callers
 /// dispatch on sorts first (see [`crate::Solver`]).
 pub fn solve_bv(script: &Script, config: SatConfig, budget: &Budget) -> (SatResult, SolverStats) {
-    let mut blaster = Blaster::new(script.store(), config);
+    let mut core = BlastCore::new(config, false);
+    let mut blaster = Blaster::attach(script.store(), &mut core);
     for &assertion in script.assertions() {
         let lit = blaster.encode_bool(assertion);
-        blaster.sat.add_clause(&[lit]);
+        blaster.core.sat.add_clause(&[lit]);
     }
-    let mut stats = SolverStats {
-        clauses: blaster.sat.num_clauses() as u64,
-        ..Default::default()
-    };
-    let result = match blaster.sat.solve(budget) {
+    let result = match blaster.core.sat.solve(budget) {
         SatSolverResult::Sat => SatResult::Sat(blaster.extract_model(script.store())),
         SatSolverResult::Unsat => SatResult::Unsat,
         SatSolverResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
     };
-    stats.decisions = blaster.sat.decisions;
-    stats.conflicts = blaster.sat.conflicts;
-    stats.propagations = blaster.sat.propagations;
-    stats.restarts = blaster.sat.restarts;
-    stats.clauses = blaster.sat.num_clauses() as u64;
+    let stats = SolverStats {
+        decisions: core.sat.decisions,
+        conflicts: core.sat.conflicts,
+        propagations: core.sat.propagations,
+        restarts: core.sat.restarts,
+        clauses: core.sat.num_clauses() as u64,
+        ..Default::default()
+    };
     (result, stats)
 }
 
 /// Bits of a bitvector, least-significant first.
 type Bits = Vec<Lit>;
 
+/// Structural identity of a Tseitin gate over already-encoded literals.
+///
+/// Commutative gates store their inputs sorted so permuted operand orders
+/// hit the same entry; keys are only built in persistent (session) mode.
+#[derive(PartialEq, Eq, Hash)]
+enum GateKey {
+    And(Vec<Lit>),
+    Xor2(Lit, Lit),
+    Ite(Lit, Lit, Lit),
+    Maj(Lit, Lit, Lit),
+    Xor3(Lit, Lit, Lit),
+}
+
+fn sort2(a: Lit, b: Lit) -> (Lit, Lit) {
+    if a <= b {
+        (a, b)
+    } else {
+        (b, a)
+    }
+}
+
+fn sort3(a: Lit, b: Lit, c: Lit) -> (Lit, Lit, Lit) {
+    let mut v = [a, b, c];
+    v.sort_unstable();
+    (v[0], v[1], v[2])
+}
+
+/// Bit-blaster state that outlives a single script: the CDCL solver (with
+/// its learned clauses, variable activities, and saved phases), the
+/// constant-true literal, variable encodings keyed by *symbol name* (a
+/// widened script has a fresh `TermStore`, so `TermId`/`SymbolId` keys
+/// cannot carry over — names can), and a structural gate cache that returns
+/// the same output literal for the same circuit over the same inputs.
+///
+/// Soundness of accumulation: every clause added through the blaster in
+/// persistent mode is a Tseitin *definition* — it constrains a fresh
+/// auxiliary variable and is satisfiable on its own — so definitions pile
+/// up at assertion level zero forever without affecting the
+/// satisfiability of later checks. Assertion roots are passed to the SAT
+/// core as assumptions, never asserted as unit clauses, which is what
+/// makes the learned-clause database valid across checks (see
+/// [`SatSolver::solve_with_assumptions`]).
+pub(crate) struct BlastCore {
+    pub(crate) sat: SatSolver,
+    /// A literal constrained to be true (constants are this or its negation).
+    tru: Lit,
+    /// `true` in session mode: enables the gate cache and name-keyed
+    /// variable reuse. One-shot solving leaves both off so the cold path's
+    /// encoding (and clause counts) are exactly what they always were.
+    persist: bool,
+    gate_cache: HashMap<GateKey, Lit>,
+    named_bits: HashMap<String, Bits>,
+    named_bools: HashMap<String, Lit>,
+    /// Gate-cache hits observed (session diagnostics).
+    cache_hits: u64,
+}
+
+impl BlastCore {
+    fn new(config: SatConfig, persist: bool) -> BlastCore {
+        let mut sat = SatSolver::new(config);
+        let t = sat.new_var();
+        let tru = Lit::pos(t);
+        sat.add_clause(&[tru]);
+        BlastCore {
+            sat,
+            tru,
+            persist,
+            gate_cache: HashMap::new(),
+            named_bits: HashMap::new(),
+            named_bools: HashMap::new(),
+            cache_hits: 0,
+        }
+    }
+
+    /// The low `width` bits of the named bitvector variable, allocating
+    /// only the extension bits beyond what earlier checks encoded.
+    ///
+    /// This is the widening-reuse contract: going from `w` to `2w` keeps
+    /// the low `w` SAT variables (two's-complement low bits agree across
+    /// widths for every value representable at `w`), so saved phases and
+    /// variable activities from the narrow check seed the wide one; going
+    /// back down (after a pop) just slices the low bits.
+    fn named_bv_bits(&mut self, name: &str, width: usize) -> Bits {
+        let have = self.named_bits.get(name).map_or(0, Vec::len);
+        if have < width {
+            let mut bits = self.named_bits.remove(name).unwrap_or_default();
+            while bits.len() < width {
+                bits.push(Lit::pos(self.sat.new_var()));
+            }
+            self.named_bits.insert(name.to_string(), bits);
+        }
+        self.named_bits[name][..width].to_vec()
+    }
+
+    fn named_bool(&mut self, name: &str) -> Lit {
+        if let Some(&l) = self.named_bools.get(name) {
+            return l;
+        }
+        let l = Lit::pos(self.sat.new_var());
+        self.named_bools.insert(name.to_string(), l);
+        l
+    }
+}
+
 pub(crate) struct Blaster<'a> {
     store: &'a TermStore,
-    pub(crate) sat: SatSolver,
+    pub(crate) core: &'a mut BlastCore,
     bool_memo: HashMap<TermId, Lit>,
     bv_memo: HashMap<TermId, Bits>,
     var_bits: HashMap<SymbolId, Bits>,
@@ -62,42 +166,57 @@ pub(crate) struct Blaster<'a> {
     /// Sign-extended (w+1)-bit sums/differences shared between
     /// `bvadd`/`bvsaddo` and `bvsub`/`bvssubo`.
     wide_addsub: HashMap<(TermId, TermId, bool), Bits>,
-    /// A literal constrained to be true (constants are this or its negation).
-    tru: Lit,
 }
 
 impl<'a> Blaster<'a> {
-    pub(crate) fn new(store: &'a TermStore, config: SatConfig) -> Blaster<'a> {
-        let mut sat = SatSolver::new(config);
-        let t = sat.new_var();
-        let tru = Lit::pos(t);
-        sat.add_clause(&[tru]);
+    /// Attaches a per-script blaster (term-id memo tables are scoped to
+    /// `store`) to persistent core state.
+    pub(crate) fn attach(store: &'a TermStore, core: &'a mut BlastCore) -> Blaster<'a> {
         Blaster {
             store,
-            sat,
+            core,
             bool_memo: HashMap::new(),
             bv_memo: HashMap::new(),
             var_bits: HashMap::new(),
             var_bools: HashMap::new(),
             wide_mul: HashMap::new(),
             wide_addsub: HashMap::new(),
-            tru,
         }
     }
 
     fn fls(&self) -> Lit {
-        self.tru.negated()
+        self.core.tru.negated()
     }
 
     fn fresh(&mut self) -> Lit {
-        Lit::pos(self.sat.new_var())
+        Lit::pos(self.core.sat.new_var())
+    }
+
+    /// Looks up `key` in the session gate cache, building (and caching)
+    /// the gate on a miss; builds unconditionally in one-shot mode.
+    fn gate_cached(
+        &mut self,
+        key: impl FnOnce() -> GateKey,
+        build: impl FnOnce(&mut Self) -> Lit,
+    ) -> Lit {
+        if !self.core.persist {
+            return build(self);
+        }
+        let key = key();
+        if let Some(&g) = self.core.gate_cache.get(&key) {
+            self.core.cache_hits += 1;
+            return g;
+        }
+        let g = build(self);
+        self.core.gate_cache.insert(key, g);
+        g
     }
 
     // --- gate library -------------------------------------------------------
 
     fn gate_and(&mut self, inputs: &[Lit]) -> Lit {
         if inputs.is_empty() {
-            return self.tru;
+            return self.core.tru;
         }
         if inputs.len() == 1 {
             return inputs[0];
@@ -105,14 +224,23 @@ impl<'a> Blaster<'a> {
         if inputs.contains(&self.fls()) {
             return self.fls();
         }
-        let g = self.fresh();
-        let mut long = vec![g];
-        for &l in inputs {
-            self.sat.add_clause(&[g.negated(), l]);
-            long.push(l.negated());
-        }
-        self.sat.add_clause(&long);
-        g
+        self.gate_cached(
+            || {
+                let mut k = inputs.to_vec();
+                k.sort_unstable();
+                GateKey::And(k)
+            },
+            |s| {
+                let g = s.fresh();
+                let mut long = vec![g];
+                for &l in inputs {
+                    s.core.sat.add_clause(&[g.negated(), l]);
+                    long.push(l.negated());
+                }
+                s.core.sat.add_clause(&long);
+                g
+            },
+        )
     }
 
     fn gate_or(&mut self, inputs: &[Lit]) -> Lit {
@@ -121,25 +249,32 @@ impl<'a> Blaster<'a> {
     }
 
     fn gate_xor2(&mut self, a: Lit, b: Lit) -> Lit {
-        if a == self.tru {
+        if a == self.core.tru {
             return b.negated();
         }
         if a == self.fls() {
             return b;
         }
-        if b == self.tru {
+        if b == self.core.tru {
             return a.negated();
         }
         if b == self.fls() {
             return a;
         }
-        let g = self.fresh();
-        self.sat.add_clause(&[g.negated(), a, b]);
-        self.sat
-            .add_clause(&[g.negated(), a.negated(), b.negated()]);
-        self.sat.add_clause(&[g, a.negated(), b]);
-        self.sat.add_clause(&[g, a, b.negated()]);
-        g
+        let (ka, kb) = sort2(a, b);
+        self.gate_cached(
+            || GateKey::Xor2(ka, kb),
+            |s| {
+                let g = s.fresh();
+                s.core.sat.add_clause(&[g.negated(), a, b]);
+                s.core
+                    .sat
+                    .add_clause(&[g.negated(), a.negated(), b.negated()]);
+                s.core.sat.add_clause(&[g, a.negated(), b]);
+                s.core.sat.add_clause(&[g, a, b.negated()]);
+                g
+            },
+        )
     }
 
     fn gate_iff(&mut self, a: Lit, b: Lit) -> Lit {
@@ -147,7 +282,7 @@ impl<'a> Blaster<'a> {
     }
 
     fn gate_ite(&mut self, c: Lit, t: Lit, e: Lit) -> Lit {
-        if c == self.tru {
+        if c == self.core.tru {
             return t;
         }
         if c == self.fls() {
@@ -156,80 +291,101 @@ impl<'a> Blaster<'a> {
         if t == e {
             return t;
         }
-        let g = self.fresh();
-        self.sat.add_clause(&[c.negated(), t.negated(), g]);
-        self.sat.add_clause(&[c.negated(), t, g.negated()]);
-        self.sat.add_clause(&[c, e.negated(), g]);
-        self.sat.add_clause(&[c, e, g.negated()]);
-        g
+        self.gate_cached(
+            || GateKey::Ite(c, t, e),
+            |s| {
+                let g = s.fresh();
+                s.core.sat.add_clause(&[c.negated(), t.negated(), g]);
+                s.core.sat.add_clause(&[c.negated(), t, g.negated()]);
+                s.core.sat.add_clause(&[c, e.negated(), g]);
+                s.core.sat.add_clause(&[c, e, g.negated()]);
+                g
+            },
+        )
     }
 
     /// Majority-of-three (full-adder carry), encoded directly with six
     /// clauses and one auxiliary variable (constant inputs short-circuit).
     fn gate_maj(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
         // Constant folding keeps circuits small at word edges.
-        if a == self.tru {
+        if a == self.core.tru {
             return self.gate_or(&[b, c]);
         }
         if a == self.fls() {
             return self.gate_and(&[b, c]);
         }
-        if b == self.tru {
+        if b == self.core.tru {
             return self.gate_or(&[a, c]);
         }
         if b == self.fls() {
             return self.gate_and(&[a, c]);
         }
-        if c == self.tru {
+        if c == self.core.tru {
             return self.gate_or(&[a, b]);
         }
         if c == self.fls() {
             return self.gate_and(&[a, b]);
         }
-        let m = self.fresh();
-        self.sat.add_clause(&[a.negated(), b.negated(), m]);
-        self.sat.add_clause(&[a.negated(), c.negated(), m]);
-        self.sat.add_clause(&[b.negated(), c.negated(), m]);
-        self.sat.add_clause(&[a, b, m.negated()]);
-        self.sat.add_clause(&[a, c, m.negated()]);
-        self.sat.add_clause(&[b, c, m.negated()]);
-        m
+        let (ka, kb, kc) = sort3(a, b, c);
+        self.gate_cached(
+            || GateKey::Maj(ka, kb, kc),
+            |s| {
+                let m = s.fresh();
+                s.core.sat.add_clause(&[a.negated(), b.negated(), m]);
+                s.core.sat.add_clause(&[a.negated(), c.negated(), m]);
+                s.core.sat.add_clause(&[b.negated(), c.negated(), m]);
+                s.core.sat.add_clause(&[a, b, m.negated()]);
+                s.core.sat.add_clause(&[a, c, m.negated()]);
+                s.core.sat.add_clause(&[b, c, m.negated()]);
+                m
+            },
+        )
     }
 
     /// Ternary xor (full-adder sum), encoded directly with eight clauses
     /// and one auxiliary variable (constant inputs short-circuit).
     fn gate_xor3(&mut self, a: Lit, b: Lit, c: Lit) -> Lit {
-        if a == self.tru
+        if a == self.core.tru
             || a == self.fls()
-            || b == self.tru
+            || b == self.core.tru
             || b == self.fls()
-            || c == self.tru
+            || c == self.core.tru
             || c == self.fls()
         {
             let ab = self.gate_xor2(a, b);
             return self.gate_xor2(ab, c);
         }
-        let s = self.fresh();
-        self.sat
-            .add_clause(&[a.negated(), b.negated(), c.negated(), s]);
-        self.sat
-            .add_clause(&[a.negated(), b.negated(), c, s.negated()]);
-        self.sat
-            .add_clause(&[a.negated(), b, c.negated(), s.negated()]);
-        self.sat.add_clause(&[a.negated(), b, c, s]);
-        self.sat
-            .add_clause(&[a, b.negated(), c.negated(), s.negated()]);
-        self.sat.add_clause(&[a, b.negated(), c, s]);
-        self.sat.add_clause(&[a, b, c.negated(), s]);
-        self.sat.add_clause(&[a, b, c, s.negated()]);
-        s
+        let (ka, kb, kc) = sort3(a, b, c);
+        self.gate_cached(
+            || GateKey::Xor3(ka, kb, kc),
+            |bl| {
+                let s = bl.fresh();
+                bl.core
+                    .sat
+                    .add_clause(&[a.negated(), b.negated(), c.negated(), s]);
+                bl.core
+                    .sat
+                    .add_clause(&[a.negated(), b.negated(), c, s.negated()]);
+                bl.core
+                    .sat
+                    .add_clause(&[a.negated(), b, c.negated(), s.negated()]);
+                bl.core.sat.add_clause(&[a.negated(), b, c, s]);
+                bl.core
+                    .sat
+                    .add_clause(&[a, b.negated(), c.negated(), s.negated()]);
+                bl.core.sat.add_clause(&[a, b.negated(), c, s]);
+                bl.core.sat.add_clause(&[a, b, c.negated(), s]);
+                bl.core.sat.add_clause(&[a, b, c, s.negated()]);
+                s
+            },
+        )
     }
 
     // --- word-level circuits -------------------------------------------------
 
     fn const_bits(&self, v: &BitVecValue) -> Bits {
         (0..v.width())
-            .map(|i| if v.bit(i) { self.tru } else { self.fls() })
+            .map(|i| if v.bit(i) { self.core.tru } else { self.fls() })
             .collect()
     }
 
@@ -247,13 +403,13 @@ impl<'a> Blaster<'a> {
     fn negate(&mut self, a: &Bits) -> Bits {
         let inv: Bits = a.iter().map(|l| l.negated()).collect();
         let zero = vec![self.fls(); a.len()];
-        self.adder(&inv, &zero, self.tru).0
+        self.adder(&inv, &zero, self.core.tru).0
     }
 
     fn subtract(&mut self, a: &Bits, b: &Bits) -> (Bits, Lit) {
         // a - b = a + ~b + 1; returned carry is the *not-borrow*.
         let invb: Bits = b.iter().map(|l| l.negated()).collect();
-        self.adder(a, &invb, self.tru)
+        self.adder(a, &invb, self.core.tru)
     }
 
     /// Wallace-style multiplier: partial products are reduced with 3:2
@@ -469,14 +625,19 @@ impl<'a> Blaster<'a> {
     fn encode_bool_uncached(&mut self, term: &staub_smtlib::Term) -> Lit {
         let args = term.args();
         match term.op() {
-            Op::True => self.tru,
+            Op::True => self.core.tru,
             Op::False => self.fls(),
             Op::Var(sym) => {
                 let sym = *sym;
                 if let Some(&l) = self.var_bools.get(&sym) {
                     return l;
                 }
-                let l = self.fresh();
+                let l = if self.core.persist {
+                    let name = self.store.symbol_name(sym).to_string();
+                    self.core.named_bool(&name)
+                } else {
+                    self.fresh()
+                };
                 self.var_bools.insert(sym, l);
                 l
             }
@@ -559,7 +720,7 @@ impl<'a> Blaster<'a> {
             Op::BvSdivo => {
                 let (a, b) = self.encode_pair(args);
                 let min = self.int_min_pattern(&a);
-                let minus_one: Vec<Lit> = vec![self.tru; b.len()];
+                let minus_one: Vec<Lit> = vec![self.core.tru; b.len()];
                 let b_is_m1 = self.equal(&b, &minus_one);
                 self.gate_and(&[min, b_is_m1])
             }
@@ -632,7 +793,12 @@ impl<'a> Blaster<'a> {
                 let Sort::BitVec(w) = self.store.symbol_sort(sym) else {
                     panic!("bitvector variable expected");
                 };
-                let bits: Bits = (0..w).map(|_| self.fresh()).collect();
+                let bits: Bits = if self.core.persist {
+                    let name = self.store.symbol_name(sym).to_string();
+                    self.core.named_bv_bits(&name, w as usize)
+                } else {
+                    (0..w).map(|_| self.fresh()).collect()
+                };
                 self.var_bits.insert(sym, bits.clone());
                 bits
             }
@@ -669,7 +835,7 @@ impl<'a> Blaster<'a> {
                 let (a, b) = self.encode_pair(args);
                 let (q, _) = self.udivrem(&a, &b);
                 let bz = self.is_zero(&b);
-                let ones = vec![self.tru; a.len()];
+                let ones = vec![self.core.tru; a.len()];
                 self.mux_bits(bz, &ones, &q)
             }
             Op::BvUrem => {
@@ -689,9 +855,9 @@ impl<'a> Blaster<'a> {
                 let signed_q = self.mux_bits(sign, &negq, &q);
                 // Division by zero: -1 if a >= 0, +1 otherwise.
                 let bz = self.is_zero(&b);
-                let ones = vec![self.tru; w];
+                let ones = vec![self.core.tru; w];
                 let mut one = vec![self.fls(); w];
-                one[0] = self.tru;
+                one[0] = self.core.tru;
                 let dz = self.mux_bits(a[w - 1], &one, &ones);
                 self.mux_bits(bz, &dz, &signed_q)
             }
@@ -767,7 +933,93 @@ impl<'a> Blaster<'a> {
     }
 
     fn lit_model_value(&self, lit: Lit) -> Option<bool> {
-        self.sat.value(lit.var()).map(|v| v == lit.is_pos())
+        self.core.sat.value(lit.var()).map(|v| v == lit.is_pos())
+    }
+}
+
+/// An incremental bit-blasting session over QF_BV (+ boolean) scripts.
+///
+/// A session keeps one [`BlastCore`] alive across [`BvSession::check`]
+/// calls: the CDCL solver with its learned clauses, saved phases, and
+/// variable activities; every Tseitin gate definition ever emitted; and
+/// per-symbol-name variable encodings. Each check re-encodes the given
+/// script against that state — identical sub-circuits hit the gate cache
+/// and produce the *same literals* as before, so conflict clauses learned
+/// about them in earlier checks prune the new search directly — and passes
+/// the assertion roots to the SAT core as assumptions.
+///
+/// The payoff is warm-started escalation: checking a script at bitvector
+/// width `w` and then re-checking the same constraint widened to `2w`
+/// reuses the low-`w` variable bits (only the extension bits are new),
+/// the shared low-bit circuitry, the learned clauses over it, and the
+/// saved phases of the narrow solution.
+///
+/// Unlike [`solve_bv`], a check that returns `Unsat` means *unsatisfiable
+/// under this script's assertions* — the session stays usable for
+/// different (e.g. wider) scripts afterwards.
+pub struct BvSession {
+    core: BlastCore,
+    checks: u64,
+}
+
+impl BvSession {
+    /// Creates an empty session.
+    pub fn new(config: SatConfig) -> BvSession {
+        BvSession {
+            core: BlastCore::new(config, true),
+            checks: 0,
+        }
+    }
+
+    /// Encodes and solves `script` against the session's accumulated
+    /// state.
+    ///
+    /// Counter stats (`decisions`/`conflicts`/`propagations`/`restarts`)
+    /// are the delta attributable to this check; `clauses` is the total
+    /// database size after it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the script contains non-bitvector, non-boolean sorts,
+    /// like [`solve_bv`].
+    pub fn check(&mut self, script: &Script, budget: &Budget) -> (SatResult, SolverStats) {
+        let (d0, c0, p0, r0) = (
+            self.core.sat.decisions,
+            self.core.sat.conflicts,
+            self.core.sat.propagations,
+            self.core.sat.restarts,
+        );
+        let mut blaster = Blaster::attach(script.store(), &mut self.core);
+        let roots: Vec<Lit> = script
+            .assertions()
+            .iter()
+            .map(|&a| blaster.encode_bool(a))
+            .collect();
+        let result = match blaster.core.sat.solve_with_assumptions(&roots, budget) {
+            SatSolverResult::Sat => SatResult::Sat(blaster.extract_model(script.store())),
+            SatSolverResult::Unsat => SatResult::Unsat,
+            SatSolverResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
+        };
+        self.checks += 1;
+        let stats = SolverStats {
+            decisions: self.core.sat.decisions - d0,
+            conflicts: self.core.sat.conflicts - c0,
+            propagations: self.core.sat.propagations - p0,
+            restarts: self.core.sat.restarts - r0,
+            clauses: self.core.sat.num_clauses() as u64,
+            ..Default::default()
+        };
+        (result, stats)
+    }
+
+    /// Number of checks performed so far.
+    pub fn checks(&self) -> u64 {
+        self.checks
+    }
+
+    /// Cumulative structural gate-cache hits across all checks.
+    pub fn gate_cache_hits(&self) -> u64 {
+        self.core.cache_hits
     }
 }
 
@@ -988,6 +1240,110 @@ mod tests {
              (assert (bvsge a (_ bv2 4)))
              (assert (bvsge b (_ bv2 4)))";
         assert!(solve_checked(src2).is_sat());
+    }
+
+    #[test]
+    fn session_agrees_with_oneshot() {
+        let sources = [
+            "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))",
+            "(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv7 8)))",
+            "(declare-fun p () Bool)(declare-fun x () (_ BitVec 4))\
+             (assert (ite p (= x (_ bv3 4)) (bvult x (_ bv2 4))))",
+        ];
+        let mut session = BvSession::new(SatConfig::default());
+        for src in sources {
+            let script = Script::parse(src).unwrap();
+            let (cold, _) = solve_bv(&script, SatConfig::default(), &Budget::unlimited());
+            let (warm, _) = session.check(&script, &Budget::unlimited());
+            assert_eq!(cold.is_sat(), warm.is_sat(), "verdict mismatch on {src}");
+            assert_eq!(
+                cold.is_unsat(),
+                warm.is_unsat(),
+                "verdict mismatch on {src}"
+            );
+            if let SatResult::Sat(model) = &warm {
+                for &a in script.assertions() {
+                    let v = evaluate(script.store(), a, model).unwrap();
+                    assert_eq!(v, Value::Bool(true), "session model check failed for {src}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn session_unsat_does_not_poison_later_checks() {
+        let mut session = BvSession::new(SatConfig::default());
+        let unsat =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv7 8)))")
+                .unwrap();
+        let (r1, _) = session.check(&unsat, &Budget::unlimited());
+        assert!(r1.is_unsat());
+        // The same constraint minus the parity trap is satisfiable, and the
+        // session must not have latched the earlier unsat verdict.
+        let sat =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv8 8)))")
+                .unwrap();
+        let (r2, _) = session.check(&sat, &Budget::unlimited());
+        assert!(r2.is_sat(), "session stayed unsat after an unsat check");
+    }
+
+    #[test]
+    fn session_recheck_hits_gate_cache_and_allocates_nothing() {
+        let src = "(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))";
+        let script = Script::parse(src).unwrap();
+        let mut session = BvSession::new(SatConfig::default());
+        let (r1, _) = session.check(&script, &Budget::unlimited());
+        assert!(r1.is_sat());
+        let vars_after_first = session.core.sat.num_vars();
+        let hits_after_first = session.gate_cache_hits();
+        // A second check of the identical script (even via a fresh parse,
+        // so all TermIds differ) must find every gate and variable in the
+        // persistent core.
+        let reparsed = Script::parse(src).unwrap();
+        let (r2, _) = session.check(&reparsed, &Budget::unlimited());
+        assert!(r2.is_sat());
+        assert_eq!(
+            session.core.sat.num_vars(),
+            vars_after_first,
+            "identical re-check allocated fresh SAT variables"
+        );
+        assert!(
+            session.gate_cache_hits() > hits_after_first,
+            "identical re-check missed the gate cache"
+        );
+    }
+
+    #[test]
+    fn session_widening_reuses_low_bits() {
+        // The same square equation at widths 8 and 16. The 16-bit script
+        // is a fresh parse with fresh TermIds and SymbolIds; reuse must
+        // key on the symbol *name*.
+        let narrow =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= (bvmul x x) (_ bv49 8)))")
+                .unwrap();
+        let wide =
+            Script::parse("(declare-fun x () (_ BitVec 16))(assert (= (bvmul x x) (_ bv49 16)))")
+                .unwrap();
+        let mut session = BvSession::new(SatConfig::default());
+        let (r1, _) = session.check(&narrow, &Budget::unlimited());
+        assert!(r1.is_sat());
+        let hits_after_narrow = session.gate_cache_hits();
+        let (r2, _) = session.check(&wide, &Budget::unlimited());
+        assert!(r2.is_sat(), "widened square equation must stay sat");
+        assert!(
+            session.gate_cache_hits() > hits_after_narrow,
+            "widening re-blasted the shared low-bit circuitry"
+        );
+        if let SatResult::Sat(model) = &r2 {
+            for &a in wide.assertions() {
+                let v = evaluate(wide.store(), a, model).unwrap();
+                assert_eq!(v, Value::Bool(true), "widened model check failed");
+            }
+        }
+        // Narrowing back down (the pop-then-re-assert path) also works:
+        // the low 8 bits are sliced out of the 16-bit encoding.
+        let (r3, _) = session.check(&narrow, &Budget::unlimited());
+        assert!(r3.is_sat());
     }
 
     #[test]

@@ -256,6 +256,39 @@ impl Solver {
     }
 }
 
+/// `true` when `script` uses only `Bool` and `(_ BitVec w)` sorts — exactly
+/// the scripts [`Solver`] hands to the eager bit-blaster, and therefore the
+/// scripts a [`crate::BvSession`] can check incrementally.
+pub fn is_bit_blastable(script: &Script) -> bool {
+    let store = script.store();
+    let mut has_int = false;
+    let mut has_real = false;
+    let mut has_bv = false;
+    let mut has_fp = false;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::Int => has_int = true,
+            Sort::Real => has_real = true,
+            Sort::BitVec(_) => has_bv = true,
+            Sort::Float(..) => has_fp = true,
+            Sort::Bool | Sort::RoundingMode => {}
+        }
+    }
+    for &a in script.assertions() {
+        scan_sorts(
+            store,
+            a,
+            &mut has_int,
+            &mut has_real,
+            &mut has_bv,
+            &mut has_fp,
+        );
+    }
+    // Pure-boolean scripts (no bitvectors at all) are bit-blastable too.
+    let _ = has_bv;
+    !(has_int || has_real || has_fp)
+}
+
 fn scan_sorts(
     store: &staub_smtlib::TermStore,
     id: staub_smtlib::TermId,

@@ -49,5 +49,6 @@ mod facade;
 mod result;
 
 pub use budget::{Budget, CancelFlag};
-pub use facade::{SolveOutcome, Solver, SolverProfile};
+pub use bv::BvSession;
+pub use facade::{is_bit_blastable, SolveOutcome, Solver, SolverProfile};
 pub use result::{SatResult, SolverStats, UnknownReason};

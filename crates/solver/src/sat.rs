@@ -3,8 +3,22 @@
 //!
 //! This is the propositional core under both the bit-blaster ([`crate::bv`])
 //! and the lazy-SMT skeleton enumeration in `arith::lazy`. It is
-//! incremental in the assert-solve-assert style: clauses may be added between
-//! `solve` calls (used for theory lemmas and blocking clauses).
+//! incremental three ways:
+//!
+//! * **assert-solve-assert** — clauses may be added between `solve` calls
+//!   (theory lemmas, blocking clauses);
+//! * **assumptions** — [`SatSolver::solve_with_assumptions`] solves under a
+//!   set of literals enqueued as pseudo-decisions. Because learned clauses
+//!   are derived by resolution over *stored* clauses only, every clause
+//!   learned under assumptions is a consequence of the clause database
+//!   alone and stays valid for all later calls — this is what lets a
+//!   solving session retain learned clauses, saved phases, and variable
+//!   activities across `check()` calls with changing assertion sets;
+//! * **push/pop assertion levels** — [`SatSolver::push`] marks the clause
+//!   arena and the root trail; [`SatSolver::pop`] removes every clause
+//!   (original *and* learned) added since the mark, undoes root-level
+//!   assignments made since, and restores the unsat latch. Clauses below
+//!   the mark — including clauses learned before the push — are retained.
 
 use crate::budget::Budget;
 
@@ -120,6 +134,19 @@ struct Clause {
     activity: f64,
 }
 
+/// Watermarks taken by [`SatSolver::push`] and unwound by
+/// [`SatSolver::pop`].
+#[derive(Debug, Clone, Copy)]
+struct PushLevel {
+    /// Clause-arena length at push time; pop truncates back to it.
+    clause_mark: usize,
+    /// Root-trail length at push time; pop unassigns everything after it.
+    trail_mark: usize,
+    /// The unsat latch at push time; pop restores it (an empty clause
+    /// derived *inside* the level dies with the level).
+    saved_unsat: bool,
+}
+
 /// The CDCL solver.
 ///
 /// # Examples
@@ -171,6 +198,8 @@ pub struct SatSolver {
     order: VarOrder,
     /// Reusable scratch buffer for conflict analysis.
     seen: Vec<bool>,
+    /// Open assertion levels ([`SatSolver::push`] / [`SatSolver::pop`]).
+    levels: Vec<PushLevel>,
 }
 
 /// An indexed binary max-heap of variables keyed by external activities.
@@ -285,6 +314,7 @@ impl SatSolver {
             restarts: 0,
             order: VarOrder::default(),
             seen: Vec::new(),
+            levels: Vec::new(),
         }
     }
 
@@ -312,6 +342,67 @@ impl SatSolver {
     /// Number of stored clauses (original + learned).
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Opens an assertion level: clauses added from now on (and anything
+    /// learned from them) are removed again by the matching [`pop`].
+    ///
+    /// Variable activities and saved phases are *not* part of the level —
+    /// they survive pops, which is what makes a re-check after a pop warm
+    /// rather than cold.
+    ///
+    /// [`pop`]: SatSolver::pop
+    pub fn push(&mut self) {
+        self.backtrack_to(0);
+        self.levels.push(PushLevel {
+            clause_mark: self.clauses.len(),
+            trail_mark: self.trail.len(),
+            saved_unsat: self.unsat,
+        });
+    }
+
+    /// Closes the innermost assertion level, removing every clause added
+    /// since the matching [`push`] (original and learned alike — a clause
+    /// learned inside the level may depend on level-local clauses, so
+    /// deleting it is the sound over-approximation), undoing root-level
+    /// assignments made since, and restoring the unsat latch. Returns
+    /// `false` when no level is open.
+    ///
+    /// Soundness of retention: clauses *below* the mark were derived
+    /// without reference to anything the pop removes (clause indices only
+    /// grow, and DB reduction is suspended while levels are open), so the
+    /// remaining database is exactly what the solver would hold had the
+    /// level never been opened — plus better activities and phases.
+    ///
+    /// [`push`]: SatSolver::push
+    pub fn pop(&mut self) -> bool {
+        let Some(lvl) = self.levels.pop() else {
+            return false;
+        };
+        self.backtrack_to(0);
+        // Undo root assignments made since the push. Entries below the
+        // mark keep their reasons: those reason clauses predate the push
+        // (indices below the clause mark) and therefore survive.
+        for lit in self.trail.drain(lvl.trail_mark..) {
+            let v = lit.var().0 as usize;
+            self.assign[v] = LBool::Undef;
+            self.level[v] = 0;
+            self.reason[v] = REASON_DECISION;
+            self.order.insert(v as u32, &self.activity);
+        }
+        self.prop_head = self.trail.len();
+        self.clauses.truncate(lvl.clause_mark);
+        let cap = lvl.clause_mark as u32;
+        for w in &mut self.watches {
+            w.retain(|&ci| ci < cap);
+        }
+        self.unsat = lvl.saved_unsat;
+        true
+    }
+
+    /// Number of open assertion levels.
+    pub fn assertion_level(&self) -> usize {
+        self.levels.len()
     }
 
     fn lit_value(&self, lit: Lit) -> LBool {
@@ -660,6 +751,28 @@ impl SatSolver {
 
     /// Runs the CDCL loop until an answer or budget exhaustion.
     pub fn solve(&mut self, budget: &Budget) -> SatSolverResult {
+        self.solve_with_assumptions(&[], budget)
+    }
+
+    /// Runs the CDCL loop under `assumptions`, each enqueued as a
+    /// pseudo-decision on its own decision level before ordinary VSIDS
+    /// decisions begin.
+    ///
+    /// `Unsat` here means *unsatisfiable under the assumptions*: the
+    /// solver does not latch its global unsat flag unless it derived a
+    /// conflict at decision level zero (which is assumption-independent).
+    /// Everything learned during the call was derived by resolution over
+    /// stored clauses only — assumptions enter as decisions, never as
+    /// resolvents — so the learned clauses remain valid for every later
+    /// call, with or without the same assumptions. That property is the
+    /// backbone of the incremental sessions: assertion roots are passed
+    /// as assumptions, and the whole learned-clause database carries over
+    /// across checks, widenings, and pops.
+    pub fn solve_with_assumptions(
+        &mut self,
+        assumptions: &[Lit],
+        budget: &Budget,
+    ) -> SatSolverResult {
         if self.unsat {
             return SatSolverResult::Unsat;
         }
@@ -707,7 +820,33 @@ impl SatSolver {
                     self.backtrack_to(0);
                     if self.reduce_countdown == 0 {
                         self.reduce_countdown = 2048;
-                        self.reduce_db();
+                        // DB reduction compacts the arena and remaps
+                        // clause indices, which would invalidate the
+                        // push-level watermarks; suspend it while
+                        // assertion levels are open.
+                        if self.levels.is_empty() {
+                            self.reduce_db();
+                        }
+                    }
+                }
+            } else if self.trail_lim.len() < assumptions.len() {
+                // Establish (or re-establish, after a backtrack past it)
+                // the next assumption as a pseudo-decision.
+                let a = assumptions[self.trail_lim.len()];
+                match self.lit_value(a) {
+                    // Already implied: open a dummy level so decision
+                    // level `k` always corresponds to assumption `k`.
+                    LBool::True => self.trail_lim.push(self.trail.len()),
+                    LBool::False => {
+                        // The database (plus earlier assumptions) forces
+                        // the negation: unsat under the assumptions, but
+                        // not globally — leave the latch alone.
+                        self.backtrack_to(0);
+                        return SatSolverResult::Unsat;
+                    }
+                    LBool::Undef => {
+                        self.trail_lim.push(self.trail.len());
+                        self.enqueue(a, REASON_DECISION);
                     }
                 }
             } else {
@@ -867,6 +1006,156 @@ mod tests {
         assert_eq!(r, SatSolverResult::Unknown);
         // With a real budget it finishes (unsat).
         assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+    }
+
+    #[test]
+    fn push_pop_restores_satisfiability() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        s.push();
+        assert!(s.add_clause(&[Lit::neg(a)]));
+        assert!(!s.add_clause(&[Lit::pos(a)]));
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+        assert!(s.pop());
+        // The contradiction died with the level.
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        // A different level on the revived solver works normally.
+        s.push();
+        assert!(s.add_clause(&[Lit::neg(b)]));
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert!(s.pop());
+        assert!(!s.pop(), "no level left to pop");
+    }
+
+    #[test]
+    fn pop_removes_level_clauses_and_root_units() {
+        let mut s = solver();
+        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+        s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
+        let base_clauses = s.num_clauses();
+        s.push();
+        // A unit at the level forces a root propagation through a
+        // pre-existing clause; both assignments must unwind on pop.
+        s.add_clause(&[Lit::neg(vars[0])]);
+        s.add_clause(&[Lit::pos(vars[2]), Lit::pos(vars[3])]);
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        assert_eq!(s.value(vars[1]), Some(true));
+        assert!(s.pop());
+        assert_eq!(s.num_clauses(), base_clauses);
+        assert_eq!(s.assertion_level(), 0);
+        // v0 is free again.
+        s.add_clause(&[Lit::pos(vars[0])]);
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        assert_eq!(s.value(vars[0]), Some(true));
+    }
+
+    #[test]
+    fn nested_push_pop_unwind_in_order() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.push();
+        s.add_clause(&[Lit::pos(a)]);
+        s.push();
+        s.add_clause(&[Lit::pos(b)]);
+        assert!(!s.add_clause(&[Lit::neg(b)]));
+        assert_eq!(s.assertion_level(), 2);
+        assert!(s.pop());
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        assert_eq!(s.value(a), Some(true));
+        assert!(s.pop());
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    }
+
+    #[test]
+    fn assumptions_do_not_latch_global_unsat() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        // Unsat was relative to the assumptions only.
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
+            SatSolverResult::Sat
+        );
+        assert_eq!(s.value(b), Some(true));
+    }
+
+    #[test]
+    fn assumption_checks_retain_learned_clauses() {
+        // Pigeonhole 4-into-3 gated behind a selector: unsat under the
+        // selector, and the clauses learned in call one make call two
+        // conflict strictly less.
+        let mut s = solver();
+        let sel = s.new_var();
+        let mut p = [[Var(0); 3]; 4];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[
+                Lit::neg(sel),
+                Lit::pos(row[0]),
+                Lit::pos(row[1]),
+                Lit::pos(row[2]),
+            ]);
+        }
+        for i1 in 0..4 {
+            for i2 in (i1 + 1)..4 {
+                let (r1, r2) = (p[i1], p[i2]);
+                for (&a, &b) in r1.iter().zip(r2.iter()) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        let first = s.conflicts;
+        assert!(first > 0);
+        let clauses_after_first = s.num_clauses();
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        let second = s.conflicts - first;
+        assert!(
+            second < first,
+            "warm re-check must conflict less (first {first}, second {second})"
+        );
+        assert!(clauses_after_first > 0);
+        // Dropping the selector keeps the instance satisfiable.
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    }
+
+    #[test]
+    fn already_true_and_conflicting_assumptions() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a)]); // root unit: `a` is implied
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(a), Lit::pos(b)], &Budget::unlimited()),
+            SatSolverResult::Sat
+        );
+        assert_eq!(s.value(b), Some(true));
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
     }
 
     #[test]

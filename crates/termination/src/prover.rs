@@ -3,7 +3,7 @@
 
 use std::time::{Duration, Instant};
 
-use staub_core::{Staub, StaubConfig, StaubOutcome};
+use staub_core::{Session, StaubConfig, StaubOutcome};
 use staub_smtlib::Script;
 use staub_solver::{SatResult, Solver, SolverProfile};
 
@@ -51,7 +51,7 @@ pub struct ProveOutcome {
 #[derive(Debug, Clone)]
 enum Backend {
     Baseline(Box<Solver>),
-    Staub(Box<Staub>),
+    Staub(Box<StaubConfig>),
 }
 
 /// The termination prover (the Ultimate Automizer stand-in).
@@ -97,7 +97,7 @@ impl TerminationProver {
     /// (the paper's RQ3 configuration).
     pub fn with_staub(config: StaubConfig) -> TerminationProver {
         TerminationProver {
-            backend: Backend::Staub(Box::new(Staub::new(config))),
+            backend: Backend::Staub(Box::new(config)),
             unroll_depths: vec![2, 4, 8],
         }
     }
@@ -114,17 +114,24 @@ impl TerminationProver {
         script: &Script,
         purpose: &str,
         records: &mut Vec<ConstraintRecord>,
+        session: &mut Option<Session>,
     ) -> SatResult {
         let start = Instant::now();
         let result = match &self.backend {
             Backend::Baseline(solver) => solver.solve(script).result,
-            Backend::Staub(staub) => match staub.run(script) {
-                Ok(StaubOutcome::Sat { model, .. }) => SatResult::Sat(model),
-                Ok(StaubOutcome::Unsat) => SatResult::Unsat,
-                Ok(StaubOutcome::Unknown) | Err(_) => {
-                    SatResult::Unknown(staub_solver::UnknownReason::BudgetExhausted)
+            Backend::Staub(config) => {
+                // One warm session per proof attempt: the unrolling and
+                // ranking queries of one program share loop structure, so
+                // later queries reuse the earlier encodings.
+                let session = session.get_or_insert_with(|| Session::new(config.as_ref().clone()));
+                match session.run(script) {
+                    Ok(StaubOutcome::Sat { model, .. }) => SatResult::Sat(model),
+                    Ok(StaubOutcome::Unsat { .. }) => SatResult::Unsat,
+                    Ok(StaubOutcome::Unknown { .. }) | Err(_) => {
+                        SatResult::Unknown(staub_solver::UnknownReason::BudgetExhausted)
+                    }
                 }
-            },
+            }
         };
         records.push(ConstraintRecord {
             purpose: purpose.to_string(),
@@ -140,11 +147,12 @@ impl TerminationProver {
         let mut records = Vec::new();
         let mut verdict = Verdict::Unknown;
         let mut ranking = None;
+        let mut session = None;
 
         // Phase 1: bounded unrolling — unsat proves global termination.
         for &k in &self.unroll_depths {
             let script = unroll_query(program, k);
-            match self.solve(&script, &format!("unroll-{k}"), &mut records) {
+            match self.solve(&script, &format!("unroll-{k}"), &mut records, &mut session) {
                 SatResult::Unsat => {
                     verdict = Verdict::Terminating;
                     break;
@@ -158,14 +166,17 @@ impl TerminationProver {
         // guard-satisfying state violates the ranking conditions).
         if verdict == Verdict::Unknown {
             if let Some(query) = ranking_query(program) {
-                if let SatResult::Sat(model) =
-                    self.solve(&query.script, "ranking-synthesis", &mut records)
-                {
+                if let SatResult::Sat(model) = self.solve(
+                    &query.script,
+                    "ranking-synthesis",
+                    &mut records,
+                    &mut session,
+                ) {
                     ranking = query.decode(&model);
                     if let Some(f) = &ranking {
                         let validated = match validation_query(program, f) {
                             Some(vq) => self
-                                .solve(&vq, "ranking-validation", &mut records)
+                                .solve(&vq, "ranking-validation", &mut records, &mut session)
                                 .is_unsat(),
                             None => false,
                         };

@@ -4,7 +4,7 @@
 //! cargo run --release --example quickstart
 //! ```
 
-use staub::core::{Staub, StaubOutcome, Via};
+use staub::core::{Session, Staub, StaubOutcome, Via};
 use staub::smtlib::Script;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
@@ -35,21 +35,28 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         transformed.script
     );
 
-    // Run the full pipeline (bounded path + fallback).
-    match staub.run(&script)? {
-        StaubOutcome::Sat { model, via } => {
+    // Run the full pipeline (bounded path + fallback) in a session —
+    // repeated or widened checks would warm-start from this one.
+    let mut session = Session::default();
+    match session.run(&script)? {
+        StaubOutcome::Sat {
+            model,
+            via,
+            provenance,
+        } => {
             println!(
-                "sat (via the {} constraint)",
+                "sat (via the {} constraint, lane {})",
                 if via == Via::Bounded {
                     "bounded"
                 } else {
                     "original"
-                }
+                },
+                provenance.label
             );
             println!("model:\n{}", model.to_smtlib(script.store()));
         }
-        StaubOutcome::Unsat => println!("unsat"),
-        StaubOutcome::Unknown => println!("unknown"),
+        StaubOutcome::Unsat { .. } => println!("unsat"),
+        StaubOutcome::Unknown { .. } => println!("unknown"),
     }
     Ok(())
 }

@@ -49,7 +49,7 @@
 use std::process::ExitCode;
 use std::time::Duration;
 
-use staub::core::{Staub, StaubConfig, StaubOutcome, Via, WidthChoice};
+use staub::core::{Session, Staub, StaubConfig, StaubOutcome, Via, WidthChoice};
 use staub::smtlib::Script;
 use staub::solver::SolverProfile;
 
@@ -207,17 +207,22 @@ fn stats_main(args: Vec<String>) -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let staub = Staub::new(StaubConfig {
+    let mut session = Session::new(StaubConfig {
         width_choice: width,
         profile,
         timeout,
         ..Default::default()
     })
     .with_metrics(Arc::clone(&metrics));
-    match staub.run(&script) {
-        Ok(StaubOutcome::Sat { .. }) => println!("sat"),
-        Ok(StaubOutcome::Unsat) => println!("unsat"),
-        Ok(StaubOutcome::Unknown) => println!("unknown"),
+    match session.run(&script) {
+        Ok(outcome) => {
+            println!("{}", outcome.verdict_name());
+            let p = outcome.provenance();
+            println!(
+                "; lane {} (x{}) in {} steps",
+                p.label, p.multiplier, p.steps
+            );
+        }
         Err(e) => {
             eprintln!("error: {e}");
             return ExitCode::FAILURE;
@@ -250,7 +255,8 @@ BATCH OPTIONS:
 
 /// `staub batch`: the multi-lane scheduler over a corpus of files.
 fn batch_main(args: Vec<String>) -> ExitCode {
-    use staub::core::{run_batch_observed, BatchConfig, BatchItem, Metrics};
+    use staub::core::{run_batch_with, BatchConfig, BatchItem, Metrics, RunOptions};
+    use std::sync::Arc;
 
     let mut config = BatchConfig::default();
     let mut out_path = None;
@@ -356,13 +362,17 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         }
     }
 
-    let metrics = if with_stats {
+    let metrics = Arc::new(if with_stats {
         Metrics::new()
     } else {
         Metrics::disabled()
+    });
+    let options = RunOptions {
+        metrics: Some(Arc::clone(&metrics)),
+        ..Default::default()
     };
     let start = std::time::Instant::now();
-    let reports = run_batch_observed(&items, &config, &metrics);
+    let reports = run_batch_with(&items, &config, &options);
     let wall = start.elapsed();
 
     let mut jsonl = String::new();
@@ -918,13 +928,14 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
-    let staub = Staub::new(StaubConfig {
+    let config = StaubConfig {
         width_choice: options.width,
         profile: options.profile,
         timeout: options.timeout,
         refinement_rounds: options.refine,
         ..Default::default()
-    });
+    };
+    let staub = Staub::new(config.clone());
 
     if options.stats {
         let bounds = staub.infer(&script);
@@ -1002,33 +1013,39 @@ fn main() -> ExitCode {
     }
 
     let start = std::time::Instant::now();
+    let mut session = Session::new(config);
     let outcome = if options.race {
-        staub.race(&script)
+        session.race(&script)
     } else {
-        staub.run(&script)
+        session.run(&script)
     };
     match outcome {
-        Ok(StaubOutcome::Sat { model, via }) => {
+        Ok(StaubOutcome::Sat {
+            model,
+            via,
+            provenance,
+        }) => {
             println!("sat");
             if options.stats {
                 eprintln!(
-                    "; via {} path in {:?}",
+                    "; via {} path (lane {}) in {:?}",
                     if via == Via::Bounded {
                         "bounded"
                     } else {
                         "original"
                     },
+                    provenance.label,
                     start.elapsed()
                 );
             }
             println!("{}", model.to_smtlib(script.store()));
             ExitCode::SUCCESS
         }
-        Ok(StaubOutcome::Unsat) => {
+        Ok(StaubOutcome::Unsat { .. }) => {
             println!("unsat");
             ExitCode::SUCCESS
         }
-        Ok(StaubOutcome::Unknown) => {
+        Ok(StaubOutcome::Unknown { .. }) => {
             println!("unknown");
             ExitCode::SUCCESS
         }

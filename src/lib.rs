@@ -1,8 +1,9 @@
 //! STAUB — SMT Theory Arbitrage in Rust.
 //!
 //! Umbrella crate re-exporting the whole workspace. Start with
-//! [`staub_core::Staub`] (re-exported as [`core::Staub`]) for the end-to-end
-//! pipeline, or see the crate-level docs of each member:
+//! [`staub_core::Session`] (re-exported as [`core::Session`]) — the
+//! incremental end-to-end pipeline entrypoint — or see the crate-level
+//! docs of each member:
 //!
 //! * [`numeric`] — exact arithmetic (bigints, rationals, bitvectors, floats).
 //! * [`smtlib`] — SMT-LIB v2 parsing, terms, and printing.
@@ -21,7 +22,7 @@
 //! # Quickstart
 //!
 //! ```
-//! use staub::core::{Staub, StaubOutcome};
+//! use staub::core::{Session, StaubOutcome};
 //! use staub::smtlib::Script;
 //!
 //! let src = "\
@@ -29,11 +30,15 @@
 //! (assert (= (* x x) 49))
 //! (check-sat)";
 //! let script = Script::parse(src)?;
-//! let staub = Staub::default();
-//! let outcome = staub.run(&script)?;
+//! let mut session = Session::default();
+//! let outcome = session.run(&script)?;
 //! assert!(matches!(outcome, StaubOutcome::Sat { .. }));
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
+//!
+//! Repeated or widened checks through the same [`core::Session`]
+//! warm-start from earlier ones; see its docs for the incremental
+//! `push`/`pop`/`assert_text`/`check` surface.
 
 pub use staub_benchgen as benchgen;
 pub use staub_core as core;

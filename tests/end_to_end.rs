@@ -6,20 +6,24 @@ use std::time::Duration;
 
 use staub::benchgen::{generate, SuiteKind};
 use staub::core::{
-    portfolio, run_one, BatchConfig, BatchVerdict, LaneVerdict, Staub, StaubConfig, StaubOutcome,
-    WidthChoice,
+    portfolio, run_one_with, BatchConfig, BatchVerdict, LaneVerdict, RunOptions, Session, Staub,
+    StaubConfig, StaubOutcome, WidthChoice,
 };
 use staub::smtlib::{evaluate, Script, Value};
 use staub::solver::SolverProfile;
 
-fn staub(profile: SolverProfile) -> Staub {
-    Staub::new(StaubConfig {
+fn config(profile: SolverProfile) -> StaubConfig {
+    StaubConfig {
         width_choice: WidthChoice::Inferred,
         profile,
         timeout: Duration::from_millis(500),
         steps: 800_000,
         ..Default::default()
-    })
+    }
+}
+
+fn staub(profile: SolverProfile) -> Staub {
+    Staub::new(config(profile))
 }
 
 /// Every `Sat` outcome carries a model that exactly satisfies the original
@@ -28,9 +32,11 @@ fn staub(profile: SolverProfile) -> Staub {
 fn pipeline_is_sound_on_all_suites() {
     for kind in SuiteKind::all() {
         for profile in [SolverProfile::Zed, SolverProfile::Cove] {
-            let tool = staub(profile);
+            // One warm session per (suite, profile): later constraints
+            // warm-start from earlier ones, and soundness must survive it.
+            let mut session = Session::new(config(profile));
             for b in generate(kind, 18, 0xE2E) {
-                match tool.run(&b.script).expect("non-empty script") {
+                match session.run(&b.script).expect("non-empty script") {
                     StaubOutcome::Sat { model, .. } => {
                         assert_ne!(
                             b.expected,
@@ -47,10 +53,10 @@ fn pipeline_is_sound_on_all_suites() {
                             );
                         }
                     }
-                    StaubOutcome::Unsat => {
+                    StaubOutcome::Unsat { .. } => {
                         assert_ne!(b.expected, Some(true), "{}: unsat but expected sat", b.name);
                     }
-                    StaubOutcome::Unknown => {}
+                    StaubOutcome::Unknown { .. } => {}
                 }
             }
         }
@@ -80,14 +86,15 @@ fn portfolio_never_slows_down() {
 #[test]
 fn motivating_example_via_bounded_path() {
     let script = staub::benchgen::sum_of_cubes(855);
-    let tool = Staub::new(StaubConfig {
+    let cfg = StaubConfig {
         timeout: Duration::from_secs(10),
         steps: u64::MAX,
         ..Default::default()
-    });
+    };
+    let tool = Staub::new(cfg.clone());
     let transformed = tool.transform(&script).expect("transformable");
     assert_eq!(transformed.bv_width, Some(12), "the paper's Fig. 1b width");
-    match tool.run(&script).expect("non-empty") {
+    match Session::new(cfg).run(&script).expect("non-empty") {
         StaubOutcome::Sat { model, .. } => {
             let cubes: i64 = ["x", "y", "z"]
                 .iter()
@@ -131,7 +138,7 @@ fn emitted_constraints_round_trip_through_text() {
 /// constants reverts cleanly (error, not wrong answer).
 #[test]
 fn narrow_fixed_widths_revert_cleanly() {
-    let tool = Staub::new(StaubConfig {
+    let mut session = Session::new(StaubConfig {
         width_choice: WidthChoice::Fixed(6),
         timeout: Duration::from_millis(500),
         ..Default::default()
@@ -139,7 +146,7 @@ fn narrow_fixed_widths_revert_cleanly() {
     for b in generate(SuiteKind::QfNia, 12, 7) {
         // Either transformation fails (constants too wide) or the pipeline
         // still returns a sound answer via verification/fallback.
-        match tool.run(&b.script).expect("non-empty") {
+        match session.run(&b.script).expect("non-empty") {
             StaubOutcome::Sat { model, .. } => {
                 for &a in b.script.assertions() {
                     assert_eq!(
@@ -150,8 +157,8 @@ fn narrow_fixed_widths_revert_cleanly() {
                     );
                 }
             }
-            StaubOutcome::Unsat => assert_ne!(b.expected, Some(true), "{}", b.name),
-            StaubOutcome::Unknown => {}
+            StaubOutcome::Unsat { .. } => assert_ne!(b.expected, Some(true), "{}", b.name),
+            StaubOutcome::Unknown { .. } => {}
         }
     }
 }
@@ -186,7 +193,7 @@ fn escalation_lane_wins_when_inferred_width_is_insufficient() {
             steps: 400_000,
             ..BatchConfig::default()
         };
-        let report = run_one("escalation", &script, &config);
+        let report = run_one_with("escalation", &script, &config, &RunOptions::default());
         assert_eq!(report.lanes.len(), 2, "{src}: base + x2 lanes");
         let base = &report.lanes[0];
         assert_eq!(

@@ -13,7 +13,7 @@
 //!    representable.
 
 use proptest::prelude::*;
-use staub::core::{Staub, StaubConfig, StaubOutcome, WidthChoice};
+use staub::core::{Session, Staub, StaubConfig, StaubOutcome, WidthChoice};
 use staub::numeric::BigInt;
 use staub::smtlib::{evaluate, Model, Script, Sort, TermId, Value};
 use std::time::Duration;
@@ -118,13 +118,17 @@ fn oracle(script: &Script) -> bool {
     false
 }
 
-fn tool() -> Staub {
-    Staub::new(StaubConfig {
+fn tool_config() -> StaubConfig {
+    StaubConfig {
         width_choice: WidthChoice::Inferred,
         timeout: Duration::from_secs(2),
         steps: 2_000_000,
         ..Default::default()
-    })
+    }
+}
+
+fn tool() -> Staub {
+    Staub::new(tool_config())
 }
 
 proptest! {
@@ -138,7 +142,7 @@ proptest! {
     ) {
         let script = build_script(&lhs, &rhs, cmp);
         let truth = oracle(&script);
-        match tool().run(&script).expect("non-empty") {
+        match Session::new(tool_config()).run(&script).expect("non-empty") {
             StaubOutcome::Sat { model, .. } => {
                 prop_assert!(truth, "pipeline sat, oracle unsat:\n{script}");
                 for &a in script.assertions() {
@@ -148,8 +152,10 @@ proptest! {
                     );
                 }
             }
-            StaubOutcome::Unsat => prop_assert!(!truth, "pipeline unsat, oracle sat:\n{script}"),
-            StaubOutcome::Unknown => {} // budget; sound either way
+            StaubOutcome::Unsat { .. } => {
+                prop_assert!(!truth, "pipeline unsat, oracle sat:\n{script}");
+            }
+            StaubOutcome::Unknown { .. } => {} // budget; sound either way
         }
     }
 

@@ -11,8 +11,8 @@ use std::time::Duration;
 
 use staub::benchgen::{generate, SuiteKind};
 use staub::core::{
-    portfolio, run_batch, BatchConfig, BatchItem, BatchVerdict, LaneVerdict, PortfolioReport,
-    Staub, StaubConfig,
+    portfolio, run_batch_with, BatchConfig, BatchItem, BatchVerdict, LaneVerdict, PortfolioReport,
+    RunOptions, Staub, StaubConfig,
 };
 use staub::smtlib::{evaluate, Value};
 
@@ -76,7 +76,7 @@ fn scheduler_agrees_with_sequential_measure() {
     let config = mirror_config();
     for kind in SuiteKind::all() {
         let (benchmarks, items) = corpus(kind);
-        let reports = run_batch(&items, &config);
+        let reports = run_batch_with(&items, &config, &RunOptions::default());
         assert_eq!(reports.len(), benchmarks.len());
         for (b, batch) in benchmarks.iter().zip(&reports) {
             let sequential = portfolio::measure(&tool, &b.script);
@@ -106,7 +106,11 @@ fn scheduler_sat_winners_pass_lint_and_evaluation() {
     let config = mirror_config();
     for kind in SuiteKind::all() {
         let (benchmarks, items) = corpus(kind);
-        for (b, report) in benchmarks.iter().zip(run_batch(&items, &config)) {
+        for (b, report) in
+            benchmarks
+                .iter()
+                .zip(run_batch_with(&items, &config, &RunOptions::default()))
+        {
             let BatchVerdict::Sat(model) = &report.verdict else {
                 continue;
             };
@@ -131,7 +135,7 @@ fn scheduler_sat_winners_pass_lint_and_evaluation() {
 fn all_lanes_complete_without_cancellation() {
     let config = mirror_config();
     let (_, items) = corpus(SuiteKind::QfNia);
-    for report in run_batch(&items, &config) {
+    for report in run_batch_with(&items, &config, &RunOptions::default()) {
         assert!(
             !report.lanes.is_empty(),
             "{}: no lanes planned",

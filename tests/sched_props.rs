@@ -9,7 +9,9 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use staub::benchgen::{generate, Benchmark, SuiteKind};
-use staub::core::{run_one, BatchConfig, BatchVerdict, LaneVerdict, Staub, StaubConfig};
+use staub::core::{
+    run_one_with, BatchConfig, BatchVerdict, LaneVerdict, RunOptions, Session, StaubConfig,
+};
 use staub::solver::{Budget, Solver, SolverProfile};
 
 /// Large enough that the interval-propagation baseline cannot exhaust it
@@ -50,11 +52,11 @@ fn race_config() -> BatchConfig {
 /// search walks a window of seeds to keep the property test from going
 /// vacuous.
 fn hard_easy_instance(seed0: u64) -> Option<Benchmark> {
-    let easy = Staub::new(StaubConfig {
+    let easy = StaubConfig {
         timeout: Duration::from_secs(120),
         steps: EASY_SCREEN_STEPS,
         ..Default::default()
-    });
+    };
     let hard = Solver::new(SolverProfile::Zed)
         .with_timeout(Duration::from_secs(120))
         .with_steps(HARD_SCREEN_STEPS);
@@ -64,7 +66,9 @@ fn hard_easy_instance(seed0: u64) -> Option<Benchmark> {
             .filter(|b| b.expected == Some(true))
             .find(|b| {
                 let budget = Budget::new(Duration::from_secs(120), EASY_SCREEN_STEPS);
-                easy.try_bounded(&b.script, &budget).is_some()
+                Session::new(easy.clone())
+                    .try_bounded(&b.script, &budget)
+                    .is_some()
                     && hard.solve(&b.script).result.is_unknown()
             })
     })
@@ -79,7 +83,7 @@ proptest! {
             // exercise nothing and are skipped.
             return Ok(());
         };
-        let report = run_one(&bench.name, &bench.script, &race_config());
+        let report = run_one_with(&bench.name, &bench.script, &race_config(), &RunOptions::default());
 
         // The trivially-bounded lane answers: a verified model.
         prop_assert!(
@@ -120,7 +124,7 @@ fn losers_are_cancelled_and_no_lane_outlives_the_batch() {
         escalations: vec![2, 4],
         ..race_config()
     };
-    let report = run_one(&bench.name, &bench.script, &config);
+    let report = run_one_with(&bench.name, &bench.script, &config, &RunOptions::default());
     assert!(matches!(report.verdict, BatchVerdict::Sat(_)));
     let winner_idx = report.winner.expect("winner");
     for (i, lane) in report.lanes.iter().enumerate() {

@@ -12,7 +12,7 @@ use std::collections::HashMap;
 use std::time::Duration;
 
 use staub::benchgen::{generate, SuiteKind};
-use staub::core::{run_batch, BatchConfig, BatchItem};
+use staub::core::{run_batch_with, BatchConfig, BatchItem, RunOptions};
 use staub::service::json::{self, Json};
 use staub::service::{
     audit_reply, health_request, run_loadgen, solve_request, CacheConfig, Connection,
@@ -69,7 +69,7 @@ fn reference_verdicts(corpus: &[(String, String)]) -> HashMap<String, String> {
             script: Script::parse(text).expect("corpus parses"),
         })
         .collect();
-    run_batch(&items, &batch_config())
+    run_batch_with(&items, &batch_config(), &RunOptions::default())
         .into_iter()
         .map(|r| (r.name.clone(), r.verdict.name().to_string()))
         .collect()

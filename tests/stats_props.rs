@@ -8,7 +8,7 @@ use std::time::Duration;
 
 use proptest::prelude::*;
 use staub::benchgen::{generate, SuiteKind};
-use staub::core::{run_batch, BatchConfig, BatchItem};
+use staub::core::{run_batch_with, BatchConfig, BatchItem, RunOptions};
 use staub::smtlib::{ParseErrorKind, Script};
 use staub::solver::{SatResult, Solver, SolverProfile, SolverStats};
 
@@ -61,7 +61,7 @@ fn batch_jsonl_stats_block_is_well_formed() {
         cancel_losers: false,
         ..BatchConfig::default()
     };
-    let reports = run_batch(&items, &config);
+    let reports = run_batch_with(&items, &config, &RunOptions::default());
     assert_eq!(reports.len(), 4);
     for report in &reports {
         let line = report.to_jsonl();
