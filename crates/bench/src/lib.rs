@@ -18,6 +18,8 @@
 //! * `STAUB_EVAL_SCALE` — suite-size multiplier (default 1.0),
 //! * `STAUB_EVAL_TIMEOUT_MS` — per-constraint solver timeout (default 1000).
 
+#![forbid(unsafe_code)]
+
 use std::time::Duration;
 
 use staub_benchgen::{generate, Benchmark, SuiteKind};

@@ -24,7 +24,10 @@
 //! assert_eq!(suite[0].script.to_string(), again[0].script.to_string());
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod lia;
+mod linear;
 mod lra;
 mod nia;
 mod nra;
@@ -105,6 +108,19 @@ pub fn generate(kind: SuiteKind, count: usize, seed: u64) -> Vec<Benchmark> {
         out.push(benchmark);
     }
     out
+}
+
+/// Generates `count` benchmarks from the unsat-biased linear family
+/// (pure LIA, pure LRA, and mixed Int+Real contradictions), with
+/// coefficients drawn up to `coeff_magnitude` in absolute value. The
+/// magnitude knob directly scales the coefficient ledger — and therefore
+/// the certified width — of the pure-LIA instances, which is what the
+/// complete-lane differential and certificate-perturbation suites vary.
+pub fn generate_linear(count: usize, seed: u64, coeff_magnitude: i64) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x4c_49_4e);
+    (0..count)
+        .map(|i| linear::generate_one(&mut rng, i, coeff_magnitude))
+        .collect()
 }
 
 fn kind_tag(kind: SuiteKind) -> u64 {

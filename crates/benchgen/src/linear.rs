@@ -1,0 +1,253 @@
+//! Unsat-biased linear families exercising the certified complete lane:
+//! pure-LIA parity and empty-interval contradictions, pure-LRA gap
+//! contradictions, and mixed Int+Real scripts, all with parameterized
+//! coefficient magnitudes so the coefficient ledger (and hence the
+//! certified width) can be scaled from a test.
+//!
+//! Roughly three quarters of the instances are unsat by construction —
+//! the interesting direction for the complete lane, whose whole point is
+//! promoting bounded-unsat to trusted unsat. Every instance carries exact
+//! ground truth. Pure-LIA families stay small (≤ 3 variables, ≤ 4 atoms)
+//! so the Bromberger-style certified width fits a 64-bit lane for
+//! coefficient magnitudes up to roughly 1000.
+
+use rand::Rng;
+use staub_numeric::{BigInt, BigRational};
+use staub_smtlib::{Logic, Script, Sort};
+
+use crate::Benchmark;
+
+pub(crate) fn generate_one(rng: &mut impl Rng, index: usize, magnitude: i64) -> Benchmark {
+    let magnitude = magnitude.max(1);
+    match index % 4 {
+        0 => lia_parity(rng, index, magnitude),
+        1 => lia_interval(rng, index, magnitude),
+        2 => lra_gap(rng, index, magnitude),
+        _ => mixed_sorts(rng, index, magnitude),
+    }
+}
+
+/// Parity contradiction `2a·x + 2b·y = 2k + 1`: every coefficient is even,
+/// the right-hand side is odd. Always unsat, decidable by a single
+/// divisibility argument — the bread-and-butter complete-lane case.
+fn lia_parity(rng: &mut impl Rng, index: usize, magnitude: i64) -> Benchmark {
+    let a = rng.gen_range(1i64..=magnitude) * 2;
+    let b = rng.gen_range(1i64..=magnitude) * 2;
+    let rhs = rng.gen_range(-magnitude..=magnitude) * 2 + 1;
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let xs = script.declare("x", Sort::Int).expect("fresh symbol");
+    let ys = script.declare("y", Sort::Int).expect("fresh symbol");
+    let s = script.store_mut();
+    let x = s.var(xs);
+    let y = s.var(ys);
+    let a_t = s.int(BigInt::from(a));
+    let b_t = s.int(BigInt::from(b));
+    let ax = s.mul(&[a_t, x]).expect("mul");
+    let by = s.mul(&[b_t, y]).expect("mul");
+    let lhs = s.add(&[ax, by]).expect("add");
+    let rhs_t = s.int(BigInt::from(rhs));
+    let eq = s.eq(lhs, rhs_t).expect("eq");
+    script.assert(eq);
+    script.check_sat();
+    Benchmark {
+        name: format!("linear/parity/{index:04}"),
+        script,
+        family: "parity",
+        expected: Some(false),
+    }
+}
+
+/// Interval constraint `c·x ≥ lo ∧ c·x ≤ hi`. The unsat variant makes the
+/// interval empty (`hi < lo`); the sat variant plants `lo = c·p` with
+/// non-negative slack so `x = p` is a witness.
+fn lia_interval(rng: &mut impl Rng, index: usize, magnitude: i64) -> Benchmark {
+    let c = rng.gen_range(1i64..=magnitude);
+    let p = rng.gen_range(-magnitude..=magnitude);
+    let lo = c * p;
+    let feasible = rng.gen_bool(0.25);
+    let hi = if feasible {
+        lo + rng.gen_range(0i64..=magnitude)
+    } else {
+        lo - rng.gen_range(1i64..=magnitude)
+    };
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let xs = script.declare("x", Sort::Int).expect("fresh symbol");
+    let s = script.store_mut();
+    let x = s.var(xs);
+    let c_t = s.int(BigInt::from(c));
+    let cx = s.mul(&[c_t, x]).expect("mul");
+    let lo_t = s.int(BigInt::from(lo));
+    let hi_t = s.int(BigInt::from(hi));
+    let lower = s.ge(cx, lo_t).expect("ge");
+    let upper = s.le(cx, hi_t).expect("le");
+    script.assert(lower);
+    script.assert(upper);
+    script.check_sat();
+    Benchmark {
+        name: format!("linear/interval/{index:04}"),
+        script,
+        family: "interval",
+        expected: Some(feasible),
+    }
+}
+
+/// Real gap `m·r ≥ a + g ∧ m·r ≤ a` with positive gap `g`: unsat. The sat
+/// variant flips the gap sign so the window is non-empty. Pure LRA, so the
+/// classifier marks it complete-lane ineligible (reals round) — these
+/// instances pin down that the lane does *not* fire outside pure LIA.
+fn lra_gap(rng: &mut impl Rng, index: usize, magnitude: i64) -> Benchmark {
+    let m = rng.gen_range(1i64..=magnitude);
+    let a = BigRational::new(
+        BigInt::from(rng.gen_range(-magnitude..=magnitude)),
+        BigInt::from(4),
+    );
+    let g = BigRational::new(
+        BigInt::from(rng.gen_range(1i64..=magnitude)),
+        BigInt::from(2),
+    );
+    let feasible = rng.gen_bool(0.25);
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLra);
+    let rs = script.declare("r", Sort::Real).expect("fresh symbol");
+    let s = script.store_mut();
+    let r = s.var(rs);
+    let m_t = s.real(BigRational::from(m));
+    let mr = s.mul(&[m_t, r]).expect("mul");
+    let (lo, hi) = if feasible {
+        (a.clone(), &a + &g)
+    } else {
+        (&a + &g, a.clone())
+    };
+    let lo_t = s.real(lo);
+    let hi_t = s.real(hi);
+    let lower = s.ge(mr, lo_t).expect("ge");
+    let upper = s.le(mr, hi_t).expect("le");
+    script.assert(lower);
+    script.assert(upper);
+    script.check_sat();
+    Benchmark {
+        name: format!("linear/gap/{index:04}"),
+        script,
+        family: "gap",
+        expected: Some(feasible),
+    }
+}
+
+/// Mixed Int+Real script: a real variable with a trivially satisfiable
+/// bound alongside an integer equation `2a·x = rhs` — unsat when `rhs` is
+/// odd, sat (witness `x = p`) when `rhs = 2a·p`. Both sorts appear, so the
+/// fragment classifier must report `mixed` and plan no complete lane.
+fn mixed_sorts(rng: &mut impl Rng, index: usize, magnitude: i64) -> Benchmark {
+    let a = rng.gen_range(1i64..=magnitude);
+    let feasible = rng.gen_bool(0.25);
+    let rhs = if feasible {
+        2 * a * rng.gen_range(-magnitude..=magnitude)
+    } else {
+        rng.gen_range(-magnitude..=magnitude) * 2 + 1
+    };
+    let mut script = Script::new();
+    let xs = script.declare("x", Sort::Int).expect("fresh symbol");
+    let rs = script.declare("r", Sort::Real).expect("fresh symbol");
+    let s = script.store_mut();
+    let x = s.var(xs);
+    let r = s.var(rs);
+    let coeff = s.int(BigInt::from(2 * a));
+    let cx = s.mul(&[coeff, x]).expect("mul");
+    let rhs_t = s.int(BigInt::from(rhs));
+    let eq = s.eq(cx, rhs_t).expect("eq");
+    let zero = s.real(BigRational::from(0));
+    let bound = s.ge(r, zero).expect("ge");
+    script.assert(eq);
+    script.assert(bound);
+    script.check_sat();
+    Benchmark {
+        name: format!("linear/mixed/{index:04}"),
+        script,
+        family: "mixed",
+        expected: Some(feasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate_linear;
+    use staub_smtlib::Script;
+
+    #[test]
+    fn unsat_biased_and_deterministic() {
+        let a = generate_linear(48, 0xBEEF, 9);
+        let b = generate_linear(48, 0xBEEF, 9);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.script.to_string(), y.script.to_string());
+            assert_eq!(x.expected, y.expected);
+        }
+        let unsat = a.iter().filter(|b| b.expected == Some(false)).count();
+        assert!(
+            unsat * 2 > a.len(),
+            "family should be unsat-biased: {unsat}/{} unsat",
+            a.len()
+        );
+        let sat = a.iter().filter(|b| b.expected == Some(true)).count();
+        assert!(sat > 0, "ground truth must cover both polarities");
+    }
+
+    #[test]
+    fn instances_reparse_and_have_unique_names() {
+        let suite = generate_linear(32, 7, 4);
+        let mut names: Vec<&str> = suite.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), suite.len());
+        for b in &suite {
+            let printed = b.script.to_string();
+            Script::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} fails to reparse: {e}\n{printed}", b.name));
+        }
+    }
+
+    #[test]
+    fn magnitude_scales_the_ledger() {
+        // Larger coefficient magnitudes must be able to produce larger
+        // certified widths (the knob the differential/proptest suites turn).
+        let small = generate_linear(16, 3, 1);
+        let large = generate_linear(16, 3, 900);
+        let max_width = |suite: &[crate::Benchmark]| {
+            suite
+                .iter()
+                .filter_map(|b| staub_core::certify(&b.script).certified_width)
+                .max()
+                .unwrap_or(0)
+        };
+        assert!(
+            max_width(&large) > max_width(&small),
+            "certified width should grow with coefficient magnitude"
+        );
+    }
+
+    #[test]
+    fn pure_lia_families_certify_complete() {
+        let suite = generate_linear(24, 11, 5);
+        for b in &suite {
+            let cert = staub_core::certify(&b.script);
+            match b.family {
+                "parity" | "interval" => {
+                    assert!(
+                        cert.certified_width.is_some(),
+                        "{} should carry a certified width",
+                        b.name
+                    );
+                }
+                "gap" | "mixed" => {
+                    assert!(
+                        cert.certified_width.is_none(),
+                        "{} must not certify (not pure LIA)",
+                        b.name
+                    );
+                }
+                other => panic!("unknown family {other}"),
+            }
+        }
+    }
+}

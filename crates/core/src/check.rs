@@ -7,9 +7,13 @@
 //! shape-checked before `verify` evaluates it. See [`CheckLevel`] for when
 //! the checks run and what a violation does.
 
-use staub_lint::{boundedness, correspondence, model_shape, resort, Correspondence, LintReport};
+use staub_lint::{
+    bound_certificate, boundedness, correspondence, model_shape, resort, BoundClaim,
+    Correspondence, LintReport,
+};
 use staub_smtlib::{Model, Script};
 
+use crate::absint::BoundCertificate;
 use crate::transform::Transformed;
 
 /// When the certifying checker runs between pipeline stages.
@@ -58,7 +62,30 @@ pub fn check_transformed(original: &Script, t: &Transformed) -> LintReport {
                 .map(|p| (t.bounds.assumption_real.magnitude, p))
         }),
     }));
+    report.merge(check_certificate(original, &t.certificate, None));
     report
+}
+
+/// Certifies a bound certificate against the original script via the
+/// independent `L4xx` re-derivation in `staub-lint`. `used_width` is
+/// supplied when validating an unsat promotion — the lint then also
+/// requires the check to have run at or above the certified width.
+pub fn check_certificate(
+    original: &Script,
+    certificate: &BoundCertificate,
+    used_width: Option<u32>,
+) -> LintReport {
+    bound_certificate(&BoundClaim {
+        original,
+        fragment: certificate.fragment.name(),
+        num_vars: certificate.ledger.num_vars,
+        num_atoms: certificate.ledger.num_atoms,
+        max_entry_bits: certificate.ledger.max_entry_bits,
+        max_atom_terms: certificate.ledger.max_atom_terms,
+        certified_width: certificate.certified_width,
+        var_bounds: &certificate.var_bounds,
+        used_width,
+    })
 }
 
 /// Certifies a satisfying assignment against the script it claims to
@@ -137,6 +164,31 @@ mod tests {
         t.var_map.clear();
         let report = check_transformed(&original, &t);
         assert!(report.has(LintCode::PhiIncomplete), "{report}");
+        assert!(!report.is_clean());
+    }
+
+    #[test]
+    fn linear_certificate_checks_live() {
+        let (original, t) = transformed(
+            "(set-logic QF_LIA)(declare-fun x () Int)(declare-fun y () Int)
+             (assert (>= (+ (* 3 x) y) 7))(assert (<= x 2))",
+        );
+        assert!(
+            t.certificate.certified_width.is_some(),
+            "pure LIA certifies"
+        );
+        let report = check_transformed(&original, &t);
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn stale_certificate_is_caught() {
+        let (original, mut t) =
+            transformed("(set-logic QF_LIA)(declare-fun x () Int)(assert (>= (* 3 x) 7))");
+        // Understate the ledger, as if a coefficient escaped the analysis.
+        t.certificate.ledger.max_entry_bits -= 1;
+        let report = check_transformed(&original, &t);
+        assert!(report.has(LintCode::LedgerEscape), "{report}");
         assert!(!report.is_clean());
     }
 

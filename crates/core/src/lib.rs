@@ -50,6 +50,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod absint;
 pub mod bvreduce;
 pub mod check;
@@ -63,15 +65,16 @@ pub mod verify;
 mod pipeline;
 mod session;
 
+pub use absint::{certify, BoundCertificate, CoeffLedger, FragmentClass};
 pub use check::CheckLevel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{Provenance, Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
+pub use sched::{complete_width, run_batch_with, run_one_with};
 #[allow(deprecated)]
 pub use sched::{
     run_batch, run_batch_observed, run_one, run_one_observed, BatchConfig, BatchItem, BatchReport,
     BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict, RunOptions,
 };
-pub use sched::{run_batch_with, run_one_with};
 pub use session::Session;
 pub use transform::{TransformError, Transformed};

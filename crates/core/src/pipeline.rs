@@ -97,10 +97,14 @@ pub enum StaubOutcome {
         /// Which lane/width produced it.
         provenance: Provenance,
     },
-    /// Unsatisfiable (always proven on the original constraint — a bounded
-    /// `unsat` is never trusted, §4.4 case 1).
+    /// Unsatisfiable — proven on the original constraint (§4.4 case 1: an
+    /// uncertified bounded `unsat` is never trusted). The scheduler's
+    /// complete lane is the one exception to case 1: for pure-LIA scripts
+    /// it may promote a bounded `unsat` at a certified a-priori width
+    /// whose `L4xx` certificate lints clean (see `crate::absint::certify`).
     Unsat {
-        /// Which lane produced the proof (always an original-path lane).
+        /// Which lane produced the proof (an original-path lane, or a
+        /// certified complete lane).
         provenance: Provenance,
     },
     /// Neither path answered within budget.

@@ -17,9 +17,15 @@
 //!   always sound;
 //! * a bounded `sat` is sound only after [`lift_and_verify`] re-evaluates
 //!   the model against the original constraint exactly;
-//! * a bounded `unsat` is **never** sound — the width may simply have been
-//!   too small. That case is what the escalated lanes are for (UppSAT-style
-//!   precision ladders / Bromberger-style bound escalation).
+//! * a bounded `unsat` from an ordinary STAUB lane is **never** sound — the
+//!   width may simply have been too small. That case is what the escalated
+//!   lanes are for (UppSAT-style precision ladders / Bromberger-style bound
+//!   escalation). The one exception is the [`LaneKind::Complete`] lane: for
+//!   pure-LIA constraints a Bromberger-style a-priori bound (see
+//!   [`absint::certify`]) makes the bounded encoding equisatisfiable, so
+//!   its bounded `unsat` is promoted to a trusted `unsat` — but *only*
+//!   after the `L4xx` certificate lints re-derive and confirm the bound
+//!   from the original script.
 //!
 //! Every lane runs under its own wall-clock deadline *and* deterministic
 //! step budget, with at most one bounded retry on step exhaustion, so a
@@ -125,6 +131,14 @@ pub enum LaneKind {
         /// Escalation multiplier (for labelling and winner reporting).
         escalation: u32,
     },
+    /// The STAUB pipeline at a *certified* width (pure LIA only): a
+    /// bounded `unsat` here is promoted to a trusted `unsat` when the
+    /// bound certificate lints clean (`L4xx`). Planned only when
+    /// [`absint::certify`] yields a certified width within the limits.
+    Complete {
+        /// The certified sufficient width the lane transforms at.
+        width: u32,
+    },
 }
 
 /// One unit of work: a strategy applied to one constraint.
@@ -138,18 +152,24 @@ pub struct LaneSpec {
 
 impl LaneSpec {
     /// Stable human-readable label, used in JSONL reports:
-    /// `baseline/zed`, `staub/x1/zed`, `staub/x2/cove`, …
+    /// `baseline/zed`, `staub/x1/zed`, `staub/x2/cove`, `complete/zed`, …
     pub fn label(&self) -> String {
         let profile = self.profile.name().to_lowercase();
         match &self.kind {
             LaneKind::Baseline => format!("baseline/{profile}"),
             LaneKind::Staub { escalation, .. } => format!("staub/x{escalation}/{profile}"),
+            LaneKind::Complete { .. } => format!("complete/{profile}"),
         }
     }
 
-    /// Whether this is a STAUB (bounded-path) lane.
+    /// Whether this is a STAUB (bounded-path) lane. Complete lanes are:
+    /// they run the same transform/solve/verify pipeline, just at the
+    /// certified width — so they join warm escalation ladders.
     pub fn is_staub(&self) -> bool {
-        matches!(self.kind, LaneKind::Staub { .. })
+        matches!(
+            self.kind,
+            LaneKind::Staub { .. } | LaneKind::Complete { .. }
+        )
     }
 }
 
@@ -160,9 +180,12 @@ pub enum LaneVerdict {
     SatVerified,
     /// Baseline `sat` on the original constraint (sound).
     Sat,
-    /// Baseline `unsat` on the original constraint (sound).
+    /// `unsat` proven on the original constraint (baseline lane), or a
+    /// bounded `unsat` at a certified width whose certificate linted
+    /// clean (complete lane) — both sound.
     Unsat,
-    /// Bounded `unsat` — not sound; the width may be too small (§4.4).
+    /// Bounded `unsat` at an uncertified width — not sound; the width may
+    /// be too small (§4.4).
     BoundedUnsat,
     /// No answer within budget, or a bounded model that failed
     /// verification.
@@ -293,6 +316,14 @@ pub struct BatchReport {
     pub wall: Duration,
     /// Wall-clock time from submission until the first sound answer.
     pub time_to_answer: Option<Duration>,
+    /// The constraint's arithmetic fragment (`lia`/`lra`/`mixed`/
+    /// `ineligible`), from [`absint::certify`].
+    pub fragment: &'static str,
+    /// For `unknown` verdicts, why: `"budget"` when a complete lane was
+    /// planned (the fragment is decidable within limits, the budget just
+    /// ran out), `"ineligible-fragment"` when no complete lane was
+    /// eligible. `None` for decided constraints.
+    pub unknown_reason: Option<&'static str>,
 }
 
 impl BatchReport {
@@ -310,6 +341,7 @@ impl BatchReport {
             multiplier: match l.spec.kind {
                 LaneKind::Baseline => 0,
                 LaneKind::Staub { escalation, .. } => escalation,
+                LaneKind::Complete { .. } => 1,
             },
             steps: l.steps_used,
         })
@@ -356,6 +388,8 @@ impl BatchReport {
         let bounded_result = staub.and_then(|l| match (l.verdict, &l.model) {
             (LaneVerdict::SatVerified, Some(m)) => Some(SatResult::Sat(m.clone())),
             (LaneVerdict::BoundedUnsat, _) => Some(SatResult::Unsat),
+            // A complete lane's promoted unsat (sound, certificate-backed).
+            (LaneVerdict::Unsat, _) => Some(SatResult::Unsat),
             (LaneVerdict::NotApplicable, _) => None,
             _ => Some(SatResult::Unknown(UnknownReason::BudgetExhausted)),
         });
@@ -434,6 +468,13 @@ impl BatchReport {
             None => out.push_str("\"provenance\":null"),
         }
         out.push(',');
+        push_json_str(&mut out, "fragment", self.fragment);
+        out.push(',');
+        match self.unknown_reason {
+            Some(r) => push_json_str(&mut out, "unknown_reason", r),
+            None => out.push_str("\"unknown_reason\":null"),
+        }
+        out.push(',');
         out.push_str(&format!(
             "\"wall_ms\":{:.3},\"time_to_answer_ms\":{},",
             self.wall.as_secs_f64() * 1e3,
@@ -509,12 +550,24 @@ fn resolve_base_width(script: &Script, config: &BatchConfig) -> Option<u32> {
     tf.bv_width.or(tf.fp_format.map(|(_, sb)| sb))
 }
 
+/// The certified complete-lane width for a script, when one exists within
+/// the width limits: the script must be pure LIA and its certified width
+/// must fit the bitvector limit. Public so other surfaces (the CLI's
+/// unknown-reason report) apply the *same* eligibility test the planner
+/// does — a certificate wider than the lane limit is not lane-eligible.
+pub fn complete_width(script: &Script, limits: &SortLimits) -> Option<u32> {
+    let cert = absint::certify(script);
+    cert.certified_width.filter(|&w| w <= limits.max_bv_width)
+}
+
 /// Plans the lane fan-out for one constraint: per profile, an optional
-/// baseline lane, the base STAUB lane, and deduplicated escalated lanes
-/// within the width limits.
+/// baseline lane, the base STAUB lane, deduplicated escalated lanes
+/// within the width limits, and — for pure-LIA constraints whose certified
+/// width fits — a complete lane whose bounded `unsat` can be promoted.
 pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
     let mut lanes = Vec::new();
     let base_width = resolve_base_width(script, config);
+    let certified = complete_width(script, &config.limits);
     for &profile in &config.profiles {
         if config.include_baseline {
             lanes.push(LaneSpec {
@@ -544,6 +597,14 @@ pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
                     });
                 }
             }
+        }
+        // Last in plan order: the complete lane is usually the widest, so
+        // warm ladders reach it after the cheaper uncertified rungs.
+        if let Some(w) = certified {
+            lanes.push(LaneSpec {
+                kind: LaneKind::Complete { width: w },
+                profile,
+            });
         }
     }
     lanes
@@ -642,6 +703,23 @@ fn out_of_steps(result: &SatResult, budget: &Budget) -> bool {
     matches!(result, SatResult::Unknown(UnknownReason::BudgetExhausted)) && !budget.is_cancelled()
 }
 
+/// Decides whether a complete lane's bounded `unsat` at `used_width` may
+/// be promoted to a trusted `unsat`: the certificate is re-derived from
+/// the original script and must pass every `L4xx` lint — fragment class,
+/// ledger, certified width, per-variable coverage, and `used_width ≥`
+/// certified width — before the promotion is allowed. This runs
+/// unconditionally (not just under `StaubConfig::check`): the promotion is
+/// a soundness claim, so it is never taken on an unchecked certificate.
+fn certificate_promotes(script: &Script, used_width: u32) -> bool {
+    let cert = absint::certify(script);
+    match cert.certified_width {
+        Some(c) if used_width >= c => {
+            crate::check::check_certificate(script, &cert, Some(used_width)).is_clean()
+        }
+        _ => false,
+    }
+}
+
 /// Executes one lane to completion (or cancellation), with a fresh solver.
 fn run_lane(
     script: &Script,
@@ -702,11 +780,18 @@ fn run_lane_with(
                 stats,
             }
         }
-        LaneKind::Staub { width, .. } => {
+        kind @ (LaneKind::Staub { .. } | LaneKind::Complete { .. }) => {
+            // A complete lane is the same bounded pipeline pinned to the
+            // certified width; only its unsat handling differs below.
+            let (width, promote_at) = match kind {
+                LaneKind::Staub { width, .. } => (*width, None),
+                LaneKind::Complete { width } => (WidthChoice::Fixed(*width), Some(*width)),
+                LaneKind::Baseline => unreachable!("handled above"),
+            };
             let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
             let mut attempt = match session.as_deref_mut() {
-                Some(s) => s.bounded_attempt_at(script, *width, &budget),
-                None => bounded_attempt(script, *width, &config.limits, spec.profile, &budget),
+                Some(s) => s.bounded_attempt_at(script, width, &budget),
+                None => bounded_attempt(script, width, &config.limits, spec.profile, &budget),
             };
             steps_used += budget.steps_used();
             stats.merge(&attempt.stats);
@@ -718,8 +803,8 @@ fn run_lane_with(
                 retried = true;
                 budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
                 attempt = match session {
-                    Some(s) => s.bounded_attempt_at(script, *width, &budget),
-                    None => bounded_attempt(script, *width, &config.limits, spec.profile, &budget),
+                    Some(s) => s.bounded_attempt_at(script, width, &budget),
+                    None => bounded_attempt(script, width, &config.limits, spec.profile, &budget),
                 };
                 steps_used += budget.steps_used();
                 stats.merge(&attempt.stats);
@@ -727,7 +812,13 @@ fn run_lane_with(
             let verdict = match (&attempt.result, &attempt.model) {
                 (_, Some(_)) => LaneVerdict::SatVerified,
                 (None, _) => LaneVerdict::NotApplicable,
-                (Some(SatResult::Unsat), _) => LaneVerdict::BoundedUnsat,
+                // A bounded unsat is promoted to a trusted unsat only on a
+                // complete lane whose certificate survives the independent
+                // L4xx re-derivation at the width actually used.
+                (Some(SatResult::Unsat), _) => match promote_at {
+                    Some(w) if certificate_promotes(script, w) => LaneVerdict::Unsat,
+                    _ => LaneVerdict::BoundedUnsat,
+                },
                 (Some(SatResult::Unknown(_)), _) if cancel.is_cancelled() => LaneVerdict::Cancelled,
                 // An unverified bounded `sat` is as inconclusive as a
                 // timeout (§4.4 case 2: semantics loss).
@@ -954,6 +1045,23 @@ fn run_batch_impl(
                 },
                 None => BatchVerdict::Unknown,
             };
+            let fragment = absint::certify(&cell.item.script).fragment.name();
+            let unknown_reason = match verdict {
+                BatchVerdict::Unknown => {
+                    // Was the constraint within a complete lane's reach? If
+                    // so, only the budget stood between it and a verdict.
+                    let eligible = cell
+                        .specs
+                        .iter()
+                        .any(|s| matches!(s.kind, LaneKind::Complete { .. }));
+                    Some(if eligible {
+                        "budget"
+                    } else {
+                        "ineligible-fragment"
+                    })
+                }
+                _ => None,
+            };
             BatchReport {
                 name: cell.item.name.clone(),
                 verdict,
@@ -963,6 +1071,8 @@ fn run_batch_impl(
                     .finished_at
                     .map_or(Duration::ZERO, |t| t.duration_since(cell.started)),
                 time_to_answer: state.time_to_answer,
+                fragment,
+                unknown_reason,
             }
         })
         .collect()
@@ -1238,6 +1348,113 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.counters["sched.ladder_jobs"], 1);
         assert_eq!(snap.counters["sched.warm_rungs"], 2);
+    }
+
+    #[test]
+    fn complete_lane_promotes_certified_linear_unsat() {
+        // 2x + 2y = 7: even ≠ odd, unsat at every width — and pure LIA, so
+        // the certified width makes the bounded encoding equisatisfiable.
+        // With no baseline and no escalations, the complete lane is the
+        // only possible source of a sound unsat.
+        let items = [item(
+            "parity",
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ (* 2 x) (* 2 y)) 7))",
+        )];
+        let config = BatchConfig {
+            include_baseline: false,
+            escalations: Vec::new(),
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let specs = plan_lanes(&items[0].script, &config);
+        assert!(
+            specs
+                .iter()
+                .any(|s| matches!(s.kind, LaneKind::Complete { .. })),
+            "pure LIA plans a complete lane: {specs:?}"
+        );
+        let report = &run_batch_with(&items, &config, &RunOptions::default())[0];
+        assert_eq!(report.verdict.name(), "unsat");
+        assert_eq!(report.fragment, "lia");
+        assert_eq!(report.unknown_reason, None);
+        let p = report.provenance().expect("complete lane answers");
+        assert!(p.label.starts_with("complete/"), "{p:?}");
+        let jsonl = report.to_jsonl();
+        assert!(jsonl.contains("\"fragment\":\"lia\""), "{jsonl}");
+        assert!(jsonl.contains("\"unknown_reason\":null"), "{jsonl}");
+    }
+
+    #[test]
+    fn nonlinear_scripts_plan_no_complete_lane() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let specs = plan_lanes(&script, &quick_config());
+        assert!(
+            specs
+                .iter()
+                .all(|s| !matches!(s.kind, LaneKind::Complete { .. })),
+            "nonlinear must not get a complete lane: {specs:?}"
+        );
+    }
+
+    #[test]
+    fn unknown_reason_distinguishes_budget_from_fragment() {
+        // A starvation budget: no lane can answer either constraint, but
+        // the linear one was a complete-lane candidate (budget) while the
+        // nonlinear one never was (ineligible fragment). The linear item
+        // is a Bézout equation — satisfiable, but finding a witness needs
+        // search the 1-step budget forbids (a propagation-only unsat would
+        // resolve before the budget is ever consulted).
+        let items = [
+            item(
+                "linear",
+                "(declare-fun x () Int)(declare-fun y () Int)
+                 (assert (= (+ (* 997 x) (* 991 y)) 1))",
+            ),
+            item("nonlinear", "(declare-fun x () Int)(assert (= (* x x) 7))"),
+        ];
+        let config = BatchConfig {
+            steps: 1,
+            include_baseline: false,
+            escalations: Vec::new(),
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let reports = run_batch_with(&items, &config, &RunOptions::default());
+        assert_eq!(reports[0].verdict.name(), "unknown");
+        assert_eq!(reports[0].unknown_reason, Some("budget"));
+        assert_eq!(reports[1].verdict.name(), "unknown");
+        assert_eq!(reports[1].unknown_reason, Some("ineligible-fragment"));
+        assert!(reports[1]
+            .to_jsonl()
+            .contains("\"unknown_reason\":\"ineligible-fragment\""));
+    }
+
+    #[test]
+    fn complete_lane_agrees_with_baseline_on_sat() {
+        // A satisfiable linear system: the complete lane must never turn
+        // sat into unsat — its bounded box contains a witness by
+        // construction.
+        let items = [item(
+            "feasible",
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (>= (+ x y) 10))(assert (<= (- x y) 3))",
+        )];
+        let config = BatchConfig {
+            include_baseline: false,
+            escalations: Vec::new(),
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let report = &run_batch_with(&items, &config, &RunOptions::default())[0];
+        assert_eq!(report.verdict.name(), "sat");
+        // Every complete lane that ran either verified a model or stayed
+        // inconclusive — never a (promoted) unsat.
+        for lane in &report.lanes {
+            if matches!(lane.spec.kind, LaneKind::Complete { .. }) {
+                assert_ne!(lane.verdict, LaneVerdict::Unsat, "{}", lane.spec.label());
+            }
+        }
     }
 
     #[test]

@@ -21,7 +21,7 @@ use std::fmt;
 use staub_numeric::{BigInt, RoundingMode};
 use staub_smtlib::{Logic, Op, Script, Sort, SymbolId, TermId, TermStore};
 
-use crate::absint::InferredBounds;
+use crate::absint::{self, BoundCertificate, InferredBounds};
 use crate::correspond::{phi_int, phi_real, select_bv_width, select_fp_format, SortLimits};
 use crate::pipeline::WidthChoice;
 
@@ -72,6 +72,9 @@ pub struct Transformed {
     pub fp_format: Option<(u32, u32)>,
     /// Number of overflow/definedness guards inserted.
     pub guard_count: usize,
+    /// The a-priori bound certificate derived from the *original* script
+    /// (fragment class, coefficient ledger, certified width if pure LIA).
+    pub certificate: BoundCertificate,
 }
 
 /// Transforms an unbounded script into a bounded one.
@@ -103,9 +106,12 @@ pub fn transform(
     for &a in script.assertions() {
         scan_const_sorts(store, a, &mut has_int, &mut has_real);
     }
+    // The certificate is derived from the original script once, here, so
+    // every consumer of a `Transformed` sees the same claim.
+    let certificate = absint::certify(script);
     match (has_int, has_real) {
-        (true, false) => transform_int(script, bounds, choice, limits),
-        (false, true) => transform_real(script, bounds, choice, limits),
+        (true, false) => transform_int(script, bounds, choice, limits, certificate),
+        (false, true) => transform_real(script, bounds, choice, limits, certificate),
         (true, true) => Err(TransformError::UnsupportedSorts),
         (false, false) => Err(TransformError::AlreadyBounded),
     }
@@ -146,6 +152,7 @@ fn transform_int(
     bounds: &InferredBounds,
     choice: WidthChoice,
     limits: &SortLimits,
+    certificate: BoundCertificate,
 ) -> Result<Transformed, TransformError> {
     let width = select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
     let mut tx = IntTx {
@@ -179,6 +186,7 @@ fn transform_int(
         bv_width: Some(width),
         fp_format: None,
         guard_count,
+        certificate,
     })
 }
 
@@ -393,6 +401,7 @@ fn transform_real(
     bounds: &InferredBounds,
     choice: WidthChoice,
     limits: &SortLimits,
+    certificate: BoundCertificate,
 ) -> Result<Transformed, TransformError> {
     let (eb, sb) = select_fp_format(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
     let mut tx = RealTx {
@@ -426,6 +435,7 @@ fn transform_real(
         bv_width: None,
         fp_format: Some((eb, sb)),
         guard_count,
+        certificate,
     })
 }
 

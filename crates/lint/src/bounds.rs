@@ -1,0 +1,609 @@
+//! Pass 5 (`L4xx`): certify a-priori bound certificates.
+//!
+//! `staub-core` derives, for pure-LIA scripts, a *certified width* — a
+//! bitvector width at which the bounded translation is equisatisfiable
+//! with the unbounded original (a Bromberger-style small-model bound), so
+//! a bounded `unsat` at that width may be promoted to a trusted `unsat`.
+//! Trusting that promotion means trusting the derivation, so this pass
+//! re-derives the whole chain **independently** from the original script —
+//! fragment classification, coefficient-magnitude ledger, and the width
+//! formula — and cross-checks the claimed certificate against it:
+//!
+//! * `L401` — the claimed fragment class disagrees with the re-derived one.
+//! * `L402` — a re-derived ledger entry exceeds the claimed one: some
+//!   coefficient, constant, atom, or variable escaped the analysis.
+//! * `L403` — the claimed certified width is below what the claimed ledger
+//!   itself implies, or a width is claimed outside pure LIA.
+//! * `L404` — the width a bounded check actually used is below the
+//!   certified width (checked only when a used width is supplied).
+//! * `L405` — a declared numeric variable is missing from the per-variable
+//!   bounds, or bounded below the certified width.
+//!
+//! The re-derivation deliberately duplicates the core analysis rather than
+//! calling it: the checker must not trust the code it checks. Both sides
+//! are pinned to the same published formula, so honest certificates always
+//! lint clean; any drift between the implementations is itself a bug this
+//! pass exposes.
+
+use staub_numeric::BigRational;
+use staub_smtlib::{print_term, Op, Script, Sort, SymbolId, TermId, TermStore};
+
+use crate::report::{LintCode, LintReport};
+
+/// A bound certificate as *claimed* by the pipeline, flattened to
+/// primitives so this crate never depends on `staub-core` types. Core
+/// fills one in from its `BoundCertificate` (the `Correspondence` idiom).
+#[derive(Debug, Clone)]
+pub struct BoundClaim<'a> {
+    /// The original (unbounded) script the certificate was derived from.
+    pub original: &'a Script,
+    /// Claimed fragment class name: `"lia"`, `"lra"`, `"mixed"`, or
+    /// `"ineligible"`.
+    pub fragment: &'a str,
+    /// Claimed number of declared numeric variables.
+    pub num_vars: usize,
+    /// Claimed number of linear atoms (pairwise-expanded).
+    pub num_atoms: usize,
+    /// Claimed max bit-length over all atom coefficients and constants.
+    pub max_entry_bits: u32,
+    /// Claimed max additive terms in a single atom.
+    pub max_atom_terms: usize,
+    /// The certified width, if the certificate claims completeness.
+    pub certified_width: Option<u32>,
+    /// Claimed sufficient width per declared numeric variable.
+    pub var_bounds: &'a [(SymbolId, u32)],
+    /// The width a bounded check actually ran at, when validating a
+    /// promotion (`None` when only the derivation is being certified).
+    pub used_width: Option<u32>,
+}
+
+/// `⌈log₂(k+1)⌉` — bits needed to absorb a `k`-way sum.
+fn count_bits(k: usize) -> u32 {
+    usize::BITS - k.leading_zeros()
+}
+
+/// Bit-length of a rational constant: integer-part bits (incl. sign) plus
+/// dyadic fraction digits, saturating for non-dyadic values.
+fn real_const_bits(c: &BigRational) -> u32 {
+    let magnitude = (c.abs().ceil().bit_len() as u32 + 1).max(2);
+    let precision = c.dig().map_or(u32::MAX / 2, |d| d as u32);
+    magnitude.saturating_add(precision)
+}
+
+/// Abstract linear form: bit-lengths of the largest coefficient and
+/// constant part, plus the count of additive variable terms.
+#[derive(Debug, Clone, Copy)]
+struct LinForm {
+    coeff_bits: u32,
+    const_bits: u32,
+    terms: usize,
+}
+
+/// The ledger re-derived from the original script.
+#[derive(Debug, Default, Clone, Copy)]
+struct Ledger {
+    num_atoms: usize,
+    max_entry_bits: u32,
+    max_atom_terms: usize,
+}
+
+/// Derives the linear form of a numeric term, `None` if nonlinear.
+fn lin_form(
+    store: &TermStore,
+    id: TermId,
+    memo: &mut Vec<Option<Option<LinForm>>>,
+) -> Option<LinForm> {
+    if let Some(cached) = memo[id.index()] {
+        return cached;
+    }
+    let term = store.term(id);
+    let args = term.args();
+    let constant = |bits: u32| LinForm {
+        coeff_bits: 0,
+        const_bits: bits,
+        terms: 0,
+    };
+    let form = match term.op() {
+        Op::IntConst(c) => Some(constant((c.abs().bit_len() as u32 + 1).max(2))),
+        Op::RealConst(c) => Some(constant(real_const_bits(c))),
+        Op::Var(sym) => match store.symbol_sort(*sym) {
+            Sort::Int | Sort::Real => Some(LinForm {
+                coeff_bits: 2,
+                const_bits: 0,
+                terms: 1,
+            }),
+            _ => None,
+        },
+        Op::Neg => lin_form(store, args[0], memo),
+        Op::Add | Op::Sub => {
+            let mut coeff_bits = 0u32;
+            let mut const_bits = 0u32;
+            let mut terms = 0usize;
+            let mut ok = true;
+            for &a in args {
+                match lin_form(store, a, memo) {
+                    Some(f) => {
+                        coeff_bits = coeff_bits.max(f.coeff_bits);
+                        const_bits = const_bits.max(f.const_bits);
+                        terms += f.terms;
+                    }
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            let extra = count_bits(args.len().saturating_sub(1));
+            if ok {
+                Some(LinForm {
+                    coeff_bits: coeff_bits.saturating_add(extra),
+                    const_bits: const_bits.saturating_add(extra),
+                    terms,
+                })
+            } else {
+                None
+            }
+        }
+        Op::Mul => {
+            let mut const_bits_sum = 0u32;
+            let mut non_const: Option<LinForm> = None;
+            let mut ok = true;
+            for &a in args {
+                match lin_form(store, a, memo) {
+                    Some(f) if f.terms == 0 => {
+                        const_bits_sum = const_bits_sum.saturating_add(f.const_bits);
+                    }
+                    Some(f) if non_const.is_none() => non_const = Some(f),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            if !ok {
+                None
+            } else {
+                match non_const {
+                    None => Some(constant(const_bits_sum)),
+                    Some(f) => Some(LinForm {
+                        coeff_bits: f.coeff_bits.saturating_add(const_bits_sum),
+                        const_bits: f.const_bits.saturating_add(const_bits_sum),
+                        terms: f.terms,
+                    }),
+                }
+            }
+        }
+        Op::RealDiv if args.len() == 2 => match lin_form(store, args[1], memo) {
+            Some(d) if d.terms == 0 => lin_form(store, args[0], memo).map(|t| LinForm {
+                coeff_bits: t.coeff_bits.saturating_add(d.const_bits),
+                const_bits: t.const_bits.saturating_add(d.const_bits),
+                terms: t.terms,
+            }),
+            _ => None,
+        },
+        _ => None,
+    };
+    memo[id.index()] = Some(form);
+    form
+}
+
+/// Walks the Boolean structure collecting atom ledger entries; `None` when
+/// the script leaves the linear fragment.
+fn derive_ledger(script: &Script) -> Option<Ledger> {
+    let store = script.store();
+    let mut ledger = Ledger::default();
+    let mut memo: Vec<Option<Option<LinForm>>> = vec![None; store.len()];
+    let mut stack: Vec<TermId> = script.assertions().to_vec();
+    let mut seen = vec![false; store.len()];
+    while let Some(id) = stack.pop() {
+        if seen[id.index()] {
+            continue;
+        }
+        seen[id.index()] = true;
+        let term = store.term(id);
+        let args = term.args();
+        match term.op() {
+            Op::True | Op::False => {}
+            Op::Var(sym) => {
+                if store.symbol_sort(*sym) != Sort::Bool {
+                    return None;
+                }
+            }
+            Op::Not | Op::And | Op::Or | Op::Xor | Op::Implies => {
+                stack.extend(args.iter().copied());
+            }
+            Op::Ite => {
+                if store.sort(id) != Sort::Bool {
+                    return None;
+                }
+                stack.extend(args.iter().copied());
+            }
+            Op::Eq | Op::Distinct if args.first().map(|&a| store.sort(a)) == Some(Sort::Bool) => {
+                stack.extend(args.iter().copied());
+            }
+            Op::Eq | Op::Distinct | Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let k = args.len();
+                let pairwise = if matches!(term.op(), Op::Distinct) {
+                    k.saturating_mul(k.saturating_sub(1)) / 2
+                } else {
+                    k.saturating_sub(1)
+                };
+                let mut entry_bits = 0u32;
+                let mut atom_terms = 1usize;
+                for &a in args {
+                    let f = lin_form(store, a, &mut memo)?;
+                    entry_bits = entry_bits
+                        .max(f.coeff_bits)
+                        .max(f.const_bits.saturating_add(1));
+                    atom_terms = atom_terms.saturating_add(f.terms);
+                }
+                ledger.num_atoms = ledger.num_atoms.saturating_add(pairwise);
+                ledger.max_entry_bits = ledger.max_entry_bits.max(entry_bits.max(2));
+                ledger.max_atom_terms = ledger.max_atom_terms.max(atom_terms);
+            }
+            _ => return None,
+        }
+    }
+    Some(ledger)
+}
+
+/// The published width formula over a (claimed or derived) ledger:
+/// `sol_bits = ⌈log₂(n+1)⌉ + k·(M + ⌈log₂ k⌉)` with `k = min(2·atoms, n+1)`
+/// (Hadamard bound on the extended matrix), then evaluation headroom
+/// `+ M + ⌈log₂ terms⌉ + 2`.
+fn width_formula(
+    num_vars: usize,
+    num_atoms: usize,
+    max_entry_bits: u32,
+    max_atom_terms: usize,
+) -> u32 {
+    let n = num_vars.max(1);
+    let rows = num_atoms.saturating_mul(2).max(1);
+    let k = rows.min(n + 1);
+    let m = max_entry_bits.max(2);
+    let sol_bits = count_bits(n + 1)
+        .saturating_add((k as u32).saturating_mul(m.saturating_add(count_bits(k))));
+    sol_bits
+        .saturating_add(m)
+        .saturating_add(count_bits(max_atom_terms.max(1)))
+        .saturating_add(2)
+}
+
+/// Cross-checks a claimed bound certificate against an independent
+/// re-derivation from the original script.
+pub fn bound_certificate(claim: &BoundClaim<'_>) -> LintReport {
+    let mut report = LintReport::new();
+    let store = claim.original.store();
+
+    // Re-derive the fragment and ledger from scratch.
+    let derived = derive_ledger(claim.original);
+    let mut int_vars: Vec<SymbolId> = Vec::new();
+    let mut real_vars = 0usize;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::Int => int_vars.push(sym),
+            Sort::Real => real_vars += 1,
+            _ => {}
+        }
+    }
+    let derived_fragment = match &derived {
+        None => "ineligible",
+        Some(_) => match (!int_vars.is_empty(), real_vars > 0) {
+            (true, true) => "mixed",
+            (true, false) => "lia",
+            (false, true) => "lra",
+            (false, false) => "ineligible",
+        },
+    };
+
+    // L401: fragment classification must agree.
+    if claim.fragment != derived_fragment {
+        report.error(
+            LintCode::FragmentMismatch,
+            format!(
+                "certificate claims fragment `{}` but re-derivation says `{derived_fragment}`",
+                claim.fragment
+            ),
+            None,
+        );
+    }
+
+    // L402: nothing may have escaped the claimed ledger.
+    if let Some(ledger) = derived {
+        let derived_vars = int_vars.len() + real_vars;
+        let escapes: [(&str, usize, usize); 4] = [
+            ("num_vars", claim.num_vars, derived_vars),
+            ("num_atoms", claim.num_atoms, ledger.num_atoms),
+            (
+                "max_entry_bits",
+                claim.max_entry_bits as usize,
+                ledger.max_entry_bits as usize,
+            ),
+            (
+                "max_atom_terms",
+                claim.max_atom_terms,
+                ledger.max_atom_terms,
+            ),
+        ];
+        for (field, claimed, rederived) in escapes {
+            if claimed < rederived {
+                report.error(
+                    LintCode::LedgerEscape,
+                    format!(
+                        "ledger field `{field}` claims {claimed} but re-derivation finds \
+                         {rederived} — a term escaped the certificate"
+                    ),
+                    None,
+                );
+            }
+        }
+    }
+
+    // L403: a certified width must come from pure LIA and dominate what
+    // the claimed ledger implies (the ledger itself is pinned by L402, so
+    // formula(claimed) ≥ formula(derived) by monotonicity).
+    if let Some(w) = claim.certified_width {
+        if claim.fragment != "lia" {
+            report.error(
+                LintCode::CertifiedWidthUnsound,
+                format!(
+                    "certified width {w} claimed for fragment `{}` — only pure LIA has an \
+                     a-priori bound",
+                    claim.fragment
+                ),
+                None,
+            );
+        }
+        let implied = width_formula(
+            claim.num_vars,
+            claim.num_atoms,
+            claim.max_entry_bits,
+            claim.max_atom_terms,
+        );
+        if w < implied {
+            report.error(
+                LintCode::CertifiedWidthUnsound,
+                format!("certified width {w} is below the {implied} bits its own ledger implies"),
+                None,
+            );
+        }
+
+        // L405: every declared numeric variable must be covered at least
+        // up to the certified width.
+        for &sym in &int_vars {
+            match claim.var_bounds.iter().find(|(s, _)| *s == sym) {
+                None => report.error(
+                    LintCode::UncoveredVariable,
+                    format!(
+                        "declared Int variable `{}` has no per-variable bound in the certificate",
+                        store.symbol_name(sym)
+                    ),
+                    claim
+                        .original
+                        .assertions()
+                        .first()
+                        .map(|&a| print_term(store, a)),
+                ),
+                Some(&(_, b)) if b < w => report.error(
+                    LintCode::UncoveredVariable,
+                    format!(
+                        "variable `{}` bounded at {b} bits, below the certified width {w}",
+                        store.symbol_name(sym)
+                    ),
+                    None,
+                ),
+                Some(_) => {}
+            }
+        }
+    }
+
+    // L404: a promotion is only sound at or above the certified width.
+    if let Some(used) = claim.used_width {
+        match claim.certified_width {
+            None => report.error(
+                LintCode::UsedWidthBelowCertificate,
+                format!(
+                    "bounded check at {used} bits has no certified width to compare against — \
+                     its unsat must not be promoted"
+                ),
+                None,
+            ),
+            Some(cert) if used < cert => report.error(
+                LintCode::UsedWidthBelowCertificate,
+                format!("bounded check used {used} bits, below the certified width {cert}"),
+                None,
+            ),
+            Some(_) => {}
+        }
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Script {
+        Script::parse(src).unwrap()
+    }
+
+    /// An honest claim for a tiny pure-LIA script, as core would build it.
+    fn honest_claim(script: &Script) -> (usize, usize, u32, usize, u32, Vec<(SymbolId, u32)>) {
+        let ledger = derive_ledger(script).expect("linear");
+        let store = script.store();
+        let vars: Vec<SymbolId> = store
+            .symbols()
+            .filter(|&s| store.symbol_sort(s) == Sort::Int)
+            .collect();
+        let w = width_formula(
+            vars.len(),
+            ledger.num_atoms,
+            ledger.max_entry_bits,
+            ledger.max_atom_terms,
+        );
+        let bounds = vars.iter().map(|&s| (s, w)).collect();
+        (
+            vars.len(),
+            ledger.num_atoms,
+            ledger.max_entry_bits,
+            ledger.max_atom_terms,
+            w,
+            bounds,
+        )
+    }
+
+    const LIA: &str = "(declare-fun x () Int)(declare-fun y () Int)
+                       (assert (>= (+ (* 3 x) (* 5 y)) 7))
+                       (assert (<= x 2))(check-sat)";
+
+    #[test]
+    fn honest_certificate_lints_clean() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, w, bounds) =
+            honest_claim(&script);
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars,
+            num_atoms,
+            max_entry_bits,
+            max_atom_terms,
+            certified_width: Some(w),
+            var_bounds: &bounds,
+            used_width: Some(w),
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn fragment_mismatch_is_l401() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, _, _) = honest_claim(&script);
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lra",
+            num_vars,
+            num_atoms,
+            max_entry_bits,
+            max_atom_terms,
+            certified_width: None,
+            var_bounds: &[],
+            used_width: None,
+        });
+        assert!(report.has(LintCode::FragmentMismatch), "{report}");
+    }
+
+    #[test]
+    fn understated_ledger_is_l402() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, w, bounds) =
+            honest_claim(&script);
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars,
+            num_atoms,
+            max_entry_bits: max_entry_bits - 1,
+            max_atom_terms,
+            certified_width: Some(w),
+            var_bounds: &bounds,
+            used_width: None,
+        });
+        assert!(report.has(LintCode::LedgerEscape), "{report}");
+        let _ = (num_vars, num_atoms);
+    }
+
+    #[test]
+    fn width_below_own_ledger_is_l403() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, w, bounds) =
+            honest_claim(&script);
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars,
+            num_atoms,
+            max_entry_bits,
+            max_atom_terms,
+            certified_width: Some(w - 1),
+            var_bounds: &bounds,
+            used_width: None,
+        });
+        assert!(report.has(LintCode::CertifiedWidthUnsound), "{report}");
+    }
+
+    #[test]
+    fn width_claim_outside_lia_is_l403() {
+        let script = parse("(declare-fun r () Real)(assert (<= r 2.0))(check-sat)");
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lra",
+            num_vars: 1,
+            num_atoms: 1,
+            max_entry_bits: 8,
+            max_atom_terms: 2,
+            certified_width: Some(64),
+            var_bounds: &[],
+            used_width: None,
+        });
+        assert!(report.has(LintCode::CertifiedWidthUnsound), "{report}");
+    }
+
+    #[test]
+    fn narrow_used_width_is_l404() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, w, bounds) =
+            honest_claim(&script);
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars,
+            num_atoms,
+            max_entry_bits,
+            max_atom_terms,
+            certified_width: Some(w),
+            var_bounds: &bounds,
+            used_width: Some(w - 1),
+        });
+        assert!(report.has(LintCode::UsedWidthBelowCertificate), "{report}");
+    }
+
+    #[test]
+    fn missing_variable_bound_is_l405() {
+        let script = parse(LIA);
+        let (num_vars, num_atoms, max_entry_bits, max_atom_terms, w, mut bounds) =
+            honest_claim(&script);
+        bounds.pop();
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars,
+            num_atoms,
+            max_entry_bits,
+            max_atom_terms,
+            certified_width: Some(w),
+            var_bounds: &bounds,
+            used_width: None,
+        });
+        assert!(report.has(LintCode::UncoveredVariable), "{report}");
+    }
+
+    #[test]
+    fn nonlinear_script_rederives_ineligible() {
+        let script = parse("(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)");
+        let report = bound_certificate(&BoundClaim {
+            original: &script,
+            fragment: "lia",
+            num_vars: 1,
+            num_atoms: 1,
+            max_entry_bits: 8,
+            max_atom_terms: 3,
+            certified_width: Some(64),
+            var_bounds: &[],
+            used_width: None,
+        });
+        // The stale claim misclassifies a nonlinear script as `lia`.
+        assert!(report.has(LintCode::FragmentMismatch), "{report}");
+    }
+}

@@ -12,18 +12,23 @@
 //! | [`boundedness`] | `L101`–`L103` | no unbounded sort survives ℳ; every bitvector arithmetic application is overflow-guarded; constants fit their width |
 //! | [`correspondence`] | `L201`–`L204` | φ⁻¹ covers the original symbols; sort pairs correspond; widths are monotone over the inference |
 //! | [`model_shape`] | `L301`–`L302` | a candidate model assigns every free symbol a value of its declared sort |
+//! | [`bound_certificate`] | `L401`–`L405` | an a-priori bound certificate re-derives from the original script: fragment class, coefficient ledger, certified width, and per-variable coverage all cross-check |
 //!
 //! The passes are pure functions over `staub-smtlib` data, so they can run
 //! between pipeline stages (see the `check` knob in `staub-core`), from the
 //! `staub lint` CLI subcommand, or standalone in tests.
 
+#![forbid(unsafe_code)]
+
 pub mod bounded;
+pub mod bounds;
 pub mod correspondence;
 pub mod model;
 pub mod report;
 pub mod resort;
 
 pub use bounded::boundedness;
+pub use bounds::{bound_certificate, BoundClaim};
 pub use correspondence::{correspondence, Correspondence};
 pub use model::model_shape;
 pub use report::{Finding, LintCode, LintReport, Severity};

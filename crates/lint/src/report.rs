@@ -8,6 +8,7 @@ use std::fmt;
 /// * `L1xx` — boundedness (transformed constraint shape)
 /// * `L2xx` — correspondence (φ totality and width monotonicity)
 /// * `L3xx` — model shape
+/// * `L4xx` — bound certificates (a-priori completeness claims)
 ///
 /// Codes are part of the tool's stable output: tests and downstream
 /// tooling match on them, so variants may be added but never renumbered.
@@ -48,6 +49,23 @@ pub enum LintCode {
     ModelMissingValue,
     /// `L302`: a returned model assigns a value of the wrong sort.
     ModelSortMismatch,
+    /// `L401`: the certificate's fragment class disagrees with the one
+    /// re-derived independently from the original script.
+    FragmentMismatch,
+    /// `L402`: a coefficient or constant escaped the certificate's ledger —
+    /// some re-derived ledger entry exceeds what the certificate claims.
+    LedgerEscape,
+    /// `L403`: the certified width is below what the claimed ledger itself
+    /// implies, or a width is claimed for a fragment that has no a-priori
+    /// bound (only pure LIA does).
+    CertifiedWidthUnsound,
+    /// `L404`: the width actually used by a bounded check is below the
+    /// certified width — its `unsat` must not be promoted.
+    UsedWidthBelowCertificate,
+    /// `L405`: a declared numeric variable is missing from the
+    /// certificate's per-variable bounds (or bounded below the certified
+    /// width) — it escaped the analysis.
+    UncoveredVariable,
 }
 
 impl LintCode {
@@ -66,6 +84,11 @@ impl LintCode {
             LintCode::WidthMarginDropped => "L204",
             LintCode::ModelMissingValue => "L301",
             LintCode::ModelSortMismatch => "L302",
+            LintCode::FragmentMismatch => "L401",
+            LintCode::LedgerEscape => "L402",
+            LintCode::CertifiedWidthUnsound => "L403",
+            LintCode::UsedWidthBelowCertificate => "L404",
+            LintCode::UncoveredVariable => "L405",
         }
     }
 
@@ -84,7 +107,37 @@ impl LintCode {
             LintCode::WidthMarginDropped => "width-margin-dropped",
             LintCode::ModelMissingValue => "model-missing-value",
             LintCode::ModelSortMismatch => "model-sort-mismatch",
+            LintCode::FragmentMismatch => "fragment-mismatch",
+            LintCode::LedgerEscape => "ledger-escape",
+            LintCode::CertifiedWidthUnsound => "certified-width-unsound",
+            LintCode::UsedWidthBelowCertificate => "used-width-below-certificate",
+            LintCode::UncoveredVariable => "uncovered-variable",
         }
+    }
+
+    /// Every code the linter can emit, in code order — the registry the
+    /// uniqueness/coverage tests enumerate. New variants must be added
+    /// here (the `codes_are_unique_and_stable` test counts on it).
+    pub fn all() -> &'static [LintCode] {
+        &[
+            LintCode::SortMismatch,
+            LintCode::SortUnderivable,
+            LintCode::AcyclicityViolation,
+            LintCode::UnboundedSubterm,
+            LintCode::MissingGuard,
+            LintCode::ConstantOverflow,
+            LintCode::PhiIncomplete,
+            LintCode::PhiSortMismatch,
+            LintCode::WidthBelowInference,
+            LintCode::WidthMarginDropped,
+            LintCode::ModelMissingValue,
+            LintCode::ModelSortMismatch,
+            LintCode::FragmentMismatch,
+            LintCode::LedgerEscape,
+            LintCode::CertifiedWidthUnsound,
+            LintCode::UsedWidthBelowCertificate,
+            LintCode::UncoveredVariable,
+        ]
     }
 }
 
@@ -214,24 +267,38 @@ mod tests {
 
     #[test]
     fn codes_are_unique_and_stable() {
-        let all = [
-            LintCode::SortMismatch,
-            LintCode::SortUnderivable,
-            LintCode::AcyclicityViolation,
-            LintCode::UnboundedSubterm,
-            LintCode::MissingGuard,
-            LintCode::ConstantOverflow,
-            LintCode::PhiIncomplete,
-            LintCode::PhiSortMismatch,
-            LintCode::WidthBelowInference,
-            LintCode::WidthMarginDropped,
-            LintCode::ModelMissingValue,
-            LintCode::ModelSortMismatch,
-        ];
+        let all = LintCode::all();
         let mut codes: Vec<&str> = all.iter().map(|c| c.code()).collect();
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), all.len(), "duplicate code strings");
+        let mut names: Vec<&str> = all.iter().map(|c| c.name()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), all.len(), "duplicate code names");
+    }
+
+    #[test]
+    fn registry_is_well_formed() {
+        let all = LintCode::all();
+        // Every code string is `L` + three digits, listed in ascending
+        // order — renumbering or an out-of-family insertion fails here.
+        let mut prev = String::new();
+        for c in all {
+            let s = c.code();
+            assert_eq!(s.len(), 4, "{s}: code is L + 3 digits");
+            assert!(s.starts_with('L'), "{s}");
+            assert!(s[1..].chars().all(|ch| ch.is_ascii_digit()), "{s}");
+            assert!(*s > *prev, "{s}: registry not in ascending code order");
+            prev = s.to_string();
+        }
+        // The registry covers every family the header documents.
+        for family in ["L0", "L1", "L2", "L3", "L4"] {
+            assert!(
+                all.iter().any(|c| c.code().starts_with(family)),
+                "family {family}xx has no registered code"
+            );
+        }
     }
 
     #[test]

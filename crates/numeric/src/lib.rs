@@ -33,6 +33,8 @@
 //! assert_eq!(f.to_rational(), Some(half));
 //! ```
 
+#![forbid(unsafe_code)]
+
 mod bigint;
 mod bitvec;
 mod rational;

@@ -9,8 +9,11 @@
 //! answer.
 //!
 //! Only *sound* results are cached — `sat` verdicts whose models the
-//! pipeline already lift-verified, and `unsat` verdicts (which STAUB only
-//! reports from exact lanes; bounded-unsat is never trusted, §4.4).
+//! pipeline already lift-verified, and `unsat` verdicts, which STAUB only
+//! reports from exact lanes or from certified complete lanes (a bounded
+//! unsat is promoted only when its Bromberger-style a-priori bound
+//! certificate passes the independent `L4xx` lints; an *uncertified*
+//! bounded-unsat is never trusted, §4.4).
 //! `unknown` is a budget artifact, not a fact about the constraint, so it
 //! is never cached. Cached models are stored keyed by *canonical
 //! variable index* and rebound through the requester's own
@@ -40,7 +43,8 @@ pub enum CachedVerdict {
         /// Winning lane label at insertion time.
         winner: Option<String>,
     },
-    /// Unsatisfiable (exact-lane verdict only).
+    /// Unsatisfiable (from an exact lane, or a complete lane whose bound
+    /// certificate linted clean).
     Unsat {
         /// Winning lane label at insertion time.
         winner: Option<String>,

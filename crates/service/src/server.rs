@@ -26,9 +26,11 @@
 //! assertion before being served; any failure (index out of range, sort
 //! mismatch surfacing as an eval error, stale entry) silently degrades to
 //! a miss and the scheduler runs. `unsat` entries are verdict-only and
-//! derive from exact lanes (the scheduler never reports bounded-unsat),
-//! so replaying the verdict for a canonically identical constraint is
-//! sound by construction.
+//! derive either from exact lanes or from certified complete lanes (the
+//! scheduler promotes a bounded-unsat only when its a-priori bound
+//! certificate passes the independent `L4xx` lints), so replaying the
+//! verdict for a canonically identical constraint is sound by
+//! construction.
 
 use std::io::{self, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -903,10 +905,10 @@ fn check_session(
     if use_cache {
         match &outcome {
             StaubOutcome::Sat { model, .. } => cache_store(inner, &canon, Some(model), &winner),
-            // A session `unsat` is always proven on the original
-            // constraint (the pipeline never trusts bounded unsat), so
-            // replaying it for a canonically identical constraint is
-            // sound — the same invariant the scheduler path relies on.
+            // A session `unsat` is sound — proven on the original
+            // constraint, or promoted from a certified complete lane —
+            // so replaying it for a canonically identical constraint is
+            // sound too, the same invariant the scheduler path relies on.
             StaubOutcome::Unsat { .. } => cache_store(inner, &canon, None, &winner),
             StaubOutcome::Unknown { .. } => {}
         }

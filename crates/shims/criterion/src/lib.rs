@@ -11,6 +11,8 @@
 //! minimum, and maximum to stdout. That is enough to compare the paper's
 //! configurations against each other on one machine.
 
+#![forbid(unsafe_code)]
+
 use std::fmt::Display;
 use std::hint::black_box as std_black_box;
 use std::time::{Duration, Instant};

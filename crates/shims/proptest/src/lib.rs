@@ -19,6 +19,8 @@
 //!   accepts upstream's 64-hex-digit entries by reading their leading 16
 //!   digits as a seed.
 
+#![forbid(unsafe_code)]
+
 pub mod arbitrary;
 pub mod collection;
 pub mod strategy;

@@ -9,6 +9,8 @@
 //! stream as upstream `StdRng` (ChaCha12), but everything in this workspace
 //! only relies on determinism in the seed, never on a specific stream.
 
+#![forbid(unsafe_code)]
+
 use std::ops::{Range, RangeInclusive};
 
 /// Core of a random number generator: a source of uniform `u32`/`u64` words.

@@ -36,6 +36,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod passes;
 
 use std::collections::HashMap;

@@ -179,6 +179,17 @@ impl TermStore {
         self.terms[id.index()].op = op;
     }
 
+    /// Overwrites a term's argument list in place, bypassing sort-checking
+    /// and the bottom-up interning invariant.
+    ///
+    /// Exists only so negative tests can seed the store corruption that
+    /// `staub-lint` certifies against (e.g. the acyclicity check). Never
+    /// call this from production code.
+    #[doc(hidden)]
+    pub fn corrupt_args_for_test(&mut self, id: TermId, args: Vec<TermId>) {
+        self.terms[id.index()].args = args;
+    }
+
     /// The sort of an interned term.
     pub fn sort(&self, id: TermId) -> Sort {
         self.terms[id.index()].sort

@@ -33,6 +33,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod ranking;
 pub mod suite;
 pub mod unroll;

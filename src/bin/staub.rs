@@ -222,6 +222,29 @@ fn stats_main(args: Vec<String>) -> ExitCode {
                 "; lane {} (x{}) in {} steps",
                 p.label, p.multiplier, p.steps
             );
+            if outcome.verdict_name() == "unknown" {
+                // Distinguish a recoverable unknown (more budget could
+                // decide it) from a structural one, using the scheduler's
+                // own lane-eligibility test so both surfaces agree: a
+                // certificate wider than the lane limit is not eligible.
+                let limits = staub::core::correspond::SortLimits::default();
+                let cert = staub::core::certify(&script);
+                let reason = match (
+                    staub::core::complete_width(&script, &limits),
+                    cert.certified_width,
+                ) {
+                    (Some(_), _) => {
+                        "budget exhausted (certified lia fragment; retry with more steps)"
+                            .to_string()
+                    }
+                    (None, Some(w)) => format!(
+                        "certified width {w} exceeds the {}-bit lane limit",
+                        limits.max_bv_width
+                    ),
+                    (None, None) => format!("ineligible fragment ({})", cert.fragment.name()),
+                };
+                println!("; unknown reason: {reason}");
+            }
         }
         Err(e) => {
             eprintln!("error: {e}");
@@ -376,14 +399,21 @@ fn batch_main(args: Vec<String>) -> ExitCode {
     let wall = start.elapsed();
 
     let mut jsonl = String::new();
-    let (mut sat, mut unsat, mut unknown, mut cancelled) = (0u32, 0u32, 0u32, 0u32);
+    let (mut sat, mut unsat, mut cancelled) = (0u32, 0u32, 0u32);
+    // Unknown is not one population: a budget unknown might resolve with
+    // more steps, an ineligible-fragment unknown never will (no certified
+    // complete lane exists for it). Report them separately.
+    let (mut unknown_budget, mut unknown_fragment) = (0u32, 0u32);
     for report in &reports {
         jsonl.push_str(&report.to_jsonl());
         jsonl.push('\n');
         match report.verdict.name() {
             "sat" => sat += 1,
             "unsat" => unsat += 1,
-            _ => unknown += 1,
+            _ => match report.unknown_reason {
+                Some("ineligible-fragment") => unknown_fragment += 1,
+                _ => unknown_budget += 1,
+            },
         }
         cancelled += report
             .lanes
@@ -410,7 +440,9 @@ fn batch_main(args: Vec<String>) -> ExitCode {
         }
     }
     eprintln!(
-        "; {} constraints in {:.1?}: {sat} sat, {unsat} unsat, {unknown} unknown; \
+        "; {} constraints in {:.1?}: {sat} sat, {unsat} unsat, \
+         {unknown_budget} unknown (budget), \
+         {unknown_fragment} unknown (ineligible fragment); \
          {cancelled} lanes cancelled",
         reports.len(),
         wall,

@@ -40,6 +40,8 @@
 //! warm-start from earlier ones; see its docs for the incremental
 //! `push`/`pop`/`assert_text`/`check` surface.
 
+#![forbid(unsafe_code)]
+
 pub use staub_benchgen as benchgen;
 pub use staub_core as core;
 pub use staub_lint as lint;

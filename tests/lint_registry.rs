@@ -1,0 +1,293 @@
+//! The lint registry must be *live*: every code in [`LintCode::all`] has at
+//! least one corpus case here that demonstrably fires it. A code nobody can
+//! trigger is dead weight in the registry; a trigger nobody registers is a
+//! regression waiting to go silent. The final assertion cross-checks the
+//! case table against the registry in both directions.
+
+use std::collections::HashSet;
+
+use staub::core::certify;
+use staub::lint::{
+    bound_certificate, boundedness, correspondence, model_shape, resort, BoundClaim,
+    Correspondence, LintCode, LintReport,
+};
+use staub::numeric::{BigInt, BigRational, BitVecValue};
+use staub::smtlib::{Logic, Model, Op, Script, Sort, Value};
+
+/// `x + 2 < 10` over Int — the resort corpus seed.
+fn int_script() -> Script {
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let x = script.declare("x", Sort::Int).unwrap();
+    let s = script.store_mut();
+    let xv = s.var(x);
+    let two = s.int(BigInt::from(2));
+    let sum = s.add(&[xv, two]).unwrap();
+    let ten = s.int(BigInt::from(10));
+    let cmp = s.lt(sum, ten).unwrap();
+    script.assert(cmp);
+    script
+}
+
+fn l001_sort_mismatch() -> LintReport {
+    let mut script = int_script();
+    let two = {
+        let s = script.store_mut();
+        s.int(BigInt::from(2))
+    };
+    script.store_mut().corrupt_sort_for_test(two, Sort::Real);
+    resort(script.store())
+}
+
+fn l002_sort_underivable() -> LintReport {
+    let mut script = int_script();
+    let cmp = *script.assertions().first().unwrap();
+    script.store_mut().corrupt_op_for_test(cmp, Op::And);
+    resort(script.store())
+}
+
+fn l003_acyclicity_violation() -> LintReport {
+    let mut script = int_script();
+    let cmp = *script.assertions().first().unwrap();
+    // The comparison now lists *itself* as an argument: interning is no
+    // longer bottom-up.
+    script
+        .store_mut()
+        .corrupt_args_for_test(cmp, vec![cmp, cmp]);
+    resort(script.store())
+}
+
+/// `x + y = 5` over `(_ BitVec 8)`, optionally missing its overflow guard.
+fn bv_script(guarded: bool) -> Script {
+    let mut script = Script::new();
+    script.set_logic(Logic::QfBv);
+    let x = script.declare("x", Sort::BitVec(8)).unwrap();
+    let y = script.declare("y", Sort::BitVec(8)).unwrap();
+    let s = script.store_mut();
+    let xv = s.var(x);
+    let yv = s.var(y);
+    let ovf = s.app(Op::BvSaddo, &[xv, yv]).unwrap();
+    let guard = s.not(ovf).unwrap();
+    let sum = s.app(Op::BvAdd, &[xv, yv]).unwrap();
+    let five = s.bv(BitVecValue::new(BigInt::from(5), 8));
+    let eq = s.eq(sum, five).unwrap();
+    if guarded {
+        script.assert(guard);
+    }
+    script.assert(eq);
+    script
+}
+
+fn l101_unbounded_subterm() -> LintReport {
+    boundedness(&int_script())
+}
+
+fn l102_missing_guard() -> LintReport {
+    boundedness(&bv_script(false))
+}
+
+fn l103_constant_overflow() -> LintReport {
+    let mut script = bv_script(true);
+    let five = {
+        let s = script.store_mut();
+        s.bv(BitVecValue::new(BigInt::from(5), 8))
+    };
+    script.store_mut().corrupt_op_for_test(
+        five,
+        Op::BvConst(BitVecValue::corrupted_for_test(BigInt::from(300), 8)),
+    );
+    boundedness(&script)
+}
+
+/// An original/bounded pair for the correspondence cases.
+fn pair() -> (Script, Script) {
+    let original = int_script();
+    let mut bounded = Script::new();
+    bounded.set_logic(Logic::QfBv);
+    bounded.declare("x", Sort::BitVec(12)).unwrap();
+    (original, bounded)
+}
+
+fn l201_phi_incomplete() -> LintReport {
+    let (original, bounded) = pair();
+    correspondence(&Correspondence {
+        original: &original,
+        bounded: &bounded,
+        var_map: &[],
+        bv_width: Some(12),
+        fp_format: None,
+        int_assumption_width: Some(6),
+        real_assumption: None,
+    })
+}
+
+fn l202_phi_sort_mismatch() -> LintReport {
+    let (original, mut bounded) = pair();
+    let narrow = bounded.declare("x8", Sort::BitVec(8)).unwrap();
+    let ox = original.store().symbol("x").unwrap();
+    correspondence(&Correspondence {
+        original: &original,
+        bounded: &bounded,
+        var_map: &[(ox, narrow)],
+        bv_width: Some(12),
+        fp_format: None,
+        int_assumption_width: Some(6),
+        real_assumption: None,
+    })
+}
+
+fn l203_width_below_inference() -> LintReport {
+    let (original, bounded) = pair();
+    let ox = original.store().symbol("x").unwrap();
+    let bx = bounded.store().symbol("x").unwrap();
+    correspondence(&Correspondence {
+        original: &original,
+        bounded: &bounded,
+        var_map: &[(ox, bx)],
+        bv_width: Some(12),
+        fp_format: None,
+        int_assumption_width: Some(14),
+        real_assumption: None,
+    })
+}
+
+fn l204_width_margin_dropped() -> LintReport {
+    let (original, bounded) = pair();
+    let ox = original.store().symbol("x").unwrap();
+    let bx = bounded.store().symbol("x").unwrap();
+    correspondence(&Correspondence {
+        original: &original,
+        bounded: &bounded,
+        var_map: &[(ox, bx)],
+        bv_width: Some(12),
+        fp_format: None,
+        int_assumption_width: Some(13),
+        real_assumption: None,
+    })
+}
+
+fn l301_model_missing_value() -> LintReport {
+    model_shape(&int_script(), &Model::new())
+}
+
+fn l302_model_sort_mismatch() -> LintReport {
+    let script = int_script();
+    let x = script.store().symbol("x").unwrap();
+    let mut model = Model::new();
+    model.insert(x, Value::Real(BigRational::from(1)));
+    model_shape(&script, &model)
+}
+
+/// A certified pure-LIA parity script plus the honest claim its real
+/// certificate makes — each L4xx case doctors exactly one field.
+fn certified() -> (Script, staub::core::BoundCertificate) {
+    let script = Script::parse(
+        "(declare-fun x () Int)(declare-fun y () Int)
+         (assert (= (+ (* 2 x) (* 2 y)) 7))(check-sat)",
+    )
+    .unwrap();
+    let cert = certify(&script);
+    assert!(cert.certified_width.is_some(), "parity script certifies");
+    (script, cert)
+}
+
+fn claim<'a>(script: &'a Script, cert: &'a staub::core::BoundCertificate) -> BoundClaim<'a> {
+    BoundClaim {
+        original: script,
+        fragment: cert.fragment.name(),
+        num_vars: cert.ledger.num_vars,
+        num_atoms: cert.ledger.num_atoms,
+        max_entry_bits: cert.ledger.max_entry_bits,
+        max_atom_terms: cert.ledger.max_atom_terms,
+        certified_width: cert.certified_width,
+        var_bounds: &cert.var_bounds,
+        used_width: None,
+    }
+}
+
+fn l401_fragment_mismatch() -> LintReport {
+    let (script, cert) = certified();
+    let mut c = claim(&script, &cert);
+    c.fragment = "lra";
+    c.certified_width = None;
+    bound_certificate(&c)
+}
+
+fn l402_ledger_escape() -> LintReport {
+    let (script, cert) = certified();
+    let mut c = claim(&script, &cert);
+    c.max_entry_bits -= 1;
+    bound_certificate(&c)
+}
+
+fn l403_certified_width_unsound() -> LintReport {
+    let (script, cert) = certified();
+    let mut c = claim(&script, &cert);
+    c.certified_width = Some(cert.certified_width.unwrap() - 1);
+    bound_certificate(&c)
+}
+
+fn l404_used_width_below_certificate() -> LintReport {
+    let (script, cert) = certified();
+    let mut c = claim(&script, &cert);
+    c.used_width = Some(cert.certified_width.unwrap() - 1);
+    bound_certificate(&c)
+}
+
+fn l405_uncovered_variable() -> LintReport {
+    let (script, cert) = certified();
+    let mut c = claim(&script, &cert);
+    c.var_bounds = &[];
+    bound_certificate(&c)
+}
+
+#[test]
+fn every_registered_code_has_a_firing_case() {
+    let cases: Vec<(LintCode, LintReport)> = vec![
+        (LintCode::SortMismatch, l001_sort_mismatch()),
+        (LintCode::SortUnderivable, l002_sort_underivable()),
+        (LintCode::AcyclicityViolation, l003_acyclicity_violation()),
+        (LintCode::UnboundedSubterm, l101_unbounded_subterm()),
+        (LintCode::MissingGuard, l102_missing_guard()),
+        (LintCode::ConstantOverflow, l103_constant_overflow()),
+        (LintCode::PhiIncomplete, l201_phi_incomplete()),
+        (LintCode::PhiSortMismatch, l202_phi_sort_mismatch()),
+        (LintCode::WidthBelowInference, l203_width_below_inference()),
+        (LintCode::WidthMarginDropped, l204_width_margin_dropped()),
+        (LintCode::ModelMissingValue, l301_model_missing_value()),
+        (LintCode::ModelSortMismatch, l302_model_sort_mismatch()),
+        (LintCode::FragmentMismatch, l401_fragment_mismatch()),
+        (LintCode::LedgerEscape, l402_ledger_escape()),
+        (
+            LintCode::CertifiedWidthUnsound,
+            l403_certified_width_unsound(),
+        ),
+        (
+            LintCode::UsedWidthBelowCertificate,
+            l404_used_width_below_certificate(),
+        ),
+        (LintCode::UncoveredVariable, l405_uncovered_variable()),
+    ];
+
+    let mut covered: HashSet<&'static str> = HashSet::new();
+    for (code, report) in &cases {
+        assert!(
+            report.has(*code),
+            "case for {} did not fire it:\n{report}",
+            code.code()
+        );
+        covered.insert(code.code());
+    }
+    for &code in LintCode::all() {
+        assert!(
+            covered.contains(code.code()),
+            "registered code {} has no firing corpus case",
+            code.code()
+        );
+    }
+    assert_eq!(
+        covered.len(),
+        LintCode::all().len(),
+        "case table and registry disagree on size"
+    );
+}

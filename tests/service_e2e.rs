@@ -215,6 +215,74 @@ fn repeated_and_renamed_constraints_answer_from_cache_without_lanes() {
     server.join();
 }
 
+#[test]
+fn complete_lane_unsat_serves_and_repeats_from_cache() {
+    // No baseline lane and no escalations: the server's only possible
+    // source of a trusted unsat is a promoted complete lane, so this test
+    // pins the whole chain — certify → bounded-unsat → L4xx-checked
+    // promotion → cache insert → cache hit without new lanes.
+    let mut config = serve_config(true);
+    config.batch.include_baseline = false;
+    let server = Server::start(config).expect("server starts");
+    let addr = server.local_addr().to_string();
+    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+
+    let parity = "(declare-fun x () Int)(declare-fun y () Int)
+         (assert (= (+ (* 2 x) (* 2 y)) 7))(check-sat)";
+    // α-renamed twin: same canonical constraint, different bytes.
+    let renamed = "(declare-fun p () Int)(declare-fun q () Int)
+         (assert (= (+ (* 2 p) (* 2 q)) 7))(check-sat)";
+
+    let r1 = conn
+        .roundtrip(&solve_request("cold", parity, None, None, false))
+        .expect("solve");
+    let cold = audit_reply(parity, &r1);
+    assert_eq!(cold.verdict, "unsat");
+    assert!(cold.well_formed && cold.sound, "cold reply failed audit");
+    let winner = json::parse(&r1)
+        .expect("reply is json")
+        .get("winner")
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .expect("unsat reply names its winning lane");
+    assert!(
+        winner.starts_with("complete/"),
+        "unsat must come from the complete lane, got {winner}"
+    );
+
+    let h1 = json::parse(&conn.roundtrip(&health_request()).expect("health")).expect("json");
+    let solves_before = lane_solves(&h1);
+    let hits_before = cache_counter(&h1, "hits");
+    assert!(solves_before >= 1);
+
+    for (id, text) in [("repeat", parity), ("renamed", renamed)] {
+        let reply = conn
+            .roundtrip(&solve_request(id, text, None, None, false))
+            .expect("solve");
+        let audit = audit_reply(text, &reply);
+        assert_eq!(audit.verdict, "unsat", "{id}");
+        assert_eq!(audit.cache, "hit", "{id}: answer not served from cache");
+        let cached_winner = json::parse(&reply)
+            .expect("reply is json")
+            .get("winner")
+            .and_then(Json::as_str)
+            .map(str::to_string)
+            .expect("cached unsat keeps its winner label");
+        assert!(
+            cached_winner.starts_with("complete/"),
+            "{id}: cached winner lost provenance: {cached_winner}"
+        );
+    }
+
+    // Both repeats answered from cache; no further lanes were spawned.
+    let h2 = json::parse(&conn.roundtrip(&health_request()).expect("health")).expect("json");
+    assert_eq!(cache_counter(&h2, "hits"), hits_before + 2);
+    assert_eq!(lane_solves(&h2), solves_before);
+
+    server.shutdown();
+    server.join();
+}
+
 /// Further requests on a connection the server closed must fail fast.
 fn assert_closed(mut conn: Connection<std::net::TcpStream>) {
     let err = conn.roundtrip(&health_request());
