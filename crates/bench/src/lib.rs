@@ -184,7 +184,7 @@ pub fn run_suite(
 }
 
 /// [`run_suite`] with observability: routes the suite through
-/// [`run_batch_observed`] so stage spans, lane events, and solver counters
+/// [`run_batch_with`] so stage spans, lane events, and solver counters
 /// are collected, and returns the metrics snapshot alongside the
 /// measurements. Callers attach the snapshot to their reports with
 /// [`MetricsSnapshot::to_json`] (CI uploads it as an artifact).

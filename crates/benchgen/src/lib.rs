@@ -31,6 +31,7 @@ mod linear;
 mod lra;
 mod nia;
 mod nra;
+mod skewed;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -120,6 +121,18 @@ pub fn generate_linear(count: usize, seed: u64, coeff_magnitude: i64) -> Vec<Ben
     let mut rng = StdRng::seed_from_u64(seed ^ 0x4c_49_4e);
     (0..count)
         .map(|i| linear::generate_one(&mut rng, i, coeff_magnitude))
+        .collect()
+}
+
+/// Generates `count` benchmarks from the skewed-width family: a
+/// prime-difference pair whose witness overflows base-width guards, among
+/// narrow `[0, 3]` distractor variables. The shape per-variable
+/// refinement targets — a blind ladder re-encodes every variable wide,
+/// refinement widens only the pair the unsat core names.
+pub fn generate_skewed(count: usize, seed: u64) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x53_4b_57);
+    (0..count)
+        .map(|i| skewed::generate_one(&mut rng, i))
         .collect()
 }
 

@@ -1,0 +1,169 @@
+//! Skewed-width family: one or two wide-range variables among many narrow
+//! distractors — the shape per-variable refinement exists for.
+//!
+//! Each instance is a prime-difference pair `y² − z² = p` (witness
+//! `y = (p+1)/2`, `z = (p−1)/2`, whose squares overflow the base-width
+//! guards) alongside `k` distractor variables boxed into `[0, 3]` and tied
+//! together by one linear sum. A blind escalation ladder must re-encode
+//! *every* variable at the doubled width; counterexample-guided refinement
+//! only widens `y` and `z` (the unsat core names their overflow guards),
+//! leaving the distractors at the base width. The per-rung
+//! `total_bits` gap between the two strategies is the family's figure of
+//! merit, asserted by the `refine_vs_blind` bench gate.
+//!
+//! Roughly a quarter of the instances are unsat: the distractor sum is
+//! forced above its box's reach, a contradiction visible at any width.
+
+use rand::Rng;
+use staub_numeric::BigInt;
+use staub_smtlib::{Logic, Script, Sort};
+
+use crate::Benchmark;
+
+/// Odd numbers ≥ 13 are all expressible as a difference of consecutive
+/// squares; primes just keep the instance from factoring into an easier
+/// pair. A small pool is plenty — the distractor layout varies per draw.
+const ODD_PRIMES: [i64; 8] = [13, 31, 59, 89, 127, 151, 181, 199];
+
+pub(crate) fn generate_one(rng: &mut impl Rng, index: usize) -> Benchmark {
+    let p = ODD_PRIMES[rng.gen_range(0..ODD_PRIMES.len())];
+    let distractors = rng.gen_range(3usize..=6);
+    let feasible = index % 4 != 3;
+    // Feasible sum: one per distractor (each boxed into [0, 3]).
+    // Infeasible sum: just above the box's total reach.
+    let sum = if feasible {
+        distractors as i64
+    } else {
+        3 * distractors as i64 + rng.gen_range(1i64..=4)
+    };
+
+    let mut script = Script::new();
+    script.set_logic(Logic::QfNia);
+    let ys = script.declare("y", Sort::Int).expect("fresh symbol");
+    let zs = script.declare("z", Sort::Int).expect("fresh symbol");
+    let ws: Vec<_> = (0..distractors)
+        .map(|i| {
+            script
+                .declare(&format!("w{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
+        .collect();
+    let s = script.store_mut();
+    let y = s.var(ys);
+    let z = s.var(zs);
+    let zero = s.int(BigInt::from(0));
+    let three = s.int(BigInt::from(3));
+    let y_sq = s.mul(&[y, y]).expect("mul");
+    let z_sq = s.mul(&[z, z]).expect("mul");
+    let diff = s.sub(y_sq, z_sq).expect("sub");
+    let p_t = s.int(BigInt::from(p));
+    let prime_diff = s.eq(diff, p_t).expect("eq");
+    let y_pos = s.ge(y, zero).expect("ge");
+    let z_pos = s.ge(z, zero).expect("ge");
+    let w_vars: Vec<_> = ws.iter().map(|&w| s.var(w)).collect();
+    let w_sum = s.add(&w_vars).expect("add");
+    let sum_t = s.int(BigInt::from(sum));
+    let sum_eq = s.eq(w_sum, sum_t).expect("eq");
+    let mut boxes = Vec::with_capacity(2 * distractors);
+    for &w in &w_vars {
+        boxes.push(s.ge(w, zero).expect("ge"));
+        boxes.push(s.le(w, three).expect("le"));
+    }
+    script.assert(prime_diff);
+    script.assert(y_pos);
+    script.assert(z_pos);
+    script.assert(sum_eq);
+    for b in boxes {
+        script.assert(b);
+    }
+    script.check_sat();
+    Benchmark {
+        name: format!("skewed/diff/{index:04}"),
+        script,
+        family: "skewed",
+        expected: Some(feasible),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate_skewed;
+    use staub_smtlib::{evaluate, Script, Value};
+    use staub_solver::{SatResult, Solver, SolverProfile};
+    use std::time::Duration;
+
+    #[test]
+    fn deterministic_and_reparses() {
+        let a = generate_skewed(24, 0xD1FF);
+        let b = generate_skewed(24, 0xD1FF);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.script.to_string(), y.script.to_string());
+            assert_eq!(x.expected, y.expected);
+        }
+        let mut names: Vec<&str> = a.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len());
+        for b in &a {
+            let printed = b.script.to_string();
+            Script::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} fails to reparse: {e}\n{printed}", b.name));
+        }
+    }
+
+    #[test]
+    fn mixes_polarities_and_respects_ground_truth() {
+        let suite = generate_skewed(16, 7);
+        let sat = suite.iter().filter(|b| b.expected == Some(true)).count();
+        let unsat = suite.iter().filter(|b| b.expected == Some(false)).count();
+        assert!(sat > 0 && unsat > 0, "{sat} sat / {unsat} unsat");
+        let solver = Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(2))
+            .with_steps(2_000_000);
+        let mut decided = 0;
+        for b in &suite {
+            match solver.solve(&b.script).result {
+                SatResult::Sat(model) => {
+                    assert_eq!(b.expected, Some(true), "{}", b.name);
+                    for &a in b.script.assertions() {
+                        assert_eq!(
+                            evaluate(b.script.store(), a, &model).unwrap(),
+                            Value::Bool(true),
+                            "{} model check",
+                            b.name
+                        );
+                    }
+                    decided += 1;
+                }
+                SatResult::Unsat => {
+                    assert_eq!(b.expected, Some(false), "{}", b.name);
+                    decided += 1;
+                }
+                SatResult::Unknown(_) => {}
+            }
+        }
+        assert!(decided > 0, "at least some instances decide in budget");
+    }
+
+    #[test]
+    fn hot_variables_dominate_the_width_demand() {
+        // The family promise: the prime-diff witness needs far more bits
+        // than any distractor's [0, 3] box. The planted witness for the
+        // smallest prime (13) is y = 7 (3 bits of magnitude), whose square
+        // already overflows the distractors' demand; larger primes only
+        // widen the gap.
+        for b in generate_skewed(8, 3) {
+            let names: Vec<&str> = b
+                .script
+                .store()
+                .symbols()
+                .map(|s| b.script.store().symbol_name(s))
+                .collect();
+            assert!(names.contains(&"y") && names.contains(&"z"), "{names:?}");
+            assert!(
+                names.iter().filter(|n| n.starts_with('w')).count() >= 3,
+                "needs distractors: {names:?}"
+            );
+        }
+    }
+}

@@ -70,11 +70,10 @@ pub use check::CheckLevel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{Provenance, Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
 pub use portfolio::{PortfolioReport, Winner};
-pub use sched::{complete_width, run_batch_with, run_one_with};
-#[allow(deprecated)]
 pub use sched::{
-    run_batch, run_batch_observed, run_one, run_one_observed, BatchConfig, BatchItem, BatchReport,
-    BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict, RunOptions,
+    complete_width, run_batch_with, run_one_with, BatchConfig, BatchItem, BatchReport,
+    BatchVerdict, LaneKind, LaneOutcome, LaneSpec, LaneVerdict, RefineRung, RunOptions,
 };
 pub use session::Session;
-pub use transform::{TransformError, Transformed};
+pub use transform::{TransformError, Transformed, WidthMap};
+pub use verify::VerifyReport;

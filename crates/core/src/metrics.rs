@@ -7,7 +7,7 @@
 //! observable in-process: a [`Metrics`] registry holds named counters,
 //! gauges, and log₂-bucketed duration histograms; the pipeline records
 //! per-stage spans ([`crate::Staub::with_metrics`]), the scheduler records
-//! per-lane events ([`crate::sched::run_batch_observed`]), and the solver
+//! per-lane events ([`crate::sched::run_batch_with`]), and the solver
 //! facade's [`SolverStats`] counters are folded in via
 //! [`Metrics::record_solver`]. A [`MetricsSnapshot`] renders the whole
 //! registry as human-readable text (`staub stats`) or machine-readable

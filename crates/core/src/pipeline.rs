@@ -14,7 +14,7 @@ use crate::check::{self, CheckLevel};
 use crate::correspond::SortLimits;
 use crate::metrics::Metrics;
 use crate::portfolio;
-use crate::transform::{transform, TransformError, Transformed};
+use crate::transform::{transform_with_widths, TransformError, Transformed, WidthMap};
 use crate::verify::lift_and_verify;
 
 /// How the translation width is chosen.
@@ -156,6 +156,11 @@ pub struct StaubConfig {
     /// When to run the `staub-lint` certifying checker between pipeline
     /// stages (see [`CheckLevel`]).
     pub check: CheckLevel,
+    /// Per-variable width requests layered over `width_choice` (empty =
+    /// the uniform transform). Named variables are declared at their own
+    /// width and sign-extended at use sites; this is what
+    /// counterexample-guided refinement widens selectively.
+    pub var_widths: WidthMap,
 }
 
 impl Default for StaubConfig {
@@ -168,6 +173,7 @@ impl Default for StaubConfig {
             steps: 4_000_000,
             refinement_rounds: 0,
             check: CheckLevel::default(),
+            var_widths: WidthMap::new(),
         }
     }
 }
@@ -193,9 +199,9 @@ impl Error for StaubError {}
 
 /// The STAUB pipeline configuration and stage plumbing.
 ///
-/// The one-shot entrypoints ([`Staub::run`], [`Staub::race`],
-/// [`Staub::try_bounded`]) are deprecated in favour of the incremental
-/// [`crate::Session`], which carries solver state across checks:
+/// One-shot solving goes through the incremental [`crate::Session`]
+/// (`Session::run`, `Session::race`, `Session::try_bounded`), which owns a
+/// `Staub` and carries solver state across checks:
 ///
 /// ```
 /// use staub_core::{Session, StaubOutcome, Via};
@@ -265,11 +271,12 @@ impl Staub {
     /// the configured limits.
     pub fn transform(&self, script: &Script) -> Result<Transformed, TransformError> {
         let bounds = absint::infer(script);
-        transform(
+        transform_with_widths(
             script,
             &bounds,
             self.config.width_choice,
             &self.config.limits,
+            &self.config.var_widths,
         )
     }
 
@@ -288,17 +295,6 @@ impl Staub {
             panic!("staub-lint: `{stage}` output violates pipeline invariants:\n{report}");
         }
         false
-    }
-
-    /// Attempts the bounded path only: transform, solve, verify — with
-    /// optional iterative width refinement (see
-    /// [`StaubConfig::refinement_rounds`]).
-    ///
-    /// Returns `Some(model)` iff some bounded constraint is satisfiable
-    /// *and* its model verifies against the original constraint.
-    #[deprecated(note = "use `Session::try_bounded`, which warm-starts repeated checks")]
-    pub fn try_bounded(&self, script: &Script, budget: &Budget) -> Option<Model> {
-        self.try_bounded_with(script, budget, None).map(|w| w.model)
     }
 
     /// The bounded path with an optional warm solver engine.
@@ -326,7 +322,13 @@ impl Staub {
             let transformed = self
                 .metrics
                 .time("stage.transform", || {
-                    transform(script, &bounds, choice, &self.config.limits)
+                    transform_with_widths(
+                        script,
+                        &bounds,
+                        choice,
+                        &self.config.limits,
+                        &self.config.var_widths,
+                    )
                 })
                 .ok()?;
             if self.config.check.active() {
@@ -395,20 +397,6 @@ impl Staub {
         None
     }
 
-    /// Runs the full pipeline: the bounded path and, when it does not
-    /// produce a verified answer, the original constraint. This is the
-    /// sequential (deterministic) variant; see
-    /// [`portfolio::race`] for the two-core race the paper's
-    /// methodology assumes.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StaubError::EmptyScript`] for scripts without assertions.
-    #[deprecated(note = "use `Session::run`, which warm-starts repeated checks")]
-    pub fn run(&self, script: &Script) -> Result<StaubOutcome, StaubError> {
-        self.run_with(script, None)
-    }
-
     /// The full pipeline with an optional warm solver engine (see
     /// [`Staub::try_bounded_with`]).
     pub(crate) fn run_with(
@@ -451,17 +439,6 @@ impl Staub {
                 provenance: Provenance::none(bounded_steps + steps),
             },
         })
-    }
-
-    /// Runs the two-core portfolio race (baseline thread vs STAUB thread),
-    /// as in the paper's measurement methodology (§5.1).
-    ///
-    /// # Errors
-    ///
-    /// Returns [`StaubError::EmptyScript`] for scripts without assertions.
-    #[deprecated(note = "use `Session::race`, which warm-starts repeated checks")]
-    pub fn race(&self, script: &Script) -> Result<StaubOutcome, StaubError> {
-        self.race_with(script, None)
     }
 
     /// The portfolio race with an optional warm engine for the STAUB leg.

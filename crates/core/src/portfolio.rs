@@ -5,7 +5,7 @@
 //! This module provides both:
 //!
 //! * [`race`] — a real two-thread race (scoped threads), used by
-//!   [`crate::Staub::race`];
+//!   [`crate::Session::race`];
 //! * [`measure`] — a *sequential* run of both paths that records every
 //!   timing component (`T_pre`, `T_trans`, `T_post`, `T_check`) and derives
 //!   the portfolio-effective time. The evaluation harness uses this variant

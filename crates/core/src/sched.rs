@@ -27,11 +27,24 @@
 //!   after the `L4xx` certificate lints re-derive and confirm the bound
 //!   from the original script.
 //!
+//! Instead of the blind 2×/4× escalation fan-out, [`BatchConfig::refine`]
+//! plans a single [`LaneKind::Refine`] lane per profile: a
+//! counterexample-guided loop that starts at the base width and, on each
+//! inconclusive rung, widens only the variables the failure evidence names
+//! — the unsat core's overflow guards on a bounded `unsat`, the failed
+//! assertions' and saturated variables on an unverified bounded `sat`
+//! (UppSAT-style refinement with Bromberger-style per-variable budgets).
+//! Every rung is recorded as a [`RefineRung`] in the lane outcome and the
+//! JSONL report, so a refined verdict's provenance names exactly which
+//! variables earned their extra bits. When the evidence names nothing the
+//! loop falls back to globally doubling every variable, so it is never
+//! weaker than the blind ladder; the depth cap bounds it.
+//!
 //! Every lane runs under its own wall-clock deadline *and* deterministic
 //! step budget, with at most one bounded retry on step exhaustion, so a
 //! batch degrades gracefully instead of hanging. Workers are scoped
-//! threads: when [`run_batch`] returns, every lane has been joined — no
-//! thread outlives the batch.
+//! threads: when [`run_batch_with`] returns, every lane has been joined —
+//! no thread outlives the batch.
 
 use std::collections::VecDeque;
 use std::sync::{Arc, Mutex};
@@ -49,8 +62,8 @@ use crate::metrics::Metrics;
 use crate::pipeline::{Provenance, StaubConfig, WidthChoice};
 use crate::portfolio::{PortfolioReport, Winner};
 use crate::session::Session;
-use crate::transform::transform;
-use crate::verify::lift_and_verify;
+use crate::transform::{transform, transform_with_widths, Transformed, WidthMap};
+use crate::verify::{lift_and_verify, lift_and_verify_report, saturated_vars};
 
 // ---------------------------------------------------------------------------
 // Configuration and lane taxonomy
@@ -87,6 +100,13 @@ pub struct BatchConfig {
     pub retry: bool,
     /// Target-sort limits for the STAUB lanes.
     pub limits: SortLimits,
+    /// Replace the blind escalation lanes with one counterexample-guided
+    /// [`LaneKind::Refine`] lane per profile (baseline and complete lanes
+    /// are planned as usual). See the module docs.
+    pub refine: bool,
+    /// Maximum refinement rungs after the base attempt (only read when
+    /// `refine` is set).
+    pub refine_depth: u32,
 }
 
 impl Default for BatchConfig {
@@ -102,6 +122,8 @@ impl Default for BatchConfig {
             cancel_losers: true,
             retry: false,
             limits: SortLimits::default(),
+            refine: false,
+            refine_depth: 5,
         }
     }
 }
@@ -139,6 +161,16 @@ pub enum LaneKind {
         /// The certified sufficient width the lane transforms at.
         width: u32,
     },
+    /// Counterexample-guided per-variable width refinement: start at
+    /// `width`, and on each inconclusive rung widen only the variables the
+    /// unsat core or verification failure names, up to `depth` rungs.
+    /// Falls back to globally doubling when the evidence names nothing.
+    Refine {
+        /// Base width selection for the first rung.
+        width: WidthChoice,
+        /// Maximum refinement rungs after the base attempt.
+        depth: u32,
+    },
 }
 
 /// One unit of work: a strategy applied to one constraint.
@@ -152,23 +184,26 @@ pub struct LaneSpec {
 
 impl LaneSpec {
     /// Stable human-readable label, used in JSONL reports:
-    /// `baseline/zed`, `staub/x1/zed`, `staub/x2/cove`, `complete/zed`, …
+    /// `baseline/zed`, `staub/x1/zed`, `staub/x2/cove`, `complete/zed`,
+    /// `refine/zed`, …
     pub fn label(&self) -> String {
         let profile = self.profile.name().to_lowercase();
         match &self.kind {
             LaneKind::Baseline => format!("baseline/{profile}"),
             LaneKind::Staub { escalation, .. } => format!("staub/x{escalation}/{profile}"),
             LaneKind::Complete { .. } => format!("complete/{profile}"),
+            LaneKind::Refine { .. } => format!("refine/{profile}"),
         }
     }
 
-    /// Whether this is a STAUB (bounded-path) lane. Complete lanes are:
-    /// they run the same transform/solve/verify pipeline, just at the
-    /// certified width — so they join warm escalation ladders.
+    /// Whether this is a STAUB (bounded-path) lane. Complete and refine
+    /// lanes are: they run the same transform/solve/verify pipeline, just
+    /// at a certified width or with a per-variable width map — so they
+    /// join warm escalation ladders.
     pub fn is_staub(&self) -> bool {
         matches!(
             self.kind,
-            LaneKind::Staub { .. } | LaneKind::Complete { .. }
+            LaneKind::Staub { .. } | LaneKind::Complete { .. } | LaneKind::Refine { .. }
         )
     }
 }
@@ -219,6 +254,30 @@ impl LaneVerdict {
     }
 }
 
+/// One rung of a [`LaneKind::Refine`] lane: what the bounded attempt at
+/// the current width map concluded, and which variables that evidence
+/// widened for the next rung.
+#[derive(Debug, Clone)]
+pub struct RefineRung {
+    /// Rung index (0 = the base-width attempt).
+    pub depth: u32,
+    /// Variables this rung's evidence widened for the *next* rung (empty
+    /// on the final rung, or when no widening was possible).
+    pub widened: Vec<String>,
+    /// Node width of this rung's encoding (bitvector width, or `eb + sb`
+    /// for real constraints).
+    pub max_width: u32,
+    /// Total variable-bit footprint of this rung's encoding (the sum of
+    /// per-variable declared widths) — the quantity refinement minimises.
+    pub total_bits: u64,
+    /// Deterministic steps this rung consumed.
+    pub steps: u64,
+    /// How the rung's bounded attempt ended (`sat-verified`,
+    /// `bounded-unsat`, `unverified-sat`, `unknown`, `cancelled`,
+    /// `not-applicable`).
+    pub verdict: &'static str,
+}
+
 /// Full record of one lane's execution.
 #[derive(Debug, Clone)]
 pub struct LaneOutcome {
@@ -246,6 +305,9 @@ pub struct LaneOutcome {
     /// Solver-internal counters accumulated across the lane's attempts
     /// (both the initial run and the retry, if any).
     pub stats: SolverStats,
+    /// Rung-by-rung provenance of a [`LaneKind::Refine`] lane (empty for
+    /// every other lane kind).
+    pub rungs: Vec<RefineRung>,
 }
 
 impl LaneOutcome {
@@ -262,6 +324,7 @@ impl LaneOutcome {
             t_post: Duration::ZERO,
             t_check: Duration::ZERO,
             stats: SolverStats::default(),
+            rungs: Vec::new(),
         }
     }
 }
@@ -341,7 +404,7 @@ impl BatchReport {
             multiplier: match l.spec.kind {
                 LaneKind::Baseline => 0,
                 LaneKind::Staub { escalation, .. } => escalation,
-                LaneKind::Complete { .. } => 1,
+                LaneKind::Complete { .. } | LaneKind::Refine { .. } => 1,
             },
             steps: l.steps_used,
         })
@@ -506,7 +569,7 @@ impl BatchReport {
             out.push(',');
             push_json_str(&mut out, "verdict", lane.verdict.name());
             out.push_str(&format!(
-                ",\"ms\":{:.3},\"steps\":{},\"retried\":{},\"cancel_latency_ms\":{}}}",
+                ",\"ms\":{:.3},\"steps\":{},\"retried\":{},\"cancel_latency_ms\":{}",
                 lane.elapsed.as_secs_f64() * 1e3,
                 lane.steps_used,
                 lane.retried,
@@ -515,6 +578,32 @@ impl BatchReport {
                     |d| format!("{:.3}", d.as_secs_f64() * 1e3)
                 ),
             ));
+            out.push_str(",\"rungs\":[");
+            for (j, rung) in lane.rungs.iter().enumerate() {
+                if j > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!("{{\"depth\":{},\"widened\":[", rung.depth));
+                for (k, name) in rung.widened.iter().enumerate() {
+                    if k > 0 {
+                        out.push(',');
+                    }
+                    out.push('"');
+                    for c in name.chars() {
+                        match c {
+                            '"' => out.push_str("\\\""),
+                            '\\' => out.push_str("\\\\"),
+                            c => out.push(c),
+                        }
+                    }
+                    out.push('"');
+                }
+                out.push_str(&format!(
+                    "],\"max_width\":{},\"total_bits\":{},\"steps\":{},\"verdict\":\"{}\"}}",
+                    rung.max_width, rung.total_bits, rung.steps, rung.verdict
+                ));
+            }
+            out.push_str("]}");
         }
         out.push_str("]}");
         out
@@ -564,6 +653,8 @@ pub fn complete_width(script: &Script, limits: &SortLimits) -> Option<u32> {
 /// baseline lane, the base STAUB lane, deduplicated escalated lanes
 /// within the width limits, and — for pure-LIA constraints whose certified
 /// width fits — a complete lane whose bounded `unsat` can be promoted.
+/// Under [`BatchConfig::refine`] the base-plus-escalations fan-out is
+/// replaced by a single counterexample-guided refine lane per profile.
 pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
     let mut lanes = Vec::new();
     let base_width = resolve_base_width(script, config);
@@ -575,26 +666,36 @@ pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
                 profile,
             });
         }
-        lanes.push(LaneSpec {
-            kind: LaneKind::Staub {
-                width: config.width_choice,
-                escalation: 1,
-            },
-            profile,
-        });
-        if let Some(w0) = base_width {
-            let mut seen = vec![w0];
-            for &m in &config.escalations {
-                let w = w0.saturating_mul(m);
-                if m > 1 && w <= config.limits.max_bv_width && !seen.contains(&w) {
-                    seen.push(w);
-                    lanes.push(LaneSpec {
-                        kind: LaneKind::Staub {
-                            width: WidthChoice::Fixed(w),
-                            escalation: m,
-                        },
-                        profile,
-                    });
+        if config.refine {
+            lanes.push(LaneSpec {
+                kind: LaneKind::Refine {
+                    width: config.width_choice,
+                    depth: config.refine_depth,
+                },
+                profile,
+            });
+        } else {
+            lanes.push(LaneSpec {
+                kind: LaneKind::Staub {
+                    width: config.width_choice,
+                    escalation: 1,
+                },
+                profile,
+            });
+            if let Some(w0) = base_width {
+                let mut seen = vec![w0];
+                for &m in &config.escalations {
+                    let w = w0.saturating_mul(m);
+                    if m > 1 && w <= config.limits.max_bv_width && !seen.contains(&w) {
+                        seen.push(w);
+                        lanes.push(LaneSpec {
+                            kind: LaneKind::Staub {
+                                width: WidthChoice::Fixed(w),
+                                escalation: m,
+                            },
+                            profile,
+                        });
+                    }
                 }
             }
         }
@@ -726,18 +827,21 @@ fn run_lane(
     spec: &LaneSpec,
     cancel: &CancelFlag,
     config: &BatchConfig,
+    metrics: &Metrics,
 ) -> LaneOutcome {
-    run_lane_with(script, spec, cancel, config, None)
+    run_lane_with(script, spec, cancel, config, None, metrics)
 }
 
 /// [`run_lane`] with an optional warm [`Session`] for STAUB lanes — the
-/// escalation-ladder path. Baseline lanes ignore the session.
+/// escalation-ladder path. Baseline and refine lanes ignore the session
+/// (a refine lane owns its engine: its width map must drive the blast).
 fn run_lane_with(
     script: &Script,
     spec: &LaneSpec,
     cancel: &CancelFlag,
     config: &BatchConfig,
     mut session: Option<&mut Session>,
+    metrics: &Metrics,
 ) -> LaneOutcome {
     let start = Instant::now();
     let mut retried = false;
@@ -778,7 +882,11 @@ fn run_lane_with(
                 t_post: elapsed,
                 t_check: Duration::ZERO,
                 stats,
+                rungs: Vec::new(),
             }
+        }
+        LaneKind::Refine { width, depth } => {
+            run_refine_lane(script, spec, *width, *depth, cancel, config, metrics)
         }
         kind @ (LaneKind::Staub { .. } | LaneKind::Complete { .. }) => {
             // A complete lane is the same bounded pipeline pinned to the
@@ -786,7 +894,7 @@ fn run_lane_with(
             let (width, promote_at) = match kind {
                 LaneKind::Staub { width, .. } => (*width, None),
                 LaneKind::Complete { width } => (WidthChoice::Fixed(*width), Some(*width)),
-                LaneKind::Baseline => unreachable!("handled above"),
+                LaneKind::Baseline | LaneKind::Refine { .. } => unreachable!("handled above"),
             };
             let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
             let mut attempt = match session.as_deref_mut() {
@@ -838,8 +946,282 @@ fn run_lane_with(
                 t_post: attempt.t_post,
                 t_check: attempt.t_check,
                 stats,
+                rungs: Vec::new(),
             }
         }
+    }
+}
+
+/// Variables a bounded-unsat core implicates: the free variables of the
+/// core's assertions, preferring overflow guards (indices below
+/// `guard_count` — a guard in the core means the width, not the
+/// constraint, forced the conflict). Variable names survive the transform
+/// unchanged, so these are original-script names.
+fn core_suspects(tf: &Transformed, core: &[usize]) -> Vec<String> {
+    let guards: Vec<usize> = core
+        .iter()
+        .copied()
+        .filter(|&i| i < tf.guard_count)
+        .collect();
+    let chosen = if guards.is_empty() { core } else { &guards[..] };
+    let store = tf.script.store();
+    let assertions = tf.script.assertions();
+    let mut out: Vec<String> = Vec::new();
+    for &i in chosen {
+        let Some(&root) = assertions.get(i) else {
+            continue;
+        };
+        for sym in store.free_vars(root) {
+            let name = store.symbol_name(sym).to_string();
+            if !out.contains(&name) {
+                out.push(name);
+            }
+        }
+    }
+    out
+}
+
+/// Doubles the suspects' widths in `widths` (clamped to `max`), returning
+/// the variables that actually grew. Prefers suspects still below the
+/// current node width — those are the cheap wins; the encoding's node
+/// width only grows when every suspect already sits at it. When the
+/// suspect list is empty (no usable evidence), every variable is fair
+/// game, degrading to the blind global doubling the ladder would do.
+fn widen_suspects(
+    tf: &Transformed,
+    suspects: &[String],
+    widths: &mut WidthMap,
+    max: u32,
+) -> Vec<String> {
+    let node = tf.bv_width.unwrap_or(0);
+    let implicated = |name: &str| suspects.is_empty() || suspects.iter().any(|s| s == name);
+    let mut targets: Vec<(&str, u32)> = tf
+        .var_widths
+        .iter()
+        .filter(|(n, w)| implicated(n) && *w < node)
+        .map(|(n, w)| (n.as_str(), *w))
+        .collect();
+    if targets.is_empty() {
+        targets = tf
+            .var_widths
+            .iter()
+            .filter(|(n, _)| implicated(n))
+            .map(|(n, w)| (n.as_str(), *w))
+            .collect();
+    }
+    let mut widened = Vec::new();
+    for (name, current) in targets {
+        let next = current.saturating_mul(2).min(max);
+        if next > current {
+            widths.widen(name, next);
+            widened.push(name.to_string());
+        }
+    }
+    widened
+}
+
+/// Executes a [`LaneKind::Refine`] lane: a warm per-variable refinement
+/// ladder. Each rung transforms with the accumulated [`WidthMap`], solves
+/// through a persistent [`BvSession`] (so widened rungs reuse the low-bit
+/// encoding and learned clauses), and on an inconclusive verdict widens
+/// only the implicated variables:
+///
+/// * bounded `unsat` → the unsat core's assertions (overflow guards
+///   first); a core-free unsat widens everything (global fallback);
+/// * bounded `sat` that fails verification → the failed assertions' free
+///   variables plus the saturated variables of the bounded model.
+///
+/// The loop stops at a sound verdict, on cancellation, when widening makes
+/// no progress (every implicated variable is at `max_bv_width`), when the
+/// same guard-free unsat core survives a doubling of its own variables
+/// (width-independent conflict — further rungs would refute it again), or
+/// at the depth cap. Rung-by-rung provenance is recorded in
+/// [`LaneOutcome::rungs`] and the `refine.*` metrics.
+fn run_refine_lane(
+    script: &Script,
+    spec: &LaneSpec,
+    base: WidthChoice,
+    depth_cap: u32,
+    cancel: &CancelFlag,
+    config: &BatchConfig,
+    metrics: &Metrics,
+) -> LaneOutcome {
+    let start = Instant::now();
+    let mut engine = BvSession::new(spec.profile.sat_config());
+    let mut widths = WidthMap::new();
+    let mut choice = base;
+    let mut rungs: Vec<RefineRung> = Vec::new();
+    let mut verdict = LaneVerdict::Unknown;
+    let mut model: Option<Model> = None;
+    let mut steps_used = 0u64;
+    let mut stats = SolverStats::default();
+    let mut t_trans = Duration::ZERO;
+    let mut t_post = Duration::ZERO;
+    let mut t_check = Duration::ZERO;
+    let mut last_widths: Vec<(String, u32)> = Vec::new();
+    // Variable set of the previous rung's guard-free unsat core, if any.
+    // A guard-free core that survives a doubling of its own variables is
+    // width-independent evidence: constants always fit the node width, so
+    // one doubling clears any domain-boundary artifact the core's
+    // variables could have.
+    let mut prev_guard_free: Option<Vec<String>> = None;
+    let bounds = absint::infer(script);
+    for depth in 0..=depth_cap {
+        if cancel.is_cancelled() {
+            verdict = LaneVerdict::Cancelled;
+            break;
+        }
+        let t0 = Instant::now();
+        let transformed = transform_with_widths(script, &bounds, choice, &config.limits, &widths);
+        t_trans += t0.elapsed();
+        let tf = match transformed {
+            Ok(tf) => tf,
+            Err(_) => {
+                // A narrow fixed base can fail outright (e.g. a constant
+                // too wide for it). Retrying at double the base is the
+                // global-doubling fallback; an inferred base already picked
+                // the widest usable width, so there is nothing to retry.
+                match choice {
+                    WidthChoice::Fixed(w) if w.saturating_mul(2) <= config.limits.max_bv_width => {
+                        choice = WidthChoice::Fixed(w.saturating_mul(2));
+                        continue;
+                    }
+                    _ => {
+                        verdict = LaneVerdict::NotApplicable;
+                        break;
+                    }
+                }
+            }
+        };
+        let node_width = tf
+            .bv_width
+            .or(tf.fp_format.map(|(eb, sb)| eb + sb))
+            .unwrap_or(0);
+        let total_bits: u64 = tf.var_widths.iter().map(|&(_, w)| u64::from(w)).sum();
+        last_widths.clone_from(&tf.var_widths);
+        let budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+        let t1 = Instant::now();
+        let blastable = staub_solver::is_bit_blastable(&tf.script);
+        let (result, rung_stats) = if blastable {
+            engine.check(&tf.script, &budget)
+        } else {
+            let outcome = Solver::new(spec.profile).solve_with_budget(&tf.script, &budget);
+            (outcome.result, outcome.stats)
+        };
+        t_post += t1.elapsed();
+        let rung_steps = budget.steps_used();
+        steps_used += rung_steps;
+        stats.merge(&rung_stats);
+        let mut rung = RefineRung {
+            depth,
+            widened: Vec::new(),
+            max_width: node_width,
+            total_bits,
+            steps: rung_steps,
+            verdict: "unknown",
+        };
+        match result {
+            SatResult::Sat(bounded_model) => {
+                let t2 = Instant::now();
+                let (lifted, report) = lift_and_verify_report(script, &tf, &bounded_model);
+                t_check += t2.elapsed();
+                if let Some(m) = lifted {
+                    rung.verdict = "sat-verified";
+                    rungs.push(rung);
+                    verdict = LaneVerdict::SatVerified;
+                    model = Some(m);
+                    break;
+                }
+                // An unverified bounded sat: the model lies about the
+                // original constraint, so some variable's bounded value is
+                // an artifact of its width.
+                rung.verdict = "unverified-sat";
+                let mut suspects = report.suspect_vars;
+                for name in saturated_vars(&tf, &bounded_model) {
+                    if !suspects.contains(&name) {
+                        suspects.push(name);
+                    }
+                }
+                rung.widened =
+                    widen_suspects(&tf, &suspects, &mut widths, config.limits.max_bv_width);
+                let stuck = rung.widened.is_empty();
+                rungs.push(rung);
+                if stuck {
+                    verdict = LaneVerdict::Unknown;
+                    break;
+                }
+                verdict = LaneVerdict::Unknown;
+            }
+            SatResult::Unsat => {
+                rung.verdict = "bounded-unsat";
+                verdict = LaneVerdict::BoundedUnsat;
+                let core: &[usize] = if blastable {
+                    engine.last_unsat_core()
+                } else {
+                    &[]
+                };
+                let guard_free = !core.is_empty() && core.iter().all(|&i| i >= tf.guard_count);
+                let suspects = core_suspects(&tf, core);
+                if guard_free {
+                    let mut vars = suspects.clone();
+                    vars.sort_unstable();
+                    if prev_guard_free.as_ref() == Some(&vars) {
+                        // The same guard-free conflict survived widening
+                        // its own variables: the width bound is not what
+                        // refutes it, so climbing further cannot help.
+                        rungs.push(rung);
+                        break;
+                    }
+                    prev_guard_free = Some(vars);
+                } else {
+                    prev_guard_free = None;
+                }
+                rung.widened =
+                    widen_suspects(&tf, &suspects, &mut widths, config.limits.max_bv_width);
+                let stuck = rung.widened.is_empty();
+                rungs.push(rung);
+                if stuck {
+                    break;
+                }
+            }
+            SatResult::Unknown(_) => {
+                if cancel.is_cancelled() {
+                    rung.verdict = "cancelled";
+                    verdict = LaneVerdict::Cancelled;
+                } else {
+                    rung.verdict = "unknown";
+                    verdict = LaneVerdict::Unknown;
+                }
+                rungs.push(rung);
+                break;
+            }
+        }
+    }
+    if metrics.is_enabled() && !rungs.is_empty() {
+        metrics.incr("sched.refine_rungs", rungs.len() as u64);
+        metrics.incr(
+            &format!("refine.depth.{}", rungs.len().saturating_sub(1)),
+            1,
+        );
+        for (_, w) in &last_widths {
+            metrics.incr(&format!("refine.width.{w}"), 1);
+        }
+    }
+    LaneOutcome {
+        spec: spec.clone(),
+        cancel_latency: (verdict == LaneVerdict::Cancelled)
+            .then(|| cancel.latency())
+            .flatten(),
+        verdict,
+        model,
+        elapsed: start.elapsed(),
+        steps_used,
+        retried: false,
+        t_trans,
+        t_post,
+        t_check,
+        stats,
+        rungs,
     }
 }
 
@@ -923,23 +1305,6 @@ impl Default for RunOptions {
             warm: true,
         }
     }
-}
-
-/// Runs every constraint through its lane fan-out on a fixed worker pool
-/// and returns one report per constraint, in input order.
-#[deprecated(note = "use `run_batch_with(items, config, &RunOptions::default())`")]
-pub fn run_batch(items: &[BatchItem], config: &BatchConfig) -> Vec<BatchReport> {
-    run_batch_impl(items, config, &Metrics::disabled(), false)
-}
-
-/// Deprecated alias of [`run_batch_with`] taking a bare metrics reference.
-#[deprecated(note = "use `run_batch_with` with `RunOptions { metrics, .. }`")]
-pub fn run_batch_observed(
-    items: &[BatchItem],
-    config: &BatchConfig,
-    metrics: &Metrics,
-) -> Vec<BatchReport> {
-    run_batch_impl(items, config, metrics, false)
 }
 
 /// Runs every constraint through its lane fan-out on a fixed worker pool
@@ -1078,35 +1443,6 @@ fn run_batch_impl(
         .collect()
 }
 
-/// Convenience for a single constraint: plan, run, report.
-#[deprecated(note = "use `run_one_with(name, script, config, &RunOptions::default())`")]
-pub fn run_one(name: &str, script: &Script, config: &BatchConfig) -> BatchReport {
-    let items = [BatchItem {
-        name: name.to_string(),
-        script: script.clone(),
-    }];
-    run_batch_impl(&items, config, &Metrics::disabled(), false)
-        .pop()
-        .expect("one item in, one report out")
-}
-
-/// Deprecated alias of [`run_one_with`] taking a bare metrics reference.
-#[deprecated(note = "use `run_one_with` with `RunOptions { metrics, .. }`")]
-pub fn run_one_observed(
-    name: &str,
-    script: &Script,
-    config: &BatchConfig,
-    metrics: &Metrics,
-) -> BatchReport {
-    let items = [BatchItem {
-        name: name.to_string(),
-        script: script.clone(),
-    }];
-    run_batch_impl(&items, config, metrics, false)
-        .pop()
-        .expect("one item in, one report out")
-}
-
 /// [`run_batch_with`] for a single constraint: plan, run, report — the
 /// entry point the `staub serve` request path uses, so long-running
 /// servers accumulate the same `sched.*` / `solver.*` counters batch runs
@@ -1177,6 +1513,7 @@ fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig, metrics: &Met
         steps: config.steps,
         refinement_rounds: 0,
         check: CheckLevel::default(),
+        var_widths: WidthMap::new(),
     });
     let mut answered = false;
     for &lane in group {
@@ -1194,6 +1531,7 @@ fn execute_job(job: Job, cells: &[Cell<'_>], config: &BatchConfig, metrics: &Met
                 &cell.cancel,
                 config,
                 Some(&mut session),
+                metrics,
             )
         };
         if outcome.verdict.is_sound() {
@@ -1217,7 +1555,7 @@ fn run_or_skip(
         LaneOutcome::skipped(spec, &cell.cancel)
     } else {
         metrics.incr("sched.lane_started", 1);
-        run_lane(&cell.item.script, spec, &cell.cancel, config)
+        run_lane(&cell.item.script, spec, &cell.cancel, config, metrics)
     }
 }
 
@@ -1348,6 +1686,151 @@ mod tests {
         let snap = metrics.snapshot();
         assert_eq!(snap.counters["sched.ladder_jobs"], 1);
         assert_eq!(snap.counters["sched.warm_rungs"], 2);
+    }
+
+    #[test]
+    fn refine_plan_replaces_escalations() {
+        let script = Script::parse("(declare-fun x () Int)(assert (= (* x x) 49))").unwrap();
+        let config = BatchConfig {
+            refine: true,
+            ..quick_config()
+        };
+        let lanes = plan_lanes(&script, &config);
+        // baseline + one refine lane; no x1/x2/x4 fan-out.
+        assert_eq!(lanes.len(), 2);
+        assert_eq!(lanes[0].kind, LaneKind::Baseline);
+        assert!(matches!(lanes[1].kind, LaneKind::Refine { depth: 5, .. }));
+        assert_eq!(lanes[1].label(), "refine/zed");
+        assert!(lanes[1].is_staub());
+    }
+
+    #[test]
+    fn refine_lane_agrees_with_blind_ladder() {
+        // x² − y² = 239 (prime): witness x = 120, y = 119 overflows 9-bit
+        // signed guards, so the base rung is bounded-unsat with the guards
+        // in the core — refinement must widen and then verify the witness.
+        let src = "(declare-fun x () Int)(declare-fun y () Int)
+            (assert (>= x 0))(assert (>= y 0))
+            (assert (= (- (* x x) (* y y)) 239))";
+        let items = [item("prime-diff", src)];
+        let blind_config = BatchConfig {
+            threads: 1,
+            width_choice: WidthChoice::Fixed(9),
+            include_baseline: false,
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let refine_config = BatchConfig {
+            refine: true,
+            ..blind_config.clone()
+        };
+        let blind = run_batch_with(&items, &blind_config, &RunOptions::default());
+        let metrics = Arc::new(Metrics::new());
+        let refined = run_batch_with(
+            &items,
+            &refine_config,
+            &RunOptions {
+                metrics: Some(Arc::clone(&metrics)),
+                warm: true,
+            },
+        );
+        assert_eq!(refined[0].verdict.name(), "sat");
+        assert_eq!(blind[0].verdict.name(), refined[0].verdict.name());
+        let p = refined[0].provenance().expect("refine lane answers");
+        assert_eq!(p.label, "refine/zed");
+        let lane = refined[0].winner_lane().unwrap();
+        assert!(lane.rungs.len() >= 2, "needs at least one widening rung");
+        // Rung provenance: the first rung is bounded-unsat and names the
+        // widened variables; the last rung verified.
+        assert_eq!(lane.rungs[0].verdict, "bounded-unsat");
+        assert!(!lane.rungs[0].widened.is_empty());
+        assert_eq!(lane.rungs.last().unwrap().verdict, "sat-verified");
+        // Per-rung widths are monotone and capped.
+        for pair in lane.rungs.windows(2) {
+            assert!(pair[1].total_bits > pair[0].total_bits, "{:?}", lane.rungs);
+        }
+        for rung in &lane.rungs {
+            assert!(rung.max_width <= refine_config.limits.max_bv_width);
+        }
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counters["sched.refine_rungs"], lane.rungs.len() as u64);
+        assert!(snap.counters.keys().any(|k| k.starts_with("refine.depth.")));
+        assert!(snap.counters.keys().any(|k| k.starts_with("refine.width.")));
+        // JSONL carries the rung records.
+        let jsonl = refined[0].to_jsonl();
+        assert!(jsonl.contains("\"rungs\":[{\"depth\":0,"), "{jsonl}");
+        assert!(jsonl.contains("\"verdict\":\"sat-verified\""), "{jsonl}");
+    }
+
+    #[test]
+    fn refine_depth_cap_bounds_the_loop() {
+        // x² = 7 has no integer solution: every rung is bounded-unsat, so
+        // the loop must stop at the depth cap (or earlier, at the width
+        // cap) without a sound verdict — never hanging, never lying.
+        let items = [item("sq7", "(declare-fun x () Int)(assert (= (* x x) 7))")];
+        let config = BatchConfig {
+            threads: 1,
+            width_choice: WidthChoice::Fixed(4),
+            include_baseline: false,
+            cancel_losers: false,
+            refine: true,
+            refine_depth: 2,
+            ..quick_config()
+        };
+        let report = &run_batch_with(&items, &config, &RunOptions::default())[0];
+        let lane = report
+            .lanes
+            .iter()
+            .find(|l| matches!(l.spec.kind, LaneKind::Refine { .. }))
+            .expect("refine lane planned");
+        assert!(lane.rungs.len() <= 3, "depth 2 = at most 3 rungs");
+        assert!(!lane.verdict.is_sound(), "bounded unsat is never trusted");
+        // Progress: every non-final rung strictly grew some variable.
+        for pair in lane.rungs.windows(2) {
+            assert!(pair[1].total_bits > pair[0].total_bits);
+        }
+    }
+
+    #[test]
+    fn refine_stops_on_width_independent_conflict() {
+        // w0 + w1 = 9 with both boxed into [0, 3] is unsat at every
+        // width, and the conflict never touches an overflow guard. Once a
+        // widening of the core's own variables fails to change the
+        // conflict, the loop must stop — well short of the depth cap —
+        // instead of doubling all the way to the width ceiling.
+        let items = [item(
+            "boxed-sum",
+            "(declare-fun w0 () Int)(declare-fun w1 () Int)
+             (assert (= (+ w0 w1) 9))
+             (assert (>= w0 0))(assert (<= w0 3))
+             (assert (>= w1 0))(assert (<= w1 3))",
+        )];
+        let config = BatchConfig {
+            threads: 1,
+            width_choice: WidthChoice::Fixed(8),
+            include_baseline: false,
+            cancel_losers: false,
+            refine: true,
+            ..quick_config()
+        };
+        let report = &run_batch_with(&items, &config, &RunOptions::default())[0];
+        // Pure LIA: the certified complete lane soundly proves the unsat
+        // the refine lane can only bound — the portfolio still answers.
+        assert_eq!(report.verdict.name(), "unsat");
+        let lane = report
+            .lanes
+            .iter()
+            .find(|l| matches!(l.spec.kind, LaneKind::Refine { .. }))
+            .expect("refine lane planned");
+        assert_eq!(lane.verdict, LaneVerdict::BoundedUnsat);
+        assert!(
+            lane.rungs.len() <= 2,
+            "width-independent conflict stops after one retry: {:?}",
+            lane.rungs
+        );
+        assert!(lane.rungs.iter().all(|r| r.verdict == "bounded-unsat"));
+        // The final rung records the stop: nothing was widened there.
+        assert!(lane.rungs.last().unwrap().widened.is_empty());
     }
 
     #[test]

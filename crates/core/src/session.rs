@@ -2,8 +2,8 @@
 //!
 //! A [`Session`] owns the STAUB pipeline configuration *and* a persistent
 //! solver engine ([`BvSession`]) that survives across `check()` calls.
-//! Where the deprecated one-shot entrypoints (`Staub::run` and friends)
-//! spawn a fresh solver per call, a session carries forward:
+//! Where a one-shot pipeline run spawns a fresh solver per call, a session
+//! carries forward:
 //!
 //! * the bit-blaster's **variable map** (symbol name × bit → SAT variable)
 //!   and **structural gate cache**, so re-encoding an unchanged or widened
@@ -19,7 +19,10 @@
 //! SAT variables (two's-complement low bits agree across widths for every
 //! value representable at `w`), so [`Session::widen_and_recheck`] pays only
 //! for the extension bits — this is what makes warm escalation ladders
-//! cheaper than cold ones.
+//! cheaper than cold ones. [`Session::widen_vars_and_recheck`] sharpens
+//! that further: it widens only *named* variables (a [`WidthMap`] request
+//! per variable, sign-extended to the node width at use sites), the
+//! primitive behind the scheduler's counterexample-guided refine lane.
 //!
 //! # Incremental scripting
 //!
@@ -47,13 +50,12 @@ use staub_solver::{Budget, BvSession};
 
 use crate::metrics::Metrics;
 use crate::pipeline::{Provenance, Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};
+use crate::transform::WidthMap;
 
 /// An incremental solving session: pipeline configuration, assertion
 /// stack, and a warm solver engine shared by every check.
 ///
-/// This is the intended public entrypoint; `Staub::run`, `Staub::race`,
-/// and `Staub::try_bounded` are deprecated thin wrappers kept for one
-/// release.
+/// This is the intended public entrypoint for solving.
 pub struct Session {
     staub: Staub,
     engine: BvSession,
@@ -64,6 +66,8 @@ pub struct Session {
     cached: Option<(String, Script)>,
     /// Width multiplier of the most recent check (1 = base width).
     multiplier: u32,
+    /// Accumulated per-variable width requests (selective widening).
+    widths: WidthMap,
 }
 
 impl Default for Session {
@@ -82,6 +86,7 @@ impl Session {
             frames: vec![Vec::new()],
             cached: None,
             multiplier: 1,
+            widths: WidthMap::new(),
         }
     }
 
@@ -110,6 +115,12 @@ impl Session {
     /// The width multiplier of the most recent check (1 = base width).
     pub fn width_multiplier(&self) -> u32 {
         self.multiplier
+    }
+
+    /// Per-variable width requests accumulated by
+    /// [`Session::widen_vars_and_recheck`] (empty = uniform widths).
+    pub fn var_widths(&self) -> &WidthMap {
+        &self.widths
     }
 
     // -- assertion stack ---------------------------------------------------
@@ -216,12 +227,54 @@ impl Session {
         self.check_scaled(next)
     }
 
+    /// Doubles the translation width of the *named* variables only and
+    /// re-checks the current assertion stack. Unnamed variables keep their
+    /// current width and are sign-extended at use sites, so the refinement
+    /// pays (and re-blasts) only for the variables a counterexample or
+    /// unsat core actually blamed. Widths are clamped to
+    /// `limits.max_bv_width` and accumulate monotonically across calls
+    /// (see [`Session::var_widths`]).
+    ///
+    /// When the constraint has no bounded counterpart, this behaves like
+    /// [`Session::check`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`StaubError::EmptyScript`] when no assertions are active.
+    pub fn widen_vars_and_recheck(&mut self, vars: &[&str]) -> Result<StaubOutcome, StaubError> {
+        self.ensure_parsed();
+        let (_, script) = self.cached.as_ref().expect("ensure_parsed populated cache");
+        let max = self.staub.config().limits.max_bv_width;
+        let scaled = scale_width(&self.staub, script, self.multiplier, &self.widths);
+        let staub = scaled.as_ref().unwrap_or(&self.staub);
+        // The transform reports each variable's current encoded width; when
+        // it fails outright (e.g. a constant too wide for a narrow fixed
+        // base), fall back to the accumulated request or the fixed base —
+        // the next transform clamps whatever we request anyway.
+        let transformed = staub.transform(script).ok();
+        let fixed_base = match staub.config().width_choice {
+            WidthChoice::Fixed(w) => Some(w),
+            _ => None,
+        };
+        for v in vars {
+            let current = transformed
+                .as_ref()
+                .and_then(|tf| tf.var_widths.iter().find(|(n, _)| n == v).map(|&(_, w)| w))
+                .or_else(|| self.widths.get(v))
+                .or(fixed_base);
+            if let Some(cur) = current {
+                self.widths.widen(v, cur.saturating_mul(2).min(max));
+            }
+        }
+        self.check_scaled(self.multiplier)
+    }
+
     fn check_scaled(&mut self, multiplier: u32) -> Result<StaubOutcome, StaubError> {
         self.ensure_parsed();
         self.multiplier = multiplier;
         let (_, script) = self.cached.as_ref().expect("ensure_parsed populated cache");
         let profile = self.staub.config().profile;
-        let scaled = scale_width(&self.staub, script, multiplier);
+        let scaled = scale_width(&self.staub, script, multiplier, &self.widths);
         let staub = scaled.as_ref().unwrap_or(&self.staub);
         let mut outcome = staub.run_with(script, Some(&mut self.engine))?;
         if multiplier > 1 {
@@ -311,20 +364,31 @@ fn combine(frames: &[Vec<String>]) -> String {
     out
 }
 
-/// When `multiplier > 1` and the script has a bounded counterpart, a
-/// pipeline clone pinned to `multiplier ×` the base translation width.
-fn scale_width(staub: &Staub, script: &Script, multiplier: u32) -> Option<Staub> {
-    if multiplier <= 1 {
+/// When the session has accumulated an escalation (`multiplier > 1`) or
+/// per-variable width requests, a pipeline clone carrying them: the
+/// multiplier pins `multiplier ×` the base translation width, and the
+/// width map is layered over whatever choice results.
+fn scale_width(
+    staub: &Staub,
+    script: &Script,
+    multiplier: u32,
+    widths: &WidthMap,
+) -> Option<Staub> {
+    if multiplier <= 1 && widths.is_empty() {
         return None;
     }
     let config = staub.config();
-    let transformed = staub.transform(script).ok()?;
-    let base = transformed
-        .bv_width
-        .or(transformed.fp_format.map(|(_, sb)| sb))?;
-    let width = base.saturating_mul(multiplier);
+    let mut width_choice = config.width_choice;
+    if multiplier > 1 {
+        let transformed = staub.transform(script).ok()?;
+        let base = transformed
+            .bv_width
+            .or(transformed.fp_format.map(|(_, sb)| sb))?;
+        width_choice = WidthChoice::Fixed(base.saturating_mul(multiplier));
+    }
     let scaled = Staub::new(StaubConfig {
-        width_choice: WidthChoice::Fixed(width),
+        width_choice,
+        var_widths: widths.clone(),
         ..config.clone()
     });
     Some(scaled.with_metrics(Arc::clone(staub.metrics())))
@@ -444,5 +508,42 @@ mod tests {
             session.engine().gate_cache_hits() > hits_before,
             "widened check must hit the warm gate cache"
         );
+    }
+
+    #[test]
+    fn widen_named_var_and_recheck_is_selective() {
+        // `big` needs 15 bits (103² = 10609); `small` fits anywhere. At an
+        // 8-bit base the bounded path cannot represent the square, but
+        // doubling *only* `big` to 16 bits makes it bounded-verifiable.
+        let mut session = Session::new(StaubConfig {
+            width_choice: WidthChoice::Fixed(8),
+            ..config()
+        });
+        session
+            .assert_text(
+                "(declare-fun big () Int)(declare-fun small () Int)\
+                 (assert (>= small 0))(assert (<= small 3))\
+                 (assert (>= big 0))(assert (= (* big big) 10609))",
+            )
+            .unwrap();
+        let outcome = session.widen_vars_and_recheck(&["big"]).unwrap();
+        let big = session
+            .script()
+            .and_then(|s| s.store().symbol("big"))
+            .unwrap();
+        match outcome {
+            StaubOutcome::Sat { model, .. } => {
+                use staub_numeric::BigInt;
+                use staub_smtlib::Value;
+                assert_eq!(model.get(big), Some(&Value::Int(BigInt::from(103))));
+            }
+            other => panic!("expected sat, got {other:?}"),
+        }
+        // Only the named variable was widened, and the request sticks.
+        assert_eq!(session.var_widths().get("big"), Some(16));
+        assert_eq!(session.var_widths().get("small"), None);
+        // A second round doubles from the *current* (widened) width.
+        session.widen_vars_and_recheck(&["big"]).unwrap();
+        assert_eq!(session.var_widths().get("big"), Some(32));
     }
 }

@@ -57,6 +57,60 @@ impl fmt::Display for TransformError {
 
 impl Error for TransformError {}
 
+/// A per-variable width budget layered over the uniform node width.
+///
+/// Bromberger-style: widths are a per-variable resource, not a scalar. A
+/// map entry `name ↦ w` asks for variable `name` to be encoded in `w`
+/// bits; unnamed variables keep the constraint's base width. For integer
+/// constraints each variable is *declared* at its own width and
+/// sign-extended to the widest width at use sites, so narrow variables
+/// genuinely cost fewer SAT variables. For real constraints the engine
+/// has no floating-point format conversions, so per-variable requests
+/// collapse to the widest requested format (see `transform_with_widths`).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct WidthMap {
+    widths: HashMap<String, u32>,
+}
+
+impl WidthMap {
+    /// An empty map: every variable at the base width.
+    pub fn new() -> WidthMap {
+        WidthMap::default()
+    }
+
+    /// Requests at least `width` bits for `name` (monotone: a smaller
+    /// request never shrinks an earlier one).
+    pub fn widen(&mut self, name: &str, width: u32) {
+        let entry = self.widths.entry(name.to_string()).or_insert(0);
+        *entry = (*entry).max(width);
+    }
+
+    /// The requested width for `name`, if any.
+    pub fn get(&self, name: &str) -> Option<u32> {
+        self.widths.get(name).copied()
+    }
+
+    /// `true` when no variable has a per-variable request.
+    pub fn is_empty(&self) -> bool {
+        self.widths.is_empty()
+    }
+
+    /// Number of variables with a per-variable request.
+    pub fn len(&self) -> usize {
+        self.widths.len()
+    }
+
+    /// The widest request in the map (0 when empty).
+    pub fn max_width(&self) -> u32 {
+        self.widths.values().copied().max().unwrap_or(0)
+    }
+
+    /// Iterates `(name, width)` requests in arbitrary order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, u32)> {
+        self.widths.iter().map(|(n, &w)| (n.as_str(), w))
+    }
+}
+
 /// A successfully transformed constraint.
 #[derive(Debug, Clone)]
 pub struct Transformed {
@@ -66,7 +120,9 @@ pub struct Transformed {
     pub var_map: Vec<(SymbolId, SymbolId)>,
     /// The inference that drove sort selection.
     pub bounds: InferredBounds,
-    /// Selected bitvector width (integer constraints).
+    /// Selected bitvector width (integer constraints) — the *node* width
+    /// all arithmetic runs at; individual variables may be declared
+    /// narrower (see [`Transformed::var_widths`]).
     pub bv_width: Option<u32>,
     /// Selected floating-point format (real constraints).
     pub fp_format: Option<(u32, u32)>,
@@ -75,6 +131,11 @@ pub struct Transformed {
     /// The a-priori bound certificate derived from the *original* script
     /// (fragment class, coefficient ledger, certified width if pure LIA).
     pub certificate: BoundCertificate,
+    /// Effective encoded width of each numeric variable, by name: the
+    /// declared bitvector width for integers, `eb + sb` for reals. The sum
+    /// of these is the constraint's total variable-bit footprint — the
+    /// quantity per-variable refinement tries to keep small.
+    pub var_widths: Vec<(String, u32)>,
 }
 
 /// Transforms an unbounded script into a bounded one.
@@ -88,6 +149,38 @@ pub fn transform(
     bounds: &InferredBounds,
     choice: WidthChoice,
     limits: &SortLimits,
+) -> Result<Transformed, TransformError> {
+    transform_with_widths(script, bounds, choice, limits, &WidthMap::new())
+}
+
+/// Transforms with a per-variable width budget layered over `choice`.
+///
+/// Integer constraints: the node width `W` is the maximum of the base
+/// width from `choice` and the widest [`WidthMap`] request (capped at
+/// `limits.max_bv_width`). Every variable with a request `w < W` — and
+/// every unrequested variable when the base width is below `W` — is
+/// declared at its own width and sign-extended to `W` at use sites.
+/// Sign-extension is exact on two's-complement values, so the narrow
+/// declaration is precisely the approximation "this variable lies in the
+/// `w`-bit signed range"; all arithmetic and every overflow guard runs
+/// uniformly at `W`, which keeps the lint guard-domination certificate
+/// intact.
+///
+/// Real constraints: the engine has no floating-point format conversions,
+/// so a per-variable request of `w` bits is read as a significand budget
+/// (the same convention as [`WidthChoice::Fixed`]) and the *whole*
+/// constraint is promoted to the widest requested format. Per-(m, p)
+/// refinement therefore degrades gracefully to global format widening.
+///
+/// # Errors
+///
+/// See [`TransformError`].
+pub fn transform_with_widths(
+    script: &Script,
+    bounds: &InferredBounds,
+    choice: WidthChoice,
+    limits: &SortLimits,
+    widths: &WidthMap,
 ) -> Result<Transformed, TransformError> {
     let store = script.store();
     let mut has_int = false;
@@ -110,8 +203,8 @@ pub fn transform(
     // every consumer of a `Transformed` sees the same claim.
     let certificate = absint::certify(script);
     match (has_int, has_real) {
-        (true, false) => transform_int(script, bounds, choice, limits, certificate),
-        (false, true) => transform_real(script, bounds, choice, limits, certificate),
+        (true, false) => transform_int(script, bounds, choice, limits, certificate, widths),
+        (false, true) => transform_real(script, bounds, choice, limits, certificate, widths),
         (true, true) => Err(TransformError::UnsupportedSorts),
         (false, false) => Err(TransformError::AlreadyBounded),
     }
@@ -141,7 +234,12 @@ fn scan_const_sorts(store: &TermStore, id: TermId, has_int: &mut bool, has_real:
 struct IntTx<'a> {
     src: &'a TermStore,
     out: Script,
+    /// The uniform node width `W` every arithmetic term runs at.
     width: u32,
+    /// Per-variable declared widths (base width when absent).
+    var_widths: &'a WidthMap,
+    /// Base width variables default to (≤ `width`).
+    base_width: u32,
     var_map: HashMap<SymbolId, SymbolId>,
     memo: HashMap<TermId, TermId>,
     guards: Vec<TermId>,
@@ -153,12 +251,17 @@ fn transform_int(
     choice: WidthChoice,
     limits: &SortLimits,
     certificate: BoundCertificate,
+    widths: &WidthMap,
 ) -> Result<Transformed, TransformError> {
-    let width = select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    let base = select_bv_width(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    // The node width must accommodate the widest per-variable request.
+    let width = base.max(widths.max_width().min(limits.max_bv_width));
     let mut tx = IntTx {
         src: script.store(),
         out: Script::new(),
         width,
+        var_widths: widths,
+        base_width: base,
         var_map: HashMap::new(),
         memo: HashMap::new(),
         guards: Vec::new(),
@@ -178,7 +281,18 @@ fn transform_int(
         tx.out.assert(t);
     }
     tx.out.check_sat();
-    let var_map = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    let var_map: Vec<(SymbolId, SymbolId)> = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    let out_store = tx.out.store();
+    let var_widths = var_map
+        .iter()
+        .filter(|(_, n)| matches!(out_store.symbol_sort(*n), Sort::BitVec(_)))
+        .map(|&(_, n)| {
+            let Sort::BitVec(w) = out_store.symbol_sort(n) else {
+                unreachable!("filtered to bitvector symbols")
+            };
+            (out_store.symbol_name(n).to_string(), w)
+        })
+        .collect();
     Ok(Transformed {
         script: tx.out,
         var_map,
@@ -187,6 +301,7 @@ fn transform_int(
         fp_format: None,
         guard_count,
         certificate,
+        var_widths,
     })
 }
 
@@ -218,7 +333,16 @@ impl<'a> IntTx<'a> {
             }
             Op::Var(sym) => {
                 let new_sym = self.map_var(*sym)?;
-                self.out.store_mut().var(new_sym)
+                let var = self.out.store_mut().var(new_sym);
+                // A variable declared narrower than the node width is
+                // sign-extended at every use: exact on two's complement,
+                // so the only approximation is the variable's own range.
+                match self.out.store().symbol_sort(new_sym) {
+                    Sort::BitVec(w) if w < self.width => {
+                        self.app(Op::BvSignExtend(self.width - w), &[var])?
+                    }
+                    _ => var,
+                }
             }
             Op::True => self.out.store_mut().bool(true),
             Op::False => self.out.store_mut().bool(false),
@@ -266,7 +390,14 @@ impl<'a> IntTx<'a> {
         }
         let name = self.src.symbol_name(sym).to_string();
         let sort = match self.src.symbol_sort(sym) {
-            Sort::Int => Sort::BitVec(self.width),
+            Sort::Int => {
+                let w = self
+                    .var_widths
+                    .get(&name)
+                    .unwrap_or(self.base_width)
+                    .clamp(2, self.width);
+                Sort::BitVec(w)
+            }
             Sort::Bool => Sort::Bool,
             other => unreachable!("unexpected variable sort {other} in integer constraint"),
         };
@@ -402,8 +533,18 @@ fn transform_real(
     choice: WidthChoice,
     limits: &SortLimits,
     certificate: BoundCertificate,
+    widths: &WidthMap,
 ) -> Result<Transformed, TransformError> {
     let (eb, sb) = select_fp_format(bounds, choice, limits).ok_or(TransformError::NoTargetSort)?;
+    // No format conversions in the FP engine: the widest per-variable
+    // request (read as a significand budget, like `WidthChoice::Fixed`)
+    // promotes the whole constraint's format.
+    let (eb, sb) = if widths.max_width() > sb {
+        select_fp_format(bounds, WidthChoice::Fixed(widths.max_width()), limits)
+            .ok_or(TransformError::NoTargetSort)?
+    } else {
+        (eb, sb)
+    };
     let mut tx = RealTx {
         src: script.store(),
         out: Script::new(),
@@ -427,7 +568,13 @@ fn transform_real(
         tx.out.assert(t);
     }
     tx.out.check_sat();
-    let var_map = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    let var_map: Vec<(SymbolId, SymbolId)> = tx.var_map.iter().map(|(&o, &n)| (o, n)).collect();
+    let out_store = tx.out.store();
+    let var_widths = var_map
+        .iter()
+        .filter(|(_, n)| matches!(out_store.symbol_sort(*n), Sort::Float(..)))
+        .map(|&(_, n)| (out_store.symbol_name(n).to_string(), eb + sb))
+        .collect();
     Ok(Transformed {
         script: tx.out,
         var_map,
@@ -436,6 +583,7 @@ fn transform_real(
         fp_format: Some((eb, sb)),
         guard_count,
         certificate,
+        var_widths,
     })
 }
 
@@ -648,6 +796,100 @@ mod tests {
             "euclidean adjustment present: {printed}"
         );
         assert!(t.guard_count >= 2, "nonzero-divisor and overflow guards");
+    }
+
+    #[test]
+    fn per_variable_widths_sign_extend_at_use_sites() {
+        let script = Script::parse(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (+ x y) 100))",
+        )
+        .unwrap();
+        let bounds = absint::infer(&script);
+        let mut widths = WidthMap::new();
+        widths.widen("x", 16);
+        let t = transform_with_widths(
+            &script,
+            &bounds,
+            WidthChoice::Fixed(9),
+            &SortLimits::default(),
+            &widths,
+        )
+        .unwrap();
+        // Node width follows the widest request; y stays at the base.
+        assert_eq!(t.bv_width, Some(16));
+        let store = t.script.store();
+        let x = store.symbol("x").unwrap();
+        let y = store.symbol("y").unwrap();
+        assert_eq!(store.symbol_sort(x), Sort::BitVec(16));
+        assert_eq!(store.symbol_sort(y), Sort::BitVec(9));
+        let printed = t.script.to_string();
+        assert!(printed.contains("(_ sign_extend 7)"), "{printed}");
+        let mut vw = t.var_widths.clone();
+        vw.sort();
+        assert_eq!(vw, vec![("x".to_string(), 16), ("y".to_string(), 9)]);
+    }
+
+    #[test]
+    fn empty_width_map_is_the_uniform_transform() {
+        let src = "(declare-fun x () Int)(assert (= (* x x) 49))";
+        let script = Script::parse(src).unwrap();
+        let bounds = absint::infer(&script);
+        let uniform = transform(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+        )
+        .unwrap();
+        let mapped = transform_with_widths(
+            &script,
+            &bounds,
+            WidthChoice::Inferred,
+            &SortLimits::default(),
+            &WidthMap::new(),
+        )
+        .unwrap();
+        assert_eq!(uniform.script.to_string(), mapped.script.to_string());
+        assert_eq!(uniform.bv_width, mapped.bv_width);
+        assert!(!uniform.script.to_string().contains("sign_extend"));
+    }
+
+    #[test]
+    fn narrow_variable_bounds_its_range() {
+        // x declared at 4 bits can only reach [-8, 7]; the constraint
+        // x = 100 at node width 16 must be unsat, while widening x makes
+        // it sat — the per-variable range *is* the approximation.
+        let script = Script::parse("(declare-fun x () Int)(assert (= x 100))").unwrap();
+        let bounds = absint::infer(&script);
+        let mut narrow = WidthMap::new();
+        narrow.widen("x", 4);
+        // Base width 16 via Fixed so the constant fits the node width.
+        let keep_base = |w: &WidthMap| {
+            transform_with_widths(
+                &script,
+                &bounds,
+                WidthChoice::Fixed(16),
+                &SortLimits::default(),
+                w,
+            )
+            .unwrap()
+        };
+        let t_narrow = keep_base(&narrow);
+        let store = t_narrow.script.store();
+        assert_eq!(
+            store.symbol_sort(store.symbol("x").unwrap()),
+            Sort::BitVec(4)
+        );
+        use staub_solver::{SatResult, Solver, SolverProfile};
+        let solver = Solver::new(SolverProfile::Zed);
+        let r = solver.solve(&t_narrow.script).result;
+        assert!(matches!(r, SatResult::Unsat), "100 exceeds 4 signed bits");
+        let mut wide = WidthMap::new();
+        wide.widen("x", 8);
+        let t_wide = keep_base(&wide);
+        let r2 = solver.solve(&t_wide.script).result;
+        assert!(matches!(r2, SatResult::Sat(_)), "100 fits 8 signed bits");
     }
 
     #[test]

@@ -41,10 +41,85 @@ pub fn lift_model(transformed: &Transformed, bounded_model: &Model) -> Option<Mo
 /// model) count as failure — the model does not verifiably satisfy the
 /// constraint.
 pub fn verify_model(original: &Script, model: &Model) -> bool {
-    original
-        .assertions()
-        .iter()
-        .all(|&a| matches!(evaluate(original.store(), a, model), Ok(Value::Bool(true))))
+    verify_report(original, model).verified
+}
+
+/// Structured verification outcome: which assertions the lifted model
+/// failed, and which variables those failures implicate.
+///
+/// This is the counterexample-guided refinement signal (UppSAT-style): a
+/// spurious bounded model fails *specific* assertions of the original
+/// constraint, and only the free variables of those assertions can be the
+/// ones whose bounded encoding was too narrow. Everything else verified
+/// exactly and does not need a wider encoding.
+#[derive(Debug, Clone, Default)]
+pub struct VerifyReport {
+    /// `true` when every assertion evaluated to `true` under the model.
+    pub verified: bool,
+    /// Indices (into the original script's assertion list) of assertions
+    /// that evaluated to `false` or failed to evaluate.
+    pub failed_assertions: Vec<usize>,
+    /// Names of the free variables of the failed assertions, deduplicated,
+    /// in first-encounter order — the refinement candidates.
+    pub suspect_vars: Vec<String>,
+}
+
+/// Evaluates every assertion of `original` under `model` and reports which
+/// failed and which variables they implicate. `verified` is exactly the
+/// boolean [`verify_model`] returns.
+pub fn verify_report(original: &Script, model: &Model) -> VerifyReport {
+    let store = original.store();
+    let mut report = VerifyReport {
+        verified: true,
+        ..VerifyReport::default()
+    };
+    let mut seen = std::collections::HashSet::new();
+    for (i, &a) in original.assertions().iter().enumerate() {
+        if matches!(evaluate(store, a, model), Ok(Value::Bool(true))) {
+            continue;
+        }
+        report.verified = false;
+        report.failed_assertions.push(i);
+        for sym in store.free_vars(a) {
+            let name = store.symbol_name(sym);
+            if seen.insert(name.to_string()) {
+                report.suspect_vars.push(name.to_string());
+            }
+        }
+    }
+    report
+}
+
+/// Names of variables whose *bounded* values sit at the edge of their
+/// encoding — the saturation signal for the BoundedUnsat side of
+/// refinement and a tie-breaker for the sat side.
+///
+/// A width-`w` bitvector value saturates when it does not also fit in
+/// `w - 1` signed bits: the solver drove it to the representable boundary,
+/// so widening that variable (and only that variable) gives the search
+/// genuine new room. Float values saturate when they are non-finite or hit
+/// the format's extremes; they are detected by failing to lift (`None`
+/// from [`phi_inv_fp`]).
+pub fn saturated_vars(transformed: &Transformed, bounded_model: &Model) -> Vec<String> {
+    let store = transformed.script.store();
+    let mut out = Vec::new();
+    for &(_, new) in &transformed.var_map {
+        let Some(value) = bounded_model.get(new) else {
+            continue;
+        };
+        let saturated = match value {
+            Value::BitVec(v) => {
+                v.width() > 0
+                    && !staub_numeric::BitVecValue::fits_signed(&v.to_signed(), v.width() - 1)
+            }
+            Value::Float(v) => phi_inv_fp(v).is_none(),
+            _ => false,
+        };
+        if saturated {
+            out.push(store.symbol_name(new).to_string());
+        }
+    }
+    out
 }
 
 /// Convenience: lift and verify in one step, returning the verified model.
@@ -53,7 +128,28 @@ pub fn lift_and_verify(
     transformed: &Transformed,
     bounded_model: &Model,
 ) -> Option<Model> {
-    let mut lifted = lift_model(transformed, bounded_model)?;
+    lift_and_verify_report(original, transformed, bounded_model).0
+}
+
+/// Lift and verify, keeping the refinement signal on failure.
+///
+/// Returns the verified lifted model (as [`lift_and_verify`]) together
+/// with the [`VerifyReport`]. When the bounded model cannot even be
+/// lifted (non-finite floats), the report marks every unliftable variable
+/// as a suspect instead — those are saturations by definition.
+pub fn lift_and_verify_report(
+    original: &Script,
+    transformed: &Transformed,
+    bounded_model: &Model,
+) -> (Option<Model>, VerifyReport) {
+    let Some(mut lifted) = lift_model(transformed, bounded_model) else {
+        let report = VerifyReport {
+            verified: false,
+            failed_assertions: Vec::new(),
+            suspect_vars: saturated_vars(transformed, bounded_model),
+        };
+        return (None, report);
+    };
     // Copy boolean variables by name from the bounded model: both scripts
     // declare them with identical names.
     let bounded_store = transformed.script.store();
@@ -67,7 +163,12 @@ pub fn lift_and_verify(
             }
         }
     }
-    verify_model(original, &lifted).then_some(lifted)
+    let report = verify_report(original, &lifted);
+    if report.verified {
+        (Some(lifted), report)
+    } else {
+        (None, report)
+    }
 }
 
 #[cfg(test)]
@@ -194,6 +295,62 @@ mod tests {
         assert_eq!(
             lifted.get(orig_x).unwrap().as_int().unwrap(),
             &staub_numeric::BigInt::from(-3)
+        );
+    }
+
+    #[test]
+    fn verify_report_names_failed_assertions_and_vars() {
+        let script = Script::parse(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= (* x x) 0))(assert (= y 1))",
+        )
+        .unwrap();
+        let x = script.store().symbol("x").unwrap();
+        let y = script.store().symbol("y").unwrap();
+        let mut model = Model::new();
+        model.insert(x, Value::Int(staub_numeric::BigInt::from(4)));
+        model.insert(y, Value::Int(staub_numeric::BigInt::one()));
+        let report = verify_report(&script, &model);
+        assert!(!report.verified);
+        assert_eq!(report.failed_assertions, vec![0]);
+        assert_eq!(report.suspect_vars, vec!["x".to_string()]);
+        // A satisfying model reports clean.
+        model.insert(x, Value::Int(staub_numeric::BigInt::zero()));
+        let clean = verify_report(&script, &model);
+        assert!(clean.verified);
+        assert!(clean.failed_assertions.is_empty());
+        assert!(clean.suspect_vars.is_empty());
+    }
+
+    #[test]
+    fn saturated_vars_flags_boundary_values() {
+        let script =
+            Script::parse("(declare-fun a () Int)(declare-fun b () Int)(assert (= (+ a b) 0))")
+                .unwrap();
+        let bounds = absint::infer(&script);
+        let transformed = transform(
+            &script,
+            &bounds,
+            WidthChoice::Fixed(8),
+            &SortLimits::default(),
+        )
+        .unwrap();
+        let w = transformed.bv_width.unwrap();
+        let a = transformed.script.store().symbol("a").unwrap();
+        let b = transformed.script.store().symbol("b").unwrap();
+        let mut bounded = Model::new();
+        // a = INT_MIN for the width (saturated), b = 1 (comfortably inside).
+        bounded.insert(
+            a,
+            Value::BitVec(staub_numeric::BitVecValue::from_i64(
+                -(1 << (w - 1)) as i64,
+                w,
+            )),
+        );
+        bounded.insert(b, Value::BitVec(staub_numeric::BitVecValue::from_i64(1, w)));
+        assert_eq!(
+            saturated_vars(&transformed, &bounded),
+            vec!["a".to_string()]
         );
     }
 

@@ -78,7 +78,13 @@ pub fn correspondence(c: &Correspondence<'_>) -> LintReport {
         let os = ostore.symbol_sort(o);
         let bs = bstore.symbol_sort(b);
         let corresponds = match os {
-            Sort::Int => matches!(bs, Sort::BitVec(w) if Some(w) == c.bv_width),
+            // A declaration *narrower* than the node width is the
+            // per-variable width scheme: use sites sign-extend to the node
+            // width, and φ⁻¹ reads the signed value at any declared width.
+            // Wider than the node width nothing ever produces — mismatch.
+            Sort::Int => {
+                matches!(bs, Sort::BitVec(w) if c.bv_width.is_some_and(|node| w <= node))
+            }
             Sort::Real => matches!(bs, Sort::Float(eb, sb) if Some((eb, sb)) == c.fp_format),
             // Bounded sorts must be carried over unchanged.
             other => bs == other,
@@ -211,12 +217,26 @@ mod tests {
 
     #[test]
     fn wrong_target_width_fires_l202() {
+        // Wider than the node width: nothing in the translation produces
+        // this, so it is a mismatch.
+        let (original, mut bounded) = pair();
+        let wide = bounded.declare("x16", Sort::BitVec(16)).unwrap();
+        let ox = original.store().symbol("x").unwrap();
+        let var_map = [(ox, wide)];
+        let report = correspondence(&input(&original, &bounded, &var_map));
+        assert!(report.has(LintCode::PhiSortMismatch), "{report}");
+    }
+
+    #[test]
+    fn narrower_declaration_is_clean() {
+        // Narrower than the node width is the per-variable width scheme
+        // (sign-extended at use sites) — not a mismatch.
         let (original, mut bounded) = pair();
         let narrow = bounded.declare("x8", Sort::BitVec(8)).unwrap();
         let ox = original.store().symbol("x").unwrap();
         let var_map = [(ox, narrow)];
         let report = correspondence(&input(&original, &bounded, &var_map));
-        assert!(report.has(LintCode::PhiSortMismatch), "{report}");
+        assert!(!report.has(LintCode::PhiSortMismatch), "{report}");
     }
 
     #[test]

@@ -7,7 +7,7 @@
 //! [`AdmissionGate`] bounding concurrent scheduler work, then through the
 //! canonical-constraint [`AnswerCache`] (unless disabled), and only on a
 //! miss spawns lanes via
-//! [`run_one_observed`](staub_core::run_one_observed).
+//! [`run_one_with`](staub_core::run_one_with).
 //!
 //! # Drain
 //!

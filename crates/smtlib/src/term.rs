@@ -159,6 +159,29 @@ impl TermStore {
         &self.terms[id.index()]
     }
 
+    /// The free variables of `root`, in first-encounter (DFS) order,
+    /// deduplicated. Linear in the term DAG: each interned node is
+    /// visited at most once.
+    pub fn free_vars(&self, root: TermId) -> Vec<SymbolId> {
+        let mut seen = vec![false; self.terms.len()];
+        let mut vars = Vec::new();
+        let mut var_seen = vec![false; self.symbols.len()];
+        let mut stack = vec![root];
+        while let Some(id) = stack.pop() {
+            if std::mem::replace(&mut seen[id.index()], true) {
+                continue;
+            }
+            let term = &self.terms[id.index()];
+            if let Op::Var(sym) = *term.op() {
+                if !std::mem::replace(&mut var_seen[sym.index()], true) {
+                    vars.push(sym);
+                }
+            }
+            stack.extend(term.args().iter().rev());
+        }
+        vars
+    }
+
     /// Overwrites a term's cached sort, bypassing sort-checking.
     ///
     /// Exists only so negative tests can seed the store corruption that
@@ -469,6 +492,23 @@ mod tests {
         }
         let got: Vec<&str> = s.symbols().map(|sym| s.symbol_name(sym)).collect();
         assert_eq!(got, names);
+    }
+
+    #[test]
+    fn free_vars_dedups_in_encounter_order() {
+        let mut s = TermStore::new();
+        let x = s.declare("x", Sort::Int).unwrap();
+        let y = s.declare("y", Sort::Int).unwrap();
+        let z = s.declare("z", Sort::Int).unwrap();
+        let (xv, yv) = (s.var(x), s.var(y));
+        let sum = s.add(&[xv, yv]).unwrap();
+        let prod = s.mul(&[sum, xv]).unwrap();
+        assert_eq!(s.free_vars(prod), vec![x, y]);
+        // A constant has no free variables; z never appears.
+        let five = s.int_i64(5);
+        assert_eq!(s.free_vars(five), Vec::<SymbolId>::new());
+        let zv = s.var(z);
+        assert_eq!(s.free_vars(zv), vec![z]);
     }
 
     #[test]

@@ -960,6 +960,7 @@ impl<'a> Blaster<'a> {
 pub struct BvSession {
     core: BlastCore,
     checks: u64,
+    last_core: Vec<usize>,
 }
 
 impl BvSession {
@@ -968,6 +969,7 @@ impl BvSession {
         BvSession {
             core: BlastCore::new(config, true),
             checks: 0,
+            last_core: Vec::new(),
         }
     }
 
@@ -995,9 +997,23 @@ impl BvSession {
             .iter()
             .map(|&a| blaster.encode_bool(a))
             .collect();
+        self.last_core.clear();
         let result = match blaster.core.sat.solve_with_assumptions(&roots, budget) {
             SatSolverResult::Sat => SatResult::Sat(blaster.extract_model(script.store())),
-            SatSolverResult::Unsat => SatResult::Unsat,
+            SatSolverResult::Unsat => {
+                // Map the assumption core back to assertion indices. A
+                // root literal shared by several assertions (gate-cache
+                // hit on identical terms) blames each of them — the
+                // over-approximation is sound for refinement purposes.
+                let core = blaster.core.sat.assumption_core();
+                self.last_core = roots
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, r)| core.contains(r))
+                    .map(|(i, _)| i)
+                    .collect();
+                SatResult::Unsat
+            }
             SatSolverResult::Unknown => SatResult::Unknown(UnknownReason::BudgetExhausted),
         };
         self.checks += 1;
@@ -1020,6 +1036,17 @@ impl BvSession {
     /// Cumulative structural gate-cache hits across all checks.
     pub fn gate_cache_hits(&self) -> u64 {
         self.core.cache_hits
+    }
+
+    /// Indices (into the checked script's assertion list) of the
+    /// assertions whose roots appear in the SAT core of the last
+    /// [`BvSession::check`] that answered `Unsat`.
+    ///
+    /// Empty after any other answer, and empty when the session's clause
+    /// database became unsatisfiable independent of the assertion roots —
+    /// so an empty slice after `Unsat` means "no assertion to blame".
+    pub fn last_unsat_core(&self) -> &[usize] {
+        &self.last_core
     }
 }
 
@@ -1285,6 +1312,38 @@ mod tests {
                 .unwrap();
         let (r2, _) = session.check(&sat, &Budget::unlimited());
         assert!(r2.is_sat(), "session stayed unsat after an unsat check");
+    }
+
+    #[test]
+    fn session_unsat_core_names_guilty_assertions() {
+        // Assertions 1 and 3 clash (x = 3 vs x + x = 7, unsat by parity
+        // already, but the equality makes the clash local); assertion 2
+        // constrains an unrelated variable and must stay out of the core.
+        let mut session = BvSession::new(SatConfig::default());
+        let script = Script::parse(
+            "(declare-fun x () (_ BitVec 8))
+             (declare-fun y () (_ BitVec 8))
+             (assert (= x (_ bv3 8)))
+             (assert (bvult y (_ bv100 8)))
+             (assert (= (bvadd x x) (_ bv7 8)))",
+        )
+        .unwrap();
+        let (r, _) = session.check(&script, &Budget::unlimited());
+        assert!(r.is_unsat());
+        let core = session.last_unsat_core().to_vec();
+        assert!(
+            !core.is_empty(),
+            "unsat under assumptions must yield a core"
+        );
+        assert!(!core.contains(&1), "unrelated assertion entered the core");
+        assert!(core.contains(&2), "the parity clash is in every refutation");
+        // A sat check clears the core.
+        let sat =
+            Script::parse("(declare-fun x () (_ BitVec 8))(assert (= (bvadd x x) (_ bv8 8)))")
+                .unwrap();
+        let (r2, _) = session.check(&sat, &Budget::unlimited());
+        assert!(r2.is_sat());
+        assert!(session.last_unsat_core().is_empty());
     }
 
     #[test]

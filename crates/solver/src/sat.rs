@@ -200,6 +200,9 @@ pub struct SatSolver {
     seen: Vec<bool>,
     /// Open assertion levels ([`SatSolver::push`] / [`SatSolver::pop`]).
     levels: Vec<PushLevel>,
+    /// Subset of the last call's assumptions responsible for its `Unsat`
+    /// answer ([`SatSolver::assumption_core`]).
+    assumption_core: Vec<Lit>,
 }
 
 /// An indexed binary max-heap of variables keyed by external activities.
@@ -315,6 +318,7 @@ impl SatSolver {
             order: VarOrder::default(),
             seen: Vec::new(),
             levels: Vec::new(),
+            assumption_core: Vec::new(),
         }
     }
 
@@ -681,6 +685,55 @@ impl SatSolver {
         (learned, backtrack)
     }
 
+    /// Final-conflict analysis (MiniSat's `analyzeFinal`): given an
+    /// assumption `a` whose negation the database (plus the already
+    /// established assumptions) forces, walks the implication graph
+    /// backwards from `¬a` and collects the pseudo-decisions — i.e. the
+    /// earlier assumptions — it rests on. The returned set, together with
+    /// `a` itself, is an unsatisfiable core over the assumption literals.
+    ///
+    /// Root-level (level 0) literals are assumption-independent facts and
+    /// are skipped; in the assumption-establishment phase every decision at
+    /// level ≥ 1 is an assumption, so `REASON_DECISION` at a positive level
+    /// identifies core members exactly.
+    fn analyze_final(&mut self, a: Lit) -> Vec<Lit> {
+        let mut core = vec![a];
+        let Some(&root) = self.trail_lim.first() else {
+            // `¬a` is a root-level fact: unsat from `a` alone.
+            return core;
+        };
+        let mut seen = std::mem::take(&mut self.seen);
+        let mut touched: Vec<u32> = Vec::with_capacity(16);
+        seen[a.var().0 as usize] = true;
+        touched.push(a.var().0);
+        for i in (root..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().0 as usize;
+            if !seen[v] {
+                continue;
+            }
+            let reason = self.reason[v];
+            if reason == REASON_DECISION {
+                if self.level[v] > 0 && lit != a {
+                    core.push(lit);
+                }
+            } else {
+                for &l in &self.clauses[reason as usize].lits {
+                    let lv = l.var().0 as usize;
+                    if self.level[lv] > 0 && !seen[lv] {
+                        seen[lv] = true;
+                        touched.push(lv as u32);
+                    }
+                }
+            }
+        }
+        for v in touched {
+            seen[v as usize] = false;
+        }
+        self.seen = seen;
+        core
+    }
+
     fn decide(&mut self) -> Option<Lit> {
         // Pop assigned entries until an unassigned variable surfaces.
         while let Some(v) = self.order.pop_max(&self.activity) {
@@ -773,6 +826,7 @@ impl SatSolver {
         assumptions: &[Lit],
         budget: &Budget,
     ) -> SatSolverResult {
+        self.assumption_core.clear();
         if self.unsat {
             return SatSolverResult::Unsat;
         }
@@ -840,7 +894,10 @@ impl SatSolver {
                     LBool::False => {
                         // The database (plus earlier assumptions) forces
                         // the negation: unsat under the assumptions, but
-                        // not globally — leave the latch alone.
+                        // not globally — leave the latch alone. Extract
+                        // the responsible assumption subset before the
+                        // implication graph is unwound.
+                        self.assumption_core = self.analyze_final(a);
                         self.backtrack_to(0);
                         return SatSolverResult::Unsat;
                     }
@@ -873,6 +930,20 @@ impl SatSolver {
             LBool::False => Some(false),
             LBool::Undef => None,
         }
+    }
+
+    /// The subset of the last [`solve_with_assumptions`] call's assumption
+    /// literals responsible for its `Unsat` answer.
+    ///
+    /// Empty when the last answer was not `Unsat`, or when the clause set
+    /// is unsatisfiable *independent* of the assumptions (the global unsat
+    /// latch) — an empty core therefore means "no assumption to blame".
+    /// The core is not guaranteed minimal, but it never names an
+    /// assumption the refutation did not touch.
+    ///
+    /// [`solve_with_assumptions`]: SatSolver::solve_with_assumptions
+    pub fn assumption_core(&self) -> &[Lit] {
+        &self.assumption_core
     }
 }
 
@@ -1156,6 +1227,106 @@ mod tests {
             SatSolverResult::Unsat
         );
         assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    }
+
+    #[test]
+    fn assumption_core_names_conflicting_pair() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        assert!(core.contains(&Lit::neg(b)), "core {core:?}");
+        assert!(core.contains(&Lit::neg(a)), "core {core:?}");
+    }
+
+    #[test]
+    fn assumption_core_excludes_irrelevant_assumptions() {
+        // s1 forces x, s2 forces ¬x, s3 touches nothing: the core must
+        // name s1 and s2 and must not name s3.
+        let mut s = solver();
+        let s1 = s.new_var();
+        let s2 = s.new_var();
+        let s3 = s.new_var();
+        let x = s.new_var();
+        s.add_clause(&[Lit::neg(s1), Lit::pos(x)]);
+        s.add_clause(&[Lit::neg(s2), Lit::neg(x)]);
+        assert_eq!(
+            s.solve_with_assumptions(
+                &[Lit::pos(s1), Lit::pos(s2), Lit::pos(s3)],
+                &Budget::unlimited()
+            ),
+            SatSolverResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        assert!(core.contains(&Lit::pos(s1)), "core {core:?}");
+        assert!(core.contains(&Lit::pos(s2)), "core {core:?}");
+        assert!(!core.contains(&Lit::pos(s3)), "core {core:?}");
+        // The solve after a core stays warm and sat without s2.
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(s1), Lit::pos(s3)], &Budget::unlimited()),
+            SatSolverResult::Sat
+        );
+        assert!(s.assumption_core().is_empty());
+    }
+
+    #[test]
+    fn assumption_core_after_learning() {
+        // Pigeonhole 4-into-3 behind a selector: the refutation requires
+        // real conflict analysis before the selector is finally blamed.
+        let mut s = solver();
+        let sel = s.new_var();
+        let idle = s.new_var();
+        let mut p = [[Var(0); 3]; 4];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            s.add_clause(&[
+                Lit::neg(sel),
+                Lit::pos(row[0]),
+                Lit::pos(row[1]),
+                Lit::pos(row[2]),
+            ]);
+        }
+        for i1 in 0..4 {
+            for i2 in (i1 + 1)..4 {
+                let (r1, r2) = (p[i1], p[i2]);
+                for (&a, &b) in r1.iter().zip(r2.iter()) {
+                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+                }
+            }
+        }
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(idle), Lit::pos(sel)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        let core = s.assumption_core().to_vec();
+        assert!(core.contains(&Lit::pos(sel)), "core {core:?}");
+        assert!(!core.contains(&Lit::pos(idle)), "core {core:?}");
+    }
+
+    #[test]
+    fn globally_unsat_leaves_core_empty() {
+        let mut s = solver();
+        let a = s.new_var();
+        let b = s.new_var();
+        s.add_clause(&[Lit::pos(a)]);
+        assert!(!s.add_clause(&[Lit::neg(a)]));
+        assert_eq!(
+            s.solve_with_assumptions(&[Lit::pos(b)], &Budget::unlimited()),
+            SatSolverResult::Unsat
+        );
+        assert!(
+            s.assumption_core().is_empty(),
+            "global unsat blames no assumption"
+        );
     }
 
     #[test]

@@ -127,8 +127,9 @@ const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
        staub lint [--width N] <file.smt2>
        staub stats [--width N] [--profile zed|cove] [--timeout-ms N] <file.smt2>
        staub batch [--threads N] [--timeout-ms N] [--steps N] [--width N] \
-[--profile zed|cove|both] [--escalate M,M,...] [--no-baseline] [--no-cancel] \
-[--retry] [--no-stats] [--out FILE] <dir|file.smt2>...
+[--profile zed|cove|both] [--escalate M,M,...] [--refine] [--refine-depth N] \
+[--no-baseline] [--no-cancel] [--retry] [--no-stats] [--out FILE] \
+<dir|file.smt2>...
        staub serve [--addr HOST:PORT] [--unix PATH] [SERVE OPTIONS]
        staub client [--addr HOST:PORT] [--health | --shutdown | <file.smt2>...]
        staub loadgen [--addr HOST:PORT] [--concurrency N] [--repeat N] \
@@ -268,6 +269,10 @@ BATCH OPTIONS:
   --width <N>         fixed base width instead of inference
   --profile <P>       zed (default), cove, or both (doubles the lanes)
   --escalate <M,...>  STAUB width-escalation multipliers (default 2,4)
+  --refine            counterexample-guided per-variable refinement lane
+                      instead of the blind escalation fan-out
+  --refine-depth <N>  maximum refinement rungs after the base attempt
+                      (default 5; implies --refine)
   --no-baseline       skip the baseline lane (bounded lanes only)
   --no-cancel         let losing lanes run to completion (full timings)
   --retry             one bounded retry for lanes that exhaust their steps
@@ -305,6 +310,11 @@ fn batch_main(args: Vec<String>) -> ExitCode {
             }
             "--steps" => config.steps = value_of!("--steps", u64),
             "--width" => config.width_choice = WidthChoice::Fixed(value_of!("--width", u32)),
+            "--refine" => config.refine = true,
+            "--refine-depth" => {
+                config.refine = true;
+                config.refine_depth = value_of!("--refine-depth", u32);
+            }
             "--profile" => match iter.next().as_deref() {
                 Some("zed") => config.profiles = vec![SolverProfile::Zed],
                 Some("cove") => config.profiles = vec![SolverProfile::Cove],

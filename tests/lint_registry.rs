@@ -122,13 +122,16 @@ fn l201_phi_incomplete() -> LintReport {
 }
 
 fn l202_phi_sort_mismatch() -> LintReport {
+    // Narrower-than-node declarations are the per-variable width scheme
+    // (sign-extended at use sites); only a *wider*-than-node mapping is a
+    // sort mismatch.
     let (original, mut bounded) = pair();
-    let narrow = bounded.declare("x8", Sort::BitVec(8)).unwrap();
+    let wide = bounded.declare("x16", Sort::BitVec(16)).unwrap();
     let ox = original.store().symbol("x").unwrap();
     correspondence(&Correspondence {
         original: &original,
         bounded: &bounded,
-        var_map: &[(ox, narrow)],
+        var_map: &[(ox, wide)],
         bv_width: Some(12),
         fp_format: None,
         int_assumption_width: Some(6),

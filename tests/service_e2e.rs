@@ -76,7 +76,7 @@ fn reference_verdicts(corpus: &[(String, String)]) -> HashMap<String, String> {
 }
 
 /// Boots a server, drives the corpus through 8 concurrent clients, and
-/// checks every reply is well-formed, sound, and agrees with `run_batch`.
+/// checks every reply is well-formed, sound, and agrees with `run_batch_with`.
 fn differential(cache: bool, no_cache_flag: bool, repeat: usize) -> LoadgenOutcome {
     let corpus = corpus();
     let expected = reference_verdicts(&corpus);
