@@ -20,6 +20,8 @@
 
 #![forbid(unsafe_code)]
 
+pub mod reference_sat;
+
 use std::time::Duration;
 
 use staub_benchgen::{generate, Benchmark, SuiteKind};

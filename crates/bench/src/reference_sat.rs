@@ -1,4 +1,20 @@
-//! A CDCL SAT solver with two-watched-literal propagation, VSIDS branching,
+//! The pre-refactor CDCL core, vendored verbatim as a frozen reference.
+//!
+//! This is the `Vec<Clause>`-based solver exactly as it stood before the
+//! flat-arena/blocking-literal/brancher restructuring, kept here for two
+//! jobs:
+//!
+//! * the differential proptests in `tests/sat_differential.rs` pin the new
+//!   core's verdicts, assertion-level behaviour, and core soundness
+//!   against it over random assert/push/pop/solve tapes;
+//! * the `sat_bench` binary races both cores on the same corpus so
+//!   `BENCH_sat.json` records the throughput trajectory relative to a
+//!   fixed baseline rather than to whatever the current core happens to
+//!   be.
+//!
+//! Do not "fix" or modernise this module — its value is that it does not
+//! change. (Known quirks ride along deliberately, e.g. the `reduce_db`
+//! activity wipe the live solver fixed.)
 //! first-UIP clause learning, and geometric restarts.
 //!
 //! This is the propositional core under both the bit-blaster ([`crate::bv`])
@@ -20,7 +36,7 @@
 //!   assignments made since, and restores the unsat latch. Clauses below
 //!   the mark — including clauses learned before the push — are retained.
 
-use crate::budget::Budget;
+use staub_solver::Budget;
 
 /// A propositional variable (0-based index).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
@@ -152,7 +168,7 @@ struct PushLevel {
 /// # Examples
 ///
 /// ```
-/// use staub_solver::sat::{Lit, SatConfig, SatSolver, SatSolverResult};
+/// use staub_bench::reference_sat::{Lit, SatConfig, SatSolver, SatSolverResult};
 /// use staub_solver::Budget;
 ///
 /// let mut solver = SatSolver::new(SatConfig::default());
@@ -944,435 +960,5 @@ impl SatSolver {
     /// [`solve_with_assumptions`]: SatSolver::solve_with_assumptions
     pub fn assumption_core(&self) -> &[Lit] {
         &self.assumption_core
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    fn solver() -> SatSolver {
-        SatSolver::new(SatConfig::default())
-    }
-
-    #[test]
-    fn trivial_sat() {
-        let mut s = solver();
-        let a = s.new_var();
-        s.add_clause(&[Lit::pos(a)]);
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(s.value(a), Some(true));
-    }
-
-    #[test]
-    fn trivial_unsat() {
-        let mut s = solver();
-        let a = s.new_var();
-        s.add_clause(&[Lit::pos(a)]);
-        assert!(!s.add_clause(&[Lit::neg(a)]));
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-    }
-
-    #[test]
-    fn empty_clause_is_unsat() {
-        let mut s = solver();
-        assert!(!s.add_clause(&[]));
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-    }
-
-    #[test]
-    fn propagation_chain() {
-        let mut s = solver();
-        let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
-        // v0 and a chain v_i -> v_{i+1}.
-        s.add_clause(&[Lit::pos(vars[0])]);
-        for w in vars.windows(2) {
-            s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
-        }
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        for &v in &vars {
-            assert_eq!(s.value(v), Some(true));
-        }
-    }
-
-    #[test]
-    fn xor_chain_unsat() {
-        // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsat.
-        let mut s = solver();
-        let x: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
-        let xor_true = |s: &mut SatSolver, a: Var, b: Var| {
-            s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-            s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
-        };
-        xor_true(&mut s, x[0], x[1]);
-        xor_true(&mut s, x[1], x[2]);
-        xor_true(&mut s, x[0], x[2]);
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-    }
-
-    #[test]
-    fn pigeonhole_3_into_2_unsat() {
-        // 3 pigeons, 2 holes: var p_{i,j} = pigeon i in hole j.
-        let mut s = solver();
-        let mut p = [[Var(0); 2]; 3];
-        for row in &mut p {
-            for cell in row.iter_mut() {
-                *cell = s.new_var();
-            }
-        }
-        for row in &p {
-            s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
-        }
-        for j in [0, 1] {
-            for i1 in 0..3 {
-                for i2 in (i1 + 1)..3 {
-                    s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
-                }
-            }
-        }
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-        assert!(s.conflicts > 0);
-    }
-
-    #[test]
-    fn incremental_blocking_clauses_enumerate_models() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-        let mut models = 0;
-        while s.solve(&Budget::unlimited()) == SatSolverResult::Sat {
-            models += 1;
-            assert!(models <= 3, "only three models exist");
-            let block: Vec<Lit> = [a, b]
-                .iter()
-                .map(|&v| Lit::new(v, !s.value(v).unwrap()))
-                .collect();
-            if !s.add_clause(&block) {
-                break;
-            }
-        }
-        assert_eq!(models, 3);
-    }
-
-    #[test]
-    fn budget_exhaustion_returns_unknown() {
-        // A hard random-ish instance with a tiny budget.
-        let mut s = solver();
-        let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
-        // Pigeonhole 6 into 5 encoded densely enough to take some conflicts.
-        for i in 0..6 {
-            let clause: Vec<Lit> = (0..5).map(|j| Lit::pos(vars[i * 5 + j])).collect();
-            s.add_clause(&clause);
-        }
-        for j in 0..5 {
-            for i1 in 0..6 {
-                for i2 in (i1 + 1)..6 {
-                    s.add_clause(&[Lit::neg(vars[i1 * 5 + j]), Lit::neg(vars[i2 * 5 + j])]);
-                }
-            }
-        }
-        let tiny = Budget::new(std::time::Duration::from_secs(3600), 3);
-        let r = s.solve(&tiny);
-        assert_eq!(r, SatSolverResult::Unknown);
-        // With a real budget it finishes (unsat).
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-    }
-
-    #[test]
-    fn push_pop_restores_satisfiability() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        s.push();
-        assert!(s.add_clause(&[Lit::neg(a)]));
-        assert!(!s.add_clause(&[Lit::pos(a)]));
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
-        assert!(s.pop());
-        // The contradiction died with the level.
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        // A different level on the revived solver works normally.
-        s.push();
-        assert!(s.add_clause(&[Lit::neg(b)]));
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(s.value(a), Some(true));
-        assert!(s.pop());
-        assert!(!s.pop(), "no level left to pop");
-    }
-
-    #[test]
-    fn pop_removes_level_clauses_and_root_units() {
-        let mut s = solver();
-        let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
-        s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
-        let base_clauses = s.num_clauses();
-        s.push();
-        // A unit at the level forces a root propagation through a
-        // pre-existing clause; both assignments must unwind on pop.
-        s.add_clause(&[Lit::neg(vars[0])]);
-        s.add_clause(&[Lit::pos(vars[2]), Lit::pos(vars[3])]);
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(s.value(vars[1]), Some(true));
-        assert!(s.pop());
-        assert_eq!(s.num_clauses(), base_clauses);
-        assert_eq!(s.assertion_level(), 0);
-        // v0 is free again.
-        s.add_clause(&[Lit::pos(vars[0])]);
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(s.value(vars[0]), Some(true));
-    }
-
-    #[test]
-    fn nested_push_pop_unwind_in_order() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.push();
-        s.add_clause(&[Lit::pos(a)]);
-        s.push();
-        s.add_clause(&[Lit::pos(b)]);
-        assert!(!s.add_clause(&[Lit::neg(b)]));
-        assert_eq!(s.assertion_level(), 2);
-        assert!(s.pop());
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(s.value(a), Some(true));
-        assert!(s.pop());
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-    }
-
-    #[test]
-    fn assumptions_do_not_latch_global_unsat() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        // Unsat was relative to the assumptions only.
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
-            SatSolverResult::Sat
-        );
-        assert_eq!(s.value(b), Some(true));
-    }
-
-    #[test]
-    fn assumption_checks_retain_learned_clauses() {
-        // Pigeonhole 4-into-3 gated behind a selector: unsat under the
-        // selector, and the clauses learned in call one make call two
-        // conflict strictly less.
-        let mut s = solver();
-        let sel = s.new_var();
-        let mut p = [[Var(0); 3]; 4];
-        for row in &mut p {
-            for cell in row.iter_mut() {
-                *cell = s.new_var();
-            }
-        }
-        for row in &p {
-            s.add_clause(&[
-                Lit::neg(sel),
-                Lit::pos(row[0]),
-                Lit::pos(row[1]),
-                Lit::pos(row[2]),
-            ]);
-        }
-        for i1 in 0..4 {
-            for i2 in (i1 + 1)..4 {
-                let (r1, r2) = (p[i1], p[i2]);
-                for (&a, &b) in r1.iter().zip(r2.iter()) {
-                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
-                }
-            }
-        }
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        let first = s.conflicts;
-        assert!(first > 0);
-        let clauses_after_first = s.num_clauses();
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        let second = s.conflicts - first;
-        assert!(
-            second < first,
-            "warm re-check must conflict less (first {first}, second {second})"
-        );
-        assert!(clauses_after_first > 0);
-        // Dropping the selector keeps the instance satisfiable.
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-    }
-
-    #[test]
-    fn already_true_and_conflicting_assumptions() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a)]); // root unit: `a` is implied
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(a), Lit::pos(b)], &Budget::unlimited()),
-            SatSolverResult::Sat
-        );
-        assert_eq!(s.value(b), Some(true));
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-    }
-
-    #[test]
-    fn assumption_core_names_conflicting_pair() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        let core = s.assumption_core().to_vec();
-        assert!(core.contains(&Lit::neg(b)), "core {core:?}");
-        assert!(core.contains(&Lit::neg(a)), "core {core:?}");
-    }
-
-    #[test]
-    fn assumption_core_excludes_irrelevant_assumptions() {
-        // s1 forces x, s2 forces ¬x, s3 touches nothing: the core must
-        // name s1 and s2 and must not name s3.
-        let mut s = solver();
-        let s1 = s.new_var();
-        let s2 = s.new_var();
-        let s3 = s.new_var();
-        let x = s.new_var();
-        s.add_clause(&[Lit::neg(s1), Lit::pos(x)]);
-        s.add_clause(&[Lit::neg(s2), Lit::neg(x)]);
-        assert_eq!(
-            s.solve_with_assumptions(
-                &[Lit::pos(s1), Lit::pos(s2), Lit::pos(s3)],
-                &Budget::unlimited()
-            ),
-            SatSolverResult::Unsat
-        );
-        let core = s.assumption_core().to_vec();
-        assert!(core.contains(&Lit::pos(s1)), "core {core:?}");
-        assert!(core.contains(&Lit::pos(s2)), "core {core:?}");
-        assert!(!core.contains(&Lit::pos(s3)), "core {core:?}");
-        // The solve after a core stays warm and sat without s2.
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(s1), Lit::pos(s3)], &Budget::unlimited()),
-            SatSolverResult::Sat
-        );
-        assert!(s.assumption_core().is_empty());
-    }
-
-    #[test]
-    fn assumption_core_after_learning() {
-        // Pigeonhole 4-into-3 behind a selector: the refutation requires
-        // real conflict analysis before the selector is finally blamed.
-        let mut s = solver();
-        let sel = s.new_var();
-        let idle = s.new_var();
-        let mut p = [[Var(0); 3]; 4];
-        for row in &mut p {
-            for cell in row.iter_mut() {
-                *cell = s.new_var();
-            }
-        }
-        for row in &p {
-            s.add_clause(&[
-                Lit::neg(sel),
-                Lit::pos(row[0]),
-                Lit::pos(row[1]),
-                Lit::pos(row[2]),
-            ]);
-        }
-        for i1 in 0..4 {
-            for i2 in (i1 + 1)..4 {
-                let (r1, r2) = (p[i1], p[i2]);
-                for (&a, &b) in r1.iter().zip(r2.iter()) {
-                    s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
-                }
-            }
-        }
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(idle), Lit::pos(sel)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        let core = s.assumption_core().to_vec();
-        assert!(core.contains(&Lit::pos(sel)), "core {core:?}");
-        assert!(!core.contains(&Lit::pos(idle)), "core {core:?}");
-    }
-
-    #[test]
-    fn globally_unsat_leaves_core_empty() {
-        let mut s = solver();
-        let a = s.new_var();
-        let b = s.new_var();
-        s.add_clause(&[Lit::pos(a)]);
-        assert!(!s.add_clause(&[Lit::neg(a)]));
-        assert_eq!(
-            s.solve_with_assumptions(&[Lit::pos(b)], &Budget::unlimited()),
-            SatSolverResult::Unsat
-        );
-        assert!(
-            s.assumption_core().is_empty(),
-            "global unsat blames no assumption"
-        );
-    }
-
-    #[test]
-    fn duplicate_and_tautological_clauses() {
-        let mut s = solver();
-        let a = s.new_var();
-        assert!(s.add_clause(&[Lit::pos(a), Lit::pos(a)]));
-        assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
-        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-    }
-
-    #[test]
-    fn random_3sat_satisfiable_instances() {
-        // Deterministic LCG so the test is reproducible without rand.
-        let mut state = 0xdeadbeefu64;
-        let mut next = move || {
-            state = state
-                .wrapping_mul(6364136223846793005)
-                .wrapping_add(1442695040888963407);
-            (state >> 33) as u32
-        };
-        for _ in 0..10 {
-            let n = 20;
-            let mut s = solver();
-            let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
-            // Plant a solution and generate clauses consistent with it.
-            let planted: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
-            for _ in 0..60 {
-                let mut clause = Vec::new();
-                // Ensure at least one literal agrees with the planted model.
-                let forced = (next() % n as u32) as usize;
-                clause.push(Lit::new(vars[forced], planted[forced]));
-                for _ in 0..2 {
-                    let v = (next() % n as u32) as usize;
-                    clause.push(Lit::new(vars[v], next() % 2 == 0));
-                }
-                s.add_clause(&clause);
-            }
-            assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
-            // Verify the model satisfies every clause.
-            for c in &s.clauses {
-                assert!(
-                    c.lits.iter().any(|&l| s.lit_value(l) == LBool::True),
-                    "model violates a clause"
-                );
-            }
-        }
     }
 }

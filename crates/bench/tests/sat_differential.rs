@@ -1,0 +1,321 @@
+//! Differential property tests pinning the arena-based CDCL core against
+//! the vendored pre-refactor solver (`staub_bench::reference_sat`).
+//!
+//! Both solvers replay the same random tape of
+//! `add_clause`/`push`/`pop`/`solve`/`solve_with_assumptions` operations
+//! under an unlimited budget and must produce **identical verdicts** at
+//! every solve. Models and unsat cores are *not* compared literally —
+//! blocking literals change visit order, so the two cores learn different
+//! clauses and land on different (equally valid) witnesses — instead each
+//! solver's own artifacts are checked for soundness:
+//!
+//! * a `Sat` model must satisfy every clause on the active assertion
+//!   stack (tracked by a frame mirror, like `tests/session_props.rs`);
+//! * an assumption core must be a subset of the assumptions, and
+//!   re-solving the same solver under the core alone must still be
+//!   `Unsat`.
+//!
+//! A second battery solves each tape's clause set with inprocessing
+//! forced on every restart versus disabled, pinning subsumption and
+//! self-subsuming resolution as verdict-preserving.
+
+use proptest::prelude::*;
+use staub_bench::reference_sat as old;
+use staub_solver::sat as new;
+use staub_solver::Budget;
+
+const N_VARS: usize = 8;
+
+/// One operation of the differential tape, in solver-agnostic form.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Add a clause of `(var index, polarity)` literals.
+    Add(Vec<(usize, bool)>),
+    Push,
+    Pop,
+    Solve,
+    /// Solve under assumption literals.
+    SolveAssume(Vec<(usize, bool)>),
+}
+
+fn lit_strategy() -> impl Strategy<Value = (usize, bool)> {
+    (0..N_VARS, any::<bool>())
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Repeated arms bias toward adds (the shim's `prop_oneof!` draws arms
+    // uniformly — it has no weighted form).
+    prop_oneof![
+        proptest::collection::vec(lit_strategy(), 1..4).prop_map(Op::Add),
+        proptest::collection::vec(lit_strategy(), 1..4).prop_map(Op::Add),
+        proptest::collection::vec(lit_strategy(), 1..4).prop_map(Op::Add),
+        Just(Op::Push),
+        Just(Op::Pop),
+        Just(Op::Solve),
+        proptest::collection::vec(lit_strategy(), 1..3).prop_map(Op::SolveAssume),
+        proptest::collection::vec(lit_strategy(), 1..4).prop_map(Op::Add),
+    ]
+}
+
+fn new_lit(l: (usize, bool)) -> new::Lit {
+    new::Lit::new(new::Var(l.0 as u32), l.1)
+}
+
+fn old_lit(l: (usize, bool)) -> old::Lit {
+    old::Lit::new(old::Var(l.0 as u32), l.1)
+}
+
+fn verdict_name_new(r: new::SatSolverResult) -> &'static str {
+    match r {
+        new::SatSolverResult::Sat => "sat",
+        new::SatSolverResult::Unsat => "unsat",
+        new::SatSolverResult::Unknown => "unknown",
+    }
+}
+
+fn verdict_name_old(r: old::SatSolverResult) -> &'static str {
+    match r {
+        old::SatSolverResult::Sat => "sat",
+        old::SatSolverResult::Unsat => "unsat",
+        old::SatSolverResult::Unknown => "unknown",
+    }
+}
+
+/// An aggressive profile so restarts (and the new core's inprocessing and
+/// DB reductions) actually fire inside short tapes.
+fn aggressive_new() -> new::SatConfig {
+    new::SatConfig {
+        restart_base: 1,
+        restart_factor: 1.1,
+        inprocess_interval: 1,
+        reduce_base: 8,
+        ..new::SatConfig::default()
+    }
+}
+
+/// Replays `ops` against both cores; every solve compares verdicts and
+/// checks each solver's own model/core for soundness.
+fn run_differential_tape(ops: &[Op]) -> Result<(), TestCaseError> {
+    let budget = Budget::unlimited();
+    let mut nsolver = new::SatSolver::new(new::SatConfig::default());
+    let mut osolver = old::SatSolver::new(old::SatConfig::default());
+    let nvars: Vec<new::Var> = (0..N_VARS).map(|_| nsolver.new_var()).collect();
+    let _ovars: Vec<old::Var> = (0..N_VARS).map(|_| osolver.new_var()).collect();
+    // Mirror of the active assertion stack for model checking.
+    let mut frames: Vec<Vec<Vec<(usize, bool)>>> = vec![Vec::new()];
+    let mut solves = 0u32;
+
+    // Every tape ends with a solve, so no run is vacuous.
+    for op in ops.iter().chain([&Op::Solve]) {
+        match op {
+            Op::Add(clause) => {
+                let nc: Vec<new::Lit> = clause.iter().map(|&l| new_lit(l)).collect();
+                let oc: Vec<old::Lit> = clause.iter().map(|&l| old_lit(l)).collect();
+                // Return values are NOT compared: the cores learn
+                // different unit clauses, so one may detect root-level
+                // unsatisfiability during the add while the other only
+                // finds it at the next solve. Verdicts must still agree.
+                nsolver.add_clause(&nc);
+                osolver.add_clause(&oc);
+                frames.last_mut().expect("base frame").push(clause.clone());
+            }
+            Op::Push => {
+                nsolver.push();
+                osolver.push();
+                frames.push(Vec::new());
+            }
+            Op::Pop => {
+                let np = nsolver.pop();
+                let op_ = osolver.pop();
+                prop_assert_eq!(np, op_, "pop refusal disagrees");
+                prop_assert_eq!(np, frames.len() > 1);
+                if np {
+                    frames.pop();
+                }
+            }
+            Op::Solve | Op::SolveAssume(_) => {
+                solves += 1;
+                let assumptions: &[(usize, bool)] = match op {
+                    Op::SolveAssume(a) => a,
+                    _ => &[],
+                };
+                let na: Vec<new::Lit> = assumptions.iter().map(|&l| new_lit(l)).collect();
+                let oa: Vec<old::Lit> = assumptions.iter().map(|&l| old_lit(l)).collect();
+                let nr = nsolver.solve_with_assumptions(&na, &budget);
+                let or = osolver.solve_with_assumptions(&oa, &budget);
+                prop_assert_eq!(
+                    verdict_name_new(nr),
+                    verdict_name_old(or),
+                    "verdict divergence at solve {} (assumptions {:?})",
+                    solves,
+                    assumptions
+                );
+                prop_assert_eq!(nsolver.assertion_level(), osolver.assertion_level());
+                if nr == new::SatSolverResult::Sat {
+                    // Each model must satisfy the active stack (and the
+                    // assumptions it was found under).
+                    for clause in frames.iter().flatten() {
+                        prop_assert!(
+                            clause
+                                .iter()
+                                .any(|&(v, pos)| nsolver.value(nvars[v]) == Some(pos)),
+                            "new-core model violates active clause {clause:?}"
+                        );
+                        prop_assert!(
+                            clause.iter().any(|&(v, pos)| {
+                                osolver.value(old::Var(v as u32)) == Some(pos)
+                            }),
+                            "reference model violates active clause {clause:?}"
+                        );
+                    }
+                    for &(v, pos) in assumptions {
+                        prop_assert_eq!(nsolver.value(nvars[v]), Some(pos));
+                        prop_assert_eq!(osolver.value(old::Var(v as u32)), Some(pos));
+                    }
+                } else if !assumptions.is_empty() {
+                    // Core soundness, per solver: subset of the
+                    // assumptions, and still unsat when re-solved under
+                    // the core alone (empty core = unsat regardless).
+                    let ncore = nsolver.assumption_core().to_vec();
+                    prop_assert!(ncore.iter().all(|c| na.contains(c)));
+                    let nagain = nsolver.solve_with_assumptions(&ncore, &budget);
+                    prop_assert_eq!(
+                        verdict_name_new(nagain),
+                        "unsat",
+                        "new-core core {:?} does not refute",
+                        ncore
+                    );
+                    let ocore = osolver.assumption_core().to_vec();
+                    prop_assert!(ocore.iter().all(|c| oa.contains(c)));
+                    let oagain = osolver.solve_with_assumptions(&ocore, &budget);
+                    prop_assert_eq!(verdict_name_old(oagain), "unsat");
+                }
+            }
+        }
+    }
+    prop_assert!(solves > 0);
+    Ok(())
+}
+
+/// Replays only the adds/pushes/pops of `ops`, solving with inprocessing
+/// forced on every restart versus disabled: verdicts must agree at every
+/// solve point.
+fn run_inprocessing_tape(ops: &[Op]) -> Result<(), TestCaseError> {
+    let budget = Budget::unlimited();
+    let mut on = new::SatSolver::new(aggressive_new());
+    let mut off = new::SatSolver::new(new::SatConfig {
+        inprocess_interval: 0,
+        ..aggressive_new()
+    });
+    for _ in 0..N_VARS {
+        on.new_var();
+        off.new_var();
+    }
+    for op in ops.iter().chain([&Op::Solve]) {
+        match op {
+            Op::Add(clause) => {
+                let c: Vec<new::Lit> = clause.iter().map(|&l| new_lit(l)).collect();
+                on.add_clause(&c);
+                off.add_clause(&c);
+            }
+            Op::Push => {
+                on.push();
+                off.push();
+            }
+            Op::Pop => {
+                on.pop();
+                off.pop();
+            }
+            Op::Solve | Op::SolveAssume(_) => {
+                let assumptions: &[(usize, bool)] = match op {
+                    Op::SolveAssume(a) => a,
+                    _ => &[],
+                };
+                let a: Vec<new::Lit> = assumptions.iter().map(|&l| new_lit(l)).collect();
+                let r_on = on.solve_with_assumptions(&a, &budget);
+                let r_off = off.solve_with_assumptions(&a, &budget);
+                prop_assert_eq!(
+                    verdict_name_new(r_on),
+                    verdict_name_new(r_off),
+                    "inprocessing changed a verdict (assumptions {:?})",
+                    assumptions
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn arena_core_matches_reference_on_random_tapes(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        run_differential_tape(&ops)?;
+    }
+
+    #[test]
+    fn inprocessing_never_changes_a_verdict(
+        ops in proptest::collection::vec(op_strategy(), 1..40),
+    ) {
+        run_inprocessing_tape(&ops)?;
+    }
+}
+
+/// Directed case: the scenario the arena-order rule exists for. A base
+/// clause, a push, a level-local subsumer, heavy solving (so inprocessing
+/// fires), then a pop — the base clause must still constrain the solver.
+#[test]
+fn subsumer_inside_popped_level_leaves_base_clause_intact() {
+    let budget = Budget::unlimited();
+    let mut s = new::SatSolver::new(aggressive_new());
+    let v: Vec<new::Var> = (0..16).map(|_| s.new_var()).collect();
+    // Base: (v0 ∨ v1 ∨ v2) plus an xor-ish scaffold to generate conflicts.
+    s.add_clause(&[
+        new::Lit::pos(v[0]),
+        new::Lit::pos(v[1]),
+        new::Lit::pos(v[2]),
+    ]);
+    for w in v[3..].windows(2) {
+        s.add_clause(&[new::Lit::pos(w[0]), new::Lit::pos(w[1])]);
+        s.add_clause(&[new::Lit::neg(w[0]), new::Lit::neg(w[1])]);
+    }
+    s.push();
+    // Level-local subsumer of the base clause, plus a contradiction-rich
+    // pigeonhole so the solve restarts and inprocesses inside the level.
+    s.add_clause(&[new::Lit::pos(v[0]), new::Lit::pos(v[1])]);
+    let mut p = [[new::Var(0); 3]; 4];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    let sel = s.new_var();
+    for row in &p {
+        s.add_clause(&[
+            new::Lit::neg(sel),
+            new::Lit::pos(row[0]),
+            new::Lit::pos(row[1]),
+            new::Lit::pos(row[2]),
+        ]);
+    }
+    for i1 in 0..4 {
+        for i2 in (i1 + 1)..4 {
+            for (&x, &y) in p[i1].iter().zip(p[i2].iter()) {
+                s.add_clause(&[new::Lit::neg(x), new::Lit::neg(y)]);
+            }
+        }
+    }
+    assert_eq!(
+        s.solve_with_assumptions(&[new::Lit::pos(sel)], &budget),
+        new::SatSolverResult::Unsat
+    );
+    assert!(s.pop());
+    // The base clause must still force one of v0..v2 under ¬v0 ∧ ¬v1.
+    s.add_clause(&[new::Lit::neg(v[0])]);
+    s.add_clause(&[new::Lit::neg(v[1])]);
+    assert_eq!(s.solve(&budget), new::SatSolverResult::Sat);
+    assert_eq!(s.value(v[2]), Some(true), "base clause lost across pop");
+}

@@ -400,6 +400,8 @@ mod tests {
         let stats = SolverStats {
             decisions: 4,
             conflicts: 2,
+            subsumed: 3,
+            strengthened: 5,
             ..Default::default()
         };
         m.record_solver("solver.bounded", &stats);
@@ -407,6 +409,9 @@ mod tests {
         let snap = m.snapshot();
         assert_eq!(snap.counters["solver.bounded.decisions"], 8);
         assert_eq!(snap.counters["solver.bounded.conflicts"], 4);
+        // The inprocessing counters ride the same generic fields() path.
+        assert_eq!(snap.counters["solver.bounded.subsumed"], 6);
+        assert_eq!(snap.counters["solver.bounded.strengthened"], 10);
         // Zero-valued fields are elided.
         assert!(!snap.counters.contains_key("solver.bounded.pivots"));
     }

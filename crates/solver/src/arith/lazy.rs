@@ -101,6 +101,8 @@ pub fn solve_lazy_linear(
     stats.conflicts += enc.sat.conflicts;
     stats.propagations += enc.sat.propagations;
     stats.restarts += enc.sat.restarts;
+    stats.subsumed += enc.sat.subsumed;
+    stats.strengthened += enc.sat.strengthened;
     stats.clauses += enc.sat.num_clauses() as u64;
     Some(result)
 }

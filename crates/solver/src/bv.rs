@@ -39,6 +39,8 @@ pub fn solve_bv(script: &Script, config: SatConfig, budget: &Budget) -> (SatResu
         conflicts: core.sat.conflicts,
         propagations: core.sat.propagations,
         restarts: core.sat.restarts,
+        subsumed: core.sat.subsumed,
+        strengthened: core.sat.strengthened,
         clauses: core.sat.num_clauses() as u64,
         ..Default::default()
     };
@@ -991,6 +993,7 @@ impl BvSession {
             self.core.sat.propagations,
             self.core.sat.restarts,
         );
+        let (s0, st0) = (self.core.sat.subsumed, self.core.sat.strengthened);
         let mut blaster = Blaster::attach(script.store(), &mut self.core);
         let roots: Vec<Lit> = script
             .assertions()
@@ -1022,6 +1025,8 @@ impl BvSession {
             conflicts: self.core.sat.conflicts - c0,
             propagations: self.core.sat.propagations - p0,
             restarts: self.core.sat.restarts - r0,
+            subsumed: self.core.sat.subsumed - s0,
+            strengthened: self.core.sat.strengthened - st0,
             clauses: self.core.sat.num_clauses() as u64,
             ..Default::default()
         };

@@ -39,12 +39,14 @@ impl SolverProfile {
                 restart_base: 64,
                 restart_factor: 1.2,
                 default_polarity: false,
+                ..SatConfig::default()
             },
             SolverProfile::Cove => SatConfig {
                 var_decay: 0.75,
                 restart_base: 50,
                 restart_factor: 1.4,
                 default_polarity: false,
+                ..SatConfig::default()
             },
         }
     }

@@ -1,0 +1,235 @@
+//! Flat clause storage: every clause lives inline in one contiguous `u32`
+//! buffer, addressed by a typed [`ClauseRef`].
+//!
+//! Layout per clause (in `u32` words):
+//!
+//! ```text
+//! +--------------------------+----------------------+------ ... ------+
+//! | len | learned | deleted  | activity (f32 bits)  | lit codes       |
+//! +--------------------------+----------------------+------ ... ------+
+//!   word 0                     word 1                 words 2..2+len
+//! ```
+//!
+//! Allocation is strictly append-only, so a `ClauseRef` (the word offset of
+//! the header) totally orders clauses by creation time. That order is what
+//! the push/pop assertion levels lean on: a level's `clause_mark` is the
+//! arena length at push time, and [`ClauseArena::truncate`] is an exact
+//! undo of every allocation since. Deletion is a **tombstone** (a header
+//! bit) — memory is only reclaimed by [`ClauseArena::compact`], which the
+//! solver runs when no assertion levels are open, so live offsets never
+//! move underneath a watermark.
+
+/// Typed index of a clause: the word offset of its header in the arena.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub(super) struct ClauseRef(pub(super) u32);
+
+impl ClauseRef {
+    /// Sentinel for "no clause" (decision reasons).
+    pub(super) const NONE: ClauseRef = ClauseRef(u32::MAX);
+}
+
+const LEN_MASK: u32 = (1 << 30) - 1;
+const LEARNED_BIT: u32 = 1 << 30;
+const DELETED_BIT: u32 = 1 << 31;
+
+/// Header words preceding the inline literals of each clause.
+pub(super) const HEADER_WORDS: u32 = 2;
+
+/// The flat clause store. Literals are held as raw codes (`Lit`'s `u32`
+/// representation) so a clause body is a plain `&[u32]` slice — the
+/// propagation loop indexes it without touching any per-clause allocation.
+#[derive(Debug, Default)]
+pub(super) struct ClauseArena {
+    data: Vec<u32>,
+}
+
+impl ClauseArena {
+    pub(super) fn new() -> ClauseArena {
+        ClauseArena { data: Vec::new() }
+    }
+
+    /// Current arena length in words — the push-level watermark.
+    pub(super) fn len_words(&self) -> u32 {
+        self.data.len() as u32
+    }
+
+    /// Total backing-store footprint in bytes (capacity, not length).
+    pub(super) fn bytes(&self) -> usize {
+        self.data.capacity() * std::mem::size_of::<u32>()
+    }
+
+    /// Appends a clause; returns its reference. `lits` are raw codes.
+    pub(super) fn alloc(&mut self, lits: &[u32], learned: bool) -> ClauseRef {
+        debug_assert!(lits.len() as u32 <= LEN_MASK);
+        let at = self.data.len() as u32;
+        let mut header = lits.len() as u32;
+        if learned {
+            header |= LEARNED_BIT;
+        }
+        self.data.reserve(2 + lits.len());
+        self.data.push(header);
+        self.data.push(0f32.to_bits());
+        self.data.extend_from_slice(lits);
+        ClauseRef(at)
+    }
+
+    pub(super) fn len(&self, c: ClauseRef) -> usize {
+        (self.data[c.0 as usize] & LEN_MASK) as usize
+    }
+
+    pub(super) fn is_learned(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & LEARNED_BIT != 0
+    }
+
+    pub(super) fn is_deleted(&self, c: ClauseRef) -> bool {
+        self.data[c.0 as usize] & DELETED_BIT != 0
+    }
+
+    /// Tombstones the clause. The body stays in place until `compact`.
+    pub(super) fn delete(&mut self, c: ClauseRef) {
+        self.data[c.0 as usize] |= DELETED_BIT;
+    }
+
+    pub(super) fn activity(&self, c: ClauseRef) -> f32 {
+        f32::from_bits(self.data[c.0 as usize + 1])
+    }
+
+    pub(super) fn set_activity(&mut self, c: ClauseRef, a: f32) {
+        self.data[c.0 as usize + 1] = a.to_bits();
+    }
+
+    pub(super) fn bump_activity(&mut self, c: ClauseRef, inc: f32) {
+        let a = self.activity(c) + inc;
+        self.set_activity(c, a);
+    }
+
+    pub(super) fn scale_activity(&mut self, c: ClauseRef, factor: f32) {
+        let a = self.activity(c) * factor;
+        self.set_activity(c, a);
+    }
+
+    /// The clause body as raw literal codes.
+    pub(super) fn lits(&self, c: ClauseRef) -> &[u32] {
+        let at = c.0 as usize + HEADER_WORDS as usize;
+        &self.data[at..at + self.len(c)]
+    }
+
+    pub(super) fn lits_mut(&mut self, c: ClauseRef) -> &mut [u32] {
+        let at = c.0 as usize + HEADER_WORDS as usize;
+        let len = self.len(c);
+        &mut self.data[at..at + len]
+    }
+
+    /// Shrinks the clause to `new_len` literals (the caller has already
+    /// moved the surviving literals to the front). The slack words become
+    /// garbage that only `compact` reclaims — linear traversal of the
+    /// arena is never assumed, all walks go through the solver's ref list.
+    pub(super) fn shrink(&mut self, c: ClauseRef, new_len: usize) {
+        debug_assert!(new_len <= self.len(c));
+        let flags = self.data[c.0 as usize] & !LEN_MASK;
+        self.data[c.0 as usize] = flags | new_len as u32;
+    }
+
+    /// Exact undo of every allocation at or past `words` — the pop path.
+    pub(super) fn truncate(&mut self, words: u32) {
+        self.data.truncate(words as usize);
+    }
+
+    /// Live words (header + body) a given ref list accounts for; the
+    /// difference to [`ClauseArena::len_words`] is reclaimable garbage.
+    pub(super) fn live_words(&self, refs: &[ClauseRef]) -> u32 {
+        refs.iter()
+            .map(|&c| HEADER_WORDS + self.len(c) as u32)
+            .sum()
+    }
+
+    /// Moves the clauses in `refs` (ascending, live) to the front of a
+    /// fresh buffer, dropping tombstones and shrink slack. Returns the
+    /// relocation map as ascending `(old_offset, new_offset)` pairs; the
+    /// caller rewrites its ref list, reason pointers, and watch lists.
+    pub(super) fn compact(&mut self, refs: &[ClauseRef]) -> Vec<(u32, u32)> {
+        let mut fresh = Vec::with_capacity(self.live_words(refs) as usize);
+        let mut map = Vec::with_capacity(refs.len());
+        for &c in refs {
+            debug_assert!(!self.is_deleted(c));
+            let at = c.0 as usize;
+            let words = HEADER_WORDS as usize + self.len(c);
+            map.push((c.0, fresh.len() as u32));
+            fresh.extend_from_slice(&self.data[at..at + words]);
+        }
+        self.data = fresh;
+        map
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_back() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&[2, 5, 9], false);
+        let d = a.alloc(&[4, 7], true);
+        assert_eq!(a.lits(c), &[2, 5, 9]);
+        assert_eq!(a.lits(d), &[4, 7]);
+        assert!(!a.is_learned(c));
+        assert!(a.is_learned(d));
+        assert!(!a.is_deleted(c));
+        assert_eq!(a.len(c), 3);
+    }
+
+    #[test]
+    fn tombstone_and_compact_remaps() {
+        let mut a = ClauseArena::new();
+        let c0 = a.alloc(&[2, 5, 9], false);
+        let c1 = a.alloc(&[4, 7], true);
+        let c2 = a.alloc(&[1, 3, 11, 13], true);
+        a.delete(c1);
+        let live = [c0, c2];
+        let map = a.compact(&live);
+        assert_eq!(map.len(), 2);
+        assert_eq!(map[0], (c0.0, 0));
+        let c2_new = ClauseRef(map[1].1);
+        assert_eq!(a.lits(c2_new), &[1, 3, 11, 13]);
+        assert!(a.is_learned(c2_new));
+        assert_eq!(a.len_words(), 2 * HEADER_WORDS + 3 + 4);
+    }
+
+    #[test]
+    fn shrink_then_compact_reclaims_slack() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&[2, 5, 9], false);
+        a.shrink(c, 2);
+        assert_eq!(a.lits(c), &[2, 5]);
+        let map = a.compact(&[c]);
+        let c = ClauseRef(map[0].1);
+        assert_eq!(a.lits(c), &[2, 5]);
+        assert_eq!(a.len_words(), HEADER_WORDS + 2);
+    }
+
+    #[test]
+    fn truncate_is_exact_undo() {
+        let mut a = ClauseArena::new();
+        let _c0 = a.alloc(&[2, 5], false);
+        let mark = a.len_words();
+        let _c1 = a.alloc(&[4, 7, 9], true);
+        a.truncate(mark);
+        assert_eq!(a.len_words(), mark);
+        let c2 = a.alloc(&[6, 8], false);
+        assert_eq!(c2.0, mark, "allocation resumes exactly at the mark");
+    }
+
+    #[test]
+    fn activity_roundtrip() {
+        let mut a = ClauseArena::new();
+        let c = a.alloc(&[2, 5], true);
+        assert_eq!(a.activity(c), 0.0);
+        a.bump_activity(c, 1.5);
+        a.bump_activity(c, 0.25);
+        assert_eq!(a.activity(c), 1.75);
+        a.scale_activity(c, 0.5);
+        assert_eq!(a.activity(c), 0.875);
+        assert_eq!(a.len(c), 2, "activity writes never touch the header");
+    }
+}

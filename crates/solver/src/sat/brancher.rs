@@ -1,0 +1,225 @@
+//! The decision heuristic as its own module: VSIDS activities with
+//! multiplicative decay, an indexed max-heap variable order, and saved
+//! phases.
+//!
+//! # Backtracking contract
+//!
+//! The brancher is *passively* backtrackable: it never records trail
+//! state of its own. The solver calls [`Brancher::reinsert`] for every
+//! variable it unassigns (backtrack, pop, restart) and the heap lazily
+//! skips still-assigned entries at decision time, so unwinding any prefix
+//! of the trail restores the exact decision order implied by the current
+//! activities. Activities and phases deliberately survive backtracking,
+//! pops, and whole `solve` calls — they are the warm state that makes
+//! re-checks in a session cheap.
+
+use super::{LBool, Lit, Var};
+
+/// VSIDS + phase saving, split out of the CDCL loop.
+#[derive(Debug)]
+pub(super) struct Brancher {
+    /// Per-variable activity (bumped on conflict participation).
+    activity: Vec<f64>,
+    /// Current bump amount; grows by `1/decay` per conflict.
+    inc: f64,
+    /// Multiplicative decay applied (as growth of `inc`) per conflict.
+    decay: f64,
+    /// Indexed max-heap over `activity`.
+    order: VarOrder,
+    /// Saved phase per variable (last assigned polarity).
+    phase: Vec<bool>,
+    /// Polarity for never-assigned variables.
+    default_polarity: bool,
+}
+
+impl Brancher {
+    pub(super) fn new(decay: f64, default_polarity: bool) -> Brancher {
+        Brancher {
+            activity: Vec::new(),
+            inc: 1.0,
+            decay,
+            order: VarOrder::default(),
+            phase: Vec::new(),
+            default_polarity,
+        }
+    }
+
+    /// Registers the next variable (indices are dense and allocation-ordered).
+    pub(super) fn new_var(&mut self) {
+        let v = self.activity.len() as u32;
+        self.activity.push(0.0);
+        self.phase.push(self.default_polarity);
+        self.order.new_var();
+        self.order.insert(v, &self.activity);
+    }
+
+    /// Bumps `v`'s activity, rescaling everything on overflow.
+    pub(super) fn bump(&mut self, v: Var) {
+        let i = v.0 as usize;
+        self.activity[i] += self.inc;
+        if self.activity[i] > 1e100 {
+            for a in &mut self.activity {
+                *a *= 1e-100;
+            }
+            self.inc *= 1e-100;
+        }
+        self.order.bumped(v.0, &self.activity);
+    }
+
+    /// Per-conflict decay (implemented as growth of the increment).
+    pub(super) fn on_conflict(&mut self) {
+        self.inc /= self.decay;
+    }
+
+    /// Saves the polarity `v` was just assigned.
+    pub(super) fn set_phase(&mut self, v: Var, sign: bool) {
+        self.phase[v.0 as usize] = sign;
+    }
+
+    /// Re-enters an unassigned variable into the decision order.
+    pub(super) fn reinsert(&mut self, v: u32) {
+        self.order.insert(v, &self.activity);
+    }
+
+    /// The next decision: the most active unassigned variable at its saved
+    /// phase. Assigned heap entries are discarded lazily.
+    pub(super) fn next_decision(&mut self, assign: &[LBool]) -> Option<Lit> {
+        while let Some(v) = self.order.pop_max(&self.activity) {
+            if assign[v as usize] == LBool::Undef {
+                return Some(Lit::new(Var(v), self.phase[v as usize]));
+            }
+        }
+        None
+    }
+}
+
+/// An indexed binary max-heap of variables keyed by external activities.
+#[derive(Debug, Default)]
+struct VarOrder {
+    heap: Vec<u32>,
+    /// Position of each variable in `heap`, or `NOT_IN_HEAP`.
+    pos: Vec<u32>,
+}
+
+const NOT_IN_HEAP: u32 = u32::MAX;
+
+impl VarOrder {
+    fn new_var(&mut self) {
+        self.pos.push(NOT_IN_HEAP);
+    }
+
+    fn contains(&self, v: u32) -> bool {
+        self.pos[v as usize] != NOT_IN_HEAP
+    }
+
+    fn insert(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            return;
+        }
+        self.pos[v as usize] = self.heap.len() as u32;
+        self.heap.push(v);
+        self.sift_up(self.heap.len() - 1, act);
+    }
+
+    /// Restores heap order after `v`'s activity increased.
+    fn bumped(&mut self, v: u32, act: &[f64]) {
+        if self.contains(v) {
+            self.sift_up(self.pos[v as usize] as usize, act);
+        }
+    }
+
+    fn pop_max(&mut self, act: &[f64]) -> Option<u32> {
+        let top = *self.heap.first()?;
+        let last = self.heap.pop().expect("heap nonempty");
+        self.pos[top as usize] = NOT_IN_HEAP;
+        if !self.heap.is_empty() {
+            self.heap[0] = last;
+            self.pos[last as usize] = 0;
+            self.sift_down(0, act);
+        }
+        Some(top)
+    }
+
+    fn sift_up(&mut self, mut i: usize, act: &[f64]) {
+        while i > 0 {
+            let parent = (i - 1) / 2;
+            if act[self.heap[i] as usize] <= act[self.heap[parent] as usize] {
+                break;
+            }
+            self.swap(i, parent);
+            i = parent;
+        }
+    }
+
+    fn sift_down(&mut self, mut i: usize, act: &[f64]) {
+        loop {
+            let (l, r) = (2 * i + 1, 2 * i + 2);
+            let mut largest = i;
+            if l < self.heap.len() && act[self.heap[l] as usize] > act[self.heap[largest] as usize]
+            {
+                largest = l;
+            }
+            if r < self.heap.len() && act[self.heap[r] as usize] > act[self.heap[largest] as usize]
+            {
+                largest = r;
+            }
+            if largest == i {
+                break;
+            }
+            self.swap(i, largest);
+            i = largest;
+        }
+    }
+
+    fn swap(&mut self, a: usize, b: usize) {
+        self.heap.swap(a, b);
+        self.pos[self.heap[a] as usize] = a as u32;
+        self.pos[self.heap[b] as usize] = b as u32;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn most_active_unassigned_wins() {
+        let mut b = Brancher::new(0.95, false);
+        for _ in 0..4 {
+            b.new_var();
+        }
+        b.bump(Var(2));
+        b.bump(Var(2));
+        b.bump(Var(1));
+        let assign = vec![LBool::Undef; 4];
+        assert_eq!(b.next_decision(&assign), Some(Lit::neg(Var(2))));
+    }
+
+    #[test]
+    fn assigned_entries_skipped_and_reinsert_restores() {
+        let mut b = Brancher::new(0.95, false);
+        for _ in 0..3 {
+            b.new_var();
+        }
+        b.bump(Var(0));
+        let mut assign = vec![LBool::Undef; 3];
+        assign[0] = LBool::True;
+        // Var 0 is most active but assigned: it is discarded, not returned.
+        let d = b.next_decision(&assign).expect("two vars free");
+        assert_ne!(d.var(), Var(0));
+        // After unassignment + reinsert it branches first again.
+        assign[0] = LBool::Undef;
+        b.reinsert(0);
+        b.reinsert(d.var().0);
+        assert_eq!(b.next_decision(&assign).map(Lit::var), Some(Var(0)));
+    }
+
+    #[test]
+    fn saved_phase_controls_polarity() {
+        let mut b = Brancher::new(0.95, false);
+        b.new_var();
+        b.set_phase(Var(0), true);
+        let assign = vec![LBool::Undef];
+        assert_eq!(b.next_decision(&assign), Some(Lit::pos(Var(0))));
+    }
+}

@@ -1,0 +1,237 @@
+//! Inprocessing: clause subsumption and self-subsuming resolution over
+//! the flat arena, run between restarts under the caller's step budget.
+//!
+//! Forward subsumption deletes a clause `C` when an older clause `D ⊆ C`
+//! exists (every model of the database satisfies `D`, hence `C` — `C`
+//! adds nothing). Self-subsuming resolution strengthens `C = p ∨ S` using
+//! `D = ¬p ∨ R` with `R ⊆ S`: the resolvent on `p` is `R ∨ S = S`, which
+//! subsumes `C`, so `p` can be struck from `C` in place.
+//!
+//! # Soundness under push/pop — the arena-order rule
+//!
+//! A clause may only be deleted or strengthened using a subsumer with a
+//! **smaller arena offset** (i.e. created earlier). Offsets only grow and
+//! compaction never runs with assertion levels open, so "older than"
+//! agrees with "below every push watermark the victim is below": any
+//! [`SatSolver::pop`] that removes the subsumer necessarily removes the
+//! victim too, and a surviving victim's justification survives with it.
+//! The retained database after any pop sequence is therefore implied by
+//! exactly the clauses the session still asserts.
+//!
+//! Clauses strengthened down to a single literal are handled specially:
+//! the clause body is left at width two (the two-watch scheme needs it)
+//! and the implied unit is enqueued on the root trail instead. Root
+//! literals enqueued now sit above every open level's `trail_mark`, so a
+//! pop drains them — conservative (the unit may have been derivable from
+//! retained clauses alone) but sound, and it is re-derived on the next
+//! pass if still implied.
+//!
+//! # Soundness under assumptions
+//!
+//! Subsumption and strengthening only ever *remove* models-irrelevant
+//! material: the strengthened database is logically equivalent to the
+//! original. Assumption cores come out of `analyze_final`, which walks
+//! reasons of the *current* trail — reasons are never left dangling
+//! because clauses currently locked as reasons are excluded as victims —
+//! so a core computed after inprocessing is still a subset of the
+//! assumptions whose conjunction with the (equivalent) database is
+//! unsatisfiable.
+
+use super::{val, LBool, Lit, SatSolver, REASON_NONE};
+use crate::budget::Budget;
+
+/// Skip subsumer clauses whose least-occurring literal still occurs more
+/// often than this — quadratic blowup guard on pathological databases.
+const OCC_CAP: usize = 600;
+
+/// Subset checks per budget step charged.
+const CHECKS_PER_STEP: u64 = 128;
+
+/// Outcome of a one-flip subset test.
+enum SubMatch {
+    /// `D ⊆ C`.
+    Subsumes,
+    /// `D \ {q} ⊆ C` and `¬q ∈ C`: strike `¬q` from `C`.
+    Strengthens(Lit),
+    /// Neither.
+    No,
+}
+
+/// Tests `D ⊆ C` allowing at most one literal of `D` to appear negated in
+/// `C`. Quadratic in clause lengths; callers gate with signatures first.
+fn sub_with_flip(d_lits: &[u32], c_lits: &[u32]) -> SubMatch {
+    let mut flipped: Option<u32> = None;
+    for &dl in d_lits {
+        if c_lits.contains(&dl) {
+            continue;
+        }
+        if c_lits.contains(&(dl ^ 1)) && flipped.is_none() {
+            flipped = Some(dl);
+            continue;
+        }
+        return SubMatch::No;
+    }
+    match flipped {
+        None => SubMatch::Subsumes,
+        Some(q) => SubMatch::Strengthens(Lit::from_code(q)),
+    }
+}
+
+/// Var-based 64-bit signature: a bit per `var % 64`. Unchanged under
+/// literal negation, so one signature serves both the subsumption and the
+/// self-subsumption test ("every variable of `D` occurs in `C`").
+fn signature(lits: &[u32]) -> u64 {
+    lits.iter()
+        .fold(0u64, |s, &code| s | 1u64 << ((code >> 1) & 63))
+}
+
+impl SatSolver {
+    /// One inprocessing pass. Requires decision level zero; leaves the
+    /// solver with consistent watches (a full rebuild) and propagated
+    /// consequences of any derived units. Budget-bounded: charges one step
+    /// per [`CHECKS_PER_STEP`] subset tests and stops early when the
+    /// budget runs dry (finishing the watch rebuild regardless).
+    pub(super) fn inprocess(&mut self, budget: &Budget) {
+        debug_assert!(self.trail_lim.is_empty());
+        if self.refs.len() < 8 || self.unsat {
+            return;
+        }
+        let nlits = self.num_vars() * 2;
+        // Occurrence lists (refs-indices per literal) and signatures.
+        // Entries go stale as clauses are deleted/strengthened; they are
+        // candidate generators only — every hit is verified against the
+        // live arena body.
+        let mut occ: Vec<Vec<u32>> = vec![Vec::new(); nlits];
+        let mut sig: Vec<u64> = Vec::with_capacity(self.refs.len());
+        for (i, &c) in self.refs.iter().enumerate() {
+            for &code in self.arena.lits(c) {
+                occ[code as usize].push(i as u32);
+            }
+            sig.push(signature(self.arena.lits(c)));
+        }
+        // Clauses locked as propagation reasons keep their bodies: the
+        // analyze paths rely on position 0 being the implied literal, and
+        // deleting one would dangle the trail's reason pointer.
+        let mut locked = vec![false; self.refs.len()];
+        for &lit in &self.trail {
+            let r = self.reason[lit.var().0 as usize];
+            if r != REASON_NONE {
+                if let Ok(i) = self.refs.binary_search_by_key(&r.0, |c| c.0) {
+                    locked[i] = true;
+                }
+            }
+        }
+
+        let mut checks: u64 = 0;
+        let mut changed = false;
+        'pass: for d in 0..self.refs.len() {
+            let d_ref = self.refs[d];
+            if self.arena.is_deleted(d_ref) {
+                continue;
+            }
+            // Candidates must contain D's least-occurring literal (or its
+            // negation, for the pivot-on-that-literal strengthening case).
+            let pivot_lit = {
+                let d_lits = self.arena.lits(d_ref);
+                let mut best = d_lits[0];
+                let mut best_n = usize::MAX;
+                for &code in d_lits {
+                    let n = occ[code as usize].len();
+                    if n < best_n {
+                        best_n = n;
+                        best = code;
+                    }
+                }
+                if best_n > OCC_CAP {
+                    continue;
+                }
+                best
+            };
+            for side in [pivot_lit, pivot_lit ^ 1] {
+                let mut k = 0usize;
+                while k < occ[side as usize].len() {
+                    let ci = occ[side as usize][k] as usize;
+                    k += 1;
+                    checks += 1;
+                    if checks.is_multiple_of(CHECKS_PER_STEP) && budget.consume(1) {
+                        break 'pass;
+                    }
+                    // Arena-order rule: victims must be strictly newer.
+                    if ci <= d || locked[ci] {
+                        continue;
+                    }
+                    let c_ref = self.refs[ci];
+                    if self.arena.is_deleted(c_ref) {
+                        continue;
+                    }
+                    if sig[d] & !sig[ci] != 0 {
+                        continue;
+                    }
+                    if self.arena.len(d_ref) > self.arena.len(c_ref) {
+                        continue;
+                    }
+                    let verdict = sub_with_flip(self.arena.lits(d_ref), self.arena.lits(c_ref));
+                    match verdict {
+                        SubMatch::No => {}
+                        SubMatch::Subsumes => {
+                            self.arena.delete(c_ref);
+                            self.subsumed += 1;
+                            changed = true;
+                        }
+                        SubMatch::Strengthens(q) => {
+                            let p = q.negated();
+                            if self.arena.len(c_ref) == 2 {
+                                // Strengthening a binary clause yields a
+                                // unit. Keep the body (two-watch scheme)
+                                // and enqueue the unit on the root trail;
+                                // a pop drains it (see module docs).
+                                let other = {
+                                    let lits = self.arena.lits(c_ref);
+                                    let o = if lits[0] == p.code() {
+                                        lits[1]
+                                    } else {
+                                        lits[0]
+                                    };
+                                    Lit::from_code(o)
+                                };
+                                match val(&self.assign, other) {
+                                    LBool::True => {}
+                                    LBool::False => {
+                                        self.unsat = true;
+                                        break 'pass;
+                                    }
+                                    LBool::Undef => {
+                                        self.enqueue(other, REASON_NONE);
+                                        self.strengthened += 1;
+                                        changed = true;
+                                    }
+                                }
+                            } else {
+                                let new_len = {
+                                    let lits = self.arena.lits_mut(c_ref);
+                                    let pos = lits
+                                        .iter()
+                                        .position(|&x| x == p.code())
+                                        .expect("pivot literal present in victim");
+                                    let last = lits.len() - 1;
+                                    lits.swap(pos, last);
+                                    last
+                                };
+                                self.arena.shrink(c_ref, new_len);
+                                sig[ci] = signature(self.arena.lits(c_ref));
+                                self.strengthened += 1;
+                                changed = true;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        if changed || self.unsat {
+            // Drop tombstones, maybe compact (only with no open levels),
+            // rebuild every watch list against the new bodies, and
+            // propagate derived units.
+            self.finish_deletions();
+        }
+    }
+}

@@ -1,0 +1,759 @@
+use super::*;
+
+fn solver() -> SatSolver {
+    SatSolver::new(SatConfig::default())
+}
+
+#[test]
+fn trivial_sat() {
+    let mut s = solver();
+    let a = s.new_var();
+    s.add_clause(&[Lit::pos(a)]);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(s.value(a), Some(true));
+}
+
+#[test]
+fn trivial_unsat() {
+    let mut s = solver();
+    let a = s.new_var();
+    s.add_clause(&[Lit::pos(a)]);
+    assert!(!s.add_clause(&[Lit::neg(a)]));
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+}
+
+#[test]
+fn empty_clause_is_unsat() {
+    let mut s = solver();
+    assert!(!s.add_clause(&[]));
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+}
+
+#[test]
+fn propagation_chain() {
+    let mut s = solver();
+    let vars: Vec<Var> = (0..10).map(|_| s.new_var()).collect();
+    // v0 and a chain v_i -> v_{i+1}.
+    s.add_clause(&[Lit::pos(vars[0])]);
+    for w in vars.windows(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+    }
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    for &v in &vars {
+        assert_eq!(s.value(v), Some(true));
+    }
+}
+
+#[test]
+fn xor_chain_unsat() {
+    // x1 ^ x2 = 1, x2 ^ x3 = 1, x1 ^ x3 = 1 is unsat.
+    let mut s = solver();
+    let x: Vec<Var> = (0..3).map(|_| s.new_var()).collect();
+    let xor_true = |s: &mut SatSolver, a: Var, b: Var| {
+        s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+        s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+    };
+    xor_true(&mut s, x[0], x[1]);
+    xor_true(&mut s, x[1], x[2]);
+    xor_true(&mut s, x[0], x[2]);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+}
+
+#[test]
+fn pigeonhole_3_into_2_unsat() {
+    // 3 pigeons, 2 holes: var p_{i,j} = pigeon i in hole j.
+    let mut s = solver();
+    let mut p = [[Var(0); 2]; 3];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1])]);
+    }
+    for j in [0, 1] {
+        for i1 in 0..3 {
+            for i2 in (i1 + 1)..3 {
+                s.add_clause(&[Lit::neg(p[i1][j]), Lit::neg(p[i2][j])]);
+            }
+        }
+    }
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+    assert!(s.conflicts > 0);
+}
+
+#[test]
+fn incremental_blocking_clauses_enumerate_models() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    let mut models = 0;
+    while s.solve(&Budget::unlimited()) == SatSolverResult::Sat {
+        models += 1;
+        assert!(models <= 3, "only three models exist");
+        let block: Vec<Lit> = [a, b]
+            .iter()
+            .map(|&v| Lit::new(v, !s.value(v).unwrap()))
+            .collect();
+        if !s.add_clause(&block) {
+            break;
+        }
+    }
+    assert_eq!(models, 3);
+}
+
+#[test]
+fn budget_exhaustion_returns_unknown() {
+    // A hard random-ish instance with a tiny budget.
+    let mut s = solver();
+    let vars: Vec<Var> = (0..30).map(|_| s.new_var()).collect();
+    // Pigeonhole 6 into 5 encoded densely enough to take some conflicts.
+    for i in 0..6 {
+        let clause: Vec<Lit> = (0..5).map(|j| Lit::pos(vars[i * 5 + j])).collect();
+        s.add_clause(&clause);
+    }
+    for j in 0..5 {
+        for i1 in 0..6 {
+            for i2 in (i1 + 1)..6 {
+                s.add_clause(&[Lit::neg(vars[i1 * 5 + j]), Lit::neg(vars[i2 * 5 + j])]);
+            }
+        }
+    }
+    let tiny = Budget::new(std::time::Duration::from_secs(3600), 3);
+    let r = s.solve(&tiny);
+    assert_eq!(r, SatSolverResult::Unknown);
+    // With a real budget it finishes (unsat).
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+}
+
+#[test]
+fn push_pop_restores_satisfiability() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    s.push();
+    assert!(s.add_clause(&[Lit::neg(a)]));
+    assert!(!s.add_clause(&[Lit::pos(a)]));
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+    assert!(s.pop());
+    // The contradiction died with the level.
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    // A different level on the revived solver works normally.
+    s.push();
+    assert!(s.add_clause(&[Lit::neg(b)]));
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(s.value(a), Some(true));
+    assert!(s.pop());
+    assert!(!s.pop(), "no level left to pop");
+}
+
+#[test]
+fn pop_removes_level_clauses_and_root_units() {
+    let mut s = solver();
+    let vars: Vec<Var> = (0..4).map(|_| s.new_var()).collect();
+    s.add_clause(&[Lit::pos(vars[0]), Lit::pos(vars[1])]);
+    let base_clauses = s.num_clauses();
+    s.push();
+    // A unit at the level forces a root propagation through a
+    // pre-existing clause; both assignments must unwind on pop.
+    s.add_clause(&[Lit::neg(vars[0])]);
+    s.add_clause(&[Lit::pos(vars[2]), Lit::pos(vars[3])]);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(s.value(vars[1]), Some(true));
+    assert!(s.pop());
+    assert_eq!(s.num_clauses(), base_clauses);
+    assert_eq!(s.assertion_level(), 0);
+    // v0 is free again.
+    s.add_clause(&[Lit::pos(vars[0])]);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(s.value(vars[0]), Some(true));
+}
+
+#[test]
+fn nested_push_pop_unwind_in_order() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.push();
+    s.add_clause(&[Lit::pos(a)]);
+    s.push();
+    s.add_clause(&[Lit::pos(b)]);
+    assert!(!s.add_clause(&[Lit::neg(b)]));
+    assert_eq!(s.assertion_level(), 2);
+    assert!(s.pop());
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(s.value(a), Some(true));
+    assert!(s.pop());
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn assumptions_do_not_latch_global_unsat() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    // Unsat was relative to the assumptions only.
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
+        SatSolverResult::Sat
+    );
+    assert_eq!(s.value(b), Some(true));
+}
+
+#[test]
+fn assumption_checks_retain_learned_clauses() {
+    // Pigeonhole 4-into-3 gated behind a selector: unsat under the
+    // selector, and the clauses learned in call one make call two
+    // conflict strictly less.
+    let mut s = solver();
+    let sel = s.new_var();
+    let mut p = [[Var(0); 3]; 4];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(&[
+            Lit::neg(sel),
+            Lit::pos(row[0]),
+            Lit::pos(row[1]),
+            Lit::pos(row[2]),
+        ]);
+    }
+    for i1 in 0..4 {
+        for i2 in (i1 + 1)..4 {
+            let (r1, r2) = (p[i1], p[i2]);
+            for (&a, &b) in r1.iter().zip(r2.iter()) {
+                s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+            }
+        }
+    }
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    let first = s.conflicts;
+    assert!(first > 0);
+    let clauses_after_first = s.num_clauses();
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    let second = s.conflicts - first;
+    assert!(
+        second < first,
+        "warm re-check must conflict less (first {first}, second {second})"
+    );
+    assert!(clauses_after_first > 0);
+    // Dropping the selector keeps the instance satisfiable.
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn already_true_and_conflicting_assumptions() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a)]); // root unit: `a` is implied
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(a), Lit::pos(b)], &Budget::unlimited()),
+        SatSolverResult::Sat
+    );
+    assert_eq!(s.value(b), Some(true));
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::neg(a)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn assumption_core_names_conflicting_pair() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::neg(a), Lit::neg(b)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    let core = s.assumption_core().to_vec();
+    assert!(core.contains(&Lit::neg(b)), "core {core:?}");
+    assert!(core.contains(&Lit::neg(a)), "core {core:?}");
+}
+
+#[test]
+fn assumption_core_excludes_irrelevant_assumptions() {
+    // s1 forces x, s2 forces ¬x, s3 touches nothing: the core must
+    // name s1 and s2 and must not name s3.
+    let mut s = solver();
+    let s1 = s.new_var();
+    let s2 = s.new_var();
+    let s3 = s.new_var();
+    let x = s.new_var();
+    s.add_clause(&[Lit::neg(s1), Lit::pos(x)]);
+    s.add_clause(&[Lit::neg(s2), Lit::neg(x)]);
+    assert_eq!(
+        s.solve_with_assumptions(
+            &[Lit::pos(s1), Lit::pos(s2), Lit::pos(s3)],
+            &Budget::unlimited()
+        ),
+        SatSolverResult::Unsat
+    );
+    let core = s.assumption_core().to_vec();
+    assert!(core.contains(&Lit::pos(s1)), "core {core:?}");
+    assert!(core.contains(&Lit::pos(s2)), "core {core:?}");
+    assert!(!core.contains(&Lit::pos(s3)), "core {core:?}");
+    // The solve after a core stays warm and sat without s2.
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(s1), Lit::pos(s3)], &Budget::unlimited()),
+        SatSolverResult::Sat
+    );
+    assert!(s.assumption_core().is_empty());
+}
+
+#[test]
+fn assumption_core_after_learning() {
+    // Pigeonhole 4-into-3 behind a selector: the refutation requires
+    // real conflict analysis before the selector is finally blamed.
+    let mut s = solver();
+    let sel = s.new_var();
+    let idle = s.new_var();
+    let mut p = [[Var(0); 3]; 4];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(&[
+            Lit::neg(sel),
+            Lit::pos(row[0]),
+            Lit::pos(row[1]),
+            Lit::pos(row[2]),
+        ]);
+    }
+    for i1 in 0..4 {
+        for i2 in (i1 + 1)..4 {
+            let (r1, r2) = (p[i1], p[i2]);
+            for (&a, &b) in r1.iter().zip(r2.iter()) {
+                s.add_clause(&[Lit::neg(a), Lit::neg(b)]);
+            }
+        }
+    }
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(idle), Lit::pos(sel)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    let core = s.assumption_core().to_vec();
+    assert!(core.contains(&Lit::pos(sel)), "core {core:?}");
+    assert!(!core.contains(&Lit::pos(idle)), "core {core:?}");
+}
+
+#[test]
+fn globally_unsat_leaves_core_empty() {
+    let mut s = solver();
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a)]);
+    assert!(!s.add_clause(&[Lit::neg(a)]));
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(b)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    assert!(
+        s.assumption_core().is_empty(),
+        "global unsat blames no assumption"
+    );
+}
+
+#[test]
+fn duplicate_and_tautological_clauses() {
+    let mut s = solver();
+    let a = s.new_var();
+    assert!(s.add_clause(&[Lit::pos(a), Lit::pos(a)]));
+    assert!(s.add_clause(&[Lit::pos(a), Lit::neg(a)]));
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn random_3sat_satisfiable_instances() {
+    // Deterministic LCG so the test is reproducible without rand.
+    let mut state = 0xdeadbeefu64;
+    let mut next = move || {
+        state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        (state >> 33) as u32
+    };
+    for _ in 0..10 {
+        let n = 20;
+        let mut s = solver();
+        let vars: Vec<Var> = (0..n).map(|_| s.new_var()).collect();
+        // Plant a solution and generate clauses consistent with it.
+        let planted: Vec<bool> = (0..n).map(|_| next() % 2 == 0).collect();
+        for _ in 0..60 {
+            let mut clause = Vec::new();
+            // Ensure at least one literal agrees with the planted model.
+            let forced = (next() % n as u32) as usize;
+            clause.push(Lit::new(vars[forced], planted[forced]));
+            for _ in 0..2 {
+                let v = (next() % n as u32) as usize;
+                clause.push(Lit::new(vars[v], next() % 2 == 0));
+            }
+            s.add_clause(&clause);
+        }
+        assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+        // Verify the model satisfies every stored clause.
+        for lits in s.clause_dump() {
+            assert!(
+                lits.iter().any(|&l| s.lit_value(l) == LBool::True),
+                "model violates a clause"
+            );
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Regression tests for the reduce_db activity wipe (old sat.rs zeroed all
+// clause activities and reset clause_activity_inc after every reduction,
+// so the next reduction deleted every non-reason learned clause).
+// ---------------------------------------------------------------------
+
+/// All-positive triples over 12 vars: a pool of distinct, non-tautological
+/// learned clauses for DB-reduction tests.
+fn triple_pool(s: &mut SatSolver, n_vars: usize) -> Vec<[Lit; 3]> {
+    let vars: Vec<Var> = (0..n_vars).map(|_| s.new_var()).collect();
+    let mut pool = Vec::new();
+    for i in 0..n_vars {
+        for j in (i + 1)..n_vars {
+            for k in (j + 1)..n_vars {
+                pool.push([Lit::pos(vars[i]), Lit::pos(vars[j]), Lit::pos(vars[k])]);
+            }
+        }
+    }
+    pool
+}
+
+#[test]
+fn frequently_used_learned_clause_survives_two_reductions() {
+    let mut s = solver();
+    let pool = triple_pool(&mut s, 12);
+    // One hot clause (distinct polarity pattern so it is identifiable)
+    // among 200 idle ones.
+    let hot = [
+        pool[0][0].negated(),
+        pool[0][1].negated(),
+        pool[0][2].negated(),
+    ];
+    s.inject_learned_for_test(&hot, 100.0);
+    for t in pool.iter().take(200) {
+        s.inject_learned_for_test(t, 0.125);
+    }
+    let has_hot = |s: &SatSolver| {
+        s.clause_dump()
+            .iter()
+            .any(|c| c.len() == 3 && hot.iter().all(|l| c.contains(l)))
+    };
+    assert!(has_hot(&s));
+    s.force_reduce_for_test();
+    assert!(
+        has_hot(&s),
+        "hot clause must outrank idle ones in the first reduction"
+    );
+    s.force_reduce_for_test();
+    assert!(
+        has_hot(&s),
+        "activities survive the first reduction, so the second still ranks the hot clause on top"
+    );
+}
+
+#[test]
+fn uniform_activity_db_is_never_wiped_wholesale() {
+    let mut s = solver();
+    let pool = triple_pool(&mut s, 12);
+    for t in pool.iter().take(100) {
+        s.inject_learned_for_test(t, 1.0);
+    }
+    assert_eq!(s.num_clauses(), 100);
+    s.force_reduce_for_test();
+    assert_eq!(
+        s.num_clauses(),
+        50,
+        "keep-half by rank deletes exactly the lower half, even at uniform activity"
+    );
+}
+
+#[test]
+fn reduction_is_suspended_while_assertion_levels_are_open() {
+    // Aggressive restart/reduce settings so the countdown fires with a
+    // level open; the level's clause watermark must survive regardless,
+    // and the pop must restore the exact pre-push clause set.
+    let mut s = SatSolver::new(SatConfig {
+        restart_base: 1,
+        restart_factor: 1.0,
+        reduce_base: 1,
+        ..SatConfig::default()
+    });
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    let base = s.num_clauses();
+    s.push();
+    // Pigeonhole 4-into-3 inside the level: plenty of conflicts and
+    // restarts, hence reduce attempts, while the level is open.
+    let mut p = [[Var(0); 3]; 4];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        s.add_clause(&[Lit::pos(row[0]), Lit::pos(row[1]), Lit::pos(row[2])]);
+    }
+    for i1 in 0..4 {
+        for i2 in (i1 + 1)..4 {
+            for (&x, &y) in p[i1].iter().zip(p[i2].iter()) {
+                s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+            }
+        }
+    }
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Unsat);
+    assert!(s.restarts > 0, "the instance must actually restart");
+    assert!(s.pop());
+    assert_eq!(s.num_clauses(), base);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+// ---------------------------------------------------------------------
+// Zero-allocation conflict path (regression for the per-resolution-step
+// `to_vec()` in the old analyze loop). The scratch buffers grow while
+// warming up; after a full solve they must never grow again.
+// ---------------------------------------------------------------------
+
+#[cfg(debug_assertions)]
+#[test]
+fn analyze_allocates_nothing_once_warm() {
+    let mut s = solver();
+    let sel = s.new_var();
+    let mut p = [[Var(0); 4]; 5];
+    for row in &mut p {
+        for cell in row.iter_mut() {
+            *cell = s.new_var();
+        }
+    }
+    for row in &p {
+        let mut c: Vec<Lit> = vec![Lit::neg(sel)];
+        c.extend(row.iter().map(|&v| Lit::pos(v)));
+        s.add_clause(&c);
+    }
+    for i1 in 0..5 {
+        for i2 in (i1 + 1)..5 {
+            for (&x, &y) in p[i1].iter().zip(p[i2].iter()) {
+                s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+            }
+        }
+    }
+    // Warm-up: drives hundreds of conflicts through analyze.
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    assert!(s.conflicts > 0);
+    let warm = s.analyze_buffer_growths();
+    // Second refutation on the warm solver: the conflict path must not
+    // grow any scratch buffer (i.e. it performs no allocation).
+    assert_eq!(
+        s.solve_with_assumptions(&[Lit::pos(sel)], &Budget::unlimited()),
+        SatSolverResult::Unsat
+    );
+    assert_eq!(
+        s.analyze_buffer_growths(),
+        warm,
+        "conflict path allocated after warm-up"
+    );
+}
+
+// ---------------------------------------------------------------------
+// Inprocessing: subsumption and self-subsuming resolution.
+// ---------------------------------------------------------------------
+
+#[test]
+fn inprocessing_removes_subsumed_clauses() {
+    let mut s = solver();
+    let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // Subsumer first (arena-order rule: older subsumes newer).
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[3])]);
+    // Unrelated filler so the pass is not skipped as trivially small.
+    for w in v.windows(2).skip(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[1])]);
+    }
+    let before = s.num_clauses();
+    s.force_inprocess_for_test();
+    assert_eq!(s.subsumed, 2, "both supersets are subsumed");
+    assert_eq!(s.num_clauses(), before - 2);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+    for lits in s.clause_dump() {
+        assert!(lits.iter().any(|&l| s.lit_value(l) == LBool::True));
+    }
+}
+
+#[test]
+fn self_subsuming_resolution_strengthens_in_place() {
+    let mut s = solver();
+    let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // D = (v0 ∨ v1), C = (¬v0 ∨ v1 ∨ v2): resolving on v0 gives
+    // (v1 ∨ v2), which subsumes C, so C drops ¬v0 in place.
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+    for w in v.windows(2).skip(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[1])]);
+    }
+    s.force_inprocess_for_test();
+    assert_eq!(s.strengthened, 1);
+    let strengthened: Vec<Vec<Lit>> = s
+        .clause_dump()
+        .into_iter()
+        .filter(|c| c.len() == 2 && c.contains(&Lit::pos(v[1])) && c.contains(&Lit::pos(v[2])))
+        .collect();
+    assert_eq!(strengthened.len(), 1, "C shrank to (v1 ∨ v2)");
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn strengthening_a_binary_clause_derives_a_unit() {
+    let mut s = solver();
+    let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // D = (v0 ∨ v1), C = (¬v0 ∨ v1): resolving on v0 gives the unit v1.
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    s.add_clause(&[Lit::neg(v[0]), Lit::pos(v[1])]);
+    for w in v.windows(2).skip(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[1])]);
+    }
+    s.force_inprocess_for_test();
+    assert!(s.strengthened >= 1);
+    assert_eq!(
+        s.value(v[1]),
+        Some(true),
+        "the unit v1 was enqueued at root"
+    );
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn inprocessing_preserves_verdicts_with_aggressive_settings() {
+    // Same pigeonhole instance with inprocessing effectively always-on
+    // versus off: verdicts must agree (and the sat model must check out).
+    for (interval, expect_sat) in [(1u32, false), (0u32, false), (1, true), (0, true)] {
+        let mut s = SatSolver::new(SatConfig {
+            inprocess_interval: interval,
+            restart_base: 1,
+            restart_factor: 1.1,
+            ..SatConfig::default()
+        });
+        let holes = if expect_sat { 4 } else { 3 };
+        let mut p = vec![vec![Var(0); holes]; 4];
+        for row in &mut p {
+            for cell in row.iter_mut() {
+                *cell = s.new_var();
+            }
+        }
+        for row in &p {
+            let c: Vec<Lit> = row.iter().map(|&v| Lit::pos(v)).collect();
+            s.add_clause(&c);
+        }
+        for i1 in 0..4 {
+            for i2 in (i1 + 1)..4 {
+                for (&x, &y) in p[i1].iter().zip(p[i2].iter()) {
+                    s.add_clause(&[Lit::neg(x), Lit::neg(y)]);
+                }
+            }
+        }
+        let expected = if expect_sat {
+            SatSolverResult::Sat
+        } else {
+            SatSolverResult::Unsat
+        };
+        assert_eq!(s.solve(&Budget::unlimited()), expected);
+        if expect_sat {
+            for lits in s.clause_dump() {
+                assert!(lits.iter().any(|&l| s.lit_value(l) == LBool::True));
+            }
+        }
+    }
+}
+
+#[test]
+fn inprocessing_respects_the_arena_order_rule_across_push() {
+    let mut s = solver();
+    let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    // Base clause C = (v0 ∨ v1 ∨ v2) is OLDER than the level-local
+    // subsumer D = (v0 ∨ v1): D must not delete C (a pop would remove D
+    // but C's deletion would be permanent).
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+    for w in v.windows(2).skip(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[1])]);
+    }
+    let base = s.num_clauses();
+    s.push();
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    s.force_inprocess_for_test();
+    assert_eq!(s.subsumed, 0, "newer clauses never subsume older ones");
+    assert!(s.pop());
+    assert_eq!(s.num_clauses(), base);
+    let dump = s.clause_dump();
+    assert!(
+        dump.iter()
+            .any(|c| c.len() == 3 && c.contains(&Lit::pos(v[2]))),
+        "the base clause survived the push/inprocess/pop cycle"
+    );
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn inprocessing_inside_a_level_dies_with_the_pop() {
+    let mut s = solver();
+    let v: Vec<Var> = (0..6).map(|_| s.new_var()).collect();
+    for w in v.windows(2).skip(2) {
+        s.add_clause(&[Lit::neg(w[0]), Lit::pos(w[1])]);
+        s.add_clause(&[Lit::pos(w[0]), Lit::neg(w[1])]);
+    }
+    let base = s.num_clauses();
+    s.push();
+    // Both subsumer and victim live inside the level; subsumption fires
+    // and then the pop removes all of it.
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1])]);
+    s.add_clause(&[Lit::pos(v[0]), Lit::pos(v[1]), Lit::pos(v[2])]);
+    s.force_inprocess_for_test();
+    assert_eq!(s.subsumed, 1);
+    assert!(s.pop());
+    assert_eq!(s.num_clauses(), base);
+    assert_eq!(s.solve(&Budget::unlimited()), SatSolverResult::Sat);
+}
+
+#[test]
+fn arena_bytes_reports_footprint() {
+    let mut s = solver();
+    assert_eq!(s.arena_bytes(), 0);
+    let a = s.new_var();
+    let b = s.new_var();
+    s.add_clause(&[Lit::pos(a), Lit::pos(b)]);
+    assert!(s.arena_bytes() >= 4 * std::mem::size_of::<u32>());
+}

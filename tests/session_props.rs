@@ -129,6 +129,18 @@ fn run_tape(decls: &str, pool: &[&str], steps: &[Step]) -> Result<(), TestCaseEr
                 checks += 1;
                 let script = Script::parse(&combined).expect("mirror parses");
                 let warm = session.check().expect("non-empty stack");
+                // A second check with nothing asserted in between must
+                // agree: the warm re-check path reuses learned clauses,
+                // saved phases, and (post-inprocessing) a strengthened
+                // clause database, none of which may flip the verdict.
+                let rewarm = session.check().expect("non-empty stack");
+                prop_assert_eq!(
+                    warm.verdict_name(),
+                    rewarm.verdict_name(),
+                    "warm re-check diverges from itself after {} checks on:\n{}",
+                    checks,
+                    combined
+                );
                 let cold = Session::new(config()).run(&script).expect("non-empty");
                 prop_assert_eq!(
                     warm.verdict_name(),
