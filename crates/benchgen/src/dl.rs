@@ -1,0 +1,265 @@
+//! Difference-logic family: scheduling-shaped constraints where every atom
+//! is a bound on a variable or on the difference of two variables — the
+//! fragment the incremental STN lane decides completely.
+//!
+//! Four sub-families cycle by index, each planted sat or unsat in roughly
+//! equal measure (unsat instances embed a negative cycle the STN must
+//! extract and certify):
+//!
+//! - `chain`: a precedence chain `t_{i+1} − t_i ≥ d_i` against a makespan
+//!   deadline `t_{n−1} − t_0 ≤ D`; unsat when `D < Σ d_i`.
+//! - `window`: per-task time windows `lo_i ≤ t_i ≤ hi_i` (unary edges
+//!   through the implicit origin) plus chain separations; unsat when a
+//!   separation outruns the next window.
+//! - `cycle`: a ring `x_{i+1} − x_i ≤ c_i` whose bound sum is planted
+//!   non-negative (sat) or negative (unsat).
+//! - `strict`: a strict ordering chain `x_0 < x_1 < …` against a span
+//!   bound; over Int the strict steps tighten to `≤ −1`, so the chain
+//!   needs `n − 1` of slack — unsat when the span allows less.
+
+use rand::Rng;
+use staub_numeric::BigInt;
+use staub_smtlib::{Logic, Script, Sort};
+
+use crate::Benchmark;
+
+pub(crate) fn generate_one(rng: &mut impl Rng, index: usize) -> Benchmark {
+    // Families interleave by index; polarity alternates per family
+    // occurrence so the suite lands near half unsat overall.
+    let feasible = (index % 8) < 4;
+    let (family, script) = match index % 4 {
+        0 => ("chain", chain(rng, feasible)),
+        1 => ("window", window(rng, feasible)),
+        2 => ("cycle", cycle(rng, feasible)),
+        _ => ("strict", strict(rng, feasible)),
+    };
+    Benchmark {
+        name: format!("dl/{family}/{index:04}"),
+        script,
+        family: "dl",
+        expected: Some(feasible),
+    }
+}
+
+fn declare_tasks(script: &mut Script, prefix: &str, n: usize) -> Vec<staub_smtlib::SymbolId> {
+    (0..n)
+        .map(|i| {
+            script
+                .declare(&format!("{prefix}{i}"), Sort::Int)
+                .expect("fresh symbol")
+        })
+        .collect()
+}
+
+/// Precedence chain vs. makespan deadline.
+fn chain(rng: &mut impl Rng, feasible: bool) -> Script {
+    let n = rng.gen_range(3usize..=6);
+    let durations: Vec<i64> = (0..n - 1).map(|_| rng.gen_range(1i64..=9)).collect();
+    let total: i64 = durations.iter().sum();
+    let deadline = if feasible {
+        total + rng.gen_range(0i64..=5)
+    } else {
+        total - rng.gen_range(1i64..=total.min(5))
+    };
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let ts = declare_tasks(&mut script, "t", n);
+    let s = script.store_mut();
+    let t: Vec<_> = ts.iter().map(|&sym| s.var(sym)).collect();
+    let mut asserts = Vec::new();
+    for (i, &d) in durations.iter().enumerate() {
+        let gap = s.sub(t[i + 1], t[i]).expect("sub");
+        let d_t = s.int(BigInt::from(d));
+        asserts.push(s.ge(gap, d_t).expect("ge"));
+    }
+    let span = s.sub(t[n - 1], t[0]).expect("sub");
+    let d_t = s.int(BigInt::from(deadline));
+    asserts.push(s.le(span, d_t).expect("le"));
+    for a in asserts {
+        script.assert(a);
+    }
+    script.check_sat();
+    script
+}
+
+/// Origin-anchored time windows vs. chain separations.
+fn window(rng: &mut impl Rng, feasible: bool) -> Script {
+    let n = rng.gen_range(3usize..=5);
+    let gap = rng.gen_range(2i64..=5);
+    let width = rng.gen_range(0i64..=3);
+    // Feasible: starting each task at its window floor satisfies every
+    // separation. Infeasible: each separation outruns the next window's
+    // ceiling, so any adjacent pair already embeds a negative cycle
+    // (origin → tᵢ floor → tᵢ₊₁ via separation → origin via ceiling).
+    let sep = if feasible {
+        gap
+    } else {
+        gap + width + rng.gen_range(1i64..=3)
+    };
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let ts = declare_tasks(&mut script, "t", n);
+    let s = script.store_mut();
+    let t: Vec<_> = ts.iter().map(|&sym| s.var(sym)).collect();
+    let mut asserts = Vec::new();
+    for (i, &ti) in t.iter().enumerate() {
+        let lo = s.int(BigInt::from(gap * i as i64));
+        let hi = s.int(BigInt::from(gap * i as i64 + width));
+        asserts.push(s.ge(ti, lo).expect("ge"));
+        asserts.push(s.le(ti, hi).expect("le"));
+    }
+    for i in 0..n - 1 {
+        let diff = s.sub(t[i + 1], t[i]).expect("sub");
+        let sep_t = s.int(BigInt::from(sep));
+        asserts.push(s.ge(diff, sep_t).expect("ge"));
+    }
+    for a in asserts {
+        script.assert(a);
+    }
+    script.check_sat();
+    script
+}
+
+/// A bound ring whose sum is planted on one side of zero.
+fn cycle(rng: &mut impl Rng, feasible: bool) -> Script {
+    let n = rng.gen_range(3usize..=6);
+    let mut bounds: Vec<i64> = (0..n - 1).map(|_| rng.gen_range(-5i64..=5)).collect();
+    let partial: i64 = bounds.iter().sum();
+    let target = if feasible {
+        rng.gen_range(0i64..=4)
+    } else {
+        -rng.gen_range(1i64..=5)
+    };
+    bounds.push(target - partial);
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let xs = declare_tasks(&mut script, "x", n);
+    let s = script.store_mut();
+    let x: Vec<_> = xs.iter().map(|&sym| s.var(sym)).collect();
+    let mut asserts = Vec::new();
+    for (i, &c) in bounds.iter().enumerate() {
+        let diff = s.sub(x[(i + 1) % n], x[i]).expect("sub");
+        let c_t = s.int(BigInt::from(c));
+        asserts.push(s.le(diff, c_t).expect("le"));
+    }
+    for a in asserts {
+        script.assert(a);
+    }
+    script.check_sat();
+    script
+}
+
+/// A strict ordering chain vs. a span bound; Int strictness makes every
+/// link cost one.
+fn strict(rng: &mut impl Rng, feasible: bool) -> Script {
+    let n = rng.gen_range(3usize..=6);
+    let needed = (n - 1) as i64;
+    let span = if feasible {
+        needed + rng.gen_range(0i64..=4)
+    } else {
+        needed - rng.gen_range(1i64..=3)
+    };
+    let mut script = Script::new();
+    script.set_logic(Logic::QfLia);
+    let xs = declare_tasks(&mut script, "x", n);
+    let s = script.store_mut();
+    let x: Vec<_> = xs.iter().map(|&sym| s.var(sym)).collect();
+    let mut asserts = Vec::new();
+    for i in 0..n - 1 {
+        // Alternate spellings of the same strict edge so the canon and
+        // detector paths both see variety.
+        let a = if i % 2 == 0 {
+            s.lt(x[i], x[i + 1]).expect("lt")
+        } else {
+            s.gt(x[i + 1], x[i]).expect("gt")
+        };
+        asserts.push(a);
+    }
+    let diff = s.sub(x[n - 1], x[0]).expect("sub");
+    let span_t = s.int(BigInt::from(span));
+    asserts.push(s.le(diff, span_t).expect("le"));
+    for a in asserts {
+        script.assert(a);
+    }
+    script.check_sat();
+    script
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::generate_dl;
+    use staub_smtlib::{evaluate, Script, Value};
+    use staub_solver::{SatResult, Solver, SolverProfile};
+    use std::time::Duration;
+
+    #[test]
+    fn deterministic_and_reparses() {
+        let a = generate_dl(32, 0xD1);
+        let b = generate_dl(32, 0xD1);
+        for (x, y) in a.iter().zip(&b) {
+            assert_eq!(x.script.to_string(), y.script.to_string());
+            assert_eq!(x.expected, y.expected);
+        }
+        let mut names: Vec<&str> = a.iter().map(|b| b.name.as_str()).collect();
+        names.sort_unstable();
+        names.dedup();
+        assert_eq!(names.len(), a.len());
+        for b in &a {
+            let printed = b.script.to_string();
+            Script::parse(&printed)
+                .unwrap_or_else(|e| panic!("{} fails to reparse: {e}\n{printed}", b.name));
+        }
+    }
+
+    #[test]
+    fn every_instance_is_difference_logic() {
+        for b in generate_dl(32, 0xD2) {
+            assert!(
+                staub_core::difference_logic(&b.script).is_some(),
+                "{} escapes the DL fragment",
+                b.name
+            );
+        }
+    }
+
+    #[test]
+    fn near_half_the_suite_is_unsat() {
+        let suite = generate_dl(64, 0xD3);
+        let unsat = suite.iter().filter(|b| b.expected == Some(false)).count();
+        assert!(
+            (24..=40).contains(&unsat),
+            "{unsat}/64 unsat is not near half"
+        );
+    }
+
+    #[test]
+    fn ground_truth_matches_the_unbounded_solver() {
+        let solver = Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(2))
+            .with_steps(2_000_000);
+        let mut decided = 0;
+        for b in generate_dl(24, 0xD4) {
+            let expected = b.expected.expect("dl suite has exact ground truth");
+            match solver.solve(&b.script).result {
+                SatResult::Sat(model) => {
+                    assert!(expected, "{} solved sat but planted unsat", b.name);
+                    for &a in b.script.assertions() {
+                        assert_eq!(
+                            evaluate(b.script.store(), a, &model).unwrap(),
+                            Value::Bool(true),
+                            "{} model check",
+                            b.name
+                        );
+                    }
+                    decided += 1;
+                }
+                SatResult::Unsat => {
+                    assert!(!expected, "{} solved unsat but planted sat", b.name);
+                    decided += 1;
+                }
+                SatResult::Unknown(_) => {}
+            }
+        }
+        assert!(decided >= 20, "only {decided}/24 decided in budget");
+    }
+}

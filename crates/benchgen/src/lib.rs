@@ -26,6 +26,7 @@
 
 #![forbid(unsafe_code)]
 
+mod dl;
 mod lia;
 mod linear;
 mod lra;
@@ -122,6 +123,17 @@ pub fn generate_linear(count: usize, seed: u64, coeff_magnitude: i64) -> Vec<Ben
     (0..count)
         .map(|i| linear::generate_one(&mut rng, i, coeff_magnitude))
         .collect()
+}
+
+/// Generates `count` benchmarks from the difference-logic family:
+/// scheduling-shaped chains, windows, rings, and strict orderings where
+/// every atom bounds a variable or a difference of two variables. Roughly
+/// half the instances are unsat via a planted negative cycle — the
+/// population the incremental STN lane decides completely, with trusted
+/// verdicts on both sides.
+pub fn generate_dl(count: usize, seed: u64) -> Vec<Benchmark> {
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x44_4c);
+    (0..count).map(|i| dl::generate_one(&mut rng, i)).collect()
 }
 
 /// Generates `count` benchmarks from the skewed-width family: a

@@ -328,6 +328,12 @@ fn eval_real(
 /// approximate even when linear.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum FragmentClass {
+    /// A conjunction of difference-logic atoms (`x - y ▷◁ c`, single-
+    /// variable bounds, constants) over one numeric sort — decided exactly
+    /// by the incremental STN lane, no bounded approximation needed.
+    /// Produced by [`classify_fragment`]; [`certify`] never returns it (the
+    /// a-priori width certificate treats DL as ordinary LIA/LRA).
+    DifferenceLogic,
     /// Linear atoms over `Int` variables and constants only.
     PureLia,
     /// Linear atoms over `Real` variables and constants only.
@@ -343,6 +349,7 @@ impl FragmentClass {
     /// Stable lowercase name for reports and JSONL.
     pub fn name(self) -> &'static str {
         match self {
+            FragmentClass::DifferenceLogic => "dl",
             FragmentClass::PureLia => "lia",
             FragmentClass::PureLra => "lra",
             FragmentClass::Mixed => "mixed",
@@ -685,6 +692,418 @@ pub fn certify(script: &Script) -> BoundCertificate {
     }
 }
 
+// --- Difference-logic fragment detection -----------------------------------
+//
+// A script is difference logic when its assertions are a *conjunction* of
+// atoms that normalize to `x - y ≤ c` / `x - y < c` over a single numeric
+// sort, where either side of the difference may be absent (single-variable
+// bounds `x ≤ c`, constant atoms). Such conjunctions are decided exactly by
+// the incremental STN engine (`staub_solver::stn`) — shortest-path
+// feasibility, no bounded approximation — so the scheduler gives them their
+// own complete lane. The detector normalizes rotated (`c ≥ x - y`), negated
+// (`(not (< ...))`) and chained (`(<= a b c)`) spellings, splits equalities
+// into two edges, and pre-tightens strict Int atoms to non-strict
+// (`x - y < c` ⇔ `x - y ≤ c - 1` over ℤ) so integer systems carry only
+// non-strict edges.
+
+/// One normalized difference constraint: `x - y ≤ bound` (`<` when
+/// `strict`). A `None` endpoint is the implicit zero origin, so a
+/// single-variable bound `x ≤ c` is `x - origin ≤ c` and a constant atom
+/// `0 ≤ c` is an origin self-loop — a false constant becomes a one-edge
+/// negative cycle, keeping every unsat explanation a cycle.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlEdge {
+    /// Positive endpoint (`None` = zero origin).
+    pub x: Option<SymbolId>,
+    /// Negative endpoint (`None` = zero origin).
+    pub y: Option<SymbolId>,
+    /// Right-hand side of `x - y ≤ bound`.
+    pub bound: BigRational,
+    /// `true` for `<`, `false` for `≤`. Always `false` on Int systems
+    /// (strict atoms are tightened to `bound - 1` at detection).
+    pub strict: bool,
+}
+
+/// A script's difference-logic normal form: every assertion flattened to
+/// edges, plus the declared numeric variables (in declaration order) and
+/// the sort regime.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DlSystem {
+    /// Declared numeric variables, whether or not any edge mentions them
+    /// (the lane must still assign them in a model).
+    pub vars: Vec<SymbolId>,
+    /// Normalized edges in assertion order.
+    pub edges: Vec<DlEdge>,
+    /// `true` when the system is over `Int` (or has no variables at all);
+    /// `false` for `Real`.
+    pub is_int: bool,
+}
+
+/// Exact linear form of a numeric term: sorted sparse coefficients plus a
+/// constant. Unlike [`LinForm`] (which only ledgers bit-lengths), the DL
+/// detector needs the actual coefficients to insist on `{+1, -1}`.
+#[derive(Debug, Clone)]
+struct DlLin {
+    /// `(symbol, coefficient)` sorted by symbol, zero coefficients removed.
+    coeffs: Vec<(SymbolId, BigRational)>,
+    constant: BigRational,
+}
+
+impl DlLin {
+    fn constant(c: BigRational) -> DlLin {
+        DlLin {
+            coeffs: Vec::new(),
+            constant: c,
+        }
+    }
+
+    fn var(sym: SymbolId) -> DlLin {
+        DlLin {
+            coeffs: vec![(sym, BigRational::one())],
+            constant: BigRational::zero(),
+        }
+    }
+
+    fn neg(&self) -> DlLin {
+        DlLin {
+            coeffs: self.coeffs.iter().map(|(s, c)| (*s, -c.clone())).collect(),
+            constant: -self.constant.clone(),
+        }
+    }
+
+    fn add(&self, other: &DlLin) -> DlLin {
+        let mut coeffs: Vec<(SymbolId, BigRational)> = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.coeffs.len() || j < other.coeffs.len() {
+            let pick_left = match (self.coeffs.get(i), other.coeffs.get(j)) {
+                (Some(a), Some(b)) => {
+                    if a.0 == b.0 {
+                        let sum = &a.1 + &b.1;
+                        if !sum.is_zero() {
+                            coeffs.push((a.0, sum));
+                        }
+                        i += 1;
+                        j += 1;
+                        continue;
+                    }
+                    a.0 < b.0
+                }
+                (Some(_), None) => true,
+                _ => false,
+            };
+            if pick_left {
+                coeffs.push(self.coeffs[i].clone());
+                i += 1;
+            } else {
+                coeffs.push(other.coeffs[j].clone());
+                j += 1;
+            }
+        }
+        DlLin {
+            coeffs,
+            constant: &self.constant + &other.constant,
+        }
+    }
+
+    fn scale(&self, k: &BigRational) -> DlLin {
+        if k.is_zero() {
+            return DlLin::constant(BigRational::zero());
+        }
+        DlLin {
+            coeffs: self.coeffs.iter().map(|(s, c)| (*s, c * k)).collect(),
+            constant: &self.constant * k,
+        }
+    }
+
+    fn is_constant(&self) -> bool {
+        self.coeffs.is_empty()
+    }
+}
+
+/// Derives the exact linear form of a numeric term, memoized over the DAG;
+/// `None` means "not linear" (same shape as [`lin_form`], but carrying
+/// coefficients).
+fn dl_lin(store: &TermStore, id: TermId, memo: &mut Vec<Option<Option<DlLin>>>) -> Option<DlLin> {
+    if let Some(cached) = &memo[id.index()] {
+        return cached.clone();
+    }
+    let term = store.term(id);
+    let args = term.args();
+    let form = match term.op() {
+        Op::IntConst(c) => Some(DlLin::constant(BigRational::from(c.clone()))),
+        Op::RealConst(c) => Some(DlLin::constant(c.clone())),
+        Op::Var(sym) => match store.symbol_sort(*sym) {
+            Sort::Int | Sort::Real => Some(DlLin::var(*sym)),
+            _ => None,
+        },
+        Op::Neg => dl_lin(store, args[0], memo).map(|f| f.neg()),
+        Op::Add => {
+            let mut acc = DlLin::constant(BigRational::zero());
+            let mut ok = true;
+            for &a in args {
+                match dl_lin(store, a, memo) {
+                    Some(f) => acc = acc.add(&f),
+                    None => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            ok.then_some(acc)
+        }
+        Op::Sub => {
+            let mut acc = dl_lin(store, args[0], memo)?;
+            for &a in &args[1..] {
+                acc = acc.add(&dl_lin(store, a, memo)?.neg());
+            }
+            Some(acc)
+        }
+        Op::Mul => {
+            let mut scalar = BigRational::one();
+            let mut non_const: Option<DlLin> = None;
+            let mut linear = true;
+            for &a in args {
+                match dl_lin(store, a, memo) {
+                    Some(f) if f.is_constant() => scalar = &scalar * &f.constant,
+                    Some(f) if non_const.is_none() => non_const = Some(f),
+                    _ => {
+                        linear = false;
+                        break;
+                    }
+                }
+            }
+            if !linear {
+                None
+            } else {
+                match non_const {
+                    None => Some(DlLin::constant(scalar)),
+                    Some(f) => Some(f.scale(&scalar)),
+                }
+            }
+        }
+        Op::RealDiv => {
+            if args.len() != 2 {
+                return None;
+            }
+            let divisor = dl_lin(store, args[1], memo)?;
+            if !divisor.is_constant() || divisor.constant.is_zero() {
+                None
+            } else {
+                dl_lin(store, args[0], memo).map(|t| t.scale(&divisor.constant.recip()))
+            }
+        }
+        _ => None,
+    };
+    memo[id.index()] = Some(form.clone());
+    form
+}
+
+/// Emits the edge for one normalized atom `d ≤ 0` (`< 0` when `strict`),
+/// or `false` when the coefficients are not difference-shaped.
+fn push_dl_atom(d: &DlLin, strict: bool, is_int: bool, edges: &mut Vec<DlEdge>) -> bool {
+    let one = BigRational::one();
+    let neg_one = -BigRational::one();
+    let (x, y) = match d.coeffs.len() {
+        0 => (None, None),
+        1 => {
+            let (s, c) = &d.coeffs[0];
+            if *c == one {
+                (Some(*s), None)
+            } else if *c == neg_one {
+                (None, Some(*s))
+            } else {
+                return false;
+            }
+        }
+        2 => {
+            let (s0, c0) = &d.coeffs[0];
+            let (s1, c1) = &d.coeffs[1];
+            if *c0 == one && *c1 == neg_one {
+                (Some(*s0), Some(*s1))
+            } else if *c0 == neg_one && *c1 == one {
+                (Some(*s1), Some(*s0))
+            } else {
+                return false;
+            }
+        }
+        _ => return false,
+    };
+    // d = (x - y) + constant ≤ 0  ⇔  x - y ≤ -constant.
+    let mut bound = -d.constant.clone();
+    let mut strict = strict;
+    if is_int && strict {
+        // Over ℤ with unit coefficients the bound is integral:
+        // `x - y < c` ⇔ `x - y ≤ c - 1`.
+        debug_assert!(bound.is_integer());
+        bound = &bound - &one;
+        strict = false;
+    }
+    edges.push(DlEdge {
+        x,
+        y,
+        bound,
+        strict,
+    });
+    true
+}
+
+/// Normalizes one comparison pair `lhs ▷◁ rhs` (already rotated so the
+/// relation is `≤`/`<`) under the given polarity into edges.
+#[allow(clippy::too_many_arguments)]
+fn push_dl_cmp(
+    store: &TermStore,
+    lhs: TermId,
+    rhs: TermId,
+    strict: bool,
+    pol: bool,
+    is_int: bool,
+    memo: &mut Vec<Option<Option<DlLin>>>,
+    edges: &mut Vec<DlEdge>,
+) -> bool {
+    let l = match dl_lin(store, lhs, memo) {
+        Some(l) => l,
+        None => return false,
+    };
+    let r = match dl_lin(store, rhs, memo) {
+        Some(r) => r,
+        None => return false,
+    };
+    let d = l.add(&r.neg());
+    if pol {
+        push_dl_atom(&d, strict, is_int, edges)
+    } else {
+        // ¬(d ≤ 0) ⇔ -d < 0;  ¬(d < 0) ⇔ -d ≤ 0.
+        push_dl_atom(&d.neg(), !strict, is_int, edges)
+    }
+}
+
+/// Detects whether a script is a difference-logic conjunction and, if so,
+/// returns its normal form. Walks the Boolean structure iteratively with a
+/// polarity flag (so `(not (>= ...))` spellings normalize), accepting only
+/// shapes that stay conjunctive.
+pub fn difference_logic(script: &Script) -> Option<DlSystem> {
+    let store = script.store();
+    // Sort gate: a single numeric regime, no foreign sorts (a declared Bool
+    // or bitvector variable would need a model value the STN cannot give).
+    let mut vars: Vec<SymbolId> = Vec::new();
+    let mut has_int = false;
+    let mut has_real = false;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::Int => {
+                has_int = true;
+                vars.push(sym);
+            }
+            Sort::Real => {
+                has_real = true;
+                vars.push(sym);
+            }
+            _ => return None,
+        }
+    }
+    if has_int && has_real {
+        return None;
+    }
+    let is_int = !has_real;
+
+    let mut edges: Vec<DlEdge> = Vec::new();
+    let mut memo: Vec<Option<Option<DlLin>>> = vec![None; store.len()];
+    // (term, polarity) — explicit stack so deep `not`/`and` chains cannot
+    // overflow the call stack (mirrors `collect_atoms`). Revisiting a
+    // `(term, polarity)` pair would only duplicate edges, so shared DAG
+    // nodes are walked once per polarity.
+    let mut seen = vec![[false; 2]; store.len()];
+    let mut stack: Vec<(TermId, bool)> = script
+        .assertions()
+        .iter()
+        .rev()
+        .map(|&id| (id, true))
+        .collect();
+    while let Some((id, pol)) = stack.pop() {
+        if seen[id.index()][pol as usize] {
+            continue;
+        }
+        seen[id.index()][pol as usize] = true;
+        let term = store.term(id);
+        let args = term.args();
+        match term.op() {
+            // An asserted `false` (or negated `true`) is the constant-false
+            // origin self-loop `0 ≤ -1`: a one-edge negative cycle.
+            Op::True if pol => {}
+            Op::False if !pol => {}
+            Op::True | Op::False => {
+                edges.push(DlEdge {
+                    x: None,
+                    y: None,
+                    bound: -BigRational::one(),
+                    strict: false,
+                });
+            }
+            Op::Not => stack.push((args[0], !pol)),
+            // A negated conjunction is a disjunction — not conjunctive DL.
+            Op::And if pol => stack.extend(args.iter().rev().map(|&a| (a, pol))),
+            Op::And => return None,
+            Op::Eq if args.first().map(|&a| store.sort(a)) != Some(Sort::Bool) => {
+                // `a = b` ⇔ `a ≤ b ∧ b ≤ a` (two edges per chain link);
+                // a negated equality is a disjunction.
+                if !pol {
+                    return None;
+                }
+                for pair in args.windows(2) {
+                    if !push_dl_cmp(
+                        store, pair[0], pair[1], false, true, is_int, &mut memo, &mut edges,
+                    ) || !push_dl_cmp(
+                        store, pair[1], pair[0], false, true, is_int, &mut memo, &mut edges,
+                    ) {
+                        return None;
+                    }
+                }
+            }
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let strict = matches!(term.op(), Op::Lt | Op::Gt);
+                let swap = matches!(term.op(), Op::Ge | Op::Gt);
+                // `¬(a ≤ b ≤ c)` is a disjunction: only binary chains
+                // normalize under negative polarity.
+                if !pol && args.len() != 2 {
+                    return None;
+                }
+                for pair in args.windows(2) {
+                    let (lhs, rhs) = if swap {
+                        (pair[1], pair[0])
+                    } else {
+                        (pair[0], pair[1])
+                    };
+                    if !push_dl_cmp(store, lhs, rhs, strict, pol, is_int, &mut memo, &mut edges) {
+                        return None;
+                    }
+                }
+            }
+            // Bool variables, disjunctive structure (`or`, `xor`, `=>`,
+            // `ite`, Bool `=`), `distinct` (pairwise *dis*equalities), and
+            // everything else fall outside conjunctive difference logic.
+            _ => return None,
+        }
+    }
+    Some(DlSystem {
+        vars,
+        edges,
+        is_int,
+    })
+}
+
+/// Classifies a script for completeness reporting: difference logic when
+/// the detector matches, otherwise whatever [`certify`] derives. Kept
+/// separate from `certify` so the a-priori width certificate (and its
+/// `L401` fragment cross-check) continue to treat DL scripts as ordinary
+/// LIA/LRA.
+pub fn classify_fragment(script: &Script) -> FragmentClass {
+    if difference_logic(script).is_some() {
+        FragmentClass::DifferenceLogic
+    } else {
+        certify(script).fragment
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -911,5 +1330,180 @@ mod tests {
         );
         assert_eq!(c.fragment, FragmentClass::PureLia);
         assert_eq!(c.ledger.num_atoms, 3, "C(3,2) pairwise disequalities");
+    }
+
+    fn dl_src(src: &str) -> Option<DlSystem> {
+        difference_logic(&Script::parse(src).unwrap())
+    }
+
+    #[test]
+    fn dl_detects_plain_difference() {
+        let sys = dl_src(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (<= (- x y) 3))",
+        )
+        .expect("plain difference is DL");
+        assert!(sys.is_int);
+        assert_eq!(sys.vars.len(), 2);
+        assert_eq!(sys.edges.len(), 1);
+        let e = &sys.edges[0];
+        assert!(e.x.is_some() && e.y.is_some());
+        assert_eq!(e.bound, BigRational::from(3));
+        assert!(!e.strict);
+    }
+
+    #[test]
+    fn dl_normalizes_rotated_and_negated_spellings() {
+        // `(>= 3 (- x y))`, `(not (> (- x y) 3))` and `(<= (- x y) 3)` all
+        // normalize to the same edge.
+        let canonical = dl_src(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (<= (- x y) 3))",
+        )
+        .unwrap();
+        for spelling in [
+            "(assert (>= 3 (- x y)))",
+            "(assert (not (> (- x y) 3)))",
+            "(assert (<= x (+ y 3)))",
+        ] {
+            let sys = dl_src(&format!(
+                "(declare-fun x () Int)(declare-fun y () Int){spelling}"
+            ))
+            .unwrap_or_else(|| panic!("{spelling} is DL"));
+            assert_eq!(sys.edges, canonical.edges, "{spelling}");
+        }
+    }
+
+    #[test]
+    fn dl_tightens_strict_int_atoms() {
+        let sys = dl_src(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (< (- x y) 3))",
+        )
+        .unwrap();
+        assert_eq!(sys.edges[0].bound, BigRational::from(2));
+        assert!(!sys.edges[0].strict, "Int strict tightened to non-strict");
+    }
+
+    #[test]
+    fn dl_real_keeps_strictness() {
+        let sys = dl_src("(declare-fun r () Real)(assert (< r 2.5))").unwrap();
+        assert!(!sys.is_int);
+        assert!(sys.edges[0].strict);
+        assert_eq!(
+            sys.edges[0].bound,
+            BigRational::new(BigInt::from(5), BigInt::from(2))
+        );
+    }
+
+    #[test]
+    fn dl_single_variable_bounds_use_origin() {
+        let sys = dl_src("(declare-fun x () Int)(assert (>= x 1))(assert (<= x 5))").unwrap();
+        assert_eq!(sys.edges.len(), 2);
+        // x >= 1  ⇔  0 - x ≤ -1 (origin on the positive side).
+        assert_eq!(sys.edges[0].x, None);
+        assert!(sys.edges[0].y.is_some());
+        assert_eq!(sys.edges[0].bound, BigRational::from(-1));
+        // x <= 5  ⇔  x - 0 ≤ 5.
+        assert!(sys.edges[1].x.is_some());
+        assert_eq!(sys.edges[1].y, None);
+    }
+
+    #[test]
+    fn dl_equality_splits_into_two_edges() {
+        let sys = dl_src(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (= x y))",
+        )
+        .unwrap();
+        assert_eq!(sys.edges.len(), 2);
+        assert_eq!(sys.edges[0].bound, BigRational::zero());
+        assert_eq!(sys.edges[1].bound, BigRational::zero());
+    }
+
+    #[test]
+    fn dl_conjunction_and_chains_flatten() {
+        let sys = dl_src(
+            "(declare-fun a () Int)(declare-fun b () Int)(declare-fun c () Int)
+             (assert (and (<= a b) (<= b c a)))",
+        )
+        .unwrap();
+        assert_eq!(sys.edges.len(), 3, "chain (<= b c a) is two links");
+    }
+
+    #[test]
+    fn dl_asserted_false_is_negative_self_loop() {
+        let sys = dl_src("(assert false)").unwrap();
+        assert_eq!(sys.edges.len(), 1);
+        let e = &sys.edges[0];
+        assert!(e.x.is_none() && e.y.is_none());
+        assert!(e.bound.is_negative());
+    }
+
+    #[test]
+    fn dl_rejects_non_difference_shapes() {
+        for (src, why) in [
+            (
+                "(declare-fun x () Int)(declare-fun y () Int)(assert (<= (+ x y) 3))",
+                "sum of two variables",
+            ),
+            (
+                "(declare-fun x () Int)(assert (<= (* 2 x) 3))",
+                "non-unit coefficient",
+            ),
+            ("(declare-fun x () Int)(assert (= (* x x) 4))", "nonlinear"),
+            (
+                "(declare-fun x () Int)(declare-fun y () Int)(assert (or (<= x y) (<= y x)))",
+                "disjunction",
+            ),
+            (
+                "(declare-fun x () Int)(declare-fun y () Int)(assert (not (= x y)))",
+                "negated equality",
+            ),
+            (
+                "(declare-fun x () Int)(declare-fun y () Int)(assert (distinct x y))",
+                "distinct",
+            ),
+            ("(declare-fun p () Bool)(assert p)", "boolean variable"),
+            (
+                "(declare-fun x () Int)(declare-fun r () Real)(assert (<= x 1))(assert (<= r 1.0))",
+                "mixed sorts",
+            ),
+            (
+                "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)\
+                 (assert (<= (- (- x y) z) 3))",
+                "three-variable difference",
+            ),
+        ] {
+            assert!(dl_src(src).is_none(), "{why} must not detect as DL");
+        }
+    }
+
+    #[test]
+    fn dl_cancellation_reaches_difference_shape() {
+        // (x + z) - (y + z) cancels to x - y: still DL.
+        let sys = dl_src(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (<= (- (+ x z) (+ y z)) 3))",
+        )
+        .unwrap();
+        assert_eq!(sys.edges.len(), 1);
+        assert!(sys.edges[0].x.is_some() && sys.edges[0].y.is_some());
+    }
+
+    #[test]
+    fn classify_fragment_prefers_dl() {
+        let dl =
+            Script::parse("(declare-fun x () Int)(declare-fun y () Int)(assert (<= (- x y) 3))")
+                .unwrap();
+        assert_eq!(classify_fragment(&dl), FragmentClass::DifferenceLogic);
+        // certify() itself must keep treating the script as plain LIA.
+        assert_eq!(certify(&dl).fragment, FragmentClass::PureLia);
+        let lia =
+            Script::parse("(declare-fun x () Int)(declare-fun y () Int)(assert (<= (+ x y) 3))")
+                .unwrap();
+        assert_eq!(classify_fragment(&lia), FragmentClass::PureLia);
+        let nia = Script::parse("(declare-fun x () Int)(assert (= (* x x) 7))").unwrap();
+        assert_eq!(classify_fragment(&nia), FragmentClass::Ineligible);
     }
 }

@@ -8,12 +8,12 @@
 //! the checks run and what a violation does.
 
 use staub_lint::{
-    bound_certificate, boundedness, correspondence, model_shape, resort, BoundClaim,
-    Correspondence, LintReport,
+    bound_certificate, boundedness, correspondence, dl_certificate, model_shape, resort,
+    BoundClaim, Correspondence, DlClaim, DlCycleEdge, LintReport,
 };
 use staub_smtlib::{Model, Script};
 
-use crate::absint::BoundCertificate;
+use crate::absint::{BoundCertificate, DlEdge};
 use crate::transform::Transformed;
 
 /// When the certifying checker runs between pipeline stages.
@@ -92,6 +92,29 @@ pub fn check_certificate(
 /// satisfy.
 pub fn check_model(script: &Script, model: &Model) -> LintReport {
     model_shape(script, model)
+}
+
+/// Certifies a difference-logic unsat explanation: the negative cycle the
+/// STN lane extracted is flattened to variable *names* and cross-checked
+/// against the original script via the independent `L5xx` re-derivation
+/// in `staub-lint` (fragment membership, per-edge entailment, chaining,
+/// and the negative bound sum).
+pub fn check_dl_certificate(original: &Script, cycle: &[DlEdge]) -> LintReport {
+    let store = original.store();
+    let name = |sym: &Option<staub_smtlib::SymbolId>| sym.map(|s| store.symbol_name(s).to_string());
+    let cycle: Vec<DlCycleEdge> = cycle
+        .iter()
+        .map(|e| DlCycleEdge {
+            x: name(&e.x),
+            y: name(&e.y),
+            bound: e.bound.clone(),
+            strict: e.strict,
+        })
+        .collect();
+    dl_certificate(&DlClaim {
+        original,
+        cycle: &cycle,
+    })
 }
 
 #[cfg(test)]

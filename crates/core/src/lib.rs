@@ -65,7 +65,10 @@ pub mod verify;
 mod pipeline;
 mod session;
 
-pub use absint::{certify, BoundCertificate, CoeffLedger, FragmentClass};
+pub use absint::{
+    certify, classify_fragment, difference_logic, BoundCertificate, CoeffLedger, DlEdge, DlSystem,
+    FragmentClass,
+};
 pub use check::CheckLevel;
 pub use metrics::{Metrics, MetricsSnapshot};
 pub use pipeline::{Provenance, Staub, StaubConfig, StaubError, StaubOutcome, Via, WidthChoice};

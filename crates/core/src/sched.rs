@@ -46,13 +46,14 @@
 //! threads: when [`run_batch_with`] returns, every lane has been joined —
 //! no thread outlives the batch.
 
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
-use staub_smtlib::{Model, Script};
+use staub_smtlib::{Model, Script, SymbolId, Value};
 use staub_solver::{
-    Budget, BvSession, CancelFlag, SatResult, Solver, SolverProfile, SolverStats, UnknownReason,
+    stn::ORIGIN, Budget, BvSession, CancelFlag, DlWeight, SatResult, Solver, SolverProfile,
+    SolverStats, Stn, StnStatus, UnknownReason,
 };
 
 use crate::absint;
@@ -63,7 +64,7 @@ use crate::pipeline::{Provenance, StaubConfig, WidthChoice};
 use crate::portfolio::{PortfolioReport, Winner};
 use crate::session::Session;
 use crate::transform::{transform, transform_with_widths, Transformed, WidthMap};
-use crate::verify::{lift_and_verify, lift_and_verify_report, saturated_vars};
+use crate::verify::{lift_and_verify, lift_and_verify_report, saturated_vars, verify_model};
 
 // ---------------------------------------------------------------------------
 // Configuration and lane taxonomy
@@ -107,6 +108,12 @@ pub struct BatchConfig {
     /// Maximum refinement rungs after the base attempt (only read when
     /// `refine` is set).
     pub refine_depth: u32,
+    /// Plan a complete difference-logic STN lane, first in plan order, when
+    /// the detector recognizes the constraint as a conjunction of
+    /// `x - y ▷◁ c` atoms. Both its verdicts are trusted: `sat` models are
+    /// re-verified exactly as always, and `unsat` is backed by a
+    /// negative-cycle certificate the `L5xx` lints re-check.
+    pub dl: bool,
 }
 
 impl Default for BatchConfig {
@@ -124,6 +131,7 @@ impl Default for BatchConfig {
             limits: SortLimits::default(),
             refine: false,
             refine_depth: 5,
+            dl: true,
         }
     }
 }
@@ -161,6 +169,13 @@ pub enum LaneKind {
         /// The certified sufficient width the lane transforms at.
         width: u32,
     },
+    /// The incremental STN decision procedure on a difference-logic
+    /// constraint — complete for the fragment, so both verdicts are
+    /// trusted (a `sat` model is still re-verified exactly; an `unsat` is
+    /// promoted only after its negative cycle passes the `L5xx` lints).
+    /// Planned first (cheapest lane) and never escalated. See
+    /// [`absint::difference_logic`].
+    DiffLogic,
     /// Counterexample-guided per-variable width refinement: start at
     /// `width`, and on each inconclusive rung widen only the variables the
     /// unsat core or verification failure names, up to `depth` rungs.
@@ -192,6 +207,7 @@ impl LaneSpec {
             LaneKind::Baseline => format!("baseline/{profile}"),
             LaneKind::Staub { escalation, .. } => format!("staub/x{escalation}/{profile}"),
             LaneKind::Complete { .. } => format!("complete/{profile}"),
+            LaneKind::DiffLogic => format!("dl/{profile}"),
             LaneKind::Refine { .. } => format!("refine/{profile}"),
         }
     }
@@ -382,10 +398,13 @@ pub struct BatchReport {
     /// The constraint's arithmetic fragment (`lia`/`lra`/`mixed`/
     /// `ineligible`), from [`absint::certify`].
     pub fragment: &'static str,
-    /// For `unknown` verdicts, why: `"budget"` when a complete lane was
-    /// planned (the fragment is decidable within limits, the budget just
-    /// ran out), `"ineligible-fragment"` when no complete lane was
-    /// eligible. `None` for decided constraints.
+    /// For `unknown` verdicts, why: `"budget"` when a complete lane
+    /// (certified-width or difference-logic) was planned — the fragment is
+    /// decidable within limits, the budget just ran out;
+    /// `"linear-non-dl"` when the constraint is linear but neither
+    /// complete lane was eligible (certificate too wide, atoms not
+    /// difference-shaped); `"ineligible-fragment"` when the constraint is
+    /// not even linear. `None` for decided constraints.
     pub unknown_reason: Option<&'static str>,
 }
 
@@ -402,7 +421,7 @@ impl BatchReport {
         self.winner_lane().map(|l| Provenance {
             label: l.spec.label(),
             multiplier: match l.spec.kind {
-                LaneKind::Baseline => 0,
+                LaneKind::Baseline | LaneKind::DiffLogic => 0,
                 LaneKind::Staub { escalation, .. } => escalation,
                 LaneKind::Complete { .. } | LaneKind::Refine { .. } => 1,
             },
@@ -659,6 +678,18 @@ pub fn plan_lanes(script: &Script, config: &BatchConfig) -> Vec<LaneSpec> {
     let mut lanes = Vec::new();
     let base_width = resolve_base_width(script, config);
     let certified = complete_width(script, &config.limits);
+    // First in plan order: the difference-logic lane is the cheapest
+    // complete procedure, so when the fragment matches it should decide
+    // the constraint before any bounded lane finishes transforming. One
+    // lane total — the STN has no profile-dependent heuristics.
+    if config.dl && absint::difference_logic(script).is_some() {
+        if let Some(&profile) = config.profiles.first() {
+            lanes.push(LaneSpec {
+                kind: LaneKind::DiffLogic,
+                profile,
+            });
+        }
+    }
     for &profile in &config.profiles {
         if config.include_baseline {
             lanes.push(LaneSpec {
@@ -821,6 +852,130 @@ fn certificate_promotes(script: &Script, used_width: u32) -> bool {
     }
 }
 
+/// Executes the difference-logic lane: re-run the detector, assert every
+/// normalized edge into a fresh incremental STN under the lane budget, and
+/// either read a model off the feasible potential (re-verified exactly, as
+/// every STAUB `sat` is) or promote the extracted negative cycle to a
+/// trusted `unsat`. The promotion mirrors [`certificate_promotes`]: it is
+/// a soundness claim, so the independent `L5xx` lints re-check the cycle
+/// unconditionally — not just under `StaubConfig::check`.
+fn run_dl_lane(
+    script: &Script,
+    spec: &LaneSpec,
+    cancel: &CancelFlag,
+    config: &BatchConfig,
+) -> LaneOutcome {
+    let start = Instant::now();
+    let t0 = Instant::now();
+    let sys = absint::difference_logic(script);
+    let t_trans = t0.elapsed();
+    let Some(sys) = sys else {
+        return LaneOutcome {
+            spec: spec.clone(),
+            verdict: LaneVerdict::NotApplicable,
+            model: None,
+            elapsed: start.elapsed(),
+            steps_used: 0,
+            retried: false,
+            cancel_latency: None,
+            t_trans,
+            t_post: Duration::ZERO,
+            t_check: Duration::ZERO,
+            stats: SolverStats::default(),
+            rungs: Vec::new(),
+        };
+    };
+
+    let budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
+    let t1 = Instant::now();
+    let mut stn = Stn::new();
+    let mut node_of: HashMap<SymbolId, u32> = HashMap::new();
+    for &sym in &sys.vars {
+        node_of.insert(sym, stn.add_node());
+    }
+    let node = |end: &Option<SymbolId>| end.map_or(ORIGIN, |s| node_of[&s]);
+    let mut status = StnStatus::Feasible;
+    for e in &sys.edges {
+        // `x - y ≤ c` is the STN edge `y → x` weighted `c`.
+        status = stn.assert_edge(
+            node(&e.y),
+            node(&e.x),
+            DlWeight::new(e.bound.clone(), e.strict),
+            &budget,
+        );
+        if status != StnStatus::Feasible {
+            break;
+        }
+    }
+    let t_post = t1.elapsed();
+    let stats = SolverStats {
+        propagations: stn.relaxations(),
+        ..SolverStats::default()
+    };
+
+    let t2 = Instant::now();
+    let (verdict, model) = match status {
+        StnStatus::Feasible => {
+            let vals = stn.solution();
+            let origin = vals[ORIGIN as usize].clone();
+            let mut model = Model::new();
+            let mut integral = true;
+            for &sym in &sys.vars {
+                let v = &vals[node_of[&sym] as usize] - &origin;
+                if sys.is_int {
+                    if v.is_integer() {
+                        model.insert(sym, Value::Int(v.numer().clone()));
+                    } else {
+                        integral = false;
+                        break;
+                    }
+                } else {
+                    model.insert(sym, Value::Real(v));
+                }
+            }
+            if integral && verify_model(script, &model) {
+                (LaneVerdict::SatVerified, Some(model))
+            } else {
+                (LaneVerdict::Unknown, None)
+            }
+        }
+        StnStatus::Infeasible => {
+            // STN edges were asserted 1:1 in detector order, so cycle
+            // indices index straight into the normalized edge list.
+            let cycle: Vec<absint::DlEdge> = stn
+                .cycle()
+                .iter()
+                .map(|&i| sys.edges[i as usize].clone())
+                .collect();
+            if crate::check::check_dl_certificate(script, &cycle).is_clean() {
+                (LaneVerdict::Unsat, None)
+            } else {
+                (LaneVerdict::Unknown, None)
+            }
+        }
+        StnStatus::Exhausted if cancel.is_cancelled() => (LaneVerdict::Cancelled, None),
+        StnStatus::Exhausted => (LaneVerdict::Unknown, None),
+    };
+    let t_check = t2.elapsed();
+
+    LaneOutcome {
+        spec: spec.clone(),
+        cancel_latency: (verdict == LaneVerdict::Cancelled)
+            .then(|| cancel.latency())
+            .flatten(),
+        verdict,
+        model,
+        elapsed: start.elapsed(),
+        steps_used: budget.steps_used(),
+        retried: false,
+        t_trans,
+        t_post,
+        t_check,
+        stats,
+        rungs: Vec::new(),
+    }
+}
+
 /// Executes one lane to completion (or cancellation), with a fresh solver.
 fn run_lane(
     script: &Script,
@@ -888,13 +1043,16 @@ fn run_lane_with(
         LaneKind::Refine { width, depth } => {
             run_refine_lane(script, spec, *width, *depth, cancel, config, metrics)
         }
+        LaneKind::DiffLogic => run_dl_lane(script, spec, cancel, config),
         kind @ (LaneKind::Staub { .. } | LaneKind::Complete { .. }) => {
             // A complete lane is the same bounded pipeline pinned to the
             // certified width; only its unsat handling differs below.
             let (width, promote_at) = match kind {
                 LaneKind::Staub { width, .. } => (*width, None),
                 LaneKind::Complete { width } => (WidthChoice::Fixed(*width), Some(*width)),
-                LaneKind::Baseline | LaneKind::Refine { .. } => unreachable!("handled above"),
+                LaneKind::Baseline | LaneKind::DiffLogic | LaneKind::Refine { .. } => {
+                    unreachable!("handled above")
+                }
             };
             let mut budget = Budget::with_cancel(config.timeout, config.steps, cancel.clone());
             let mut attempt = match session.as_deref_mut() {
@@ -1415,12 +1573,16 @@ fn run_batch_impl(
                 BatchVerdict::Unknown => {
                     // Was the constraint within a complete lane's reach? If
                     // so, only the budget stood between it and a verdict.
+                    // Otherwise, distinguish "linear but no complete lane
+                    // fit" from "not linear at all".
                     let eligible = cell
                         .specs
                         .iter()
-                        .any(|s| matches!(s.kind, LaneKind::Complete { .. }));
+                        .any(|s| matches!(s.kind, LaneKind::Complete { .. } | LaneKind::DiffLogic));
                     Some(if eligible {
                         "budget"
+                    } else if fragment != "ineligible" {
+                        "linear-non-dl"
                     } else {
                         "ineligible-fragment"
                     })
@@ -2100,5 +2262,110 @@ mod tests {
     #[test]
     fn empty_batch_is_empty() {
         assert!(run_batch_with(&[], &BatchConfig::default(), &RunOptions::default()).is_empty());
+    }
+
+    const DL_SAT: &str = "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+        (assert (<= (- x y) 3))(assert (<= (- y z) (- 1)))(assert (<= (- z x) (- 1)))";
+    const DL_UNSAT: &str = "(declare-fun x () Int)(declare-fun y () Int)
+        (assert (<= (- x y) 1))(assert (< (- y x) (- 1)))";
+
+    #[test]
+    fn dl_lane_is_planned_first_and_only_for_dl_scripts() {
+        let config = quick_config();
+        let dl = Script::parse(DL_SAT).unwrap();
+        let lanes = plan_lanes(&dl, &config);
+        assert_eq!(lanes[0].kind, LaneKind::DiffLogic);
+        assert_eq!(lanes[0].label(), "dl/zed");
+        assert!(!lanes[0].is_staub(), "never joins escalation ladders");
+        assert_eq!(
+            lanes
+                .iter()
+                .filter(|l| l.kind == LaneKind::DiffLogic)
+                .count(),
+            1,
+            "one DL lane even with several profiles"
+        );
+
+        let non_dl = Script::parse("(declare-fun x () Int)(assert (>= (+ x x) 4))").unwrap();
+        assert!(
+            !plan_lanes(&non_dl, &config)
+                .iter()
+                .any(|l| l.kind == LaneKind::DiffLogic),
+            "coefficient 2 is not difference logic"
+        );
+        assert!(
+            !plan_lanes(
+                &dl,
+                &BatchConfig {
+                    dl: false,
+                    ..quick_config()
+                }
+            )
+            .iter()
+            .any(|l| l.kind == LaneKind::DiffLogic),
+            "config.dl = false suppresses the lane"
+        );
+    }
+
+    #[test]
+    fn dl_lane_decides_both_verdicts_with_trusted_provenance() {
+        let config = BatchConfig {
+            include_baseline: false,
+            escalations: Vec::new(),
+            cancel_losers: false,
+            ..quick_config()
+        };
+        let items = [item("dl-sat", DL_SAT), item("dl-unsat", DL_UNSAT)];
+        let reports = run_batch_with(&items, &config, &RunOptions::default());
+        assert_eq!(reports[0].verdict.name(), "sat");
+        assert_eq!(reports[1].verdict.name(), "unsat");
+        for r in &reports {
+            let p = r.provenance().expect("DL lane answers");
+            assert_eq!(p.label, "dl/zed");
+            assert_eq!(p.multiplier, 0, "no width, no escalation");
+            let lane = r.winner_lane().unwrap();
+            assert!(lane.rungs.is_empty(), "never escalates");
+        }
+        match &reports[0].verdict {
+            BatchVerdict::Sat(m) => {
+                assert!(crate::verify::verify_model(&items[0].script, m));
+            }
+            v => panic!("expected sat, got {}", v.name()),
+        }
+    }
+
+    #[test]
+    fn unknown_reason_distinguishes_linear_from_nonlinear() {
+        // Zero budget forces unknowns; fragments then pick the reason.
+        let config = BatchConfig {
+            steps: 1,
+            timeout: Duration::from_millis(1),
+            include_baseline: false,
+            escalations: Vec::new(),
+            dl: false,
+            ..quick_config()
+        };
+        // Linear but not DL (coefficient 2), certificate too wide for no
+        // complete lane? — keep it simple: shrink the width limit so the
+        // complete lane is not planned either.
+        let tight = BatchConfig {
+            limits: SortLimits {
+                max_bv_width: 2,
+                ..SortLimits::default()
+            },
+            ..config.clone()
+        };
+        let linear = [item(
+            "linear",
+            "(declare-fun x () Int)(assert (>= (+ x x) 4))",
+        )];
+        let r = run_batch_with(&linear, &tight, &RunOptions::default());
+        assert_eq!(r[0].verdict.name(), "unknown");
+        assert_eq!(r[0].unknown_reason, Some("linear-non-dl"));
+
+        let nonlinear = [item("nl", "(declare-fun x () Int)(assert (= (* x x) 49))")];
+        let r = run_batch_with(&nonlinear, &tight, &RunOptions::default());
+        assert_eq!(r[0].verdict.name(), "unknown");
+        assert_eq!(r[0].unknown_reason, Some("ineligible-fragment"));
     }
 }

@@ -1,0 +1,548 @@
+//! Pass 6 (`L5xx`): certify difference-logic negative-cycle certificates.
+//!
+//! `staub-core`'s difference-logic lane decides conjunctions of atoms
+//! `x - y ▷◁ c` with an incremental STN engine and, on `unsat`, extracts a
+//! negative cycle as its explanation. That `unsat` is *trusted* — no
+//! bounded fallback re-checks it — so this pass re-validates the claim
+//! from the original script and the cycle alone, sharing no code with the
+//! detector or the engine:
+//!
+//! * `L501` — the original script is not a difference-logic conjunction
+//!   under this pass's own re-derivation.
+//! * `L502` — a cycle edge is not entailed by any asserted atom over the
+//!   same variable pair.
+//! * `L503` — the cycle does not chain: some edge's positive endpoint is
+//!   not the next edge's negative endpoint (cyclically), or the cycle is
+//!   empty.
+//! * `L504` — the cycle's bounds do not sum below zero (nor to exactly
+//!   zero with a strict edge): no contradiction follows.
+//!
+//! Soundness argument the pass re-checks: summing `x_i - y_i ≤ b_i` around
+//! a chained cycle telescopes the left side to `0`, so `0 ≤ Σ b_i`; a
+//! negative sum (or a zero sum with one strict inequality) is absurd,
+//! hence the conjunction is unsatisfiable. Entailment (`L502`) pins each
+//! summed edge to an atom the script actually asserts.
+
+use std::collections::BTreeMap;
+
+use staub_numeric::BigRational;
+use staub_smtlib::{Op, Script, Sort, TermId, TermStore};
+
+use crate::report::{LintCode, LintReport};
+
+/// One edge of a claimed negative cycle, flattened to primitives (variable
+/// *names*, not ids) so this crate never depends on `staub-core` types:
+/// `x - y ≤ bound` (`<` when `strict`), `None` endpoints meaning the zero
+/// origin.
+#[derive(Debug, Clone)]
+pub struct DlCycleEdge {
+    /// Positive endpoint (`None` = zero origin).
+    pub x: Option<String>,
+    /// Negative endpoint (`None` = zero origin).
+    pub y: Option<String>,
+    /// Right-hand side of `x - y ≤ bound`.
+    pub bound: BigRational,
+    /// `true` for `<`, `false` for `≤`.
+    pub strict: bool,
+}
+
+/// A difference-logic unsat claim: the original script and the negative
+/// cycle offered as its refutation.
+#[derive(Debug, Clone)]
+pub struct DlClaim<'a> {
+    /// The original (unbounded) script the verdict is claimed for.
+    pub original: &'a Script,
+    /// The claimed negative cycle, in chain order (each edge's `x` is the
+    /// next edge's `y`, wrapping around).
+    pub cycle: &'a [DlCycleEdge],
+}
+
+/// An atom this pass re-derived from the script, in the same normal form
+/// as [`DlCycleEdge`].
+type Atom = (Option<String>, Option<String>, BigRational, bool);
+
+/// A linear polynomial over variable *names*: coefficient map (zeroes
+/// pruned) plus constant.
+#[derive(Debug, Clone)]
+struct Poly {
+    coeffs: BTreeMap<String, BigRational>,
+    constant: BigRational,
+}
+
+impl Poly {
+    fn constant(c: BigRational) -> Poly {
+        Poly {
+            coeffs: BTreeMap::new(),
+            constant: c,
+        }
+    }
+
+    fn add_scaled(&mut self, other: &Poly, k: &BigRational) {
+        for (name, c) in &other.coeffs {
+            let entry = self
+                .coeffs
+                .entry(name.clone())
+                .or_insert_with(BigRational::zero);
+            *entry = &*entry + &(c * k);
+            if entry.is_zero() {
+                self.coeffs.remove(name);
+            }
+        }
+        self.constant = &self.constant + &(&other.constant * k);
+    }
+}
+
+/// Evaluates a numeric term to a linear polynomial, `None` when nonlinear
+/// (or not numeric at all).
+fn poly(store: &TermStore, id: TermId, memo: &mut Vec<Option<Option<Poly>>>) -> Option<Poly> {
+    if let Some(cached) = &memo[id.index()] {
+        return cached.clone();
+    }
+    let term = store.term(id);
+    let args = term.args();
+    let one = BigRational::one();
+    let out = match term.op() {
+        Op::IntConst(c) => Some(Poly::constant(BigRational::from(c.clone()))),
+        Op::RealConst(c) => Some(Poly::constant(c.clone())),
+        Op::Var(sym) => match store.symbol_sort(*sym) {
+            Sort::Int | Sort::Real => Some(Poly {
+                coeffs: BTreeMap::from([(store.symbol_name(*sym).to_string(), one.clone())]),
+                constant: BigRational::zero(),
+            }),
+            _ => None,
+        },
+        Op::Neg => poly(store, args[0], memo).map(|p| {
+            let mut acc = Poly::constant(BigRational::zero());
+            acc.add_scaled(&p, &-one.clone());
+            acc
+        }),
+        Op::Add | Op::Sub => {
+            let mut acc = poly(store, args[0], memo)?;
+            let k = if matches!(term.op(), Op::Sub) {
+                -one.clone()
+            } else {
+                one.clone()
+            };
+            for &a in &args[1..] {
+                acc.add_scaled(&poly(store, a, memo)?, &k);
+            }
+            Some(acc)
+        }
+        Op::Mul => {
+            let mut scalar = one.clone();
+            let mut varpart: Option<Poly> = None;
+            let mut ok = true;
+            for &a in args {
+                match poly(store, a, memo) {
+                    Some(p) if p.coeffs.is_empty() => scalar = &scalar * &p.constant,
+                    Some(p) if varpart.is_none() => varpart = Some(p),
+                    _ => {
+                        ok = false;
+                        break;
+                    }
+                }
+            }
+            match (ok, varpart) {
+                (false, _) => None,
+                (true, None) => Some(Poly::constant(scalar)),
+                (true, Some(p)) => {
+                    let mut acc = Poly::constant(BigRational::zero());
+                    acc.add_scaled(&p, &scalar);
+                    Some(acc)
+                }
+            }
+        }
+        Op::RealDiv if args.len() == 2 => match poly(store, args[1], memo) {
+            Some(d) if d.coeffs.is_empty() && !d.constant.is_zero() => poly(store, args[0], memo)
+                .map(|p| {
+                    let mut acc = Poly::constant(BigRational::zero());
+                    acc.add_scaled(&p, &d.constant.recip());
+                    acc
+                }),
+            _ => None,
+        },
+        _ => None,
+    };
+    memo[id.index()] = Some(out.clone());
+    out
+}
+
+/// Converts `p ≤ 0` (`< 0` when `strict`) into a difference atom, `None`
+/// when the coefficients are not `{}`, `{+1}`, `{-1}`, or `{+1, -1}`.
+fn atom_of(p: &Poly, strict: bool, is_int: bool) -> Option<Atom> {
+    let one = BigRational::one();
+    let neg_one = -BigRational::one();
+    let entries: Vec<(&String, &BigRational)> = p.coeffs.iter().collect();
+    let (x, y) = match entries.as_slice() {
+        [] => (None, None),
+        [(n, c)] if **c == one => (Some((*n).clone()), None),
+        [(n, c)] if **c == neg_one => (None, Some((*n).clone())),
+        [(n0, c0), (n1, c1)] if **c0 == one && **c1 == neg_one => {
+            (Some((*n0).clone()), Some((*n1).clone()))
+        }
+        [(n0, c0), (n1, c1)] if **c0 == neg_one && **c1 == one => {
+            (Some((*n1).clone()), Some((*n0).clone()))
+        }
+        _ => return None,
+    };
+    let mut bound = -p.constant.clone();
+    let mut strict = strict;
+    if is_int && strict && bound.is_integer() {
+        bound = &bound - &one;
+        strict = false;
+    }
+    Some((x, y, bound, strict))
+}
+
+/// Re-derives the script's difference atoms, `None` when any assertion
+/// falls outside the conjunctive difference-logic fragment.
+fn derive_atoms(script: &Script) -> Option<Vec<Atom>> {
+    let store = script.store();
+    let mut has_int = false;
+    let mut has_real = false;
+    for sym in store.symbols() {
+        match store.symbol_sort(sym) {
+            Sort::Int => has_int = true,
+            Sort::Real => has_real = true,
+            _ => return None,
+        }
+    }
+    if has_int && has_real {
+        return None;
+    }
+    let is_int = !has_real;
+
+    let mut atoms: Vec<Atom> = Vec::new();
+    let mut memo: Vec<Option<Option<Poly>>> = vec![None; store.len()];
+    let mut seen = vec![[false; 2]; store.len()];
+    let mut todo: Vec<(TermId, bool)> = script.assertions().iter().map(|&a| (a, true)).collect();
+    let cmp = |lhs: TermId,
+               rhs: TermId,
+               strict: bool,
+               pol: bool,
+               memo: &mut Vec<Option<Option<Poly>>>,
+               atoms: &mut Vec<Atom>| {
+        let mut d = poly(store, lhs, memo)?;
+        d.add_scaled(&poly(store, rhs, memo)?, &-BigRational::one());
+        if !pol {
+            let mut n = Poly::constant(BigRational::zero());
+            n.add_scaled(&d, &-BigRational::one());
+            d = n;
+        }
+        let strict = if pol { strict } else { !strict };
+        atoms.push(atom_of(&d, strict, is_int)?);
+        Some(())
+    };
+    while let Some((id, pol)) = todo.pop() {
+        if seen[id.index()][pol as usize] {
+            continue;
+        }
+        seen[id.index()][pol as usize] = true;
+        let term = store.term(id);
+        let args = term.args();
+        match term.op() {
+            Op::True if pol => {}
+            Op::False if !pol => {}
+            Op::True | Op::False => {
+                // An asserted contradiction entails every atom of the form
+                // `0 ≤ c` with `c < 0`; the detector normalizes it to
+                // `0 ≤ -1`.
+                atoms.push((None, None, -BigRational::one(), false));
+            }
+            Op::Not => todo.push((args[0], !pol)),
+            Op::And if pol => todo.extend(args.iter().map(|&a| (a, pol))),
+            Op::Eq if pol && args.first().map(|&a| store.sort(a)) != Some(Sort::Bool) => {
+                for pair in args.windows(2) {
+                    cmp(pair[0], pair[1], false, true, &mut memo, &mut atoms)?;
+                    cmp(pair[1], pair[0], false, true, &mut memo, &mut atoms)?;
+                }
+            }
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let strict = matches!(term.op(), Op::Lt | Op::Gt);
+                let swap = matches!(term.op(), Op::Ge | Op::Gt);
+                if !pol && args.len() != 2 {
+                    return None;
+                }
+                for pair in args.windows(2) {
+                    let (lhs, rhs) = if swap {
+                        (pair[1], pair[0])
+                    } else {
+                        (pair[0], pair[1])
+                    };
+                    cmp(lhs, rhs, strict, pol, &mut memo, &mut atoms)?;
+                }
+            }
+            _ => return None,
+        }
+    }
+    Some(atoms)
+}
+
+/// Whether an asserted atom entails a claimed cycle edge over the same
+/// variable pair: a tighter (or equal) bound implies a looser one, and a
+/// non-strict atom never implies a strict edge at the same bound.
+fn entails(atom: &Atom, edge: &DlCycleEdge) -> bool {
+    let (x, y, b1, s1) = atom;
+    *x == edge.x
+        && *y == edge.y
+        && (*b1 < edge.bound || (*b1 == edge.bound && (!edge.strict || *s1)))
+}
+
+/// Cross-checks a claimed difference-logic negative cycle against an
+/// independent re-derivation from the original script.
+pub fn dl_certificate(claim: &DlClaim<'_>) -> LintReport {
+    let mut report = LintReport::new();
+
+    // L501: the script must re-derive as a difference-logic conjunction.
+    let atoms = derive_atoms(claim.original);
+    let Some(atoms) = atoms else {
+        report.error(
+            LintCode::DlFragmentMismatch,
+            "script is not a difference-logic conjunction under independent re-derivation",
+            None,
+        );
+        return report;
+    };
+
+    // L502: every cycle edge must be entailed by an asserted atom.
+    for (i, edge) in claim.cycle.iter().enumerate() {
+        if !atoms.iter().any(|a| entails(a, edge)) {
+            let rel = if edge.strict { "<" } else { "≤" };
+            report.error(
+                LintCode::DlEdgeUnasserted,
+                format!(
+                    "cycle edge {i} `{} - {} {rel} {}` is not entailed by any asserted atom",
+                    edge.x.as_deref().unwrap_or("0"),
+                    edge.y.as_deref().unwrap_or("0"),
+                    edge.bound
+                ),
+                None,
+            );
+        }
+    }
+
+    // L503: the edges must chain cyclically so the variable terms
+    // telescope out of the sum.
+    if claim.cycle.is_empty() {
+        report.error(LintCode::DlCycleBroken, "claimed cycle is empty", None);
+    }
+    for (i, edge) in claim.cycle.iter().enumerate() {
+        let next = &claim.cycle[(i + 1) % claim.cycle.len()];
+        if edge.x != next.y {
+            report.error(
+                LintCode::DlCycleBroken,
+                format!(
+                    "edge {i} ends at `{}` but edge {} starts from `{}` — the sum does not \
+                     telescope",
+                    edge.x.as_deref().unwrap_or("0"),
+                    (i + 1) % claim.cycle.len(),
+                    next.y.as_deref().unwrap_or("0")
+                ),
+                None,
+            );
+        }
+    }
+
+    // L504: the telescoped sum `0 ≤ Σ bᵢ` must be absurd.
+    let mut sum = BigRational::zero();
+    for edge in claim.cycle {
+        sum = &sum + &edge.bound;
+    }
+    let any_strict = claim.cycle.iter().any(|e| e.strict);
+    if !(sum.is_negative() || (sum.is_zero() && any_strict && !claim.cycle.is_empty())) {
+        report.error(
+            LintCode::DlCycleNonNegative,
+            format!("cycle bounds sum to {sum}, which refutes nothing"),
+            None,
+        );
+    }
+
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(src: &str) -> Script {
+        Script::parse(src).unwrap()
+    }
+
+    fn edge(x: Option<&str>, y: Option<&str>, bound: i64, strict: bool) -> DlCycleEdge {
+        DlCycleEdge {
+            x: x.map(str::to_string),
+            y: y.map(str::to_string),
+            bound: BigRational::from(bound),
+            strict,
+        }
+    }
+
+    const UNSAT_DL: &str = "(declare-fun x () Int)(declare-fun y () Int)
+                            (assert (<= (- x y) 1))
+                            (assert (<= (- y x) (- 2)))
+                            (check-sat)";
+
+    fn honest_cycle() -> Vec<DlCycleEdge> {
+        vec![
+            edge(Some("x"), Some("y"), 1, false),
+            edge(Some("y"), Some("x"), -2, false),
+        ]
+    }
+
+    #[test]
+    fn honest_cycle_lints_clean() {
+        let script = parse(UNSAT_DL);
+        let cycle = honest_cycle();
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn rotated_and_negated_spellings_still_entail() {
+        // `(>= 1 (- x y))` and `(not (> (- y x) -2))` assert the same two
+        // atoms as `UNSAT_DL`; the re-derivation must normalize them.
+        let script = parse(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (>= 1 (- x y)))
+             (assert (not (> (- y x) (- 2))))
+             (check-sat)",
+        );
+        let cycle = honest_cycle();
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn non_dl_script_is_l501() {
+        let script = parse("(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)");
+        let cycle = honest_cycle();
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.has(LintCode::DlFragmentMismatch), "{report}");
+    }
+
+    #[test]
+    fn unasserted_edge_is_l502() {
+        let script = parse(UNSAT_DL);
+        // Claim a tighter bound than the script asserts.
+        let cycle = vec![
+            edge(Some("x"), Some("y"), 0, false),
+            edge(Some("y"), Some("x"), -1, false),
+        ];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.has(LintCode::DlEdgeUnasserted), "{report}");
+    }
+
+    #[test]
+    fn nonstrict_atom_does_not_entail_strict_edge() {
+        let script = parse(UNSAT_DL);
+        let cycle = vec![
+            edge(Some("x"), Some("y"), 1, true),
+            edge(Some("y"), Some("x"), -1, false),
+        ];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.has(LintCode::DlEdgeUnasserted), "{report}");
+    }
+
+    #[test]
+    fn broken_chain_is_l503() {
+        let script = parse(
+            "(declare-fun x () Int)(declare-fun y () Int)(declare-fun z () Int)
+             (assert (<= (- x y) (- 1)))(assert (<= (- z x) 0))
+             (check-sat)",
+        );
+        // x→y then z→x: the second edge does not start where the first
+        // ends, so nothing telescopes even though the sum is negative.
+        let cycle = vec![
+            edge(Some("x"), Some("y"), -1, false),
+            edge(Some("z"), Some("x"), 0, false),
+        ];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.has(LintCode::DlCycleBroken), "{report}");
+    }
+
+    #[test]
+    fn empty_cycle_is_l503() {
+        let script = parse(UNSAT_DL);
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &[],
+        });
+        assert!(report.has(LintCode::DlCycleBroken), "{report}");
+    }
+
+    #[test]
+    fn nonnegative_sum_is_l504() {
+        let script = parse(
+            "(declare-fun x () Int)(declare-fun y () Int)
+             (assert (<= (- x y) 1))(assert (<= (- y x) (- 1)))
+             (check-sat)",
+        );
+        // A zero-sum cycle of non-strict edges is satisfiable (x = y + 1).
+        let cycle = vec![
+            edge(Some("x"), Some("y"), 1, false),
+            edge(Some("y"), Some("x"), -1, false),
+        ];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.has(LintCode::DlCycleNonNegative), "{report}");
+    }
+
+    #[test]
+    fn zero_sum_with_strict_edge_is_clean() {
+        let script = parse(
+            "(declare-fun a () Real)(declare-fun b () Real)
+             (assert (< (- a b) 1.0))(assert (<= (- b a) (- 1.0)))
+             (check-sat)",
+        );
+        let cycle = vec![
+            DlCycleEdge {
+                x: Some("a".into()),
+                y: Some("b".into()),
+                bound: BigRational::one(),
+                strict: true,
+            },
+            DlCycleEdge {
+                x: Some("b".into()),
+                y: Some("a".into()),
+                bound: -BigRational::one(),
+                strict: false,
+            },
+        ];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+
+    #[test]
+    fn origin_self_loop_from_asserted_false_is_clean() {
+        let script = parse("(declare-fun x () Int)(assert false)(check-sat)");
+        let cycle = vec![edge(None, None, -1, false)];
+        let report = dl_certificate(&DlClaim {
+            original: &script,
+            cycle: &cycle,
+        });
+        assert!(report.is_clean(), "{report}");
+    }
+}

@@ -13,6 +13,7 @@
 //! | [`correspondence`] | `L201`–`L204` | φ⁻¹ covers the original symbols; sort pairs correspond; widths are monotone over the inference |
 //! | [`model_shape`] | `L301`–`L302` | a candidate model assigns every free symbol a value of its declared sort |
 //! | [`bound_certificate`] | `L401`–`L405` | an a-priori bound certificate re-derives from the original script: fragment class, coefficient ledger, certified width, and per-variable coverage all cross-check |
+//! | [`dl_certificate`] | `L501`–`L504` | a difference-logic unsat's negative cycle re-derives from the original script: fragment membership, per-edge entailment, cyclic chaining, and a negative bound sum all cross-check |
 //!
 //! The passes are pure functions over `staub-smtlib` data, so they can run
 //! between pipeline stages (see the `check` knob in `staub-core`), from the
@@ -23,6 +24,7 @@
 pub mod bounded;
 pub mod bounds;
 pub mod correspondence;
+pub mod dl;
 pub mod model;
 pub mod report;
 pub mod resort;
@@ -30,6 +32,7 @@ pub mod resort;
 pub use bounded::boundedness;
 pub use bounds::{bound_certificate, BoundClaim};
 pub use correspondence::{correspondence, Correspondence};
+pub use dl::{dl_certificate, DlClaim, DlCycleEdge};
 pub use model::model_shape;
 pub use report::{Finding, LintCode, LintReport, Severity};
 pub use resort::resort;

@@ -9,6 +9,7 @@ use std::fmt;
 /// * `L2xx` — correspondence (φ totality and width monotonicity)
 /// * `L3xx` — model shape
 /// * `L4xx` — bound certificates (a-priori completeness claims)
+/// * `L5xx` — difference-logic negative-cycle certificates
 ///
 /// Codes are part of the tool's stable output: tests and downstream
 /// tooling match on them, so variants may be added but never renumbered.
@@ -66,6 +67,18 @@ pub enum LintCode {
     /// certificate's per-variable bounds (or bounded below the certified
     /// width) — it escaped the analysis.
     UncoveredVariable,
+    /// `L501`: a difference-logic verdict is claimed for a script that is
+    /// not a difference-logic conjunction under independent re-derivation.
+    DlFragmentMismatch,
+    /// `L502`: a claimed negative-cycle edge is not entailed by any atom
+    /// the original script asserts.
+    DlEdgeUnasserted,
+    /// `L503`: the claimed negative cycle does not chain cyclically (or is
+    /// empty), so its bound sum proves nothing.
+    DlCycleBroken,
+    /// `L504`: the claimed cycle's bounds do not sum below zero (nor to
+    /// zero with a strict edge) — no contradiction follows.
+    DlCycleNonNegative,
 }
 
 impl LintCode {
@@ -89,6 +102,10 @@ impl LintCode {
             LintCode::CertifiedWidthUnsound => "L403",
             LintCode::UsedWidthBelowCertificate => "L404",
             LintCode::UncoveredVariable => "L405",
+            LintCode::DlFragmentMismatch => "L501",
+            LintCode::DlEdgeUnasserted => "L502",
+            LintCode::DlCycleBroken => "L503",
+            LintCode::DlCycleNonNegative => "L504",
         }
     }
 
@@ -112,6 +129,10 @@ impl LintCode {
             LintCode::CertifiedWidthUnsound => "certified-width-unsound",
             LintCode::UsedWidthBelowCertificate => "used-width-below-certificate",
             LintCode::UncoveredVariable => "uncovered-variable",
+            LintCode::DlFragmentMismatch => "dl-fragment-mismatch",
+            LintCode::DlEdgeUnasserted => "dl-edge-unasserted",
+            LintCode::DlCycleBroken => "dl-cycle-broken",
+            LintCode::DlCycleNonNegative => "dl-cycle-non-negative",
         }
     }
 
@@ -137,6 +158,10 @@ impl LintCode {
             LintCode::CertifiedWidthUnsound,
             LintCode::UsedWidthBelowCertificate,
             LintCode::UncoveredVariable,
+            LintCode::DlFragmentMismatch,
+            LintCode::DlEdgeUnasserted,
+            LintCode::DlCycleBroken,
+            LintCode::DlCycleNonNegative,
         ]
     }
 }
@@ -293,7 +318,7 @@ mod tests {
             prev = s.to_string();
         }
         // The registry covers every family the header documents.
-        for family in ["L0", "L1", "L2", "L3", "L4"] {
+        for family in ["L0", "L1", "L2", "L3", "L4", "L5"] {
             assert!(
                 all.iter().any(|c| c.code().starts_with(family)),
                 "family {family}xx has no registered code"

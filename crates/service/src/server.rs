@@ -1044,6 +1044,48 @@ mod tests {
     }
 
     #[test]
+    fn dl_unsat_repeat_hits_the_cache_with_dl_provenance() {
+        let server = Server::start(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        // A planted negative cycle: x − y ≤ 1 together with y − x < −1.
+        let req = SolveRequest {
+            id: Some("dl1".into()),
+            constraint: "(declare-fun x () Int)(declare-fun y () Int)\
+                         (assert (<= (- x y) 1))(assert (< (- y x) (- 1)))\
+                         (check-sat)"
+                .into(),
+            timeout_ms: None,
+            steps: None,
+            no_cache: false,
+        };
+        let first = solve_one(&inner, 1, &req);
+        assert!(first.contains("\"verdict\":\"unsat\""), "{first}");
+        assert!(first.contains("\"cache\":\"miss\""), "{first}");
+        assert!(first.contains("\"winner\":\"dl/"), "{first}");
+        // The repeat is α-renamed, flips one comparison (`>=` vs `<=`),
+        // and spells the strict Int bound in its tightened non-strict
+        // form — all folded away by canonicalization, so the answer must
+        // come from the cache, `dl/` winner intact, with no lanes run
+        // (`stats:null` is only ever emitted on the lane-free hit path).
+        let renamed = SolveRequest {
+            constraint: "(declare-fun a () Int)(declare-fun b () Int)\
+                         (assert (>= 1 (- a b)))(assert (<= (- b a) (- 2)))\
+                         (check-sat)"
+                .into(),
+            ..req.clone()
+        };
+        let second = solve_one(&inner, 1, &renamed);
+        assert!(second.contains("\"cache\":\"hit\""), "{second}");
+        assert!(second.contains("\"verdict\":\"unsat\""), "{second}");
+        assert!(second.contains("\"winner\":\"dl/"), "{second}");
+        assert!(second.contains("\"stats\":null"), "{second}");
+        let stats = inner.cache.as_ref().unwrap().stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
     fn no_cache_flag_bypasses_the_cache() {
         let server = Server::start(tiny_config()).expect("bind loopback");
         let inner = Arc::clone(&server.inner);

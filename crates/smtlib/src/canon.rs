@@ -49,6 +49,7 @@ use staub_numeric::{BigInt, BigRational};
 
 use crate::op::Op;
 use crate::script::Script;
+use crate::sort::Sort;
 use crate::term::{SymbolId, TermId, TermStore};
 
 /// 128-bit FNV-1a, the fingerprint hash. Collisions are guarded by full
@@ -149,7 +150,7 @@ enum Lit {
 /// identically. Division by zero is left unfolded (it has no literal
 /// value). A folded term is treated as a leaf by every pass: its
 /// arguments are never visited.
-fn fold_constants(store: &TermStore, ids: &[TermId]) -> Vec<Option<String>> {
+fn fold_constants(store: &TermStore, ids: &[TermId]) -> (Vec<Option<String>>, Vec<Option<Lit>>) {
     let mut lit: Vec<Option<Lit>> = vec![None; ids.len()];
     let mut folded: Vec<Option<String>> = vec![None; ids.len()];
     for &id in ids {
@@ -182,7 +183,89 @@ fn fold_constants(store: &TermStore, ids: &[TermId]) -> Vec<Option<String>> {
         };
         lit[id.index()] = value;
     }
-    folded
+    (folded, lit)
+}
+
+/// Normalized view of a comparison term, applied uniformly by every pass
+/// below so that equivalent inequality spellings share one canonical form:
+///
+/// * `(>= a b)` / `(> a b)` flip to `(<= b a)` / `(< b a)` (chains reverse
+///   whole), and
+/// * a binary *strict* Int comparison against a folded integer literal
+///   tightens to the non-strict form — `(< t c)` ⇔ `(<= t c-1)` and
+///   `(< c t)` ⇔ `(<= c+1 t)` over ℤ.
+///
+/// The tightened literal never exists as an interned term, so an
+/// overridden slot carries its leaf tag directly and the original literal
+/// child is neither traversed nor serialised through this parent.
+struct CmpNorm {
+    /// The normalized head (`Op::Le` or `Op::Lt`).
+    op: Op,
+    /// Arguments in normalized order.
+    args: Vec<TermId>,
+    /// Per-slot replacement leaf tag (the bumped literal), when tightened.
+    overrides: Vec<Option<String>>,
+}
+
+/// Computes the [`CmpNorm`] of every comparison term (`None` elsewhere).
+fn normalize_cmps(store: &TermStore, ids: &[TermId], lit: &[Option<Lit>]) -> Vec<Option<CmpNorm>> {
+    let mut norm: Vec<Option<CmpNorm>> = Vec::with_capacity(ids.len());
+    for &id in ids {
+        let t = store.term(id);
+        let n = match t.op() {
+            Op::Le | Op::Lt | Op::Ge | Op::Gt => {
+                let mut args = t.args().to_vec();
+                if matches!(t.op(), Op::Ge | Op::Gt) {
+                    args.reverse();
+                }
+                let mut op = if matches!(t.op(), Op::Lt | Op::Gt) {
+                    Op::Lt
+                } else {
+                    Op::Le
+                };
+                let mut overrides: Vec<Option<String>> = vec![None; args.len()];
+                if op == Op::Lt && args.len() == 2 {
+                    let ints = args.iter().all(|&a| store.sort(a) == Sort::Int);
+                    let la = &lit[args[0].index()];
+                    let lb = &lit[args[1].index()];
+                    match (ints, la, lb) {
+                        // Both literal: tighten the right-hand side.
+                        (true, _, Some(Lit::Int(c))) => {
+                            op = Op::Le;
+                            overrides[1] = Some(format!("i{}", c - &BigInt::from(1)));
+                        }
+                        (true, Some(Lit::Int(c)), None) => {
+                            op = Op::Le;
+                            overrides[0] = Some(format!("i{}", c + &BigInt::from(1)));
+                        }
+                        _ => {}
+                    }
+                }
+                Some(CmpNorm {
+                    op,
+                    args,
+                    overrides,
+                })
+            }
+            _ => None,
+        };
+        norm.push(n);
+    }
+    norm
+}
+
+/// Interns one serialised node row, deduplicating by content.
+fn intern_row(row: String, row_of: &mut HashMap<String, usize>, table: &mut String) -> usize {
+    match row_of.get(&row) {
+        Some(&existing) => existing,
+        None => {
+            let fresh = row_of.len();
+            table.push_str(&row);
+            table.push(';');
+            row_of.insert(row, fresh);
+            fresh
+        }
+    }
 }
 
 /// A script's canonical form: a stable fingerprint, the full canonical key
@@ -230,8 +313,10 @@ pub fn canonicalize(script: &Script) -> Canonical {
 
     // Constant folding: a term with a constant tag is a leaf from here on
     // (see `fold_constants` for why `(- 20)` must fold to the literal
-    // `-20` and `(/ 321.0 16.0)` to `321/16`).
-    let folded = fold_constants(store, &ids);
+    // `-20` and `(/ 321.0 16.0)` to `321/16`). Comparisons are then viewed
+    // through their normalized spelling (see `CmpNorm`) by every pass.
+    let (folded, lit) = fold_constants(store, &ids);
+    let cmp_norm = normalize_cmps(store, &ids, &lit);
 
     // Reachability from the assertion roots, recording each variable's
     // (hash-consed, hence unique) term. Unreachable terms never touch the
@@ -279,6 +364,20 @@ pub fn canonicalize(script: &Script) -> Canonical {
                 continue;
             }
             let t = store.term(id);
+            if let Some(nm) = &cmp_norm[i] {
+                let tag = op_tag(store, &nm.op, |_| usize::MAX);
+                let child: Vec<u128> = nm
+                    .args
+                    .iter()
+                    .zip(&nm.overrides)
+                    .map(|(a, ov)| match ov {
+                        Some(leaf) => combine(leaf, &[]),
+                        None => shape[a.index()],
+                    })
+                    .collect();
+                shape[i] = combine(&tag, &child);
+                continue;
+            }
             let tag = match t.op() {
                 Op::Var(sym) => {
                     format!("v({:032x}):{}", colour[sym], store.symbol_sort(*sym))
@@ -310,6 +409,14 @@ pub fn canonicalize(script: &Script) -> Canonical {
                 continue;
             }
             let t = store.term(id);
+            if let Some(nm) = &cmp_norm[i] {
+                for (slot, (&a, ov)) in nm.args.iter().zip(&nm.overrides).enumerate() {
+                    if ov.is_none() {
+                        parts[a.index()].push(combine("at", &[ctx[i], shape[i], slot as u128]));
+                    }
+                }
+                continue;
+            }
             let comm = is_commutative(t.op());
             for (slot, &a) in t.args().iter().enumerate() {
                 let pos = if comm { u128::MAX } else { slot as u128 };
@@ -363,7 +470,16 @@ pub fn canonicalize(script: &Script) -> Canonical {
                     vars.len() - 1
                 });
             }
-            let mut order: Vec<TermId> = t.args().to_vec();
+            let mut order: Vec<TermId> = match &cmp_norm[id.index()] {
+                Some(nm) => nm
+                    .args
+                    .iter()
+                    .zip(&nm.overrides)
+                    .filter(|(_, ov)| ov.is_none())
+                    .map(|(&a, _)| a)
+                    .collect(),
+                None => t.args().to_vec(),
+            };
             if is_commutative(t.op()) {
                 let mut keyed: Vec<(u128, usize, TermId)> = order
                     .iter()
@@ -394,6 +510,20 @@ pub fn canonicalize(script: &Script) -> Canonical {
             continue;
         }
         let t = store.term(id);
+        if let Some(nm) = &cmp_norm[i] {
+            let tag = op_tag(store, &nm.op, |sym| var_index[&sym]);
+            let child: Vec<u128> = nm
+                .args
+                .iter()
+                .zip(&nm.overrides)
+                .map(|(a, ov)| match ov {
+                    Some(leaf) => combine(leaf, &[]),
+                    None => chash[a.index()],
+                })
+                .collect();
+            chash[i] = combine(&tag, &child);
+            continue;
+        }
         let tag = op_tag(store, t.op(), |sym| var_index[&sym]);
         let mut child: Vec<u128> = t.args().iter().map(|a| chash[a.index()]).collect();
         if is_commutative(t.op()) {
@@ -412,17 +542,58 @@ pub fn canonicalize(script: &Script) -> Canonical {
     let mut table = String::new();
     let mut node_of: HashMap<TermId, usize> = HashMap::new();
     let mut row_of: HashMap<String, usize> = HashMap::new();
-    // (term, expanded) pairs: the first pop schedules the children, the
-    // second (expanded) pop emits the node.
-    let mut walk: Vec<(TermId, bool)> = Vec::new();
+    // `Term(id, expanded)` pairs: the first pop schedules the children,
+    // the second (expanded) pop emits the node. `Leaf` interns a synthetic
+    // tightened-literal row at the DFS position the original literal child
+    // would have occupied, so node numbering matches a genuinely
+    // non-strict spelling of the same constraint.
+    enum WalkItem {
+        Term(TermId, bool),
+        Leaf(String),
+    }
+    let mut walk: Vec<WalkItem> = Vec::new();
     for &root in &final_roots {
-        walk.push((root, false));
-        while let Some((id, expanded)) = walk.pop() {
+        walk.push(WalkItem::Term(root, false));
+        while let Some(item) = walk.pop() {
+            let (id, expanded) = match item {
+                WalkItem::Term(id, expanded) => (id, expanded),
+                WalkItem::Leaf(row) => {
+                    intern_row(row, &mut row_of, &mut table);
+                    continue;
+                }
+            };
             if node_of.contains_key(&id) {
                 continue;
             }
             let row = if let Some(tag) = &folded[id.index()] {
                 format!("{tag}()")
+            } else if let Some(nm) = &cmp_norm[id.index()] {
+                if !expanded {
+                    walk.push(WalkItem::Term(id, true));
+                    for (&a, ov) in nm.args.iter().zip(&nm.overrides).rev() {
+                        match ov {
+                            Some(leaf) => walk.push(WalkItem::Leaf(format!("{leaf}()"))),
+                            None => walk.push(WalkItem::Term(a, false)),
+                        }
+                    }
+                    continue;
+                }
+                let mut row = op_tag(store, &nm.op, |sym| var_index[&sym]);
+                row.push('(');
+                for (i, (a, ov)) in nm.args.iter().zip(&nm.overrides).enumerate() {
+                    if i > 0 {
+                        row.push(',');
+                    }
+                    // A tightened literal exists only as a leaf tag; give
+                    // it a (deduplicated) row of its own.
+                    let entry = match ov {
+                        Some(leaf) => intern_row(format!("{leaf}()"), &mut row_of, &mut table),
+                        None => node_of[a],
+                    };
+                    row.push_str(&entry.to_string());
+                }
+                row.push(')');
+                row
             } else {
                 let t = store.term(id);
                 let mut order: Vec<TermId> = t.args().to_vec();
@@ -436,9 +607,9 @@ pub fn canonicalize(script: &Script) -> Canonical {
                     order = keyed.into_iter().map(|(_, _, a)| a).collect();
                 }
                 if !expanded {
-                    walk.push((id, true));
+                    walk.push(WalkItem::Term(id, true));
                     for &a in order.iter().rev() {
-                        walk.push((a, false));
+                        walk.push(WalkItem::Term(a, false));
                     }
                     continue;
                 }
@@ -453,16 +624,7 @@ pub fn canonicalize(script: &Script) -> Canonical {
                 row.push(')');
                 row
             };
-            let node = match row_of.get(&row) {
-                Some(&existing) => existing,
-                None => {
-                    let fresh = row_of.len();
-                    row_of.insert(row.clone(), fresh);
-                    table.push_str(&row);
-                    table.push(';');
-                    fresh
-                }
-            };
+            let node = intern_row(row, &mut row_of, &mut table);
             node_of.insert(id, node);
         }
     }
@@ -594,6 +756,48 @@ mod tests {
         // (x*x) appears twice in the DAG but once in the table.
         let c = canon("(declare-fun x () Int)(assert (= (+ (* x x) (* x x)) 8))");
         assert_eq!(c.key.matches("*(").count(), 1);
+    }
+
+    #[test]
+    fn comparison_direction_is_invisible() {
+        // `(>= c t)` is the same constraint as `(<= t c)`; both spell the
+        // difference-logic edge `x - y <= 3`.
+        let a = canon(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (<= (- x y) 3))",
+        );
+        let b = canon(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (>= 3 (- x y)))",
+        );
+        assert_eq!(a.key, b.key);
+        assert_eq!(a.fingerprint, b.fingerprint);
+    }
+
+    #[test]
+    fn strict_int_comparisons_tighten_to_nonstrict() {
+        // Over Int, `(< x 5)` is `(<= x 4)` — one cache entry, not two.
+        let a = canon("(declare-fun x () Int)(assert (< x 5))");
+        let b = canon("(declare-fun x () Int)(assert (<= x 4))");
+        assert_eq!(a.key, b.key);
+        // And on the other side: `(< 4 x)` is `(<= 5 x)`.
+        let c = canon("(declare-fun x () Int)(assert (< 4 x))");
+        let d = canon("(declare-fun x () Int)(assert (<= 5 x))");
+        assert_eq!(c.key, d.key);
+        // `(> x 4)` flips to `(< 4 x)` and then tightens the same way.
+        let e = canon("(declare-fun x () Int)(assert (> x 4))");
+        assert_eq!(c.key, e.key);
+        assert_ne!(a.key, c.key);
+    }
+
+    #[test]
+    fn real_strictness_is_preserved() {
+        // No integrality to exploit over Real: strict stays strict.
+        let a = canon("(declare-fun r () Real)(assert (< r 1.0))");
+        let b = canon("(declare-fun r () Real)(assert (<= r 1.0))");
+        let c = canon("(declare-fun r () Real)(assert (<= r 0.0))");
+        assert_ne!(a.key, b.key);
+        assert_ne!(a.key, c.key);
     }
 
     #[test]

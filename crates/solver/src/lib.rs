@@ -46,6 +46,7 @@ pub mod budget;
 pub mod bv;
 pub mod fp;
 pub mod sat;
+pub mod stn;
 
 mod facade;
 mod result;
@@ -54,3 +55,4 @@ pub use budget::{Budget, CancelFlag};
 pub use bv::BvSession;
 pub use facade::{is_bit_blastable, SolveOutcome, Solver, SolverProfile};
 pub use result::{SatResult, SolverStats, UnknownReason};
+pub use stn::{DlWeight, Stn, StnEdge, StnStatus};

@@ -1,0 +1,560 @@
+//! An incremental simple-temporal-network (STN) engine for difference
+//! logic.
+//!
+//! A conjunction of difference constraints `x - y ≤ c` is feasible iff the
+//! constraint graph — one node per variable, an edge `y → x` of weight `c`
+//! per constraint — has no negative cycle (Bellman–Ford duality). This
+//! module maintains that graph *incrementally*, in the style of Cotton &
+//! Maler's consistency algorithm:
+//!
+//! * A **potential function** `π` is kept feasible at all times:
+//!   `π(v) ≤ π(u) + w` for every edge `u → v` of weight `w` (every edge
+//!   encodes `val(v) - val(u) ≤ w`). The potential *is* a satisfying
+//!   valuation, so `sat` answers come with a model for free.
+//! * **Asserting an edge** that already respects `π` is O(1). Otherwise a
+//!   queue-based relaxation repairs `π` starting from the edge's head; the
+//!   system is infeasible iff the repair wave improves the edge's *tail* —
+//!   at which point the parent chain plus the new edge is a **negative
+//!   cycle**, returned as the unsat explanation.
+//! * **Strict** constraints are handled with infinitesimals: weights are
+//!   pairs `q + e·ε` compared lexicographically, and [`Stn::solution`]
+//!   materializes a concrete `ε > 0` small enough for every edge's slack.
+//! * **push/pop** trail edges per frame: popping truncates the edge arena
+//!   (adjacency lists pop from their tails) and revives feasibility — `π`
+//!   was feasible for the surviving prefix when those edges were asserted
+//!   and is only ever repaired monotonically, so no recomputation is
+//!   needed. This is what lets a warm [`Stn`] live inside a session across
+//!   checks the way `BvSession` does for bit-blasted constraints.
+//!
+//! The procedure is a *decision procedure* — complete for difference logic
+//! — so both its verdicts are trustworthy; the scheduler still re-verifies
+//! `sat` models by exact evaluation and cross-checks `unsat` cycles with
+//! the independent `L5xx` lint family before trusting them.
+
+use std::collections::VecDeque;
+
+use staub_numeric::BigRational;
+
+use crate::budget::Budget;
+
+/// A difference-logic weight `q + e·ε`, compared lexicographically (the
+/// derived `Ord` on `(q, e)` is exactly that). A strict bound `x - y < c`
+/// is the weight `(c, -1)`; non-strict is `(c, 0)`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct DlWeight {
+    /// The rational part.
+    pub q: BigRational,
+    /// The infinitesimal coefficient (counts strict edges on a path).
+    pub e: i64,
+}
+
+impl DlWeight {
+    /// The weight of one constraint bound: `(c, -1)` when strict.
+    pub fn new(q: BigRational, strict: bool) -> DlWeight {
+        DlWeight {
+            q,
+            e: if strict { -1 } else { 0 },
+        }
+    }
+
+    /// The additive identity.
+    pub fn zero() -> DlWeight {
+        DlWeight {
+            q: BigRational::zero(),
+            e: 0,
+        }
+    }
+
+    /// Lexicographic `< 0` — what makes a cycle *negative*.
+    pub fn is_negative(&self) -> bool {
+        self.q.is_negative() || (self.q.is_zero() && self.e < 0)
+    }
+
+    fn plus(&self, other: &DlWeight) -> DlWeight {
+        DlWeight {
+            q: &self.q + &other.q,
+            e: self.e.saturating_add(other.e),
+        }
+    }
+}
+
+/// One asserted difference constraint as a graph edge: `u → v` of weight
+/// `w` encodes `val(v) - val(u) ≤ w`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StnEdge {
+    /// Tail node (the subtracted variable).
+    pub from: u32,
+    /// Head node (the bounded variable).
+    pub to: u32,
+    /// The bound.
+    pub weight: DlWeight,
+}
+
+/// Outcome of asserting an edge.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum StnStatus {
+    /// The system (still) has a satisfying valuation — read it off
+    /// [`Stn::solution`].
+    Feasible,
+    /// A negative cycle exists — read it off [`Stn::cycle`].
+    Infeasible,
+    /// The relaxation budget ran out mid-repair; the engine is poisoned
+    /// until the triggering edge is popped.
+    Exhausted,
+}
+
+/// The incremental STN solver. Node `0` is the implicit zero origin, so
+/// single-variable bounds are edges to/from the origin and constant atoms
+/// are origin self-loops.
+#[derive(Debug, Clone, Default)]
+pub struct Stn {
+    /// Feasible potential (one entry per node); doubles as the model.
+    potential: Vec<DlWeight>,
+    /// Edge arena in assertion order — the push/pop trail.
+    edges: Vec<StnEdge>,
+    /// Outgoing edge indices per node; tails always match the arena order.
+    out: Vec<Vec<u32>>,
+    /// Edge counts at `push` marks.
+    frames: Vec<usize>,
+    /// Edge whose assertion exposed a negative cycle, if any.
+    infeasible_at: Option<u32>,
+    /// The negative cycle (edge indices, in forward chain order).
+    cycle: Vec<u32>,
+    /// Edge whose assertion exhausted the budget, if any.
+    poisoned_at: Option<u32>,
+    /// Total queue relaxation steps performed (reported as propagations).
+    relaxations: u64,
+    // Relaxation scratch, reused across asserts.
+    dist: Vec<DlWeight>,
+    parent: Vec<Option<u32>>,
+    on_queue: Vec<bool>,
+    queue: VecDeque<u32>,
+}
+
+/// The implicit zero-origin node.
+pub const ORIGIN: u32 = 0;
+
+impl Stn {
+    /// An empty network containing only the zero origin.
+    pub fn new() -> Stn {
+        let mut stn = Stn {
+            potential: Vec::new(),
+            edges: Vec::new(),
+            out: Vec::new(),
+            frames: Vec::new(),
+            infeasible_at: None,
+            cycle: Vec::new(),
+            poisoned_at: None,
+            relaxations: 0,
+            dist: Vec::new(),
+            parent: Vec::new(),
+            on_queue: Vec::new(),
+            queue: VecDeque::new(),
+        };
+        let origin = stn.add_node();
+        debug_assert_eq!(origin, ORIGIN);
+        stn
+    }
+
+    /// Adds a node (initial value 0 — trivially feasible, since a fresh
+    /// node has no edges). Nodes are never removed, even by `pop`.
+    pub fn add_node(&mut self) -> u32 {
+        let id = self.potential.len() as u32;
+        self.potential.push(DlWeight::zero());
+        self.out.push(Vec::new());
+        self.dist.push(DlWeight::zero());
+        self.parent.push(None);
+        self.on_queue.push(false);
+        id
+    }
+
+    /// Number of nodes, origin included.
+    pub fn num_nodes(&self) -> usize {
+        self.potential.len()
+    }
+
+    /// Number of asserted edges (across all frames).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// `true` while no asserted edge has exposed a negative cycle and no
+    /// assert ran out of budget.
+    pub fn is_feasible(&self) -> bool {
+        self.infeasible_at.is_none() && self.poisoned_at.is_none()
+    }
+
+    /// The negative cycle of the current infeasibility (edge indices in
+    /// forward chain order: each edge's head is the next edge's tail).
+    pub fn cycle(&self) -> &[u32] {
+        &self.cycle
+    }
+
+    /// The edge at `idx`.
+    pub fn edge(&self, idx: u32) -> &StnEdge {
+        &self.edges[idx as usize]
+    }
+
+    /// Queue relaxation steps performed so far.
+    pub fn relaxations(&self) -> u64 {
+        self.relaxations
+    }
+
+    /// Opens a backtracking frame.
+    pub fn push(&mut self) {
+        self.frames.push(self.edges.len());
+    }
+
+    /// Discards every edge asserted since the matching [`Stn::push`];
+    /// returns `false` at the base level. Also clears an infeasibility or
+    /// budget poisoning triggered inside the frame (a trigger always has
+    /// an index at or past the frame mark).
+    pub fn pop(&mut self) -> bool {
+        let Some(mark) = self.frames.pop() else {
+            return false;
+        };
+        for ei in (mark..self.edges.len()).rev() {
+            let from = self.edges[ei].from as usize;
+            let popped = self.out[from].pop();
+            debug_assert_eq!(popped, Some(ei as u32));
+        }
+        self.edges.truncate(mark);
+        if self.infeasible_at.is_some_and(|i| i as usize >= mark) {
+            self.infeasible_at = None;
+            self.cycle.clear();
+        }
+        if self.poisoned_at.is_some_and(|i| i as usize >= mark) {
+            self.poisoned_at = None;
+        }
+        true
+    }
+
+    /// Asserts `val(to) - val(from) ≤ weight` and repairs the potential.
+    ///
+    /// The edge is recorded unconditionally (uniform trailing, so `pop`
+    /// never needs to know how the assert ended). One budget step is
+    /// consumed per assert plus one per relaxation-queue pop; running out
+    /// poisons the engine until the triggering edge is popped.
+    pub fn assert_edge(
+        &mut self,
+        from: u32,
+        to: u32,
+        weight: DlWeight,
+        budget: &Budget,
+    ) -> StnStatus {
+        let idx = self.edges.len() as u32;
+        self.edges.push(StnEdge { from, to, weight });
+        self.out[from as usize].push(idx);
+        if self.poisoned_at.is_some() || budget.consume(1) {
+            self.poisoned_at.get_or_insert(idx);
+            return StnStatus::Exhausted;
+        }
+        if self.infeasible_at.is_some() {
+            return StnStatus::Infeasible;
+        }
+        if from == to {
+            // A self-loop is the constraint `0 ≤ weight`: a negative one is
+            // its own one-edge negative cycle; otherwise it is vacuous.
+            if self.edges[idx as usize].weight.is_negative() {
+                self.infeasible_at = Some(idx);
+                self.cycle = vec![idx];
+                return StnStatus::Infeasible;
+            }
+            return StnStatus::Feasible;
+        }
+        let cand = self.potential[from as usize].plus(&self.edges[idx as usize].weight);
+        if self.potential[to as usize] <= cand {
+            return StnStatus::Feasible;
+        }
+        // Repair wave from the head. Improvements only ever flow out of
+        // `to`; reaching `from` with an improvement closes a negative
+        // cycle through the new edge (the system was feasible without it).
+        self.dist.clone_from(&self.potential);
+        for p in &mut self.parent {
+            *p = None;
+        }
+        for b in &mut self.on_queue {
+            *b = false;
+        }
+        self.dist[to as usize] = cand;
+        self.parent[to as usize] = Some(idx);
+        self.queue.clear();
+        self.queue.push_back(to);
+        self.on_queue[to as usize] = true;
+        while let Some(u) = self.queue.pop_front() {
+            self.on_queue[u as usize] = false;
+            if budget.consume(1) {
+                self.poisoned_at = Some(idx);
+                return StnStatus::Exhausted;
+            }
+            self.relaxations += 1;
+            for k in 0..self.out[u as usize].len() {
+                let ei = self.out[u as usize][k];
+                let e = &self.edges[ei as usize];
+                if e.from == e.to {
+                    continue; // non-negative self-loops never improve
+                }
+                let v = e.to;
+                let nd = self.dist[u as usize].plus(&e.weight);
+                if nd < self.dist[v as usize] {
+                    if v == from {
+                        self.infeasible_at = Some(idx);
+                        self.cycle = self.extract_cycle(idx, ei, u, to);
+                        return StnStatus::Infeasible;
+                    }
+                    self.dist[v as usize] = nd;
+                    self.parent[v as usize] = Some(ei);
+                    if !self.on_queue[v as usize] {
+                        self.on_queue[v as usize] = true;
+                        self.queue.push_back(v);
+                    }
+                }
+            }
+        }
+        std::mem::swap(&mut self.potential, &mut self.dist);
+        StnStatus::Feasible
+    }
+
+    /// Assembles the negative cycle: the new edge `e_new` (`from → to`),
+    /// the parent path `to → … → u`, and the closing edge `ei`
+    /// (`u → from`). A loop in the parent graph — possible when repeated
+    /// improvements rewired an ancestor — is itself a negative cycle and
+    /// is returned instead (the walk guards every visited node).
+    fn extract_cycle(&self, e_new: u32, ei: u32, u: u32, to: u32) -> Vec<u32> {
+        let mut pos = vec![usize::MAX; self.potential.len()];
+        let mut rev_path: Vec<u32> = Vec::new();
+        pos[u as usize] = 0;
+        let mut cur = u;
+        let mut visited = 1usize;
+        while cur != to {
+            let p = self.parent[cur as usize].expect("parent walk reaches the inserted edge");
+            rev_path.push(p);
+            cur = self.edges[p as usize].from;
+            if pos[cur as usize] != usize::MAX {
+                let start = pos[cur as usize];
+                let mut cycle: Vec<u32> = rev_path[start..].to_vec();
+                cycle.reverse();
+                return cycle;
+            }
+            pos[cur as usize] = visited;
+            visited += 1;
+        }
+        let mut cycle = Vec::with_capacity(rev_path.len() + 2);
+        cycle.push(e_new);
+        cycle.extend(rev_path.iter().rev().copied());
+        cycle.push(ei);
+        cycle
+    }
+
+    /// A satisfying valuation, one rational per node, with the origin not
+    /// necessarily at zero — callers wanting origin-relative values
+    /// subtract entry [`ORIGIN`]. Strict edges are honoured by picking a
+    /// concrete `ε > 0` strictly below every edge's slack ratio. Only
+    /// meaningful while [`Stn::is_feasible`].
+    pub fn solution(&self) -> Vec<BigRational> {
+        debug_assert!(self.is_feasible());
+        // ε must satisfy `Δq + ε·Δe ≤ w.q + ε·w.e` per edge. Lexicographic
+        // feasibility gives `Δq < w.q` whenever `Δe > w.e`, so each such
+        // edge yields the positive bound `ε ≤ (w.q - Δq) / (Δe - w.e)`.
+        let mut eps = BigRational::one();
+        for e in &self.edges {
+            let dq = &self.potential[e.to as usize].q - &self.potential[e.from as usize].q;
+            let de =
+                self.potential[e.to as usize].e - self.potential[e.from as usize].e - e.weight.e;
+            if de > 0 {
+                let slack = &e.weight.q - &dq;
+                let bound = &slack / &BigRational::from(de);
+                if bound < eps {
+                    eps = bound;
+                }
+            }
+        }
+        let eps = &eps / &BigRational::from(2);
+        self.potential
+            .iter()
+            .map(|p| &p.q + &(&eps * &BigRational::from(p.e)))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::time::Duration;
+
+    use super::*;
+
+    fn budget() -> Budget {
+        Budget::new(Duration::from_secs(5), 1_000_000)
+    }
+
+    fn w(q: i64) -> DlWeight {
+        DlWeight::new(BigRational::from(q), false)
+    }
+
+    fn ws(q: i64) -> DlWeight {
+        DlWeight::new(BigRational::from(q), true)
+    }
+
+    /// Every edge must hold under the returned valuation.
+    fn check_solution(stn: &Stn) {
+        let vals = stn.solution();
+        for i in 0..stn.num_edges() {
+            let e = stn.edge(i as u32);
+            let diff = &vals[e.to as usize] - &vals[e.from as usize];
+            if e.weight.e < 0 {
+                assert!(diff < e.weight.q, "strict edge violated");
+            } else {
+                assert!(diff <= e.weight.q, "edge violated");
+            }
+        }
+    }
+
+    #[test]
+    fn feasible_chain_has_model() {
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        let y = stn.add_node();
+        let z = stn.add_node();
+        // x - y <= 3, y - z <= -1, z - x <= 0 (total 2: no negative cycle).
+        assert_eq!(stn.assert_edge(y, x, w(3), &b), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(z, y, w(-1), &b), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(x, z, w(0), &b), StnStatus::Feasible);
+        assert!(stn.is_feasible());
+        check_solution(&stn);
+    }
+
+    #[test]
+    fn negative_cycle_detected_and_sums_negative() {
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        let y = stn.add_node();
+        // x - y <= -2 and y - x <= 1: cycle weight -1.
+        assert_eq!(stn.assert_edge(y, x, w(-2), &b), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(x, y, w(1), &b), StnStatus::Infeasible);
+        assert!(!stn.is_feasible());
+        let cycle = stn.cycle();
+        assert!(!cycle.is_empty());
+        let mut total = DlWeight::zero();
+        for (i, &ei) in cycle.iter().enumerate() {
+            let e = stn.edge(ei);
+            let next = stn.edge(cycle[(i + 1) % cycle.len()]);
+            assert_eq!(e.to, next.from, "cycle edges chain");
+            total = total.plus(&e.weight);
+        }
+        assert!(total.is_negative(), "cycle weight {total:?}");
+    }
+
+    #[test]
+    fn strict_zero_cycle_is_infeasible() {
+        // x - y < 0 and y - x <= 0: rational sum 0 but one strict edge.
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        let y = stn.add_node();
+        assert_eq!(stn.assert_edge(y, x, ws(0), &b), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(x, y, w(0), &b), StnStatus::Infeasible);
+    }
+
+    #[test]
+    fn strict_edges_get_concrete_epsilon() {
+        // 0 < x < 1 over the rationals.
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        assert_eq!(stn.assert_edge(x, ORIGIN, ws(0), &b), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(ORIGIN, x, ws(1), &b), StnStatus::Feasible);
+        check_solution(&stn);
+        let vals = stn.solution();
+        let v = &vals[x as usize] - &vals[ORIGIN as usize];
+        assert!(v.is_positive() && v < BigRational::one());
+    }
+
+    #[test]
+    fn negative_self_loop_is_one_edge_cycle() {
+        let mut stn = Stn::new();
+        let b = budget();
+        assert_eq!(
+            stn.assert_edge(ORIGIN, ORIGIN, w(-1), &b),
+            StnStatus::Infeasible
+        );
+        assert_eq!(stn.cycle().len(), 1);
+    }
+
+    #[test]
+    fn push_pop_restores_feasibility() {
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        let y = stn.add_node();
+        assert_eq!(stn.assert_edge(y, x, w(5), &b), StnStatus::Feasible);
+        stn.push();
+        assert_eq!(stn.assert_edge(x, y, w(-7), &b), StnStatus::Infeasible);
+        assert!(!stn.is_feasible());
+        assert!(stn.pop());
+        assert!(stn.is_feasible());
+        assert_eq!(stn.num_edges(), 1);
+        check_solution(&stn);
+        // The engine stays usable: new frames work after the pop.
+        stn.push();
+        assert_eq!(stn.assert_edge(x, y, w(-3), &b), StnStatus::Feasible);
+        check_solution(&stn);
+        assert!(stn.pop());
+        assert!(!stn.pop(), "base level cannot be popped");
+    }
+
+    #[test]
+    fn exhaustion_poisons_until_popped() {
+        let mut stn = Stn::new();
+        let b = budget();
+        let x = stn.add_node();
+        let y = stn.add_node();
+        stn.push();
+        // A 2-step budget: the first assert's entry fee leaves one step,
+        // which the second assert's entry fee exhausts.
+        let tiny = Budget::new(Duration::from_secs(5), 2);
+        assert_eq!(stn.assert_edge(y, x, w(5), &tiny), StnStatus::Feasible);
+        assert_eq!(stn.assert_edge(x, y, w(-7), &tiny), StnStatus::Exhausted);
+        assert!(!stn.is_feasible());
+        // Poisoned: further asserts refuse.
+        assert_eq!(stn.assert_edge(y, x, w(9), &b), StnStatus::Exhausted);
+        assert!(stn.pop());
+        assert!(stn.is_feasible());
+        assert_eq!(stn.assert_edge(y, x, w(9), &b), StnStatus::Feasible);
+    }
+
+    #[test]
+    fn long_chain_tightening_relaxes_incrementally() {
+        // x0 >= x1 >= ... >= x9, then clamp x0 - x9 from both sides.
+        let mut stn = Stn::new();
+        let b = budget();
+        let nodes: Vec<u32> = (0..10).map(|_| stn.add_node()).collect();
+        for i in 0..9 {
+            // x_{i+1} - x_i <= -1.
+            assert_eq!(
+                stn.assert_edge(nodes[i], nodes[i + 1], w(-1), &b),
+                StnStatus::Feasible
+            );
+        }
+        // x0 - x9 <= 9 is implied-adjacent; <= 8 would close a cycle.
+        assert_eq!(
+            stn.assert_edge(nodes[9], nodes[0], w(9), &b),
+            StnStatus::Feasible
+        );
+        check_solution(&stn);
+        assert!(stn.relaxations() > 0, "tightening forced repairs");
+        stn.push();
+        assert_eq!(
+            stn.assert_edge(nodes[9], nodes[0], w(8), &b),
+            StnStatus::Infeasible
+        );
+        let total: DlWeight = stn
+            .cycle()
+            .iter()
+            .fold(DlWeight::zero(), |acc, &ei| acc.plus(&stn.edge(ei).weight));
+        assert!(total.is_negative());
+        stn.pop();
+        check_solution(&stn);
+    }
+}

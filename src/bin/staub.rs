@@ -230,19 +230,27 @@ fn stats_main(args: Vec<String>) -> ExitCode {
                 // certificate wider than the lane limit is not eligible.
                 let limits = staub::core::correspond::SortLimits::default();
                 let cert = staub::core::certify(&script);
-                let reason = match (
-                    staub::core::complete_width(&script, &limits),
-                    cert.certified_width,
-                ) {
-                    (Some(_), _) => {
-                        "budget exhausted (certified lia fragment; retry with more steps)"
-                            .to_string()
+                let reason = if staub::core::difference_logic(&script).is_some() {
+                    "budget exhausted (difference-logic fragment; retry with more steps)"
+                        .to_string()
+                } else {
+                    match (
+                        staub::core::complete_width(&script, &limits),
+                        cert.certified_width,
+                    ) {
+                        (Some(_), _) => {
+                            "budget exhausted (certified lia fragment; retry with more steps)"
+                                .to_string()
+                        }
+                        (None, Some(w)) => format!(
+                            "linear but not difference logic; certified width {w} exceeds \
+                             the {}-bit lane limit",
+                            limits.max_bv_width
+                        ),
+                        (None, None) => {
+                            format!("ineligible fragment ({})", cert.fragment.name())
+                        }
                     }
-                    (None, Some(w)) => format!(
-                        "certified width {w} exceeds the {}-bit lane limit",
-                        limits.max_bv_width
-                    ),
-                    (None, None) => format!("ineligible fragment ({})", cert.fragment.name()),
                 };
                 println!("; unknown reason: {reason}");
             }
@@ -411,9 +419,10 @@ fn batch_main(args: Vec<String>) -> ExitCode {
     let mut jsonl = String::new();
     let (mut sat, mut unsat, mut cancelled) = (0u32, 0u32, 0u32);
     // Unknown is not one population: a budget unknown might resolve with
-    // more steps, an ineligible-fragment unknown never will (no certified
-    // complete lane exists for it). Report them separately.
-    let (mut unknown_budget, mut unknown_fragment) = (0u32, 0u32);
+    // more steps, a linear-non-dl unknown needs a wider certified lane,
+    // and an ineligible-fragment unknown never decides (no complete lane
+    // of any kind exists for it). Report the three buckets separately.
+    let (mut unknown_budget, mut unknown_linear, mut unknown_fragment) = (0u32, 0u32, 0u32);
     for report in &reports {
         jsonl.push_str(&report.to_jsonl());
         jsonl.push('\n');
@@ -422,6 +431,7 @@ fn batch_main(args: Vec<String>) -> ExitCode {
             "unsat" => unsat += 1,
             _ => match report.unknown_reason {
                 Some("ineligible-fragment") => unknown_fragment += 1,
+                Some("linear-non-dl") => unknown_linear += 1,
                 _ => unknown_budget += 1,
             },
         }
@@ -452,6 +462,7 @@ fn batch_main(args: Vec<String>) -> ExitCode {
     eprintln!(
         "; {} constraints in {:.1?}: {sat} sat, {unsat} unsat, \
          {unknown_budget} unknown (budget), \
+         {unknown_linear} unknown (linear, no complete lane), \
          {unknown_fragment} unknown (ineligible fragment); \
          {cancelled} lanes cancelled",
         reports.len(),

@@ -1,0 +1,279 @@
+//! Differential property tests for the incremental STN engine and the
+//! difference-logic lane.
+//!
+//! Random difference-logic *tapes* — interleaved `assert` / `push` /
+//! `pop` / `check` operations over a small variable pool — drive the
+//! incremental [`Stn`](staub::solver::Stn) directly, exercising its edge
+//! trail across scope boundaries. At every `check` the STN's verdict is
+//! compared against an unbounded reference solve of the currently-active
+//! conjunction, and each side of the verdict is independently certified:
+//!
+//! * feasible → the STN's rational solution, shifted to the origin, must
+//!   *exactly* evaluate every active assertion to true;
+//! * infeasible → the negative cycle extracted at the failing assert must
+//!   lint clean under the independent `L5xx` re-derivation and have a
+//!   genuinely negative bound sum (or zero with a strict edge).
+//!
+//! A directed test pins the planner side: constraints outside the
+//! fragment never plan the DL lane, difference-logic ones always do.
+
+use std::time::Duration;
+
+use proptest::prelude::*;
+use staub::core::{run_batch_with, BatchConfig, BatchItem, LaneKind, RunOptions};
+use staub::lint::{dl_certificate, DlClaim, DlCycleEdge};
+use staub::numeric::{BigInt, BigRational};
+use staub::smtlib::{evaluate, Model, Script, Sort, Value};
+use staub::solver::{Budget, DlWeight, SatResult, Solver, SolverProfile, Stn, StnStatus};
+
+const VARS: usize = 4;
+/// `0..VARS` are the variables; `VARS` is the implicit origin (a unary
+/// bound through node 0).
+const ORIGIN_SLOT: usize = VARS;
+
+#[derive(Debug, Clone)]
+enum Op {
+    /// Assert `end(x) − end(y) ≤ c` (`<` when strict), where either end
+    /// may be the origin.
+    Assert {
+        x: usize,
+        y: usize,
+        c: i64,
+        strict: bool,
+    },
+    Push,
+    Pop,
+    Check,
+}
+
+fn op_strategy() -> impl Strategy<Value = Op> {
+    // Roughly: 5 asserts : 1 push : 1 pop : 2 checks.
+    (
+        0..9u8,
+        0..=ORIGIN_SLOT,
+        0..=ORIGIN_SLOT,
+        -6i64..=6,
+        any::<bool>(),
+    )
+        .prop_map(|(k, x, y, c, strict)| match k {
+            0..=4 => Op::Assert { x, y, c, strict },
+            5 => Op::Push,
+            6 => Op::Pop,
+            _ => Op::Check,
+        })
+}
+
+/// Builds the currently-active conjunction as a Real-sorted script,
+/// returning the variable symbols in slot order.
+fn active_script(edges: &[(usize, usize, i64, bool)]) -> (Script, Vec<staub::smtlib::SymbolId>) {
+    let mut script = Script::new();
+    let syms: Vec<_> = (0..VARS)
+        .map(|i| {
+            script
+                .declare(&format!("t{i}"), Sort::Real)
+                .expect("fresh symbol")
+        })
+        .collect();
+    let s = script.store_mut();
+    let vars: Vec<_> = syms.iter().map(|&sym| s.var(sym)).collect();
+    let zero = s.real(BigRational::zero());
+    let mut asserts = Vec::new();
+    for &(x, y, c, strict) in edges {
+        let lhs = match (x == ORIGIN_SLOT, y == ORIGIN_SLOT) {
+            (false, false) => s.sub(vars[x], vars[y]).expect("sub"),
+            (false, true) => vars[x],
+            (true, false) => s.sub(zero, vars[y]).expect("sub"),
+            (true, true) => zero,
+        };
+        let c_t = s.real(BigRational::from(BigInt::from(c)));
+        let a = if strict {
+            s.lt(lhs, c_t).expect("lt")
+        } else {
+            s.le(lhs, c_t).expect("le")
+        };
+        asserts.push(a);
+    }
+    for a in asserts {
+        script.assert(a);
+    }
+    script.check_sat();
+    (script, syms)
+}
+
+fn var_name(node: u32) -> Option<String> {
+    (node != 0).then(|| format!("t{}", node - 1))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn stn_tapes_agree_with_the_unbounded_reference(
+        ops in proptest::collection::vec(op_strategy(), 1..48)
+    ) {
+        let mut stn = Stn::new();
+        // Node 0 is the origin; variable i lives at node i + 1.
+        let node: Vec<u32> = (0..VARS).map(|_| stn.add_node()).collect();
+        let node_of = |slot: usize| if slot == ORIGIN_SLOT { 0 } else { node[slot] };
+        let budget = Budget::new(Duration::from_secs(10), 10_000_000);
+        let solver = Solver::new(SolverProfile::Zed)
+            .with_timeout(Duration::from_secs(5))
+            .with_steps(2_000_000);
+
+        // The reference state: active edges plus a frame stack of marks.
+        let mut edges: Vec<(usize, usize, i64, bool)> = Vec::new();
+        let mut frames: Vec<usize> = Vec::new();
+        let mut last_cycle: Vec<DlCycleEdge> = Vec::new();
+
+        for op in &ops {
+            match *op {
+                Op::Assert { x, y, c, strict } => {
+                    let w = DlWeight::new(BigRational::from(BigInt::from(c)), strict);
+                    // A same-variable difference cancels to the constant
+                    // constraint `0 ≤ c`; place it on the origin like the
+                    // fragment detector does, so the extracted cycle names
+                    // the same edges the lint re-derives from the script.
+                    let (nx, ny) = if x == y {
+                        (0, 0)
+                    } else {
+                        (node_of(x), node_of(y))
+                    };
+                    let status = stn.assert_edge(ny, nx, w, &budget);
+                    prop_assert!(status != StnStatus::Exhausted, "budget far oversized");
+                    edges.push((x, y, c, strict));
+                    if status == StnStatus::Infeasible && !stn.cycle().is_empty() {
+                        last_cycle = stn
+                            .cycle()
+                            .iter()
+                            .map(|&i| {
+                                let e = stn.edge(i);
+                                DlCycleEdge {
+                                    x: var_name(e.to),
+                                    y: var_name(e.from),
+                                    bound: e.weight.q.clone(),
+                                    strict: e.weight.e < 0,
+                                }
+                            })
+                            .collect();
+                    }
+                }
+                Op::Push => {
+                    stn.push();
+                    frames.push(edges.len());
+                }
+                Op::Pop => {
+                    if let Some(mark) = frames.pop() {
+                        prop_assert!(stn.pop(), "stack depths diverged");
+                        edges.truncate(mark);
+                    }
+                }
+                Op::Check => {
+                    let (script, syms) = active_script(&edges);
+                    let feasible = stn.is_feasible();
+                    // The unbounded reference must agree wherever it
+                    // decides (these conjunctions are all easy for it).
+                    match solver.solve(&script).result {
+                        SatResult::Sat(_) => prop_assert!(
+                            feasible,
+                            "STN infeasible but reference sat: {edges:?}"
+                        ),
+                        SatResult::Unsat => prop_assert!(
+                            !feasible,
+                            "STN feasible but reference unsat: {edges:?}"
+                        ),
+                        SatResult::Unknown(_) => {}
+                    }
+                    if feasible {
+                        // The solution certifies the sat side: exact
+                        // evaluation, no rounding anywhere.
+                        let vals = stn.solution();
+                        let origin = vals[0].clone();
+                        let mut model = Model::new();
+                        for (i, &sym) in syms.iter().enumerate() {
+                            let v = &vals[node[i] as usize] - &origin;
+                            model.insert(sym, Value::Real(v));
+                        }
+                        for &a in script.assertions() {
+                            prop_assert_eq!(
+                                evaluate(script.store(), a, &model).unwrap(),
+                                Value::Bool(true),
+                                "solution violates an active edge: {:?}",
+                                edges
+                            );
+                        }
+                    } else {
+                        // The cycle certifies the unsat side: the L5xx
+                        // re-derivation must accept it against the active
+                        // conjunction, including the negative-sum check.
+                        prop_assert!(!last_cycle.is_empty(), "infeasible without a cycle");
+                        let report = dl_certificate(&DlClaim {
+                            original: &script,
+                            cycle: &last_cycle,
+                        });
+                        prop_assert!(
+                            report.is_clean(),
+                            "cycle fails the lint:\n{report}\nedges: {edges:?}"
+                        );
+                        let sum: BigRational = last_cycle
+                            .iter()
+                            .map(|e| e.bound.clone())
+                            .fold(BigRational::zero(), |acc, b| &acc + &b);
+                        let strict = last_cycle.iter().any(|e| e.strict);
+                        prop_assert!(
+                            sum.is_negative() || (sum.is_zero() && strict),
+                            "cycle sum {sum:?} is not negative"
+                        );
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// The planner only ever spawns the DL lane inside the fragment: a
+/// coefficient, a nonlinearity, or a disjunction disqualifies the script;
+/// a pure bound-difference conjunction always qualifies.
+#[test]
+fn non_dl_constraints_never_plan_the_lane() {
+    let config = BatchConfig {
+        threads: 1,
+        timeout: Duration::from_millis(200),
+        steps: 10_000,
+        ..BatchConfig::default()
+    };
+    let non_dl = [
+        "(declare-fun x () Int)(declare-fun y () Int)(assert (<= (- (* 2 x) y) 3))",
+        "(declare-fun x () Int)(assert (= (* x x) 49))",
+        "(declare-fun x () Int)(declare-fun y () Int)\
+         (assert (or (<= (- x y) 1) (<= (- y x) 1)))",
+    ];
+    let dl = "(declare-fun x () Int)(declare-fun y () Int)\
+              (assert (<= (- x y) 1))(assert (< (- y x) (- 1)))";
+    let items: Vec<BatchItem> = non_dl
+        .iter()
+        .chain(std::iter::once(&dl))
+        .enumerate()
+        .map(|(i, src)| BatchItem {
+            name: format!("case{i}"),
+            script: Script::parse(src).expect("test source parses"),
+        })
+        .collect();
+    let reports = run_batch_with(&items, &config, &RunOptions::default());
+    for report in &reports[..non_dl.len()] {
+        assert!(
+            report
+                .lanes
+                .iter()
+                .all(|l| !matches!(l.spec.kind, LaneKind::DiffLogic)),
+            "non-DL constraint planned the STN lane"
+        );
+    }
+    let last = reports.last().expect("reports align with items");
+    assert!(
+        last.lanes
+            .iter()
+            .any(|l| matches!(l.spec.kind, LaneKind::DiffLogic)),
+        "DL constraint did not plan the STN lane"
+    );
+    assert_eq!(last.verdict.name(), "unsat");
+}

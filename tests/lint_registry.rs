@@ -8,8 +8,8 @@ use std::collections::HashSet;
 
 use staub::core::certify;
 use staub::lint::{
-    bound_certificate, boundedness, correspondence, model_shape, resort, BoundClaim,
-    Correspondence, LintCode, LintReport,
+    bound_certificate, boundedness, correspondence, dl_certificate, model_shape, resort,
+    BoundClaim, Correspondence, DlClaim, DlCycleEdge, LintCode, LintReport,
 };
 use staub::numeric::{BigInt, BigRational, BitVecValue};
 use staub::smtlib::{Logic, Model, Op, Script, Sort, Value};
@@ -244,6 +244,70 @@ fn l405_uncovered_variable() -> LintReport {
     bound_certificate(&c)
 }
 
+/// `x − y ≤ 1 ∧ y − x ≤ −2` — a genuine negative cycle; each L5xx case
+/// doctors the script or the claimed cycle in exactly one way.
+fn dl_script() -> Script {
+    Script::parse(
+        "(declare-fun x () Int)(declare-fun y () Int)
+         (assert (<= (- x y) 1))(assert (<= (- y x) (- 2)))(check-sat)",
+    )
+    .unwrap()
+}
+
+fn dl_edge(x: &str, y: &str, bound: i64, strict: bool) -> DlCycleEdge {
+    DlCycleEdge {
+        x: Some(x.to_string()),
+        y: Some(y.to_string()),
+        bound: BigRational::from(bound),
+        strict,
+    }
+}
+
+fn l501_dl_fragment_mismatch() -> LintReport {
+    // A coefficient of 2 pushes the script outside the fragment.
+    let script = Script::parse(
+        "(declare-fun x () Int)(declare-fun y () Int)
+         (assert (<= (- (* 2 x) y) 1))(check-sat)",
+    )
+    .unwrap();
+    let cycle = [dl_edge("x", "y", 1, false)];
+    dl_certificate(&DlClaim {
+        original: &script,
+        cycle: &cycle,
+    })
+}
+
+fn l502_dl_edge_unasserted() -> LintReport {
+    // The claimed `x − y ≤ 0` is tighter than the asserted `≤ 1`.
+    let script = dl_script();
+    let cycle = [dl_edge("x", "y", 0, false), dl_edge("y", "x", -2, false)];
+    dl_certificate(&DlClaim {
+        original: &script,
+        cycle: &cycle,
+    })
+}
+
+fn l503_dl_cycle_broken() -> LintReport {
+    // A single edge between distinct variables cannot close a cycle.
+    let script = dl_script();
+    let cycle = [dl_edge("x", "y", 1, false)];
+    dl_certificate(&DlClaim {
+        original: &script,
+        cycle: &cycle,
+    })
+}
+
+fn l504_dl_cycle_non_negative() -> LintReport {
+    // Both edges are asserted (−2 entails −1) but the sum is zero with no
+    // strict edge: refutes nothing.
+    let script = dl_script();
+    let cycle = [dl_edge("x", "y", 1, false), dl_edge("y", "x", -1, false)];
+    dl_certificate(&DlClaim {
+        original: &script,
+        cycle: &cycle,
+    })
+}
+
 #[test]
 fn every_registered_code_has_a_firing_case() {
     let cases: Vec<(LintCode, LintReport)> = vec![
@@ -270,6 +334,10 @@ fn every_registered_code_has_a_firing_case() {
             l404_used_width_below_certificate(),
         ),
         (LintCode::UncoveredVariable, l405_uncovered_variable()),
+        (LintCode::DlFragmentMismatch, l501_dl_fragment_mismatch()),
+        (LintCode::DlEdgeUnasserted, l502_dl_edge_unasserted()),
+        (LintCode::DlCycleBroken, l503_dl_cycle_broken()),
+        (LintCode::DlCycleNonNegative, l504_dl_cycle_non_negative()),
     ];
 
     let mut covered: HashSet<&'static str> = HashSet::new();
