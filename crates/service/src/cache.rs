@@ -32,6 +32,48 @@ use std::sync::Mutex;
 
 use staub_smtlib::Value;
 
+use crate::persist::PersistStatus;
+
+/// What the serve path needs from an answer store, whatever its backing.
+///
+/// The in-memory sharded LRU ([`AnswerCache`]) and the crash-persistent
+/// store ([`crate::persist::PersistentStore`]) both implement this, so
+/// the reactor and the solve path are written once against the trait and
+/// persistence slots in as an implementation rather than a special case.
+/// Implementations must be safe to call from many connection workers at
+/// once (`&self` everywhere).
+pub trait AnswerStore: Send + Sync {
+    /// Looks up a canonical constraint; implementations must compare the
+    /// full `key` on a fingerprint match (collisions degrade to misses,
+    /// never wrong answers).
+    fn lookup(&self, fingerprint: u128, key: &str) -> Option<CachedVerdict>;
+
+    /// Records a sound answer for a canonical constraint.
+    fn record(&self, fingerprint: u128, key: &str, verdict: CachedVerdict);
+
+    /// Point-in-time hit/miss/size counters.
+    fn stats(&self) -> CacheStats;
+
+    /// Durability counters, when this store survives restarts.
+    fn persist_status(&self) -> Option<PersistStatus> {
+        None
+    }
+}
+
+impl AnswerStore for AnswerCache {
+    fn lookup(&self, fingerprint: u128, key: &str) -> Option<CachedVerdict> {
+        self.get(fingerprint, key)
+    }
+
+    fn record(&self, fingerprint: u128, key: &str, verdict: CachedVerdict) {
+        self.insert(fingerprint, key.to_string(), verdict);
+    }
+
+    fn stats(&self) -> CacheStats {
+        AnswerCache::stats(self)
+    }
+}
+
 /// A cached answer for one canonical constraint.
 #[derive(Debug, Clone, PartialEq)]
 pub enum CachedVerdict {
@@ -266,6 +308,21 @@ impl AnswerCache {
                 .sum();
             self.entries.store(resident, Ordering::Relaxed);
         }
+    }
+
+    /// Every resident entry, in no particular order — the snapshot
+    /// writer's view. Holds one shard lock at a time.
+    pub fn dump(&self) -> Vec<(u128, String, CachedVerdict)> {
+        let mut out = Vec::new();
+        for shard in &self.shards {
+            let shard = shard.lock().expect("cache shard poisoned");
+            // Every slab slot is live: eviction recycles slots in place
+            // rather than leaving tombstones.
+            for slot in &shard.slots {
+                out.push((slot.fingerprint, slot.key.clone(), slot.verdict.clone()));
+            }
+        }
+        out
     }
 
     /// Snapshot of the counters.

@@ -19,6 +19,7 @@ use std::time::{Duration, Instant};
 use staub_numeric::{BigInt, BigRational};
 use staub_smtlib::{evaluate, Model, Script, Sort, Value};
 
+use crate::endpoint::{Endpoint, EndpointStream};
 use crate::json::{self, Json};
 use crate::protocol::{LineRead, LineReader};
 
@@ -28,12 +29,25 @@ pub struct Connection<S> {
     reader: LineReader,
 }
 
+impl Connection<EndpointStream> {
+    /// Dials an [`Endpoint`] on either transport (blocking reads;
+    /// responses are caller-paced).
+    ///
+    /// # Errors
+    ///
+    /// Propagates connect failures.
+    pub fn connect(endpoint: &Endpoint) -> io::Result<Connection<EndpointStream>> {
+        Ok(Connection::over(endpoint.connect()?))
+    }
+}
+
 impl Connection<TcpStream> {
     /// Connects over TCP (blocking reads; responses are caller-paced).
     ///
     /// # Errors
     ///
     /// Propagates connect failures.
+    #[deprecated(note = "use `Connection::connect` with an `Endpoint`")]
     pub fn connect_tcp(addr: &str) -> io::Result<Connection<TcpStream>> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
@@ -48,6 +62,7 @@ impl Connection<std::os::unix::net::UnixStream> {
     /// # Errors
     ///
     /// Propagates connect failures.
+    #[deprecated(note = "use `Connection::connect` with an `Endpoint`")]
     pub fn connect_unix(
         path: &std::path::Path,
     ) -> io::Result<Connection<std::os::unix::net::UnixStream>> {
@@ -86,7 +101,7 @@ impl<S: Read + Write> Connection<S> {
                         "server closed the connection before replying",
                     ))
                 }
-                LineRead::TooLong => {
+                LineRead::TooLong { .. } => {
                     return Err(io::Error::new(
                         io::ErrorKind::InvalidData,
                         "response exceeds the line cap",
@@ -319,8 +334,8 @@ pub fn audit_reply(constraint: &str, reply_line: &str) -> Audit {
 /// Load-generator tuning.
 #[derive(Debug, Clone)]
 pub struct LoadgenConfig {
-    /// Server TCP address.
-    pub addr: String,
+    /// Server (or router) endpoint to dial.
+    pub endpoint: Endpoint,
     /// Concurrent client connections.
     pub concurrency: usize,
     /// Times to replay the whole corpus.
@@ -336,7 +351,7 @@ pub struct LoadgenConfig {
 impl Default for LoadgenConfig {
     fn default() -> LoadgenConfig {
         LoadgenConfig {
-            addr: String::new(),
+            endpoint: Endpoint::Tcp(String::new()),
             concurrency: 8,
             repeat: 1,
             no_cache: false,
@@ -460,7 +475,7 @@ pub fn run_loadgen(
             std::thread::Builder::new()
                 .name(format!("loadgen-{worker}"))
                 .spawn_scoped(scope, move || {
-                    let mut conn = match Connection::connect_tcp(&config.addr) {
+                    let mut conn = match Connection::connect(&config.endpoint) {
                         Ok(c) => c,
                         Err(_) => {
                             transport_errors.fetch_add(1, Ordering::Relaxed);
@@ -499,7 +514,7 @@ pub fn run_loadgen(
                             Err(_) => {
                                 transport_errors.fetch_add(1, Ordering::Relaxed);
                                 // The connection is suspect; reconnect.
-                                match Connection::connect_tcp(&config.addr) {
+                                match Connection::connect(&config.endpoint) {
                                     Ok(c) => conn = c,
                                     Err(_) => return,
                                 }

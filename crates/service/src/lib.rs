@@ -17,28 +17,45 @@
 //! * [`protocol`] — request/response shapes, error codes, and the
 //!   size-capped line reader.
 //! * [`cache`] — the sharded LRU answer cache with collision-proof
-//!   full-key comparison.
+//!   full-key comparison, behind the [`cache::AnswerStore`] trait.
+//! * [`persist`] — the crash-persistent answer store (snapshot +
+//!   CRC-framed append-only log, truncated-tail-tolerant warm start).
+//! * [`endpoint`] — the transport-agnostic `tcp:`/`unix:` address type
+//!   shared by server, router, and clients.
 //! * [`server`] — accept loops, admission control, the solve path, and
 //!   graceful drain.
+//! * [`reactor`] — the nonblocking epoll reactor (Linux) that serves many
+//!   idle connections from a fixed worker pool.
+//! * [`route`] — the `staub route` front node: consistent-hash sharding
+//!   of canonical fingerprints across backend servers.
 //! * [`client`] — `staub client` / `staub loadgen` drivers with
 //!   client-side response auditing.
 //! * [`signal`] — the SIGINT/SIGTERM shutdown flag (the workspace's one
-//!   audited `unsafe` exception).
+//!   audited `unsafe` exception; the reactor's epoll FFI is the other).
 
 pub mod cache;
 pub mod client;
+pub mod endpoint;
 pub mod json;
+pub mod persist;
 pub mod protocol;
+pub mod reactor;
+pub mod route;
 pub mod server;
 pub mod signal;
 
-pub use cache::{AnswerCache, CacheConfig, CacheStats, CachedVerdict};
+pub use cache::{AnswerCache, AnswerStore, CacheConfig, CacheStats, CachedVerdict};
 pub use client::{
     assert_request, audit_reply, check_request, health_request, run_loadgen, session_close_request,
     session_open_request, shutdown_request, solve_request, Audit, Connection, LoadgenConfig,
     LoadgenOutcome, RequestRecord,
 };
+pub use endpoint::{Endpoint, EndpointError, EndpointListener, EndpointStream};
+pub use persist::{PersistConfig, PersistStatus, PersistentStore, ReplayReport};
 pub use protocol::{
     parse_request, LineRead, LineReader, ProtocolError, Request, SolveRequest, PROTOCOL_VERSION,
 };
-pub use server::{DrainSummary, ServeConfig, Server};
+pub use route::{RouteConfig, Router};
+#[allow(deprecated)]
+pub use server::ServeConfig;
+pub use server::{DrainSummary, Server, ServerConfig};

@@ -1,0 +1,742 @@
+//! Crash-persistent answer store: snapshot + CRC-framed append-only log.
+//!
+//! A restarted (or freshly spawned) node should not pay the solver again
+//! for verdicts it already earned, so the answer cache can be backed by a
+//! directory holding two files:
+//!
+//! ```text
+//! answers.snap   header, then records — a full dump at compaction time
+//! answers.log    header, then records — every insert since the snapshot
+//! ```
+//!
+//! Both use the same record framing: `len:u32le  crc:u32le  payload`,
+//! where `crc` is CRC-32 (IEEE) of the payload bytes. A record is
+//! replayed only if its length fits the remaining file *and* its CRC
+//! matches; the first violation ends replay — after a torn write or a
+//! bit flip the framing downstream can no longer be trusted, so the tail
+//! is dropped rather than resynchronised. Replay therefore yields a
+//! *prefix* of the entries that were durably written, which is the
+//! soundness argument: every replayed entry is byte-identical to one the
+//! live server inserted, and `sat` entries are additionally re-verified
+//! by exact evaluation on every serve (`server::cache_lookup`), exactly
+//! as in-memory entries are. A corrupted log can lose answers, never
+//! invent them.
+//!
+//! The payload encodes `(fingerprint, canonical key, verdict)`. Model
+//! values are stored with a one-byte sort tag (`B`/`I`/`R`) and their
+//! printed form; entries whose values do not round-trip through text
+//! (bitvector/float models) are served from memory but not persisted —
+//! the restart simply re-solves those, trading durability for never
+//! deserialising a value through an ambiguous spelling.
+//!
+//! Appends flush (and optionally fsync) before the insert returns, so a
+//! SIGKILL loses at most the entry being written — and a torn final
+//! record is exactly the truncated-tail case replay tolerates. When the
+//! log grows past [`PersistConfig::snapshot_every`] records the store
+//! compacts: dump the in-memory cache to `answers.snap.tmp`, rename it
+//! over the snapshot, truncate the log.
+
+use std::fs::{File, OpenOptions};
+use std::io::{self, Read, Write};
+use std::path::{Path, PathBuf};
+use std::str::FromStr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use staub_numeric::{BigInt, BigRational};
+use staub_smtlib::Value;
+
+use crate::cache::{AnswerCache, AnswerStore, CacheConfig, CacheStats, CachedVerdict};
+
+/// File headers, versioned independently of the wire protocol.
+const SNAP_MAGIC: &[u8] = b"STAUB-SNAP1\n";
+const LOG_MAGIC: &[u8] = b"STAUB-LOG1\n";
+
+/// Hard cap on one record's payload, bytes. A length word beyond this is
+/// treated as corruption even if the file happens to be long enough.
+const MAX_RECORD_BYTES: u32 = 16 << 20;
+
+/// Where and how to persist the answer store.
+#[derive(Debug, Clone)]
+pub struct PersistConfig {
+    /// Directory for `answers.snap` / `answers.log` (created if absent).
+    pub dir: PathBuf,
+    /// Compact (snapshot + truncate the log) once the log holds this many
+    /// records.
+    pub snapshot_every: u64,
+    /// `fsync` after every append (flush always happens). Durability
+    /// against power loss vs throughput; process crashes are covered
+    /// either way.
+    pub fsync: bool,
+}
+
+impl PersistConfig {
+    /// Persistence under `dir` with default tuning.
+    pub fn in_dir(dir: impl Into<PathBuf>) -> PersistConfig {
+        PersistConfig {
+            dir: dir.into(),
+            snapshot_every: 8192,
+            fsync: false,
+        }
+    }
+}
+
+/// Durability counters, surfaced in the v3 `health` reply's `persist`
+/// block.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PersistStatus {
+    /// Entries loaded from the snapshot at boot.
+    pub snapshot_entries: u64,
+    /// Records currently in the append-only log.
+    pub log_records: u64,
+    /// Bytes currently in the append-only log.
+    pub log_bytes: u64,
+    /// Entries replayed into memory at boot (snapshot + log).
+    pub replayed: u64,
+    /// Records rejected at boot (bad CRC, torn tail, undecodable).
+    pub rejected: u64,
+    /// Inserts not persisted because their model values do not
+    /// round-trip through text.
+    pub skipped: u64,
+    /// Milliseconds since the snapshot file was last rewritten (boot
+    /// time when no snapshot exists yet).
+    pub snapshot_age_ms: u64,
+}
+
+// ---------------------------------------------------------------------------
+// CRC-32 (IEEE), hand-rolled: the build has no crc crate.
+// ---------------------------------------------------------------------------
+
+fn crc32_table() -> [u32; 256] {
+    let mut table = [0u32; 256];
+    let mut i = 0;
+    while i < 256 {
+        let mut c = i as u32;
+        let mut k = 0;
+        while k < 8 {
+            c = if c & 1 != 0 {
+                0xEDB8_8320 ^ (c >> 1)
+            } else {
+                c >> 1
+            };
+            k += 1;
+        }
+        table[i] = c;
+        i += 1;
+    }
+    table
+}
+
+/// CRC-32 (IEEE 802.3) of `bytes`.
+pub fn crc32(bytes: &[u8]) -> u32 {
+    // The table is tiny; recomputing it per call would be wasteful on the
+    // replay path, so build it once.
+    static TABLE: std::sync::OnceLock<[u32; 256]> = std::sync::OnceLock::new();
+    let table = TABLE.get_or_init(crc32_table);
+    let mut c = 0xFFFF_FFFFu32;
+    for &b in bytes {
+        c = table[((c ^ u32::from(b)) & 0xFF) as usize] ^ (c >> 8);
+    }
+    c ^ 0xFFFF_FFFF
+}
+
+// ---------------------------------------------------------------------------
+// Payload encoding
+// ---------------------------------------------------------------------------
+
+fn push_u32(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn push_bytes(out: &mut Vec<u8>, bytes: &[u8]) {
+    push_u32(out, bytes.len() as u32);
+    out.extend_from_slice(bytes);
+}
+
+fn push_opt_str(out: &mut Vec<u8>, s: &Option<String>) {
+    match s {
+        None => out.push(0),
+        Some(s) => {
+            out.push(1);
+            push_bytes(out, s.as_bytes());
+        }
+    }
+}
+
+/// Encodes one entry, or `None` when a model value has no textual
+/// round-trip (the caller counts it as skipped).
+fn encode_entry(fingerprint: u128, key: &str, verdict: &CachedVerdict) -> Option<Vec<u8>> {
+    let mut out = Vec::with_capacity(key.len() + 64);
+    out.extend_from_slice(&fingerprint.to_le_bytes());
+    push_bytes(&mut out, key.as_bytes());
+    match verdict {
+        CachedVerdict::Unsat { winner } => {
+            out.push(0);
+            push_opt_str(&mut out, winner);
+        }
+        CachedVerdict::Sat { model, winner } => {
+            out.push(1);
+            push_opt_str(&mut out, winner);
+            push_u32(&mut out, model.len() as u32);
+            for (index, value) in model {
+                push_u32(&mut out, *index as u32);
+                let (tag, printed) = match value {
+                    Value::Bool(b) => (b'B', b.to_string()),
+                    Value::Int(i) => (b'I', i.to_string()),
+                    Value::Real(r) => (b'R', r.to_string()),
+                    // Bitvector/float/rounding-mode values do not have an
+                    // unambiguous Display round-trip; skip persistence.
+                    _ => return None,
+                };
+                out.push(tag);
+                push_bytes(&mut out, printed.as_bytes());
+            }
+        }
+    }
+    Some(out)
+}
+
+/// A cursor over a payload; every read is bounds-checked so corrupt
+/// records decode to `None`, never panic.
+struct Cursor<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Cursor<'a> {
+    fn take(&mut self, n: usize) -> Option<&'a [u8]> {
+        let end = self.pos.checked_add(n)?;
+        if end > self.bytes.len() {
+            return None;
+        }
+        let slice = &self.bytes[self.pos..end];
+        self.pos = end;
+        Some(slice)
+    }
+
+    fn u8(&mut self) -> Option<u8> {
+        self.take(1).map(|b| b[0])
+    }
+
+    fn u32(&mut self) -> Option<u32> {
+        self.take(4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")))
+    }
+
+    fn u128(&mut self) -> Option<u128> {
+        self.take(16)
+            .map(|b| u128::from_le_bytes(b.try_into().expect("16 bytes")))
+    }
+
+    fn str(&mut self) -> Option<String> {
+        let len = self.u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec()).ok()
+    }
+
+    fn opt_str(&mut self) -> Option<Option<String>> {
+        match self.u8()? {
+            0 => Some(None),
+            1 => Some(Some(self.str()?)),
+            _ => None,
+        }
+    }
+}
+
+fn decode_value(tag: u8, printed: &str) -> Option<Value> {
+    match tag {
+        b'B' => match printed {
+            "true" => Some(Value::Bool(true)),
+            "false" => Some(Value::Bool(false)),
+            _ => None,
+        },
+        b'I' => BigInt::from_str(printed).ok().map(Value::Int),
+        b'R' => BigRational::from_str(printed).ok().map(Value::Real),
+        _ => None,
+    }
+}
+
+fn decode_entry(payload: &[u8]) -> Option<(u128, String, CachedVerdict)> {
+    let mut c = Cursor {
+        bytes: payload,
+        pos: 0,
+    };
+    let fingerprint = c.u128()?;
+    let key = c.str()?;
+    let verdict = match c.u8()? {
+        0 => CachedVerdict::Unsat {
+            winner: c.opt_str()?,
+        },
+        1 => {
+            let winner = c.opt_str()?;
+            let count = c.u32()? as usize;
+            // A corrupt count would try to allocate wildly; bound it by
+            // what the payload could possibly hold (≥ 10 bytes each).
+            if count > payload.len() / 10 + 1 {
+                return None;
+            }
+            let mut model = Vec::with_capacity(count);
+            for _ in 0..count {
+                let index = c.u32()? as usize;
+                let tag = c.u8()?;
+                let printed = c.str()?;
+                model.push((index, decode_value(tag, &printed)?));
+            }
+            CachedVerdict::Sat { model, winner }
+        }
+        _ => return None,
+    };
+    // Trailing garbage means the framing lied about the length.
+    if c.pos != payload.len() {
+        return None;
+    }
+    Some((fingerprint, key, verdict))
+}
+
+// ---------------------------------------------------------------------------
+// File replay
+// ---------------------------------------------------------------------------
+
+/// Outcome of replaying one file: decoded entries (a durable prefix) and
+/// the count of rejected records/tails.
+struct Replay {
+    entries: Vec<(u128, String, CachedVerdict)>,
+    rejected: u64,
+}
+
+/// Replays `path` if it exists. A missing file is an empty replay; an
+/// unreadable or wrong-magic file counts one rejection and replays
+/// nothing (the store then overwrites it).
+fn replay_file(path: &Path, magic: &[u8]) -> io::Result<Replay> {
+    let mut replay = Replay {
+        entries: Vec::new(),
+        rejected: 0,
+    };
+    let mut bytes = Vec::new();
+    match File::open(path) {
+        Ok(mut f) => {
+            f.read_to_end(&mut bytes)?;
+        }
+        Err(e) if e.kind() == io::ErrorKind::NotFound => return Ok(replay),
+        Err(e) => return Err(e),
+    }
+    if !bytes.starts_with(magic) {
+        replay.rejected += 1;
+        return Ok(replay);
+    }
+    let mut pos = magic.len();
+    while pos < bytes.len() {
+        // Framing: len, crc, payload. Any violation ends the replay —
+        // the tail is dropped, never resynchronised.
+        if pos + 8 > bytes.len() {
+            replay.rejected += 1;
+            break;
+        }
+        let len = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+        let crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().expect("4 bytes"));
+        let start = pos + 8;
+        let end = start + len as usize;
+        if len > MAX_RECORD_BYTES || end > bytes.len() {
+            replay.rejected += 1;
+            break;
+        }
+        let payload = &bytes[start..end];
+        if crc32(payload) != crc {
+            replay.rejected += 1;
+            break;
+        }
+        match decode_entry(payload) {
+            Some(entry) => replay.entries.push(entry),
+            None => {
+                replay.rejected += 1;
+                break;
+            }
+        }
+        pos = end;
+    }
+    Ok(replay)
+}
+
+fn frame_record(payload: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(payload.len() + 8);
+    out.extend_from_slice(&(payload.len() as u32).to_le_bytes());
+    out.extend_from_slice(&crc32(payload).to_le_bytes());
+    out.extend_from_slice(payload);
+    out
+}
+
+// ---------------------------------------------------------------------------
+// The store
+// ---------------------------------------------------------------------------
+
+/// What warm-starting found on disk (surfaced at boot and in tests).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ReplayReport {
+    /// Entries loaded from the snapshot.
+    pub snapshot_entries: u64,
+    /// Entries loaded from the log.
+    pub log_entries: u64,
+    /// Records rejected across both files.
+    pub rejected: u64,
+}
+
+struct LogState {
+    file: File,
+    records: u64,
+    bytes: u64,
+}
+
+/// A persistent [`AnswerStore`]: the sharded in-memory LRU in front, the
+/// snapshot + append-only log behind it.
+pub struct PersistentStore {
+    mem: AnswerCache,
+    config: PersistConfig,
+    log: Mutex<LogState>,
+    snapshot_entries: AtomicU64,
+    snapshot_at: Mutex<Instant>,
+    replayed: u64,
+    rejected: AtomicU64,
+    skipped: AtomicU64,
+}
+
+impl PersistentStore {
+    /// Opens (or creates) the store under `persist.dir`, warm-starting
+    /// the in-memory cache from the snapshot and the log.
+    ///
+    /// # Errors
+    ///
+    /// Propagates directory-creation and file I/O failures. Corrupt
+    /// *contents* are never an error — they are counted and dropped.
+    pub fn open(cache: &CacheConfig, persist: &PersistConfig) -> io::Result<PersistentStore> {
+        std::fs::create_dir_all(&persist.dir)?;
+        let snap_path = persist.dir.join("answers.snap");
+        let log_path = persist.dir.join("answers.log");
+
+        let snap = replay_file(&snap_path, SNAP_MAGIC)?;
+        let log = replay_file(&log_path, LOG_MAGIC)?;
+        let mem = AnswerCache::new(cache);
+        let mut replayed = 0u64;
+        let snapshot_entries = snap.entries.len() as u64;
+        for (fingerprint, key, verdict) in snap.entries.into_iter().chain(log.entries) {
+            mem.insert(fingerprint, key, verdict);
+            replayed += 1;
+        }
+
+        // Rewrite the log so it continues from a clean, fully-framed
+        // state: a rejected tail must not have fresh records appended
+        // after it (they would be unreachable behind the corruption).
+        let log_records = replayed - snapshot_entries;
+        let mut file = OpenOptions::new()
+            .read(true)
+            .write(true)
+            .create(true)
+            .truncate(log.rejected > 0)
+            .open(&log_path)?;
+        let state = if log.rejected > 0 || file.metadata()?.len() < LOG_MAGIC.len() as u64 {
+            file.set_len(0)?;
+            file.write_all(LOG_MAGIC)?;
+            // The surviving log entries move into the snapshot below iff
+            // we truncated; otherwise they are still in the log file.
+            LogState {
+                file,
+                records: 0,
+                bytes: LOG_MAGIC.len() as u64,
+            }
+        } else {
+            let bytes = file.metadata()?.len();
+            use std::io::Seek;
+            file.seek(io::SeekFrom::End(0))?;
+            LogState {
+                file,
+                records: log_records,
+                bytes,
+            }
+        };
+
+        let store = PersistentStore {
+            mem,
+            config: persist.clone(),
+            snapshot_entries: AtomicU64::new(snapshot_entries),
+            snapshot_at: Mutex::new(Instant::now()),
+            replayed,
+            rejected: AtomicU64::new(snap.rejected + log.rejected),
+            skipped: AtomicU64::new(0),
+            log: Mutex::new(state),
+        };
+        // After dropping a corrupt tail, fold everything we kept into a
+        // fresh snapshot so the dropped records cannot shadow later ones.
+        if log.rejected > 0 || snap.rejected > 0 {
+            let mut guard = store.log.lock().expect("log poisoned");
+            store.compact(&mut guard)?;
+        }
+        Ok(store)
+    }
+
+    /// What boot-time replay found.
+    pub fn replay_report(&self) -> ReplayReport {
+        ReplayReport {
+            snapshot_entries: self.snapshot_entries.load(Ordering::Relaxed),
+            log_entries: self.replayed
+                - self
+                    .snapshot_entries
+                    .load(Ordering::Relaxed)
+                    .min(self.replayed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The durability counters for `health`.
+    pub fn status(&self) -> PersistStatus {
+        let log = self.log.lock().expect("log poisoned");
+        PersistStatus {
+            snapshot_entries: self.snapshot_entries.load(Ordering::Relaxed),
+            log_records: log.records,
+            log_bytes: log.bytes,
+            replayed: self.replayed,
+            rejected: self.rejected.load(Ordering::Relaxed),
+            skipped: self.skipped.load(Ordering::Relaxed),
+            snapshot_age_ms: self
+                .snapshot_at
+                .lock()
+                .expect("snapshot clock poisoned")
+                .elapsed()
+                .as_millis() as u64,
+        }
+    }
+
+    /// Rewrites the snapshot from memory and truncates the log. Caller
+    /// holds the log lock.
+    fn compact(&self, log: &mut LogState) -> io::Result<()> {
+        let snap_path = self.config.dir.join("answers.snap");
+        let tmp_path = self.config.dir.join("answers.snap.tmp");
+        let entries = self.mem.dump();
+        let mut out = Vec::with_capacity(entries.len() * 64 + SNAP_MAGIC.len());
+        out.extend_from_slice(SNAP_MAGIC);
+        let mut written = 0u64;
+        for (fingerprint, key, verdict) in &entries {
+            if let Some(payload) = encode_entry(*fingerprint, key, verdict) {
+                out.extend_from_slice(&frame_record(&payload));
+                written += 1;
+            }
+        }
+        {
+            let mut tmp = File::create(&tmp_path)?;
+            tmp.write_all(&out)?;
+            tmp.sync_all()?;
+        }
+        std::fs::rename(&tmp_path, &snap_path)?;
+        log.file.set_len(0)?;
+        use std::io::Seek;
+        log.file.seek(io::SeekFrom::Start(0))?;
+        log.file.write_all(LOG_MAGIC)?;
+        log.file.flush()?;
+        if self.config.fsync {
+            log.file.sync_all()?;
+        }
+        log.records = 0;
+        log.bytes = LOG_MAGIC.len() as u64;
+        self.snapshot_entries.store(written, Ordering::Relaxed);
+        *self.snapshot_at.lock().expect("snapshot clock poisoned") = Instant::now();
+        Ok(())
+    }
+
+    fn append(&self, fingerprint: u128, key: &str, verdict: &CachedVerdict) {
+        let Some(payload) = encode_entry(fingerprint, key, verdict) else {
+            self.skipped.fetch_add(1, Ordering::Relaxed);
+            return;
+        };
+        let framed = frame_record(&payload);
+        let mut log = self.log.lock().expect("log poisoned");
+        // Persistence is best-effort on a live server: an I/O error keeps
+        // the in-memory entry (still sound) and is visible as a stalled
+        // log length in health rather than failing the request.
+        if log
+            .file
+            .write_all(&framed)
+            .and_then(|()| log.file.flush())
+            .is_err()
+        {
+            return;
+        }
+        if self.config.fsync {
+            let _ = log.file.sync_all();
+        }
+        log.records += 1;
+        log.bytes += framed.len() as u64;
+        if log.records >= self.config.snapshot_every {
+            let _ = self.compact(&mut log);
+        }
+    }
+}
+
+impl AnswerStore for PersistentStore {
+    fn lookup(&self, fingerprint: u128, key: &str) -> Option<CachedVerdict> {
+        self.mem.get(fingerprint, key)
+    }
+
+    fn record(&self, fingerprint: u128, key: &str, verdict: CachedVerdict) {
+        self.mem
+            .insert(fingerprint, key.to_string(), verdict.clone());
+        self.append(fingerprint, key, &verdict);
+    }
+
+    fn stats(&self) -> CacheStats {
+        self.mem.stats()
+    }
+
+    fn persist_status(&self) -> Option<PersistStatus> {
+        Some(self.status())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use staub_numeric::BigInt;
+
+    fn sat(n: i64) -> CachedVerdict {
+        CachedVerdict::Sat {
+            model: vec![(0, Value::Int(BigInt::from(n)))],
+            winner: Some("baseline/zed".into()),
+        }
+    }
+
+    fn unsat(label: &str) -> CachedVerdict {
+        CachedVerdict::Unsat {
+            winner: Some(label.to_string()),
+        }
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "staub-persist-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn crc32_matches_known_vectors() {
+        // The classic check value for CRC-32/IEEE.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+    }
+
+    #[test]
+    fn entries_round_trip_through_the_log() {
+        let dir = tmp_dir("roundtrip");
+        let persist = PersistConfig::in_dir(&dir);
+        {
+            let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+            store.record(7, "k7", sat(3));
+            store.record(9, "k9", unsat("complete/zed"));
+            store.record(
+                11,
+                "k11",
+                CachedVerdict::Sat {
+                    model: vec![
+                        (0, Value::Bool(true)),
+                        (
+                            2,
+                            Value::Real(BigRational::new(BigInt::from(3), BigInt::from(4))),
+                        ),
+                    ],
+                    winner: None,
+                },
+            );
+        }
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        assert_eq!(store.lookup(7, "k7"), Some(sat(3)));
+        assert_eq!(store.lookup(9, "k9"), Some(unsat("complete/zed")));
+        assert!(matches!(
+            store.lookup(11, "k11"),
+            Some(CachedVerdict::Sat { model, .. }) if model.len() == 2
+        ));
+        assert_eq!(store.replay_report().log_entries, 3);
+        assert_eq!(store.replay_report().rejected, 0);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn unpersistable_models_are_skipped_not_lost_in_memory() {
+        let dir = tmp_dir("skip");
+        let persist = PersistConfig::in_dir(&dir);
+        let bv = CachedVerdict::Sat {
+            model: vec![(
+                0,
+                Value::BitVec(staub_numeric::BitVecValue::new(5u64.into(), 8)),
+            )],
+            winner: None,
+        };
+        {
+            let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+            store.record(1, "bv", bv.clone());
+            assert_eq!(store.lookup(1, "bv"), Some(bv), "memory still serves it");
+            assert_eq!(store.status().skipped, 1);
+        }
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        assert_eq!(store.lookup(1, "bv"), None, "not durable by design");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn truncated_tail_is_dropped_cleanly() {
+        let dir = tmp_dir("trunc");
+        let persist = PersistConfig::in_dir(&dir);
+        {
+            let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+            for i in 0..8u64 {
+                store.record(u128::from(i), &format!("k{i}"), sat(i as i64));
+            }
+        }
+        // Chop ten bytes off the log: the torn final record must vanish,
+        // earlier ones must survive.
+        let log_path = dir.join("answers.log");
+        let len = std::fs::metadata(&log_path).unwrap().len();
+        let f = OpenOptions::new().write(true).open(&log_path).unwrap();
+        f.set_len(len - 10).unwrap();
+        drop(f);
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        let report = store.replay_report();
+        assert_eq!(report.rejected, 1, "torn tail counted");
+        assert_eq!(store.lookup(0, "k0"), Some(sat(0)));
+        assert_eq!(store.lookup(7, "k7"), None, "torn record dropped");
+        // The reopened store compacted away the damage: a third open is
+        // clean.
+        drop(store);
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        assert_eq!(store.replay_report().rejected, 0);
+        assert_eq!(store.lookup(6, "k6"), Some(sat(6)));
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn compaction_moves_log_into_snapshot() {
+        let dir = tmp_dir("compact");
+        let mut persist = PersistConfig::in_dir(&dir);
+        persist.snapshot_every = 4;
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        for i in 0..10u64 {
+            store.record(u128::from(i), &format!("k{i}"), sat(i as i64));
+        }
+        let status = store.status();
+        assert!(
+            status.log_records < 4,
+            "log should have been compacted, has {} records",
+            status.log_records
+        );
+        assert!(status.snapshot_entries >= 8);
+        drop(store);
+        let store = PersistentStore::open(&CacheConfig::default(), &persist).unwrap();
+        for i in 0..10u64 {
+            assert_eq!(
+                store.lookup(u128::from(i), &format!("k{i}")),
+                Some(sat(i as i64))
+            );
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

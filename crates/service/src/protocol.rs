@@ -12,7 +12,7 @@
 //!           | session-open | session-assert | session-check | session-close
 //! solve    := {"op":"solve", "v"?:1, "constraint":"<smt2>",
 //!              "id"?:string, "timeout_ms"?:int, "steps"?:int,
-//!              "no_cache"?:bool}
+//!              "no_cache"?:bool, "route"?:[string,...]}   (route: v3)
 //! health   := {"op":"health", "v"?:1, "id"?:string}
 //! shutdown := {"op":"shutdown", "v"?:1, "id"?:string}
 //!
@@ -33,12 +33,25 @@
 //!              "provenance":{"label":string, "multiplier":int,
 //!                            "steps":int}|null,
 //!              "cache":"hit|miss|off", "fingerprint":hex128,
-//!              "wall_ms":float, "stats":object|null}
+//!              "wall_ms":float, "stats":object|null,
+//!              "route"?:[string,...]}                     (route: v3)
 //! error    := {"v":int, "id":string|null, "status":"error",
-//!              "error":{"code":string, "message":string}}
+//!              "error":{"code":string, "message":string,
+//!                       "limit"?:int, "observed"?:int}}
 //! overload := {"v":int, "id":string|null, "status":"overloaded",
-//!              "error":{"code":"overloaded", "message":string}}
+//!              "error":{"code":"overloaded", "message":string,
+//!                       "inflight"?:int, "waiting"?:int}}
 //! ```
+//!
+//! Version 3 adds the `route` hop list: a front node (`staub route`)
+//! forwards `solve` requests to the backend owning the constraint's
+//! canonical fingerprint, appending its own name to `route`; the backend
+//! appends its name in the reply, so a client can see the path its
+//! request took. A request whose `route` already names the receiving hop
+//! is refused (`routing-loop`) rather than forwarded again. Version 3
+//! also makes the `oversized` and `overloaded` errors self-describing
+//! (configured limit + observed length; current inflight + waiting) and
+//! adds the `persist` block to `health` replies.
 //!
 //! `session_open` answers `{"v":2, ..., "session":string}`; `assert`
 //! echoes the session plus the current `level`; `check` answers the
@@ -61,8 +74,9 @@ pub const DEFAULT_MAX_LINE_BYTES: usize = 1 << 20;
 
 /// Highest protocol version this build speaks. Version 1 is the original
 /// stateless request/response protocol; version 2 adds the incremental
-/// session commands.
-pub const PROTOCOL_VERSION: u32 = 2;
+/// session commands; version 3 adds the `route` hop, the `persist`
+/// health block, and self-describing `oversized`/`overloaded` errors.
+pub const PROTOCOL_VERSION: u32 = 3;
 
 /// Machine-readable error codes carried in `error` responses.
 pub mod codes {
@@ -85,6 +99,12 @@ pub mod codes {
     /// A session command named a session this connection never opened
     /// (or already closed).
     pub const UNKNOWN_SESSION: &str = "unknown-session";
+    /// The request's `route` list already names this hop — forwarding it
+    /// again would cycle (v3).
+    pub const ROUTING_LOOP: &str = "routing-loop";
+    /// A front node could not reach any backend for this fingerprint
+    /// (v3).
+    pub const NO_BACKEND: &str = "no-backend";
 }
 
 /// A parsed request.
@@ -152,6 +172,10 @@ pub struct SolveRequest {
     pub steps: Option<u64>,
     /// Bypass the answer cache for this request.
     pub no_cache: bool,
+    /// The hops this request has already traversed (v3). A front node
+    /// appends its name before forwarding; a hop that finds itself here
+    /// refuses the request instead of looping.
+    pub route: Vec<String>,
 }
 
 /// A structured protocol failure: code plus human-readable message.
@@ -244,16 +268,49 @@ pub fn parse_request(line: &str) -> Result<(u32, Request), ProtocolError> {
     let request = match op {
         "health" => Request::Health { id },
         "shutdown" => Request::Shutdown { id },
-        "solve" => Request::Solve(SolveRequest {
-            id,
-            constraint: string_field("constraint")?,
-            timeout_ms: num("timeout_ms")?,
-            steps: num("steps")?,
-            no_cache: value
-                .get("no_cache")
-                .and_then(Json::as_bool)
-                .unwrap_or(false),
-        }),
+        "solve" => {
+            let route = match value.get("route") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(Json::Arr(hops)) => {
+                    if v < 3 {
+                        return Err(ProtocolError::new(
+                            codes::BAD_REQUEST,
+                            "`route` is a v3 field; send it with \"v\":3",
+                        ));
+                    }
+                    let mut out = Vec::with_capacity(hops.len());
+                    for hop in hops {
+                        match hop.as_str() {
+                            Some(s) => out.push(s.to_string()),
+                            None => {
+                                return Err(ProtocolError::new(
+                                    codes::BAD_REQUEST,
+                                    "`route` must be an array of strings",
+                                ))
+                            }
+                        }
+                    }
+                    out
+                }
+                Some(_) => {
+                    return Err(ProtocolError::new(
+                        codes::BAD_REQUEST,
+                        "`route` must be an array of strings",
+                    ))
+                }
+            };
+            Request::Solve(SolveRequest {
+                id,
+                constraint: string_field("constraint")?,
+                timeout_ms: num("timeout_ms")?,
+                steps: num("steps")?,
+                no_cache: value
+                    .get("no_cache")
+                    .and_then(Json::as_bool)
+                    .unwrap_or(false),
+                route,
+            })
+        }
         "session_open" => {
             require_v2()?;
             Request::SessionOpen {
@@ -324,15 +381,35 @@ pub fn error_reply(v: u32, id: Option<&str>, code: &str, message: &str) -> Strin
     out
 }
 
-/// Renders the admission-control `overloaded` response line.
-pub fn overloaded_reply(v: u32, id: Option<&str>) -> String {
-    let mut out = String::with_capacity(96);
+/// Renders the admission-control `overloaded` response line, carrying
+/// the gate's current occupancy so a load generator can tell shed
+/// (inflight at the cap) from stall (waiting deep).
+pub fn overloaded_reply(v: u32, id: Option<&str>, inflight: usize, waiting: usize) -> String {
+    let mut out = String::with_capacity(128);
     out.push('{');
     push_head(&mut out, v, id);
-    out.push_str(
-        "\"status\":\"overloaded\",\"error\":{\"code\":\"overloaded\",\
-         \"message\":\"request queue full; retry later\"}}",
-    );
+    out.push_str(&format!(
+        "\"status\":\"overloaded\",\"error\":{{\"code\":\"overloaded\",\
+         \"message\":\"request queue full; retry later\",\
+         \"inflight\":{inflight},\"waiting\":{waiting}}}}}"
+    ));
+    out
+}
+
+/// Renders the request-size-cap `oversized` error, naming the configured
+/// limit and how many bytes had arrived when the cap tripped (the true
+/// line is at least that long — the server stops buffering at the cap).
+pub fn oversized_reply(v: u32, limit: usize, observed: usize) -> String {
+    let mut out = String::with_capacity(160);
+    out.push('{');
+    push_head(&mut out, v, None);
+    out.push_str(&format!(
+        "\"status\":\"error\",\"error\":{{\"code\":\"{}\",\
+         \"message\":\"request line exceeds the {limit}-byte cap \
+         ({observed} bytes buffered before giving up)\",\
+         \"limit\":{limit},\"observed\":{observed}}}}}",
+        codes::OVERSIZED
+    ));
     out
 }
 
@@ -382,6 +459,9 @@ pub struct SolveReply {
     pub wall_ms: f64,
     /// The PR-3 stats block (a JSON object), when the scheduler ran.
     pub stats_json: Option<String>,
+    /// The hops this request traversed, this server's own name last
+    /// (v3; omitted from the reply when empty).
+    pub route: Vec<String>,
 }
 
 impl SolveReply {
@@ -439,6 +519,16 @@ impl SolveReply {
             Some(s) => out.push_str(s),
             None => out.push_str("null"),
         }
+        if !self.route.is_empty() {
+            out.push_str(",\"route\":[");
+            for (i, hop) in self.route.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                json::push_str_lit(&mut out, hop);
+            }
+            out.push(']');
+        }
         out.push('}');
         out
     }
@@ -454,8 +544,13 @@ pub enum LineRead {
     /// No full line yet (read timed out) — poll again; buffered partial
     /// input is retained.
     Idle,
-    /// The line exceeded the cap. The connection should answer and close.
-    TooLong,
+    /// The line exceeded the cap. The connection should answer (naming
+    /// the cap and how much had been buffered) and close.
+    TooLong {
+        /// Bytes buffered when the cap tripped — a lower bound on the
+        /// true line length.
+        observed: usize,
+    },
     /// The bytes were not valid UTF-8.
     BadUtf8,
 }
@@ -482,6 +577,13 @@ impl LineReader {
     pub fn next_line(&mut self, src: &mut impl Read) -> io::Result<LineRead> {
         loop {
             if let Some(pos) = self.buf.iter().position(|&b| b == b'\n') {
+                // The cap applies to the framed line as well: a fast
+                // sender can land line + newline in a single read, and
+                // that must not bypass the limit.
+                if pos > self.max_line {
+                    self.buf = self.buf.split_off(pos + 1);
+                    return Ok(LineRead::TooLong { observed: pos });
+                }
                 let rest = self.buf.split_off(pos + 1);
                 let mut line = std::mem::replace(&mut self.buf, rest);
                 line.pop(); // the newline
@@ -494,8 +596,9 @@ impl LineReader {
                 });
             }
             if self.buf.len() > self.max_line {
+                let observed = self.buf.len();
                 self.buf.clear();
-                return Ok(LineRead::TooLong);
+                return Ok(LineRead::TooLong { observed });
             }
             let mut chunk = [0u8; 4096];
             match src.read(&mut chunk) {
@@ -564,7 +667,7 @@ mod tests {
         // failure.
         let err = parse_request(r#"{"op":"health","v":9}"#).unwrap_err();
         assert_eq!(err.code, codes::UNSUPPORTED_VERSION);
-        assert!(err.message.contains("1..=2"), "{}", err.message);
+        assert!(err.message.contains("1..=3"), "{}", err.message);
         // Zero and non-integers are malformed, not "future".
         assert_eq!(
             parse_request(r#"{"op":"health","v":0}"#).unwrap_err().code,
@@ -668,7 +771,7 @@ mod tests {
                 .and_then(Json::as_str),
             Some("parse-error")
         );
-        let over = overloaded_reply(1, None);
+        let over = overloaded_reply(1, None, 0, 0);
         let v = crate::json::parse(&over).unwrap();
         assert_eq!(v.get("status").and_then(Json::as_str), Some("overloaded"));
         assert_eq!(v.get("id"), Some(&Json::Null));
@@ -695,6 +798,7 @@ mod tests {
             fingerprint: "ab".repeat(16),
             wall_ms: 1.5,
             stats_json: Some("{\"stages\":{}}".into()),
+            route: vec!["route:front".into(), "serve:back0".into()],
         };
         let v = crate::json::parse(&reply.to_json()).unwrap();
         assert_eq!(v.get("verdict").and_then(Json::as_str), Some("sat"));
@@ -730,10 +834,54 @@ mod tests {
 
         let mut reader = LineReader::new(8);
         let mut src = io::Cursor::new(vec![b'a'; 64]);
-        assert!(matches!(
-            reader.next_line(&mut src).unwrap(),
-            LineRead::TooLong
-        ));
+        match reader.next_line(&mut src).unwrap() {
+            LineRead::TooLong { observed } => assert!(observed > 8, "observed {observed}"),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn route_hops_parse_at_v3_only() {
+        let (v, req) = parse_request(
+            r#"{"op":"solve","v":3,"constraint":"(assert true)","route":["route:front"]}"#,
+        )
+        .unwrap();
+        assert_eq!(v, 3);
+        match req {
+            Request::Solve(s) => assert_eq!(s.route, vec!["route:front".to_string()]),
+            other => panic!("wrong shape: {other:?}"),
+        }
+        // Absent route is an empty hop list at any version.
+        let (_, req) = parse_request(r#"{"op":"solve","constraint":"x"}"#).unwrap();
+        match req {
+            Request::Solve(s) => assert!(s.route.is_empty()),
+            other => panic!("wrong shape: {other:?}"),
+        }
+        // Pre-v3 requests cannot smuggle the field, and non-string hops
+        // are malformed.
+        for bad in [
+            r#"{"op":"solve","v":2,"constraint":"x","route":["a"]}"#,
+            r#"{"op":"solve","v":3,"constraint":"x","route":[1]}"#,
+            r#"{"op":"solve","v":3,"constraint":"x","route":"a"}"#,
+        ] {
+            assert_eq!(parse_request(bad).unwrap_err().code, codes::BAD_REQUEST);
+        }
+    }
+
+    #[test]
+    fn v3_errors_are_self_describing() {
+        let over = overloaded_reply(3, Some("q"), 4, 17);
+        let v = crate::json::parse(&over).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("inflight").and_then(Json::as_u64), Some(4));
+        assert_eq!(err.get("waiting").and_then(Json::as_u64), Some(17));
+
+        let big = oversized_reply(1, 1 << 20, 1_052_672);
+        let v = crate::json::parse(&big).unwrap();
+        let err = v.get("error").unwrap();
+        assert_eq!(err.get("code").and_then(Json::as_str), Some("oversized"));
+        assert_eq!(err.get("limit").and_then(Json::as_u64), Some(1 << 20));
+        assert_eq!(err.get("observed").and_then(Json::as_u64), Some(1_052_672));
     }
 
     #[test]

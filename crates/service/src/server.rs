@@ -1,31 +1,37 @@
-//! The `staub serve` daemon: accept loops, admission control, and the
-//! per-request solve path (cache → scheduler).
+//! The `staub serve` daemon: listeners, admission control, and the
+//! per-request solve path (answer store → scheduler).
 //!
 //! The server speaks the newline-delimited JSON protocol of
-//! [`crate::protocol`] over TCP and (on Unix) a Unix domain socket. Each
-//! connection gets its own thread; each `solve` request passes through an
-//! [`AdmissionGate`] bounding concurrent scheduler work, then through the
-//! canonical-constraint [`AnswerCache`] (unless disabled), and only on a
-//! miss spawns lanes via
+//! [`crate::protocol`] over any [`Endpoint`] (TCP and, on Unix, a Unix
+//! domain socket). Connections are served by the nonblocking epoll
+//! [`crate::reactor`] on Linux — idle connections cost a slab entry, not
+//! a thread, and requests execute on a fixed worker pool — or by the
+//! legacy thread-per-connection loop elsewhere (and on request, via
+//! [`ServerConfig::threaded`]). Each `solve` passes through an
+//! [`AdmissionGate`] bounding concurrent scheduler work, then through
+//! the [`AnswerStore`] (the in-memory LRU, or the crash-persistent
+//! snapshot+log store when [`ServerConfig::persist`] is set), and only
+//! on a miss spawns lanes via
 //! [`run_one_with`](staub_core::run_one_with).
 //!
 //! # Drain
 //!
-//! Listeners are nonblocking and the accept loops poll the shutdown flag
-//! ([`crate::signal`]), because glibc's `SA_RESTART` would otherwise keep
-//! a blocking `accept` alive across SIGINT. On shutdown the server stops
-//! accepting, lets in-flight requests finish, closes idle connections at
-//! their next read-timeout tick, joins every connection thread, and only
-//! then lets [`Server::join`] return — no request is abandoned mid-solve.
+//! Accept paths are nonblocking and poll the shutdown flag
+//! ([`crate::signal`]), because glibc's `SA_RESTART` would otherwise
+//! keep a blocking `accept` alive across SIGINT. On shutdown the server
+//! stops accepting, lets in-flight requests finish and flush, closes
+//! idle connections, joins every service thread, and only then lets
+//! [`Server::join`] return — no request is abandoned mid-solve.
 //!
 //! # Cached-answer soundness
 //!
-//! A cache hit never trusts the stored bytes blindly: `sat` entries are
+//! A store hit never trusts the stored bytes blindly: `sat` entries are
 //! rebound onto the requester's own symbols through the canonical
 //! variable table and **re-verified by exact evaluation** of every
 //! assertion before being served; any failure (index out of range, sort
-//! mismatch surfacing as an eval error, stale entry) silently degrades to
-//! a miss and the scheduler runs. `unsat` entries are verdict-only and
+//! mismatch surfacing as an eval error, stale or corrupt entry — even
+//! one replayed from a damaged persistence log) silently degrades to a
+//! miss and the scheduler runs. `unsat` entries are verdict-only and
 //! derive either from exact lanes or from certified complete lanes (the
 //! scheduler promotes a bounded-unsat only when its a-priori bound
 //! certificate passes the independent `L4xx` lints), so replaying the
@@ -33,7 +39,7 @@
 //! construction.
 
 use std::io::{self, Read, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::SocketAddr;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
@@ -46,25 +52,34 @@ use staub_core::{
 use staub_smtlib::{canonicalize, evaluate, Canonical, Model, Script, Value};
 use staub_solver::SolverProfile;
 
-use crate::cache::{AnswerCache, CacheConfig, CachedVerdict};
+use crate::cache::{AnswerCache, AnswerStore, CacheConfig, CachedVerdict};
+use crate::endpoint::{Endpoint, EndpointListener, EndpointStream};
+use crate::persist::{PersistConfig, PersistentStore};
 use crate::protocol::{
     self, codes, LineRead, LineReader, ProtocolError, Request, SolveReply, SolveRequest,
 };
+use crate::reactor::{self, ReactorConfig, ReactorGauges};
 use crate::signal;
 
-/// How a server instance should listen, solve, and cache.
+/// How a server instance listens, solves, caches, and persists.
+/// Construct with [`ServerConfig::new`] and chain the builder methods;
+/// every field is also public for direct struct updates.
 #[derive(Debug, Clone)]
-pub struct ServeConfig {
-    /// TCP address to bind (e.g. `127.0.0.1:7227`; port `0` for ephemeral).
-    pub tcp: String,
-    /// Optional Unix-socket path to additionally bind (Unix only).
+pub struct ServerConfig {
+    /// TCP endpoint to bind (port `0` for ephemeral).
+    pub tcp: Endpoint,
+    /// Optional additional Unix-socket endpoint (Unix only).
     pub unix: Option<std::path::PathBuf>,
-    /// Scheduler configuration for cache misses. Per-request `timeout_ms`
-    /// and `steps` overrides are clamped to these values — a client can
-    /// ask for less work than the server default, never more.
+    /// Scheduler configuration for store misses. Per-request
+    /// `timeout_ms` and `steps` overrides are clamped to these values —
+    /// a client can ask for less work than the server default, never
+    /// more.
     pub batch: BatchConfig,
-    /// Answer-cache tuning; `None` disables the cache entirely.
+    /// Answer-store tuning; `None` disables caching entirely.
     pub cache: Option<CacheConfig>,
+    /// When set (and `cache` is on), back the store with the
+    /// crash-persistent snapshot + append-only log in this directory.
+    pub persist: Option<PersistConfig>,
     /// Maximum `solve` requests running lanes at once.
     pub max_inflight: usize,
     /// Maximum `solve` requests queued behind the inflight limit before
@@ -72,10 +87,141 @@ pub struct ServeConfig {
     pub max_waiting: usize,
     /// Request-line size cap in bytes (satellite of the parser depth cap).
     pub max_line_bytes: usize,
-    /// Per-read socket timeout: the idle-poll granularity for drain.
+    /// Per-read socket timeout in threaded mode: the idle-poll
+    /// granularity for drain. The reactor uses it as its poll interval.
+    pub read_timeout: Duration,
+    /// Force the legacy thread-per-connection loop even where the epoll
+    /// reactor is available.
+    pub threaded: bool,
+    /// Reactor worker threads (the fixed pool that executes requests).
+    pub workers: usize,
+    /// This node's name in protocol-v3 `route` hop lists. Defaults to
+    /// `serve:<bound-address>`.
+    pub node_name: Option<String>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            tcp: Endpoint::Tcp("127.0.0.1:0".to_string()),
+            unix: None,
+            batch: BatchConfig::default(),
+            cache: Some(CacheConfig::default()),
+            persist: None,
+            max_inflight: 4,
+            max_waiting: 64,
+            max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
+            read_timeout: Duration::from_millis(50),
+            threaded: false,
+            workers: 4,
+            node_name: None,
+        }
+    }
+}
+
+impl ServerConfig {
+    /// The default configuration: ephemeral loopback TCP, in-memory
+    /// cache, epoll reactor where available.
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Sets the TCP listening endpoint.
+    #[must_use]
+    pub fn tcp(mut self, endpoint: Endpoint) -> ServerConfig {
+        self.tcp = endpoint;
+        self
+    }
+
+    /// Adds a Unix-socket listener.
+    #[must_use]
+    pub fn unix(mut self, path: impl Into<std::path::PathBuf>) -> ServerConfig {
+        self.unix = Some(path.into());
+        self
+    }
+
+    /// Sets the scheduler configuration used on store misses.
+    #[must_use]
+    pub fn batch(mut self, batch: BatchConfig) -> ServerConfig {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets (or with `None` disables) the answer store.
+    #[must_use]
+    pub fn cache(mut self, cache: Option<CacheConfig>) -> ServerConfig {
+        self.cache = cache;
+        self
+    }
+
+    /// Backs the answer store with the persistent snapshot + log.
+    #[must_use]
+    pub fn persist(mut self, persist: PersistConfig) -> ServerConfig {
+        self.persist = Some(persist);
+        self
+    }
+
+    /// Sets the admission-gate budgets.
+    #[must_use]
+    pub fn admission(mut self, max_inflight: usize, max_waiting: usize) -> ServerConfig {
+        self.max_inflight = max_inflight;
+        self.max_waiting = max_waiting;
+        self
+    }
+
+    /// Sets the request-line byte cap.
+    #[must_use]
+    pub fn max_line_bytes(mut self, bytes: usize) -> ServerConfig {
+        self.max_line_bytes = bytes;
+        self
+    }
+
+    /// Forces the legacy thread-per-connection mode.
+    #[must_use]
+    pub fn threaded(mut self, threaded: bool) -> ServerConfig {
+        self.threaded = threaded;
+        self
+    }
+
+    /// Sets the reactor worker-pool size.
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Overrides this node's name in v3 `route` hop lists.
+    #[must_use]
+    pub fn node_name(mut self, name: impl Into<String>) -> ServerConfig {
+        self.node_name = Some(name.into());
+        self
+    }
+}
+
+/// The pre-v3 configuration shape, kept one release for callers that
+/// have not migrated (mirrors the `RunOptions` migration pattern).
+#[deprecated(note = "use `ServerConfig` (builder) with `Server::launch`")]
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// TCP address to bind (e.g. `127.0.0.1:7227`; port `0` for ephemeral).
+    pub tcp: String,
+    /// Optional Unix-socket path to additionally bind (Unix only).
+    pub unix: Option<std::path::PathBuf>,
+    /// Scheduler configuration for cache misses.
+    pub batch: BatchConfig,
+    /// Answer-cache tuning; `None` disables the cache entirely.
+    pub cache: Option<CacheConfig>,
+    /// Maximum `solve` requests running lanes at once.
+    pub max_inflight: usize,
+    /// Maximum queued `solve` requests before `overloaded`.
+    pub max_waiting: usize,
+    /// Request-line size cap in bytes.
+    pub max_line_bytes: usize,
+    /// Per-read socket timeout.
     pub read_timeout: Duration,
 }
 
+#[allow(deprecated)]
 impl Default for ServeConfig {
     fn default() -> ServeConfig {
         ServeConfig {
@@ -87,6 +233,23 @@ impl Default for ServeConfig {
             max_waiting: 64,
             max_line_bytes: protocol::DEFAULT_MAX_LINE_BYTES,
             read_timeout: Duration::from_millis(50),
+        }
+    }
+}
+
+#[allow(deprecated)]
+impl From<ServeConfig> for ServerConfig {
+    fn from(old: ServeConfig) -> ServerConfig {
+        ServerConfig {
+            tcp: Endpoint::Tcp(old.tcp),
+            unix: old.unix,
+            batch: old.batch,
+            cache: old.cache,
+            max_inflight: old.max_inflight,
+            max_waiting: old.max_waiting,
+            max_line_bytes: old.max_line_bytes,
+            read_timeout: old.read_timeout,
+            ..ServerConfig::default()
         }
     }
 }
@@ -161,14 +324,23 @@ impl AdmissionGate {
     fn active(&self) -> usize {
         self.state.lock().expect("gate poisoned").0
     }
+
+    /// Current (inflight, waiting), for the v3 `overloaded` reply.
+    fn occupancy(&self) -> (usize, usize) {
+        let s = self.state.lock().expect("gate poisoned");
+        (s.0, s.1)
+    }
 }
 
-/// State shared by the accept loops and every connection thread.
+/// State shared by the accept paths and every request executor.
 struct Inner {
-    config: ServeConfig,
-    cache: Option<AnswerCache>,
+    config: ServerConfig,
+    store: Option<Arc<dyn AnswerStore>>,
     metrics: Arc<Metrics>,
     gate: AdmissionGate,
+    gauges: Arc<ReactorGauges>,
+    reactor_enabled: bool,
+    node: String,
     started: Instant,
     local_shutdown: AtomicBool,
     connections: AtomicU64,
@@ -181,6 +353,41 @@ impl Inner {
     }
 }
 
+/// The reactor-facing protocol adapter: one [`Inner`] behind the
+/// [`reactor::Service`] trait.
+struct ServeService {
+    inner: Arc<Inner>,
+}
+
+impl reactor::Service for ServeService {
+    type Conn = SessionTable;
+
+    fn handle(&self, sessions: &mut SessionTable, line: &str) -> (String, bool) {
+        self.inner.requests.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.incr("serve.requests", 1);
+        handle_line(&self.inner, sessions, line)
+    }
+
+    fn oversized(&self, observed: usize) -> String {
+        self.inner.metrics.incr("serve.errors", 1);
+        protocol::oversized_reply(1, self.inner.config.max_line_bytes, observed)
+    }
+
+    fn bad_utf8(&self) -> String {
+        self.inner.metrics.incr("serve.errors", 1);
+        protocol::error_reply(1, None, codes::BAD_JSON, "request line is not UTF-8")
+    }
+
+    fn shutting_down(&self) -> bool {
+        self.inner.shutting_down()
+    }
+
+    fn connected(&self) {
+        self.inner.connections.fetch_add(1, Ordering::Relaxed);
+        self.inner.metrics.incr("serve.connections", 1);
+    }
+}
+
 /// A running server. Dropping the handle does **not** stop the server;
 /// call [`Server::shutdown`] then [`Server::join`] (or deliver SIGINT).
 pub struct Server {
@@ -190,34 +397,41 @@ pub struct Server {
 }
 
 impl Server {
-    /// Binds the listeners and starts the accept loops.
+    /// Binds the listeners, warm-starts the answer store, and starts the
+    /// service threads (the reactor, or the legacy accept loops).
     ///
     /// # Errors
     ///
-    /// Propagates bind failures (address in use, bad socket path, …).
-    pub fn start(config: ServeConfig) -> io::Result<Server> {
-        let tcp = TcpListener::bind(&config.tcp)?;
-        tcp.set_nonblocking(true)?;
-        let addr = tcp.local_addr()?;
+    /// Propagates bind failures and persistent-store I/O failures.
+    pub fn launch(config: ServerConfig) -> io::Result<Server> {
+        let tcp_listener = config.tcp.bind()?;
+        let addr = tcp_listener
+            .tcp_addr()
+            .ok_or_else(|| io::Error::other("primary endpoint must be TCP"))?;
 
-        #[cfg(unix)]
-        let unix_listener = match &config.unix {
-            Some(path) => {
-                // A previous unclean exit leaves the socket file behind;
-                // rebinding requires removing it first.
-                let _ = std::fs::remove_file(path);
-                let l = std::os::unix::net::UnixListener::bind(path)?;
-                l.set_nonblocking(true)?;
-                Some(l)
-            }
-            None => None,
+        let mut listeners = vec![tcp_listener];
+        if let Some(path) = &config.unix {
+            listeners.push(Endpoint::unix(path.clone()).bind()?);
+        }
+
+        let store: Option<Arc<dyn AnswerStore>> = match (&config.cache, &config.persist) {
+            (None, _) => None,
+            (Some(cache), None) => Some(Arc::new(AnswerCache::new(cache))),
+            (Some(cache), Some(persist)) => Some(Arc::new(PersistentStore::open(cache, persist)?)),
         };
 
-        let cache = config.cache.as_ref().map(AnswerCache::new);
+        let reactor_enabled = reactor::supported() && !config.threaded;
+        let node = config
+            .node_name
+            .clone()
+            .unwrap_or_else(|| format!("serve:{addr}"));
         let inner = Arc::new(Inner {
             gate: AdmissionGate::new(config.max_inflight, config.max_waiting),
-            cache,
+            store,
             metrics: Arc::new(Metrics::new()),
+            gauges: Arc::new(ReactorGauges::default()),
+            reactor_enabled,
+            node,
             started: Instant::now(),
             local_shutdown: AtomicBool::new(false),
             connections: AtomicU64::new(0),
@@ -226,22 +440,32 @@ impl Server {
         });
 
         let mut accept_handles = Vec::new();
-        {
-            let inner = Arc::clone(&inner);
+        if reactor_enabled {
+            let service = Arc::new(ServeService {
+                inner: Arc::clone(&inner),
+            });
+            let gauges = Arc::clone(&inner.gauges);
+            let reactor_config = ReactorConfig {
+                workers: inner.config.workers.max(1),
+                max_line_bytes: inner.config.max_line_bytes,
+                poll_interval: inner.config.read_timeout,
+            };
             accept_handles.push(
                 std::thread::Builder::new()
-                    .name("staub-accept-tcp".into())
-                    .spawn(move || accept_loop(&inner, &tcp, tcp_conn))?,
+                    .name("staub-reactor".into())
+                    .spawn(move || {
+                        let _ = reactor::run(&service, listeners, &gauges, &reactor_config);
+                    })?,
             );
-        }
-        #[cfg(unix)]
-        if let Some(listener) = unix_listener {
-            let inner = Arc::clone(&inner);
-            accept_handles.push(
-                std::thread::Builder::new()
-                    .name("staub-accept-unix".into())
-                    .spawn(move || accept_loop(&inner, &listener, unix_conn))?,
-            );
+        } else {
+            for listener in listeners {
+                let inner = Arc::clone(&inner);
+                accept_handles.push(
+                    std::thread::Builder::new()
+                        .name("staub-accept".into())
+                        .spawn(move || accept_loop(&inner, &listener))?,
+                );
+            }
         }
 
         Ok(Server {
@@ -249,6 +473,14 @@ impl Server {
             addr,
             accept_handles,
         })
+    }
+
+    /// Pre-v3 entry point; binds and starts exactly like
+    /// [`Server::launch`] after converting the configuration.
+    #[deprecated(note = "use `Server::launch` with `ServerConfig`")]
+    #[allow(deprecated)]
+    pub fn start(config: ServeConfig) -> io::Result<Server> {
+        Server::launch(config.into())
     }
 
     /// The bound TCP address (useful with an ephemeral port).
@@ -261,8 +493,8 @@ impl Server {
         self.inner.local_shutdown.store(true, Ordering::SeqCst);
     }
 
-    /// Waits for the drain to complete: accept loops exited, every
-    /// connection thread joined.
+    /// Waits for the drain to complete: service threads exited, every
+    /// connection closed.
     pub fn join(mut self) -> DrainSummary {
         for h in self.accept_handles.drain(..) {
             let _ = h.join();
@@ -293,59 +525,43 @@ pub struct DrainSummary {
 }
 
 // ---------------------------------------------------------------------------
-// Accept loops and connections
+// Legacy thread-per-connection mode
 // ---------------------------------------------------------------------------
 
 /// Poll cadence of the nonblocking accept loops.
 const ACCEPT_POLL: Duration = Duration::from_millis(20);
 
-trait Acceptor {
-    type Stream: Read + Write + Send + 'static;
-    fn try_accept(&self) -> io::Result<Self::Stream>;
-}
-
-impl Acceptor for TcpListener {
-    type Stream = TcpStream;
-    fn try_accept(&self) -> io::Result<TcpStream> {
-        self.accept().map(|(s, _)| s)
-    }
-}
-
-#[cfg(unix)]
-impl Acceptor for std::os::unix::net::UnixListener {
-    type Stream = std::os::unix::net::UnixStream;
-    fn try_accept(&self) -> io::Result<Self::Stream> {
-        self.accept().map(|(s, _)| s)
-    }
-}
-
-fn tcp_conn(stream: &TcpStream, timeout: Duration) -> io::Result<()> {
-    stream.set_read_timeout(Some(timeout))
-}
-
-#[cfg(unix)]
-fn unix_conn(stream: &std::os::unix::net::UnixStream, timeout: Duration) -> io::Result<()> {
-    stream.set_read_timeout(Some(timeout))
-}
-
-fn accept_loop<L: Acceptor>(
-    inner: &Arc<Inner>,
-    listener: &L,
-    configure: fn(&L::Stream, Duration) -> io::Result<()>,
-) {
+fn accept_loop(inner: &Arc<Inner>, listener: &EndpointListener) {
     let mut conn_handles: Vec<JoinHandle<()>> = Vec::new();
     while !inner.shutting_down() {
         match listener.try_accept() {
             Ok(stream) => {
-                if configure(&stream, inner.config.read_timeout).is_err() {
+                // Accepted streams are served blocking with a read
+                // timeout (the drain poll tick).
+                if stream.set_nonblocking(false).is_err()
+                    || stream
+                        .set_read_timeout(Some(inner.config.read_timeout))
+                        .is_err()
+                {
                     continue; // peer already gone
                 }
                 inner.connections.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.incr("serve.connections", 1);
+                inner
+                    .gauges
+                    .open_connections
+                    .fetch_add(1, Ordering::Relaxed);
                 let inner = Arc::clone(inner);
-                if let Ok(handle) = std::thread::Builder::new()
-                    .name("staub-conn".into())
-                    .spawn(move || connection_loop(&inner, stream))
+                if let Ok(handle) =
+                    std::thread::Builder::new()
+                        .name("staub-conn".into())
+                        .spawn(move || {
+                            connection_loop(&inner, stream);
+                            inner
+                                .gauges
+                                .open_connections
+                                .fetch_sub(1, Ordering::Relaxed);
+                        })
                 {
                     conn_handles.push(handle);
                 }
@@ -369,11 +585,42 @@ fn write_line(stream: &mut impl Write, line: &str) -> io::Result<()> {
     stream.flush()
 }
 
+/// Half-close then drain before dropping a connection that was just sent
+/// a final reply. Closing while unread request bytes sit in the receive
+/// buffer (an oversized line's tail, a pipelined request) makes the
+/// kernel send RST, destroying the buffered reply before the peer reads
+/// it. Sending FIN and discarding input until the peer hangs up — bounded
+/// by a short deadline — lets the reply land. Mirrors the reactor's
+/// lingering-close state.
+fn linger_close(stream: &mut EndpointStream) {
+    const LINGER: Duration = Duration::from_secs(2);
+    if stream.shutdown_write().is_err() {
+        return;
+    }
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(50)));
+    let deadline = Instant::now() + LINGER;
+    let mut sink = [0u8; 4096];
+    while Instant::now() < deadline {
+        match stream.read(&mut sink) {
+            Ok(0) => return,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock
+                        | io::ErrorKind::TimedOut
+                        | io::ErrorKind::Interrupted
+                ) => {}
+            Err(_) => return,
+        }
+    }
+}
+
 /// Open sessions of one connection. Session state is
 /// connection-scoped: a dropped connection drops its solver state, so a
 /// crashed client cannot leak warm engines.
 #[derive(Default)]
-struct SessionTable {
+pub(crate) struct SessionTable {
     next: u64,
     open: Vec<(String, Session)>,
 }
@@ -397,7 +644,7 @@ impl SessionTable {
     }
 }
 
-fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
+fn connection_loop(inner: &Arc<Inner>, mut stream: EndpointStream) {
     let mut reader = LineReader::new(inner.config.max_line_bytes);
     let mut sessions = SessionTable::default();
     loop {
@@ -409,7 +656,11 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
                 inner.requests.fetch_add(1, Ordering::Relaxed);
                 inner.metrics.incr("serve.requests", 1);
                 let (reply, keep_open) = handle_line(inner, &mut sessions, &line);
-                if write_line(&mut stream, &reply).is_err() || !keep_open {
+                if write_line(&mut stream, &reply).is_err() {
+                    return;
+                }
+                if !keep_open {
+                    linger_close(&mut stream);
                     return;
                 }
             }
@@ -418,25 +669,21 @@ fn connection_loop<S: Read + Write>(inner: &Arc<Inner>, mut stream: S) {
                     return; // drain: drop idle keep-alive connections
                 }
             }
-            Ok(LineRead::TooLong) => {
+            Ok(LineRead::TooLong { observed }) => {
                 inner.metrics.incr("serve.errors", 1);
-                let reply = protocol::error_reply(
-                    1,
-                    None,
-                    codes::OVERSIZED,
-                    &format!(
-                        "request line exceeds {} bytes; closing connection",
-                        inner.config.max_line_bytes
-                    ),
-                );
-                let _ = write_line(&mut stream, &reply);
+                let reply = protocol::oversized_reply(1, inner.config.max_line_bytes, observed);
+                if write_line(&mut stream, &reply).is_ok() {
+                    linger_close(&mut stream);
+                }
                 return;
             }
             Ok(LineRead::BadUtf8) => {
                 inner.metrics.incr("serve.errors", 1);
                 let reply =
                     protocol::error_reply(1, None, codes::BAD_JSON, "request line is not UTF-8");
-                let _ = write_line(&mut stream, &reply);
+                if write_line(&mut stream, &reply).is_ok() {
+                    linger_close(&mut stream);
+                }
                 return;
             }
             Ok(LineRead::Eof) | Err(_) => return,
@@ -466,7 +713,8 @@ fn handle_line(inner: &Arc<Inner>, sessions: &mut SessionTable, line: &str) -> (
         match inner.gate.acquire(|| inner.shutting_down()) {
             Err(Refused::Overloaded) => {
                 inner.metrics.incr("serve.overloaded", 1);
-                (protocol::overloaded_reply(v, id), true)
+                let (inflight, waiting) = inner.gate.occupancy();
+                (protocol::overloaded_reply(v, id, inflight, waiting), true)
             }
             Err(Refused::ShuttingDown) => (
                 protocol::error_reply(v, id, codes::SHUTTING_DOWN, "server is draining"),
@@ -509,6 +757,20 @@ fn handle_line(inner: &Arc<Inner>, sessions: &mut SessionTable, line: &str) -> (
         }
         Request::Solve(req) => {
             let id = req.id.clone();
+            // A request whose hop list already names this node has been
+            // here before: forwarding or solving it again would cycle.
+            if req.route.iter().any(|hop| hop == &inner.node) {
+                inner.metrics.incr("serve.errors", 1);
+                return (
+                    protocol::error_reply(
+                        v,
+                        id.as_deref(),
+                        codes::ROUTING_LOOP,
+                        &format!("route already contains this node (`{}`)", inner.node),
+                    ),
+                    true,
+                );
+            }
             gated(inner, id.as_deref(), v, || solve_one(inner, v, &req))
         }
         Request::SessionOpen {
@@ -642,12 +904,12 @@ impl CacheAnswer {
     }
 }
 
-/// Consults the answer cache for a canonicalized script. `None` is a
+/// Consults the answer store for a canonicalized script. `None` is a
 /// miss — including an entry that failed re-verification, which is never
 /// served (see the module docs on cached-answer soundness).
 fn cache_lookup(inner: &Inner, canon: &Canonical, script: &Script) -> Option<CacheAnswer> {
-    let cache = inner.cache.as_ref()?;
-    match cache.get(canon.fingerprint, &canon.key) {
+    let store = inner.store.as_ref()?;
+    match store.lookup(canon.fingerprint, &canon.key) {
         Some(CachedVerdict::Sat { model, winner }) => {
             if let Some(rebound) = rebind_model(canon, &model) {
                 if model_satisfies(script, &rebound) {
@@ -677,7 +939,7 @@ fn cache_lookup(inner: &Inner, canon: &Canonical, script: &Script) -> Option<Cac
 /// key (`unknown` is a budget artifact, never cached) and refreshes the
 /// cache gauges.
 fn cache_store(inner: &Inner, canon: &Canonical, model: Option<&Model>, winner: &Option<String>) {
-    let Some(cache) = inner.cache.as_ref() else {
+    let Some(store) = inner.store.as_ref() else {
         return;
     };
     let verdict = match model {
@@ -698,14 +960,25 @@ fn cache_store(inner: &Inner, canon: &Canonical, model: Option<&Model>, winner: 
             winner: winner.clone(),
         },
     };
-    cache.insert(canon.fingerprint, canon.key.clone(), verdict);
-    let stats = cache.stats();
+    store.record(canon.fingerprint, &canon.key, verdict);
+    let stats = store.stats();
     inner
         .metrics
         .gauge_set("serve.cache.entries", stats.entries as i64);
     inner
         .metrics
         .gauge_set("serve.cache.evictions", stats.evictions as i64);
+}
+
+/// The reply's v3 hop list: untouched when the request was not routed,
+/// otherwise the request's hops plus this node.
+fn reply_route(inner: &Inner, req: &SolveRequest) -> Vec<String> {
+    if req.route.is_empty() {
+        return Vec::new();
+    }
+    let mut route = req.route.clone();
+    route.push(inner.node.clone());
+    route
 }
 
 fn solve_one(inner: &Arc<Inner>, v: u32, req: &SolveRequest) -> String {
@@ -725,7 +998,7 @@ fn solve_one(inner: &Arc<Inner>, v: u32, req: &SolveRequest) -> String {
     }
 
     let canon = canonicalize(&script);
-    let use_cache = inner.cache.is_some() && !req.no_cache;
+    let use_cache = inner.store.is_some() && !req.no_cache;
 
     if use_cache {
         if let Some(answer) = cache_lookup(inner, &canon, &script) {
@@ -742,6 +1015,7 @@ fn solve_one(inner: &Arc<Inner>, v: u32, req: &SolveRequest) -> String {
                 fingerprint: canon.fingerprint_hex(),
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 stats_json: None,
+                route: reply_route(inner, req),
             }
             .to_json();
         }
@@ -792,6 +1066,7 @@ fn solve_one(inner: &Arc<Inner>, v: u32, req: &SolveRequest) -> String {
         fingerprint: canon.fingerprint_hex(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         stats_json: Some(report.stats_json()),
+        route: reply_route(inner, req),
     }
     .to_json()
 }
@@ -865,7 +1140,7 @@ fn check_session(
     }
 
     let canon = canonicalize(&script);
-    let use_cache = inner.cache.is_some() && !no_cache;
+    let use_cache = inner.store.is_some() && !no_cache;
     if use_cache {
         if let Some(answer) = cache_lookup(inner, &canon, &script) {
             let (verdict, model, winner) = answer.into_parts();
@@ -881,6 +1156,7 @@ fn check_session(
                 fingerprint: canon.fingerprint_hex(),
                 wall_ms: start.elapsed().as_secs_f64() * 1e3,
                 stats_json: None,
+                route: Vec::new(),
             }
             .to_json();
         }
@@ -926,6 +1202,7 @@ fn check_session(
         fingerprint: canon.fingerprint_hex(),
         wall_ms: start.elapsed().as_secs_f64() * 1e3,
         stats_json: None,
+        route: Vec::new(),
     }
     .to_json()
 }
@@ -954,6 +1231,8 @@ fn health_reply(inner: &Arc<Inner>, v: u32, id: Option<&str>) -> String {
             "release"
         },
     );
+    out.push_str(",\"node\":");
+    crate::json::push_str_lit(&mut out, &inner.node);
     out.push_str(&format!(
         ",\"uptime_ms\":{:.0},\"inflight\":{},\"connections\":{},\"requests\":{},\"draining\":{}",
         inner.started.elapsed().as_secs_f64() * 1e3,
@@ -962,16 +1241,38 @@ fn health_reply(inner: &Arc<Inner>, v: u32, id: Option<&str>) -> String {
         inner.requests.load(Ordering::Relaxed),
         inner.shutting_down(),
     ));
+    out.push_str(&format!(
+        ",\"reactor\":{{\"enabled\":{},\"workers\":{},\"open_connections\":{},\"busy\":{}}}",
+        inner.reactor_enabled,
+        inner.gauges.workers.load(Ordering::Relaxed),
+        inner.gauges.open_connections.load(Ordering::Relaxed),
+        inner.gauges.busy.load(Ordering::Relaxed),
+    ));
     out.push_str(",\"cache\":");
-    match &inner.cache {
+    match &inner.store {
         None => out.push_str("null"),
-        Some(cache) => {
-            let s = cache.stats();
+        Some(store) => {
+            let s = store.stats();
             out.push_str(&format!(
                 "{{\"hits\":{},\"misses\":{},\"insertions\":{},\"evictions\":{},\"entries\":{}}}",
                 s.hits, s.misses, s.insertions, s.evictions, s.entries
             ));
         }
+    }
+    out.push_str(",\"persist\":");
+    match inner.store.as_ref().and_then(|s| s.persist_status()) {
+        None => out.push_str("null"),
+        Some(p) => out.push_str(&format!(
+            "{{\"snapshot_entries\":{},\"log_records\":{},\"log_bytes\":{},\
+             \"replayed\":{},\"rejected\":{},\"skipped\":{},\"snapshot_age_ms\":{}}}",
+            p.snapshot_entries,
+            p.log_records,
+            p.log_bytes,
+            p.replayed,
+            p.rejected,
+            p.skipped,
+            p.snapshot_age_ms
+        )),
     }
     out.push_str(",\"metrics\":");
     out.push_str(&inner.metrics.snapshot().to_json());
@@ -983,14 +1284,22 @@ fn health_reply(inner: &Arc<Inner>, v: u32, id: Option<&str>) -> String {
 mod tests {
     use super::*;
 
-    fn tiny_config() -> ServeConfig {
-        ServeConfig {
-            batch: BatchConfig {
-                threads: 2,
-                steps: 200_000,
-                ..BatchConfig::default()
-            },
-            ..ServeConfig::default()
+    fn tiny_config() -> ServerConfig {
+        ServerConfig::new().batch(BatchConfig {
+            threads: 2,
+            steps: 200_000,
+            ..BatchConfig::default()
+        })
+    }
+
+    fn solve_req(constraint: &str, id: Option<&str>) -> SolveRequest {
+        SolveRequest {
+            id: id.map(str::to_string),
+            constraint: constraint.to_string(),
+            timeout_ms: None,
+            steps: None,
+            no_cache: false,
+            route: Vec::new(),
         }
     }
 
@@ -1003,6 +1312,7 @@ mod tests {
         gate.release();
         assert!(gate.acquire(|| false).is_ok());
         assert_eq!(gate.active(), 2);
+        assert_eq!(gate.occupancy(), (2, 0));
     }
 
     #[test]
@@ -1013,16 +1323,27 @@ mod tests {
     }
 
     #[test]
-    fn solve_path_answers_and_caches() {
-        let server = Server::start(tiny_config()).expect("bind loopback");
-        let inner = Arc::clone(&server.inner);
-        let req = SolveRequest {
-            id: Some("t1".into()),
-            constraint: "(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)".into(),
-            timeout_ms: None,
-            steps: None,
-            no_cache: false,
+    fn deprecated_config_converts_to_the_new_shape() {
+        #[allow(deprecated)]
+        let old = ServeConfig {
+            tcp: "127.0.0.1:9".into(),
+            max_inflight: 7,
+            ..ServeConfig::default()
         };
+        let new: ServerConfig = old.into();
+        assert_eq!(new.tcp, Endpoint::Tcp("127.0.0.1:9".into()));
+        assert_eq!(new.max_inflight, 7);
+        assert!(!new.threaded, "converted configs keep the reactor default");
+    }
+
+    #[test]
+    fn solve_path_answers_and_caches() {
+        let server = Server::launch(tiny_config()).expect("bind loopback");
+        let inner = Arc::clone(&server.inner);
+        let req = solve_req(
+            "(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)",
+            Some("t1"),
+        );
         let first = solve_one(&inner, 1, &req);
         assert!(first.contains("\"verdict\":\"sat\""), "{first}");
         assert!(first.contains("\"cache\":\"miss\""), "{first}");
@@ -1037,7 +1358,7 @@ mod tests {
         assert!(second.contains("\"cache\":\"hit\""), "{second}");
         assert!(second.contains("\"verdict\":\"sat\""), "{second}");
         assert!(second.contains("\"model\":{\"y\":"), "{second}");
-        let stats = inner.cache.as_ref().unwrap().stats();
+        let stats = inner.store.as_ref().unwrap().stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         server.shutdown();
         server.join();
@@ -1045,19 +1366,15 @@ mod tests {
 
     #[test]
     fn dl_unsat_repeat_hits_the_cache_with_dl_provenance() {
-        let server = Server::start(tiny_config()).expect("bind loopback");
+        let server = Server::launch(tiny_config()).expect("bind loopback");
         let inner = Arc::clone(&server.inner);
         // A planted negative cycle: x − y ≤ 1 together with y − x < −1.
-        let req = SolveRequest {
-            id: Some("dl1".into()),
-            constraint: "(declare-fun x () Int)(declare-fun y () Int)\
-                         (assert (<= (- x y) 1))(assert (< (- y x) (- 1)))\
-                         (check-sat)"
-                .into(),
-            timeout_ms: None,
-            steps: None,
-            no_cache: false,
-        };
+        let req = solve_req(
+            "(declare-fun x () Int)(declare-fun y () Int)\
+             (assert (<= (- x y) 1))(assert (< (- y x) (- 1)))\
+             (check-sat)",
+            Some("dl1"),
+        );
         let first = solve_one(&inner, 1, &req);
         assert!(first.contains("\"verdict\":\"unsat\""), "{first}");
         assert!(first.contains("\"cache\":\"miss\""), "{first}");
@@ -1079,7 +1396,7 @@ mod tests {
         assert!(second.contains("\"verdict\":\"unsat\""), "{second}");
         assert!(second.contains("\"winner\":\"dl/"), "{second}");
         assert!(second.contains("\"stats\":null"), "{second}");
-        let stats = inner.cache.as_ref().unwrap().stats();
+        let stats = inner.store.as_ref().unwrap().stats();
         assert_eq!((stats.hits, stats.misses), (1, 1));
         server.shutdown();
         server.join();
@@ -1087,27 +1404,70 @@ mod tests {
 
     #[test]
     fn no_cache_flag_bypasses_the_cache() {
-        let server = Server::start(tiny_config()).expect("bind loopback");
+        let server = Server::launch(tiny_config()).expect("bind loopback");
         let inner = Arc::clone(&server.inner);
         let req = SolveRequest {
-            id: None,
-            constraint: "(declare-fun a () Int)(assert (> a 3))(check-sat)".into(),
-            timeout_ms: None,
-            steps: None,
             no_cache: true,
+            ..solve_req("(declare-fun a () Int)(assert (> a 3))(check-sat)", None)
         };
         let one = solve_one(&inner, 1, &req);
         let two = solve_one(&inner, 1, &req);
         assert!(one.contains("\"cache\":\"off\""), "{one}");
         assert!(two.contains("\"cache\":\"off\""), "{two}");
-        assert_eq!(inner.cache.as_ref().unwrap().stats().insertions, 0);
+        assert_eq!(inner.store.as_ref().unwrap().stats().insertions, 0);
         server.shutdown();
         server.join();
     }
 
     #[test]
+    fn routed_solve_appends_this_node_and_refuses_loops() {
+        let server = Server::launch(tiny_config().node_name("serve:test-node")).expect("bind");
+        let inner = Arc::clone(&server.inner);
+        let mut sessions = SessionTable::default();
+        let line = r#"{"op":"solve","v":3,"constraint":"(declare-fun x () Int)(assert (> x 1))(check-sat)","route":["route:front"]}"#;
+        let (reply, keep) = handle_line(&inner, &mut sessions, line);
+        assert!(keep);
+        assert!(
+            reply.contains("\"route\":[\"route:front\",\"serve:test-node\"]"),
+            "{reply}"
+        );
+        // The same request arriving with this node already in the hop
+        // list is a loop: refused, connection stays up.
+        let looped =
+            r#"{"op":"solve","v":3,"constraint":"(assert true)","route":["serve:test-node"]}"#;
+        let (reply, keep) = handle_line(&inner, &mut sessions, looped);
+        assert!(keep);
+        assert!(reply.contains("routing-loop"), "{reply}");
+        server.shutdown();
+        server.join();
+    }
+
+    #[test]
+    fn health_reports_reactor_and_persist_blocks() {
+        let dir = std::env::temp_dir().join(format!("staub-serve-health-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let server = Server::launch(tiny_config().persist(PersistConfig::in_dir(&dir)))
+            .expect("bind loopback");
+        let health = server.health_json();
+        let parsed = crate::json::parse(&health).unwrap();
+        let reactor = parsed.get("reactor").expect("reactor block");
+        assert_eq!(
+            reactor.get("enabled").and_then(crate::json::Json::as_bool),
+            Some(cfg!(target_os = "linux"))
+        );
+        let persist = parsed.get("persist").expect("persist block");
+        assert_eq!(
+            persist.get("replayed").and_then(crate::json::Json::as_u64),
+            Some(0)
+        );
+        server.shutdown();
+        server.join();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
     fn session_lifecycle_over_handle_line() {
-        let server = Server::start(tiny_config()).expect("bind loopback");
+        let server = Server::launch(tiny_config()).expect("bind loopback");
         let inner = Arc::clone(&server.inner);
         let mut sessions = SessionTable::default();
 
@@ -1179,7 +1539,7 @@ mod tests {
 
     #[test]
     fn bad_session_requests_keep_the_connection_open() {
-        let server = Server::start(tiny_config()).expect("bind loopback");
+        let server = Server::launch(tiny_config()).expect("bind loopback");
         let inner = Arc::clone(&server.inner);
         let mut sessions = SessionTable::default();
 

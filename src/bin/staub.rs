@@ -130,9 +130,11 @@ const USAGE: &str = "usage: staub [--emit] [--reduce] [--width N] \
 [--profile zed|cove|both] [--escalate M,M,...] [--refine] [--refine-depth N] \
 [--no-baseline] [--no-cancel] [--retry] [--no-stats] [--out FILE] \
 <dir|file.smt2>...
-       staub serve [--addr HOST:PORT] [--unix PATH] [SERVE OPTIONS]
-       staub client [--addr HOST:PORT] [--health | --shutdown | <file.smt2>...]
-       staub loadgen [--addr HOST:PORT] [--concurrency N] [--repeat N] \
+       staub serve [--addr ENDPOINT] [--unix PATH] [--persist DIR] \
+[SERVE OPTIONS]
+       staub route --backend ENDPOINT [--backend ENDPOINT ...] [ROUTE OPTIONS]
+       staub client [--addr ENDPOINT] [--health | --shutdown | <file.smt2>...]
+       staub loadgen [--addr ENDPOINT] [--concurrency N] [--repeat N] \
 [--no-cache] [--out FILE] <dir|file.smt2>...";
 
 const STATS_USAGE: &str = "usage: staub stats [--width N] [--profile zed|cove] \
@@ -518,17 +520,33 @@ Runs the solver as a long-lived daemon. Requests are newline-delimited
 JSON ({\"op\":\"solve\",\"constraint\":\"...\"}); see DESIGN.md for the full
 protocol grammar. A canonical-constraint answer cache in front of the
 scheduler answers repeated (including alpha-renamed and commutatively
-reordered) constraints without spawning lanes. SIGINT drains gracefully:
-in-flight requests finish, then the process exits.
+reordered) constraints without spawning lanes; with --persist the cache
+survives restarts. On Linux connections are served by a nonblocking
+epoll reactor with a fixed worker pool, so idle connections cost no
+threads. SIGINT drains gracefully: in-flight requests finish, then the
+process exits.
 
 SERVE OPTIONS:
-  --addr <HOST:PORT>    TCP bind address (default 127.0.0.1:7227; port 0
-                        picks an ephemeral port, printed on stdout)
+  --addr <ENDPOINT>     bind endpoint: HOST:PORT, tcp:HOST:PORT
+                        (default 127.0.0.1:7227; port 0 picks an ephemeral
+                        port, printed on stdout)
   --unix <PATH>         additionally listen on a Unix socket (Unix only)
+  --persist <DIR>       persist the answer cache: snapshot + append-only
+                        log in DIR, replayed on the next boot
+  --snapshot-every <N>  compact the log into the snapshot every N
+                        appended records (default 8192)
+  --fsync               fsync the log after every append (durability over
+                        throughput; default is flush-only)
+  --workers <N>         reactor worker threads (default 4)
+  --threaded            force thread-per-connection even where the epoll
+                        reactor is available
+  --node-name <NAME>    this node's name in v3 route hop lists
+                        (default serve:<bound-address>)
   --threads <N>         scheduler worker threads per request (default: cores)
   --timeout-ms <N>      per-lane wall-clock ceiling (default 1000); clients
                         may request less, never more
   --steps <N>           per-lane step-budget ceiling (default 4000000)
+  --no-baseline         skip the baseline lane (bounded lanes only)
   --width <N>           fixed base width instead of inference
   --profile <P>         zed (default), cove, or both
   --no-cache            disable the answer cache
@@ -540,15 +558,11 @@ SERVE OPTIONS:
 
 /// `staub serve`: bind, print the address, drain on SIGINT.
 fn serve_main(args: Vec<String>) -> ExitCode {
-    use staub::core::BatchConfig;
-    use staub::service::{signal, CacheConfig, ServeConfig, Server};
+    use staub::service::{signal, CacheConfig, Endpoint, PersistConfig, Server, ServerConfig};
 
-    let mut config = ServeConfig {
-        tcp: "127.0.0.1:7227".to_string(),
-        batch: BatchConfig::default(),
-        ..ServeConfig::default()
-    };
+    let mut config = ServerConfig::new().tcp(Endpoint::Tcp("127.0.0.1:7227".to_string()));
     let mut cache = Some(CacheConfig::default());
+    let mut persist: Option<PersistConfig> = None;
     let mut iter = args.into_iter();
     macro_rules! value_of {
         ($flag:literal, $ty:ty) => {
@@ -563,10 +577,14 @@ fn serve_main(args: Vec<String>) -> ExitCode {
     }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--addr" => match iter.next() {
-                Some(addr) => config.tcp = addr,
+            "--addr" => match iter.next().as_deref().map(Endpoint::parse) {
+                Some(Ok(endpoint)) => config.tcp = endpoint,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
                 None => {
-                    eprintln!("error: --addr needs a HOST:PORT value\n{SERVE_USAGE}");
+                    eprintln!("error: --addr needs an endpoint\n{SERVE_USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -577,11 +595,42 @@ fn serve_main(args: Vec<String>) -> ExitCode {
                     return ExitCode::from(2);
                 }
             },
+            "--persist" => match iter.next() {
+                Some(dir) => match &mut persist {
+                    Some(p) => p.dir = dir.into(),
+                    None => persist = Some(PersistConfig::in_dir(dir)),
+                },
+                None => {
+                    eprintln!("error: --persist needs a directory\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--snapshot-every" => {
+                let every = value_of!("--snapshot-every", u64);
+                persist
+                    .get_or_insert_with(|| PersistConfig::in_dir("staub-cache"))
+                    .snapshot_every = every;
+            }
+            "--fsync" => {
+                persist
+                    .get_or_insert_with(|| PersistConfig::in_dir("staub-cache"))
+                    .fsync = true;
+            }
+            "--workers" => config.workers = value_of!("--workers", usize),
+            "--threaded" => config.threaded = true,
+            "--node-name" => match iter.next() {
+                Some(name) => config.node_name = Some(name),
+                None => {
+                    eprintln!("error: --node-name needs a value\n{SERVE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
             "--threads" => config.batch.threads = value_of!("--threads", usize),
             "--timeout-ms" => {
                 config.batch.timeout = Duration::from_millis(value_of!("--timeout-ms", u64));
             }
             "--steps" => config.batch.steps = value_of!("--steps", u64),
+            "--no-baseline" => config.batch.include_baseline = false,
             "--width" => {
                 config.batch.width_choice = WidthChoice::Fixed(value_of!("--width", u32));
             }
@@ -619,9 +668,10 @@ fn serve_main(args: Vec<String>) -> ExitCode {
         }
     }
     config.cache = cache;
+    config.persist = persist;
 
     signal::install_handlers();
-    let server = match Server::start(config) {
+    let server = match Server::launch(config) {
         Ok(s) => s,
         Err(e) => {
             eprintln!("error: cannot start server: {e}");
@@ -652,7 +702,9 @@ is an error or the transport fails.";
 
 /// `staub client`: one-shot requests against a running server.
 fn client_main(args: Vec<String>) -> ExitCode {
-    use staub::service::{health_request, shutdown_request, solve_request, Connection};
+    use staub::service::{
+        health_request, shutdown_request, solve_request, Connection, Endpoint, EndpointStream,
+    };
 
     let mut addr = "127.0.0.1:7227".to_string();
     let mut health = false;
@@ -692,15 +744,22 @@ fn client_main(args: Vec<String>) -> ExitCode {
         return ExitCode::from(2);
     }
 
-    let mut conn = match Connection::connect_tcp(&addr) {
+    let endpoint = match Endpoint::parse(&addr) {
+        Ok(e) => e,
+        Err(e) => {
+            eprintln!("error: {e}\n{CLIENT_USAGE}");
+            return ExitCode::from(2);
+        }
+    };
+    let mut conn = match Connection::connect(&endpoint) {
         Ok(c) => c,
         Err(e) => {
-            eprintln!("error: cannot connect to {addr}: {e}");
+            eprintln!("error: cannot connect to {endpoint}: {e}");
             return ExitCode::FAILURE;
         }
     };
     // Returns `true` when the reply indicates failure.
-    fn run(conn: &mut Connection<std::net::TcpStream>, request: &str) -> bool {
+    fn run(conn: &mut Connection<EndpointStream>, request: &str) -> bool {
         match conn.roundtrip(request) {
             Ok(reply) => {
                 println!("{reply}");
@@ -753,10 +812,10 @@ malformed, any model failed the audit, or the transport misbehaved.";
 
 /// `staub loadgen`: corpus replay + response audit against a server.
 fn loadgen_main(args: Vec<String>) -> ExitCode {
-    use staub::service::{run_loadgen, LoadgenConfig};
+    use staub::service::{run_loadgen, Endpoint, LoadgenConfig};
 
     let mut config = LoadgenConfig {
-        addr: "127.0.0.1:7227".to_string(),
+        endpoint: Endpoint::Tcp("127.0.0.1:7227".to_string()),
         ..LoadgenConfig::default()
     };
     let mut out_path = None;
@@ -775,10 +834,14 @@ fn loadgen_main(args: Vec<String>) -> ExitCode {
     }
     while let Some(arg) = iter.next() {
         match arg.as_str() {
-            "--addr" => match iter.next() {
-                Some(a) => config.addr = a,
+            "--addr" => match iter.next().as_deref().map(Endpoint::parse) {
+                Some(Ok(endpoint)) => config.endpoint = endpoint,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}\n{LOADGEN_USAGE}");
+                    return ExitCode::from(2);
+                }
                 None => {
-                    eprintln!("error: --addr needs a HOST:PORT value\n{LOADGEN_USAGE}");
+                    eprintln!("error: --addr needs an endpoint\n{LOADGEN_USAGE}");
                     return ExitCode::from(2);
                 }
             },
@@ -859,6 +922,116 @@ fn loadgen_main(args: Vec<String>) -> ExitCode {
         eprintln!("; FAILED: {bad_form} malformed, {unsound} unsound replies");
         ExitCode::FAILURE
     }
+}
+
+const ROUTE_USAGE: &str = "usage: staub route --backend ENDPOINT \
+[--backend ENDPOINT ...] [ROUTE OPTIONS]
+
+Runs a front node that shards solve requests across backend `staub serve`
+processes by consistent-hashing the canonical constraint fingerprint, so
+every repeat of a constraint (under any variable names) lands on the same
+backend and its warm answer cache. Failed backends are retried after a
+cooldown; requests fail over to the next backend on the ring. Session ops
+are refused (sessions are connection-stateful; open them against a
+backend directly).
+
+ROUTE OPTIONS:
+  --listen <ENDPOINT>   bind endpoint (default 127.0.0.1:7337; port 0
+                        picks an ephemeral port, printed on stdout)
+  --backend <ENDPOINT>  a backend `staub serve` endpoint (repeatable;
+                        at least one required)
+  --vnodes <N>          virtual ring points per backend (default 64)
+  --node-name <NAME>    this node's name in v3 route hop lists
+                        (default route:<bound-address>)
+  --workers <N>         router worker threads (default 4)
+  --max-line-bytes <N>  request-line size cap (default 1048576)";
+
+/// `staub route`: the consistent-hash sharding front node.
+fn route_main(args: Vec<String>) -> ExitCode {
+    use staub::service::{signal, Endpoint, RouteConfig, Router};
+
+    let mut config = RouteConfig {
+        listen: Endpoint::Tcp("127.0.0.1:7337".to_string()),
+        ..RouteConfig::default()
+    };
+    let mut iter = args.into_iter();
+    macro_rules! endpoint_of {
+        ($flag:literal) => {
+            match iter.next().as_deref().map(Endpoint::parse) {
+                Some(Ok(endpoint)) => endpoint,
+                Some(Err(e)) => {
+                    eprintln!("error: {e}\n{ROUTE_USAGE}");
+                    return ExitCode::from(2);
+                }
+                None => {
+                    eprintln!("error: {} needs an endpoint\n{ROUTE_USAGE}", $flag);
+                    return ExitCode::from(2);
+                }
+            }
+        };
+    }
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--listen" => config.listen = endpoint_of!("--listen"),
+            "--backend" => config.backends.push(endpoint_of!("--backend")),
+            "--vnodes" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.vnodes = n,
+                None => {
+                    eprintln!("error: --vnodes needs a numeric value\n{ROUTE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--workers" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.workers = n,
+                None => {
+                    eprintln!("error: --workers needs a numeric value\n{ROUTE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--max-line-bytes" => match iter.next().and_then(|v| v.parse::<usize>().ok()) {
+                Some(n) => config.max_line_bytes = n,
+                None => {
+                    eprintln!("error: --max-line-bytes needs a numeric value\n{ROUTE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--node-name" => match iter.next() {
+                Some(name) => config.node_name = Some(name),
+                None => {
+                    eprintln!("error: --node-name needs a value\n{ROUTE_USAGE}");
+                    return ExitCode::from(2);
+                }
+            },
+            "--help" | "-h" => {
+                println!("{ROUTE_USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("error: unexpected argument `{other}`\n{ROUTE_USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+    }
+    if config.backends.is_empty() {
+        eprintln!("error: at least one --backend is required\n{ROUTE_USAGE}");
+        return ExitCode::from(2);
+    }
+
+    signal::install_handlers();
+    let router = match Router::launch(config) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("error: cannot start router: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    // Same wait-for-boot handshake as `staub serve`.
+    println!("listening on {}", router.local_addr());
+    use std::io::Write as _;
+    let _ = std::io::stdout().flush();
+    router.join();
+    eprintln!("; router drained");
+    ExitCode::SUCCESS
 }
 
 /// `staub lint`: run the certifying checker over a script and (when
@@ -951,6 +1124,7 @@ fn main() -> ExitCode {
             Some("stats") => return stats_main(args.collect()),
             Some("batch") => return batch_main(args.collect()),
             Some("serve") => return serve_main(args.collect()),
+            Some("route") => return route_main(args.collect()),
             Some("client") => return client_main(args.collect()),
             Some("loadgen") => return loadgen_main(args.collect()),
             _ => {}

@@ -1,0 +1,240 @@
+//! Property tests for answer-store persistence soundness: an adversary
+//! who truncates or bit-flips `answers.log` must never make a warm start
+//! *invent* or *alter* a verdict. Replay may lose entries (the damaged
+//! tail is dropped), but every entry it does serve must be byte-identical
+//! to one the live store recorded — and, because the log is append-only
+//! and replay stops at the first framing violation, the surviving set is
+//! always a *prefix* of the insertion order.
+//!
+//! The reference here is the map of verdicts recorded through the live
+//! [`PersistentStore`] before the file was damaged; the reopened store is
+//! audited lookup-by-lookup against it.
+
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::collection::vec;
+use proptest::prelude::*;
+use staub::numeric::BigInt;
+use staub::service::{AnswerStore, CacheConfig, CachedVerdict, PersistConfig, PersistentStore};
+use staub::smtlib::Value;
+
+/// Fresh scratch directory per proptest case (cases run sequentially but
+/// must not see each other's files, and a failing case must not poison
+/// the next).
+fn fresh_dir() -> PathBuf {
+    static SEQ: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join(format!(
+        "staub-persist-props-{}-{}",
+        std::process::id(),
+        SEQ.fetch_add(1, Ordering::Relaxed)
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// Well-spread synthetic canonical fingerprints (the persistence layer is
+/// agnostic to how the canonicalizer produced them).
+fn fingerprint(i: usize) -> u128 {
+    (i as u128 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15_F39C_C060_5CED_C835)
+}
+
+fn key(i: usize) -> String {
+    format!("(declare-fun v{i} () Int)(assert (= v{i} {i}))(check-sat)")
+}
+
+/// Alternates the two persistable verdict shapes, with distinguishable
+/// per-entry winners and model values so a cross-wired replay (entry i
+/// served under entry j's key) cannot pass the audit.
+fn verdict(i: usize, kind: u8) -> CachedVerdict {
+    if kind.is_multiple_of(2) {
+        CachedVerdict::Unsat {
+            winner: Some(format!("complete/zed#{i}")),
+        }
+    } else {
+        CachedVerdict::Sat {
+            model: vec![(i, Value::Int(BigInt::from(i as i64 * 7 + 1)))],
+            winner: Some(format!("dl/stn#{i}")),
+        }
+    }
+}
+
+/// Records `kinds.len()` entries through a live store (all land in the
+/// log: `snapshot_every` stays at its large default), drops it, and
+/// returns the reference verdicts.
+fn seed(dir: &Path, kinds: &[u8]) -> Vec<CachedVerdict> {
+    let persist = PersistConfig::in_dir(dir);
+    let store = PersistentStore::open(&CacheConfig::default(), &persist).expect("seed store opens");
+    let mut reference = Vec::with_capacity(kinds.len());
+    for (i, kind) in kinds.iter().enumerate() {
+        let v = verdict(i, *kind);
+        store.record(fingerprint(i), &key(i), v.clone());
+        reference.push(v);
+    }
+    reference
+}
+
+/// Audits a reopened store against the reference: every lookup either
+/// misses or returns the exact recorded verdict, the surviving set is a
+/// prefix of insertion order, and unknown keys still miss.
+fn audit_prefix(store: &PersistentStore, reference: &[CachedVerdict]) -> usize {
+    let mut survived = 0usize;
+    let mut ended = false;
+    for (i, expected) in reference.iter().enumerate() {
+        match store.lookup(fingerprint(i), &key(i)) {
+            Some(got) => {
+                assert!(
+                    !ended,
+                    "entry {i} served after an earlier entry was lost: \
+                     replay is not a prefix"
+                );
+                assert_eq!(
+                    &got, expected,
+                    "entry {i} replayed with a different verdict"
+                );
+                survived = i + 1;
+            }
+            None => ended = true,
+        }
+    }
+    // Keys never recorded must not materialise out of corruption.
+    for i in reference.len()..reference.len() + 4 {
+        assert_eq!(
+            store.lookup(fingerprint(i), &key(i)),
+            None,
+            "corruption invented an entry for an unrecorded key"
+        );
+    }
+    survived
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Chopping the log at any byte offset (including inside the magic,
+    /// a length word, or a payload) yields a warm start that serves a
+    /// verbatim prefix of the recorded verdicts — and a further restart
+    /// from the compacted state is clean and serves the same set.
+    #[test]
+    fn truncated_log_replays_a_verbatim_prefix(
+        kinds in vec(any::<u8>(), 4..20),
+        cut_seed in any::<u16>(),
+    ) {
+        let dir = fresh_dir();
+        let reference = seed(&dir, &kinds);
+        let log_path = dir.join("answers.log");
+        let len = std::fs::metadata(&log_path).expect("log exists").len();
+        let cut = u64::from(cut_seed) % (len + 1);
+        std::fs::OpenOptions::new()
+            .write(true)
+            .open(&log_path)
+            .expect("log opens for damage")
+            .set_len(cut)
+            .expect("truncate");
+
+        let persist = PersistConfig::in_dir(&dir);
+        let store = PersistentStore::open(&CacheConfig::default(), &persist)
+            .expect("reopen after truncation never errors");
+        let survived = audit_prefix(&store, &reference);
+        // A full-length "cut" is no damage at all: everything survives.
+        if cut == len {
+            prop_assert_eq!(survived, reference.len());
+            prop_assert_eq!(store.replay_report().rejected, 0);
+        }
+        drop(store);
+
+        // The damaged tail was compacted away on reopen: a third open is
+        // clean and serves exactly the same surviving prefix.
+        let store = PersistentStore::open(&CacheConfig::default(), &persist)
+            .expect("post-compaction reopen");
+        prop_assert_eq!(store.replay_report().rejected, 0);
+        prop_assert_eq!(audit_prefix(&store, &reference), survived);
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Flipping any single bit of the log — header, framing, or payload —
+    /// yields a warm start that serves only verbatim recorded verdicts
+    /// (CRC-32 catches every single-bit payload flip, so the damaged
+    /// record and everything after it are dropped, never reinterpreted).
+    #[test]
+    fn bit_flipped_log_never_serves_an_altered_verdict(
+        kinds in vec(any::<u8>(), 4..20),
+        byte_seed in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let dir = fresh_dir();
+        let reference = seed(&dir, &kinds);
+        let log_path = dir.join("answers.log");
+        let mut bytes = std::fs::read(&log_path).expect("log readable");
+        let target = usize::from(byte_seed) % bytes.len();
+        bytes[target] ^= 1 << bit;
+        std::fs::write(&log_path, &bytes).expect("rewrite damaged log");
+
+        let persist = PersistConfig::in_dir(&dir);
+        let store = PersistentStore::open(&CacheConfig::default(), &persist)
+            .expect("reopen after bit flip never errors");
+        let survived = audit_prefix(&store, &reference);
+        // The flip damaged at most one record's framing; replay keeps
+        // everything before it, so at most the tail from that record on
+        // is lost — and the store accounts for the damage it saw.
+        let report = store.replay_report();
+        if survived < reference.len() {
+            prop_assert!(
+                report.rejected > 0,
+                "entries were lost ({survived}/{} survived) but no \
+                 rejection was counted",
+                reference.len()
+            );
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Damaging the *snapshot* after a compaction is equally contained:
+    /// warm start still never alters a verdict, it only loses some.
+    #[test]
+    fn bit_flipped_snapshot_is_contained(
+        kinds in vec(any::<u8>(), 6..16),
+        byte_seed in any::<u16>(),
+        bit in 0u8..8,
+    ) {
+        let dir = fresh_dir();
+        // Tight snapshot cadence so the entries land in answers.snap.
+        let mut persist = PersistConfig::in_dir(&dir);
+        persist.snapshot_every = 2;
+        let store = PersistentStore::open(&CacheConfig::default(), &persist)
+            .expect("seed store opens");
+        let mut reference = Vec::with_capacity(kinds.len());
+        for (i, kind) in kinds.iter().enumerate() {
+            let v = verdict(i, *kind);
+            store.record(fingerprint(i), &key(i), v.clone());
+            reference.push(v);
+        }
+        drop(store);
+
+        let snap_path = dir.join("answers.snap");
+        let mut bytes = std::fs::read(&snap_path).expect("snapshot readable");
+        let target = usize::from(byte_seed) % bytes.len();
+        bytes[target] ^= 1 << bit;
+        std::fs::write(&snap_path, &bytes).expect("rewrite damaged snapshot");
+
+        let store = PersistentStore::open(&CacheConfig::default(), &persist)
+            .expect("reopen after snapshot damage never errors");
+        // The snapshot is a dump of the LRU, so its order need not match
+        // insertion order — audit only verbatim-or-miss, not prefix.
+        for (i, expected) in reference.iter().enumerate() {
+            if let Some(got) = store.lookup(fingerprint(i), &key(i)) {
+                prop_assert_eq!(
+                    &got, expected,
+                    "entry {} replayed with a different verdict", i
+                );
+            }
+        }
+        for i in reference.len()..reference.len() + 4 {
+            prop_assert_eq!(store.lookup(fingerprint(i), &key(i)), None);
+        }
+        drop(store);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -15,8 +15,8 @@ use staub::benchgen::{generate, SuiteKind};
 use staub::core::{run_batch_with, BatchConfig, BatchItem, RunOptions};
 use staub::service::json::{self, Json};
 use staub::service::{
-    audit_reply, health_request, run_loadgen, solve_request, CacheConfig, Connection,
-    LoadgenConfig, LoadgenOutcome, ServeConfig, Server,
+    audit_reply, health_request, run_loadgen, solve_request, CacheConfig, Connection, Endpoint,
+    EndpointStream, LoadgenConfig, LoadgenOutcome, Server, ServerConfig,
 };
 use staub::smtlib::Script;
 
@@ -35,17 +35,16 @@ fn batch_config() -> BatchConfig {
     }
 }
 
-fn serve_config(cache: bool) -> ServeConfig {
-    ServeConfig {
-        batch: batch_config(),
-        cache: if cache {
-            Some(CacheConfig::default())
-        } else {
-            None
-        },
-        max_inflight: 8,
-        ..ServeConfig::default()
-    }
+fn serve_config(cache: bool) -> ServerConfig {
+    let cache = if cache {
+        Some(CacheConfig::default())
+    } else {
+        None
+    };
+    ServerConfig::new()
+        .batch(batch_config())
+        .cache(cache)
+        .admission(8, 64)
 }
 
 /// A small mixed corpus (linear ints + nonlinear reals) printed to text,
@@ -80,12 +79,12 @@ fn reference_verdicts(corpus: &[(String, String)]) -> HashMap<String, String> {
 fn differential(cache: bool, no_cache_flag: bool, repeat: usize) -> LoadgenOutcome {
     let corpus = corpus();
     let expected = reference_verdicts(&corpus);
-    let server = Server::start(serve_config(cache)).expect("server starts");
-    let addr = server.local_addr().to_string();
+    let server = Server::launch(serve_config(cache)).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
     let outcome = run_loadgen(
         &corpus,
         &LoadgenConfig {
-            addr,
+            endpoint,
             concurrency: 8,
             repeat,
             no_cache: no_cache_flag,
@@ -168,9 +167,9 @@ fn lane_solves(health: &Json) -> u64 {
 
 #[test]
 fn repeated_and_renamed_constraints_answer_from_cache_without_lanes() {
-    let server = Server::start(serve_config(true)).expect("server starts");
-    let addr = server.local_addr().to_string();
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let server = Server::launch(serve_config(true)).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut conn = Connection::connect(&endpoint).expect("connect");
 
     let original = "(declare-fun x () Int)(assert (= (* x x) 49))(check-sat)";
     // α-renamed and commutatively flipped: the same constraint to the
@@ -223,9 +222,9 @@ fn complete_lane_unsat_serves_and_repeats_from_cache() {
     // promotion → cache insert → cache hit without new lanes.
     let mut config = serve_config(true);
     config.batch.include_baseline = false;
-    let server = Server::start(config).expect("server starts");
-    let addr = server.local_addr().to_string();
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let server = Server::launch(config).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut conn = Connection::connect(&endpoint).expect("connect");
 
     let parity = "(declare-fun x () Int)(declare-fun y () Int)
          (assert (= (+ (* 2 x) (* 2 y)) 7))(check-sat)";
@@ -284,7 +283,7 @@ fn complete_lane_unsat_serves_and_repeats_from_cache() {
 }
 
 /// Further requests on a connection the server closed must fail fast.
-fn assert_closed(mut conn: Connection<std::net::TcpStream>) {
+fn assert_closed(mut conn: Connection<EndpointStream>) {
     let err = conn.roundtrip(&health_request());
     assert!(err.is_err(), "server should have closed the connection");
 }
@@ -293,11 +292,11 @@ fn assert_closed(mut conn: Connection<std::net::TcpStream>) {
 fn malformed_and_oversized_lines_get_error_and_close() {
     let mut config = serve_config(false);
     config.max_line_bytes = 4096;
-    let server = Server::start(config).expect("server starts");
-    let addr = server.local_addr().to_string();
+    let server = Server::launch(config).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
 
     // Malformed JSON: structured error, then the connection closes.
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let mut conn = Connection::connect(&endpoint).expect("connect");
     let reply = conn.roundtrip("this is not json").expect("error reply");
     let parsed = json::parse(&reply).expect("reply is json");
     assert_eq!(parsed.get("status").and_then(Json::as_str), Some("error"));
@@ -311,7 +310,7 @@ fn malformed_and_oversized_lines_get_error_and_close() {
     assert_closed(conn);
 
     // Valid JSON but not a valid request: same treatment.
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let mut conn = Connection::connect(&endpoint).expect("connect");
     let reply = conn
         .roundtrip("{\"op\":\"frobnicate\"}")
         .expect("error reply");
@@ -327,16 +326,18 @@ fn malformed_and_oversized_lines_get_error_and_close() {
 
     // A line over the request-size cap: the reply names the cap, then the
     // connection closes (the rest of the oversized line is never parsed).
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let mut conn = Connection::connect(&endpoint).expect("connect");
     let huge = solve_request("big", &"x ".repeat(8192), None, None, false);
     let reply = conn.roundtrip(&huge).expect("error reply");
     let parsed = json::parse(&reply).expect("reply is json");
-    assert_eq!(
-        parsed
-            .get("error")
-            .and_then(|e| e.get("code"))
-            .and_then(Json::as_str),
-        Some("oversized")
+    let error = parsed.get("error").expect("structured error object");
+    assert_eq!(error.get("code").and_then(Json::as_str), Some("oversized"));
+    // The structured error must name the configured cap and how much the
+    // client actually sent, so the operator can tell which to change.
+    assert_eq!(error.get("limit").and_then(Json::as_u64), Some(4096));
+    assert!(
+        error.get("observed").and_then(Json::as_u64) > Some(4096),
+        "{reply}"
     );
     assert_closed(conn);
 
@@ -346,9 +347,9 @@ fn malformed_and_oversized_lines_get_error_and_close() {
 
 #[test]
 fn health_reports_build_and_cache_state() {
-    let server = Server::start(serve_config(true)).expect("server starts");
-    let addr = server.local_addr().to_string();
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let server = Server::launch(serve_config(true)).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut conn = Connection::connect(&endpoint).expect("connect");
     let reply = conn.roundtrip(&health_request()).expect("health");
     let parsed = json::parse(&reply).expect("reply is json");
     assert_eq!(parsed.get("status").and_then(Json::as_str), Some("ok"));
@@ -372,9 +373,9 @@ fn health_reports_build_and_cache_state() {
 
 #[test]
 fn shutdown_request_drains_gracefully() {
-    let server = Server::start(serve_config(false)).expect("server starts");
-    let addr = server.local_addr().to_string();
-    let mut conn = Connection::<std::net::TcpStream>::connect_tcp(&addr).expect("connect");
+    let server = Server::launch(serve_config(false)).expect("server starts");
+    let endpoint = Endpoint::Tcp(server.local_addr().to_string());
+    let mut conn = Connection::connect(&endpoint).expect("connect");
     let reply = conn
         .roundtrip("{\"op\":\"shutdown\",\"id\":\"bye\"}")
         .expect("shutdown reply");
@@ -392,10 +393,9 @@ fn unix_socket_serves_solves() {
     let path = std::env::temp_dir().join(format!("staub-e2e-{}.sock", std::process::id()));
     let mut config = serve_config(true);
     config.unix = Some(path.clone());
-    let server = Server::start(config).expect("server starts");
+    let server = Server::launch(config).expect("server starts");
 
-    let mut conn =
-        Connection::<std::os::unix::net::UnixStream>::connect_unix(&path).expect("unix connect");
+    let mut conn = Connection::connect(&Endpoint::unix(&path)).expect("unix connect");
     let constraint = "(declare-fun x () Int)(assert (< 3 x))(assert (< x 5))(check-sat)";
     let reply = conn
         .roundtrip(&solve_request("ux", constraint, None, None, false))
